@@ -1,0 +1,116 @@
+// Ablations of the FPTree's design choices (DESIGN.md §4):
+//   1. Fingerprints on/off      — FPTree vs PTree family (§4.2).
+//   2. Leaf groups on/off       — amortized persistent allocation (§4.3):
+//                                 insert throughput and allocator calls.
+//   3. HTM backend              — TL2 speculative transactions vs a global
+//                                 lock (what Selective Concurrency buys).
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/fptree.h"
+#include "core/fptree_concurrent.h"
+#include "core/ptree.h"
+#include "scm/stats.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+template <typename TreeT>
+double InsertMops(uint64_t n, uint64_t* allocations) {
+  ScopedPool pool(size_t{4} << 30);
+  TreeT tree(pool.get());
+  auto keys = ShuffledRange(n, 17);
+  scm::ClearThreadStats();
+  Stopwatch sw;
+  for (uint64_t k : keys) tree.Insert(k, k);
+  double mops = static_cast<double>(n) / sw.ElapsedSeconds() / 1e6;
+  *allocations = scm::ThreadStats().allocations;
+  return mops;
+}
+
+template <typename TreeT>
+double FindMops(uint64_t n) {
+  ScopedPool pool(size_t{4} << 30);
+  TreeT tree(pool.get());
+  for (uint64_t k : ShuffledRange(n, 17)) tree.Insert(k, k);
+  auto probe = ShuffledRange(n, 18);
+  Stopwatch sw;
+  uint64_t v;
+  for (uint64_t k : probe) tree.Find(k, &v);
+  return static_cast<double>(n) / sw.ElapsedSeconds() / 1e6;
+}
+
+double ConcurrentMixedMops(htm::Backend backend, uint64_t warm, uint64_t ops,
+                           uint32_t threads) {
+  ScopedPool pool(size_t{4} << 30);
+  core::ConcurrentFPTree<> tree(pool.get(), backend);
+  for (uint64_t k = 0; k < warm; ++k) tree.Insert(k, k);
+  SpinBarrier barrier(threads + 1);
+  ThreadGroup tg;
+  uint64_t per_thread = ops / threads;
+  tg.Spawn(threads, [&](uint32_t id) {
+    Random64 rng(id);
+    barrier.Wait();
+    for (uint64_t i = 0; i < per_thread; ++i) {
+      uint64_t v;
+      if (rng.Bernoulli(0.5)) {
+        tree.Find(rng.Uniform(warm), &v);
+      } else {
+        tree.Insert(warm + id * per_thread + i, i);
+      }
+    }
+    barrier.Wait();
+  });
+  barrier.Wait();
+  Stopwatch sw;
+  barrier.Wait();
+  double mops =
+      static_cast<double>(per_thread * threads) / sw.ElapsedSeconds() / 1e6;
+  tg.Join();
+  return mops;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  using namespace fptree::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  scm::LatencyModel::Calibrate();
+  uint64_t n = flags.quick ? 50000 : flags.keys;
+  SetLatency(flags.latency != 0 ? flags.latency : 450);
+
+  PrintHeader("Ablation 1: fingerprints (FPTree vs PTree, find Mops/s)");
+  std::printf("  with fingerprints   : %7.2f\n",
+              FindMops<core::FPTree<>>(n));
+  std::printf("  without (PTree)     : %7.2f\n", FindMops<core::PTree<>>(n));
+
+  PrintHeader("Ablation 2: leaf groups (insert Mops/s, persistent allocs)");
+  uint64_t alloc_g = 0, alloc_ng = 0;
+  double with_groups = InsertMops<core::FPTree<>>(n, &alloc_g);
+  double without = InsertMops<core::FPTree<uint64_t, 56, 4096, false>>(
+      n, &alloc_ng);
+  std::printf("  with leaf groups    : %7.2f Mops/s, %8llu allocations\n",
+              with_groups, static_cast<unsigned long long>(alloc_g));
+  std::printf("  without             : %7.2f Mops/s, %8llu allocations\n",
+              without, static_cast<unsigned long long>(alloc_ng));
+
+  PrintHeader("Ablation 3: HTM backend (concurrent mixed Mops/s)");
+  uint32_t threads =
+      flags.threads != 0 ? flags.threads : std::thread::hardware_concurrency();
+  SetLatency(90);
+  std::printf("  TL2 (speculative)   : %7.2f  (%u threads)\n",
+              ConcurrentMixedMops(htm::Backend::kTl2, n, n, threads),
+              threads);
+  std::printf("  global lock         : %7.2f  (%u threads)\n",
+              ConcurrentMixedMops(htm::Backend::kGlobalLock, n, n, threads),
+              threads);
+  scm::LatencyModel::Disable();
+  return 0;
+}

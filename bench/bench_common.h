@@ -1,0 +1,121 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Shared benchmark scaffolding: flag parsing, pool lifecycle, timing
+// helpers and row printing. Every bench binary reproduces one table or
+// figure of the paper (see DESIGN.md §3) and prints the same series the
+// paper plots. Scale knobs: --keys=N --ops=N --threads=N --latency=NS.
+
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scm/latency.h"
+#include "scm/pool.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace bench {
+
+struct Flags {
+  uint64_t keys = 100000;
+  uint64_t ops = 100000;
+  uint32_t threads = 0;  // 0 = sweep
+  uint64_t latency = 0;  // 0 = sweep
+  bool restart = false;
+  bool quick = false;
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--keys=", 7) == 0) f.keys = std::strtoull(a + 7, nullptr, 10);
+      if (std::strncmp(a, "--ops=", 6) == 0) f.ops = std::strtoull(a + 6, nullptr, 10);
+      if (std::strncmp(a, "--threads=", 10) == 0) f.threads = std::strtoul(a + 10, nullptr, 10);
+      if (std::strncmp(a, "--latency=", 10) == 0) f.latency = std::strtoull(a + 10, nullptr, 10);
+      if (std::strcmp(a, "--restart") == 0) f.restart = true;
+      if (std::strcmp(a, "--quick") == 0) f.quick = true;
+    }
+    return f;
+  }
+};
+
+/// Fresh pool for one tree instance; destroyed (file removed) on scope end.
+class ScopedPool {
+ public:
+  explicit ScopedPool(size_t size = size_t{2} << 30, uint64_t id = 1)
+      : path_("/tmp/fptree_bench_" + std::to_string(::getpid()) + "_" +
+              std::to_string(id) + "_" + std::to_string(counter_++)) {
+    scm::Pool::Destroy(path_).ok();
+    scm::Pool::Options opts{.size = size, .randomize_base = false};
+    Status s = scm::Pool::Create(path_, id, opts, &pool_);
+    if (!s.ok()) {
+      std::fprintf(stderr, "pool create failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  /// Closes and reopens the pool (randomized base), e.g. to time recovery.
+  void Reopen() {
+    uint64_t id = pool_->id();
+    pool_.reset();
+    scm::Pool::Options opts{.size = 0, .randomize_base = true};
+    Status s = scm::Pool::Open(path_, id, opts, &pool_);
+    if (!s.ok()) {
+      std::fprintf(stderr, "pool reopen failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  ~ScopedPool() {
+    pool_.reset();
+    scm::Pool::Destroy(path_).ok();
+  }
+
+  scm::Pool* get() { return pool_.get(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+  std::unique_ptr<scm::Pool> pool_;
+};
+
+inline void SetLatency(uint64_t ns) {
+  scm::LatencyModel::Config().dram_ns = 90;
+  scm::LatencyModel::SetScmLatency(ns);
+}
+
+inline std::string MakeVarKey(uint64_t i) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(i));
+  return std::string(buf, 16);
+}
+
+/// Prevents the optimizer from discarding a benchmarked computation.
+template <typename T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+m"(value) : : "memory");
+}
+
+/// Runs fn over n items and returns average ns/op.
+template <typename Fn>
+double TimeOps(uint64_t n, Fn fn) {
+  Stopwatch sw;
+  for (uint64_t i = 0; i < n; ++i) fn(i);
+  return static_cast<double>(sw.ElapsedNanos()) / static_cast<double>(n);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace bench
+}  // namespace fptree

@@ -1,0 +1,98 @@
+// Figure 12: (a) TATP read-only throughput of the prototype database with
+// each tree as dictionary/lookup index, vs SCM latency; (b) database
+// restart time (--restart): sanity-check SCM columns + rebuild DRAM data,
+// where persistent trees recover and the STXTree is fully rebuilt.
+
+#include <cstdio>
+
+#include "apps/minidb/minidb.h"
+#include "apps/minidb/tatp.h"
+#include "bench_common.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+struct DbRun {
+  double tx_per_sec = 0;
+  double restart_ms = 0;
+};
+
+DbRun RunDb(const std::string& kind, uint64_t subscribers, uint64_t n_tx,
+            uint32_t clients, bool restart) {
+  ScopedPool data_pool(size_t{4} << 30, 1);
+  ScopedPool index_pool(size_t{4} << 30, 2);
+  apps::MiniDb::Options options;
+  options.index_kind = kind;
+  options.subscribers = subscribers;
+  DbRun out;
+  {
+    bool needs_load = false;
+    apps::MiniDb db(data_pool.get(), index_pool.get(), options, &needs_load);
+    if (needs_load) db.Load();
+    apps::TatpWorkload workload(&db);
+    out.tx_per_sec = workload.Run(n_tx, clients).TxPerSecond();
+  }
+  if (restart) {
+    data_pool.Reopen();
+    index_pool.Reopen();
+    Stopwatch sw;
+    bool needs_load = false;
+    apps::MiniDb db(data_pool.get(), index_pool.get(), options, &needs_load);
+    db.SanityCheckColumns();
+    out.restart_ms = sw.ElapsedMillis();
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  using namespace fptree::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  scm::LatencyModel::Calibrate();
+
+  uint64_t subs = flags.quick ? 20000 : flags.keys / 2;
+  uint64_t n_tx = flags.quick ? 100000 : flags.ops * 2;
+  uint32_t clients = flags.threads != 0 ? flags.threads : 8;
+
+  PrintHeader("Figure 12: TATP on the prototype DB (read-only queries)");
+  std::printf("%llu subscribers, %llu transactions, %u clients\n",
+              static_cast<unsigned long long>(subs),
+              static_cast<unsigned long long>(n_tx), clients);
+  std::printf("%8s %-10s %14s", "lat(ns)", "index", "tx/s");
+  if (flags.restart) std::printf(" %14s", "restart(ms)");
+  std::printf("\n");
+
+  const char* kinds[] = {"fptree", "ptree", "nvtree", "wbtree", "stx"};
+  std::vector<uint64_t> latencies =
+      flags.latency != 0 ? std::vector<uint64_t>{flags.latency}
+                         : std::vector<uint64_t>{160, 450, 650};
+  double stx_base = 0;
+  for (uint64_t lat : latencies) {
+    for (const char* kind : kinds) {
+      SetLatency(lat);
+      DbRun r = RunDb(kind, subs, n_tx, clients, flags.restart);
+      scm::LatencyModel::Disable();
+      std::printf("%8llu %-10s %14.0f",
+                  static_cast<unsigned long long>(lat), kind, r.tx_per_sec);
+      if (flags.restart) std::printf(" %14.2f", r.restart_ms);
+      if (std::string(kind) == "stx") {
+        stx_base = r.tx_per_sec;
+      } else if (stx_base > 0) {
+        // overhead vs transient STXTree printed after its row appears
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape (Fig. 12a): FPTree within ~9-13%% of the transient "
+      "STXTree; PTree ~17%%;\nNV-Tree and wBTree 24-52%% behind. (12b with "
+      "--restart): persistent trees restart 8-40x\nfaster than the full "
+      "STX rebuild; wBTree near-instant index recovery.\n");
+  return 0;
+}

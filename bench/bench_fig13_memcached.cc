@@ -1,0 +1,119 @@
+// Figure 13: memcached-like cache throughput for SET and GET request
+// streams (mc-benchmark analog: N SETs then N GETs from many client
+// threads), with the internal hash table replaced by each tree, at two SCM
+// latencies (85/145 ns — the paper's local/remote-socket emulation). The
+// shared-link throttle reproduces the "network-bound" ceiling: concurrent
+// indexes saturate it, single-threaded trees bottleneck below it.
+
+#include <cstdio>
+#include <thread>
+
+#include "apps/kvcache/kvcache.h"
+#include "bench_common.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+struct CacheRun {
+  double set_kops = 0;
+  double get_kops = 0;
+};
+
+CacheRun RunCache(const std::string& kind, uint64_t n_keys,
+                  uint32_t clients, uint64_t network_ns) {
+  ScopedPool pool(size_t{4} << 30);
+  auto idx = index::MakeVarIndex(kind, pool.get(), /*locked=*/true);
+  if (idx == nullptr) return {};
+  apps::KVCache::Options options;
+  options.network_ns_per_request = network_ns;
+  apps::KVCache cache(std::move(idx), options);
+
+  CacheRun out;
+  uint64_t per_client = n_keys / clients;
+  {
+    SpinBarrier barrier(clients + 1);
+    ThreadGroup tg;
+    tg.Spawn(clients, [&](uint32_t id) {
+      barrier.Wait();
+      for (uint64_t i = 0; i < per_client; ++i) {
+        cache.Set(MakeVarKey(id * per_client + i), i);
+      }
+      barrier.Wait();
+    });
+    barrier.Wait();
+    Stopwatch sw;
+    barrier.Wait();
+    out.set_kops =
+        static_cast<double>(per_client * clients) / sw.ElapsedSeconds() / 1e3;
+    tg.Join();
+  }
+  {
+    SpinBarrier barrier(clients + 1);
+    ThreadGroup tg;
+    tg.Spawn(clients, [&](uint32_t id) {
+      Random64 rng(id);
+      barrier.Wait();
+      for (uint64_t i = 0; i < per_client; ++i) {
+        uint64_t v;
+        cache.Get(MakeVarKey(rng.Uniform(n_keys)), &v);
+      }
+      barrier.Wait();
+    });
+    barrier.Wait();
+    Stopwatch sw;
+    barrier.Wait();
+    out.get_kops =
+        static_cast<double>(per_client * clients) / sw.ElapsedSeconds() / 1e3;
+    tg.Join();
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  using namespace fptree::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  scm::LatencyModel::Calibrate();
+
+  uint64_t n = flags.quick ? 100000 : flags.keys;
+  uint32_t clients =
+      flags.threads != 0
+          ? flags.threads
+          : std::min(16u, std::max(4u, std::thread::hardware_concurrency()));
+  // Shared-link cost: the paper's 940 Mbit/s with ~small requests caps the
+  // server around 10^5-level request rates; 5 µs/request models that.
+  uint64_t network_ns = 5000;
+
+  PrintHeader("Figure 13: memcached-like cache, SET/GET throughput (Kops)");
+  std::printf("%llu keys, %u clients, %llu ns/request network model\n",
+              static_cast<unsigned long long>(n), clients,
+              static_cast<unsigned long long>(network_ns));
+  std::printf("%8s %-14s %12s %12s\n", "lat(ns)", "index", "SET Kops",
+              "GET Kops");
+
+  const char* kinds[] = {"fptree-c-var", "fptree-var", "ptree-var",
+                         "stx-var", "hashmap"};
+  for (uint64_t lat : {uint64_t{85}, uint64_t{145}}) {
+    for (const char* kind : kinds) {
+      scm::LatencyModel::Config().dram_ns = 85;
+      scm::LatencyModel::SetScmLatency(lat);
+      CacheRun r = RunCache(kind, n, clients, network_ns);
+      scm::LatencyModel::Disable();
+      std::printf("%8llu %-14s %12.1f %12.1f\n",
+                  static_cast<unsigned long long>(lat), kind, r.set_kops,
+                  r.get_kops);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: the concurrent FPTree (and vanilla hash map) saturate "
+      "the network at both\nlatencies (<2%% overhead); single-threaded "
+      "trees fall short on SETs, and further at 145 ns.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 4: expected number of in-leaf key probes during a successful
+// search, vs the number of leaf entries m — the paper's analytic curves for
+// FPTree (fingerprints), wBTree (binary search, log2 m) and NV-Tree
+// (reverse linear scan, (m+1)/2) — validated against empirically measured
+// probe counters from the actual implementations.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/nvtree.h"
+#include "baselines/wbtree.h"
+#include "bench_common.h"
+#include "core/fptree.h"
+#include "util/hash.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+// Paper §4.2, closed form: E[T] = (1 + m / (n (1 - ((n-1)/n)^m))) / 2.
+double FPTreeExpectedProbes(double m) {
+  const double n = 256.0;
+  return 0.5 * (1.0 + m / (n * (1.0 - std::pow((n - 1.0) / n, m))));
+}
+
+double WBTreeExpectedProbes(double m) { return std::log2(m); }
+double NVTreeExpectedProbes(double m) { return (m + 1.0) / 2.0; }
+
+// Empirical probes/find for a tree filled to ~m entries per leaf.
+template <typename TreeT>
+double MeasureProbes(uint64_t keys) {
+  ScopedPool pool(size_t{1} << 30);
+  TreeT tree(pool.get());
+  for (uint64_t k = 0; k < keys; ++k) {
+    tree.Insert(Mix64(k), k);
+  }
+  tree.stats().Clear();
+  uint64_t v;
+  for (uint64_t k = 0; k < keys; ++k) {
+    tree.Find(Mix64(k), &v);
+  }
+  return static_cast<double>(tree.stats().key_probes) /
+         static_cast<double>(keys);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  using namespace fptree::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  scm::LatencyModel::Disable();
+
+  PrintHeader("Figure 4: expected in-leaf key probes vs leaf entries m");
+  std::printf("%8s %10s %10s %10s   (analytic, paper formulas)\n", "m",
+              "FPTree", "wBTree", "NV-Tree");
+  for (int m = 4; m <= 256; m *= 2) {
+    std::printf("%8d %10.2f %10.2f %10.2f\n", m, FPTreeExpectedProbes(m),
+                WBTreeExpectedProbes(m), NVTreeExpectedProbes(m));
+  }
+
+  uint64_t keys = flags.quick ? 20000 : flags.keys;
+  std::printf(
+      "\n%8s %12s %12s %12s   (measured probes/success, %llu keys)\n",
+      "leafcap", "FPTree", "wBTree", "NV-Tree",
+      static_cast<unsigned long long>(keys));
+  {
+    double fp8 = MeasureProbes<core::FPTree<uint64_t, 8, 128>>(keys);
+    double wb8 = MeasureProbes<baselines::WBTree<uint64_t, 8, 32>>(keys);
+    double nv8 = MeasureProbes<baselines::NVTree<uint64_t, 8, 64, 128>>(keys);
+    std::printf("%8d %12.2f %12.2f %12.2f\n", 8, fp8, wb8, nv8);
+  }
+  {
+    double fp = MeasureProbes<core::FPTree<uint64_t, 32, 128>>(keys);
+    double wb = MeasureProbes<baselines::WBTree<uint64_t, 32, 32>>(keys);
+    double nv =
+        MeasureProbes<baselines::NVTree<uint64_t, 32, 64, 128>>(keys);
+    std::printf("%8d %12.2f %12.2f %12.2f\n", 32, fp, wb, nv);
+  }
+  {
+    double fp = MeasureProbes<core::FPTree<uint64_t, 64, 128>>(keys);
+    double wb = MeasureProbes<baselines::WBTree<uint64_t, 64, 32>>(keys);
+    double nv =
+        MeasureProbes<baselines::NVTree<uint64_t, 64, 64, 128>>(keys);
+    std::printf("%8d %12.2f %12.2f %12.2f\n", 64, fp, wb, nv);
+  }
+  std::printf(
+      "\nPaper: for m = 32 the FPTree needs ~1 probe, the wBTree 5, the "
+      "NV-Tree 16.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 7(e,f,k,l): recovery time vs tree size at SCM latency 90 ns and
+// 650 ns. The persistent hybrid trees rebuild only their DRAM inner nodes
+// from the leaves; the wBTree (fully in SCM) recovers in ~constant time;
+// the STXTree must be fully rebuilt from primary data. Leaf groups give
+// the FPTree better locality than the PTree during the leaf walk, and the
+// NV-Tree pays for its sparse rebuild — the orderings the paper reports.
+
+#include <cstdio>
+
+#include "baselines/nvtree.h"
+#include "baselines/stxtree.h"
+#include "baselines/wbtree.h"
+#include "bench_common.h"
+#include "core/fptree.h"
+#include "core/ptree.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+template <typename TreeT>
+double RecoveryMs(uint64_t n) {
+  ScopedPool pool(size_t{4} << 30);
+  {
+    TreeT tree(pool.get());
+    for (uint64_t k : ShuffledRange(n, 11)) tree.Insert(k, k);
+  }
+  pool.Reopen();
+  TreeT recovered(pool.get());
+  double ms = static_cast<double>(recovered.last_recovery_nanos()) / 1e6;
+  uint64_t v;
+  if (!recovered.Find(n / 2, &v)) {
+    std::fprintf(stderr, "recovery dropped a key!\n");
+  }
+  return ms;
+}
+
+double StxRebuildMs(uint64_t n) {
+  // The transient tree's restart story: primary data lives in SCM, and
+  // the index must be rebuilt from it — every key-value is read from SCM
+  // (charged) and re-inserted. (The paper's Fig. 7e/f compares recovery
+  // against exactly this "full rebuild".)
+  ScopedPool pool(size_t{4} << 30);
+  scm::VoidPPtr* anchor = &pool.get()->header()->root;
+  Status s = pool.get()->allocator()->Allocate(anchor, n * 16);
+  if (!s.ok()) std::abort();
+  uint64_t* data = static_cast<uint64_t*>(anchor->get());
+  for (uint64_t k = 0; k < n; ++k) {
+    data[2 * k] = k;
+    data[2 * k + 1] = k;
+  }
+  scm::ThreadScmCache::Clear();
+
+  baselines::STXTree<> tree;
+  Stopwatch sw;
+  for (uint64_t k = 0; k < n; ++k) {
+    scm::ReadScm(&data[2 * k], 16);
+    tree.Insert(data[2 * k], data[2 * k + 1]);
+  }
+  return sw.ElapsedMillis();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  using namespace fptree::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  scm::LatencyModel::Calibrate();
+
+  PrintHeader("Figure 7(e,f): recovery time [ms] vs tree size");
+  std::printf("%8s %10s %12s %12s %12s %12s %12s %12s\n", "lat(ns)", "size",
+              "FPTree", "FPTr-noGrp", "PTree", "NV-Tree", "wBTree",
+              "STX-rebuild");
+  std::vector<uint64_t> sizes = flags.quick
+                                    ? std::vector<uint64_t>{10000, 100000}
+                                    : std::vector<uint64_t>{10000, 100000,
+                                                            flags.keys * 5};
+  for (uint64_t lat : {uint64_t{90}, uint64_t{650}}) {
+    for (uint64_t n : sizes) {
+      SetLatency(lat);
+      double fp = RecoveryMs<core::FPTree<>>(n);
+      double fpng = RecoveryMs<core::FPTree<uint64_t, 56, 4096, false>>(n);
+      double pt = RecoveryMs<core::PTree<>>(n);
+      double nv = RecoveryMs<baselines::NVTree<>>(n);
+      double wb = RecoveryMs<baselines::WBTree<>>(n);
+      double stx = StxRebuildMs(n);
+      scm::LatencyModel::Disable();
+      std::printf("%8llu %10llu %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f\n",
+                  static_cast<unsigned long long>(lat),
+                  static_cast<unsigned long long>(n), fp, fpng, pt, nv, wb,
+                  stx);
+    }
+  }
+  std::printf(
+      "\nPaper shape: wBTree recovery ~constant (log replay only); FPTree "
+      "recovers faster than\nPTree (leaf-group locality) and much faster "
+      "than NV-Tree (sparse rebuild); all persistent\ntrees beat the full "
+      "STX rebuild by a growing factor as size increases.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Figures 9, 10, 11: concurrency scaling of the FPTreeC (and FPTreeCVar)
+// under Find / Insert / Update / Delete / Mixed(50/50) workloads, plus the
+// concurrent NV-Tree. Prints throughput (Mops/s) and speedup over one
+// thread per thread count.
+//
+//   default         = Fig. 9 (single "socket": up to hardware concurrency)
+//   --threads=N     = fixed width
+//   --latency=145   = Fig. 11 (higher SCM latency)
+// Fig. 10's two-socket sweep maps onto whatever width this machine offers.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "baselines/nvtree.h"
+#include "bench_common.h"
+#include "core/fptree_concurrent.h"
+#include "core/fptree_concurrent_var.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+enum class Op { kFind, kInsert, kUpdate, kDelete, kMixed };
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kFind:
+      return "Find";
+    case Op::kInsert:
+      return "Insert";
+    case Op::kUpdate:
+      return "Update";
+    case Op::kDelete:
+      return "Delete";
+    case Op::kMixed:
+      return "Mixed";
+  }
+  return "?";
+}
+
+// Runs `total_ops` of `op` over `threads` workers against a tree warmed
+// with `warm` keys [0, warm). Returns Mops/s.
+template <typename TreeT, typename KeyFn>
+double RunWorkload(TreeT* tree, Op op, uint64_t warm, uint64_t total_ops,
+                   uint32_t threads, KeyFn key_fn) {
+  SpinBarrier barrier(threads + 1);
+  ThreadGroup tg;
+  uint64_t per_thread = total_ops / threads;
+  tg.Spawn(threads, [&](uint32_t id) {
+    Random64 rng(id * 77 + 1);
+    barrier.Wait();
+    for (uint64_t i = 0; i < per_thread; ++i) {
+      uint64_t v;
+      switch (op) {
+        case Op::kFind:
+          tree->Find(key_fn(rng.Uniform(warm)), &v);
+          break;
+        case Op::kInsert:
+          tree->Insert(key_fn(warm + id * per_thread + i), i);
+          break;
+        case Op::kUpdate:
+          tree->Update(key_fn(rng.Uniform(warm)), i);
+          break;
+        case Op::kDelete:
+          // Each thread deletes its own shard of the warm range.
+          tree->Erase(key_fn(id * (warm / threads) + i % (warm / threads)));
+          break;
+        case Op::kMixed:
+          if (rng.Bernoulli(0.5)) {
+            tree->Find(key_fn(rng.Uniform(warm)), &v);
+          } else {
+            tree->Insert(key_fn(warm + id * per_thread + i), i);
+          }
+          break;
+      }
+    }
+    barrier.Wait();
+  });
+  barrier.Wait();
+  Stopwatch sw;
+  barrier.Wait();
+  double secs = sw.ElapsedSeconds();
+  tg.Join();
+  return static_cast<double>(per_thread * threads) / secs / 1e6;
+}
+
+template <typename TreeT, typename KeyFn>
+void Sweep(const char* name, const std::vector<uint32_t>& widths,
+           uint64_t warm, uint64_t ops, KeyFn key_fn) {
+  std::printf("\n-- %s --\n%8s", name, "threads");
+  for (Op op : {Op::kFind, Op::kInsert, Op::kUpdate, Op::kDelete, Op::kMixed})
+    std::printf(" %9s", OpName(op));
+  std::printf("   [Mops/s, speedup vs 1 thread in ()]\n");
+  double base[5] = {0, 0, 0, 0, 0};
+  for (uint32_t w : widths) {
+    std::printf("%8u", w);
+    int oi = 0;
+    for (Op op :
+         {Op::kFind, Op::kInsert, Op::kUpdate, Op::kDelete, Op::kMixed}) {
+      ScopedPool pool(size_t{4} << 30);
+      TreeT tree(pool.get());
+      for (uint64_t k = 0; k < warm; ++k) tree.Insert(key_fn(k), k);
+      double mops = RunWorkload(&tree, op, warm, ops, w, key_fn);
+      if (base[oi] == 0) base[oi] = mops;
+      std::printf(" %6.2f(%4.1f)", mops, mops / base[oi]);
+      ++oi;
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  using namespace fptree::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  scm::LatencyModel::Calibrate();
+  uint64_t lat = flags.latency != 0 ? flags.latency : 90;
+  SetLatency(lat);
+
+  uint32_t hw = std::thread::hardware_concurrency();
+  std::vector<uint32_t> widths;
+  if (flags.threads != 0) {
+    widths = {flags.threads};
+  } else if (hw <= 2) {
+    // Single/dual-core container: real scaling cannot manifest; sweep
+    // over-subscribed widths to show throughput *stability* (the paper's
+    // 45-88-thread observation). See EXPERIMENTS.md.
+    widths = {1, 2, 4};
+  } else {
+    for (uint32_t w = 1; w <= hw; w *= 2) widths.push_back(w);
+    if (widths.back() != hw) widths.push_back(hw);
+  }
+
+  uint64_t warm = flags.quick ? 100000 : flags.keys;
+  uint64_t ops = flags.quick ? 100000 : flags.ops;
+
+  PrintHeader("Figures 9/10/11: concurrent scaling");
+  std::printf("SCM latency %llu ns, warmup %llu keys, %llu ops/point, "
+              "hw threads %u\n",
+              static_cast<unsigned long long>(lat),
+              static_cast<unsigned long long>(warm),
+              static_cast<unsigned long long>(ops), hw);
+
+  Sweep<core::ConcurrentFPTree<>>("FPTreeC (fixed keys)", widths, warm, ops,
+                                  [](uint64_t k) { return k; });
+  Sweep<baselines::ConcurrentNVTree<>>("NV-TreeC (fixed keys)", widths, warm,
+                                       ops, [](uint64_t k) { return k; });
+  Sweep<core::ConcurrentFPTreeVar<>>("FPTreeCVar (16-byte string keys)",
+                                     widths, warm / 2, ops / 2,
+                                     [](uint64_t k) { return MakeVarKey(k); });
+
+  std::printf(
+      "\nPaper shape: FPTreeC scales near-linearly to physical cores "
+      "(18.3x at 22 threads in the\npaper) for every op; NV-TreeC scales "
+      "noticeably worse on writes (global rebuild latch).\n");
+  return 0;
+}

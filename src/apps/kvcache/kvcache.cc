@@ -1,0 +1,3 @@
+#include "apps/kvcache/kvcache.h"
+
+// Header-only implementation; this TU anchors the library target.

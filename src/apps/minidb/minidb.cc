@@ -1,0 +1,52 @@
+#include "apps/minidb/minidb.h"
+
+#include "util/random.h"
+
+namespace fptree {
+namespace apps {
+
+void MiniDb::Load() {
+  // Sequentially generated Subscriber ids — the TATP warm-up's "highly
+  // skewed insertion workload" the paper highlights as the NV-Tree's
+  // pathological case (§6.4).
+  Random64 rng(20160626);
+  const uint64_t n = options_.subscribers;
+  for (uint64_t s_id = 0; s_id < n; ++s_id) {
+    uint64_t rowid = sub_bit_->size();
+    sub_bit_->Append(rng.Uniform(2));
+    sub_msc_->Append(rng.Uniform(1 << 16));
+    sub_vlr_->Append(rng.Uniform(1 << 16));
+    bool ok = index_->Insert(s_id, rowid);
+    assert(ok);
+    (void)ok;
+
+    // 1..4 access-info rows per subscriber (TATP spec: 25% each count).
+    uint64_t n_ai = 1 + rng.Uniform(4);
+    for (uint64_t t = 0; t < n_ai; ++t) {
+      uint64_t ai_row = ai_data_->size();
+      ai_data_->Append(rng.Next() & 0xFFFFFFFF);
+      ai_key_->Append(s_id * 4 + t);
+      index_->Insert(kAccessBase + s_id * 4 + t, ai_row);
+    }
+    // 1..4 special-facility rows; each with 0..3 call forwardings.
+    uint64_t n_sf = 1 + rng.Uniform(4);
+    for (uint64_t t = 0; t < n_sf; ++t) {
+      uint64_t sf_row = sf_active_->size();
+      sf_active_->Append(rng.Bernoulli(0.85) ? 1 : 0);
+      sf_key_->Append(s_id * 4 + t);
+      index_->Insert(kSpecialBase + s_id * 4 + t, sf_row);
+      uint64_t n_cf = rng.Uniform(4);
+      for (uint64_t c = 0; c < n_cf; ++c) {
+        uint64_t start = 8 * c;  // 0, 8, 16 per TATP
+        uint64_t cf_row = cf_number_->size();
+        cf_number_->Append(rng.Next() & 0xFFFFFFFFFFFFULL);
+        cf_end_->Append(start + 1 + rng.Uniform(8));
+        cf_key_->Append((s_id * 4 + t) * 24 + start);
+        index_->Insert(kForwardBase + (s_id * 4 + t) * 24 + start, cf_row);
+      }
+    }
+  }
+}
+
+}  // namespace apps
+}  // namespace fptree

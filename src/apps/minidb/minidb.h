@@ -1,0 +1,270 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// A single-level prototype database (paper §6.4 "Database experiments"):
+// a dictionary-encoded, columnar storage engine whose primary data lives in
+// SCM and whose dictionary/lookup indexes are the trees under evaluation.
+// Restart consists of sanity-checking the SCM-resident columns and
+// rebuilding the DRAM-resident parts (inner nodes of the hybrid trees) —
+// parallelized across tables, as the paper parallelizes recovery over
+// 8 cores.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "scm/latency.h"
+#include "scm/pmem.h"
+#include "scm/pool.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace apps {
+
+/// \brief A fixed-width column persisted in SCM.
+///
+/// Values are appended at load time; reads charge the SCM latency model
+/// (the paper observes DB throughput drops with SCM latency because "other
+/// database data structures [are] placed in SCM").
+class PColumn {
+ public:
+  PColumn(scm::Pool* pool, scm::VoidPPtr* anchor, uint64_t capacity)
+      : pool_(pool), capacity_(capacity) {
+    if (anchor->IsNull()) {
+      Status s = pool->allocator()->Allocate(anchor, capacity * 8 + 8);
+      assert(s.ok());
+      (void)s;
+      base_ = static_cast<uint64_t*>(anchor->get());
+      scm::pmem::StorePersist(&base_[0], uint64_t{0});  // row count
+    } else {
+      base_ = static_cast<uint64_t*>(anchor->get());
+    }
+  }
+
+  uint64_t size() const { return base_[0]; }
+
+  void Append(uint64_t v) {
+    uint64_t n = base_[0];
+    assert(n < capacity_);
+    scm::pmem::Store(&base_[1 + n], v);
+    scm::pmem::Persist(&base_[1 + n]);
+    scm::pmem::StorePersist(&base_[0], n + 1);
+  }
+
+  uint64_t Get(uint64_t row) const {
+    scm::ReadScm(&base_[1 + row], 8);
+    return base_[1 + row];
+  }
+
+  /// Recovery sanity walk: touches every value (contributes the SCM-bound
+  /// portion of the restart time).
+  uint64_t CheckSum() const {
+    uint64_t n = size();
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      scm::ReadScm(&base_[1 + i], 8);
+      sum += base_[1 + i];
+    }
+    return sum;
+  }
+
+ private:
+  scm::Pool* pool_;
+  uint64_t capacity_;
+  uint64_t* base_;
+};
+
+/// \brief The TATP subset schema the read-only queries touch.
+///
+/// Indexes (the trees under test) map encoded keys to row ids:
+///   subscriber_idx:  s_id                          -> subscriber row
+///   access_idx:      s_id * 4 + ai_type            -> access_info row
+///   special_idx:     s_id * 4 + sf_type            -> special_facility row
+///   forwarding_idx:  (s_id*4 + sf_type)*24 + start -> call_forwarding row
+class MiniDb {
+ public:
+  struct Options {
+    std::string index_kind = "fptree";  ///< index::MakeFixedIndex name
+    uint64_t subscribers = 100000;
+  };
+
+  /// Anchor structure in the pool root.
+  struct PAnchor {
+    static constexpr uint64_t kMagic = 0xD1C7D8EE0001ULL;
+
+    uint64_t magic;
+    uint64_t subscribers;
+    scm::VoidPPtr sub_bit;       // subscriber: bit_1
+    scm::VoidPPtr sub_msc;       // subscriber: msc_location
+    scm::VoidPPtr sub_vlr;       // subscriber: vlr_location
+    scm::VoidPPtr ai_data;       // access_info: data1..4 packed
+    scm::VoidPPtr ai_key;        // access_info: encoded key (primary data)
+    scm::VoidPPtr sf_active;     // special_facility: is_active
+    scm::VoidPPtr sf_key;        // special_facility: encoded key
+    scm::VoidPPtr cf_number;     // call_forwarding: numberx (encoded)
+    scm::VoidPPtr cf_end;        // call_forwarding: end_time
+    scm::VoidPPtr cf_key;        // call_forwarding: encoded key
+  };
+
+  /// Opens (or creates) the database in `data_pool`; the index lives in
+  /// `index_pool`. `loaded` reports whether data must be Load()ed.
+  MiniDb(scm::Pool* data_pool, scm::Pool* index_pool, const Options& options,
+         bool* needs_load)
+      : options_(options), data_pool_(data_pool) {
+    uint64_t t0 = NowNanos();
+    bool fresh = data_pool->root().IsNull();
+    if (fresh) {
+      Status s = data_pool->allocator()->Allocate(&data_pool->header()->root,
+                                                  sizeof(PAnchor));
+      assert(s.ok());
+      (void)s;
+      anchor_ = static_cast<PAnchor*>(data_pool->root().get());
+      PAnchor zero{};
+      zero.magic = PAnchor::kMagic;
+      zero.subscribers = options.subscribers;
+      scm::pmem::StoreBytes(anchor_, &zero, sizeof(zero));
+      scm::pmem::Persist(anchor_, sizeof(*anchor_));
+    } else {
+      anchor_ = static_cast<PAnchor*>(data_pool->root().get());
+      assert(anchor_->magic == PAnchor::kMagic);
+      options_.subscribers = anchor_->subscribers;
+    }
+    uint64_t n = options_.subscribers;
+    sub_bit_ = std::make_unique<PColumn>(data_pool, &anchor_->sub_bit, n);
+    sub_msc_ = std::make_unique<PColumn>(data_pool, &anchor_->sub_msc, n);
+    sub_vlr_ = std::make_unique<PColumn>(data_pool, &anchor_->sub_vlr, n);
+    ai_data_ =
+        std::make_unique<PColumn>(data_pool, &anchor_->ai_data, n * 4);
+    ai_key_ = std::make_unique<PColumn>(data_pool, &anchor_->ai_key, n * 4);
+    sf_active_ =
+        std::make_unique<PColumn>(data_pool, &anchor_->sf_active, n * 4);
+    sf_key_ = std::make_unique<PColumn>(data_pool, &anchor_->sf_key, n * 4);
+    cf_number_ =
+        std::make_unique<PColumn>(data_pool, &anchor_->cf_number, n * 12);
+    cf_end_ =
+        std::make_unique<PColumn>(data_pool, &anchor_->cf_end, n * 12);
+    cf_key_ = std::make_unique<PColumn>(data_pool, &anchor_->cf_key, n * 12);
+
+    // The index tree attaches to its own pool (recovering if it exists).
+    index_ = index::MakeFixedIndex(options_.index_kind, index_pool,
+                                   /*locked=*/true);
+    assert(index_ != nullptr);
+
+    // A transient index (or one whose pool was lost) is rebuilt from the
+    // SCM-resident primary data — the "full rebuild" the paper's restart
+    // experiment charges the STXTree with (Fig. 12b).
+    if (!fresh && index_->Size() == 0 && sub_bit_->size() > 0) {
+      RebuildIndexFromColumns();
+    }
+
+    *needs_load = fresh;
+    restart_nanos_ = NowNanos() - t0;
+  }
+
+  /// Re-derives every index entry from the key columns.
+  void RebuildIndexFromColumns() {
+    for (uint64_t r = 0; r < sub_bit_->size(); ++r) {
+      index_->Insert(r, r);  // subscriber s_id == row id by construction
+    }
+    for (uint64_t r = 0; r < ai_key_->size(); ++r) {
+      index_->Insert(kAccessBase + ai_key_->Get(r), r);
+    }
+    for (uint64_t r = 0; r < sf_key_->size(); ++r) {
+      index_->Insert(kSpecialBase + sf_key_->Get(r), r);
+    }
+    for (uint64_t r = 0; r < cf_key_->size(); ++r) {
+      index_->Insert(kForwardBase + cf_key_->Get(r), r);
+    }
+  }
+
+  /// Restart-time sanity walk over the SCM columns (run in parallel by the
+  /// restart benchmark); returns a checksum.
+  uint64_t SanityCheckColumns() {
+    return sub_bit_->CheckSum() + sub_msc_->CheckSum() +
+           sub_vlr_->CheckSum() + ai_data_->CheckSum() +
+           ai_key_->CheckSum() + sf_active_->CheckSum() +
+           sf_key_->CheckSum() + cf_number_->CheckSum() +
+           cf_end_->CheckSum() + cf_key_->CheckSum();
+  }
+
+  index::KVIndex* index() { return index_.get(); }
+  uint64_t subscribers() const { return options_.subscribers; }
+  uint64_t restart_nanos() const { return restart_nanos_; }
+
+  // --- Load (warm-up; sequential Subscriber ids — the highly skewed
+  // insertion pattern §6.4 describes) -------------------------------------
+
+  void Load();
+
+  // --- TATP read-only queries ---------------------------------------------
+
+  struct SubscriberRow {
+    uint64_t bit_1;
+    uint64_t msc_location;
+    uint64_t vlr_location;
+  };
+
+  /// GET_SUBSCRIBER_DATA.
+  bool GetSubscriberData(uint64_t s_id, SubscriberRow* row) {
+    uint64_t rowid;
+    if (!index_->Find(s_id, &rowid)) return false;
+    row->bit_1 = sub_bit_->Get(rowid);
+    row->msc_location = sub_msc_->Get(rowid);
+    row->vlr_location = sub_vlr_->Get(rowid);
+    return true;
+  }
+
+  /// GET_ACCESS_DATA.
+  bool GetAccessData(uint64_t s_id, uint64_t ai_type, uint64_t* data) {
+    uint64_t rowid;
+    if (!index_->Find(kAccessBase + s_id * 4 + ai_type, &rowid)) return false;
+    *data = ai_data_->Get(rowid);
+    return true;
+  }
+
+  /// GET_NEW_DESTINATION.
+  bool GetNewDestination(uint64_t s_id, uint64_t sf_type, uint64_t start,
+                         uint64_t end, uint64_t* number) {
+    uint64_t sf_row;
+    if (!index_->Find(kSpecialBase + s_id * 4 + sf_type, &sf_row)) {
+      return false;
+    }
+    if (sf_active_->Get(sf_row) == 0) return false;
+    // Call-forwarding rows keyed by start_time in {0, 8, 16}.
+    for (uint64_t st = 0; st <= start; st += 8) {
+      uint64_t cf_row;
+      if (!index_->Find(kForwardBase + (s_id * 4 + sf_type) * 24 + st,
+                        &cf_row)) {
+        continue;
+      }
+      if (st <= start && cf_end_->Get(cf_row) > end) {
+        *number = cf_number_->Get(cf_row);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static constexpr uint64_t kAccessBase = 1ULL << 40;
+  static constexpr uint64_t kSpecialBase = 2ULL << 40;
+  static constexpr uint64_t kForwardBase = 4ULL << 40;
+
+ private:
+  Options options_;
+  scm::Pool* data_pool_;
+  PAnchor* anchor_ = nullptr;
+  std::unique_ptr<PColumn> sub_bit_, sub_msc_, sub_vlr_;
+  std::unique_ptr<PColumn> ai_data_, ai_key_;
+  std::unique_ptr<PColumn> sf_active_, sf_key_;
+  std::unique_ptr<PColumn> cf_number_, cf_end_, cf_key_;
+  std::unique_ptr<index::KVIndex> index_;
+  uint64_t restart_nanos_ = 0;
+};
+
+}  // namespace apps
+}  // namespace fptree

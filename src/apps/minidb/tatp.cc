@@ -1,0 +1,54 @@
+#include "apps/minidb/tatp.h"
+
+#include <atomic>
+
+#include "util/random.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace apps {
+
+TatpResult TatpWorkload::Run(uint64_t n_tx, uint32_t clients) {
+  std::atomic<uint64_t> hits{0};
+  const uint64_t n_sub = db_->subscribers();
+  const uint64_t per_client = n_tx / clients;
+  SpinBarrier barrier(clients + 1);
+  ThreadGroup tg;
+  tg.Spawn(clients, [&](uint32_t id) {
+    Random64 rng(id * 104729 + 7);
+    uint64_t local_hits = 0;
+    barrier.Wait();
+    for (uint64_t i = 0; i < per_client; ++i) {
+      uint64_t s_id = rng.Uniform(n_sub);
+      uint64_t pick = rng.Uniform(80);  // 35/10/35 mix
+      if (pick < 35) {
+        MiniDb::SubscriberRow row;
+        local_hits += db_->GetSubscriberData(s_id, &row);
+      } else if (pick < 45) {
+        uint64_t number;
+        local_hits += db_->GetNewDestination(s_id, rng.Uniform(4),
+                                             8 * rng.Uniform(3),
+                                             1 + rng.Uniform(24), &number);
+      } else {
+        uint64_t data;
+        local_hits += db_->GetAccessData(s_id, rng.Uniform(4), &data);
+      }
+    }
+    hits.fetch_add(local_hits, std::memory_order_relaxed);
+    barrier.Wait();
+  });
+
+  barrier.Wait();  // release the clients
+  Stopwatch sw;
+  barrier.Wait();  // all clients done
+  TatpResult result;
+  result.seconds = sw.ElapsedSeconds();
+  result.transactions = per_client * clients;
+  result.hits = hits.load();
+  tg.Join();
+  return result;
+}
+
+}  // namespace apps
+}  // namespace fptree

@@ -1,0 +1,39 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// TATP benchmark driver (read-only query subset, paper §6.4): the standard
+// mix normalized over its three read-only transactions —
+// GET_SUBSCRIBER_DATA (35%), GET_NEW_DESTINATION (10%), GET_ACCESS_DATA
+// (35%) — i.e. 43.75% / 12.5% / 43.75% of the read-only stream.
+
+#pragma once
+
+#include <cstdint>
+
+#include "apps/minidb/minidb.h"
+
+namespace fptree {
+namespace apps {
+
+struct TatpResult {
+  uint64_t transactions = 0;
+  uint64_t hits = 0;
+  double seconds = 0;
+
+  double TxPerSecond() const {
+    return seconds == 0 ? 0 : static_cast<double>(transactions) / seconds;
+  }
+};
+
+class TatpWorkload {
+ public:
+  explicit TatpWorkload(MiniDb* db) : db_(db) {}
+
+  /// Runs `n_tx` read-only transactions over `clients` threads.
+  TatpResult Run(uint64_t n_tx, uint32_t clients);
+
+ private:
+  MiniDb* db_;
+};
+
+}  // namespace apps
+}  // namespace fptree

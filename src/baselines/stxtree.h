@@ -1,0 +1,257 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// STXTree: our stand-in for the open-source STX B+-Tree the paper uses as
+// its fully transient DRAM reference (§6.1). A classical main-memory
+// B+-Tree: sorted inner nodes, sorted leaf nodes with binary search,
+// linked leaves for range scans. Entirely in DRAM — no persistence, no
+// crash consistency, rebuilt from primary data after a restart (which is
+// exactly the recovery cost Fig. 7e/f and Fig. 12b compare against).
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/inner_index.h"
+
+namespace fptree {
+namespace baselines {
+
+/// \brief Transient B+-Tree. Default node sizes follow the paper's tuning
+/// (Table 1: inner 16, leaf 16 for the STXTree).
+template <typename Key = uint64_t, typename Value = uint64_t,
+          size_t kLeafCap = 16, size_t kInnerCap = 16>
+class STXTree {
+ public:
+  struct LeafNode {
+    uint32_t n = 0;
+    LeafNode* next = nullptr;
+    Key keys[kLeafCap];
+    Value values[kLeafCap];
+  };
+
+  STXTree() {
+    head_ = new LeafNode();
+    ++leaf_count_;
+    inner_.InitSingleLeaf(head_);
+  }
+
+  ~STXTree() {
+    LeafNode* l = head_;
+    while (l != nullptr) {
+      LeafNode* next = l->next;
+      delete l;
+      l = next;
+    }
+  }
+
+  STXTree(const STXTree&) = delete;
+  STXTree& operator=(const STXTree&) = delete;
+
+  bool Find(const Key& key, Value* value) const {
+    typename Inner::Path path;
+    LeafNode* leaf = static_cast<LeafNode*>(inner_.FindLeaf(key, &path));
+    int slot = Search(leaf, key);
+    if (slot < 0) return false;
+    *value = leaf->values[slot];
+    return true;
+  }
+
+  bool Insert(const Key& key, const Value& value) {
+    typename Inner::Path path;
+    LeafNode* leaf = static_cast<LeafNode*>(inner_.FindLeaf(key, &path));
+    if (Search(leaf, key) >= 0) return false;
+    if (leaf->n == kLeafCap) {
+      // Sorted split: upper half moves to the new right sibling.
+      LeafNode* right = new LeafNode();
+      ++leaf_count_;
+      uint32_t h = kLeafCap / 2;
+      right->n = kLeafCap - h;
+      std::copy(leaf->keys + h, leaf->keys + kLeafCap, right->keys);
+      std::copy(leaf->values + h, leaf->values + kLeafCap, right->values);
+      leaf->n = h;
+      right->next = leaf->next;
+      leaf->next = right;
+      Key split_key = leaf->keys[h - 1];
+      inner_.InsertSplit(path, split_key, right);
+      if (key > split_key) leaf = right;
+    }
+    InsertSorted(leaf, key, value);
+    ++size_;
+    return true;
+  }
+
+  bool Update(const Key& key, const Value& value) {
+    typename Inner::Path path;
+    LeafNode* leaf = static_cast<LeafNode*>(inner_.FindLeaf(key, &path));
+    int slot = Search(leaf, key);
+    if (slot < 0) return false;
+    leaf->values[slot] = value;
+    return true;
+  }
+
+  bool Erase(const Key& key) {
+    typename Inner::Path path;
+    LeafNode* leaf = static_cast<LeafNode*>(inner_.FindLeaf(key, &path));
+    int slot = Search(leaf, key);
+    if (slot < 0) return false;
+    // Sorted delete: shift down (the cost the paper notes makes STXTree
+    // deletes pricier than bitmap flips at low SCM latency).
+    std::copy(leaf->keys + slot + 1, leaf->keys + leaf->n, leaf->keys + slot);
+    std::copy(leaf->values + slot + 1, leaf->values + leaf->n,
+              leaf->values + slot);
+    --leaf->n;
+    --size_;
+    if (leaf->n == 0 && leaf != head_) {
+      LeafNode* prev = FindPrevLeaf(path);
+      if (prev != nullptr) prev->next = leaf->next;
+      inner_.RemoveLeaf(path);
+      delete leaf;
+      --leaf_count_;
+    } else if (leaf->n == 0 && leaf == head_ && leaf->next != nullptr) {
+      head_ = leaf->next;
+      inner_.RemoveLeaf(path);
+      delete leaf;
+      --leaf_count_;
+    }
+    return true;
+  }
+
+  void RangeScan(const Key& start, size_t limit,
+                 std::vector<std::pair<Key, Value>>* out) const {
+    out->clear();
+    typename Inner::Path path;
+    LeafNode* leaf = static_cast<LeafNode*>(inner_.FindLeaf(start, &path));
+    while (leaf != nullptr && out->size() < limit) {
+      uint32_t i = static_cast<uint32_t>(
+          std::lower_bound(leaf->keys, leaf->keys + leaf->n, start) -
+          leaf->keys);
+      for (; i < leaf->n && out->size() < limit; ++i) {
+        out->emplace_back(leaf->keys[i], leaf->values[i]);
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  size_t Size() const { return size_; }
+
+  uint64_t DramBytes() const {
+    return inner_.MemoryBytes() + leaf_count_ * sizeof(LeafNode);
+  }
+
+  /// Rebuilds the whole tree from sorted pairs; this is the "full rebuild"
+  /// whose time the paper compares recovery against (Fig. 7e/f).
+  void BulkLoad(const std::vector<std::pair<Key, Value>>& sorted) {
+    // Free the existing structure.
+    LeafNode* l = head_;
+    while (l != nullptr) {
+      LeafNode* next = l->next;
+      delete l;
+      l = next;
+    }
+    inner_.Clear();
+    leaf_count_ = 0;
+    size_ = sorted.size();
+
+    std::vector<std::pair<Key, void*>> level;
+    LeafNode* prev = nullptr;
+    size_t i = 0;
+    const size_t n = sorted.size();
+    head_ = nullptr;
+    while (i < n || head_ == nullptr) {
+      LeafNode* leaf = new LeafNode();
+      ++leaf_count_;
+      if (prev != nullptr) prev->next = leaf;
+      if (head_ == nullptr) head_ = leaf;
+      size_t take = std::min(n - i, kLeafCap);
+      for (size_t j = 0; j < take; ++j) {
+        leaf->keys[j] = sorted[i + j].first;
+        leaf->values[j] = sorted[i + j].second;
+      }
+      leaf->n = static_cast<uint32_t>(take);
+      if (take > 0) level.emplace_back(leaf->keys[take - 1], leaf);
+      prev = leaf;
+      i += take;
+      if (n == 0) break;
+    }
+    if (!level.empty()) {
+      inner_.BulkBuild(level);
+    } else {
+      inner_.InitSingleLeaf(head_);
+    }
+  }
+
+  bool CheckConsistency(std::string* why) const {
+    size_t total = 0;
+    Key prev = Key{};
+    bool first = true;
+    for (LeafNode* l = head_; l != nullptr; l = l->next) {
+      for (uint32_t i = 0; i < l->n; ++i) {
+        if (!first && !(prev < l->keys[i])) {
+          *why = "keys out of order";
+          return false;
+        }
+        prev = l->keys[i];
+        first = false;
+        ++total;
+      }
+    }
+    if (total != size_) {
+      *why = "size mismatch";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  using Inner = core::InnerIndex<Key, kInnerCap>;
+
+  static int Search(const LeafNode* leaf, const Key& key) {
+    const Key* end = leaf->keys + leaf->n;
+    const Key* it = std::lower_bound(leaf->keys, end, key);
+    if (it == end || *it != key) return -1;
+    return static_cast<int>(it - leaf->keys);
+  }
+
+  static void InsertSorted(LeafNode* leaf, const Key& key,
+                           const Value& value) {
+    uint32_t pos = static_cast<uint32_t>(
+        std::lower_bound(leaf->keys, leaf->keys + leaf->n, key) - leaf->keys);
+    std::copy_backward(leaf->keys + pos, leaf->keys + leaf->n,
+                       leaf->keys + leaf->n + 1);
+    std::copy_backward(leaf->values + pos, leaf->values + leaf->n,
+                       leaf->values + leaf->n + 1);
+    leaf->keys[pos] = key;
+    leaf->values[pos] = value;
+    ++leaf->n;
+  }
+
+  LeafNode* FindPrevLeaf(const typename Inner::Path& path) const {
+    for (int level = static_cast<int>(path.depth) - 1; level >= 0; --level) {
+      typename Inner::Node* n = path.nodes[level];
+      uint32_t slot = path.slots[level];
+      if (slot > 0) {
+        void* sub = n->children[slot - 1];
+        bool leaf_level = n->leaf_children;
+        while (!leaf_level) {
+          typename Inner::Node* in = static_cast<typename Inner::Node*>(sub);
+          sub = in->children[in->n_keys];
+          leaf_level = in->leaf_children;
+        }
+        return static_cast<LeafNode*>(sub);
+      }
+    }
+    return nullptr;
+  }
+
+  Inner inner_;
+  LeafNode* head_ = nullptr;
+  size_t size_ = 0;
+  uint64_t leaf_count_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace fptree

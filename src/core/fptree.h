@@ -1,0 +1,929 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// The single-threaded Fingerprinting Persistent Tree (paper §4–§5 and
+// Appendix B): selective persistence (leaves in SCM, inner nodes in DRAM),
+// fingerprints, unsorted leaves with in-leaf bitmaps, amortized persistent
+// allocations through leaf groups, micro-logged splits/deletes, and
+// any-point crash recovery.
+//
+// Keys are fixed-size 8-byte integers; the value type is a template
+// parameter (the paper's payload-size study, Appendix A, varies it from 8 to
+// 112 bytes). The variable-size-key variant lives in fptree_var.h; the
+// concurrent variant in fptree_concurrent.h.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/inner_index.h"
+#include "core/tree_stats.h"
+#include "scm/alloc.h"
+#include "scm/crash.h"
+#include "scm/pmem.h"
+#include "scm/pool.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace core {
+
+/// Default node sizes from the paper's tuning study (Table 1): FPTree inner
+/// 4096, leaf 56.
+constexpr size_t kDefaultLeafCap = 56;
+constexpr size_t kDefaultInnerCap = 4096;
+constexpr size_t kDefaultGroupSize = 16;
+
+/// \brief Single-threaded FPTree.
+///
+/// \tparam Value      trivially copyable payload
+/// \tparam kLeafCap   entries per leaf (<= 64: the bitmap is one p-atomic
+///                    8-byte word, the cornerstone of §5's consistency)
+/// \tparam kInnerCap  keys per DRAM inner node
+/// \tparam kUseGroups amortized allocations via leaf groups (paper
+///                    Appendix B); the ablation benchmark turns this off
+/// \tparam kGroupSize leaves per group
+template <typename Value = uint64_t, size_t kLeafCap = kDefaultLeafCap,
+          size_t kInnerCap = kDefaultInnerCap, bool kUseGroups = true,
+          size_t kGroupSize = kDefaultGroupSize>
+class FPTree {
+  static_assert(kLeafCap >= 2 && kLeafCap <= 64,
+                "leaf bitmap must fit one p-atomic word");
+  static_assert(std::is_trivially_copyable_v<Value>);
+
+ public:
+  using Key = uint64_t;
+
+  struct KV {
+    Key key;
+    Value value;
+  };
+
+  /// Leaf node layout (paper Fig. 2b): fingerprints first — packed at the
+  /// head of the leaf so the filter costs a single SCM line — then the
+  /// validity bitmap, the persistent next pointer, the lock word (used by
+  /// the concurrent variant; never persisted), then unsorted KV pairs.
+  struct alignas(64) LeafNode {
+    uint8_t fingerprints[kLeafCap];
+    uint64_t bitmap;
+    scm::PPtr<LeafNode> next;
+    uint64_t lock_word;
+    KV kv[kLeafCap];
+
+    bool IsFull() const { return BitmapCount() == kLeafCap; }
+    size_t BitmapCount() const {
+      return static_cast<size_t>(__builtin_popcountll(bitmap));
+    }
+    bool TestBit(size_t i) const { return (bitmap >> i) & 1; }
+    int FindFirstZero() const {
+      uint64_t inv = ~bitmap;
+      if constexpr (kLeafCap < 64) inv &= (uint64_t{1} << kLeafCap) - 1;
+      return inv == 0 ? -1 : __builtin_ctzll(inv);
+    }
+  };
+
+  struct alignas(64) LeafGroup {
+    scm::PPtr<LeafGroup> next;
+    uint64_t reserved[6];
+    LeafNode leaves[kGroupSize];
+  };
+
+  /// Split micro-log (paper Alg. 3/4).
+  struct alignas(64) SplitLog {
+    scm::PPtr<LeafNode> p_current;
+    scm::PPtr<LeafNode> p_new;
+  };
+
+  /// Delete micro-log (paper Alg. 6/7).
+  struct alignas(64) DeleteLog {
+    scm::PPtr<LeafNode> p_current;
+    scm::PPtr<LeafNode> p_prev;
+  };
+
+  /// GetLeaf micro-log (paper Alg. 10/11).
+  struct alignas(64) GetLeafLog {
+    scm::PPtr<LeafGroup> p_new_group;
+  };
+
+  /// FreeLeaf micro-log (paper Alg. 12/13).
+  struct alignas(64) FreeLeafLog {
+    scm::PPtr<LeafGroup> p_current_group;
+    scm::PPtr<LeafGroup> p_prev_group;
+  };
+
+  /// The tree's persistent anchor, pointed to by the pool root slot.
+  struct alignas(64) PRoot {
+    static constexpr uint64_t kMagic = 0xF97EE000000001ULL;
+
+    uint64_t magic;
+    scm::PPtr<LeafNode> head;  ///< head of the persistent leaf linked list
+    scm::PPtr<LeafGroup> groups_head;
+    scm::PPtr<LeafGroup> groups_tail;
+    SplitLog split_log;
+    DeleteLog delete_log;
+    GetLeafLog get_leaf_log;
+    FreeLeafLog free_leaf_log;
+  };
+
+  /// Attaches to `pool`: initializes a fresh tree, or recovers an existing
+  /// one (micro-log replay + inner-node rebuild, paper Alg. 9).
+  explicit FPTree(scm::Pool* pool) : pool_(pool) { AttachOrInit(); }
+
+  FPTree(const FPTree&) = delete;
+  FPTree& operator=(const FPTree&) = delete;
+
+  // --- Base operations (paper §5) ----------------------------------------
+
+  /// Point lookup. Returns true and fills *value if the key exists.
+  bool Find(Key key, Value* value) {
+    ++stats_.finds;
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    int slot = FindInLeaf(leaf, key);
+    if (slot < 0) return false;
+    *value = leaf->kv[slot].value;
+    return true;
+  }
+
+  /// Inserts a new key. Returns false (no modification) if it exists
+  /// (the paper assumes unique keys, §4.2).
+  bool Insert(Key key, const Value& value) {
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    if (FindInLeaf(leaf, key) >= 0) return false;
+
+    LeafNode* target = leaf;
+    if (leaf->IsFull()) {
+      Key split_key;
+      LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (key > split_key) target = new_leaf;
+      InsertKV(target, key, value);
+      inner_.InsertSplit(path, split_key, new_leaf);
+    } else {
+      InsertKV(target, key, value);
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Updates the value of an existing key (paper Alg. 8: the insert and the
+  /// delete become visible through one p-atomic bitmap store). Returns
+  /// false if the key does not exist.
+  bool Update(Key key, const Value& value) {
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    int prev_slot = FindInLeaf(leaf, key);
+    if (prev_slot < 0) return false;
+
+    if (leaf->IsFull()) {
+      Key split_key;
+      LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      inner_.InsertSplit(path, split_key, new_leaf);
+      if (key > split_key) leaf = new_leaf;
+      prev_slot = FindInLeaf(leaf, key);
+      assert(prev_slot >= 0);
+    }
+    int slot = leaf->FindFirstZero();
+    assert(slot >= 0);
+    scm::pmem::Store(&leaf->kv[slot], KV{key, value});
+    scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+    scm::pmem::Persist(&leaf->kv[slot]);
+    scm::pmem::Persist(&leaf->fingerprints[slot], 1);
+    SCM_CRASH_POINT("fptree.update.before_bitmap");
+    uint64_t bmp = leaf->bitmap;
+    bmp &= ~(uint64_t{1} << prev_slot);
+    bmp |= uint64_t{1} << slot;
+    scm::pmem::StorePersist(&leaf->bitmap, bmp);
+    SCM_CRASH_POINT("fptree.update.after_bitmap");
+    return true;
+  }
+
+  /// Removes a key (paper Alg. 5/6). Returns false if absent.
+  bool Erase(Key key) {
+    Path path;
+    LeafNode* prev = nullptr;
+    LeafNode* leaf = FindLeafAndPrev(key, &path, &prev);
+    int slot = FindInLeaf(leaf, key);
+    if (slot < 0) return false;
+
+    bool last_in_leaf = leaf->BitmapCount() == 1;
+    bool only_leaf = proot_->head.get() == leaf && leaf->next.IsNull();
+    if (last_in_leaf && !only_leaf) {
+      DeleteLeaf(leaf, prev);
+      inner_.RemoveLeaf(path);
+    } else {
+      uint64_t bmp = leaf->bitmap & ~(uint64_t{1} << slot);
+      scm::pmem::StorePersist(&leaf->bitmap, bmp);
+      SCM_CRASH_POINT("fptree.erase.after_bitmap");
+    }
+    --size_;
+    return true;
+  }
+
+  /// Ordered scan: up to `limit` pairs with key >= start, ascending.
+  void RangeScan(Key start, size_t limit,
+                 std::vector<std::pair<Key, Value>>* out) {
+    out->clear();
+    Path path;
+    LeafNode* leaf = FindLeaf(start, &path);
+    std::vector<std::pair<Key, Value>> in_leaf;
+    while (leaf != nullptr && out->size() < limit) {
+      in_leaf.clear();
+      scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        scm::ReadScm(&leaf->kv[i], sizeof(KV));
+        if (leaf->kv[i].key >= start) {
+          in_leaf.emplace_back(leaf->kv[i].key, leaf->kv[i].value);
+        }
+      }
+      std::sort(in_leaf.begin(), in_leaf.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& p : in_leaf) {
+        if (out->size() >= limit) break;
+        out->push_back(p);
+      }
+      leaf = leaf->next.get();
+    }
+  }
+
+  size_t Size() const { return size_; }
+
+  // --- Introspection ------------------------------------------------------
+
+  TreeOpStats& stats() { return stats_; }
+
+  /// DRAM footprint: inner nodes + transient leaf-group bookkeeping.
+  uint64_t DramBytes() const {
+    return inner_.MemoryBytes() +
+           free_leaves_.capacity() * sizeof(scm::PPtr<LeafNode>) +
+           group_index_.size() * (sizeof(uint64_t) * 4);
+  }
+
+  /// SCM footprint (allocator heap consumption of the backing pool).
+  uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
+
+  uint32_t Height() const { return inner_.Height(); }
+
+  /// Walks the leaf list and checks structural invariants; used by tests.
+  /// Returns false (and explains via *why) on violation.
+  bool CheckConsistency(std::string* why) const {
+    LeafNode* leaf = proot_->head.get();
+    if (leaf == nullptr) {
+      *why = "null head";
+      return false;
+    }
+    Key prev_max = 0;
+    bool first = true;
+    size_t total = 0;
+    while (leaf != nullptr) {
+      Key mn = ~Key{0}, mx = 0;
+      size_t cnt = 0;
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        ++cnt;
+        mn = std::min(mn, leaf->kv[i].key);
+        mx = std::max(mx, leaf->kv[i].key);
+        if (leaf->fingerprints[i] != Fingerprint(leaf->kv[i].key)) {
+          *why = "stale fingerprint";
+          return false;
+        }
+      }
+      if (cnt > 0) {
+        if (!first && mn <= prev_max) {
+          *why = "leaf list out of order";
+          return false;
+        }
+        prev_max = mx;
+        first = false;
+      } else if (leaf != proot_->head.get()) {
+        *why = "empty non-head leaf in list";
+        return false;
+      }
+      total += cnt;
+      leaf = leaf->next.get();
+    }
+    if (total != size_) {
+      *why = "size mismatch: counted " + std::to_string(total) +
+             " vs tracked " + std::to_string(size_);
+      return false;
+    }
+    return true;
+  }
+
+  /// Leak check for tests: every allocated block in the pool is reachable
+  /// from the tree (root struct, groups or leaves).
+  bool CheckNoLeaks(std::string* why) const {
+    std::vector<uint64_t> allocated =
+        pool_->allocator()->AllocatedPayloadOffsets();
+    std::vector<uint64_t> reachable;
+    reachable.push_back(pool_->root().offset);
+    if constexpr (kUseGroups) {
+      for (LeafGroup* g = proot_->groups_head.get(); g != nullptr;
+           g = g->next.get()) {
+        reachable.push_back(pool_->ToPPtr(g).offset);
+      }
+    } else {
+      for (LeafNode* l = proot_->head.get(); l != nullptr; l = l->next.get()) {
+        reachable.push_back(pool_->ToPPtr(l).offset);
+      }
+    }
+    std::sort(allocated.begin(), allocated.end());
+    std::sort(reachable.begin(), reachable.end());
+    if (allocated != reachable) {
+      *why = "allocated " + std::to_string(allocated.size()) +
+             " blocks, reachable " + std::to_string(reachable.size());
+      return false;
+    }
+    return true;
+  }
+
+  /// Nanoseconds spent in the last recovery (inner rebuild etc.).
+  uint64_t last_recovery_nanos() const { return recovery_nanos_; }
+
+ private:
+  using Inner = InnerIndex<Key, kInnerCap>;
+  using Path = typename Inner::Path;
+
+  // --- Search helpers -----------------------------------------------------
+
+  LeafNode* FindLeaf(Key key, Path* path) {
+    return static_cast<LeafNode*>(inner_.FindLeaf(key, path));
+  }
+
+  /// Descends to the leaf for `key` while tracking the right-most leaf of
+  /// the nearest left sibling subtree — the previous leaf in the linked
+  /// list (paper's FindLeafAndPrevLeaf).
+  LeafNode* FindLeafAndPrev(Key key, Path* path, LeafNode** prev) {
+    LeafNode* leaf = FindLeaf(key, path);
+    *prev = nullptr;
+    // Walk the recorded path upward to the deepest ancestor where we did
+    // not take the left-most edge; the previous leaf is the right-most
+    // descendant of the child just left of the taken edge.
+    for (int level = static_cast<int>(path->depth) - 1; level >= 0; --level) {
+      typename Inner::Node* n = path->nodes[level];
+      uint32_t slot = path->slots[level];
+      if (slot > 0) {
+        void* sub = n->children[slot - 1];
+        bool leaf_level = n->leaf_children;
+        while (!leaf_level) {
+          typename Inner::Node* in = static_cast<typename Inner::Node*>(sub);
+          sub = in->children[in->n_keys];
+          leaf_level = in->leaf_children;
+        }
+        *prev = static_cast<LeafNode*>(sub);
+        break;
+      }
+    }
+    return leaf;
+  }
+
+  /// Fingerprint-filtered in-leaf search (paper §4.2). Counts key probes.
+  int FindInLeaf(LeafNode* leaf, Key key) {
+    if (leaf == nullptr) return -1;
+    // One SCM line: fingerprints + bitmap.
+    scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
+    uint8_t fp = Fingerprint(key);
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (!leaf->TestBit(i) || leaf->fingerprints[i] != fp) continue;
+      ++stats_.key_probes;
+      scm::ReadScm(&leaf->kv[i], sizeof(KV));
+      if (leaf->kv[i].key == key) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // --- Mutation helpers ---------------------------------------------------
+
+  /// In-leaf insertion (paper Alg. 2, lines 12–15): write KV + fingerprint
+  /// into a free slot, persist, then p-atomically publish via the bitmap.
+  void InsertKV(LeafNode* leaf, Key key, const Value& value) {
+    int slot = leaf->FindFirstZero();
+    assert(slot >= 0);
+    scm::pmem::Store(&leaf->kv[slot], KV{key, value});
+    scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+    scm::pmem::Persist(&leaf->kv[slot]);
+    scm::pmem::Persist(&leaf->fingerprints[slot], 1);
+    SCM_CRASH_POINT("fptree.insert.before_bitmap");
+    scm::pmem::StorePersist(&leaf->bitmap,
+                            leaf->bitmap | (uint64_t{1} << slot));
+    SCM_CRASH_POINT("fptree.insert.after_bitmap");
+  }
+
+  /// Leaf split (paper Alg. 3). Returns the new right sibling and the split
+  /// key (max of the surviving lower half).
+  LeafNode* SplitLeaf(LeafNode* leaf, Key* split_key) {
+    ++stats_.leaf_splits;
+    SplitLog* log = &proot_->split_log;
+    scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
+    SCM_CRASH_POINT("fptree.split.logged");
+
+    LeafNode* new_leaf = AcquireLeaf(&log->p_new);
+    assert(new_leaf != nullptr);
+    SCM_CRASH_POINT("fptree.split.allocated");
+
+    *split_key = FinishSplitFromCopy(log);
+    return new_leaf;
+  }
+
+  /// Alg. 3 lines 6–15; also the redo path of RecoverSplit (Alg. 4) when
+  /// the crash hit before the old leaf's bitmap was halved (leaf still
+  /// full). Returns the split key.
+  Key FinishSplitFromCopy(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* new_leaf = log->p_new.get();
+    // Copy the full leaf content into the new leaf.
+    scm::pmem::StoreBytes(new_leaf, leaf, sizeof(LeafNode));
+    scm::pmem::Persist(new_leaf, sizeof(LeafNode));
+    SCM_CRASH_POINT("fptree.split.copied");
+    // Compute the split key and the upper-half bitmap.
+    Key sk = ComputeSplitKey(leaf);
+    uint64_t upper = 0;
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (leaf->TestBit(i) && leaf->kv[i].key > sk) upper |= uint64_t{1} << i;
+    }
+    scm::pmem::StorePersist(&new_leaf->bitmap, upper);
+    SCM_CRASH_POINT("fptree.split.new_bitmap");
+    scm::pmem::StorePersist(&leaf->bitmap, leaf->bitmap & ~upper);
+    SCM_CRASH_POINT("fptree.split.old_bitmap");
+    FinishSplitTail(log);
+    return sk;
+  }
+
+  /// Alg. 3 lines 11–15 as a redo: recomputes the old leaf's bitmap as the
+  /// inverse of the (already durable) new leaf's bitmap, links, resets.
+  /// Used by RecoverSplit when the old bitmap was already halved.
+  void FinishSplitFromInverse(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* new_leaf = log->p_new.get();
+    uint64_t mask = kLeafCap == 64 ? ~uint64_t{0}
+                                   : ((uint64_t{1} << kLeafCap) - 1);
+    scm::pmem::StorePersist(&leaf->bitmap, ~new_leaf->bitmap & mask);
+    FinishSplitTail(log);
+  }
+
+  void FinishSplitTail(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    scm::pmem::StorePPtrPersist(&leaf->next, log->p_new);
+    SCM_CRASH_POINT("fptree.split.linked");
+    ResetSplitLog(log);
+  }
+
+  void ResetSplitLog(SplitLog* log) {
+    scm::pmem::StorePPtr(&log->p_current, scm::PPtr<LeafNode>::Null());
+    scm::pmem::StorePPtr(&log->p_new, scm::PPtr<LeafNode>::Null());
+    scm::pmem::Persist(log, sizeof(*log));
+  }
+
+  /// Max key of the lower half of a full leaf.
+  Key ComputeSplitKey(LeafNode* leaf) const {
+    Key keys[kLeafCap];
+    size_t n = 0;
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (leaf->TestBit(i)) keys[n++] = leaf->kv[i].key;
+    }
+    size_t h = n / 2;
+    std::nth_element(keys, keys + (h - 1), keys + n);
+    return keys[h - 1];
+  }
+
+  /// Unlinks and frees an empty leaf (paper Alg. 5 case 3 + Alg. 6).
+  void DeleteLeaf(LeafNode* leaf, LeafNode* prev) {
+    ++stats_.leaf_deletes;
+    DeleteLog* log = &proot_->delete_log;
+    scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
+    SCM_CRASH_POINT("fptree.delete.logged");
+    if (proot_->head.get() == leaf) {
+      scm::pmem::StorePPtrPersist(&proot_->head, leaf->next);
+      SCM_CRASH_POINT("fptree.delete.head_updated");
+    } else {
+      assert(prev != nullptr);
+      scm::pmem::StorePPtrPersist(&log->p_prev, pool_->ToPPtr(prev));
+      SCM_CRASH_POINT("fptree.delete.prev_logged");
+      scm::pmem::StorePPtrPersist(&prev->next, leaf->next);
+      SCM_CRASH_POINT("fptree.delete.unlinked");
+    }
+    // Clear the bitmap so recovery's group walk classifies it as free.
+    scm::pmem::StorePersist(&leaf->bitmap, uint64_t{0});
+    SCM_CRASH_POINT("fptree.delete.bitmap_cleared");
+    if constexpr (kUseGroups) {
+      // The delete is logically complete (unlinked + emptied). Reset the
+      // delete log BEFORE FreeLeaf: FreeLeaf may deallocate the whole leaf
+      // group, and a stale p_current into a freed group would poison
+      // RecoverDelete. (FreeLeaf carries its own micro-log.)
+      ResetDeleteLog(log);
+      FreeLeaf(leaf);
+    } else {
+      // Paper Alg. 6 line 14: the allocator persistently nulls p_current.
+      pool_->allocator()->Deallocate(&log->p_current);
+      SCM_CRASH_POINT("fptree.delete.deallocated");
+      ResetDeleteLog(log);
+    }
+  }
+
+  void ResetDeleteLog(DeleteLog* log) {
+    scm::pmem::StorePPtr(&log->p_current, scm::PPtr<LeafNode>::Null());
+    scm::pmem::StorePPtr(&log->p_prev, scm::PPtr<LeafNode>::Null());
+    scm::pmem::Persist(log, sizeof(*log));
+  }
+
+  // --- Leaf acquisition: groups (Alg. 10–13) or direct allocation ---------
+
+  /// Fills *slot with a ready-to-use leaf and returns it.
+  LeafNode* AcquireLeaf(scm::PPtr<LeafNode>* slot) {
+    if constexpr (kUseGroups) {
+      LeafNode* leaf = GetLeaf();
+      scm::pmem::StorePPtrPersist(slot, pool_->ToPPtr(leaf));
+      return leaf;
+    } else {
+      Status s = pool_->allocator()->Allocate(slot, sizeof(LeafNode));
+      if (!s.ok()) return nullptr;
+      return slot->get();
+    }
+  }
+
+  /// Paper Alg. 10.
+  LeafNode* GetLeaf() {
+    if (free_leaves_.empty()) {
+      GetLeafLog* log = &proot_->get_leaf_log;
+      Status s =
+          pool_->allocator()->Allocate(&log->p_new_group, sizeof(LeafGroup));
+      if (!s.ok()) return nullptr;
+      SCM_CRASH_POINT("fptree.getleaf.allocated");
+      LinkNewGroup(log);
+    }
+    scm::PPtr<LeafNode> p = free_leaves_.back();
+    free_leaves_.pop_back();
+    NoteLeafTaken(p.offset);
+    return p.get();
+  }
+
+  /// Alg. 10 lines 4–9; also the redo path of Alg. 11.
+  void LinkNewGroup(GetLeafLog* log) {
+    LeafGroup* group = log->p_new_group.get();
+    // Initialize: next pointer null, every leaf empty (blocks can be
+    // recycled and carry stale bytes).
+    scm::pmem::StorePPtr(&group->next, scm::PPtr<LeafGroup>::Null());
+    for (size_t i = 0; i < kGroupSize; ++i) {
+      scm::pmem::Store(&group->leaves[i].bitmap, uint64_t{0});
+      scm::pmem::StorePPtr(&group->leaves[i].next,
+                           scm::PPtr<LeafNode>::Null());
+      scm::pmem::StoreVolatile(&group->leaves[i].lock_word, uint64_t{0});
+    }
+    scm::pmem::Persist(group, sizeof(LeafGroup));
+    SCM_CRASH_POINT("fptree.getleaf.initialized");
+    if (proot_->groups_tail.IsNull()) {
+      scm::pmem::StorePPtrPersist(&proot_->groups_head, log->p_new_group);
+    } else {
+      scm::pmem::StorePPtrPersist(&proot_->groups_tail.get()->next,
+                                  log->p_new_group);
+    }
+    SCM_CRASH_POINT("fptree.getleaf.linked");
+    scm::pmem::StorePPtrPersist(&proot_->groups_tail, log->p_new_group);
+    SCM_CRASH_POINT("fptree.getleaf.tail_updated");
+    scm::pmem::StorePPtrPersist(&log->p_new_group,
+                                scm::PPtr<LeafGroup>::Null());
+    RegisterGroup(pool_->ToPPtr(group).offset, /*all_free=*/true);
+  }
+
+  /// Paper Alg. 12 (with persistent tail maintenance added).
+  void FreeLeaf(LeafNode* leaf) {
+    uint64_t leaf_off = pool_->ToPPtr(leaf).offset;
+    auto git = FindGroupOf(leaf_off);
+    assert(git != group_index_.end());
+    uint64_t group_off = git->first;
+    GroupInfo& info = git->second;
+    if (info.free_count + 1 == kGroupSize) {
+      // Group completely free: deallocate it (Alg. 12 lines 4–19).
+      DropGroupLeavesFromFreeVector(group_off);
+      FreeLeafLog* log = &proot_->free_leaf_log;
+      scm::PPtr<LeafGroup> pgroup{pool_->id(), group_off};
+      scm::pmem::StorePPtrPersist(&log->p_current_group, pgroup);
+      SCM_CRASH_POINT("fptree.freeleaf.logged");
+      UnlinkGroup(log);
+      group_index_.erase(git);
+    } else {
+      ++info.free_count;
+      free_leaves_.push_back(scm::PPtr<LeafNode>{pool_->id(), leaf_off});
+    }
+  }
+
+  /// Alg. 12 lines 8–19; also the redo path of Alg. 13.
+  void UnlinkGroup(FreeLeafLog* log) {
+    LeafGroup* group = log->p_current_group.get();
+    if (proot_->groups_head.get() == group) {
+      scm::pmem::StorePPtrPersist(&proot_->groups_head, group->next);
+      SCM_CRASH_POINT("fptree.freeleaf.head_updated");
+    } else {
+      LeafGroup* prev = FindPrevGroup(group);
+      assert(prev != nullptr);
+      scm::pmem::StorePPtrPersist(&log->p_prev_group, pool_->ToPPtr(prev));
+      SCM_CRASH_POINT("fptree.freeleaf.prev_logged");
+      scm::pmem::StorePPtrPersist(&prev->next, group->next);
+      SCM_CRASH_POINT("fptree.freeleaf.unlinked");
+    }
+    // Maintain the persistent tail (needed so appends stay O(1)).
+    if (proot_->groups_tail.get() == group) {
+      scm::PPtr<LeafGroup> new_tail =
+          log->p_prev_group.IsNull() ? scm::PPtr<LeafGroup>::Null()
+                                     : log->p_prev_group;
+      scm::pmem::StorePPtrPersist(&proot_->groups_tail, new_tail);
+    }
+    SCM_CRASH_POINT("fptree.freeleaf.tail_updated");
+    pool_->allocator()->Deallocate(&log->p_current_group);
+    SCM_CRASH_POINT("fptree.freeleaf.deallocated");
+    scm::pmem::StorePPtrPersist(&log->p_prev_group,
+                                scm::PPtr<LeafGroup>::Null());
+  }
+
+  LeafGroup* FindPrevGroup(LeafGroup* group) {
+    LeafGroup* prev = nullptr;
+    for (LeafGroup* g = proot_->groups_head.get(); g != nullptr;
+         g = g->next.get()) {
+      if (g == group) return prev;
+      prev = g;
+    }
+    return nullptr;
+  }
+
+  // --- Transient group bookkeeping ----------------------------------------
+
+  struct GroupInfo {
+    uint32_t free_count = 0;
+  };
+
+  void RegisterGroup(uint64_t group_off, bool all_free) {
+    GroupInfo info;
+    info.free_count = all_free ? kGroupSize : 0;
+    auto [it, inserted] = group_index_.emplace(group_off, info);
+    (void)inserted;
+    if (all_free) {
+      LeafGroup* group = scm::PPtr<LeafGroup>{pool_->id(), group_off}.get();
+      for (size_t i = 0; i < kGroupSize; ++i) {
+        free_leaves_.push_back(pool_->ToPPtr(&group->leaves[i]));
+      }
+    }
+  }
+
+  typename std::map<uint64_t, GroupInfo>::iterator FindGroupOf(
+      uint64_t leaf_off) {
+    auto it = group_index_.upper_bound(leaf_off);
+    if (it == group_index_.begin()) return group_index_.end();
+    --it;
+    if (leaf_off >= it->first + sizeof(LeafGroup)) return group_index_.end();
+    return it;
+  }
+
+  void NoteLeafTaken(uint64_t leaf_off) {
+    if constexpr (!kUseGroups) return;
+    auto it = FindGroupOf(leaf_off);
+    if (it != group_index_.end() && it->second.free_count > 0) {
+      --it->second.free_count;
+    }
+  }
+
+  void DropGroupLeavesFromFreeVector(uint64_t group_off) {
+    auto in_group = [&](const scm::PPtr<LeafNode>& p) {
+      return p.offset >= group_off && p.offset < group_off + sizeof(LeafGroup);
+    };
+    free_leaves_.erase(
+        std::remove_if(free_leaves_.begin(), free_leaves_.end(), in_group),
+        free_leaves_.end());
+  }
+
+  // --- Initialization & recovery ------------------------------------------
+
+  void AttachOrInit() {
+    uint64_t t0 = NowNanos();
+    if (pool_->root().IsNull()) {
+      Status s = pool_->allocator()->Allocate(&pool_->header()->root,
+                                              sizeof(PRoot));
+      assert(s.ok());
+      (void)s;
+    }
+    proot_ = static_cast<PRoot*>(pool_->root().get());
+    if (proot_->magic != PRoot::kMagic) {
+      PRoot zero{};
+      zero.magic = PRoot::kMagic;
+      scm::pmem::StoreBytes(proot_, &zero, sizeof(zero));
+      scm::pmem::Persist(proot_, sizeof(*proot_));
+    }
+
+    // Micro-log replay (paper Alg. 9). The allocator's own log already ran
+    // during pool open.
+    RecoverSplit();
+    RecoverDelete();
+    RecoverGetLeaf();
+    RecoverFreeLeaf();
+
+    RebuildTransientState();
+
+    if (proot_->head.IsNull()) {
+      // Bootstrap: the tree always owns one (possibly empty) head leaf.
+      LeafNode* first = AcquireLeaf(&proot_->head);
+      assert(first != nullptr);
+      scm::pmem::StorePersist(&first->bitmap, uint64_t{0});
+      scm::pmem::StorePPtrPersist(&first->next, scm::PPtr<LeafNode>::Null());
+      inner_.Clear();
+      inner_.InitSingleLeaf(first);
+      size_ = 0;
+    }
+    if (!pool_->root_initialized()) pool_->SetRootInitialized();
+    recovery_nanos_ = NowNanos() - t0;
+  }
+
+  /// Paper Alg. 4: if the split leaf is still full the crash hit before
+  /// line 11 (redo from the copy); otherwise the old bitmap was already
+  /// halved (redo from line 11 using the durable new-leaf bitmap).
+  void RecoverSplit() {
+    SplitLog* log = &proot_->split_log;
+    if (log->p_current.IsNull()) {
+      ResetSplitLog(log);
+      return;
+    }
+    if (log->p_new.IsNull()) {
+      // Crashed before the allocation completed; the allocator rolled back.
+      ResetSplitLog(log);
+      return;
+    }
+    if (log->p_current.get()->IsFull()) {
+      FinishSplitFromCopy(log);
+    } else {
+      FinishSplitFromInverse(log);
+    }
+  }
+
+  /// Paper Alg. 7, with FreeLeaf deferred to the group walk (the free
+  /// vector and group free-counts are transient and rebuilt from scratch).
+  void RecoverDelete() {
+    DeleteLog* log = &proot_->delete_log;
+    if (log->p_current.IsNull()) {
+      ResetDeleteLog(log);
+      return;
+    }
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* head = proot_->head.get();
+    if (!log->p_prev.IsNull()) {
+      // Crashed between prev-pointer logging and completion: redo unlink.
+      LeafNode* prev = log->p_prev.get();
+      scm::pmem::StorePPtrPersist(&prev->next, leaf->next);
+      FinishDeleteRecovery(log);
+    } else if (leaf == head) {
+      // Crashed right after logging, head not yet advanced: redo.
+      scm::pmem::StorePPtrPersist(&proot_->head, leaf->next);
+      FinishDeleteRecovery(log);
+    } else if (leaf->next.get() == head) {
+      // Head already advanced past the leaf: finish.
+      FinishDeleteRecovery(log);
+    } else {
+      // Middle-of-list delete that never logged prev: nothing happened.
+      ResetDeleteLog(log);
+    }
+  }
+
+  void FinishDeleteRecovery(DeleteLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    scm::pmem::StorePersist(&leaf->bitmap, uint64_t{0});
+    if constexpr (!kUseGroups) {
+      pool_->allocator()->Deallocate(&log->p_current);
+    }
+    ResetDeleteLog(log);
+  }
+
+  /// Paper Alg. 11.
+  void RecoverGetLeaf() {
+    if constexpr (!kUseGroups) return;
+    GetLeafLog* log = &proot_->get_leaf_log;
+    if (log->p_new_group.IsNull()) return;
+    if (proot_->groups_tail == log->p_new_group) {
+      // Fully linked; only the log reset was lost.
+      scm::pmem::StorePPtrPersist(&log->p_new_group,
+                                  scm::PPtr<LeafGroup>::Null());
+    } else {
+      LinkNewGroup(log);
+    }
+  }
+
+  /// Paper Alg. 13.
+  void RecoverFreeLeaf() {
+    if constexpr (!kUseGroups) return;
+    FreeLeafLog* log = &proot_->free_leaf_log;
+    if (log->p_current_group.IsNull()) {
+      // Either never engaged, or crashed after Deallocate (which nulls
+      // p_current_group); clear the prev field either way.
+      scm::pmem::StorePPtrPersist(&log->p_prev_group,
+                                  scm::PPtr<LeafGroup>::Null());
+      return;
+    }
+    LeafGroup* group = log->p_current_group.get();
+    LeafGroup* head = proot_->groups_head.get();
+    if (!log->p_prev_group.IsNull()) {
+      LeafGroup* prev = log->p_prev_group.get();
+      scm::pmem::StorePPtrPersist(&prev->next, group->next);
+      FinishFreeLeafRecovery(log);
+    } else if (group == head) {
+      scm::pmem::StorePPtrPersist(&proot_->groups_head, group->next);
+      FinishFreeLeafRecovery(log);
+    } else if (group->next.get() == head) {
+      FinishFreeLeafRecovery(log);
+    } else {
+      scm::pmem::StorePPtrPersist(&log->p_current_group,
+                                  scm::PPtr<LeafGroup>::Null());
+    }
+  }
+
+  void FinishFreeLeafRecovery(FreeLeafLog* log) {
+    LeafGroup* group = log->p_current_group.get();
+    if (proot_->groups_tail.get() == group) {
+      scm::pmem::StorePPtrPersist(&proot_->groups_tail, log->p_prev_group);
+    }
+    pool_->allocator()->Deallocate(&log->p_current_group);
+    scm::pmem::StorePPtrPersist(&log->p_prev_group,
+                                scm::PPtr<LeafGroup>::Null());
+  }
+
+  /// Rebuilds all transient state: inner nodes (bulk build from per-leaf
+  /// max keys), the free-leaves vector, the group index, lock words, and
+  /// the size counter. With groups this walks the group list for data
+  /// locality (paper Appendix B "Recovery"); in-tree membership is decided
+  /// by a non-empty bitmap (FreeLeaf durably clears bitmaps).
+  void RebuildTransientState() {
+    inner_.Clear();
+    free_leaves_.clear();
+    group_index_.clear();
+    size_ = 0;
+    std::vector<std::pair<Key, void*>> live;  // (max key, leaf)
+
+    LeafNode* head = proot_->head.get();
+    if constexpr (kUseGroups) {
+      LeafGroup* last = nullptr;
+      for (LeafGroup* g = proot_->groups_head.get(); g != nullptr;
+           g = g->next.get()) {
+        last = g;
+        uint64_t group_off = pool_->ToPPtr(g).offset;
+        GroupInfo info;
+        for (size_t i = 0; i < kGroupSize; ++i) {
+          LeafNode* leaf = &g->leaves[i];
+          scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
+          if (leaf->bitmap == 0 && leaf != head) {
+            ++info.free_count;
+            free_leaves_.push_back(pool_->ToPPtr(leaf));
+          } else {
+            CollectLiveLeaf(leaf, &live);
+          }
+        }
+        group_index_.emplace(group_off, info);
+      }
+      // Fix the persistent tail if a crash left it stale.
+      scm::PPtr<LeafGroup> tail =
+          last == nullptr ? scm::PPtr<LeafGroup>::Null() : pool_->ToPPtr(last);
+      if (!(proot_->groups_tail == tail)) {
+        scm::pmem::StorePPtrPersist(&proot_->groups_tail, tail);
+      }
+    } else {
+      for (LeafNode* leaf = head; leaf != nullptr; leaf = leaf->next.get()) {
+        scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
+        CollectLiveLeaf(leaf, &live);
+      }
+    }
+
+    if (!live.empty()) {
+      std::sort(live.begin(), live.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      inner_.BulkBuild(live);
+    } else if (head != nullptr) {
+      inner_.InitSingleLeaf(head);
+    }
+  }
+
+  void CollectLiveLeaf(LeafNode* leaf,
+                       std::vector<std::pair<Key, void*>>* live) {
+    scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
+    Key max_key = 0;
+    size_t cnt = 0;
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (!leaf->TestBit(i)) continue;
+      scm::ReadScm(&leaf->kv[i], sizeof(KV));
+      max_key = std::max(max_key, leaf->kv[i].key);
+      ++cnt;
+    }
+    size_ += cnt;
+    if (cnt > 0) live->emplace_back(max_key, leaf);
+  }
+
+  scm::Pool* pool_;
+  PRoot* proot_ = nullptr;
+  Inner inner_;
+  std::vector<scm::PPtr<LeafNode>> free_leaves_;
+  std::map<uint64_t, GroupInfo> group_index_;
+  size_t size_ = 0;
+  uint64_t recovery_nanos_ = 0;
+  TreeOpStats stats_;
+};
+
+}  // namespace core
+}  // namespace fptree

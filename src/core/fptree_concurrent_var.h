@@ -1,0 +1,698 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Concurrent variable-size-key FPTree (paper Appendix C, Algorithms 14–17,
+// under the §4.4 selective-concurrency scheme). Structure mirrors
+// fptree_concurrent.h; differences are the out-of-line persistent key blobs
+// in leaves and the inner nodes' 8-byte tracked key slots, which hold
+// pointers to DRAM-interned separator strings (interned strings are never
+// freed, so stale transactional reads remain dereferenceable — the same
+// arena discipline as inner nodes).
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/fptree_concurrent.h"  // NodeArena, LogClaimMask
+#include "core/var_key.h"
+#include "htm/htm.h"
+#include "scm/alloc.h"
+#include "scm/crash.h"
+#include "scm/pmem.h"
+#include "scm/pool.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace core {
+
+/// \brief Concurrent FPTree for string keys. Default sizes per paper
+/// Table 1 (FPTreeCVar: inner 64, leaf 64).
+template <typename Value = uint64_t, size_t kLeafCap = 64,
+          size_t kInnerCap = 64>
+class ConcurrentFPTreeVar {
+  static_assert(kLeafCap >= 2 && kLeafCap <= 64);
+  static_assert(std::is_trivially_copyable_v<Value>);
+
+ public:
+  struct KV {
+    scm::PPtr<KeyBlob> pkey;
+    Value value;
+  };
+
+  struct alignas(64) LeafNode {
+    uint8_t fingerprints[kLeafCap];
+    uint64_t bitmap;
+    scm::PPtr<LeafNode> next;
+    uint64_t lock_word;
+    KV kv[kLeafCap];
+  };
+
+  static constexpr size_t kNumLogs = 64;
+
+  struct alignas(64) SplitLog {
+    scm::PPtr<LeafNode> p_current;
+    scm::PPtr<LeafNode> p_new;
+  };
+
+  struct alignas(64) PRoot {
+    static constexpr uint64_t kMagic = 0xF97EE000000007ULL;
+
+    uint64_t magic;
+    scm::PPtr<LeafNode> head;
+    scm::PPtr<KeyBlob> gc_slot;
+    SplitLog split_logs[kNumLogs];
+  };
+
+  explicit ConcurrentFPTreeVar(scm::Pool* pool,
+                               htm::Backend backend = htm::Backend::kTl2)
+      : pool_(pool), htm_(backend), arena_(sizeof(Inner)) {
+    AttachOrInit();
+  }
+
+  ConcurrentFPTreeVar(const ConcurrentFPTreeVar&) = delete;
+  ConcurrentFPTreeVar& operator=(const ConcurrentFPTreeVar&) = delete;
+
+  bool Find(std::string_view key, Value* value) {
+    htm::Tx tx(&htm_);
+    for (;;) {
+      tx.Begin();
+      LeafNode* leaf = FindLeafTx(&tx, key);
+      if (!tx.ok() || leaf == nullptr) continue;
+      if (tx.Load(&leaf->lock_word) == 1) {
+        tx.UserAbort();
+        continue;
+      }
+      bool found = false;
+      Value out{};
+      int slot = ScanLeaf(leaf, key);
+      if (slot >= 0) {
+        found = true;
+        out = leaf->kv[slot].value;
+      }
+      if (!tx.Commit()) continue;
+      if (found) *value = out;
+      return found;
+    }
+  }
+
+  /// Paper Alg. 14.
+  bool Insert(std::string_view key, const Value& value) {
+    enum class Decision { kInsert, kSplit };
+    htm::Tx tx(&htm_);
+    LeafNode* leaf = nullptr;
+    Decision decision{};
+    for (;;) {
+      tx.Begin();
+      leaf = FindLeafTx(&tx, key);
+      if (!tx.ok() || leaf == nullptr) continue;
+      if (tx.Load(&leaf->lock_word) == 1) {
+        tx.UserAbort();
+        continue;
+      }
+      if (ScanLeaf(leaf, key) >= 0) {
+        if (!tx.Commit()) continue;
+        return false;
+      }
+      decision = IsFull(leaf) ? Decision::kSplit : Decision::kInsert;
+      tx.Store(&leaf->lock_word, 1);
+      if (tx.Commit()) break;
+    }
+
+    LeafNode* new_leaf = nullptr;
+    std::string split_key;
+    LeafNode* target = leaf;
+    if (decision == Decision::kSplit) {
+      new_leaf = SplitLeaf(leaf, &split_key);
+      if (key > split_key) target = new_leaf;
+    }
+    InsertKV(target, key, value);
+    size_.fetch_add(1, std::memory_order_relaxed);
+
+    if (decision == Decision::kSplit) {
+      UpdateParents(split_key, new_leaf);
+      UnlockLeaf(new_leaf);
+    }
+    UnlockLeaf(leaf);
+    return true;
+  }
+
+  /// Paper Alg. 16 (alias the blob into the new slot; one bitmap commit).
+  bool Update(std::string_view key, const Value& value) {
+    enum class Decision { kUpdate, kSplit };
+    htm::Tx tx(&htm_);
+    LeafNode* leaf = nullptr;
+    Decision decision{};
+    int prev_slot = -1;
+    for (;;) {
+      tx.Begin();
+      leaf = FindLeafTx(&tx, key);
+      if (!tx.ok() || leaf == nullptr) continue;
+      if (tx.Load(&leaf->lock_word) == 1) {
+        tx.UserAbort();
+        continue;
+      }
+      prev_slot = ScanLeaf(leaf, key);
+      if (prev_slot < 0) {
+        if (!tx.Commit()) continue;
+        return false;
+      }
+      decision = IsFull(leaf) ? Decision::kSplit : Decision::kUpdate;
+      tx.Store(&leaf->lock_word, 1);
+      if (tx.Commit()) break;
+    }
+
+    LeafNode* new_leaf = nullptr;
+    std::string split_key;
+    LeafNode* target = leaf;
+    if (decision == Decision::kSplit) {
+      new_leaf = SplitLeaf(leaf, &split_key);
+      if (key > split_key) target = new_leaf;
+      prev_slot = ScanLeaf(target, key);
+      assert(prev_slot >= 0);
+    }
+    int slot = FindFirstZero(target);
+    assert(slot >= 0);
+    scm::pmem::StorePPtr(&target->kv[slot].pkey, target->kv[prev_slot].pkey);
+    scm::pmem::Store(&target->kv[slot].value, value);
+    scm::pmem::Store(&target->fingerprints[slot], Fingerprint(key));
+    scm::pmem::Persist(&target->kv[slot]);
+    scm::pmem::Persist(&target->fingerprints[slot], 1);
+    uint64_t bmp = target->bitmap;
+    bmp &= ~(uint64_t{1} << prev_slot);
+    bmp |= uint64_t{1} << slot;
+    scm::pmem::StorePersist(&target->bitmap, bmp);
+    scm::pmem::StorePPtrPersist(&target->kv[prev_slot].pkey,
+                                scm::PPtr<KeyBlob>::Null());
+
+    if (decision == Decision::kSplit) {
+      UpdateParents(split_key, new_leaf);
+      UnlockLeaf(new_leaf);
+    }
+    UnlockLeaf(leaf);
+    return true;
+  }
+
+  /// Paper Alg. 15. (Leaf reclamation is delegated to recovery sweeps, as
+  /// in our single-threaded var tree; emptied leaves stay linked.)
+  bool Erase(std::string_view key) {
+    htm::Tx tx(&htm_);
+    LeafNode* leaf = nullptr;
+    for (;;) {
+      tx.Begin();
+      leaf = FindLeafTx(&tx, key);
+      if (!tx.ok() || leaf == nullptr) continue;
+      if (tx.Load(&leaf->lock_word) == 1) {
+        tx.UserAbort();
+        continue;
+      }
+      if (ScanLeaf(leaf, key) < 0) {
+        if (!tx.Commit()) continue;
+        return false;
+      }
+      tx.Store(&leaf->lock_word, 1);
+      if (tx.Commit()) break;
+    }
+    int slot = ScanLeaf(leaf, key);
+    assert(slot >= 0);
+    scm::pmem::StorePersist(&leaf->bitmap,
+                            leaf->bitmap & ~(uint64_t{1} << slot));
+    pool_->allocator()->Deallocate(&leaf->kv[slot].pkey);
+    UnlockLeaf(leaf);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+  uint64_t DramBytes() const { return arena_.MemoryBytes() + intern_bytes_; }
+  uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
+  uint64_t last_recovery_nanos() const { return recovery_nanos_; }
+
+  bool CheckConsistency(std::string* why) const {
+    LeafNode* leaf = proot_->head.get();
+    std::string prev_max;
+    bool first = true;
+    size_t total = 0;
+    while (leaf != nullptr) {
+      std::string mn, mx;
+      size_t cnt = 0;
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!((leaf->bitmap >> i) & 1)) continue;
+        std::string k(leaf->kv[i].pkey.get()->view());
+        if (cnt == 0 || k < mn) mn = k;
+        if (cnt == 0 || k > mx) mx = k;
+        ++cnt;
+      }
+      if (cnt > 0) {
+        if (!first && mn <= prev_max) {
+          *why = "leaf list out of order";
+          return false;
+        }
+        prev_max = mx;
+        first = false;
+      }
+      total += cnt;
+      leaf = leaf->next.get();
+    }
+    if (total != Size()) {
+      *why = "size mismatch";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Inner {
+    uint64_t n_keys;
+    uint64_t leaf_children;
+    uint64_t keys[kInnerCap];       ///< const std::string* (interned)
+    uint64_t children[kInnerCap + 1];
+  };
+
+  const std::string* Intern(std::string_view s) {
+    std::lock_guard<std::mutex> l(intern_mu_);
+    interned_.emplace_back(new std::string(s));
+    intern_bytes_ += s.size() + sizeof(std::string);
+    return interned_.back().get();
+  }
+
+  static std::string_view KeyAt(uint64_t slot_value) {
+    return *reinterpret_cast<const std::string*>(slot_value);
+  }
+
+  LeafNode* FindLeafTx(htm::Tx* tx, std::string_view key) {
+    Inner* node = reinterpret_cast<Inner*>(tx->Load(&root_));
+    for (uint32_t depth = 0; depth < 32; ++depth) {
+      if (!tx->ok() || node == nullptr) return nullptr;
+      uint64_t n = tx->Load(&node->n_keys);
+      if (n > kInnerCap) return nullptr;
+      uint64_t lo = 0, hi = n;
+      while (lo < hi) {
+        uint64_t mid = (lo + hi) / 2;
+        uint64_t kslot = tx->Load(&node->keys[mid]);
+        if (kslot == 0 || !tx->ok()) return nullptr;
+        if (KeyAt(kslot) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (!tx->ok()) return nullptr;
+      uint64_t child = tx->Load(&node->children[lo]);
+      if (tx->Load(&node->leaf_children) != 0) {
+        return reinterpret_cast<LeafNode*>(child);
+      }
+      node = reinterpret_cast<Inner*>(child);
+    }
+    return nullptr;
+  }
+
+  static bool IsFull(const LeafNode* leaf) {
+    return static_cast<size_t>(
+               __builtin_popcountll(scm::pmem::Load(&leaf->bitmap))) ==
+           kLeafCap;
+  }
+  static int FindFirstZero(const LeafNode* leaf) {
+    uint64_t inv = ~scm::pmem::Load(&leaf->bitmap);
+    if constexpr (kLeafCap < 64) inv &= (uint64_t{1} << kLeafCap) - 1;
+    return inv == 0 ? -1 : __builtin_ctzll(inv);
+  }
+
+  int ScanLeaf(LeafNode* leaf, std::string_view key) {
+    scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
+    uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint8_t fp = Fingerprint(key);
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (!((bmp >> i) & 1)) continue;
+      if (scm::pmem::Load(&leaf->fingerprints[i]) != fp) continue;
+      scm::ReadScm(&leaf->kv[i], sizeof(KV));
+      uint64_t off = scm::pmem::Load(&leaf->kv[i].pkey.offset);
+      if (off == 0) continue;
+      const KeyBlob* blob =
+          scm::PPtr<KeyBlob>{leaf->kv[i].pkey.pool_id, off}.get();
+      if (CompareBlob(blob, key) == 0) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void UnlockLeaf(LeafNode* leaf) {
+    __atomic_store_n(&leaf->lock_word, uint64_t{0}, __ATOMIC_RELEASE);
+  }
+
+  void InsertKV(LeafNode* leaf, std::string_view key, const Value& value) {
+    int slot = FindFirstZero(leaf);
+    assert(slot >= 0);
+    Status s = AllocateKeyBlob(pool_, &leaf->kv[slot].pkey, key);
+    assert(s.ok());
+    (void)s;
+    scm::pmem::Store(&leaf->kv[slot].value, value);
+    scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+    scm::pmem::Persist(&leaf->kv[slot]);
+    scm::pmem::Persist(&leaf->fingerprints[slot], 1);
+    scm::pmem::StorePersist(&leaf->bitmap,
+                            leaf->bitmap | (uint64_t{1} << slot));
+  }
+
+  LeafNode* SplitLeaf(LeafNode* leaf, std::string* split_key) {
+    int idx = split_claims_.Acquire();
+    SplitLog* log = &proot_->split_logs[idx];
+    scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
+    Status s = pool_->allocator()->Allocate(&log->p_new, sizeof(LeafNode));
+    assert(s.ok());
+    (void)s;
+    LeafNode* new_leaf = log->p_new.get();
+    *split_key = FinishSplitFromCopy(log);
+    split_claims_.Release(idx);
+    return new_leaf;
+  }
+
+  std::string FinishSplitFromCopy(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* new_leaf = log->p_new.get();
+    scm::pmem::StoreBytes(new_leaf, leaf, sizeof(LeafNode));
+    scm::pmem::Persist(new_leaf, sizeof(LeafNode));
+    std::string sk = ComputeSplitKey(leaf);
+    uint64_t upper = 0;
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (((leaf->bitmap >> i) & 1) &&
+          CompareBlob(leaf->kv[i].pkey.get(), sk) > 0) {
+        upper |= uint64_t{1} << i;
+      }
+    }
+    scm::pmem::StorePersist(&new_leaf->bitmap, upper);
+    scm::pmem::StorePersist(&leaf->bitmap, leaf->bitmap & ~upper);
+    scm::pmem::StorePPtrPersist(&leaf->next, log->p_new);
+    ResetSplitLog(log);
+    return sk;
+  }
+
+  void FinishSplitFromInverse(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* new_leaf = log->p_new.get();
+    uint64_t mask =
+        kLeafCap == 64 ? ~uint64_t{0} : ((uint64_t{1} << kLeafCap) - 1);
+    scm::pmem::StorePersist(&leaf->bitmap, ~new_leaf->bitmap & mask);
+    scm::pmem::StorePPtrPersist(&leaf->next, log->p_new);
+    ResetSplitLog(log);
+  }
+
+  void ResetSplitLog(SplitLog* log) {
+    scm::pmem::StorePPtr(&log->p_current, scm::PPtr<LeafNode>::Null());
+    scm::pmem::StorePPtr(&log->p_new, scm::PPtr<LeafNode>::Null());
+    scm::pmem::Persist(log, sizeof(*log));
+  }
+
+  std::string ComputeSplitKey(LeafNode* leaf) {
+    std::vector<std::string> keys;
+    keys.reserve(kLeafCap);
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if ((leaf->bitmap >> i) & 1) {
+        keys.emplace_back(leaf->kv[i].pkey.get()->view());
+      }
+    }
+    size_t h = keys.size() / 2;
+    std::nth_element(keys.begin(), keys.begin() + (h - 1), keys.end());
+    return keys[h - 1];
+  }
+
+  void UpdateParents(const std::string& split_key, LeafNode* new_leaf) {
+    const std::string* interned = Intern(split_key);
+    htm::Tx tx(&htm_);
+    for (;;) {
+      tx.Begin();
+      PathRec path;
+      LeafNode* routed = FindLeafTxPath(&tx, split_key, &path);
+      if (!tx.ok() || routed == nullptr) continue;
+      InsertSplitTx(&tx, &path, reinterpret_cast<uint64_t>(interned),
+                    reinterpret_cast<uint64_t>(new_leaf));
+      if (!tx.ok()) continue;
+      if (tx.Commit()) return;
+    }
+  }
+
+  struct PathRec {
+    Inner* nodes[32];
+    uint32_t slots[32];
+    uint32_t depth = 0;
+  };
+
+  LeafNode* FindLeafTxPath(htm::Tx* tx, std::string_view key, PathRec* path) {
+    path->depth = 0;
+    Inner* node = reinterpret_cast<Inner*>(tx->Load(&root_));
+    for (uint32_t depth = 0; depth < 32; ++depth) {
+      if (!tx->ok() || node == nullptr) return nullptr;
+      uint64_t n = tx->Load(&node->n_keys);
+      if (n > kInnerCap) return nullptr;
+      uint64_t lo = 0, hi = n;
+      while (lo < hi) {
+        uint64_t mid = (lo + hi) / 2;
+        uint64_t kslot = tx->Load(&node->keys[mid]);
+        if (kslot == 0 || !tx->ok()) return nullptr;
+        if (KeyAt(kslot) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (!tx->ok()) return nullptr;
+      uint64_t child = tx->Load(&node->children[lo]);
+      path->nodes[path->depth] = node;
+      path->slots[path->depth] = static_cast<uint32_t>(lo);
+      ++path->depth;
+      if (tx->Load(&node->leaf_children) != 0) {
+        return reinterpret_cast<LeafNode*>(child);
+      }
+      node = reinterpret_cast<Inner*>(child);
+    }
+    return nullptr;
+  }
+
+  void InsertSplitTx(htm::Tx* tx, PathRec* path, uint64_t key,
+                     uint64_t right) {
+    for (int level = static_cast<int>(path->depth) - 1; level >= 0; --level) {
+      Inner* n = path->nodes[level];
+      uint32_t slot = path->slots[level];
+      uint64_t nk = tx->Load(&n->n_keys);
+      if (!tx->ok() || nk > kInnerCap) return;
+      if (nk < kInnerCap) {
+        for (uint64_t i = nk; i > slot; --i) {
+          tx->Store(&n->keys[i], tx->Load(&n->keys[i - 1]));
+        }
+        for (uint64_t i = nk + 1; i > slot + 1; --i) {
+          tx->Store(&n->children[i], tx->Load(&n->children[i - 1]));
+        }
+        tx->Store(&n->keys[slot], key);
+        tx->Store(&n->children[slot + 1], right);
+        tx->Store(&n->n_keys, nk + 1);
+        return;
+      }
+      Inner* sibling = NewInner(tx->Load(&n->leaf_children) != 0);
+      uint64_t mid = nk / 2;
+      uint64_t up_key = tx->Load(&n->keys[mid]);
+      uint64_t snk = nk - mid - 1;
+      for (uint64_t i = 0; i < snk; ++i) {
+        sibling->keys[i] = tx->Load(&n->keys[mid + 1 + i]);
+        sibling->children[i] = tx->Load(&n->children[mid + 1 + i]);
+      }
+      sibling->children[snk] = tx->Load(&n->children[nk]);
+      sibling->n_keys = snk;
+      if (!tx->ok()) return;
+      tx->Store(&n->n_keys, mid);
+      if (slot <= mid) {
+        uint64_t cnk = tx->Load(&n->n_keys);
+        for (uint64_t i = cnk; i > slot; --i) {
+          tx->Store(&n->keys[i], tx->Load(&n->keys[i - 1]));
+        }
+        for (uint64_t i = cnk + 1; i > slot + 1; --i) {
+          tx->Store(&n->children[i], tx->Load(&n->children[i - 1]));
+        }
+        tx->Store(&n->keys[slot], key);
+        tx->Store(&n->children[slot + 1], right);
+        tx->Store(&n->n_keys, cnk + 1);
+      } else {
+        uint32_t s = slot - static_cast<uint32_t>(mid) - 1;
+        for (uint64_t i = sibling->n_keys; i > s; --i) {
+          sibling->keys[i] = sibling->keys[i - 1];
+        }
+        for (uint64_t i = sibling->n_keys + 1; i > s + 1u; --i) {
+          sibling->children[i] = sibling->children[i - 1];
+        }
+        sibling->keys[s] = key;
+        sibling->children[s + 1] = right;
+        ++sibling->n_keys;
+      }
+      key = up_key;
+      right = reinterpret_cast<uint64_t>(sibling);
+    }
+    Inner* new_root = NewInner(false);
+    new_root->n_keys = 1;
+    new_root->keys[0] = key;
+    new_root->children[0] = tx->Load(&root_);
+    new_root->children[1] = right;
+    if (!tx->ok()) return;
+    tx->Store(&root_, reinterpret_cast<uint64_t>(new_root));
+  }
+
+  Inner* NewInner(bool leaf_children) {
+    Inner* n = static_cast<Inner*>(arena_.Allocate());
+    n->n_keys = 0;
+    n->leaf_children = leaf_children ? 1 : 0;
+    return n;
+  }
+
+  void AttachOrInit() {
+    uint64_t t0 = NowNanos();
+    if (pool_->root().IsNull()) {
+      Status s =
+          pool_->allocator()->Allocate(&pool_->header()->root, sizeof(PRoot));
+      assert(s.ok());
+      (void)s;
+    }
+    proot_ = static_cast<PRoot*>(pool_->root().get());
+    if (proot_->magic != PRoot::kMagic) {
+      PRoot zero{};
+      zero.magic = PRoot::kMagic;
+      scm::pmem::StoreBytes(proot_, &zero, sizeof(zero));
+      scm::pmem::Persist(proot_, sizeof(*proot_));
+    }
+    for (size_t i = 0; i < kNumLogs; ++i) {
+      RecoverSplit(&proot_->split_logs[i]);
+    }
+    if (!proot_->gc_slot.IsNull()) {
+      pool_->allocator()->Deallocate(&proot_->gc_slot);
+    }
+    if (proot_->head.IsNull()) {
+      Status s =
+          pool_->allocator()->Allocate(&proot_->head, sizeof(LeafNode));
+      assert(s.ok());
+      (void)s;
+      LeafNode* first = proot_->head.get();
+      LeafNode fresh{};
+      scm::pmem::StoreBytes(first, &fresh, sizeof(fresh));
+      scm::pmem::Persist(first, sizeof(*first));
+    }
+    RebuildInnerAndSweep();
+    if (!pool_->root_initialized()) pool_->SetRootInitialized();
+    recovery_nanos_ = NowNanos() - t0;
+  }
+
+  void RecoverSplit(SplitLog* log) {
+    if (log->p_current.IsNull() || log->p_new.IsNull()) {
+      ResetSplitLog(log);
+      return;
+    }
+    if (static_cast<size_t>(__builtin_popcountll(
+            log->p_current.get()->bitmap)) == kLeafCap) {
+      FinishSplitFromCopy(log);
+    } else {
+      FinishSplitFromInverse(log);
+    }
+  }
+
+  void RebuildInnerAndSweep() {
+    std::unordered_set<uint64_t> used;
+    used.insert(pool_->root().offset);
+    std::vector<std::pair<std::string, LeafNode*>> live;
+    size_t count = 0;
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
+      used.insert(pool_->ToPPtr(leaf).offset);
+      std::string mx;
+      size_t cnt = 0;
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!((leaf->bitmap >> i) & 1)) continue;
+        used.insert(leaf->kv[i].pkey.offset);
+        std::string k(leaf->kv[i].pkey.get()->view());
+        if (cnt == 0 || k > mx) mx = k;
+        ++cnt;
+      }
+      count += cnt;
+      if (cnt > 0 || leaf == proot_->head.get()) {
+        live.emplace_back(std::move(mx), leaf);
+      }
+    }
+    size_.store(count, std::memory_order_relaxed);
+    // Leak sweep (Alg. 17, strengthened; see fptree_var.h).
+    for (uint64_t off : pool_->allocator()->AllocatedPayloadOffsets()) {
+      if (used.count(off) != 0) continue;
+      scm::pmem::StorePPtrPersist(&proot_->gc_slot,
+                                  scm::PPtr<KeyBlob>{pool_->id(), off});
+      pool_->allocator()->Deallocate(&proot_->gc_slot);
+    }
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!((leaf->bitmap >> i) & 1) && !leaf->kv[i].pkey.IsNull()) {
+          scm::pmem::StorePPtrPersist(&leaf->kv[i].pkey,
+                                      scm::PPtr<KeyBlob>::Null());
+        }
+      }
+    }
+
+    // Bottom-up build with interned separator keys.
+    std::vector<std::pair<const std::string*, Inner*>> level;
+    {
+      size_t i = 0;
+      const size_t n = live.size();
+      while (i < n) {
+        Inner* node = NewInner(true);
+        size_t take = std::min(n - i, kInnerCap + 1);
+        for (size_t j = 0; j < take; ++j) {
+          node->children[j] = reinterpret_cast<uint64_t>(live[i + j].second);
+          if (j + 1 < take) {
+            node->keys[j] =
+                reinterpret_cast<uint64_t>(Intern(live[i + j].first));
+          }
+        }
+        node->n_keys = take - 1;
+        level.emplace_back(Intern(live[i + take - 1].first), node);
+        i += take;
+      }
+    }
+    while (level.size() > 1) {
+      std::vector<std::pair<const std::string*, Inner*>> next;
+      size_t i = 0;
+      const size_t n = level.size();
+      while (i < n) {
+        Inner* node = NewInner(false);
+        size_t take = std::min(n - i, kInnerCap + 1);
+        for (size_t j = 0; j < take; ++j) {
+          node->children[j] = reinterpret_cast<uint64_t>(level[i + j].second);
+          if (j + 1 < take) {
+            node->keys[j] = reinterpret_cast<uint64_t>(level[i + j].first);
+          }
+        }
+        node->n_keys = take - 1;
+        next.emplace_back(level[i + take - 1].first, node);
+        i += take;
+      }
+      level.swap(next);
+    }
+    root_ = reinterpret_cast<uint64_t>(level[0].second);
+  }
+
+  scm::Pool* pool_;
+  htm::HtmEngine htm_;
+  NodeArena arena_;
+  PRoot* proot_ = nullptr;
+  uint64_t root_ = 0;
+  LogClaimMask split_claims_;
+  std::mutex intern_mu_;
+  std::vector<std::unique_ptr<std::string>> interned_;
+  uint64_t intern_bytes_ = 0;
+  std::atomic<size_t> size_{0};
+  uint64_t recovery_nanos_ = 0;
+};
+
+}  // namespace core
+}  // namespace fptree

@@ -1,0 +1,603 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// FPTreeVar: the variable-size-key FPTree (paper §5 "Variable-size keys"
+// and Appendix C). Leaves store persistent pointers to out-of-line KeyBlobs
+// — so every in-leaf key probe dereferences into SCM (a cache miss), which
+// is why fingerprints pay off most for string keys (§4.2). Inserting or
+// deleting a key allocates/deallocates its blob through the leak-safe
+// allocator protocol; updates alias the blob pointer into the new slot and
+// make both changes visible with one p-atomic bitmap store (Alg. 16).
+//
+// Crash-induced key leaks (alloc before bitmap-commit, or bitmap-commit
+// before dealloc) are swept during recovery: a global mark phase collects
+// every blob referenced by a VALID slot, then unreferenced allocations are
+// reclaimed — a strengthened version of Alg. 17's per-leaf check that also
+// handles blobs aliased across a split.
+//
+// Substitution note (DESIGN.md): the paper keeps virtual pointers to keys
+// in the DRAM inner nodes; we keep DRAM *copies* of the separator keys
+// (std::string), which removes a dereference on inner comparisons but
+// preserves the leaf-probe cost structure the paper analyzes.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/inner_index.h"
+#include "core/tree_stats.h"
+#include "core/var_key.h"
+#include "scm/alloc.h"
+#include "scm/crash.h"
+#include "scm/pmem.h"
+#include "scm/pool.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace core {
+
+/// \brief Single-threaded variable-size-key FPTree. Default sizes per paper
+/// Table 1 (FPTreeVar: inner 2048, leaf 56).
+///
+/// With kUseFingerprints = false this is the paper's PTreeVar: same
+/// selective persistence and unsorted leaves, but every valid slot is
+/// probed — i.e. every probe dereferences a key blob in SCM, which is the
+/// cost fingerprints remove (§4.2).
+template <typename Value = uint64_t, size_t kLeafCap = 56,
+          size_t kInnerCap = 2048, bool kUseFingerprints = true>
+class FPTreeVar {
+  static_assert(kLeafCap >= 2 && kLeafCap <= 64);
+  static_assert(std::is_trivially_copyable_v<Value>);
+
+ public:
+  struct KV {
+    scm::PPtr<KeyBlob> pkey;
+    Value value;
+  };
+
+  struct alignas(64) LeafNode {
+    uint8_t fingerprints[kLeafCap];
+    uint64_t bitmap;
+    scm::PPtr<LeafNode> next;
+    uint64_t lock_word;
+    KV kv[kLeafCap];
+
+    bool IsFull() const {
+      return static_cast<size_t>(__builtin_popcountll(bitmap)) == kLeafCap;
+    }
+    bool TestBit(size_t i) const { return (bitmap >> i) & 1; }
+    int FindFirstZero() const {
+      uint64_t inv = ~bitmap;
+      if constexpr (kLeafCap < 64) inv &= (uint64_t{1} << kLeafCap) - 1;
+      return inv == 0 ? -1 : __builtin_ctzll(inv);
+    }
+  };
+
+  struct alignas(64) SplitLog {
+    scm::PPtr<LeafNode> p_current;
+    scm::PPtr<LeafNode> p_new;
+  };
+
+  struct alignas(64) DeleteLog {
+    scm::PPtr<LeafNode> p_current;
+    scm::PPtr<LeafNode> p_prev;
+  };
+
+  struct alignas(64) PRoot {
+    static constexpr uint64_t kMagic = 0xF97EE000000006ULL;
+
+    uint64_t magic;
+    scm::PPtr<LeafNode> head;
+    SplitLog split_log;
+    DeleteLog delete_log;
+    scm::PPtr<KeyBlob> gc_slot;  ///< scratch for leak-sweep deallocations
+  };
+
+  explicit FPTreeVar(scm::Pool* pool) : pool_(pool) { AttachOrInit(); }
+
+  FPTreeVar(const FPTreeVar&) = delete;
+  FPTreeVar& operator=(const FPTreeVar&) = delete;
+
+  bool Find(std::string_view key, Value* value) {
+    ++stats_.finds;
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    int slot = FindInLeaf(leaf, key);
+    if (slot < 0) return false;
+    *value = leaf->kv[slot].value;
+    return true;
+  }
+
+  /// Paper Alg. 14 (single-threaded): allocate the key blob leak-safely,
+  /// then publish value + fingerprint via the bitmap.
+  bool Insert(std::string_view key, const Value& value) {
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    if (FindInLeaf(leaf, key) >= 0) return false;
+    LeafNode* target = leaf;
+    if (leaf->IsFull()) {
+      std::string split_key;
+      LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (key > split_key) target = new_leaf;
+      InsertKV(target, key, value);
+      inner_.InsertSplit(path, split_key, new_leaf);
+    } else {
+      InsertKV(target, key, value);
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Paper Alg. 16: the new slot aliases the existing key blob; one bitmap
+  /// store publishes insert+delete; then the old slot's pointer is reset so
+  /// each blob is referenced exactly once.
+  bool Update(std::string_view key, const Value& value) {
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    int prev_slot = FindInLeaf(leaf, key);
+    if (prev_slot < 0) return false;
+    if (leaf->IsFull()) {
+      std::string split_key;
+      LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      inner_.InsertSplit(path, split_key, new_leaf);
+      if (key > split_key) leaf = new_leaf;
+      prev_slot = FindInLeaf(leaf, key);
+      assert(prev_slot >= 0);
+    }
+    int slot = leaf->FindFirstZero();
+    assert(slot >= 0);
+    scm::pmem::StorePPtr(&leaf->kv[slot].pkey, leaf->kv[prev_slot].pkey);
+    scm::pmem::Store(&leaf->kv[slot].value, value);
+    scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+    scm::pmem::Persist(&leaf->kv[slot]);
+    scm::pmem::Persist(&leaf->fingerprints[slot], 1);
+    SCM_CRASH_POINT("fptreevar.update.before_bitmap");
+    uint64_t bmp = leaf->bitmap;
+    bmp &= ~(uint64_t{1} << prev_slot);
+    bmp |= uint64_t{1} << slot;
+    scm::pmem::StorePersist(&leaf->bitmap, bmp);
+    SCM_CRASH_POINT("fptreevar.update.aliased");
+    scm::pmem::StorePPtrPersist(&leaf->kv[prev_slot].pkey,
+                                scm::PPtr<KeyBlob>::Null());
+    SCM_CRASH_POINT("fptreevar.update.old_reset");
+    return true;
+  }
+
+  /// Paper Alg. 15: bitmap-clear then blob deallocation.
+  bool Erase(std::string_view key) {
+    Path path;
+    LeafNode* prev = nullptr;
+    LeafNode* leaf = FindLeafAndPrev(key, &path, &prev);
+    int slot = FindInLeaf(leaf, key);
+    if (slot < 0) return false;
+    bool last_in_leaf = __builtin_popcountll(leaf->bitmap) == 1;
+    bool only_leaf = proot_->head.get() == leaf && leaf->next.IsNull();
+    scm::pmem::StorePersist(&leaf->bitmap,
+                            leaf->bitmap & ~(uint64_t{1} << slot));
+    SCM_CRASH_POINT("fptreevar.erase.after_bitmap");
+    pool_->allocator()->Deallocate(&leaf->kv[slot].pkey);
+    SCM_CRASH_POINT("fptreevar.erase.key_freed");
+    if (last_in_leaf && !only_leaf) {
+      DeleteLeaf(leaf, prev);
+      inner_.RemoveLeaf(path);
+    }
+    --size_;
+    return true;
+  }
+
+  void RangeScan(std::string_view start, size_t limit,
+                 std::vector<std::pair<std::string, Value>>* out) {
+    out->clear();
+    Path path;
+    LeafNode* leaf = FindLeaf(start, &path);
+    std::vector<std::pair<std::string, Value>> in_leaf;
+    while (leaf != nullptr && out->size() < limit) {
+      in_leaf.clear();
+      scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        const KeyBlob* blob = leaf->kv[i].pkey.get();
+        if (CompareBlob(blob, start) >= 0) {
+          in_leaf.emplace_back(std::string(blob->view()),
+                               leaf->kv[i].value);
+        }
+      }
+      std::sort(in_leaf.begin(), in_leaf.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& p : in_leaf) {
+        if (out->size() >= limit) break;
+        out->push_back(std::move(p));
+      }
+      leaf = leaf->next.get();
+    }
+  }
+
+  size_t Size() const { return size_; }
+  TreeOpStats& stats() { return stats_; }
+  uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
+  uint64_t last_recovery_nanos() const { return recovery_nanos_; }
+
+  uint64_t DramBytes() const {
+    return inner_.MemoryBytes() + inner_key_bytes_;
+  }
+
+  bool CheckConsistency(std::string* why) const {
+    LeafNode* leaf = proot_->head.get();
+    std::string prev_max;
+    bool first = true;
+    size_t total = 0;
+    while (leaf != nullptr) {
+      std::string mn, mx;
+      size_t cnt = 0;
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        const KeyBlob* blob = leaf->kv[i].pkey.get();
+        if (blob == nullptr) {
+          *why = "valid slot with null key pointer";
+          return false;
+        }
+        std::string k(blob->view());
+        if (cnt == 0 || k < mn) mn = k;
+        if (cnt == 0 || k > mx) mx = k;
+        if (kUseFingerprints &&
+            leaf->fingerprints[i] != Fingerprint(blob->view())) {
+          *why = "stale fingerprint";
+          return false;
+        }
+        ++cnt;
+      }
+      if (cnt > 0) {
+        if (!first && mn <= prev_max) {
+          *why = "leaf list out of order";
+          return false;
+        }
+        prev_max = mx;
+        first = false;
+      }
+      total += cnt;
+      leaf = leaf->next.get();
+    }
+    if (total != size_) {
+      *why = "size mismatch";
+      return false;
+    }
+    return true;
+  }
+
+  /// Leak check: every allocated block is the root, a leaf, or a blob
+  /// referenced by exactly one valid slot.
+  bool CheckNoLeaks(std::string* why) const {
+    std::unordered_set<uint64_t> reachable;
+    reachable.insert(pool_->root().offset);
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      reachable.insert(pool_->ToPPtr(leaf).offset);
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        if (!reachable.insert(leaf->kv[i].pkey.offset).second) {
+          *why = "blob referenced twice";
+          return false;
+        }
+      }
+    }
+    for (uint64_t off : pool_->allocator()->AllocatedPayloadOffsets()) {
+      if (reachable.count(off) == 0) {
+        *why = "leaked block at offset " + std::to_string(off);
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  using Inner = InnerIndex<std::string, kInnerCap>;
+  using Path = typename Inner::Path;
+
+  LeafNode* FindLeaf(std::string_view key, Path* path) {
+    return static_cast<LeafNode*>(inner_.FindLeaf(std::string(key), path));
+  }
+
+  LeafNode* FindLeafAndPrev(std::string_view key, Path* path,
+                            LeafNode** prev) {
+    LeafNode* leaf = FindLeaf(key, path);
+    *prev = nullptr;
+    for (int level = static_cast<int>(path->depth) - 1; level >= 0; --level) {
+      typename Inner::Node* n = path->nodes[level];
+      uint32_t slot = path->slots[level];
+      if (slot > 0) {
+        void* sub = n->children[slot - 1];
+        bool leaf_level = n->leaf_children;
+        while (!leaf_level) {
+          typename Inner::Node* in = static_cast<typename Inner::Node*>(sub);
+          sub = in->children[in->n_keys];
+          leaf_level = in->leaf_children;
+        }
+        *prev = static_cast<LeafNode*>(sub);
+        break;
+      }
+    }
+    return leaf;
+  }
+
+  /// Fingerprint-filtered probe; each surviving probe dereferences the key
+  /// blob in SCM (the var-key cache miss of §4.2).
+  int FindInLeaf(LeafNode* leaf, std::string_view key) {
+    if (leaf == nullptr) return -1;
+    scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
+    [[maybe_unused]] uint8_t fp = Fingerprint(key);
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (!leaf->TestBit(i)) continue;
+      if constexpr (kUseFingerprints) {
+        if (leaf->fingerprints[i] != fp) continue;
+      }
+      ++stats_.key_probes;
+      scm::ReadScm(&leaf->kv[i], sizeof(KV));
+      const KeyBlob* blob = leaf->kv[i].pkey.get();
+      if (blob != nullptr && CompareBlob(blob, key) == 0) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void InsertKV(LeafNode* leaf, std::string_view key, const Value& value) {
+    int slot = leaf->FindFirstZero();
+    assert(slot >= 0);
+    Status s = AllocateKeyBlob(pool_, &leaf->kv[slot].pkey, key);
+    assert(s.ok());
+    (void)s;
+    SCM_CRASH_POINT("fptreevar.insert.key_allocated");
+    scm::pmem::Store(&leaf->kv[slot].value, value);
+    scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+    scm::pmem::Persist(&leaf->kv[slot]);
+    scm::pmem::Persist(&leaf->fingerprints[slot], 1);
+    SCM_CRASH_POINT("fptreevar.insert.before_bitmap");
+    scm::pmem::StorePersist(&leaf->bitmap,
+                            leaf->bitmap | (uint64_t{1} << slot));
+    SCM_CRASH_POINT("fptreevar.insert.after_bitmap");
+  }
+
+  LeafNode* SplitLeaf(LeafNode* leaf, std::string* split_key) {
+    ++stats_.leaf_splits;
+    SplitLog* log = &proot_->split_log;
+    scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
+    SCM_CRASH_POINT("fptreevar.split.logged");
+    Status s = pool_->allocator()->Allocate(&log->p_new, sizeof(LeafNode));
+    assert(s.ok());
+    (void)s;
+    SCM_CRASH_POINT("fptreevar.split.allocated");
+    LeafNode* new_leaf = log->p_new.get();
+    *split_key = FinishSplitFromCopy(log);
+    return new_leaf;
+  }
+
+  std::string FinishSplitFromCopy(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* new_leaf = log->p_new.get();
+    scm::pmem::StoreBytes(new_leaf, leaf, sizeof(LeafNode));
+    scm::pmem::Persist(new_leaf, sizeof(LeafNode));
+    SCM_CRASH_POINT("fptreevar.split.copied");
+    std::string sk = ComputeSplitKey(leaf);
+    uint64_t upper = 0;
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (leaf->TestBit(i) &&
+          CompareBlob(leaf->kv[i].pkey.get(), sk) > 0) {
+        upper |= uint64_t{1} << i;
+      }
+    }
+    scm::pmem::StorePersist(&new_leaf->bitmap, upper);
+    SCM_CRASH_POINT("fptreevar.split.new_bitmap");
+    scm::pmem::StorePersist(&leaf->bitmap, leaf->bitmap & ~upper);
+    SCM_CRASH_POINT("fptreevar.split.old_bitmap");
+    scm::pmem::StorePPtrPersist(&leaf->next, log->p_new);
+    SCM_CRASH_POINT("fptreevar.split.linked");
+    ResetSplitLog(log);
+    inner_key_bytes_ += sk.size();
+    return sk;
+  }
+
+  void FinishSplitFromInverse(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* new_leaf = log->p_new.get();
+    uint64_t mask =
+        kLeafCap == 64 ? ~uint64_t{0} : ((uint64_t{1} << kLeafCap) - 1);
+    scm::pmem::StorePersist(&leaf->bitmap, ~new_leaf->bitmap & mask);
+    scm::pmem::StorePPtrPersist(&leaf->next, log->p_new);
+    ResetSplitLog(log);
+  }
+
+  void ResetSplitLog(SplitLog* log) {
+    scm::pmem::StorePPtr(&log->p_current, scm::PPtr<LeafNode>::Null());
+    scm::pmem::StorePPtr(&log->p_new, scm::PPtr<LeafNode>::Null());
+    scm::pmem::Persist(log, sizeof(*log));
+  }
+
+  std::string ComputeSplitKey(LeafNode* leaf) {
+    std::vector<std::string> keys;
+    keys.reserve(kLeafCap);
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (leaf->TestBit(i)) {
+        keys.emplace_back(leaf->kv[i].pkey.get()->view());
+      }
+    }
+    size_t h = keys.size() / 2;
+    std::nth_element(keys.begin(), keys.begin() + (h - 1), keys.end());
+    return keys[h - 1];
+  }
+
+  void DeleteLeaf(LeafNode* leaf, LeafNode* prev) {
+    ++stats_.leaf_deletes;
+    DeleteLog* log = &proot_->delete_log;
+    scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
+    SCM_CRASH_POINT("fptreevar.delete.logged");
+    if (proot_->head.get() == leaf) {
+      scm::pmem::StorePPtrPersist(&proot_->head, leaf->next);
+    } else {
+      assert(prev != nullptr);
+      scm::pmem::StorePPtrPersist(&log->p_prev, pool_->ToPPtr(prev));
+      scm::pmem::StorePPtrPersist(&prev->next, leaf->next);
+      SCM_CRASH_POINT("fptreevar.delete.unlinked");
+    }
+    scm::pmem::StorePersist(&leaf->bitmap, uint64_t{0});
+    pool_->allocator()->Deallocate(&log->p_current);
+    ResetDeleteLog(log);
+  }
+
+  void ResetDeleteLog(DeleteLog* log) {
+    scm::pmem::StorePPtr(&log->p_current, scm::PPtr<LeafNode>::Null());
+    scm::pmem::StorePPtr(&log->p_prev, scm::PPtr<LeafNode>::Null());
+    scm::pmem::Persist(log, sizeof(*log));
+  }
+
+  // --- Initialization & recovery -------------------------------------------
+
+  void AttachOrInit() {
+    uint64_t t0 = NowNanos();
+    if (pool_->root().IsNull()) {
+      Status s =
+          pool_->allocator()->Allocate(&pool_->header()->root, sizeof(PRoot));
+      assert(s.ok());
+      (void)s;
+    }
+    proot_ = static_cast<PRoot*>(pool_->root().get());
+    if (proot_->magic != PRoot::kMagic) {
+      PRoot zero{};
+      zero.magic = PRoot::kMagic;
+      scm::pmem::StoreBytes(proot_, &zero, sizeof(zero));
+      scm::pmem::Persist(proot_, sizeof(*proot_));
+    }
+    RecoverSplit();
+    RecoverDelete();
+    if (!proot_->gc_slot.IsNull()) {
+      pool_->allocator()->Deallocate(&proot_->gc_slot);
+    }
+    if (proot_->head.IsNull()) {
+      Status s =
+          pool_->allocator()->Allocate(&proot_->head, sizeof(LeafNode));
+      assert(s.ok());
+      (void)s;
+      LeafNode* first = proot_->head.get();
+      scm::pmem::StorePersist(&first->bitmap, uint64_t{0});
+      scm::pmem::StorePPtrPersist(&first->next, scm::PPtr<LeafNode>::Null());
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        scm::pmem::StorePPtr(&first->kv[i].pkey, scm::PPtr<KeyBlob>::Null());
+      }
+      scm::pmem::Persist(first, sizeof(*first));
+    }
+    RebuildTransientStateAndSweepLeaks();
+    if (!pool_->root_initialized()) pool_->SetRootInitialized();
+    recovery_nanos_ = NowNanos() - t0;
+  }
+
+  void RecoverSplit() {
+    SplitLog* log = &proot_->split_log;
+    if (log->p_current.IsNull() || log->p_new.IsNull()) {
+      ResetSplitLog(log);
+      return;
+    }
+    if (log->p_current.get()->IsFull()) {
+      FinishSplitFromCopy(log);
+    } else {
+      FinishSplitFromInverse(log);
+    }
+  }
+
+  void RecoverDelete() {
+    DeleteLog* log = &proot_->delete_log;
+    if (log->p_current.IsNull()) {
+      ResetDeleteLog(log);
+      return;
+    }
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* head = proot_->head.get();
+    if (!log->p_prev.IsNull()) {
+      scm::pmem::StorePPtrPersist(&log->p_prev.get()->next, leaf->next);
+      FinishDeleteRecovery(log);
+    } else if (leaf == head) {
+      scm::pmem::StorePPtrPersist(&proot_->head, leaf->next);
+      FinishDeleteRecovery(log);
+    } else if (leaf->next.get() == head) {
+      FinishDeleteRecovery(log);
+    } else {
+      ResetDeleteLog(log);
+    }
+  }
+
+  void FinishDeleteRecovery(DeleteLog* log) {
+    scm::pmem::StorePersist(&log->p_current.get()->bitmap, uint64_t{0});
+    pool_->allocator()->Deallocate(&log->p_current);
+    ResetDeleteLog(log);
+  }
+
+  /// Rebuilds the inner nodes (paper Alg. 9/17) and sweeps leaked key
+  /// blobs: mark every blob referenced by a valid slot, then reclaim
+  /// allocations that are neither leaves nor marked blobs. This subsumes
+  /// Alg. 17's per-leaf alias check and also handles blob copies left in
+  /// invalid slots by leaf splits.
+  void RebuildTransientStateAndSweepLeaks() {
+    inner_.Clear();
+    inner_key_bytes_ = 0;
+    size_ = 0;
+    std::unordered_set<uint64_t> used;
+    used.insert(pool_->root().offset);
+    std::vector<std::pair<std::string, void*>> live;
+    LeafNode* head = proot_->head.get();
+    for (LeafNode* leaf = head; leaf != nullptr; leaf = leaf->next.get()) {
+      scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
+      used.insert(pool_->ToPPtr(leaf).offset);
+      std::string max_key;
+      size_t cnt = 0;
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        used.insert(leaf->kv[i].pkey.offset);
+        std::string k(leaf->kv[i].pkey.get()->view());
+        if (cnt == 0 || k > max_key) max_key = k;
+        ++cnt;
+      }
+      size_ += cnt;
+      if (cnt > 0) live.emplace_back(std::move(max_key), leaf);
+    }
+    // Sweep: anything allocated but unused is a crash leak (Alg. 17).
+    for (uint64_t off : pool_->allocator()->AllocatedPayloadOffsets()) {
+      if (used.count(off) != 0) continue;
+      scm::pmem::StorePPtrPersist(&proot_->gc_slot,
+                                  scm::PPtr<KeyBlob>{pool_->id(), off});
+      pool_->allocator()->Deallocate(&proot_->gc_slot);
+    }
+    // Also reset stale pointers in invalid slots so future leak checks and
+    // recoveries start clean.
+    for (LeafNode* leaf = head; leaf != nullptr; leaf = leaf->next.get()) {
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i) && !leaf->kv[i].pkey.IsNull()) {
+          scm::pmem::StorePPtrPersist(&leaf->kv[i].pkey,
+                                      scm::PPtr<KeyBlob>::Null());
+        }
+      }
+    }
+    if (!live.empty()) {
+      std::sort(live.begin(), live.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& [k, l] : live) inner_key_bytes_ += k.size();
+      inner_.BulkBuild(live);
+    } else if (head != nullptr) {
+      inner_.InitSingleLeaf(head);
+    }
+  }
+
+  scm::Pool* pool_;
+  PRoot* proot_ = nullptr;
+  Inner inner_;
+  size_t size_ = 0;
+  uint64_t inner_key_bytes_ = 0;
+  uint64_t recovery_nanos_ = 0;
+  TreeOpStats stats_;
+};
+
+}  // namespace core
+}  // namespace fptree

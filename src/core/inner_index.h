@@ -1,0 +1,284 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// The DRAM-resident inner-node index used by the single-threaded hybrid
+// trees (FPTree, PTree and their variable-key variants). Inner nodes have a
+// "classical main memory structure with sorted keys" (paper §4, Fig. 2a):
+// they are transient, rebuilt on recovery from the persistent leaves, and
+// need no special consistency effort.
+//
+// Routing invariant: keys[i] is the maximum key of subtree i, so descent
+// takes child lower_bound(k) (first i with k <= keys[i], else the last
+// child). BulkBuild() constructs the index bottom-up from sorted
+// (max_key, leaf) pairs, which is exactly the paper's recovery procedure.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace fptree {
+namespace core {
+
+/// \brief Transient sorted inner index over opaque leaf pointers.
+///
+/// \tparam Key       totally ordered, trivially copyable key type
+/// \tparam kInnerCap maximum keys per inner node
+template <typename Key, size_t kInnerCap>
+class InnerIndex {
+ public:
+  struct Node {
+    uint32_t n_keys = 0;
+    bool leaf_children = false;
+    Key keys[kInnerCap];
+    void* children[kInnerCap + 1];
+  };
+
+  /// Maximum tree height supported by the fixed-size descent path. With
+  /// fan-out >= 2 this is unreachable in practice.
+  static constexpr size_t kMaxHeight = 32;
+
+  /// Descent record: the nodes and child slots visited root-to-parent.
+  struct Path {
+    Node* nodes[kMaxHeight];
+    uint32_t slots[kMaxHeight];
+    uint32_t depth = 0;
+
+    Node* parent() const { return depth == 0 ? nullptr : nodes[depth - 1]; }
+  };
+
+  InnerIndex() = default;
+  ~InnerIndex() { Clear(); }
+
+  InnerIndex(const InnerIndex&) = delete;
+  InnerIndex& operator=(const InnerIndex&) = delete;
+
+  bool empty() const { return root_ == nullptr; }
+
+  /// Frees all inner nodes (leaves are not owned).
+  void Clear() {
+    if (root_ != nullptr) {
+      FreeRecursive(root_);
+      root_ = nullptr;
+    }
+  }
+
+  /// Descends to the leaf responsible for `key`; records the path.
+  void* FindLeaf(const Key& key, Path* path) const {
+    path->depth = 0;
+    if (root_ == nullptr) return nullptr;
+    Node* n = root_;
+    for (;;) {
+      uint32_t slot = ChildSlot(n, key);
+      path->nodes[path->depth] = n;
+      path->slots[path->depth] = slot;
+      ++path->depth;
+      if (n->leaf_children) return n->children[slot];
+      n = static_cast<Node*>(n->children[slot]);
+    }
+  }
+
+  /// The left-most leaf (for full scans); nullptr when empty.
+  void* FirstLeaf() const {
+    if (root_ == nullptr) return nullptr;
+    Node* n = root_;
+    while (!n->leaf_children) n = static_cast<Node*>(n->children[0]);
+    return n->children[0];
+  }
+
+  /// Installs the one-leaf tree (tree bootstrap).
+  void InitSingleLeaf(void* leaf) {
+    assert(root_ == nullptr);
+    root_ = NewNode();
+    root_->leaf_children = true;
+    root_->n_keys = 0;
+    root_->children[0] = leaf;
+  }
+
+  /// After the leaf at `path` split with separator `split_key` and new right
+  /// sibling `new_leaf`, threads the separator up the recorded path,
+  /// splitting inner nodes as needed.
+  void InsertSplit(const Path& path, const Key& split_key, void* new_leaf) {
+    Key key = split_key;
+    void* right = new_leaf;
+    for (int level = static_cast<int>(path.depth) - 1; level >= 0; --level) {
+      Node* n = path.nodes[level];
+      uint32_t slot = path.slots[level];
+      if (n->n_keys < kInnerCap) {
+        InsertAt(n, slot, key, right);
+        return;
+      }
+      // Split this inner node; middle key moves up.
+      Node* sibling = NewNode();
+      sibling->leaf_children = n->leaf_children;
+      uint32_t mid = n->n_keys / 2;
+      Key up_key = n->keys[mid];
+      sibling->n_keys = n->n_keys - mid - 1;
+      std::copy(n->keys + mid + 1, n->keys + n->n_keys, sibling->keys);
+      std::copy(n->children + mid + 1, n->children + n->n_keys + 1,
+                sibling->children);
+      n->n_keys = mid;
+      // Insert the pending (key, right) into the correct half.
+      if (slot <= mid) {
+        InsertAt(n, slot, key, right);
+      } else {
+        InsertAt(sibling, slot - mid - 1, key, right);
+      }
+      key = up_key;
+      right = sibling;
+    }
+    // Root split: grow the tree by one level.
+    Node* new_root = NewNode();
+    new_root->leaf_children = false;
+    new_root->n_keys = 1;
+    new_root->keys[0] = key;
+    new_root->children[0] = root_;
+    new_root->children[1] = right;
+    root_ = new_root;
+  }
+
+  /// Removes the leaf at `path` from its parent (the leaf became empty and
+  /// is being deleted). Collapses empty ancestors and shrinks the root.
+  void RemoveLeaf(const Path& path) {
+    RemoveChild(path, static_cast<int>(path.depth) - 1);
+  }
+
+  /// Rebuilds the index from (max_key, leaf) pairs sorted by key — the
+  /// paper's recovery path ("this step is similar to how inner nodes are
+  /// built in a bulk-load operation", Alg. 9).
+  void BulkBuild(const std::vector<std::pair<Key, void*>>& sorted_leaves) {
+    Clear();
+    if (sorted_leaves.empty()) return;
+    // Level 0: pack leaves under parents. Separator between leaf i and i+1
+    // is max_key(leaf i).
+    std::vector<std::pair<Key, Node*>> level;
+    {
+      size_t i = 0;
+      const size_t n = sorted_leaves.size();
+      while (i < n) {
+        Node* node = NewNode();
+        node->leaf_children = true;
+        size_t take = std::min(n - i, kInnerCap + 1);
+        for (size_t j = 0; j < take; ++j) {
+          node->children[j] = sorted_leaves[i + j].second;
+          if (j + 1 < take) node->keys[j] = sorted_leaves[i + j].first;
+        }
+        node->n_keys = static_cast<uint32_t>(take - 1);
+        level.emplace_back(sorted_leaves[i + take - 1].first, node);
+        i += take;
+      }
+    }
+    while (level.size() > 1) {
+      std::vector<std::pair<Key, Node*>> next;
+      size_t i = 0;
+      const size_t n = level.size();
+      while (i < n) {
+        Node* node = NewNode();
+        node->leaf_children = false;
+        size_t take = std::min(n - i, kInnerCap + 1);
+        for (size_t j = 0; j < take; ++j) {
+          node->children[j] = level[i + j].second;
+          if (j + 1 < take) node->keys[j] = level[i + j].first;
+        }
+        node->n_keys = static_cast<uint32_t>(take - 1);
+        next.emplace_back(level[i + take - 1].first, node);
+        i += take;
+      }
+      level.swap(next);
+    }
+    root_ = level[0].second;
+  }
+
+  /// Approximate DRAM footprint of the inner index in bytes.
+  uint64_t MemoryBytes() const { return node_count_ * sizeof(Node); }
+
+  uint64_t node_count() const { return node_count_; }
+
+  /// Depth of the inner index (0 when empty).
+  uint32_t Height() const {
+    uint32_t h = 0;
+    Node* n = root_;
+    while (n != nullptr) {
+      ++h;
+      n = n->leaf_children ? nullptr : static_cast<Node*>(n->children[0]);
+    }
+    return h;
+  }
+
+ private:
+  static uint32_t ChildSlot(const Node* n, const Key& key) {
+    const Key* begin = n->keys;
+    const Key* end = n->keys + n->n_keys;
+    return static_cast<uint32_t>(std::lower_bound(begin, end, key) - begin);
+  }
+
+  static void InsertAt(Node* n, uint32_t slot, const Key& key, void* right) {
+    std::copy_backward(n->keys + slot, n->keys + n->n_keys,
+                       n->keys + n->n_keys + 1);
+    std::copy_backward(n->children + slot + 1, n->children + n->n_keys + 1,
+                       n->children + n->n_keys + 2);
+    n->keys[slot] = key;
+    n->children[slot + 1] = right;
+    ++n->n_keys;
+  }
+
+  void RemoveChild(const Path& path, int level) {
+    if (level < 0) {
+      // The root lost its last child (already freed by the caller).
+      root_ = nullptr;
+      return;
+    }
+    Node* n = path.nodes[level];
+    uint32_t slot = path.slots[level];
+    if (n->n_keys == 0) {
+      // Node held a single child; remove the node itself from its parent.
+      FreeNode(n);
+      RemoveChild(path, level - 1);
+      return;
+    }
+    // Remove children[slot] and the adjacent separator.
+    uint32_t key_slot = slot == n->n_keys ? slot - 1 : slot;
+    std::copy(n->keys + key_slot + 1, n->keys + n->n_keys, n->keys + key_slot);
+    std::copy(n->children + slot + 1, n->children + n->n_keys + 1,
+              n->children + slot);
+    --n->n_keys;
+    // A keyless non-leaf-parent node holds a single subtree: splice the
+    // child upward (into the parent slot, or as the new root). Keyless
+    // leaf parents are kept — a leaf cannot take an inner node's place.
+    if (n->n_keys == 0 && !n->leaf_children) {
+      Node* child = static_cast<Node*>(n->children[0]);
+      if (level == 0) {
+        root_ = child;
+      } else {
+        path.nodes[level - 1]->children[path.slots[level - 1]] = child;
+      }
+      FreeNode(n);
+    }
+  }
+
+  Node* NewNode() {
+    ++node_count_;
+    return new Node();
+  }
+
+  void FreeNode(Node* n) {
+    --node_count_;
+    delete n;
+  }
+
+  void FreeRecursive(Node* n) {
+    if (!n->leaf_children) {
+      for (uint32_t i = 0; i <= n->n_keys; ++i) {
+        FreeRecursive(static_cast<Node*>(n->children[i]));
+      }
+    }
+    FreeNode(n);
+  }
+
+  Node* root_ = nullptr;
+  uint64_t node_count_ = 0;
+};
+
+}  // namespace core
+}  // namespace fptree

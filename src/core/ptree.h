@@ -1,0 +1,477 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// PTree (paper §5): "a light version of the FPTree that implements only
+// selective persistence and unsorted leaves. Contrary to the FPTree and the
+// wBTree, it keeps keys and values in separate arrays for better data
+// locality when linearly scanning the keys." No fingerprints, no leaf
+// groups (leaves are allocated one-by-one through the persistent
+// allocator). PTree is both a paper baseline and the natural
+// "fingerprinting off" ablation for the FPTree.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/inner_index.h"
+#include "core/tree_stats.h"
+#include "scm/alloc.h"
+#include "scm/crash.h"
+#include "scm/pmem.h"
+#include "scm/pool.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace core {
+
+/// \brief Single-threaded PTree. Default leaf size 32 (paper Table 1).
+template <typename Value = uint64_t, size_t kLeafCap = 32,
+          size_t kInnerCap = 4096>
+class PTree {
+  static_assert(kLeafCap >= 2 && kLeafCap <= 64);
+  static_assert(std::is_trivially_copyable_v<Value>);
+
+ public:
+  using Key = uint64_t;
+
+  /// Leaf layout: keys and values in separate arrays (better locality for
+  /// the linear key scan), validity bitmap, persistent next pointer.
+  struct alignas(64) LeafNode {
+    uint64_t bitmap;
+    scm::PPtr<LeafNode> next;
+    uint64_t lock_word;
+    uint64_t reserved[4];
+    Key keys[kLeafCap];
+    Value values[kLeafCap];
+
+    bool IsFull() const {
+      return static_cast<size_t>(__builtin_popcountll(bitmap)) == kLeafCap;
+    }
+    bool TestBit(size_t i) const { return (bitmap >> i) & 1; }
+    int FindFirstZero() const {
+      uint64_t inv = ~bitmap;
+      if constexpr (kLeafCap < 64) inv &= (uint64_t{1} << kLeafCap) - 1;
+      return inv == 0 ? -1 : __builtin_ctzll(inv);
+    }
+  };
+
+  struct alignas(64) SplitLog {
+    scm::PPtr<LeafNode> p_current;
+    scm::PPtr<LeafNode> p_new;
+  };
+
+  struct alignas(64) DeleteLog {
+    scm::PPtr<LeafNode> p_current;
+    scm::PPtr<LeafNode> p_prev;
+  };
+
+  struct alignas(64) PRoot {
+    static constexpr uint64_t kMagic = 0xF97EE000000002ULL;
+
+    uint64_t magic;
+    scm::PPtr<LeafNode> head;
+    SplitLog split_log;
+    DeleteLog delete_log;
+  };
+
+  explicit PTree(scm::Pool* pool) : pool_(pool) { AttachOrInit(); }
+
+  PTree(const PTree&) = delete;
+  PTree& operator=(const PTree&) = delete;
+
+  bool Find(Key key, Value* value) {
+    ++stats_.finds;
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    int slot = FindInLeaf(leaf, key);
+    if (slot < 0) return false;
+    scm::ReadScm(&leaf->values[slot], sizeof(Value));
+    *value = leaf->values[slot];
+    return true;
+  }
+
+  bool Insert(Key key, const Value& value) {
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    if (FindInLeaf(leaf, key) >= 0) return false;
+    LeafNode* target = leaf;
+    if (leaf->IsFull()) {
+      Key split_key;
+      LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (key > split_key) target = new_leaf;
+      InsertKV(target, key, value);
+      inner_.InsertSplit(path, split_key, new_leaf);
+    } else {
+      InsertKV(target, key, value);
+    }
+    ++size_;
+    return true;
+  }
+
+  bool Update(Key key, const Value& value) {
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    int prev_slot = FindInLeaf(leaf, key);
+    if (prev_slot < 0) return false;
+    if (leaf->IsFull()) {
+      Key split_key;
+      LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      inner_.InsertSplit(path, split_key, new_leaf);
+      if (key > split_key) leaf = new_leaf;
+      prev_slot = FindInLeaf(leaf, key);
+      assert(prev_slot >= 0);
+    }
+    int slot = leaf->FindFirstZero();
+    assert(slot >= 0);
+    scm::pmem::Store(&leaf->keys[slot], key);
+    scm::pmem::Store(&leaf->values[slot], value);
+    scm::pmem::Persist(&leaf->keys[slot]);
+    scm::pmem::Persist(&leaf->values[slot]);
+    uint64_t bmp = leaf->bitmap;
+    bmp &= ~(uint64_t{1} << prev_slot);
+    bmp |= uint64_t{1} << slot;
+    scm::pmem::StorePersist(&leaf->bitmap, bmp);
+    return true;
+  }
+
+  bool Erase(Key key) {
+    Path path;
+    LeafNode* prev = nullptr;
+    LeafNode* leaf = FindLeafAndPrev(key, &path, &prev);
+    int slot = FindInLeaf(leaf, key);
+    if (slot < 0) return false;
+    bool last_in_leaf = __builtin_popcountll(leaf->bitmap) == 1;
+    bool only_leaf = proot_->head.get() == leaf && leaf->next.IsNull();
+    if (last_in_leaf && !only_leaf) {
+      DeleteLeaf(leaf, prev);
+      inner_.RemoveLeaf(path);
+    } else {
+      scm::pmem::StorePersist(&leaf->bitmap,
+                              leaf->bitmap & ~(uint64_t{1} << slot));
+    }
+    --size_;
+    return true;
+  }
+
+  void RangeScan(Key start, size_t limit,
+                 std::vector<std::pair<Key, Value>>* out) {
+    out->clear();
+    Path path;
+    LeafNode* leaf = FindLeaf(start, &path);
+    std::vector<std::pair<Key, Value>> in_leaf;
+    while (leaf != nullptr && out->size() < limit) {
+      in_leaf.clear();
+      scm::ReadScm(leaf->keys, sizeof(leaf->keys));
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (leaf->TestBit(i) && leaf->keys[i] >= start) {
+          scm::ReadScm(&leaf->values[i], sizeof(Value));
+          in_leaf.emplace_back(leaf->keys[i], leaf->values[i]);
+        }
+      }
+      std::sort(in_leaf.begin(), in_leaf.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& p : in_leaf) {
+        if (out->size() >= limit) break;
+        out->push_back(p);
+      }
+      leaf = leaf->next.get();
+    }
+  }
+
+  size_t Size() const { return size_; }
+  TreeOpStats& stats() { return stats_; }
+  uint64_t DramBytes() const { return inner_.MemoryBytes(); }
+  uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
+  uint64_t last_recovery_nanos() const { return recovery_nanos_; }
+
+  bool CheckConsistency(std::string* why) const {
+    LeafNode* leaf = proot_->head.get();
+    Key prev_max = 0;
+    bool first = true;
+    size_t total = 0;
+    while (leaf != nullptr) {
+      Key mn = ~Key{0}, mx = 0;
+      size_t cnt = 0;
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        ++cnt;
+        mn = std::min(mn, leaf->keys[i]);
+        mx = std::max(mx, leaf->keys[i]);
+      }
+      if (cnt > 0) {
+        if (!first && mn <= prev_max) {
+          *why = "leaf list out of order";
+          return false;
+        }
+        prev_max = mx;
+        first = false;
+      }
+      total += cnt;
+      leaf = leaf->next.get();
+    }
+    if (total != size_) {
+      *why = "size mismatch";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  using Inner = InnerIndex<Key, kInnerCap>;
+  using Path = typename Inner::Path;
+
+  LeafNode* FindLeaf(Key key, Path* path) {
+    return static_cast<LeafNode*>(inner_.FindLeaf(key, path));
+  }
+
+  LeafNode* FindLeafAndPrev(Key key, Path* path, LeafNode** prev) {
+    LeafNode* leaf = FindLeaf(key, path);
+    *prev = nullptr;
+    for (int level = static_cast<int>(path->depth) - 1; level >= 0; --level) {
+      typename Inner::Node* n = path->nodes[level];
+      uint32_t slot = path->slots[level];
+      if (slot > 0) {
+        void* sub = n->children[slot - 1];
+        bool leaf_level = n->leaf_children;
+        while (!leaf_level) {
+          typename Inner::Node* in = static_cast<typename Inner::Node*>(sub);
+          sub = in->children[in->n_keys];
+          leaf_level = in->leaf_children;
+        }
+        *prev = static_cast<LeafNode*>(sub);
+        break;
+      }
+    }
+    return leaf;
+  }
+
+  /// Linear scan over the (dense) key array — no fingerprint filter. Every
+  /// valid key is probed until a match (paper: the PTree's key arrays give
+  /// locality, but all keys in the scan path are touched).
+  int FindInLeaf(LeafNode* leaf, Key key) {
+    if (leaf == nullptr) return -1;
+    scm::ReadScm(leaf, 64);  // header line (bitmap etc.)
+    scm::ReadScm(leaf->keys, sizeof(leaf->keys));
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (!leaf->TestBit(i)) continue;
+      ++stats_.key_probes;
+      if (leaf->keys[i] == key) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void InsertKV(LeafNode* leaf, Key key, const Value& value) {
+    int slot = leaf->FindFirstZero();
+    assert(slot >= 0);
+    scm::pmem::Store(&leaf->keys[slot], key);
+    scm::pmem::Store(&leaf->values[slot], value);
+    scm::pmem::Persist(&leaf->keys[slot]);
+    scm::pmem::Persist(&leaf->values[slot]);
+    SCM_CRASH_POINT("ptree.insert.before_bitmap");
+    scm::pmem::StorePersist(&leaf->bitmap,
+                            leaf->bitmap | (uint64_t{1} << slot));
+  }
+
+  LeafNode* SplitLeaf(LeafNode* leaf, Key* split_key) {
+    ++stats_.leaf_splits;
+    SplitLog* log = &proot_->split_log;
+    scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
+    Status s = pool_->allocator()->Allocate(&log->p_new, sizeof(LeafNode));
+    assert(s.ok());
+    (void)s;
+    SCM_CRASH_POINT("ptree.split.allocated");
+    LeafNode* new_leaf = log->p_new.get();
+    *split_key = FinishSplitFromCopy(log);
+    return new_leaf;
+  }
+
+  Key FinishSplitFromCopy(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* new_leaf = log->p_new.get();
+    scm::pmem::StoreBytes(new_leaf, leaf, sizeof(LeafNode));
+    scm::pmem::Persist(new_leaf, sizeof(LeafNode));
+    SCM_CRASH_POINT("ptree.split.copied");
+    Key sk = ComputeSplitKey(leaf);
+    uint64_t upper = 0;
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (leaf->TestBit(i) && leaf->keys[i] > sk) upper |= uint64_t{1} << i;
+    }
+    scm::pmem::StorePersist(&new_leaf->bitmap, upper);
+    scm::pmem::StorePersist(&leaf->bitmap, leaf->bitmap & ~upper);
+    SCM_CRASH_POINT("ptree.split.old_bitmap");
+    FinishSplitTail(log);
+    return sk;
+  }
+
+  void FinishSplitFromInverse(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* new_leaf = log->p_new.get();
+    uint64_t mask =
+        kLeafCap == 64 ? ~uint64_t{0} : ((uint64_t{1} << kLeafCap) - 1);
+    scm::pmem::StorePersist(&leaf->bitmap, ~new_leaf->bitmap & mask);
+    FinishSplitTail(log);
+  }
+
+  void FinishSplitTail(SplitLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    scm::pmem::StorePPtrPersist(&leaf->next, log->p_new);
+    ResetSplitLog(log);
+  }
+
+  void ResetSplitLog(SplitLog* log) {
+    scm::pmem::StorePPtr(&log->p_current, scm::PPtr<LeafNode>::Null());
+    scm::pmem::StorePPtr(&log->p_new, scm::PPtr<LeafNode>::Null());
+    scm::pmem::Persist(log, sizeof(*log));
+  }
+
+  Key ComputeSplitKey(LeafNode* leaf) const {
+    Key keys[kLeafCap];
+    size_t n = 0;
+    for (size_t i = 0; i < kLeafCap; ++i) {
+      if (leaf->TestBit(i)) keys[n++] = leaf->keys[i];
+    }
+    size_t h = n / 2;
+    std::nth_element(keys, keys + (h - 1), keys + n);
+    return keys[h - 1];
+  }
+
+  void DeleteLeaf(LeafNode* leaf, LeafNode* prev) {
+    ++stats_.leaf_deletes;
+    DeleteLog* log = &proot_->delete_log;
+    scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
+    SCM_CRASH_POINT("ptree.delete.logged");
+    if (proot_->head.get() == leaf) {
+      scm::pmem::StorePPtrPersist(&proot_->head, leaf->next);
+    } else {
+      assert(prev != nullptr);
+      scm::pmem::StorePPtrPersist(&log->p_prev, pool_->ToPPtr(prev));
+      scm::pmem::StorePPtrPersist(&prev->next, leaf->next);
+      SCM_CRASH_POINT("ptree.delete.unlinked");
+    }
+    scm::pmem::StorePersist(&leaf->bitmap, uint64_t{0});
+    pool_->allocator()->Deallocate(&log->p_current);
+    ResetDeleteLog(log);
+  }
+
+  void ResetDeleteLog(DeleteLog* log) {
+    scm::pmem::StorePPtr(&log->p_current, scm::PPtr<LeafNode>::Null());
+    scm::pmem::StorePPtr(&log->p_prev, scm::PPtr<LeafNode>::Null());
+    scm::pmem::Persist(log, sizeof(*log));
+  }
+
+  void AttachOrInit() {
+    uint64_t t0 = NowNanos();
+    if (pool_->root().IsNull()) {
+      Status s =
+          pool_->allocator()->Allocate(&pool_->header()->root, sizeof(PRoot));
+      assert(s.ok());
+      (void)s;
+    }
+    proot_ = static_cast<PRoot*>(pool_->root().get());
+    if (proot_->magic != PRoot::kMagic) {
+      PRoot zero{};
+      zero.magic = PRoot::kMagic;
+      scm::pmem::StoreBytes(proot_, &zero, sizeof(zero));
+      scm::pmem::Persist(proot_, sizeof(*proot_));
+    }
+    RecoverSplit();
+    RecoverDelete();
+    RebuildTransientState();
+    if (proot_->head.IsNull()) {
+      Status s =
+          pool_->allocator()->Allocate(&proot_->head, sizeof(LeafNode));
+      assert(s.ok());
+      (void)s;
+      LeafNode* first = proot_->head.get();
+      scm::pmem::StorePersist(&first->bitmap, uint64_t{0});
+      scm::pmem::StorePPtrPersist(&first->next, scm::PPtr<LeafNode>::Null());
+      inner_.Clear();
+      inner_.InitSingleLeaf(first);
+      size_ = 0;
+    }
+    if (!pool_->root_initialized()) pool_->SetRootInitialized();
+    recovery_nanos_ = NowNanos() - t0;
+  }
+
+  void RecoverSplit() {
+    SplitLog* log = &proot_->split_log;
+    if (log->p_current.IsNull() || log->p_new.IsNull()) {
+      ResetSplitLog(log);
+      return;
+    }
+    if (log->p_current.get()->IsFull()) {
+      FinishSplitFromCopy(log);
+    } else {
+      FinishSplitFromInverse(log);
+    }
+  }
+
+  void RecoverDelete() {
+    DeleteLog* log = &proot_->delete_log;
+    if (log->p_current.IsNull()) {
+      ResetDeleteLog(log);
+      return;
+    }
+    LeafNode* leaf = log->p_current.get();
+    LeafNode* head = proot_->head.get();
+    if (!log->p_prev.IsNull()) {
+      LeafNode* prev = log->p_prev.get();
+      scm::pmem::StorePPtrPersist(&prev->next, leaf->next);
+      FinishDeleteRecovery(log);
+    } else if (leaf == head) {
+      scm::pmem::StorePPtrPersist(&proot_->head, leaf->next);
+      FinishDeleteRecovery(log);
+    } else if (leaf->next.get() == head) {
+      FinishDeleteRecovery(log);
+    } else {
+      ResetDeleteLog(log);
+    }
+  }
+
+  void FinishDeleteRecovery(DeleteLog* log) {
+    LeafNode* leaf = log->p_current.get();
+    scm::pmem::StorePersist(&leaf->bitmap, uint64_t{0});
+    pool_->allocator()->Deallocate(&log->p_current);
+    ResetDeleteLog(log);
+  }
+
+  void RebuildTransientState() {
+    inner_.Clear();
+    size_ = 0;
+    std::vector<std::pair<Key, void*>> live;
+    LeafNode* head = proot_->head.get();
+    for (LeafNode* leaf = head; leaf != nullptr; leaf = leaf->next.get()) {
+      scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
+      scm::ReadScm(leaf, 64);
+      scm::ReadScm(leaf->keys, sizeof(leaf->keys));
+      Key max_key = 0;
+      size_t cnt = 0;
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        max_key = std::max(max_key, leaf->keys[i]);
+        ++cnt;
+      }
+      size_ += cnt;
+      if (cnt > 0) live.emplace_back(max_key, leaf);
+    }
+    if (!live.empty()) {
+      std::sort(live.begin(), live.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      inner_.BulkBuild(live);
+    } else if (head != nullptr) {
+      inner_.InitSingleLeaf(head);
+    }
+  }
+
+  scm::Pool* pool_;
+  PRoot* proot_ = nullptr;
+  Inner inner_;
+  size_t size_ = 0;
+  uint64_t recovery_nanos_ = 0;
+  TreeOpStats stats_;
+};
+
+}  // namespace core
+}  // namespace fptree

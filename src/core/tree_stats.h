@@ -1,0 +1,24 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Operation counters shared by all single-threaded tree implementations;
+// the benchmarks read these (e.g. in-leaf key probes for Fig. 4).
+
+#pragma once
+
+#include <cstdint>
+
+namespace fptree {
+namespace core {
+
+struct TreeOpStats {
+  uint64_t finds = 0;
+  uint64_t key_probes = 0;  ///< in-leaf key probes during search (Fig. 4)
+  uint64_t leaf_splits = 0;
+  uint64_t leaf_deletes = 0;
+  uint64_t rebuilds = 0;    ///< NV-Tree inner-node rebuilds (§6.4)
+
+  void Clear() { *this = TreeOpStats{}; }
+};
+
+}  // namespace core
+}  // namespace fptree

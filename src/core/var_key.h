@@ -1,0 +1,87 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Variable-size key support (paper §5 "Variable-size keys" and Appendix C).
+// String keys are stored out-of-line in SCM as KeyBlob records; leaves hold
+// persistent pointers to them and inner structures hold references that
+// dereference on comparison — which is precisely why "every key probe
+// results in a cache miss" for var-key trees (§4.2) and why fingerprints
+// help them the most.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "scm/alloc.h"
+#include "scm/latency.h"
+#include "scm/pmem.h"
+#include "scm/pool.h"
+
+namespace fptree {
+namespace core {
+
+/// Persistent out-of-line key: length-prefixed bytes.
+struct KeyBlob {
+  uint64_t len;
+  char bytes[];  // len bytes follow
+
+  std::string_view view() const { return std::string_view(bytes, len); }
+};
+
+/// Length sanity bound. Optimistic readers in the concurrent trees may
+/// dereference a blob that is being recycled; a garbage length must never
+/// drive an unbounded read (the comparison result is discarded anyway when
+/// the transaction fails validation).
+constexpr uint64_t kMaxVarKeyLen = 4096;
+
+/// Reads (and charges) a blob comparison against a probe string.
+inline int CompareBlob(const KeyBlob* blob, std::string_view key) {
+  uint64_t len = scm::pmem::Load(&blob->len);
+  if (len > kMaxVarKeyLen) return 1;
+  scm::ReadScm(blob, sizeof(uint64_t) + len);
+  return std::string_view(blob->bytes, len).compare(key);
+}
+
+inline int CompareBlobs(const KeyBlob* a, const KeyBlob* b) {
+  uint64_t la = scm::pmem::Load(&a->len);
+  uint64_t lb = scm::pmem::Load(&b->len);
+  if (la > kMaxVarKeyLen || lb > kMaxVarKeyLen) return la > lb ? 1 : -1;
+  scm::ReadScm(a, sizeof(uint64_t) + la);
+  scm::ReadScm(b, sizeof(uint64_t) + lb);
+  return std::string_view(a->bytes, la)
+      .compare(std::string_view(b->bytes, lb));
+}
+
+/// Writes `key` into the blob pointed to by *slot, allocating it through
+/// the leak-safe allocator protocol (slot must live in SCM).
+inline Status AllocateKeyBlob(scm::Pool* pool, scm::PPtr<KeyBlob>* slot,
+                              std::string_view key) {
+  Status s = pool->allocator()->Allocate(
+      reinterpret_cast<scm::VoidPPtr*>(slot), sizeof(uint64_t) + key.size());
+  if (!s.ok()) return s;
+  KeyBlob* blob = slot->get();
+  scm::pmem::Store(&blob->len, static_cast<uint64_t>(key.size()));
+  scm::pmem::StoreBytes(blob->bytes, key.data(), key.size());
+  scm::pmem::Persist(blob, sizeof(uint64_t) + key.size());
+  return Status::OK();
+}
+
+/// \brief 8-byte comparison handle used by DRAM inner structures for
+/// var-key trees (the paper replaces inner keys with virtual pointers to
+/// keys). Dereferences — and pays the SCM read — on every comparison.
+struct KeyRef {
+  const KeyBlob* blob = nullptr;
+
+  bool operator<(const KeyRef& o) const {
+    return CompareBlobs(blob, o.blob) < 0;
+  }
+  bool operator==(const KeyRef& o) const {
+    return CompareBlobs(blob, o.blob) == 0;
+  }
+  bool operator<=(const KeyRef& o) const { return !(o < *this); }
+};
+
+}  // namespace core
+}  // namespace fptree

@@ -1,0 +1,262 @@
+#include "htm/htm.h"
+
+#include <algorithm>
+
+namespace fptree {
+namespace htm {
+
+namespace {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+inline void Backoff(int attempt) {
+  if (attempt <= 1) return;
+  int shift = attempt < 10 ? attempt : 10;
+  uint64_t iters = 1ULL << shift;
+  for (uint64_t i = 0; i < iters; ++i) CpuRelax();
+}
+
+}  // namespace
+
+HtmEngine::HtmEngine(Backend backend)
+    : backend_(backend), table_(kTableSize) {}
+
+HtmEngine::~HtmEngine() = default;
+
+Tx::~Tx() { ReleaseFallbackIfHeld(); }
+
+void Tx::ResetSets() {
+  reads_.clear();
+  writes_.clear();
+}
+
+void Tx::ReleaseFallbackIfHeld() {
+  if (in_fallback_) {
+    if (eng_->backend() == Backend::kTl2) {
+      eng_->fallback_word_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    eng_->fallback_mu_.unlock();
+    in_fallback_ = false;
+  }
+}
+
+void Tx::Begin() {
+  ReleaseFallbackIfHeld();
+  ResetSets();
+  doomed_ = false;
+  active_ = true;
+  ++attempts_;
+
+  if (eng_->backend() == Backend::kGlobalLock) {
+    eng_->fallback_mu_.lock();
+    in_fallback_ = true;
+    return;
+  }
+
+  if (attempts_ > HtmEngine::kMaxAttempts) {
+    // Lock-elision fallback: take the global lock, signal speculative
+    // transactions via the fallback word, wait for in-flight commits to
+    // drain so we never observe a half-applied write set.
+    eng_->fallback_mu_.lock();
+    eng_->fallback_word_.fetch_add(1, std::memory_order_acq_rel);
+    while (eng_->inflight_commits_.load(std::memory_order_acquire) != 0) {
+      CpuRelax();
+    }
+    in_fallback_ = true;
+    eng_->stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  Backoff(attempts_);
+  // Subscribe to the fallback word; wait while the fallback lock is held
+  // (a real TSX transaction would abort on the locked word).
+  for (;;) {
+    uint64_t fb = eng_->fallback_word_.load(std::memory_order_acquire);
+    if ((fb & 1) == 0) {
+      fb_seen_ = fb;
+      break;
+    }
+    CpuRelax();
+  }
+  rv_ = eng_->clock_.load(std::memory_order_acquire);
+}
+
+void Tx::Doom() {
+  doomed_ = true;
+}
+
+uint64_t Tx::Load(const uint64_t* addr) {
+  if (in_fallback_) {
+    return __atomic_load_n(addr, __ATOMIC_RELAXED);
+  }
+  if (doomed_) return 0;
+  // Read-own-writes.
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (it->addr == addr) return it->value;
+  }
+  std::atomic<uint64_t>& lock = eng_->LockFor(addr);
+  uint64_t l1 = lock.load(std::memory_order_acquire);
+  if ((l1 & 1) != 0) {
+    Doom();
+    return 0;
+  }
+  uint64_t value = __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+  uint64_t l2 = lock.load(std::memory_order_acquire);
+  if (l1 != l2 || (l1 >> 1) > rv_) {
+    Doom();
+    return value;
+  }
+  // Detect an engaged fallback quickly so a doomed transaction does not
+  // wander stale pointers for long.
+  if (eng_->fallback_word_.load(std::memory_order_acquire) != fb_seen_) {
+    Doom();
+    return value;
+  }
+  reads_.push_back(ReadEntry{&lock, l1});
+  return value;
+}
+
+void Tx::Store(uint64_t* addr, uint64_t value) {
+  if (in_fallback_) {
+    __atomic_store_n(addr, value, __ATOMIC_RELAXED);
+    return;
+  }
+  if (doomed_) return;
+  for (auto& w : writes_) {
+    if (w.addr == addr) {
+      w.value = value;
+      return;
+    }
+  }
+  writes_.push_back(WriteEntry{addr, value});
+}
+
+void Tx::UserAbort() {
+  eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  ReleaseFallbackIfHeld();
+  ResetSets();
+  active_ = false;
+  doomed_ = false;
+}
+
+bool Tx::ValidateReads() const {
+  for (const ReadEntry& e : reads_) {
+    if (e.lock->load(std::memory_order_acquire) != e.version) return false;
+  }
+  return true;
+}
+
+bool Tx::Commit() {
+  active_ = false;
+  if (in_fallback_) {
+    ReleaseFallbackIfHeld();
+    eng_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    attempts_ = 0;
+    return true;
+  }
+  if (doomed_) {
+    eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  if (writes_.empty()) {
+    // Read-only transaction: validate the read set and fallback word.
+    if (!ValidateReads() ||
+        eng_->fallback_word_.load(std::memory_order_acquire) != fb_seen_) {
+      eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    eng_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    attempts_ = 0;
+    return true;
+  }
+
+  // Write transaction. Announce so a new fallback waits for us.
+  eng_->inflight_commits_.fetch_add(1, std::memory_order_acq_rel);
+  if (eng_->fallback_word_.load(std::memory_order_acquire) != fb_seen_) {
+    eng_->inflight_commits_.fetch_sub(1, std::memory_order_acq_rel);
+    eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Lock the write set (unique lock-table entries, sorted to avoid
+  // self-deadlock when two addresses hash to the same entry).
+  std::vector<std::atomic<uint64_t>*> owned;
+  owned.reserve(writes_.size());
+  for (const WriteEntry& w : writes_) owned.push_back(&eng_->LockFor(w.addr));
+  std::sort(owned.begin(), owned.end());
+  owned.erase(std::unique(owned.begin(), owned.end()), owned.end());
+
+  size_t locked = 0;
+  bool ok = true;
+  for (; locked < owned.size(); ++locked) {
+    std::atomic<uint64_t>* l = owned[locked];
+    bool got = false;
+    for (int spin = 0; spin < 64; ++spin) {
+      uint64_t cur = l->load(std::memory_order_acquire);
+      if ((cur & 1) == 0 &&
+          l->compare_exchange_weak(cur, cur | 1,
+                                   std::memory_order_acq_rel)) {
+        got = true;
+        break;
+      }
+      CpuRelax();
+    }
+    if (!got) {
+      ok = false;
+      break;
+    }
+  }
+
+  uint64_t wv = 0;
+  if (ok) {
+    wv = eng_->clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Validate reads; entries whose lock we own are compared modulo the
+    // lock bit we just set.
+    for (const ReadEntry& e : reads_) {
+      uint64_t cur = e.lock->load(std::memory_order_acquire);
+      if (cur == e.version) continue;
+      bool owned_by_us =
+          (cur & 1) != 0 && (cur & ~1ULL) == (e.version & ~1ULL) &&
+          std::binary_search(
+              owned.begin(), owned.end(),
+              const_cast<std::atomic<uint64_t>*>(e.lock));
+      if (!owned_by_us) {
+        ok = false;
+        break;
+      }
+    }
+  }
+
+  if (ok) {
+    for (const WriteEntry& w : writes_) {
+      __atomic_store_n(w.addr, w.value, __ATOMIC_RELEASE);
+    }
+    for (std::atomic<uint64_t>* l : owned) {
+      l->store(wv << 1, std::memory_order_release);
+    }
+    eng_->inflight_commits_.fetch_sub(1, std::memory_order_acq_rel);
+    eng_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    attempts_ = 0;
+    return true;
+  }
+
+  // Failure: release whatever we locked, restoring prior versions.
+  for (size_t i = 0; i < locked; ++i) {
+    std::atomic<uint64_t>* l = owned[i];
+    l->store(l->load(std::memory_order_acquire) & ~1ULL,
+             std::memory_order_release);
+  }
+  eng_->inflight_commits_.fetch_sub(1, std::memory_order_acq_rel);
+  eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace htm
+}  // namespace fptree

@@ -1,0 +1,190 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Hardware Transactional Memory substitute (paper §4.4, Selective
+// Concurrency). The paper uses Intel TSX: a speculative lock around the
+// DRAM-resident critical section, with cache-line-granular conflict
+// detection and a global-lock fallback after repeated aborts.
+//
+// This container has no guaranteed TSX, so the default backend is a TL2-style
+// software transactional memory that provides the same semantics:
+//
+//  * transactions buffer writes and keep a versioned read set;
+//  * conflicts are detected by validating a versioned-lock table (the analog
+//    of cache-line granularity: addresses hash to lock-table entries);
+//  * after kMaxAttempts speculative aborts a transaction acquires the global
+//    fallback lock — and, exactly like lock elision, every speculative
+//    transaction subscribes to the fallback word and aborts when it changes.
+//
+// Contract with tree code (what makes optimistic reads memory-safe):
+//  * All transactionally-tracked fields are 8-byte-aligned uint64_t slots
+//    accessed only through Tx::Load/Tx::Store (atomic, tear-free).
+//  * Pointers stored in tracked slots must point into arenas that are never
+//    unmapped (the DRAM node arena and the SCM pools), so a stale pointer
+//    read by a doomed transaction dereferences mapped memory; validation
+//    aborts the transaction before its results are used.
+//  * A doomed transaction's loads return garbage; callers must check
+//    Tx::ok() in loop conditions and bail out promptly.
+//
+// A plain global-lock backend (every transaction takes one mutex) is kept
+// for debugging and as an ablation point ("what HTM buys", DESIGN.md §4).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fptree {
+namespace htm {
+
+enum class Backend {
+  kTl2,        ///< software transactional memory with lock-elision semantics
+  kGlobalLock  ///< every transaction takes one global mutex (ablation)
+};
+
+/// Engine statistics (monotonic, relaxed).
+struct HtmStats {
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> fallbacks{0};
+
+  void Clear() {
+    commits.store(0, std::memory_order_relaxed);
+    aborts.store(0, std::memory_order_relaxed);
+    fallbacks.store(0, std::memory_order_relaxed);
+  }
+};
+
+class Tx;
+
+/// \brief One speculative-lock domain (one per concurrent tree).
+class HtmEngine {
+ public:
+  /// Number of versioned locks. Power of two. Addresses hash here, which is
+  /// the software analog of cache-line-granular conflict detection.
+  static constexpr size_t kTableSize = 1 << 20;
+  /// Speculative attempts before taking the fallback lock (the paper lets a
+  /// TSX transaction "retry a few times").
+  static constexpr int kMaxAttempts = 16;
+
+  explicit HtmEngine(Backend backend = Backend::kTl2);
+  ~HtmEngine();
+
+  HtmEngine(const HtmEngine&) = delete;
+  HtmEngine& operator=(const HtmEngine&) = delete;
+
+  Backend backend() const { return backend_; }
+  HtmStats& stats() { return stats_; }
+
+ private:
+  friend class Tx;
+
+  std::atomic<uint64_t>& LockFor(const void* addr) {
+    // Mix the address; ignore low 3 bits (8-byte slots). Distinct 64-byte
+    // lines land in distinct entries with high probability.
+    uintptr_t a = reinterpret_cast<uintptr_t>(addr) >> 3;
+    a ^= a >> 17;
+    a *= 0x9E3779B97F4A7C15ULL;
+    return table_[(a >> 24) & (kTableSize - 1)];
+  }
+
+  Backend backend_;
+  // Versioned locks: bit0 = write-locked, upper bits = version.
+  std::vector<std::atomic<uint64_t>> table_;
+  std::atomic<uint64_t> clock_{2};
+  // Fallback word: bit0 = held, upper bits bump on every acquire/release.
+  std::atomic<uint64_t> fallback_word_{0};
+  std::mutex fallback_mu_;
+  std::atomic<uint64_t> inflight_commits_{0};
+  HtmStats stats_;
+};
+
+/// \brief One transaction attempt sequence for one logical operation.
+///
+/// Usage mirrors the paper's pseudo-code:
+///
+///   Tx tx(&engine);
+///   for (;;) {
+///     tx.Begin();                                  // speculative_lock.acquire()
+///     uint64_t l = tx.Load(&leaf->lock_word);
+///     if (!tx.ok()) continue;                      // doomed: retry
+///     if (l == 1) { tx.UserAbort(); continue; }    // speculative_lock.abort()
+///     tx.Store(&leaf->lock_word, 1);
+///     if (tx.Commit()) break;                      // speculative_lock.release()
+///   }
+///
+/// Attempt counting persists across Begin() calls; after kMaxAttempts the
+/// transaction runs under the global fallback lock and cannot fail.
+class Tx {
+ public:
+  explicit Tx(HtmEngine* engine) : eng_(engine) {}
+  ~Tx();
+
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  /// Starts (or restarts) the transaction attempt.
+  void Begin();
+
+  /// True while the current attempt has not been doomed by a conflict.
+  bool ok() const { return !doomed_; }
+
+  /// Transactional load of an 8-byte tracked slot.
+  uint64_t Load(const uint64_t* addr);
+
+  /// Transactional load of a pointer-valued tracked slot.
+  template <typename T>
+  T* LoadPtr(T* const* addr) {
+    return reinterpret_cast<T*>(
+        Load(reinterpret_cast<const uint64_t*>(addr)));
+  }
+
+  /// Transactional (buffered) store to an 8-byte tracked slot.
+  void Store(uint64_t* addr, uint64_t value);
+
+  template <typename T>
+  void StorePtr(T** addr, T* value) {
+    Store(reinterpret_cast<uint64_t*>(addr),
+          reinterpret_cast<uint64_t>(value));
+  }
+
+  /// Explicit programmer abort (leaf already locked, etc.). Discards the
+  /// attempt; the caller's retry loop calls Begin() again.
+  void UserAbort();
+
+  /// Attempts to commit. On success returns true. On validation failure
+  /// returns false and the caller retries from Begin().
+  bool Commit();
+
+  /// True if this attempt is running under the global fallback lock.
+  bool in_fallback() const { return in_fallback_; }
+
+ private:
+  struct ReadEntry {
+    const std::atomic<uint64_t>* lock;
+    uint64_t version;
+  };
+  struct WriteEntry {
+    uint64_t* addr;
+    uint64_t value;
+  };
+
+  void ResetSets();
+  void Doom();                  // internal conflict: mark attempt dead
+  void ReleaseFallbackIfHeld();
+  bool ValidateReads() const;
+
+  HtmEngine* eng_;
+  std::vector<ReadEntry> reads_;
+  std::vector<WriteEntry> writes_;
+  uint64_t rv_ = 0;             // read version (clock at Begin)
+  uint64_t fb_seen_ = 0;        // fallback word at Begin
+  int attempts_ = 0;
+  bool active_ = false;
+  bool doomed_ = false;
+  bool in_fallback_ = false;
+};
+
+}  // namespace htm
+}  // namespace fptree

@@ -1,0 +1,362 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Uniform index interfaces and adapters. The end-to-end applications
+// (kvcache, minidb) and the benchmark harnesses hold trees through these so
+// every tree in the paper's evaluation can be swapped in by name, exactly
+// as the paper swaps trees into memcached and its prototype database.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "baselines/nvtree.h"
+#include "baselines/stxtree.h"
+#include "baselines/wbtree.h"
+#include "core/fptree.h"
+#include "core/fptree_concurrent.h"
+#include "core/fptree_concurrent_var.h"
+#include "core/fptree_var.h"
+#include "core/ptree.h"
+#include "scm/pool.h"
+#include "util/hash.h"
+
+namespace fptree {
+namespace index {
+
+/// \brief Fixed-size (8-byte) key index.
+class KVIndex {
+ public:
+  virtual ~KVIndex() = default;
+
+  virtual bool Find(uint64_t key, uint64_t* value) = 0;
+  virtual bool Insert(uint64_t key, uint64_t value) = 0;
+  virtual bool Update(uint64_t key, uint64_t value) = 0;
+  virtual bool Erase(uint64_t key) = 0;
+  virtual size_t Size() = 0;
+  virtual uint64_t DramBytes() const = 0;
+  virtual uint64_t ScmBytes() const = 0;
+  /// Nanoseconds the constructor spent on recovery (0 for transient trees).
+  virtual uint64_t RecoveryNanos() const { return 0; }
+  /// True when the implementation is internally thread-safe.
+  virtual bool concurrent() const { return false; }
+};
+
+/// \brief Variable-size (string) key index.
+class VarIndex {
+ public:
+  virtual ~VarIndex() = default;
+
+  virtual bool Find(std::string_view key, uint64_t* value) = 0;
+  virtual bool Insert(std::string_view key, uint64_t value) = 0;
+  virtual bool Update(std::string_view key, uint64_t value) = 0;
+  virtual bool Erase(std::string_view key) = 0;
+  virtual size_t Size() = 0;
+  virtual uint64_t DramBytes() const = 0;
+  virtual uint64_t ScmBytes() const = 0;
+  virtual bool concurrent() const { return false; }
+};
+
+namespace internal {
+
+/// Wraps a single-threaded tree; optionally adds a global read/write lock
+/// so concurrent applications can drive it (the paper does exactly this in
+/// memcached: "global locks for non-concurrent trees").
+template <typename TreeT, typename KeyArg>
+class LockedAdapter {
+ public:
+  template <typename... Args>
+  explicit LockedAdapter(bool lock, Args&&... args)
+      : lock_(lock), tree_(std::forward<Args>(args)...) {}
+
+  bool Find(KeyArg key, uint64_t* value) {
+    if (!lock_) return tree_.Find(key, value);
+    std::shared_lock<std::shared_mutex> l(mu_);
+    return tree_.Find(key, value);
+  }
+  bool Insert(KeyArg key, uint64_t value) {
+    if (!lock_) return tree_.Insert(key, value);
+    std::unique_lock<std::shared_mutex> l(mu_);
+    return tree_.Insert(key, value);
+  }
+  bool Update(KeyArg key, uint64_t value) {
+    if (!lock_) return tree_.Update(key, value);
+    std::unique_lock<std::shared_mutex> l(mu_);
+    return tree_.Update(key, value);
+  }
+  bool Erase(KeyArg key) {
+    if (!lock_) return tree_.Erase(key);
+    std::unique_lock<std::shared_mutex> l(mu_);
+    return tree_.Erase(key);
+  }
+
+  TreeT& tree() { return tree_; }
+
+ private:
+  bool lock_;
+  std::shared_mutex mu_;
+  TreeT tree_;
+};
+
+}  // namespace internal
+
+/// Fixed-key adapter for any tree exposing the common tree API.
+template <typename TreeT>
+class FixedAdapter : public KVIndex {
+ public:
+  template <typename... Args>
+  explicit FixedAdapter(bool locked, Args&&... args)
+      : locked_(locked), impl_(locked, std::forward<Args>(args)...) {}
+
+  bool Find(uint64_t key, uint64_t* value) override {
+    return impl_.Find(key, value);
+  }
+  bool Insert(uint64_t key, uint64_t value) override {
+    return impl_.Insert(key, value);
+  }
+  bool Update(uint64_t key, uint64_t value) override {
+    return impl_.Update(key, value);
+  }
+  bool Erase(uint64_t key) override { return impl_.Erase(key); }
+  size_t Size() override { return impl_.tree().Size(); }
+  uint64_t DramBytes() const override {
+    return const_cast<FixedAdapter*>(this)->impl_.tree().DramBytes();
+  }
+  uint64_t ScmBytes() const override {
+    if constexpr (requires(TreeT& t) { t.ScmBytes(); }) {
+      return const_cast<FixedAdapter*>(this)->impl_.tree().ScmBytes();
+    } else {
+      return 0;  // fully transient tree
+    }
+  }
+  bool concurrent() const override { return locked_; }
+
+  TreeT& tree() { return impl_.tree(); }
+
+ private:
+  bool locked_;
+  internal::LockedAdapter<TreeT, uint64_t> impl_;
+};
+
+/// Var-key adapter.
+template <typename TreeT>
+class VarAdapter : public VarIndex {
+ public:
+  template <typename... Args>
+  explicit VarAdapter(bool locked, Args&&... args)
+      : locked_(locked), impl_(locked, std::forward<Args>(args)...) {}
+
+  bool Find(std::string_view key, uint64_t* value) override {
+    return impl_.Find(key, value);
+  }
+  bool Insert(std::string_view key, uint64_t value) override {
+    return impl_.Insert(key, value);
+  }
+  bool Update(std::string_view key, uint64_t value) override {
+    return impl_.Update(key, value);
+  }
+  bool Erase(std::string_view key) override { return impl_.Erase(key); }
+  size_t Size() override { return impl_.tree().Size(); }
+  uint64_t DramBytes() const override {
+    return const_cast<VarAdapter*>(this)->impl_.tree().DramBytes();
+  }
+  uint64_t ScmBytes() const override {
+    return const_cast<VarAdapter*>(this)->impl_.tree().ScmBytes();
+  }
+  bool concurrent() const override { return locked_; }
+
+  TreeT& tree() { return impl_.tree(); }
+
+ private:
+  bool locked_;
+  internal::LockedAdapter<TreeT, std::string_view> impl_;
+};
+
+/// Adapter for internally concurrent trees (no extra lock).
+template <typename TreeT, typename Base, typename KeyArg>
+class ConcurrentAdapter : public Base {
+ public:
+  template <typename... Args>
+  explicit ConcurrentAdapter(Args&&... args)
+      : tree_(std::forward<Args>(args)...) {}
+
+  bool Find(KeyArg key, uint64_t* value) override {
+    return tree_.Find(key, value);
+  }
+  bool Insert(KeyArg key, uint64_t value) override {
+    return tree_.Insert(key, value);
+  }
+  bool Update(KeyArg key, uint64_t value) override {
+    return tree_.Update(key, value);
+  }
+  bool Erase(KeyArg key) override { return tree_.Erase(key); }
+  size_t Size() override { return tree_.Size(); }
+  uint64_t DramBytes() const override { return tree_.DramBytes(); }
+  uint64_t ScmBytes() const override { return tree_.ScmBytes(); }
+  bool concurrent() const override { return true; }
+
+  TreeT& tree() { return tree_; }
+
+ private:
+  TreeT tree_;
+};
+
+// Update() on the plain concurrent NV-Tree adapter works out of the box.
+
+/// Creates a fixed-key index by tree name. Pool-backed trees attach to
+/// `pool`; "stx" ignores it. When `locked` is set, single-threaded trees
+/// get a global read/write lock (the paper's memcached arrangement).
+/// Names: fptree, fptree-nogroups, ptree, wbtree, nvtree, stx, fptree-c,
+/// fptree-c-lock (global-lock HTM ablation), nvtree-c.
+inline std::unique_ptr<KVIndex> MakeFixedIndex(const std::string& name,
+                                               scm::Pool* pool,
+                                               bool locked = false) {
+  if (name == "fptree") {
+    return std::make_unique<FixedAdapter<core::FPTree<>>>(locked, pool);
+  }
+  if (name == "fptree-nogroups") {
+    return std::make_unique<
+        FixedAdapter<core::FPTree<uint64_t, 56, 4096, false>>>(locked, pool);
+  }
+  if (name == "ptree") {
+    return std::make_unique<FixedAdapter<core::PTree<>>>(locked, pool);
+  }
+  if (name == "wbtree") {
+    return std::make_unique<FixedAdapter<baselines::WBTree<>>>(locked, pool);
+  }
+  if (name == "nvtree") {
+    return std::make_unique<FixedAdapter<baselines::NVTree<>>>(locked, pool);
+  }
+  if (name == "stx") {
+    return std::make_unique<FixedAdapter<baselines::STXTree<>>>(locked);
+  }
+  if (name == "fptree-c") {
+    return std::make_unique<ConcurrentAdapter<core::ConcurrentFPTree<>,
+                                              KVIndex, uint64_t>>(pool);
+  }
+  if (name == "fptree-c-lock") {
+    return std::make_unique<ConcurrentAdapter<core::ConcurrentFPTree<>,
+                                              KVIndex, uint64_t>>(
+        pool, htm::Backend::kGlobalLock);
+  }
+  if (name == "nvtree-c") {
+    return std::make_unique<ConcurrentAdapter<baselines::ConcurrentNVTree<>,
+                                              KVIndex, uint64_t>>(pool);
+  }
+  return nullptr;
+}
+
+/// Transient STX B+-Tree over std::string keys (STXTreeVar).
+class STXVarTree {
+ public:
+  explicit STXVarTree(scm::Pool* /*unused*/ = nullptr) {}
+
+  bool Find(std::string_view k, uint64_t* v) {
+    return tree_.Find(std::string(k), v);
+  }
+  bool Insert(std::string_view k, uint64_t v) {
+    return tree_.Insert(std::string(k), v);
+  }
+  bool Update(std::string_view k, uint64_t v) {
+    return tree_.Update(std::string(k), v);
+  }
+  bool Erase(std::string_view k) { return tree_.Erase(std::string(k)); }
+  size_t Size() const { return tree_.Size(); }
+  uint64_t DramBytes() const { return tree_.DramBytes(); }
+  uint64_t ScmBytes() const { return 0; }
+
+ private:
+  baselines::STXTree<std::string, uint64_t, 8, 8> tree_;
+};
+
+/// Sharded hash map — the "vanilla memcached hash table" reference of
+/// Fig. 13. Fully transient and internally concurrent.
+class ShardedHashMap : public VarIndex {
+ public:
+  static constexpr size_t kShards = 64;
+
+  bool Find(std::string_view key, uint64_t* value) override {
+    Shard& s = ShardFor(key);
+    std::shared_lock<std::shared_mutex> l(s.mu);
+    auto it = s.map.find(std::string(key));
+    if (it == s.map.end()) return false;
+    *value = it->second;
+    return true;
+  }
+  bool Insert(std::string_view key, uint64_t value) override {
+    Shard& s = ShardFor(key);
+    std::unique_lock<std::shared_mutex> l(s.mu);
+    return s.map.emplace(std::string(key), value).second;
+  }
+  bool Update(std::string_view key, uint64_t value) override {
+    Shard& s = ShardFor(key);
+    std::unique_lock<std::shared_mutex> l(s.mu);
+    auto it = s.map.find(std::string(key));
+    if (it == s.map.end()) return false;
+    it->second = value;
+    return true;
+  }
+  bool Erase(std::string_view key) override {
+    Shard& s = ShardFor(key);
+    std::unique_lock<std::shared_mutex> l(s.mu);
+    return s.map.erase(std::string(key)) == 1;
+  }
+  size_t Size() override {
+    size_t n = 0;
+    for (auto& s : shards_) {
+      std::shared_lock<std::shared_mutex> l(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+  uint64_t DramBytes() const override {
+    uint64_t n = 0;
+    for (auto& s : shards_) n += s.map.size() * 64;
+    return n;
+  }
+  uint64_t ScmBytes() const override { return 0; }
+  bool concurrent() const override { return true; }
+
+ private:
+  struct Shard {
+    std::shared_mutex mu;
+    std::unordered_map<std::string, uint64_t> map;
+  };
+  Shard& ShardFor(std::string_view key) {
+    return shards_[HashBytes(key.data(), key.size()) % kShards];
+  }
+  mutable Shard shards_[kShards];
+};
+
+/// Creates a var-key index by name: fptree-var, ptree-var, stx-var,
+/// fptree-c-var, hashmap.
+inline std::unique_ptr<VarIndex> MakeVarIndex(const std::string& name,
+                                              scm::Pool* pool,
+                                              bool locked = false) {
+  if (name == "fptree-var") {
+    return std::make_unique<VarAdapter<core::FPTreeVar<>>>(locked, pool);
+  }
+  if (name == "ptree-var") {
+    return std::make_unique<
+        VarAdapter<core::FPTreeVar<uint64_t, 32, 256, false>>>(locked, pool);
+  }
+  if (name == "stx-var") {
+    return std::make_unique<VarAdapter<STXVarTree>>(locked, pool);
+  }
+  if (name == "fptree-c-var") {
+    return std::make_unique<
+        ConcurrentAdapter<core::ConcurrentFPTreeVar<>, VarIndex,
+                          std::string_view>>(pool);
+  }
+  if (name == "hashmap") {
+    return std::make_unique<ShardedHashMap>();
+  }
+  return nullptr;
+}
+
+}  // namespace index
+}  // namespace fptree

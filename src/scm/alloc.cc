@@ -1,0 +1,284 @@
+#include "scm/alloc.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "scm/crash.h"
+#include "scm/pmem.h"
+#include "scm/pool.h"
+#include "scm/stats.h"
+
+namespace fptree {
+namespace scm {
+
+namespace {
+constexpr uint64_t kMetaOffset = sizeof(PoolHeader);
+constexpr uint64_t kHeapBegin =
+    RoundUpToCacheLine(kMetaOffset + sizeof(AllocMeta));
+}  // namespace
+
+PAllocator::PAllocator(Pool* pool) : pool_(pool) {}
+
+AllocMeta* PAllocator::meta() const {
+  return reinterpret_cast<AllocMeta*>(pool_->base() + kMetaOffset);
+}
+
+BlockHeader* PAllocator::HeaderAt(uint64_t offset) const {
+  return reinterpret_cast<BlockHeader*>(pool_->base() + offset);
+}
+
+void PAllocator::Initialize() {
+  AllocMeta* m = meta();
+  AllocMeta fresh{};
+  fresh.magic = AllocMeta::kMagic;
+  fresh.heap_begin = kHeapBegin;
+  fresh.heap_top = kHeapBegin;
+  fresh.log.state = AllocLog::kIdle;
+  pmem::StoreBytes(m, &fresh, sizeof(fresh));
+  pmem::Persist(m, sizeof(*m));
+}
+
+Status PAllocator::Recover() {
+  AllocMeta* m = meta();
+  if (m->magic != AllocMeta::kMagic) {
+    return Status::Corruption("allocator metadata magic mismatch");
+  }
+  AllocLog* log = &m->log;
+  if (log->state == AllocLog::kAllocating) {
+    uint64_t block = log->block_offset;
+    if (block != 0) {
+      // A block was chosen. Inspect the caller's pptr to learn whether the
+      // allocation was delivered (the paper's leak-prevention contract).
+      Pool* tp = Pool::FindById(log->target_pool);
+      VoidPPtr* target =
+          tp == nullptr
+              ? nullptr
+              : reinterpret_cast<VoidPPtr*>(tp->base() + log->target_offset);
+      bool delivered = target != nullptr && target->pool_id == pool_->id() &&
+                       target->offset == block;
+      BlockHeader* hdr = HeaderAt(block - sizeof(BlockHeader));
+      if (delivered) {
+        // Complete idempotently: header allocated, frontier advanced.
+        pmem::StorePersist(&hdr->size_state,
+                           BlockHeader::Pack(log->request_size, true));
+        uint64_t end = block + log->request_size;
+        if (m->heap_top < end) {
+          pmem::StorePersist(&m->heap_top, end);
+        }
+      } else {
+        // Roll back: if the block is inside the visible heap, mark it free;
+        // if it was a frontier block whose top-bump never persisted, the
+        // area beyond heap_top is free by definition.
+        uint64_t end = block + log->request_size;
+        if (end <= m->heap_top) {
+          pmem::StorePersist(&hdr->size_state,
+                             BlockHeader::Pack(log->request_size, false));
+        }
+      }
+    }
+    pmem::StorePersist(&log->state, uint64_t{AllocLog::kIdle});
+  } else if (log->state == AllocLog::kDeallocating) {
+    uint64_t block = log->block_offset;
+    Pool* tp = Pool::FindById(log->target_pool);
+    VoidPPtr* target =
+        tp == nullptr
+            ? nullptr
+            : reinterpret_cast<VoidPPtr*>(tp->base() + log->target_offset);
+    if (target != nullptr && target->pool_id == pool_->id() &&
+        target->offset == block) {
+      // Crash before the caller's pptr was nulled: redo from that step.
+      pmem::StorePPtrPersist(target, VoidPPtr::Null());
+    }
+    BlockHeader* hdr = HeaderAt(block - sizeof(BlockHeader));
+    pmem::StorePersist(&hdr->size_state,
+                       BlockHeader::Pack(hdr->payload_size(), false));
+    pmem::StorePersist(&log->state, uint64_t{AllocLog::kIdle});
+  }
+  RebuildFreeLists();
+  return Status::OK();
+}
+
+void PAllocator::RebuildFreeLists() {
+  std::lock_guard<std::mutex> l(mu_);
+  free_lists_.clear();
+  allocated_blocks_ = 0;
+  allocated_payload_ = 0;
+  AllocMeta* m = meta();
+  uint64_t off = m->heap_begin;
+  while (off + sizeof(BlockHeader) <= m->heap_top) {
+    BlockHeader* hdr = HeaderAt(off);
+    uint64_t payload = hdr->payload_size();
+    if (payload == 0 || off + sizeof(BlockHeader) + payload > m->heap_top) {
+      break;  // frontier block whose top-bump didn't persist; end of heap
+    }
+    if (hdr->allocated()) {
+      ++allocated_blocks_;
+      allocated_payload_ += payload;
+    } else {
+      free_lists_[payload].push_back(off + sizeof(BlockHeader));
+    }
+    off += sizeof(BlockHeader) + payload;
+  }
+}
+
+uint64_t PAllocator::AcquireBlock(uint64_t payload_size) {
+  AllocMeta* m = meta();
+  AllocLog* log = &m->log;
+  auto it = free_lists_.find(payload_size);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    uint64_t payload_off = it->second.back();
+    it->second.pop_back();
+    pmem::StorePersist(&log->block_offset, payload_off);
+    SCM_CRASH_POINT("palloc.alloc.block_chosen");
+    BlockHeader* hdr = HeaderAt(payload_off - sizeof(BlockHeader));
+    pmem::StorePersist(&hdr->size_state,
+                       BlockHeader::Pack(payload_size, true));
+    SCM_CRASH_POINT("palloc.alloc.header_marked");
+    return payload_off;
+  }
+  // Bump allocation from the frontier.
+  uint64_t block_off = m->heap_top;
+  uint64_t payload_off = block_off + sizeof(BlockHeader);
+  uint64_t end = payload_off + payload_size;
+  if (end > pool_->size()) {
+    return 0;  // exhausted
+  }
+  pmem::StorePersist(&log->block_offset, payload_off);
+  SCM_CRASH_POINT("palloc.alloc.block_chosen");
+  BlockHeader* hdr = HeaderAt(block_off);
+  pmem::StorePersist(&hdr->size_state, BlockHeader::Pack(payload_size, true));
+  SCM_CRASH_POINT("palloc.alloc.header_marked");
+  pmem::StorePersist(&m->heap_top, end);
+  SCM_CRASH_POINT("palloc.alloc.top_bumped");
+  return payload_off;
+}
+
+void PAllocator::ReleaseBlock(uint64_t payload_offset) {
+  BlockHeader* hdr = HeaderAt(payload_offset - sizeof(BlockHeader));
+  uint64_t payload = hdr->payload_size();
+  pmem::StorePersist(&hdr->size_state, BlockHeader::Pack(payload, false));
+  free_lists_[payload].push_back(payload_offset);
+}
+
+Status PAllocator::Allocate(VoidPPtr* target, size_t size) {
+  if (size == 0) return Status::InvalidArgument("zero-size allocation");
+  Pool* tp = Pool::FindByAddress(target);
+  if (tp == nullptr) {
+    return Status::InvalidArgument(
+        "allocation target pptr must reside in SCM (paper §2: it must belong "
+        "to the calling persistent data structure)");
+  }
+  uint64_t payload_size = RoundUpToCacheLine(size);
+
+  std::lock_guard<std::mutex> l(mu_);
+  AllocMeta* m = meta();
+  AllocLog* log = &m->log;
+  assert(log->state == AllocLog::kIdle);
+
+  pmem::Store(&log->target_pool, tp->id());
+  pmem::Store(&log->target_offset,
+              static_cast<uint64_t>(reinterpret_cast<const char*>(target) -
+                                    tp->base()));
+  pmem::Store(&log->block_offset, uint64_t{0});
+  pmem::Store(&log->request_size, payload_size);
+  pmem::Store(&log->state, uint64_t{AllocLog::kAllocating});
+  pmem::Persist(log, sizeof(*log));
+  SCM_CRASH_POINT("palloc.alloc.logged");
+
+  uint64_t payload_off = AcquireBlock(payload_size);
+  if (payload_off == 0) {
+    pmem::StorePersist(&log->state, uint64_t{AllocLog::kIdle});
+    return Status::ResourceExhausted("pool " + pool_->path() + " exhausted");
+  }
+
+  // Deliver: persistently publish the block into the caller's pptr before
+  // declaring the allocation complete.
+  pmem::StorePPtrPersist(target, VoidPPtr{pool_->id(), payload_off});
+  SCM_CRASH_POINT("palloc.alloc.delivered");
+
+  pmem::StorePersist(&log->state, uint64_t{AllocLog::kIdle});
+
+  ++allocated_blocks_;
+  allocated_payload_ += payload_size;
+  ++ThreadStats().allocations;
+  return Status::OK();
+}
+
+Status PAllocator::Deallocate(VoidPPtr* target) {
+  VoidPPtr value = *target;
+  if (value.IsNull()) return Status::OK();
+  if (value.pool_id != pool_->id()) {
+    return Status::InvalidArgument("pptr does not belong to this pool");
+  }
+  Pool* tp = Pool::FindByAddress(target);
+  if (tp == nullptr) {
+    return Status::InvalidArgument("deallocation target pptr must be in SCM");
+  }
+
+  std::lock_guard<std::mutex> l(mu_);
+  AllocMeta* m = meta();
+  AllocLog* log = &m->log;
+  assert(log->state == AllocLog::kIdle);
+
+  pmem::Store(&log->target_pool, tp->id());
+  pmem::Store(&log->target_offset,
+              static_cast<uint64_t>(reinterpret_cast<const char*>(target) -
+                                    tp->base()));
+  pmem::Store(&log->block_offset, value.offset);
+  pmem::Store(&log->state, uint64_t{AllocLog::kDeallocating});
+  pmem::Persist(log, sizeof(*log));
+  SCM_CRASH_POINT("palloc.dealloc.logged");
+
+  // Persistently null the caller's pptr: this is how the data structure
+  // learns (post-crash) that the deallocation executed.
+  pmem::StorePPtrPersist(reinterpret_cast<VoidPPtr*>(target),
+                         VoidPPtr::Null());
+  SCM_CRASH_POINT("palloc.dealloc.nulled");
+
+  BlockHeader* hdr = HeaderAt(value.offset - sizeof(BlockHeader));
+  uint64_t payload = hdr->payload_size();
+  pmem::StorePersist(&hdr->size_state, BlockHeader::Pack(payload, false));
+  SCM_CRASH_POINT("palloc.dealloc.freed");
+
+  pmem::StorePersist(&log->state, uint64_t{AllocLog::kIdle});
+
+  free_lists_[payload].push_back(value.offset);
+  --allocated_blocks_;
+  allocated_payload_ -= payload;
+  ++ThreadStats().deallocations;
+  return Status::OK();
+}
+
+uint64_t PAllocator::allocated_payload_bytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return allocated_payload_;
+}
+
+uint64_t PAllocator::heap_used_bytes() const {
+  return meta()->heap_top - meta()->heap_begin;
+}
+
+uint64_t PAllocator::allocated_blocks() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return allocated_blocks_;
+}
+
+std::vector<uint64_t> PAllocator::AllocatedPayloadOffsets() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<uint64_t> out;
+  AllocMeta* m = meta();
+  uint64_t off = m->heap_begin;
+  while (off + sizeof(BlockHeader) <= m->heap_top) {
+    BlockHeader* hdr = HeaderAt(off);
+    uint64_t payload = hdr->payload_size();
+    if (payload == 0 || off + sizeof(BlockHeader) + payload > m->heap_top) {
+      break;
+    }
+    if (hdr->allocated()) out.push_back(off + sizeof(BlockHeader));
+    off += sizeof(BlockHeader) + payload;
+  }
+  return out;
+}
+
+}  // namespace scm
+}  // namespace fptree

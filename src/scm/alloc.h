@@ -1,0 +1,153 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Crash-safe persistent allocator (paper §2, "Memory leaks"). The interface
+// is the paper's: the caller passes a reference to a persistent pointer that
+// *itself lives in SCM* and belongs to the calling data structure.
+//
+//  * Allocate(target, size): the allocator persistently writes the address
+//    of the returned block into *target before completing. If a crash hits
+//    mid-allocation, recovery either completes or rolls back, and the data
+//    structure can inspect its own pptr to learn whether it received memory.
+//  * Deallocate(target): persistently nulls *target to convey that the
+//    deallocation executed.
+//
+// Hence responsibility for leak discovery is split between allocator and
+// data structure, exactly as in the paper.
+//
+// Block layout: [64 B BlockHeader][payload, rounded up to 64 B]. Payloads
+// are cache-line aligned (leaf fingerprint arrays must start a line). Free
+// lists are volatile, segregated by block size, and rebuilt on recovery by
+// scanning headers up to the persistent heap frontier.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "scm/pptr.h"
+#include "util/status.h"
+
+namespace fptree {
+namespace scm {
+
+class Pool;
+
+/// Persistent per-block header (one cache line).
+struct BlockHeader {
+  static constexpr uint64_t kAllocated = 1;
+
+  /// payload size in bytes << 1 | allocated bit.
+  uint64_t size_state;
+  uint64_t reserved[7];
+
+  uint64_t payload_size() const { return size_state >> 1; }
+  bool allocated() const { return (size_state & kAllocated) != 0; }
+  static uint64_t Pack(uint64_t payload, bool allocated) {
+    return (payload << 1) | (allocated ? kAllocated : 0);
+  }
+};
+static_assert(sizeof(BlockHeader) == 64);
+
+/// Persistent allocator micro-log: exactly one operation is in flight at a
+/// time (the allocator is internally serialized), so one log suffices.
+struct AllocLog {
+  enum State : uint64_t { kIdle = 0, kAllocating = 1, kDeallocating = 2 };
+
+  uint64_t state;
+  /// Persistent address (pool id + offset) of the caller's target pptr slot.
+  uint64_t target_pool;
+  uint64_t target_offset;
+  /// Payload offset of the block being handed out / reclaimed (0 = not yet
+  /// chosen).
+  uint64_t block_offset;
+  uint64_t request_size;
+  uint64_t reserved[3];
+};
+static_assert(sizeof(AllocLog) == 64);
+
+/// Persistent allocator metadata, stored directly after the pool header.
+struct AllocMeta {
+  static constexpr uint64_t kMagic = 0xA110CA70A110CA70ULL;
+
+  uint64_t magic;
+  uint64_t heap_begin;  ///< offset of the first block header
+  uint64_t heap_top;    ///< bump frontier (offset past the last block)
+  uint64_t reserved[5];
+  AllocLog log;
+};
+static_assert(sizeof(AllocMeta) == 128);
+
+/// \brief The per-pool persistent allocator.
+///
+/// Thread-safe: Allocate/Deallocate serialize on an internal mutex (the
+/// paper's trees amortize allocation cost with leaf groups precisely because
+/// persistent allocation is expensive and a central synchronization point).
+class PAllocator {
+ public:
+  explicit PAllocator(Pool* pool);
+
+  /// Formats the metadata of a freshly created pool.
+  void Initialize();
+
+  /// Recovers after a restart: completes or rolls back an in-flight
+  /// operation recorded in the micro-log, then rebuilds the volatile free
+  /// lists by scanning block headers.
+  Status Recover();
+
+  /// Allocates `size` bytes and persistently publishes the block's address
+  /// into *target, which must reside in SCM (any open pool). On failure
+  /// (pool exhausted) *target is left null.
+  Status Allocate(VoidPPtr* target, size_t size);
+
+  template <typename T>
+  Status Allocate(PPtr<T>* target, size_t size) {
+    return Allocate(reinterpret_cast<VoidPPtr*>(target), size);
+  }
+
+  /// Frees the block *target points to and persistently nulls *target.
+  /// No-op if *target is already null.
+  Status Deallocate(VoidPPtr* target);
+
+  template <typename T>
+  Status Deallocate(PPtr<T>* target) {
+    return Deallocate(reinterpret_cast<VoidPPtr*>(target));
+  }
+
+  // --- Introspection (tests, memory-consumption benchmarks) ---------------
+
+  /// Bytes in allocated payloads (excludes headers).
+  uint64_t allocated_payload_bytes() const;
+  /// Bytes consumed from the pool including headers and padding.
+  uint64_t heap_used_bytes() const;
+  uint64_t allocated_blocks() const;
+
+  /// Payload offsets of every allocated block (O(heap) scan; debugging and
+  /// leak tests only).
+  std::vector<uint64_t> AllocatedPayloadOffsets() const;
+
+ private:
+  AllocMeta* meta() const;
+  BlockHeader* HeaderAt(uint64_t offset) const;
+
+  /// Picks a block: exact-size free-list pop, else bump allocation.
+  /// Returns payload offset or 0 if exhausted. Requires mu_ held.
+  uint64_t AcquireBlock(uint64_t payload_size);
+
+  /// Marks free + pushes to the free list. Requires mu_ held.
+  void ReleaseBlock(uint64_t payload_offset);
+
+  void RebuildFreeLists();
+
+  Pool* pool_;
+  mutable std::mutex mu_;
+  // size -> payload offsets. std::map keeps deterministic iteration for
+  // debugging; bins are few (leaf size, group size, key sizes).
+  std::map<uint64_t, std::vector<uint64_t>> free_lists_;
+  uint64_t allocated_blocks_ = 0;
+  uint64_t allocated_payload_ = 0;
+};
+
+}  // namespace scm
+}  // namespace fptree

@@ -1,0 +1,182 @@
+#include "scm/crash.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "scm/layout.h"
+
+namespace fptree {
+namespace scm {
+
+namespace {
+
+struct UndoRecord {
+  char* addr;
+  std::vector<unsigned char> old_bytes;
+};
+
+struct SimState {
+  std::mutex mu;
+  std::deque<UndoRecord> pending;  // oldest first
+  std::unordered_map<std::string, int> armed;  // name -> countdown
+  bool recording = false;
+  bool tear_mode = false;
+  std::vector<std::string> visited;
+};
+
+SimState& State() {
+  static SimState* s = new SimState();
+  return *s;
+}
+
+}  // namespace
+
+void CrashSim::Enable() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  enabled_flag_ = true;
+}
+
+void CrashSim::Disable() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  enabled_flag_ = false;
+  s.pending.clear();
+  s.armed.clear();
+  s.recording = false;
+  s.visited.clear();
+}
+
+void CrashSim::LogStore(void* addr, size_t n) {
+  if (n == 0) return;
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  UndoRecord rec;
+  rec.addr = static_cast<char*>(addr);
+  rec.old_bytes.resize(n);
+  std::memcpy(rec.old_bytes.data(), addr, n);
+  s.pending.push_back(std::move(rec));
+}
+
+void CrashSim::NotifyPersist(const void* addr, size_t n) {
+  if (n == 0) return;
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  // Flushing is cache-line granular: everything within the covered lines
+  // becomes durable.
+  uintptr_t lo = reinterpret_cast<uintptr_t>(addr) & ~(kCacheLineSize - 1);
+  uintptr_t hi = (reinterpret_cast<uintptr_t>(addr) + n + kCacheLineSize - 1) &
+                 ~(kCacheLineSize - 1);
+  std::deque<UndoRecord> kept;
+  for (auto& rec : s.pending) {
+    uintptr_t b = reinterpret_cast<uintptr_t>(rec.addr);
+    uintptr_t e = b + rec.old_bytes.size();
+    if (e <= lo || b >= hi) {
+      kept.push_back(std::move(rec));  // untouched
+      continue;
+    }
+    // Keep only the portions outside the flushed line range. A record can
+    // straddle the range start and/or end; split accordingly.
+    if (b < lo) {
+      UndoRecord head;
+      head.addr = rec.addr;
+      head.old_bytes.assign(rec.old_bytes.begin(),
+                            rec.old_bytes.begin() + (lo - b));
+      kept.push_back(std::move(head));
+    }
+    if (e > hi) {
+      UndoRecord tail;
+      tail.addr = rec.addr + (hi - b);
+      tail.old_bytes.assign(rec.old_bytes.begin() + (hi - b),
+                            rec.old_bytes.end());
+      kept.push_back(std::move(tail));
+    }
+    // Fully covered portion is durable: dropped.
+  }
+  s.pending = std::move(kept);
+}
+
+void CrashSim::SimulateCrash() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  bool tore = false;
+  // Revert newest first so overlapping stores unwind to the original bytes.
+  for (auto it = s.pending.rbegin(); it != s.pending.rend(); ++it) {
+    size_t n = it->old_bytes.size();
+    size_t keep = 0;
+    if (s.tear_mode && !tore && n > kPAtomicSize) {
+      // Partial write: a durable prefix of whole 8-byte words survives.
+      uintptr_t a = reinterpret_cast<uintptr_t>(it->addr);
+      size_t first_word = (kPAtomicSize - (a % kPAtomicSize)) % kPAtomicSize;
+      keep = first_word + ((n - first_word) / kPAtomicSize / 2) * kPAtomicSize;
+      tore = true;
+    }
+    std::memcpy(it->addr + keep, it->old_bytes.data() + keep, n - keep);
+  }
+  s.pending.clear();
+  s.armed.clear();
+}
+
+void CrashSim::CommitAll() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  s.pending.clear();
+}
+
+size_t CrashSim::PendingRecords() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  return s.pending.size();
+}
+
+void CrashSim::SetTearMode(bool on) {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  s.tear_mode = on;
+}
+
+void CrashSim::ArmCrashPoint(const std::string& name, int countdown) {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  s.armed[name] = countdown;
+}
+
+void CrashSim::DisarmAll() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  s.armed.clear();
+}
+
+void CrashSim::Point(const char* name) {
+  auto& s = State();
+  std::unique_lock<std::mutex> l(s.mu);
+  if (s.recording) s.visited.emplace_back(name);
+  auto it = s.armed.find(name);
+  if (it != s.armed.end()) {
+    if (--it->second <= 0) {
+      s.armed.erase(it);
+      l.unlock();
+      throw CrashException(name);
+    }
+  }
+}
+
+void CrashSim::StartRecordingPoints() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  s.recording = true;
+  s.visited.clear();
+}
+
+std::vector<std::string> CrashSim::StopRecordingPoints() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  s.recording = false;
+  return std::move(s.visited);
+}
+
+}  // namespace scm
+}  // namespace fptree

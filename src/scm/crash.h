@@ -1,0 +1,110 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Crash simulation (substitute for pulling the plug on the paper's
+// evaluation machine). Implements exactly the failure model the paper's
+// recovery algorithms are written against (§2):
+//
+//  * a store to SCM is durable only once a Persist() covering its cache
+//    lines has executed;
+//  * stores of at most 8 aligned bytes are p-atomic; larger stores may be
+//    torn at an 8-byte boundary by a crash.
+//
+// When the simulator is enabled, every store issued through the pmem::*
+// helpers logs an undo record with the previous bytes. Persist() retires the
+// covered portions of pending records. SimulateCrash() rolls back everything
+// still pending — i.e. everything that would have been lost in the CPU
+// cache — optionally tearing one large pending store. Afterwards the test
+// harness closes and re-opens the pool at a randomized base address and runs
+// the data structure's recovery procedure.
+//
+// Crash points: recovery algorithms are tested by arming named points
+// (e.g. "fptree.split.after_alloc") that throw CrashException mid-operation.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace fptree {
+namespace scm {
+
+/// \brief Thrown by an armed crash point; unwinds out of the operation under
+/// test. The harness then calls CrashSim::SimulateCrash().
+class CrashException : public std::exception {
+ public:
+  explicit CrashException(std::string point) : point_(std::move(point)) {}
+  const char* what() const noexcept override { return point_.c_str(); }
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+class CrashSim {
+ public:
+  /// Starts shadow-logging all pmem stores. Idempotent.
+  static void Enable();
+
+  /// Stops logging and drops all pending records (clean-shutdown semantics).
+  static void Disable();
+
+  static bool enabled() { return enabled_flag_; }
+
+  /// Records that `n` bytes at `addr` are about to be overwritten. Called by
+  /// pmem::Store* before the actual write.
+  static void LogStore(void* addr, size_t n);
+
+  /// Records that [addr, addr+n) was flushed: the covered cache lines become
+  /// durable and the covered portions of pending records are retired.
+  static void NotifyPersist(const void* addr, size_t n);
+
+  /// The crash: reverts every pending (un-persisted) store, newest first.
+  /// If tear mode is on, one pending multi-word store keeps a durable prefix
+  /// (simulating a partial write). Also disarms all crash points.
+  static void SimulateCrash();
+
+  /// Retires all pending records without reverting (orderly shutdown).
+  static void CommitAll();
+
+  /// Number of pending (not-yet-durable) undo records; test introspection.
+  static size_t PendingRecords();
+
+  /// When on, SimulateCrash() tears the newest pending store larger than 8
+  /// bytes at an 8-byte boundary instead of reverting it entirely.
+  static void SetTearMode(bool on);
+
+  // --- Crash points -------------------------------------------------------
+
+  /// Arms `name`: the countdown-th future visit of that point throws.
+  static void ArmCrashPoint(const std::string& name, int countdown = 1);
+
+  static void DisarmAll();
+
+  /// Marks a named point in an operation; throws CrashException when armed.
+  /// Call through the SCM_CRASH_POINT macro so the check compiles to a
+  /// single predictable branch when the simulator is off.
+  static void Point(const char* name);
+
+  /// When recording, Point() also appends every visited name; tests use this
+  /// to enumerate the crash windows of an operation before arming each.
+  static void StartRecordingPoints();
+  static std::vector<std::string> StopRecordingPoints();
+
+ private:
+  // Single flag read on the store hot path.
+  static inline volatile bool enabled_flag_ = false;
+};
+
+}  // namespace scm
+}  // namespace fptree
+
+/// Marks a crash window; no-op (one branch) unless the simulator is enabled.
+#define SCM_CRASH_POINT(name)                              \
+  do {                                                     \
+    if (::fptree::scm::CrashSim::enabled()) {              \
+      ::fptree::scm::CrashSim::Point(name);                \
+    }                                                      \
+  } while (0)

@@ -1,0 +1,78 @@
+#include "scm/latency.h"
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+namespace fptree {
+namespace scm {
+
+std::atomic<uint64_t> LatencyModel::read_extra_ns_{0};
+std::atomic<uint64_t> LatencyModel::write_ns_{0};
+
+namespace {
+
+// Calibrates how many pause-loop iterations one nanosecond costs. Runs once
+// per process; the result is cached in an atomic.
+double CalibrateIterationsPerNano() {
+  using Clock = std::chrono::steady_clock;
+  // Warm up.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+
+  constexpr uint64_t kIters = 1000 * 1000;
+  auto start = Clock::now();
+  for (uint64_t i = 0; i < kIters; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    asm volatile("" ::: "memory");
+#endif
+  }
+  auto end = Clock::now();
+  double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  if (ns <= 0) ns = 1;
+  double ipn = static_cast<double>(kIters) / ns;
+  if (ipn < 0.01) ipn = 0.01;
+  return ipn;
+}
+
+double IterationsPerNano() {
+  static const double ipn = CalibrateIterationsPerNano();
+  return ipn;
+}
+
+}  // namespace
+
+void LatencyModel::Calibrate() { (void)IterationsPerNano(); }
+
+void LatencyModel::SpinFor(uint64_t ns) {
+  if (ns == 0) return;
+  uint64_t iters = static_cast<uint64_t>(static_cast<double>(ns) *
+                                         IterationsPerNano());
+  for (uint64_t i = 0; i < iters; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    asm volatile("" ::: "memory");
+#endif
+  }
+}
+
+namespace {
+struct TagArray {
+  std::unique_ptr<uint64_t[]> tags{new uint64_t[ThreadScmCache::kNumSlots]()};
+};
+thread_local TagArray tls_tags;
+}  // namespace
+
+uint64_t* ThreadScmCache::Tags() { return tls_tags.tags.get(); }
+
+void ThreadScmCache::Clear() {
+  std::memset(tls_tags.tags.get(), 0, kNumSlots * sizeof(uint64_t));
+}
+
+}  // namespace scm
+}  // namespace fptree

@@ -1,0 +1,39 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Shared constants of the simulated SCM device and programming model
+// (paper §2): cache-line granularity of flushes, 8-byte p-atomic writes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fptree {
+namespace scm {
+
+/// Cache line size assumed by the persistence primitives (CLFLUSH granule).
+constexpr size_t kCacheLineSize = 64;
+
+/// Largest write that is p-atomic (immune to partial writes), paper §2.
+constexpr size_t kPAtomicSize = 8;
+
+/// Maximum number of simultaneously open pools (paper: 8-byte File IDs; we
+/// cap the id space so persistent-pointer resolution is one array load).
+constexpr uint64_t kMaxPools = 64;
+
+/// Rounds n up to a multiple of the cache line size.
+constexpr size_t RoundUpToCacheLine(size_t n) {
+  return (n + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+}
+
+/// Number of cache lines spanned by [addr, addr+n).
+inline size_t CacheLinesSpanned(const void* addr, size_t n) {
+  if (n == 0) return 0;
+  uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+  uintptr_t first = a / kCacheLineSize;
+  uintptr_t last = (a + n - 1) / kCacheLineSize;
+  return static_cast<size_t>(last - first + 1);
+}
+
+}  // namespace scm
+}  // namespace fptree

@@ -1,0 +1,141 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Persistence primitives (paper §2). The paper assumes a function Persist()
+// that implements the most efficient way of making data durable (CLFLUSH
+// wrapped in MFENCEs, or a non-temporal store + MFENCE). Here Persist():
+//
+//  1. informs the crash simulator that the covered cache lines are durable,
+//  2. evicts the lines from the modeled cache (CLFLUSH semantics),
+//  3. charges the SCM write latency per flushed line.
+//
+// All stores to SCM must go through the pmem::Store* helpers so the crash
+// simulator can shadow-log them. Stores of 8 bytes or fewer use atomic
+// instructions so concurrent optimistic readers never observe torn values
+// (matching real hardware's p-atomicity). Writes that the paper explicitly
+// never persists (leaf lock words) use StoreVolatile, which skips logging:
+// their post-crash value is meaningless and recovery resets them.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "scm/crash.h"
+#include "scm/latency.h"
+#include "scm/layout.h"
+#include "scm/pptr.h"
+#include "scm/stats.h"
+
+namespace fptree {
+namespace scm {
+namespace pmem {
+
+/// Makes [addr, addr+n) durable: crash-simulator retirement, modeled-cache
+/// eviction, and the emulated flush stall.
+inline void Persist(const void* addr, size_t n) {
+  if (CrashSim::enabled()) CrashSim::NotifyPersist(addr, n);
+  size_t lines = CacheLinesSpanned(addr, n);
+  const char* p = static_cast<const char*>(addr);
+  for (size_t i = 0; i < lines; ++i) {
+    ThreadScmCache::Evict(p + i * kCacheLineSize);
+  }
+  ThreadStats().flushed_lines += lines;
+  ++ThreadStats().fences;
+  std::atomic_thread_fence(std::memory_order_release);
+  LatencyModel::ChargeFlush(lines);
+}
+
+/// Persists a whole object.
+template <typename T>
+inline void Persist(const T* obj) {
+  Persist(static_cast<const void*>(obj), sizeof(T));
+}
+
+/// Ordering fence without a flush (SFENCE/MFENCE analogue).
+inline void Fence() {
+  ++ThreadStats().fences;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+namespace internal {
+
+template <typename T>
+inline void RawStore(T* dst, const T& v) {
+  if constexpr (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                sizeof(T) == 8) {
+    // Tear-free on real hardware; also keeps optimistic concurrent readers
+    // free of undefined behaviour in the software-HTM backend.
+    __atomic_store(dst, const_cast<T*>(&v), __ATOMIC_RELAXED);
+  } else {
+    std::memcpy(static_cast<void*>(dst), &v, sizeof(T));
+  }
+}
+
+}  // namespace internal
+
+/// Stores `v` into SCM at `*dst` (shadow-logged when the crash simulator is
+/// on). NOT durable until a covering Persist() executes.
+template <typename T>
+inline void Store(T* dst, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SCM stores require trivially copyable types");
+  if (CrashSim::enabled()) CrashSim::LogStore(dst, sizeof(T));
+  internal::RawStore(dst, v);
+}
+
+/// Byte-range store into SCM (leaf copies during splits, string key bodies).
+inline void StoreBytes(void* dst, const void* src, size_t n) {
+  if (CrashSim::enabled()) CrashSim::LogStore(dst, n);
+  std::memcpy(dst, src, n);
+}
+
+/// Store + immediate Persist of the object.
+template <typename T>
+inline void StorePersist(T* dst, const T& v) {
+  Store(dst, v);
+  Persist(dst, sizeof(T));
+}
+
+/// Publishes a persistent pointer. The 8-byte offset is the p-atomic commit
+/// word (recovery tests it against null); the pool id is written first.
+template <typename T>
+inline void StorePPtr(PPtr<T>* dst, PPtr<T> v) {
+  Store(&dst->pool_id, v.pool_id);
+  Store(&dst->offset, v.offset);
+}
+
+template <typename T>
+inline void StorePPtrPersist(PPtr<T>* dst, PPtr<T> v) {
+  StorePPtr(dst, v);
+  Persist(dst, sizeof(*dst));
+}
+
+/// Tear-free load of a word-sized SCM field (used by optimistic readers).
+template <typename T>
+inline T Load(const T* src) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if constexpr (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                sizeof(T) == 8) {
+    T out;
+    __atomic_load(const_cast<T*>(src), &out, __ATOMIC_RELAXED);
+    return out;
+  } else {
+    T out;
+    std::memcpy(&out, src, sizeof(T));
+    return out;
+  }
+}
+
+/// Store that is deliberately exempt from crash logging: the field's
+/// post-crash content is irrelevant (paper: "writes to leaf locks are never
+/// persisted"; recovery re-initializes them).
+template <typename T>
+inline void StoreVolatile(T* dst, const T& v) {
+  internal::RawStore(dst, v);
+}
+
+}  // namespace pmem
+}  // namespace scm
+}  // namespace fptree

@@ -1,0 +1,217 @@
+#include "scm/pool.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "scm/alloc.h"
+#include "scm/pmem.h"
+#include "util/random.h"
+
+namespace fptree {
+namespace scm {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Pool*> pools;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+void RegisterPool(Pool* p) {
+  auto& r = GetRegistry();
+  std::lock_guard<std::mutex> l(r.mu);
+  r.pools.push_back(p);
+}
+
+void UnregisterPool(Pool* p) {
+  auto& r = GetRegistry();
+  std::lock_guard<std::mutex> l(r.mu);
+  for (auto it = r.pools.begin(); it != r.pools.end(); ++it) {
+    if (*it == p) {
+      r.pools.erase(it);
+      return;
+    }
+  }
+}
+
+// A different pseudo-random mmap hint on every call, so reopened pools land
+// at fresh bases and stored raw pointers break loudly.
+void* NextMapHint(size_t size) {
+  static std::mutex mu;
+  static Random64 rng(0x9E3779B97F4A7C15ULL ^
+                      static_cast<uint64_t>(::getpid()));
+  std::lock_guard<std::mutex> l(mu);
+  // Stay in a roomy, typically-unused region of the address space.
+  uint64_t base = 0x200000000000ULL + (rng.Uniform(1ULL << 16) << 24);
+  (void)size;
+  return reinterpret_cast<void*>(base);
+}
+
+}  // namespace
+
+Status Pool::MapFile(const std::string& path, uint64_t pool_id,
+                     const Options& options, bool create,
+                     std::unique_ptr<Pool>* out) {
+  if (pool_id == 0 || pool_id >= kMaxPools) {
+    return Status::InvalidArgument("pool_id must be in [1, kMaxPools)");
+  }
+  if (FindById(pool_id) != nullptr) {
+    return Status::AlreadyExists("pool id already mapped in this process");
+  }
+  int flags = O_RDWR | (create ? (O_CREAT | O_EXCL) : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  size_t size = options.size;
+  if (create) {
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      ::close(fd);
+      return Status::IOError("ftruncate: " + std::string(std::strerror(errno)));
+    }
+  } else {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError("fstat: " + std::string(std::strerror(errno)));
+    }
+    size = static_cast<size_t>(st.st_size);
+    if (size < sizeof(PoolHeader) + sizeof(AllocMeta)) {
+      ::close(fd);
+      return Status::Corruption("pool file too small: " + path);
+    }
+  }
+
+  void* hint = options.randomize_base ? NextMapHint(size) : nullptr;
+  void* base = ::mmap(hint, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    ::close(fd);
+    return Status::IOError("mmap: " + std::string(std::strerror(errno)));
+  }
+
+  std::unique_ptr<Pool> pool(new Pool());
+  pool->base_ = static_cast<char*>(base);
+  pool->size_ = size;
+  pool->id_ = pool_id;
+  pool->fd_ = fd;
+  pool->path_ = path;
+
+  if (create) {
+    PoolHeader hdr{};
+    hdr.magic = PoolHeader::kMagic;
+    hdr.version = 1;
+    hdr.pool_id = pool_id;
+    hdr.size = size;
+    hdr.root_initialized = 0;
+    hdr.root = VoidPPtr::Null();
+    std::memcpy(pool->base_, &hdr, sizeof(hdr));
+  } else {
+    PoolHeader* hdr = pool->header();
+    if (hdr->magic != PoolHeader::kMagic) {
+      return Status::Corruption("bad pool magic in " + path);
+    }
+    if (hdr->pool_id != pool_id) {
+      return Status::InvalidArgument("pool file has id " +
+                                     std::to_string(hdr->pool_id) +
+                                     ", expected " + std::to_string(pool_id));
+    }
+    if (hdr->size != size) {
+      return Status::Corruption("pool header size mismatch in " + path);
+    }
+  }
+
+  internal::g_pool_bases[pool_id].store(pool->base_,
+                                        std::memory_order_release);
+  RegisterPool(pool.get());
+
+  pool->allocator_ = std::make_unique<PAllocator>(pool.get());
+  if (create) {
+    pool->allocator_->Initialize();
+  } else {
+    Status s = pool->allocator_->Recover();
+    if (!s.ok()) return s;
+  }
+
+  *out = std::move(pool);
+  return Status::OK();
+}
+
+Status Pool::Create(const std::string& path, uint64_t pool_id,
+                    const Options& options, std::unique_ptr<Pool>* out) {
+  return MapFile(path, pool_id, options, /*create=*/true, out);
+}
+
+Status Pool::Open(const std::string& path, uint64_t pool_id,
+                  const Options& options, std::unique_ptr<Pool>* out) {
+  return MapFile(path, pool_id, options, /*create=*/false, out);
+}
+
+Status Pool::OpenOrCreate(const std::string& path, uint64_t pool_id,
+                          const Options& options, std::unique_ptr<Pool>* out,
+                          bool* created) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    *created = false;
+    return Open(path, pool_id, options, out);
+  }
+  *created = true;
+  return Create(path, pool_id, options, out);
+}
+
+Pool::~Pool() {
+  if (base_ != nullptr) {
+    UnregisterPool(this);
+    internal::g_pool_bases[id_].store(nullptr, std::memory_order_release);
+    ::munmap(base_, size_);
+    ::close(fd_);
+  }
+}
+
+void Pool::SetRoot(VoidPPtr root) {
+  pmem::StorePPtrPersist(&header()->root, root);
+}
+
+void Pool::SetRootInitialized() {
+  pmem::StorePersist(&header()->root_initialized, uint64_t{1});
+}
+
+Pool* Pool::FindByAddress(const void* p) {
+  auto& r = GetRegistry();
+  std::lock_guard<std::mutex> l(r.mu);
+  for (Pool* pool : r.pools) {
+    if (pool->Contains(p)) return pool;
+  }
+  return nullptr;
+}
+
+Pool* Pool::FindById(uint64_t pool_id) {
+  auto& r = GetRegistry();
+  std::lock_guard<std::mutex> l(r.mu);
+  for (Pool* pool : r.pools) {
+    if (pool->id() == pool_id) return pool;
+  }
+  return nullptr;
+}
+
+Status Pool::Destroy(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink(" + path + "): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace scm
+}  // namespace fptree

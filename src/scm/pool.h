@@ -1,0 +1,138 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// SCM pools: file-backed memory arenas, the unit the paper's persistent
+// allocator manages ("the file ID corresponds to a file that is created by
+// the persistent allocator and used as an Arena", §2). A pool is a memory-
+// mapped file with a small persistent header holding the pool identity and a
+// root persistent-pointer slot that anchors the application's durable data
+// structure.
+//
+// Recovery realism: Open() can (and in tests does) map the file at a fresh,
+// randomized virtual base, so any code that stashed raw virtual pointers in
+// SCM breaks immediately. Only PPtr-based navigation survives — which is the
+// paper's "data recovery" challenge.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "scm/pptr.h"
+#include "util/status.h"
+
+namespace fptree {
+namespace scm {
+
+class PAllocator;
+
+/// Persistent, cache-line-sized pool header at offset 0 of the file.
+struct PoolHeader {
+  static constexpr uint64_t kMagic = 0xF9720EE5C3A11D01ULL;
+
+  uint64_t magic;
+  uint64_t version;
+  uint64_t pool_id;
+  uint64_t size;
+  /// p-atomic flag: 0 while the application-level structure has never been
+  /// fully initialized (paper Alg. 9 "Tree.Status == NotInitialized").
+  uint64_t root_initialized;
+  /// Anchor slot for the application's top-level persistent object.
+  VoidPPtr root;
+  uint64_t reserved;
+};
+static_assert(sizeof(PoolHeader) == 64, "header must fill one cache line");
+
+/// \brief A memory-mapped SCM arena.
+///
+/// Create() formats a new file; Open() maps an existing one and runs
+/// allocator recovery. At most one Pool object per pool id may be live in a
+/// process. Thread-safe after construction (allocation is internally
+/// locked); open/close are control-plane and externally serialized.
+class Pool {
+ public:
+  struct Options {
+    /// Total pool size in bytes (header + allocator metadata + heap).
+    size_t size = size_t{1} << 30;
+    /// Map at a randomized base on open, to shake out stored raw pointers.
+    bool randomize_base = true;
+  };
+
+  /// Creates and formats a new pool file (fails if it already exists with a
+  /// valid header of a different size). pool_id must be in [1, kMaxPools).
+  static Status Create(const std::string& path, uint64_t pool_id,
+                       const Options& options, std::unique_ptr<Pool>* out);
+
+  /// Opens an existing pool file and runs allocator recovery.
+  static Status Open(const std::string& path, uint64_t pool_id,
+                     const Options& options, std::unique_ptr<Pool>* out);
+
+  /// Opens if the file exists and is formatted; otherwise creates it.
+  /// Sets *created so the caller knows whether to initialize or recover.
+  static Status OpenOrCreate(const std::string& path, uint64_t pool_id,
+                             const Options& options,
+                             std::unique_ptr<Pool>* out, bool* created);
+
+  /// Unmaps and unregisters. Does NOT delete the file.
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  char* base() const { return base_; }
+  size_t size() const { return size_; }
+  uint64_t id() const { return id_; }
+  const std::string& path() const { return path_; }
+
+  PoolHeader* header() const { return reinterpret_cast<PoolHeader*>(base_); }
+
+  /// The application root anchor.
+  VoidPPtr root() const { return header()->root; }
+  void SetRoot(VoidPPtr root);
+
+  bool root_initialized() const { return header()->root_initialized != 0; }
+  void SetRootInitialized();
+
+  /// True if `p` points into this pool's mapping.
+  bool Contains(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    return c >= base_ && c < base_ + size_;
+  }
+
+  /// Converts a virtual pointer inside this pool into a persistent pointer.
+  template <typename T>
+  PPtr<T> ToPPtr(const T* p) const {
+    if (p == nullptr) return PPtr<T>::Null();
+    return PPtr<T>{id_, static_cast<uint64_t>(
+                            reinterpret_cast<const char*>(p) - base_)};
+  }
+
+  /// The pool's persistent allocator.
+  PAllocator* allocator() const { return allocator_.get(); }
+
+  /// Finds the live pool whose mapping contains `p`; nullptr if none.
+  static Pool* FindByAddress(const void* p);
+
+  /// Finds the live pool with the given id; nullptr if not open.
+  static Pool* FindById(uint64_t pool_id);
+
+  /// Deletes a pool file from disk (for tests/benchmarks).
+  static Status Destroy(const std::string& path);
+
+ private:
+  Pool() = default;
+
+  static Status MapFile(const std::string& path, uint64_t pool_id,
+                        const Options& options, bool create,
+                        std::unique_ptr<Pool>* out);
+
+  char* base_ = nullptr;
+  size_t size_ = 0;
+  uint64_t id_ = 0;
+  int fd_ = -1;
+  std::string path_;
+  std::unique_ptr<PAllocator> allocator_;
+};
+
+}  // namespace scm
+}  // namespace fptree

@@ -1,0 +1,73 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Persistent pointers (paper §2, "Data recovery"): an 8-byte pool (file) ID
+// plus an 8-byte offset inside that pool's file. A PPtr stays valid across
+// restarts — unlike a virtual pointer — because the pool can be remapped at
+// any base address and the offset re-resolved. Our test harness deliberately
+// remaps pools at randomized bases after a simulated crash to prove this.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "scm/layout.h"
+
+namespace fptree {
+namespace scm {
+
+namespace internal {
+/// Base virtual addresses of currently-mapped pools, indexed by pool id.
+/// Written by Pool open/close; read inline by PPtr resolution.
+inline std::array<std::atomic<void*>, kMaxPools> g_pool_bases{};
+}  // namespace internal
+
+/// \brief Typed persistent pointer: {pool id, byte offset}.
+///
+/// Offset 0 addresses the pool header and is never handed out for objects,
+/// so {*, 0} represents null. PPtr is a 16-byte POD; an aligned 8-byte half
+/// (the offset) is the p-atomically-updated word in all algorithms that
+/// depend on atomic pointer publication.
+template <typename T>
+struct PPtr {
+  uint64_t pool_id = 0;
+  uint64_t offset = 0;
+
+  static PPtr Null() { return PPtr{0, 0}; }
+
+  bool IsNull() const { return offset == 0; }
+
+  /// Resolves to a virtual pointer in the current mapping. Null-safe.
+  T* get() const {
+    if (offset == 0) return nullptr;
+    void* base = internal::g_pool_bases[pool_id].load(std::memory_order_acquire);
+    return reinterpret_cast<T*>(static_cast<char*>(base) + offset);
+  }
+
+  T* operator->() const { return get(); }
+  auto& operator*() const
+    requires(!std::is_void_v<T>)
+  {
+    return *get();
+  }
+
+  bool operator==(const PPtr& o) const {
+    return pool_id == o.pool_id && offset == o.offset;
+  }
+  bool operator!=(const PPtr& o) const { return !(*this == o); }
+
+  /// Reinterprets this persistent pointer as pointing to U.
+  template <typename U>
+  PPtr<U> Cast() const {
+    return PPtr<U>{pool_id, offset};
+  }
+};
+
+static_assert(sizeof(PPtr<int>) == 16, "PPtr must be 16 bytes");
+
+using VoidPPtr = PPtr<void>;
+
+}  // namespace scm
+}  // namespace fptree

@@ -1,0 +1,48 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Per-thread counters of simulated-SCM events. Benchmarks read these to
+// report, e.g., SCM misses per Find (paper §6.2 observes the FPTree Find
+// costs ≈ 2 SCM cache misses) and flushes per insert.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fptree {
+namespace scm {
+
+/// \brief Event counters. Thread-local instances are aggregated into a
+/// global total when threads call FlushThreadStats() (or transparently via
+/// the thread-local destructor).
+struct StatsCounters {
+  uint64_t scm_read_misses = 0;   ///< cache-line reads charged SCM latency
+  uint64_t scm_read_hits = 0;     ///< cache-line reads served by the model LLC
+  uint64_t flushed_lines = 0;     ///< cache lines flushed by Persist()
+  uint64_t fences = 0;            ///< memory fences issued
+  uint64_t allocations = 0;       ///< persistent allocations
+  uint64_t deallocations = 0;     ///< persistent deallocations
+
+  void Add(const StatsCounters& o) {
+    scm_read_misses += o.scm_read_misses;
+    scm_read_hits += o.scm_read_hits;
+    flushed_lines += o.flushed_lines;
+    fences += o.fences;
+    allocations += o.allocations;
+    deallocations += o.deallocations;
+  }
+  void Clear() { *this = StatsCounters{}; }
+};
+
+namespace internal {
+inline thread_local StatsCounters tls_stats;
+}  // namespace internal
+
+/// Returns this thread's counters (mutable).
+inline StatsCounters& ThreadStats() { return internal::tls_stats; }
+
+/// Clears this thread's counters.
+inline void ClearThreadStats() { internal::tls_stats.Clear(); }
+
+}  // namespace scm
+}  // namespace fptree

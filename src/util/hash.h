@@ -1,0 +1,47 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Hash functions. The one-byte fingerprint hash is the heart of the paper's
+// Fingerprinting technique (§4.2): it must be cheap and close to uniform over
+// 256 buckets so that the expected number of in-leaf key probes stays ≈ 1.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fptree {
+
+/// \brief 64-bit finalizer (MurmurHash3 fmix64). Full-avalanche: every input
+/// bit affects every output bit, so taking the low byte is safe.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// \brief FNV-1a over arbitrary bytes, for variable-size (string) keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+/// \brief One-byte fingerprint of a fixed-size key (paper §4.2).
+inline uint8_t Fingerprint(uint64_t key) {
+  return static_cast<uint8_t>(Mix64(key) & 0xff);
+}
+
+/// \brief One-byte fingerprint of a variable-size key.
+inline uint8_t Fingerprint(std::string_view key) {
+  return static_cast<uint8_t>(HashBytes(key.data(), key.size()) & 0xff);
+}
+
+}  // namespace fptree

@@ -1,0 +1,107 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// A compact log-bucketed latency histogram for benchmark reporting
+// (RocksDB-style). Records nanosecond samples; reports avg and percentiles.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace fptree {
+
+/// \brief Log-scale histogram of nanosecond latencies.
+///
+/// Buckets are powers-of-two-ish (64 sub-buckets per octave would be
+/// overkill; we use 4) covering 1 ns .. ~1 s. Not thread-safe; use one per
+/// worker thread and Merge().
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 124;  // 31 octaves * 4 sub-buckets
+
+  Histogram() { Clear(); }
+
+  void Clear() {
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+    buckets_.fill(0);
+  }
+
+  void Add(uint64_t ns) {
+    ++count_;
+    sum_ += ns;
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+    ++buckets_[BucketFor(ns)];
+  }
+
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  double Average() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+
+  /// Returns the approximate p-th percentile (p in [0,100]).
+  uint64_t Percentile(double p) const {
+    if (count_ == 0) return 0;
+    uint64_t threshold =
+        static_cast<uint64_t>(static_cast<double>(count_) * p / 100.0);
+    uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      cum += buckets_[i];
+      if (cum >= threshold) return BucketLow(i);
+    }
+    return max_;
+  }
+
+  std::string ToString() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "count=%llu avg=%.1fns p50=%llu p99=%llu max=%llu",
+                  static_cast<unsigned long long>(count_), Average(),
+                  static_cast<unsigned long long>(Percentile(50)),
+                  static_cast<unsigned long long>(Percentile(99)),
+                  static_cast<unsigned long long>(max_));
+    return buf;
+  }
+
+ private:
+  static int BucketFor(uint64_t ns) {
+    if (ns < 2) return static_cast<int>(ns);
+    int octave = 63 - __builtin_clzll(ns);
+    uint64_t frac = (ns >> (octave >= 2 ? octave - 2 : 0)) & 3;
+    int idx = octave * 4 + static_cast<int>(frac);
+    return idx >= kNumBuckets ? kNumBuckets - 1 : idx;
+  }
+
+  static uint64_t BucketLow(int idx) {
+    int octave = idx / 4;
+    int frac = idx % 4;
+    if (octave == 0) return static_cast<uint64_t>(frac);
+    return (1ULL << octave) | (static_cast<uint64_t>(frac) << (octave >= 2 ? octave - 2 : 0));
+  }
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::array<uint64_t, kNumBuckets> buckets_;
+};
+
+}  // namespace fptree

@@ -1,0 +1,76 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Fast pseudo-random generators for workload generation. Benchmarks must not
+// be bottlenecked by the RNG, so the core generator is xorshift128+ (a few
+// cycles per number); std::mt19937_64 is reserved for one-time setup work.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace fptree {
+
+/// \brief xorshift128+ generator; fast, decent quality, deterministic.
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed = 0x853c49e6748fea9bULL) {
+    // SplitMix64 to spread a possibly weak seed over both words.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// \brief Returns a deterministic pseudo-random permutation of [0, n),
+/// useful for uniformly-shuffled key-insertion order.
+inline std::vector<uint64_t> ShuffledRange(uint64_t n, uint64_t seed = 42) {
+  std::vector<uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  Random64 rng(seed);
+  for (uint64_t i = n; i > 1; --i) {
+    uint64_t j = rng.Uniform(i);
+    std::swap(v[i - 1], v[j]);
+  }
+  return v;
+}
+
+}  // namespace fptree

@@ -1,0 +1,103 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// A lightweight Status type, following the RocksDB/Arrow idiom: fallible
+// operations return a Status instead of throwing. The tree hot paths do not
+// allocate Status objects; Status is used on the control plane (pool
+// open/close, allocator bootstrap, application plumbing).
+
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace fptree {
+
+/// \brief Result of a fallible control-plane operation.
+///
+/// A Status is either OK (the default) or carries a code plus a
+/// human-readable message. Statuses are cheap to move and must be checked by
+/// the caller; ignoring one is a bug.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kResourceExhausted = 6,
+    kAlreadyExists = 7,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static const char* CodeName(Code c) {
+    switch (c) {
+      case Code::kOk:
+        return "OK";
+      case Code::kNotFound:
+        return "NotFound";
+      case Code::kCorruption:
+        return "Corruption";
+      case Code::kNotSupported:
+        return "NotSupported";
+      case Code::kInvalidArgument:
+        return "InvalidArgument";
+      case Code::kIOError:
+        return "IOError";
+      case Code::kResourceExhausted:
+        return "ResourceExhausted";
+      case Code::kAlreadyExists:
+        return "AlreadyExists";
+    }
+    return "Unknown";
+  }
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+}  // namespace fptree

@@ -1,0 +1,75 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Thread orchestration helpers for concurrency benchmarks and stress tests:
+// a reusable spin barrier (so per-op timing is not polluted by futex wakeups)
+// and a scoped thread pool that joins on destruction.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace fptree {
+
+/// \brief Reusable sense-reversing spin barrier.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t n) : total_(n) {}
+
+  void Wait() {
+    uint32_t sense = sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(sense ^ 1, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) == sense) {
+        CpuRelax();
+      }
+    }
+  }
+
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+ private:
+  const uint32_t total_;
+  std::atomic<uint32_t> arrived_{0};
+  std::atomic<uint32_t> sense_{0};
+};
+
+/// \brief Launches `n` workers running fn(thread_id) and joins on
+/// destruction (or explicit Join()).
+class ThreadGroup {
+ public:
+  ThreadGroup() = default;
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  void Spawn(uint32_t n, const std::function<void(uint32_t)>& fn) {
+    for (uint32_t i = 0; i < n; ++i) {
+      threads_.emplace_back(fn, i);
+    }
+  }
+
+  void Join() {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  ~ThreadGroup() { Join(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fptree

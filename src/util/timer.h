@@ -1,0 +1,37 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Wall-clock timing helpers for benchmarks and the SCM latency calibrator.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fptree {
+
+/// \brief Nanoseconds since an arbitrary epoch (steady clock).
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief Simple stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace fptree

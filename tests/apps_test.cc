@@ -1,0 +1,235 @@
+// End-to-end applications: the memcached-like kvcache (pluggable index,
+// LRU, network throttle) and the minidb prototype (TATP load, queries,
+// restart recovery).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "apps/kvcache/kvcache.h"
+#include "apps/minidb/minidb.h"
+#include "apps/minidb/tatp.h"
+#include "scm/latency.h"
+#include "util/random.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace apps {
+namespace {
+
+using scm::Pool;
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+class KVCacheTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    path_ = TestPath("kvcache");
+    Pool::Destroy(path_).ok();
+    Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+  }
+  void TearDown() override {
+    pool_.reset();
+    Pool::Destroy(path_).ok();
+  }
+
+  std::unique_ptr<KVCache> MakeCache(const KVCache::Options& options) {
+    auto idx = index::MakeVarIndex(GetParam(), pool_.get(), /*locked=*/true);
+    if (idx == nullptr) return nullptr;
+    return std::make_unique<KVCache>(std::move(idx), options);
+  }
+
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+};
+
+TEST_P(KVCacheTest, SetGetDelete) {
+  auto cache = MakeCache({});
+  ASSERT_NE(cache, nullptr);
+  uint64_t v;
+  EXPECT_FALSE(cache->Get("user:1", &v));
+  cache->Set("user:1", 100);
+  ASSERT_TRUE(cache->Get("user:1", &v));
+  EXPECT_EQ(v, 100u);
+  cache->Set("user:1", 200);  // overwrite
+  ASSERT_TRUE(cache->Get("user:1", &v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_TRUE(cache->Delete("user:1"));
+  EXPECT_FALSE(cache->Get("user:1", &v));
+  EXPECT_EQ(cache->stats().gets.load(), 4u);
+  EXPECT_EQ(cache->stats().get_hits.load(), 2u);
+}
+
+TEST_P(KVCacheTest, ManyKeysParallelClients) {
+  auto cache = MakeCache({});
+  ASSERT_NE(cache, nullptr);
+  constexpr uint32_t kClients = 4;
+  constexpr uint64_t kPerClient = 2000;
+  ThreadGroup tg;
+  tg.Spawn(kClients, [&](uint32_t id) {
+    char key[32];
+    for (uint64_t i = 0; i < kPerClient; ++i) {
+      std::snprintf(key, sizeof(key), "key-%u-%llu", id,
+                    static_cast<unsigned long long>(i));
+      cache->Set(key, id * kPerClient + i);
+    }
+    for (uint64_t i = 0; i < kPerClient; ++i) {
+      std::snprintf(key, sizeof(key), "key-%u-%llu", id,
+                    static_cast<unsigned long long>(i));
+      uint64_t v;
+      ASSERT_TRUE(cache->Get(key, &v));
+      EXPECT_EQ(v, id * kPerClient + i);
+    }
+  });
+  tg.Join();
+  EXPECT_EQ(cache->ItemCount(), kClients * kPerClient);
+}
+
+TEST_P(KVCacheTest, LruEvictionBoundsResidency) {
+  KVCache::Options options;
+  options.capacity = 256;
+  auto cache = MakeCache(options);
+  ASSERT_NE(cache, nullptr);
+  char key[32];
+  for (uint64_t i = 0; i < 5000; ++i) {
+    std::snprintf(key, sizeof(key), "k%llu",
+                  static_cast<unsigned long long>(i));
+    cache->Set(key, i);
+  }
+  EXPECT_LT(cache->ItemCount(), 600u);
+  EXPECT_GT(cache->stats().evictions.load(), 4000u);
+  // Recent keys survive.
+  uint64_t v;
+  std::snprintf(key, sizeof(key), "k%llu",
+                static_cast<unsigned long long>(4999ULL));
+  EXPECT_TRUE(cache->Get(key, &v));
+}
+
+TEST_P(KVCacheTest, NetworkThrottleCapsThroughput) {
+  KVCache::Options options;
+  options.network_ns_per_request = 20000;  // 50k req/s ceiling
+  auto cache = MakeCache(options);
+  ASSERT_NE(cache, nullptr);
+  scm::LatencyModel::Calibrate();
+  Stopwatch sw;
+  for (int i = 0; i < 2000; ++i) {
+    cache->Set("hot", i);
+  }
+  double seconds = sw.ElapsedSeconds();
+  // 2000 requests at 20 µs each needs >= ~40 ms.
+  EXPECT_GT(seconds, 0.030);
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, KVCacheTest,
+                         ::testing::Values("fptree-c-var", "fptree-var",
+                                           "stx-var", "hashmap"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---------------- MiniDb / TATP ---------------------------------------------
+
+class MiniDbTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    data_path_ = TestPath("db_data");
+    index_path_ = TestPath("db_index");
+    Pool::Destroy(data_path_).ok();
+    Pool::Destroy(index_path_).ok();
+  }
+  void TearDown() override {
+    data_pool_.reset();
+    index_pool_.reset();
+    Pool::Destroy(data_path_).ok();
+    Pool::Destroy(index_path_).ok();
+  }
+
+  std::unique_ptr<MiniDb> OpenDb(bool create, uint64_t subscribers) {
+    data_pool_.reset();
+    index_pool_.reset();
+    Pool::Options opts{.size = 512u << 20, .randomize_base = true};
+    bool created;
+    EXPECT_TRUE(
+        Pool::OpenOrCreate(data_path_, 1, opts, &data_pool_, &created).ok());
+    EXPECT_TRUE(
+        Pool::OpenOrCreate(index_path_, 2, opts, &index_pool_, &created)
+            .ok());
+    (void)create;
+    MiniDb::Options dbopts;
+    dbopts.index_kind = GetParam();
+    dbopts.subscribers = subscribers;
+    bool needs_load = false;
+    auto db = std::make_unique<MiniDb>(data_pool_.get(), index_pool_.get(),
+                                       dbopts, &needs_load);
+    if (needs_load) db->Load();
+    return db;
+  }
+
+  std::string data_path_, index_path_;
+  std::unique_ptr<Pool> data_pool_, index_pool_;
+};
+
+TEST_P(MiniDbTest, LoadAndQuery) {
+  auto db = OpenDb(true, 2000);
+  MiniDb::SubscriberRow row;
+  uint64_t found = 0;
+  for (uint64_t s = 0; s < 2000; ++s) {
+    ASSERT_TRUE(db->GetSubscriberData(s, &row)) << s;
+    ++found;
+  }
+  EXPECT_EQ(found, 2000u);
+  // Every subscriber has at least ai_type 0.
+  uint64_t data;
+  EXPECT_TRUE(db->GetAccessData(42, 0, &data));
+  EXPECT_FALSE(db->GetSubscriberData(999999, &row));
+}
+
+TEST_P(MiniDbTest, TatpRunsAndCounts) {
+  auto db = OpenDb(true, 2000);
+  TatpWorkload workload(db.get());
+  TatpResult r = workload.Run(20000, 4);
+  EXPECT_EQ(r.transactions, 20000u);
+  EXPECT_GT(r.hits, r.transactions / 3) << "most lookups should hit";
+  EXPECT_GT(r.TxPerSecond(), 0.0);
+}
+
+TEST_P(MiniDbTest, RestartRecoversIndexAndData) {
+  {
+    auto db = OpenDb(true, 1500);
+    MiniDb::SubscriberRow row;
+    ASSERT_TRUE(db->GetSubscriberData(7, &row));
+  }
+  // Simulated restart: pools reopen (randomized base), index recovers.
+  auto db = OpenDb(false, 1500);
+  EXPECT_GT(db->SanityCheckColumns(), 0u);
+  MiniDb::SubscriberRow row;
+  for (uint64_t s = 0; s < 1500; s += 97) {
+    ASSERT_TRUE(db->GetSubscriberData(s, &row)) << s;
+  }
+  TatpWorkload workload(db.get());
+  TatpResult r = workload.Run(4000, 2);
+  EXPECT_EQ(r.transactions, 4000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, MiniDbTest,
+                         ::testing::Values("fptree", "ptree", "wbtree",
+                                           "nvtree", "stx", "fptree-c"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace apps
+}  // namespace fptree

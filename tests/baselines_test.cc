@@ -1,0 +1,343 @@
+// Baseline trees (STXTree, wBTree, NV-Tree, PTree): base operations,
+// differential tests, recovery, and their paper-documented idiosyncrasies
+// (wBTree slot arrays, NV-Tree append-only semantics and rebuilds).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <map>
+
+#include "baselines/nvtree.h"
+#include "baselines/stxtree.h"
+#include "baselines/wbtree.h"
+#include "core/ptree.h"
+#include "scm/latency.h"
+#include "util/random.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace {
+
+using scm::Pool;
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+// ---------------- STXTree ---------------------------------------------------
+
+TEST(STXTree, BasicOps) {
+  baselines::STXTree<uint64_t, uint64_t, 8, 8> t;
+  uint64_t v;
+  EXPECT_FALSE(t.Find(1, &v));
+  EXPECT_TRUE(t.Insert(1, 10));
+  EXPECT_FALSE(t.Insert(1, 11));
+  EXPECT_TRUE(t.Find(1, &v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_TRUE(t.Update(1, 12));
+  EXPECT_TRUE(t.Find(1, &v));
+  EXPECT_EQ(v, 12u);
+  EXPECT_TRUE(t.Erase(1));
+  EXPECT_FALSE(t.Find(1, &v));
+}
+
+TEST(STXTree, DifferentialVsStdMap) {
+  baselines::STXTree<uint64_t, uint64_t, 8, 8> t;
+  std::map<uint64_t, uint64_t> model;
+  Random64 rng(42);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t key = rng.Uniform(1500);
+    switch (rng.Uniform(4)) {
+      case 0:
+        EXPECT_EQ(t.Insert(key, i), model.emplace(key, i).second);
+        break;
+      case 1: {
+        bool up = t.Update(key, i);
+        EXPECT_EQ(up, model.count(key) == 1);
+        if (up) model[key] = i;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(t.Erase(key), model.erase(key) == 1);
+        break;
+      default: {
+        uint64_t v;
+        bool f = t.Find(key, &v);
+        auto it = model.find(key);
+        ASSERT_EQ(f, it != model.end());
+        if (f) EXPECT_EQ(v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(t.Size(), model.size());
+  std::string why;
+  EXPECT_TRUE(t.CheckConsistency(&why)) << why;
+}
+
+TEST(STXTree, RangeScan) {
+  baselines::STXTree<uint64_t, uint64_t, 8, 8> t;
+  for (uint64_t k : ShuffledRange(300, 3)) t.Insert(k * 3, k);
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  t.RangeScan(10, 15, &out);
+  ASSERT_EQ(out.size(), 15u);
+  uint64_t expect = 12;
+  for (auto& [k, v] : out) {
+    EXPECT_EQ(k, expect);
+    expect += 3;
+  }
+}
+
+TEST(STXTree, BulkLoad) {
+  baselines::STXTree<uint64_t, uint64_t, 16, 16> t;
+  std::vector<std::pair<uint64_t, uint64_t>> sorted;
+  for (uint64_t k = 0; k < 10000; ++k) sorted.emplace_back(k, k * 2);
+  t.BulkLoad(sorted);
+  EXPECT_EQ(t.Size(), 10000u);
+  uint64_t v;
+  for (uint64_t k = 0; k < 10000; k += 97) {
+    ASSERT_TRUE(t.Find(k, &v));
+    EXPECT_EQ(v, k * 2);
+  }
+  std::string why;
+  EXPECT_TRUE(t.CheckConsistency(&why)) << why;
+}
+
+// ---------------- Pool-backed fixtures --------------------------------------
+
+template <typename TreeT>
+class PoolTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    path_ = TestPath("baseline");
+    Pool::Destroy(path_).ok();
+    Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+    tree_ = std::make_unique<TreeT>(pool_.get());
+  }
+
+  void TearDown() override {
+    tree_.reset();
+    pool_.reset();
+    Pool::Destroy(path_).ok();
+  }
+
+  void Reopen() {
+    tree_.reset();
+    pool_.reset();
+    Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Open(path_, 1, opts, &pool_).ok());
+    tree_ = std::make_unique<TreeT>(pool_.get());
+  }
+
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+  std::unique_ptr<TreeT> tree_;
+};
+
+using SmallWBTree = baselines::WBTree<uint64_t, 8, 4>;
+using SmallNVTree = baselines::NVTree<uint64_t, 8, 4, 8>;
+using SmallPTree = core::PTree<uint64_t, 8, 8>;
+
+template <typename T>
+using BaselineTest = PoolTreeTest<T>;
+using BaselineTypes = ::testing::Types<SmallWBTree, SmallNVTree, SmallPTree>;
+
+template <typename T>
+struct BName;
+template <>
+struct BName<SmallWBTree> {
+  static constexpr const char* kName = "WBTree";
+};
+template <>
+struct BName<SmallNVTree> {
+  static constexpr const char* kName = "NVTree";
+};
+template <>
+struct BName<SmallPTree> {
+  static constexpr const char* kName = "PTree";
+};
+class BNameGen {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    return BName<T>::kName;
+  }
+};
+
+TYPED_TEST_SUITE(BaselineTest, BaselineTypes, BNameGen);
+
+TYPED_TEST(BaselineTest, BasicOps) {
+  uint64_t v;
+  EXPECT_FALSE(this->tree_->Find(1, &v));
+  EXPECT_TRUE(this->tree_->Insert(1, 10));
+  EXPECT_FALSE(this->tree_->Insert(1, 11));
+  ASSERT_TRUE(this->tree_->Find(1, &v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_TRUE(this->tree_->Update(1, 12));
+  ASSERT_TRUE(this->tree_->Find(1, &v));
+  EXPECT_EQ(v, 12u);
+  EXPECT_FALSE(this->tree_->Update(2, 5));
+  EXPECT_TRUE(this->tree_->Erase(1));
+  EXPECT_FALSE(this->tree_->Find(1, &v));
+  EXPECT_FALSE(this->tree_->Erase(1));
+}
+
+TYPED_TEST(BaselineTest, SplitsPreserveKeys) {
+  std::map<uint64_t, uint64_t> model;
+  for (uint64_t k : ShuffledRange(500, 11)) {
+    ASSERT_TRUE(this->tree_->Insert(k, k * 3)) << k;
+    model[k] = k * 3;
+  }
+  EXPECT_EQ(this->tree_->Size(), model.size());
+  for (auto& [k, val] : model) {
+    uint64_t v;
+    ASSERT_TRUE(this->tree_->Find(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckConsistency(&why)) << why;
+}
+
+TYPED_TEST(BaselineTest, DifferentialVsStdMap) {
+  std::map<uint64_t, uint64_t> model;
+  Random64 rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.Uniform(800);
+    switch (rng.Uniform(4)) {
+      case 0: {
+        bool ins = this->tree_->Insert(key, i);
+        EXPECT_EQ(ins, model.emplace(key, i).second);
+        break;
+      }
+      case 1: {
+        bool up = this->tree_->Update(key, i);
+        EXPECT_EQ(up, model.count(key) == 1);
+        if (up) model[key] = i;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(this->tree_->Erase(key), model.erase(key) == 1);
+        break;
+      default: {
+        uint64_t v;
+        bool f = this->tree_->Find(key, &v);
+        auto it = model.find(key);
+        ASSERT_EQ(f, it != model.end()) << key;
+        if (f) EXPECT_EQ(v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(this->tree_->Size(), model.size());
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckConsistency(&why)) << why;
+}
+
+TYPED_TEST(BaselineTest, ContentsSurviveReopen) {
+  std::map<uint64_t, uint64_t> model;
+  for (uint64_t k : ShuffledRange(600, 13)) {
+    ASSERT_TRUE(this->tree_->Insert(k, k ^ 0xFF));
+    model[k] = k ^ 0xFF;
+  }
+  for (uint64_t k = 0; k < 600; k += 4) {
+    ASSERT_TRUE(this->tree_->Erase(k));
+    model.erase(k);
+  }
+  this->Reopen();
+  EXPECT_EQ(this->tree_->Size(), model.size());
+  for (auto& [k, val] : model) {
+    uint64_t v;
+    ASSERT_TRUE(this->tree_->Find(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+  // Still writable after recovery.
+  ASSERT_TRUE(this->tree_->Insert(100000, 1));
+  uint64_t v;
+  EXPECT_TRUE(this->tree_->Find(100000, &v));
+}
+
+TYPED_TEST(BaselineTest, RangeScanSorted) {
+  for (uint64_t k : ShuffledRange(200, 17)) {
+    ASSERT_TRUE(this->tree_->Insert(k * 2, k));
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  this->tree_->RangeScan(50, 10, &out);
+  ASSERT_EQ(out.size(), 10u);
+  uint64_t expect = 50;
+  for (auto& [k, v] : out) {
+    EXPECT_EQ(k, expect);
+    expect += 2;
+  }
+}
+
+// ---------------- NV-Tree specifics -----------------------------------------
+
+class NVTreeTest : public PoolTreeTest<SmallNVTree> {};
+
+TEST_F(NVTreeTest, UpdatesAppendNewVersions) {
+  ASSERT_TRUE(tree_->Insert(5, 1));
+  ASSERT_TRUE(tree_->Update(5, 2));
+  ASSERT_TRUE(tree_->Update(5, 3));
+  uint64_t v;
+  ASSERT_TRUE(tree_->Find(5, &v));
+  EXPECT_EQ(v, 3u) << "reverse scan must return the most recent version";
+}
+
+TEST_F(NVTreeTest, DeleteInsertsResurrect) {
+  ASSERT_TRUE(tree_->Insert(5, 1));
+  ASSERT_TRUE(tree_->Erase(5));
+  uint64_t v;
+  EXPECT_FALSE(tree_->Find(5, &v));
+  ASSERT_TRUE(tree_->Insert(5, 9));
+  ASSERT_TRUE(tree_->Find(5, &v));
+  EXPECT_EQ(v, 9u);
+}
+
+TEST_F(NVTreeTest, RebuildsHappenUnderSequentialInsertion) {
+  // Sequential insertion hammers the right-most LP; with tiny LPs this
+  // forces repeated full rebuilds (the §6.4 pathology).
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, k));
+  }
+  EXPECT_GT(tree_->stats().rebuilds, 0u);
+  uint64_t v;
+  for (uint64_t k = 0; k < 2000; k += 37) {
+    ASSERT_TRUE(tree_->Find(k, &v));
+    EXPECT_EQ(v, k);
+  }
+}
+
+// ---------------- Concurrent NV-Tree ----------------------------------------
+
+TEST(ConcurrentNVTree, ParallelInsertsAllLand) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("nvtreec");
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  {
+    baselines::ConcurrentNVTree<uint64_t, 16, 16, 32> tree(pool.get());
+    constexpr uint32_t kThreads = 8;
+    constexpr uint64_t kPerThread = 3000;
+    ThreadGroup tg;
+    tg.Spawn(kThreads, [&](uint32_t id) {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t key = id * kPerThread + i;
+        ASSERT_TRUE(tree.Insert(key, key * 2));
+      }
+    });
+    tg.Join();
+    EXPECT_EQ(tree.Size(), kThreads * kPerThread);
+    uint64_t v;
+    for (uint64_t k = 0; k < kThreads * kPerThread; k += 101) {
+      ASSERT_TRUE(tree.Find(k, &v)) << k;
+      EXPECT_EQ(v, k * 2);
+    }
+  }
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+}  // namespace
+}  // namespace fptree

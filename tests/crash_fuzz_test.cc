@@ -1,0 +1,241 @@
+// Property-style randomized crash fuzzing (parameterized over seeds):
+// run a random operation trace against the FPTree, crash at a randomly
+// armed crash point every few operations, recover, and assert the global
+// invariants — per-key atomicity, structural consistency, and zero
+// persistent leaks — after every single recovery. This sweeps crash-point
+// combinations that the targeted per-window tests cannot enumerate.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <map>
+
+#include "core/fptree.h"
+#include "core/fptree_var.h"
+#include "scm/crash.h"
+#include "scm/latency.h"
+#include "util/random.h"
+
+namespace fptree {
+namespace core {
+namespace {
+
+using scm::CrashException;
+using scm::CrashSim;
+using scm::Pool;
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+// Every named crash point in the fixed-key FPTree + allocator stack.
+const char* const kAllPoints[] = {
+    "fptree.insert.before_bitmap", "fptree.insert.after_bitmap",
+    "fptree.update.before_bitmap", "fptree.update.after_bitmap",
+    "fptree.erase.after_bitmap",   "fptree.split.logged",
+    "fptree.split.allocated",      "fptree.split.copied",
+    "fptree.split.new_bitmap",     "fptree.split.old_bitmap",
+    "fptree.split.linked",         "fptree.delete.logged",
+    "fptree.delete.head_updated",  "fptree.delete.prev_logged",
+    "fptree.delete.unlinked",      "fptree.delete.bitmap_cleared",
+    "fptree.getleaf.allocated",    "fptree.getleaf.initialized",
+    "fptree.getleaf.linked",       "fptree.getleaf.tail_updated",
+    "fptree.freeleaf.logged",      "fptree.freeleaf.head_updated",
+    "fptree.freeleaf.prev_logged", "fptree.freeleaf.unlinked",
+    "fptree.freeleaf.tail_updated", "fptree.freeleaf.deallocated",
+    "palloc.alloc.logged",         "palloc.alloc.block_chosen",
+    "palloc.alloc.header_marked",  "palloc.alloc.top_bumped",
+    "palloc.alloc.delivered",      "palloc.dealloc.logged",
+    "palloc.dealloc.nulled",       "palloc.dealloc.freed",
+};
+
+class CrashFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashFuzzTest, RandomTraceWithRandomCrashes) {
+  scm::LatencyModel::Disable();
+  std::string path =
+      TestPath("fuzz" + std::to_string(GetParam()));
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  using Tree = FPTree<uint64_t, 8, 8, true, 4>;
+  auto tree = std::make_unique<Tree>(pool.get());
+  CrashSim::Enable();
+
+  Random64 rng(GetParam());
+  std::map<uint64_t, uint64_t> model;
+  int crashes = 0;
+  constexpr int kPointCount = sizeof(kAllPoints) / sizeof(kAllPoints[0]);
+
+  for (int step = 0; step < 500; ++step) {
+    // Periodically arm a random crash point with a random countdown so
+    // crashes hit different occurrences of the same window.
+    if (step % 3 == 0) {
+      CrashSim::ArmCrashPoint(kAllPoints[rng.Uniform(kPointCount)],
+                              1 + static_cast<int>(rng.Uniform(3)));
+    }
+    if (GetParam() % 2 == 0) CrashSim::SetTearMode(true);
+
+    uint64_t key = rng.Uniform(300);
+    int op = static_cast<int>(rng.Uniform(3));
+    bool crashed = false;
+    try {
+      switch (op) {
+        case 0:
+          tree->Insert(key, step);
+          break;
+        case 1:
+          tree->Update(key, step);
+          break;
+        default:
+          tree->Erase(key);
+          break;
+      }
+    } catch (const CrashException&) {
+      crashed = true;
+    }
+    if (crashed) {
+      ++crashes;
+      CrashSim::SimulateCrash();
+      tree.reset();
+      pool.reset();
+      ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
+      tree = std::make_unique<Tree>(pool.get());
+      CrashSim::Enable();
+    } else {
+      // Armed points stay armed across steps until they fire, so rare
+      // windows (deletes, group management) eventually get hit.
+      // Mirror the op into the model only when it completed.
+      switch (op) {
+        case 0:
+          model.emplace(key, step);
+          break;
+        case 1:
+          if (model.count(key)) model[key] = step;
+          break;
+        default:
+          model.erase(key);
+          break;
+      }
+    }
+    // After a crash the interrupted op may or may not have applied; adopt
+    // the tree's state for that key.
+    if (crashed) {
+      uint64_t v;
+      if (tree->Find(key, &v)) {
+        model[key] = v;
+      } else {
+        model.erase(key);
+      }
+    }
+    // Invariants hold after every step.
+    std::string why;
+    ASSERT_TRUE(tree->CheckConsistency(&why))
+        << "step " << step << ": " << why;
+    ASSERT_TRUE(tree->CheckNoLeaks(&why)) << "step " << step << ": " << why;
+  }
+
+  // Full differential check at the end.
+  ASSERT_EQ(tree->Size(), model.size());
+  for (auto& [k, val] : model) {
+    uint64_t v;
+    ASSERT_TRUE(tree->Find(k, &v)) << k;
+    EXPECT_EQ(v, val) << k;
+  }
+  EXPECT_GT(crashes, 5) << "fuzz run should actually crash";
+
+  CrashSim::Disable();
+  tree.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+// Var-key fuzz: exercises key-blob leak windows under random crashes.
+class VarCrashFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+const char* const kVarPoints[] = {
+    "fptreevar.insert.key_allocated", "fptreevar.insert.before_bitmap",
+    "fptreevar.insert.after_bitmap",  "fptreevar.update.before_bitmap",
+    "fptreevar.update.aliased",       "fptreevar.update.old_reset",
+    "fptreevar.erase.after_bitmap",   "fptreevar.erase.key_freed",
+    "fptreevar.split.logged",         "fptreevar.split.allocated",
+    "fptreevar.split.copied",         "fptreevar.split.new_bitmap",
+    "fptreevar.split.old_bitmap",     "fptreevar.split.linked",
+    "palloc.alloc.delivered",         "palloc.dealloc.nulled",
+};
+
+TEST_P(VarCrashFuzzTest, RandomTraceWithRandomCrashes) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("vfuzz" + std::to_string(GetParam()));
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  using Tree = FPTreeVar<uint64_t, 8, 8>;
+  auto tree = std::make_unique<Tree>(pool.get());
+  CrashSim::Enable();
+
+  auto make_key = [](uint64_t i) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llu",
+                  static_cast<unsigned long long>(i));
+    return std::string(buf, 16);
+  };
+
+  Random64 rng(GetParam() * 31 + 5);
+  int crashes = 0;
+  constexpr int kPointCount = sizeof(kVarPoints) / sizeof(kVarPoints[0]);
+  for (int step = 0; step < 300; ++step) {
+    if (step % 3 == 0) {
+      CrashSim::ArmCrashPoint(kVarPoints[rng.Uniform(kPointCount)],
+                              1 + static_cast<int>(rng.Uniform(2)));
+    }
+    std::string key = make_key(rng.Uniform(200));
+    bool crashed = false;
+    try {
+      switch (rng.Uniform(3)) {
+        case 0:
+          tree->Insert(key, step);
+          break;
+        case 1:
+          tree->Update(key, step);
+          break;
+        default:
+          tree->Erase(key);
+          break;
+      }
+    } catch (const CrashException&) {
+      crashed = true;
+    }
+    if (crashed) {
+      ++crashes;
+      CrashSim::SimulateCrash();
+      tree.reset();
+      pool.reset();
+      ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
+      tree = std::make_unique<Tree>(pool.get());
+      CrashSim::Enable();
+    }
+    std::string why;
+    ASSERT_TRUE(tree->CheckConsistency(&why))
+        << "step " << step << ": " << why;
+    ASSERT_TRUE(tree->CheckNoLeaks(&why)) << "step " << step << ": " << why;
+  }
+  EXPECT_GT(crashes, 2);
+
+  CrashSim::Disable();
+  tree.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarCrashFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{6}));
+
+}  // namespace
+}  // namespace core
+}  // namespace fptree

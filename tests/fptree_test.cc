@@ -1,0 +1,575 @@
+// Single-threaded FPTree: base operations, differential testing against
+// std::map, recovery after clean reopen, the paper's crash windows
+// (Alg. 2–13), leaf-group management, and persistent-leak freedom.
+
+#include "core/fptree.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <map>
+#include <string>
+
+#include "scm/crash.h"
+#include "scm/latency.h"
+#include "util/random.h"
+
+namespace fptree {
+namespace core {
+namespace {
+
+using scm::CrashException;
+using scm::CrashSim;
+using scm::Pool;
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+// Small node sizes force deep trees and frequent splits/deletes.
+using SmallTree = FPTree<uint64_t, 8, 8, /*groups=*/true, /*group=*/4>;
+using NoGroupTree = FPTree<uint64_t, 8, 8, /*groups=*/false>;
+
+template <typename TreeT>
+class FPTreeTypedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    path_ = TestPath("fptree");
+    Pool::Destroy(path_).ok();
+    OpenFresh();
+  }
+
+  void TearDown() override {
+    tree_.reset();
+    pool_.reset();
+    CrashSim::Disable();
+    Pool::Destroy(path_).ok();
+  }
+
+  void OpenFresh() {
+    tree_.reset();
+    pool_.reset();
+    Pool::Destroy(path_).ok();
+    Pool::Options opts{.size = 64u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+    tree_ = std::make_unique<TreeT>(pool_.get());
+  }
+
+  void Reopen() {
+    tree_.reset();
+    pool_.reset();
+    Pool::Options opts{.size = 64u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Open(path_, 1, opts, &pool_).ok());
+    tree_ = std::make_unique<TreeT>(pool_.get());
+  }
+
+  void ExpectMatchesModel(const std::map<uint64_t, uint64_t>& model) {
+    EXPECT_EQ(tree_->Size(), model.size());
+    for (const auto& [k, v] : model) {
+      uint64_t out = 0;
+      ASSERT_TRUE(tree_->Find(k, &out)) << "missing key " << k;
+      EXPECT_EQ(out, v) << "wrong value for key " << k;
+    }
+    std::string why;
+    EXPECT_TRUE(tree_->CheckConsistency(&why)) << why;
+  }
+
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+  std::unique_ptr<TreeT> tree_;
+};
+
+using TreeTypes = ::testing::Types<SmallTree, NoGroupTree>;
+
+template <typename T>
+struct TreeName;
+template <>
+struct TreeName<SmallTree> {
+  static constexpr const char* kName = "Groups";
+};
+template <>
+struct TreeName<NoGroupTree> {
+  static constexpr const char* kName = "NoGroups";
+};
+
+class TreeNameGen {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    return TreeName<T>::kName;
+  }
+};
+
+TYPED_TEST_SUITE(FPTreeTypedTest, TreeTypes, TreeNameGen);
+
+TYPED_TEST(FPTreeTypedTest, EmptyTreeFindsNothing) {
+  uint64_t v;
+  EXPECT_FALSE(this->tree_->Find(1, &v));
+  EXPECT_EQ(this->tree_->Size(), 0u);
+}
+
+TYPED_TEST(FPTreeTypedTest, InsertThenFind) {
+  EXPECT_TRUE(this->tree_->Insert(10, 100));
+  uint64_t v = 0;
+  EXPECT_TRUE(this->tree_->Find(10, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_EQ(this->tree_->Size(), 1u);
+}
+
+TYPED_TEST(FPTreeTypedTest, DuplicateInsertRejected) {
+  EXPECT_TRUE(this->tree_->Insert(10, 100));
+  EXPECT_FALSE(this->tree_->Insert(10, 200));
+  uint64_t v = 0;
+  ASSERT_TRUE(this->tree_->Find(10, &v));
+  EXPECT_EQ(v, 100u);
+}
+
+TYPED_TEST(FPTreeTypedTest, UpdateChangesValue) {
+  ASSERT_TRUE(this->tree_->Insert(10, 100));
+  EXPECT_TRUE(this->tree_->Update(10, 200));
+  uint64_t v = 0;
+  ASSERT_TRUE(this->tree_->Find(10, &v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_EQ(this->tree_->Size(), 1u);
+}
+
+TYPED_TEST(FPTreeTypedTest, UpdateMissingKeyFails) {
+  EXPECT_FALSE(this->tree_->Update(10, 200));
+}
+
+TYPED_TEST(FPTreeTypedTest, EraseRemovesKey) {
+  ASSERT_TRUE(this->tree_->Insert(10, 100));
+  EXPECT_TRUE(this->tree_->Erase(10));
+  uint64_t v;
+  EXPECT_FALSE(this->tree_->Find(10, &v));
+  EXPECT_FALSE(this->tree_->Erase(10));
+  EXPECT_EQ(this->tree_->Size(), 0u);
+}
+
+TYPED_TEST(FPTreeTypedTest, SplitsPreserveAllKeys) {
+  std::map<uint64_t, uint64_t> model;
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(this->tree_->Insert(k, k * 7));
+    model[k] = k * 7;
+  }
+  this->ExpectMatchesModel(model);
+  EXPECT_GT(this->tree_->stats().leaf_splits, 10u);
+}
+
+TYPED_TEST(FPTreeTypedTest, RandomOpsDifferentialVsStdMap) {
+  std::map<uint64_t, uint64_t> model;
+  Random64 rng(123);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t key = rng.Uniform(2000);
+    int op = static_cast<int>(rng.Uniform(4));
+    switch (op) {
+      case 0: {  // insert
+        bool inserted = this->tree_->Insert(key, i);
+        EXPECT_EQ(inserted, model.find(key) == model.end());
+        if (inserted) model[key] = i;
+        break;
+      }
+      case 1: {  // update
+        bool updated = this->tree_->Update(key, i);
+        EXPECT_EQ(updated, model.find(key) != model.end());
+        if (updated) model[key] = i;
+        break;
+      }
+      case 2: {  // erase
+        bool erased = this->tree_->Erase(key);
+        EXPECT_EQ(erased, model.erase(key) == 1);
+        break;
+      }
+      default: {  // find
+        uint64_t v = 0;
+        bool found = this->tree_->Find(key, &v);
+        auto it = model.find(key);
+        ASSERT_EQ(found, it != model.end());
+        if (found) EXPECT_EQ(v, it->second);
+      }
+    }
+  }
+  this->ExpectMatchesModel(model);
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+}
+
+TYPED_TEST(FPTreeTypedTest, RangeScanReturnsSortedWindow) {
+  auto order = ShuffledRange(500, 7);
+  for (uint64_t k : order) {
+    ASSERT_TRUE(this->tree_->Insert(k * 2, k));  // even keys only
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  this->tree_->RangeScan(101, 20, &out);
+  ASSERT_EQ(out.size(), 20u);
+  uint64_t expect = 102;
+  for (auto& [k, v] : out) {
+    EXPECT_EQ(k, expect);
+    EXPECT_EQ(v, k / 2);
+    expect += 2;
+  }
+}
+
+TYPED_TEST(FPTreeTypedTest, RangeScanPastEnd) {
+  for (uint64_t k = 0; k < 50; ++k) ASSERT_TRUE(this->tree_->Insert(k, k));
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  this->tree_->RangeScan(40, 100, &out);
+  EXPECT_EQ(out.size(), 10u);
+  this->tree_->RangeScan(1000, 10, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TYPED_TEST(FPTreeTypedTest, DeleteEverythingThenReuse) {
+  std::map<uint64_t, uint64_t> model;
+  for (uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(this->tree_->Insert(k, k));
+  }
+  for (uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(this->tree_->Erase(k));
+  }
+  EXPECT_EQ(this->tree_->Size(), 0u);
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+  // Tree remains fully usable.
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(this->tree_->Insert(k + 1000, k));
+    model[k + 1000] = k;
+  }
+  this->ExpectMatchesModel(model);
+}
+
+TYPED_TEST(FPTreeTypedTest, ContentsSurviveCleanReopen) {
+  std::map<uint64_t, uint64_t> model;
+  auto order = ShuffledRange(2000, 5);
+  for (uint64_t k : order) {
+    ASSERT_TRUE(this->tree_->Insert(k, k ^ 0xABCD));
+    model[k] = k ^ 0xABCD;
+  }
+  for (uint64_t k = 0; k < 2000; k += 3) {
+    ASSERT_TRUE(this->tree_->Erase(k));
+    model.erase(k);
+  }
+  this->Reopen();  // rebuilds inner nodes from the persistent leaves
+  this->ExpectMatchesModel(model);
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+  // And the recovered tree is writable.
+  ASSERT_TRUE(this->tree_->Insert(999999, 1));
+  uint64_t v;
+  EXPECT_TRUE(this->tree_->Find(999999, &v));
+}
+
+TYPED_TEST(FPTreeTypedTest, EmptyTreeSurvivesReopen) {
+  this->Reopen();
+  EXPECT_EQ(this->tree_->Size(), 0u);
+  EXPECT_TRUE(this->tree_->Insert(1, 2));
+}
+
+TYPED_TEST(FPTreeTypedTest, ReopenAfterDeleteAll) {
+  for (uint64_t k = 0; k < 200; ++k) ASSERT_TRUE(this->tree_->Insert(k, k));
+  for (uint64_t k = 0; k < 200; ++k) ASSERT_TRUE(this->tree_->Erase(k));
+  this->Reopen();
+  EXPECT_EQ(this->tree_->Size(), 0u);
+  uint64_t v;
+  EXPECT_FALSE(this->tree_->Find(5, &v));
+  EXPECT_TRUE(this->tree_->Insert(5, 50));
+  EXPECT_TRUE(this->tree_->Find(5, &v));
+}
+
+TYPED_TEST(FPTreeTypedTest, FingerprintProbesStayNearOne) {
+  // Paper §4.2/Fig. 4: the expected number of in-leaf key probes during a
+  // successful search is ~1 (for m well below 400).
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(this->tree_->Insert(Mix64(k), k));
+  }
+  this->tree_->stats().Clear();
+  for (uint64_t k = 0; k < 5000; ++k) {
+    uint64_t v;
+    ASSERT_TRUE(this->tree_->Find(Mix64(k), &v));
+  }
+  double probes_per_find =
+      static_cast<double>(this->tree_->stats().key_probes) /
+      static_cast<double>(this->tree_->stats().finds);
+  EXPECT_LT(probes_per_find, 1.2);
+  EXPECT_GE(probes_per_find, 1.0);
+}
+
+// --- Crash-recovery matrix -------------------------------------------------
+
+// The named crash windows of each operation (DESIGN.md §5). A window list
+// may include points that a given scenario never reaches; those are skipped.
+const char* const kInsertPoints[] = {
+    "fptree.insert.before_bitmap",
+    "fptree.insert.after_bitmap",
+};
+const char* const kSplitPoints[] = {
+    "fptree.split.logged",     "fptree.split.allocated",
+    "fptree.split.copied",     "fptree.split.new_bitmap",
+    "fptree.split.old_bitmap", "fptree.split.linked",
+};
+const char* const kDeletePoints[] = {
+    "fptree.erase.after_bitmap",     "fptree.delete.logged",
+    "fptree.delete.head_updated",    "fptree.delete.prev_logged",
+    "fptree.delete.unlinked",        "fptree.delete.bitmap_cleared",
+    "fptree.delete.deallocated",
+};
+const char* const kUpdatePoints[] = {
+    "fptree.update.before_bitmap",
+    "fptree.update.after_bitmap",
+};
+const char* const kGroupPoints[] = {
+    "fptree.getleaf.allocated",   "fptree.getleaf.initialized",
+    "fptree.getleaf.linked",      "fptree.getleaf.tail_updated",
+    "fptree.freeleaf.logged",     "fptree.freeleaf.head_updated",
+    "fptree.freeleaf.prev_logged", "fptree.freeleaf.unlinked",
+    "fptree.freeleaf.tail_updated", "fptree.freeleaf.deallocated",
+};
+const char* const kAllocPoints[] = {
+    "palloc.alloc.logged",     "palloc.alloc.block_chosen",
+    "palloc.alloc.header_marked", "palloc.alloc.top_bumped",
+    "palloc.alloc.delivered",  "palloc.dealloc.logged",
+    "palloc.dealloc.nulled",   "palloc.dealloc.freed",
+};
+
+template <typename TreeT>
+class FPTreeCrashTest : public FPTreeTypedTest<TreeT> {
+ protected:
+  void SetUp() override {
+    FPTreeTypedTest<TreeT>::SetUp();
+    CrashSim::Enable();
+  }
+
+  // Runs `op` with `point` armed. Returns true if the crash fired (in which
+  // case the pool has been crash-reverted and reopened with recovery run).
+  template <typename Op>
+  bool RunWithCrash(const char* point, Op op) {
+    CrashSim::ArmCrashPoint(point);
+    bool crashed = false;
+    try {
+      op();
+    } catch (const CrashException&) {
+      crashed = true;
+    }
+    CrashSim::DisarmAll();
+    if (!crashed) return false;
+    CrashSim::SimulateCrash();
+    this->Reopen();
+    CrashSim::Enable();
+    return true;
+  }
+
+  // Atomicity invariant: after a crash during a single-key operation, the
+  // key is either in the pre-state or the post-state; all other keys are
+  // untouched; the structure is consistent and leak-free.
+  void VerifyAtomicity(const std::map<uint64_t, uint64_t>& pre,
+                       uint64_t key,
+                       const std::map<uint64_t, uint64_t>& post,
+                       const char* point) {
+    std::string why;
+    ASSERT_TRUE(this->tree_->CheckConsistency(&why))
+        << point << ": " << why;
+    ASSERT_TRUE(this->tree_->CheckNoLeaks(&why)) << point << ": " << why;
+    uint64_t v = 0;
+    bool found = this->tree_->Find(key, &v);
+    auto pre_it = pre.find(key);
+    auto post_it = post.find(key);
+    bool matches_pre =
+        (found == (pre_it != pre.end())) && (!found || v == pre_it->second);
+    bool matches_post =
+        (found == (post_it != post.end())) && (!found || v == post_it->second);
+    EXPECT_TRUE(matches_pre || matches_post)
+        << point << ": key " << key << " in neither pre nor post state";
+    // Other keys must match both states (pre and post agree outside `key`).
+    for (const auto& [k, val] : pre) {
+      if (k == key) continue;
+      uint64_t out = 0;
+      ASSERT_TRUE(this->tree_->Find(k, &out)) << point << ": lost key " << k;
+      EXPECT_EQ(out, val) << point;
+    }
+  }
+};
+
+TYPED_TEST_SUITE(FPTreeCrashTest, TreeTypes, TreeNameGen);
+
+TYPED_TEST(FPTreeCrashTest, InsertCrashWindows) {
+  std::vector<const char*> points;
+  points.insert(points.end(), std::begin(kInsertPoints),
+                std::end(kInsertPoints));
+  points.insert(points.end(), std::begin(kSplitPoints),
+                std::end(kSplitPoints));
+  points.insert(points.end(), std::begin(kGroupPoints),
+                std::end(kGroupPoints));
+  points.insert(points.end(), std::begin(kAllocPoints),
+                std::end(kAllocPoints));
+
+  for (const char* point : points) {
+    this->OpenFresh();
+    CrashSim::Enable();
+    // Fill enough to force splits and fresh group allocations during the
+    // probed insert burst.
+    std::map<uint64_t, uint64_t> pre;
+    for (uint64_t k = 0; k < 64; k += 2) {
+      ASSERT_TRUE(this->tree_->Insert(k, k + 1));
+      pre[k] = k + 1;
+    }
+    // Burst of inserts; one may crash at `point`.
+    std::map<uint64_t, uint64_t> post = pre;
+    uint64_t crash_key = 0;
+    bool crashed = false;
+    for (uint64_t k = 1; k < 128 && !crashed; k += 2) {
+      std::map<uint64_t, uint64_t> next = post;
+      next[k] = k + 1;
+      crashed = this->RunWithCrash(point, [&] {
+        ASSERT_TRUE(this->tree_->Insert(k, k + 1));
+      });
+      if (crashed) {
+        crash_key = k;
+        this->VerifyAtomicity(post, k, next, point);
+      } else {
+        post = next;
+      }
+    }
+    if (!crashed) continue;  // window not reachable in this scenario
+    // The tree must accept the key after recovery (idempotent completion).
+    uint64_t v;
+    if (!this->tree_->Find(crash_key, &v)) {
+      ASSERT_TRUE(this->tree_->Insert(crash_key, crash_key + 1)) << point;
+    }
+    ASSERT_TRUE(this->tree_->Find(crash_key, &v)) << point;
+  }
+}
+
+TYPED_TEST(FPTreeCrashTest, EraseCrashWindows) {
+  std::vector<const char*> points;
+  points.insert(points.end(), std::begin(kDeletePoints),
+                std::end(kDeletePoints));
+  points.insert(points.end(), std::begin(kGroupPoints),
+                std::end(kGroupPoints));
+  points.insert(points.end(), std::begin(kAllocPoints),
+                std::end(kAllocPoints));
+
+  // Ascending deletion empties the head leaf first (Alg. 6 head path);
+  // descending deletion empties interior/tail leaves (prev-pointer path).
+  for (const char* point : points) {
+    for (int mode = 0; mode < 2; ++mode) {
+      this->OpenFresh();
+      CrashSim::Enable();
+      std::map<uint64_t, uint64_t> post;
+      for (uint64_t k = 0; k < 128; ++k) {
+        ASSERT_TRUE(this->tree_->Insert(k, k + 1));
+        post[k] = k + 1;
+      }
+      bool crashed = false;
+      for (uint64_t i = 0; i < 128 && !crashed; ++i) {
+        uint64_t k = mode == 0 ? i : 127 - i;
+        std::map<uint64_t, uint64_t> pre = post;
+        post.erase(k);
+        crashed = this->RunWithCrash(point, [&] {
+          ASSERT_TRUE(this->tree_->Erase(k));
+        });
+        if (crashed) {
+          this->VerifyAtomicity(pre, k, post, point);
+          // Finish the erase if it did not take effect.
+          uint64_t v;
+          if (this->tree_->Find(k, &v)) {
+            ASSERT_TRUE(this->tree_->Erase(k)) << point;
+          }
+          EXPECT_FALSE(this->tree_->Find(k, &v)) << point;
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(FPTreeCrashTest, UpdateCrashWindows) {
+  for (const char* point : kUpdatePoints) {
+    this->OpenFresh();
+    CrashSim::Enable();
+    std::map<uint64_t, uint64_t> pre;
+    for (uint64_t k = 0; k < 64; ++k) {
+      ASSERT_TRUE(this->tree_->Insert(k, k));
+      pre[k] = k;
+    }
+    std::map<uint64_t, uint64_t> post = pre;
+    post[7] = 7777;
+    bool crashed = this->RunWithCrash(point, [&] {
+      ASSERT_TRUE(this->tree_->Update(7, 7777));
+    });
+    ASSERT_TRUE(crashed) << point;
+    this->VerifyAtomicity(pre, 7, post, point);
+  }
+}
+
+TYPED_TEST(FPTreeCrashTest, RepeatedCrashStorm) {
+  // Crash at a rotating set of points through a long op sequence; the tree
+  // must stay consistent and leak-free through every recovery.
+  const char* storm[] = {
+      "fptree.split.copied",        "fptree.insert.before_bitmap",
+      "fptree.delete.bitmap_cleared", "palloc.alloc.header_marked",
+      "fptree.split.old_bitmap",    "fptree.erase.after_bitmap",
+  };
+  std::map<uint64_t, uint64_t> model;
+  Random64 rng(99);
+  int crashes = 0;
+  for (int round = 0; round < 60; ++round) {
+    const char* point = storm[round % (sizeof(storm) / sizeof(storm[0]))];
+    uint64_t key = rng.Uniform(256);
+    bool do_insert = rng.Bernoulli(0.7);
+    bool applied_pre = model.count(key) > 0;
+    bool crashed = this->RunWithCrash(point, [&] {
+      if (do_insert) {
+        this->tree_->Insert(key, round);
+      } else {
+        this->tree_->Erase(key);
+      }
+    });
+    uint64_t v;
+    bool now = this->tree_->Find(key, &v);
+    if (crashed) {
+      ++crashes;
+      // Either outcome is legal; adopt the actual one.
+      if (now) {
+        model[key] = v;
+      } else {
+        model.erase(key);
+      }
+      (void)applied_pre;
+    } else {
+      if (do_insert && !applied_pre) {
+        model[key] = round;
+      } else if (!do_insert) {
+        model.erase(key);
+      }
+    }
+    std::string why;
+    ASSERT_TRUE(this->tree_->CheckConsistency(&why))
+        << "round " << round << " @ " << point << ": " << why;
+    ASSERT_TRUE(this->tree_->CheckNoLeaks(&why))
+        << "round " << round << " @ " << point << ": " << why;
+  }
+  EXPECT_GT(crashes, 5);
+  this->ExpectMatchesModel(model);
+}
+
+TYPED_TEST(FPTreeCrashTest, TornLargeWriteDuringSplit) {
+  CrashSim::SetTearMode(true);
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(this->tree_->Insert(k, k));
+  }
+  bool crashed = this->RunWithCrash("fptree.split.copied", [&] {
+    for (uint64_t k = 64; k < 256; ++k) {
+      this->tree_->Insert(k, k);
+    }
+  });
+  if (crashed) {
+    std::string why;
+    ASSERT_TRUE(this->tree_->CheckConsistency(&why)) << why;
+    ASSERT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+  }
+  CrashSim::SetTearMode(false);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace fptree

@@ -1,0 +1,350 @@
+// Variable-size-key trees: FPTreeVar (and its fingerprint-less PTreeVar
+// configuration), ConcurrentFPTreeVar. Covers the Appendix C algorithms:
+// key blob allocation/deallocation, the aliasing update, crash-induced key
+// leaks and the recovery sweep (Alg. 17).
+
+#include "core/fptree_var.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <map>
+
+#include "core/fptree_concurrent_var.h"
+#include "scm/latency.h"
+#include "util/random.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace core {
+namespace {
+
+using scm::Pool;
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string MakeKey(uint64_t i) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(i));
+  return std::string(buf, 16);
+}
+
+using SmallVar = FPTreeVar<uint64_t, 8, 8>;
+using SmallPVar = FPTreeVar<uint64_t, 8, 8, /*fp=*/false>;
+
+template <typename TreeT>
+class VarTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    path_ = TestPath("var");
+    Pool::Destroy(path_).ok();
+    Open(true);
+  }
+
+  void TearDown() override {
+    tree_.reset();
+    pool_.reset();
+    scm::CrashSim::Disable();
+    Pool::Destroy(path_).ok();
+  }
+
+  void Open(bool create) {
+    tree_.reset();
+    pool_.reset();
+    Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+    if (create) {
+      ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+    } else {
+      ASSERT_TRUE(Pool::Open(path_, 1, opts, &pool_).ok());
+    }
+    tree_ = std::make_unique<TreeT>(pool_.get());
+  }
+
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+  std::unique_ptr<TreeT> tree_;
+};
+
+using VarTypes = ::testing::Types<SmallVar, SmallPVar>;
+template <typename T>
+struct VName;
+template <>
+struct VName<SmallVar> {
+  static constexpr const char* kName = "FPTreeVar";
+};
+template <>
+struct VName<SmallPVar> {
+  static constexpr const char* kName = "PTreeVar";
+};
+class VNameGen {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    return VName<T>::kName;
+  }
+};
+
+TYPED_TEST_SUITE(VarTreeTest, VarTypes, VNameGen);
+
+TYPED_TEST(VarTreeTest, BasicOps) {
+  uint64_t v;
+  EXPECT_FALSE(this->tree_->Find("alpha", &v));
+  EXPECT_TRUE(this->tree_->Insert("alpha", 1));
+  EXPECT_FALSE(this->tree_->Insert("alpha", 2));
+  ASSERT_TRUE(this->tree_->Find("alpha", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(this->tree_->Update("alpha", 3));
+  ASSERT_TRUE(this->tree_->Find("alpha", &v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_FALSE(this->tree_->Update("beta", 1));
+  EXPECT_TRUE(this->tree_->Erase("alpha"));
+  EXPECT_FALSE(this->tree_->Find("alpha", &v));
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+}
+
+TYPED_TEST(VarTreeTest, VariedKeyLengths) {
+  std::map<std::string, uint64_t> model;
+  Random64 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = 1 + rng.Uniform(60);
+    std::string key;
+    for (size_t j = 0; j < len; ++j) {
+      key.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    bool ins = this->tree_->Insert(key, i);
+    EXPECT_EQ(ins, model.emplace(key, i).second);
+  }
+  EXPECT_EQ(this->tree_->Size(), model.size());
+  for (auto& [k, val] : model) {
+    uint64_t v;
+    ASSERT_TRUE(this->tree_->Find(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckConsistency(&why)) << why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+}
+
+TYPED_TEST(VarTreeTest, DifferentialVsStdMap) {
+  std::map<std::string, uint64_t> model;
+  Random64 rng(9);
+  for (int i = 0; i < 15000; ++i) {
+    std::string key = MakeKey(rng.Uniform(500));
+    switch (rng.Uniform(4)) {
+      case 0: {
+        bool r = this->tree_->Insert(key, i);
+        EXPECT_EQ(r, model.emplace(key, i).second);
+        break;
+      }
+      case 1: {
+        bool r = this->tree_->Update(key, i);
+        EXPECT_EQ(r, model.count(key) == 1);
+        if (r) model[key] = i;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(this->tree_->Erase(key), model.erase(key) == 1);
+        break;
+      default: {
+        uint64_t v;
+        bool r = this->tree_->Find(key, &v);
+        auto it = model.find(key);
+        ASSERT_EQ(r, it != model.end());
+        if (r) {
+          EXPECT_EQ(v, it->second);
+        }
+      }
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckConsistency(&why)) << why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+}
+
+TYPED_TEST(VarTreeTest, RangeScanSorted) {
+  for (uint64_t k : ShuffledRange(300, 4)) {
+    ASSERT_TRUE(this->tree_->Insert(MakeKey(k * 2), k));
+  }
+  std::vector<std::pair<std::string, uint64_t>> out;
+  this->tree_->RangeScan(MakeKey(100), 10, &out);
+  ASSERT_EQ(out.size(), 10u);
+  uint64_t expect = 100;
+  for (auto& [k, v] : out) {
+    EXPECT_EQ(k, MakeKey(expect));
+    expect += 2;
+  }
+}
+
+TYPED_TEST(VarTreeTest, SurvivesReopen) {
+  std::map<std::string, uint64_t> model;
+  for (uint64_t k : ShuffledRange(1500, 8)) {
+    ASSERT_TRUE(this->tree_->Insert(MakeKey(k), k));
+    model[MakeKey(k)] = k;
+  }
+  for (uint64_t k = 0; k < 1500; k += 3) {
+    ASSERT_TRUE(this->tree_->Erase(MakeKey(k)));
+    model.erase(MakeKey(k));
+  }
+  this->Open(false);
+  EXPECT_EQ(this->tree_->Size(), model.size());
+  uint64_t v;
+  for (auto& [k, val] : model) {
+    ASSERT_TRUE(this->tree_->Find(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+}
+
+TYPED_TEST(VarTreeTest, CrashLeakSweepOnInsert) {
+  scm::CrashSim::Enable();
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(this->tree_->Insert(MakeKey(k), k));
+  }
+  // Crash after the key blob was allocated but before the bitmap commit:
+  // the blob is a potential persistent leak (Appendix C), which the
+  // recovery sweep must reclaim.
+  scm::CrashSim::ArmCrashPoint("fptreevar.insert.before_bitmap");
+  bool crashed = false;
+  try {
+    this->tree_->Insert(MakeKey(999), 999);
+  } catch (const scm::CrashException&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  scm::CrashSim::SimulateCrash();
+  this->Open(false);
+  scm::CrashSim::Disable();
+  uint64_t v;
+  EXPECT_FALSE(this->tree_->Find(MakeKey(999), &v));
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+  EXPECT_TRUE(this->tree_->CheckConsistency(&why)) << why;
+}
+
+TYPED_TEST(VarTreeTest, CrashLeakSweepOnErase) {
+  scm::CrashSim::Enable();
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(this->tree_->Insert(MakeKey(k), k));
+  }
+  // Crash after the bitmap cleared but before the blob deallocation: the
+  // invisible blob must be swept during recovery.
+  scm::CrashSim::ArmCrashPoint("fptreevar.erase.after_bitmap");
+  bool crashed = false;
+  try {
+    this->tree_->Erase(MakeKey(7));
+  } catch (const scm::CrashException&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  scm::CrashSim::SimulateCrash();
+  this->Open(false);
+  scm::CrashSim::Disable();
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+}
+
+TYPED_TEST(VarTreeTest, CrashDuringAliasingUpdate) {
+  scm::CrashSim::Enable();
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(this->tree_->Insert(MakeKey(k), k));
+  }
+  // Crash after the aliasing bitmap flip but before the old slot's pointer
+  // reset: recovery must NOT deallocate the blob (it is referenced by the
+  // new slot) — the Alg. 17 subtlety.
+  scm::CrashSim::ArmCrashPoint("fptreevar.update.aliased");
+  bool crashed = false;
+  try {
+    this->tree_->Update(MakeKey(7), 7777);
+  } catch (const scm::CrashException&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  scm::CrashSim::SimulateCrash();
+  this->Open(false);
+  scm::CrashSim::Disable();
+  uint64_t v;
+  ASSERT_TRUE(this->tree_->Find(MakeKey(7), &v));
+  EXPECT_EQ(v, 7777u) << "update committed at the bitmap flip";
+  std::string why;
+  EXPECT_TRUE(this->tree_->CheckNoLeaks(&why)) << why;
+}
+
+// ---------------- ConcurrentFPTreeVar ---------------------------------------
+
+TEST(ConcurrentFPTreeVar, ParallelMixedWorkload) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("cvar");
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 512u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  {
+    ConcurrentFPTreeVar<uint64_t, 8, 8> tree(pool.get());
+    constexpr uint32_t kThreads = 8;
+    constexpr uint64_t kPerThread = 2000;
+    ThreadGroup tg;
+    tg.Spawn(kThreads, [&](uint32_t id) {
+      Random64 rng(id);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t k = id * kPerThread + i;
+        ASSERT_TRUE(tree.Insert(MakeKey(k), k));
+        if (i % 3 == 0) {
+          uint64_t v;
+          ASSERT_TRUE(tree.Find(MakeKey(k), &v));
+          EXPECT_EQ(v, k);
+        }
+        if (i % 5 == 0) {
+          ASSERT_TRUE(tree.Update(MakeKey(k), k + 1));
+        }
+      }
+    });
+    tg.Join();
+    EXPECT_EQ(tree.Size(), kThreads * kPerThread);
+    std::string why;
+    EXPECT_TRUE(tree.CheckConsistency(&why)) << why;
+  }
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+TEST(ConcurrentFPTreeVar, SurvivesReopen) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("cvar2");
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  {
+    ConcurrentFPTreeVar<uint64_t, 8, 8> tree(pool.get());
+    for (uint64_t k = 0; k < 3000; ++k) {
+      ASSERT_TRUE(tree.Insert(MakeKey(k), k));
+    }
+    for (uint64_t k = 0; k < 3000; k += 2) {
+      ASSERT_TRUE(tree.Erase(MakeKey(k)));
+    }
+  }
+  pool.reset();
+  ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
+  {
+    ConcurrentFPTreeVar<uint64_t, 8, 8> tree(pool.get());
+    EXPECT_EQ(tree.Size(), 1500u);
+    uint64_t v;
+    for (uint64_t k = 1; k < 3000; k += 2) {
+      ASSERT_TRUE(tree.Find(MakeKey(k), &v)) << k;
+      EXPECT_EQ(v, k);
+    }
+    EXPECT_FALSE(tree.Find(MakeKey(0), &v));
+  }
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace fptree

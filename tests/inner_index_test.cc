@@ -1,0 +1,160 @@
+// InnerIndex: routing, splits, removals, bulk build, memory accounting.
+
+#include "core/inner_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/random.h"
+
+namespace fptree {
+namespace core {
+namespace {
+
+// Fake "leaves": we use small heap ints as opaque leaf tokens.
+class InnerIndexTest : public ::testing::Test {
+ protected:
+  using Index = InnerIndex<uint64_t, 4>;  // tiny fan-out: deep trees
+
+  void* Leaf(uint64_t tag) {
+    auto it = leaves_.find(tag);
+    if (it == leaves_.end()) {
+      it = leaves_.emplace(tag, std::make_unique<uint64_t>(tag)).first;
+    }
+    return it->second.get();
+  }
+
+  Index index_;
+  std::map<uint64_t, std::unique_ptr<uint64_t>> leaves_;
+};
+
+TEST_F(InnerIndexTest, EmptyIndex) {
+  Index::Path path;
+  EXPECT_EQ(index_.FindLeaf(5, &path), nullptr);
+  EXPECT_TRUE(index_.empty());
+  EXPECT_EQ(index_.Height(), 0u);
+}
+
+TEST_F(InnerIndexTest, SingleLeafRoutesEverything) {
+  index_.InitSingleLeaf(Leaf(0));
+  Index::Path path;
+  EXPECT_EQ(index_.FindLeaf(0, &path), Leaf(0));
+  EXPECT_EQ(index_.FindLeaf(~uint64_t{0}, &path), Leaf(0));
+  EXPECT_EQ(path.depth, 1u);
+  EXPECT_EQ(index_.Height(), 1u);
+}
+
+TEST_F(InnerIndexTest, SplitsRouteByMaxKeyDiscriminator) {
+  // Simulate leaves covering [0,10], (10,20], (20,inf): split keys 10, 20.
+  index_.InitSingleLeaf(Leaf(1));
+  Index::Path path;
+  index_.FindLeaf(10, &path);
+  index_.InsertSplit(path, 10, Leaf(2));
+  index_.FindLeaf(20, &path);
+  index_.InsertSplit(path, 20, Leaf(3));
+
+  EXPECT_EQ(index_.FindLeaf(0, &path), Leaf(1));
+  EXPECT_EQ(index_.FindLeaf(10, &path), Leaf(1));  // k == sep goes left
+  EXPECT_EQ(index_.FindLeaf(11, &path), Leaf(2));
+  EXPECT_EQ(index_.FindLeaf(20, &path), Leaf(2));
+  EXPECT_EQ(index_.FindLeaf(21, &path), Leaf(3));
+}
+
+TEST_F(InnerIndexTest, ManySplitsGrowTheTree) {
+  // Leaf i covers (10i, 10(i+1)]; inserting 200 splits with fan-out 4 forces
+  // multiple levels.
+  index_.InitSingleLeaf(Leaf(0));
+  for (uint64_t i = 1; i <= 200; ++i) {
+    Index::Path path;
+    index_.FindLeaf(i * 10, &path);
+    index_.InsertSplit(path, i * 10, Leaf(i));
+  }
+  EXPECT_GT(index_.Height(), 3u);
+  // Every key routes to the right leaf.
+  Index::Path path;
+  for (uint64_t k = 0; k <= 2000; ++k) {
+    uint64_t expect = k == 0 ? 0 : (k - 1) / 10;
+    if (expect > 200) expect = 200;
+    ASSERT_EQ(index_.FindLeaf(k, &path), Leaf(expect)) << k;
+  }
+}
+
+TEST_F(InnerIndexTest, RemoveLeafCollapses) {
+  index_.InitSingleLeaf(Leaf(0));
+  for (uint64_t i = 1; i <= 50; ++i) {
+    Index::Path path;
+    index_.FindLeaf(i * 10, &path);
+    index_.InsertSplit(path, i * 10, Leaf(i));
+  }
+  // Remove leaves 1..50, keeping leaf 0.
+  for (uint64_t i = 1; i <= 50; ++i) {
+    Index::Path path;
+    void* leaf = index_.FindLeaf(i * 10 + 1, &path);
+    ASSERT_EQ(leaf, Leaf(i));
+    index_.RemoveLeaf(path);
+  }
+  Index::Path path;
+  EXPECT_EQ(index_.FindLeaf(12345, &path), Leaf(0));
+  EXPECT_EQ(index_.node_count(), 1u);
+}
+
+TEST_F(InnerIndexTest, RemoveDownToEmpty) {
+  index_.InitSingleLeaf(Leaf(0));
+  Index::Path path;
+  index_.FindLeaf(1, &path);
+  index_.RemoveLeaf(path);
+  EXPECT_TRUE(index_.empty());
+  EXPECT_EQ(index_.node_count(), 0u);
+}
+
+TEST_F(InnerIndexTest, BulkBuildMatchesIncremental) {
+  std::vector<std::pair<uint64_t, void*>> sorted;
+  for (uint64_t i = 0; i < 500; ++i) {
+    sorted.emplace_back(i * 10 + 9, Leaf(i));  // max key of leaf i
+  }
+  index_.BulkBuild(sorted);
+  Index::Path path;
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_EQ(index_.FindLeaf(k, &path), Leaf(k / 10)) << k;
+  }
+  // Beyond the last separator routes to the last leaf.
+  EXPECT_EQ(index_.FindLeaf(999999, &path), Leaf(499));
+}
+
+TEST_F(InnerIndexTest, BulkBuildSingleLeaf) {
+  index_.BulkBuild({{42, Leaf(0)}});
+  Index::Path path;
+  EXPECT_EQ(index_.FindLeaf(0, &path), Leaf(0));
+  EXPECT_EQ(index_.FindLeaf(100, &path), Leaf(0));
+}
+
+TEST_F(InnerIndexTest, MemoryAccounting) {
+  index_.InitSingleLeaf(Leaf(0));
+  uint64_t one = index_.MemoryBytes();
+  EXPECT_GT(one, 0u);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    Index::Path path;
+    index_.FindLeaf(i * 10, &path);
+    index_.InsertSplit(path, i * 10, Leaf(i));
+  }
+  EXPECT_GT(index_.MemoryBytes(), one);
+  index_.Clear();
+  EXPECT_EQ(index_.MemoryBytes(), 0u);
+}
+
+TEST_F(InnerIndexTest, FirstLeaf) {
+  EXPECT_EQ(index_.FirstLeaf(), nullptr);
+  index_.InitSingleLeaf(Leaf(0));
+  for (uint64_t i = 1; i <= 30; ++i) {
+    Index::Path path;
+    index_.FindLeaf(i * 10, &path);
+    index_.InsertSplit(path, i * 10, Leaf(i));
+  }
+  EXPECT_EQ(index_.FirstLeaf(), Leaf(0));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace fptree

@@ -1,0 +1,145 @@
+// index/: the by-name factories, adapter semantics (global-lock wrapping of
+// single-threaded trees), and cross-implementation behavioural parity — a
+// property-style sweep running the same randomized trace through every
+// index kind and requiring identical results.
+
+#include "index/kv_index.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <map>
+
+#include "scm/latency.h"
+#include "util/random.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace index {
+namespace {
+
+using scm::Pool;
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+class FixedIndexTest
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    path_ = TestPath("index");
+    Pool::Destroy(path_).ok();
+    Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+    index_ = MakeFixedIndex(std::get<0>(GetParam()), pool_.get(),
+                            /*locked=*/true);
+    ASSERT_NE(index_, nullptr);
+  }
+  void TearDown() override {
+    index_.reset();
+    pool_.reset();
+    Pool::Destroy(path_).ok();
+  }
+
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+  std::unique_ptr<KVIndex> index_;
+};
+
+TEST_P(FixedIndexTest, RandomTraceMatchesStdMap) {
+  uint64_t seed = std::get<1>(GetParam());
+  std::map<uint64_t, uint64_t> model;
+  Random64 rng(seed);
+  for (int i = 0; i < 8000; ++i) {
+    uint64_t key = rng.Uniform(400);
+    switch (rng.Uniform(4)) {
+      case 0:
+        EXPECT_EQ(index_->Insert(key, i), model.emplace(key, i).second);
+        break;
+      case 1: {
+        bool r = index_->Update(key, i);
+        EXPECT_EQ(r, model.count(key) == 1);
+        if (r) model[key] = i;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(index_->Erase(key), model.erase(key) == 1);
+        break;
+      default: {
+        uint64_t v;
+        bool r = index_->Find(key, &v);
+        auto it = model.find(key);
+        ASSERT_EQ(r, it != model.end());
+        if (r) {
+          EXPECT_EQ(v, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(index_->Size(), model.size());
+}
+
+TEST_P(FixedIndexTest, ConcurrentAccessThroughAdapterIsSafe) {
+  // The locked adapter must make even single-threaded trees safe to share.
+  constexpr uint32_t kThreads = 4;
+  constexpr uint64_t kPerThread = 1500;
+  ThreadGroup tg;
+  tg.Spawn(kThreads, [&](uint32_t id) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      uint64_t key = id * kPerThread + i;
+      ASSERT_TRUE(index_->Insert(key, key));
+      uint64_t v;
+      ASSERT_TRUE(index_->Find(key, &v));
+    }
+  });
+  tg.Join();
+  EXPECT_EQ(index_->Size(), kThreads * kPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, FixedIndexTest,
+    ::testing::Combine(::testing::Values("fptree", "fptree-nogroups",
+                                         "ptree", "wbtree", "nvtree", "stx",
+                                         "fptree-c", "fptree-c-lock",
+                                         "nvtree-c"),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param);
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(IndexFactory, UnknownNamesReturnNull) {
+  EXPECT_EQ(MakeFixedIndex("btree9000", nullptr), nullptr);
+  EXPECT_EQ(MakeVarIndex("btree9000", nullptr), nullptr);
+}
+
+TEST(IndexFactory, VarKindsConstruct) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("varidx");
+  for (const char* kind :
+       {"fptree-var", "ptree-var", "stx-var", "fptree-c-var", "hashmap"}) {
+    Pool::Destroy(path).ok();
+    std::unique_ptr<Pool> pool;
+    Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+    auto idx = MakeVarIndex(kind, pool.get(), true);
+    ASSERT_NE(idx, nullptr) << kind;
+    EXPECT_TRUE(idx->Insert("hello", 1)) << kind;
+    uint64_t v;
+    EXPECT_TRUE(idx->Find("hello", &v)) << kind;
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(idx->Erase("hello")) << kind;
+    idx.reset();
+    pool.reset();
+  }
+  Pool::Destroy(path).ok();
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace fptree

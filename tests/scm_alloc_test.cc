@@ -1,0 +1,286 @@
+// Persistent allocator: the paper-§2 leak-prevention protocol (allocate into
+// a caller pptr living in SCM), free-list recycling, recovery after crashes
+// at every allocator crash window.
+
+#include "scm/alloc.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <set>
+
+#include "scm/crash.h"
+#include "scm/latency.h"
+#include "scm/pmem.h"
+#include "scm/pool.h"
+
+namespace fptree {
+namespace scm {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+// A little SCM-resident struct holding pptr slots to allocate into
+// (the protocol demands targets live in SCM).
+struct SlotPage {
+  VoidPPtr slots[64];
+};
+
+class AllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LatencyModel::Disable();
+    path_ = TestPath("alloc");
+    Pool::Destroy(path_).ok();
+    Reopen(/*create=*/true);
+  }
+
+  void TearDown() override {
+    pool_.reset();
+    CrashSim::Disable();
+    Pool::Destroy(path_).ok();
+  }
+
+  void Reopen(bool create = false) {
+    pool_.reset();
+    Pool::Options opts{.size = 16u << 20, .randomize_base = true};
+    if (create) {
+      ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+      // Bootstrap a slot page anchored at the pool root.
+      ASSERT_TRUE(
+          pool_->allocator()->Allocate(&pool_->header()->root,
+                                       sizeof(SlotPage)).ok());
+      SlotPage* page = Page();
+      for (auto& s : page->slots) pmem::StorePPtr(&s, VoidPPtr::Null());
+      pmem::Persist(page, sizeof(*page));
+    } else {
+      ASSERT_TRUE(Pool::Open(path_, 1, opts, &pool_).ok());
+    }
+  }
+
+  SlotPage* Page() { return static_cast<SlotPage*>(pool_->root().get()); }
+  PAllocator* alloc() { return pool_->allocator(); }
+
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+};
+
+TEST_F(AllocTest, AllocatePublishesIntoTarget) {
+  VoidPPtr* slot = &Page()->slots[0];
+  ASSERT_TRUE(alloc()->Allocate(slot, 100).ok());
+  EXPECT_FALSE(slot->IsNull());
+  EXPECT_EQ(slot->pool_id, 1u);
+  // Payload is cache-line aligned.
+  EXPECT_EQ(slot->offset % kCacheLineSize, 0u);
+}
+
+TEST_F(AllocTest, RejectsVolatileTarget) {
+  VoidPPtr on_stack = VoidPPtr::Null();
+  Status s = alloc()->Allocate(&on_stack, 64);
+  EXPECT_FALSE(s.ok()) << "target must reside in SCM";
+}
+
+TEST_F(AllocTest, RejectsZeroSize) {
+  EXPECT_FALSE(alloc()->Allocate(&Page()->slots[0], 0).ok());
+}
+
+TEST_F(AllocTest, DistinctBlocks) {
+  std::set<uint64_t> offsets;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(alloc()->Allocate(&Page()->slots[i], 64).ok());
+    EXPECT_TRUE(offsets.insert(Page()->slots[i].offset).second);
+  }
+}
+
+TEST_F(AllocTest, DeallocateNullsTargetAndRecycles) {
+  VoidPPtr* slot = &Page()->slots[0];
+  ASSERT_TRUE(alloc()->Allocate(slot, 128).ok());
+  uint64_t off = slot->offset;
+  ASSERT_TRUE(alloc()->Deallocate(slot).ok());
+  EXPECT_TRUE(slot->IsNull());
+  // Same-size allocation reuses the freed block.
+  VoidPPtr* slot2 = &Page()->slots[1];
+  ASSERT_TRUE(alloc()->Allocate(slot2, 128).ok());
+  EXPECT_EQ(slot2->offset, off);
+}
+
+TEST_F(AllocTest, DeallocateNullIsNoop) {
+  VoidPPtr* slot = &Page()->slots[0];
+  EXPECT_TRUE(slot->IsNull());
+  EXPECT_TRUE(alloc()->Deallocate(slot).ok());
+}
+
+TEST_F(AllocTest, AccountingTracksAllocations) {
+  uint64_t base_blocks = alloc()->allocated_blocks();
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[0], 64).ok());
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[1], 192).ok());
+  EXPECT_EQ(alloc()->allocated_blocks(), base_blocks + 2);
+  ASSERT_TRUE(alloc()->Deallocate(&Page()->slots[0]).ok());
+  EXPECT_EQ(alloc()->allocated_blocks(), base_blocks + 1);
+}
+
+TEST_F(AllocTest, StateSurvivesCleanReopen) {
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[0], 64).ok());
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[1], 64).ok());
+  ASSERT_TRUE(alloc()->Deallocate(&Page()->slots[0]).ok());
+  uint64_t blocks = alloc()->allocated_blocks();
+  uint64_t used = alloc()->heap_used_bytes();
+
+  Reopen();
+  EXPECT_EQ(alloc()->allocated_blocks(), blocks);
+  EXPECT_EQ(alloc()->heap_used_bytes(), used);
+  EXPECT_TRUE(Page()->slots[0].IsNull());
+  EXPECT_FALSE(Page()->slots[1].IsNull());
+}
+
+TEST_F(AllocTest, ExhaustionReturnsResourceExhausted) {
+  VoidPPtr* slot = &Page()->slots[0];
+  Status s = alloc()->Allocate(slot, pool_->size());  // cannot fit
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(slot->IsNull());
+  // Allocator remains usable.
+  EXPECT_TRUE(alloc()->Allocate(slot, 64).ok());
+}
+
+// --- Crash matrix ---------------------------------------------------------
+
+class AllocCrashTest : public AllocTest {
+ protected:
+  void SetUp() override {
+    AllocTest::SetUp();
+    CrashSim::Enable();
+  }
+
+  // Arms `point`, runs `op`, expects the crash, then simulates power loss
+  // and reopens the pool (which runs allocator recovery).
+  template <typename Op>
+  void CrashAt(const std::string& point, Op op) {
+    CrashSim::ArmCrashPoint(point);
+    bool crashed = false;
+    try {
+      op();
+    } catch (const CrashException& e) {
+      crashed = true;
+      EXPECT_EQ(e.point(), point);
+    }
+    ASSERT_TRUE(crashed) << "crash point " << point << " was not reached";
+    CrashSim::SimulateCrash();
+    Reopen();
+    CrashSim::Enable();
+  }
+
+  // Invariant: the allocator's allocated set matches the slot page exactly
+  // (every allocated block is referenced by exactly one non-null slot).
+  void ExpectNoLeaks() {
+    std::set<uint64_t> reachable;
+    reachable.insert(pool_->root().offset);  // the slot page itself
+    for (const auto& s : Page()->slots) {
+      if (!s.IsNull()) reachable.insert(s.offset);
+    }
+    std::set<uint64_t> allocated;
+    for (uint64_t off : alloc()->AllocatedPayloadOffsets()) {
+      allocated.insert(off);
+    }
+    EXPECT_EQ(allocated, reachable);
+  }
+};
+
+TEST_F(AllocCrashTest, CrashAfterLogBeforeBlockChoice) {
+  CrashAt("palloc.alloc.logged",
+          [&] { alloc()->Allocate(&Page()->slots[0], 64).ok(); });
+  EXPECT_TRUE(Page()->slots[0].IsNull());
+  ExpectNoLeaks();
+  // Allocator usable after recovery.
+  EXPECT_TRUE(alloc()->Allocate(&Page()->slots[0], 64).ok());
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, CrashAfterBlockChosen) {
+  CrashAt("palloc.alloc.block_chosen",
+          [&] { alloc()->Allocate(&Page()->slots[0], 64).ok(); });
+  EXPECT_TRUE(Page()->slots[0].IsNull()) << "allocation must roll back";
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, CrashAfterHeaderMarked) {
+  CrashAt("palloc.alloc.header_marked",
+          [&] { alloc()->Allocate(&Page()->slots[0], 64).ok(); });
+  EXPECT_TRUE(Page()->slots[0].IsNull());
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, CrashAfterTopBumped) {
+  CrashAt("palloc.alloc.top_bumped",
+          [&] { alloc()->Allocate(&Page()->slots[0], 64).ok(); });
+  EXPECT_TRUE(Page()->slots[0].IsNull());
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, CrashAfterDelivered) {
+  CrashAt("palloc.alloc.delivered",
+          [&] { alloc()->Allocate(&Page()->slots[0], 64).ok(); });
+  // Delivered: the data structure received the memory; recovery completes.
+  EXPECT_FALSE(Page()->slots[0].IsNull());
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, CrashAfterDeallocLogged) {
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[0], 64).ok());
+  CrashAt("palloc.dealloc.logged",
+          [&] { alloc()->Deallocate(&Page()->slots[0]).ok(); });
+  // Recovery redoes the deallocation (log was durable).
+  EXPECT_TRUE(Page()->slots[0].IsNull());
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, CrashAfterDeallocNulled) {
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[0], 64).ok());
+  CrashAt("palloc.dealloc.nulled",
+          [&] { alloc()->Deallocate(&Page()->slots[0]).ok(); });
+  EXPECT_TRUE(Page()->slots[0].IsNull());
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, CrashAfterDeallocFreed) {
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[0], 64).ok());
+  CrashAt("palloc.dealloc.freed",
+          [&] { alloc()->Deallocate(&Page()->slots[0]).ok(); });
+  EXPECT_TRUE(Page()->slots[0].IsNull());
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, FreeListBlockCrashWindows) {
+  // Exercise the free-list (non-frontier) AcquireBlock path.
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[0], 64).ok());
+  ASSERT_TRUE(alloc()->Deallocate(&Page()->slots[0]).ok());
+  CrashAt("palloc.alloc.header_marked",
+          [&] { alloc()->Allocate(&Page()->slots[1], 64).ok(); });
+  EXPECT_TRUE(Page()->slots[1].IsNull());
+  ExpectNoLeaks();
+  // The rolled-back block must be allocatable again.
+  ASSERT_TRUE(alloc()->Allocate(&Page()->slots[1], 64).ok());
+  ExpectNoLeaks();
+}
+
+TEST_F(AllocCrashTest, RepeatedCrashesThenFullRecovery) {
+  const char* points[] = {"palloc.alloc.logged", "palloc.alloc.block_chosen",
+                          "palloc.alloc.header_marked",
+                          "palloc.alloc.delivered"};
+  int slot = 0;
+  for (const char* pt : points) {
+    CrashAt(pt, [&] { alloc()->Allocate(&Page()->slots[slot], 64).ok(); });
+    ExpectNoLeaks();
+    ++slot;
+  }
+  // Steady state still works.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(alloc()->Allocate(&Page()->slots[20 + i], 64).ok());
+  }
+  ExpectNoLeaks();
+}
+
+}  // namespace
+}  // namespace scm
+}  // namespace fptree

@@ -1,0 +1,190 @@
+// The crash simulator itself: durability of persisted stores, loss of
+// unpersisted stores, cache-line-granular retirement, revert ordering,
+// partial-write tearing, and crash points.
+
+#include "scm/crash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "scm/latency.h"
+#include "scm/pmem.h"
+
+namespace fptree {
+namespace scm {
+namespace {
+
+class CrashSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LatencyModel::Disable();
+    CrashSim::Enable();
+    std::memset(buf_, 0, sizeof(buf_));
+    CrashSim::CommitAll();  // the memset above is "pre-history"
+  }
+  void TearDown() override { CrashSim::Disable(); }
+
+  alignas(64) unsigned char buf_[512];
+};
+
+TEST_F(CrashSimTest, UnpersistedStoreIsLost) {
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::Store(p, uint64_t{42});
+  EXPECT_EQ(*p, 42u);
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*p, 0u);
+}
+
+TEST_F(CrashSimTest, PersistedStoreSurvives) {
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::StorePersist(p, uint64_t{42});
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*p, 42u);
+}
+
+TEST_F(CrashSimTest, PersistIsCacheLineGranular) {
+  // Two stores in the same cache line; persisting one makes both durable
+  // (CLFLUSH flushes the whole line) — exactly the property the paper's
+  // micro-log trick relies on ("back-to-back writes to a micro-log ... can
+  // be ordered with a memory barrier and then persisted together").
+  uint64_t* a = reinterpret_cast<uint64_t*>(buf_);
+  uint64_t* b = a + 1;
+  pmem::Store(a, uint64_t{1});
+  pmem::Store(b, uint64_t{2});
+  pmem::Persist(a, sizeof(*a));
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*a, 1u);
+  EXPECT_EQ(*b, 2u);
+}
+
+TEST_F(CrashSimTest, DifferentLineNotRetired) {
+  uint64_t* a = reinterpret_cast<uint64_t*>(buf_);
+  uint64_t* b = reinterpret_cast<uint64_t*>(buf_ + 128);
+  pmem::Store(a, uint64_t{1});
+  pmem::Store(b, uint64_t{2});
+  pmem::Persist(a, sizeof(*a));
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*a, 1u);
+  EXPECT_EQ(*b, 0u);
+}
+
+TEST_F(CrashSimTest, OverlappingStoresRevertToOriginal) {
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::StorePersist(p, uint64_t{10});  // durable baseline
+  pmem::Store(p, uint64_t{20});
+  pmem::Store(p, uint64_t{30});
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*p, 10u);
+}
+
+TEST_F(CrashSimTest, InterleavedPersistKeepsNewest) {
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::StorePersist(p, uint64_t{10});
+  pmem::Store(p, uint64_t{20});
+  pmem::Persist(p, sizeof(*p));
+  pmem::Store(p, uint64_t{30});
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*p, 20u);
+}
+
+TEST_F(CrashSimTest, LargeStoreSpanningLinesPartialRetirement) {
+  // A 256-byte store spans 4 lines; persist only the first line; crash.
+  // The first 64 bytes are durable, the rest revert.
+  pmem::StoreBytes(buf_, std::string(256, 'x').data(), 256);
+  pmem::Persist(buf_, 1);  // flushes exactly the first line
+  CrashSim::SimulateCrash();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(buf_[i], 'x') << i;
+  for (int i = 64; i < 256; ++i) EXPECT_EQ(buf_[i], 0) << i;
+}
+
+TEST_F(CrashSimTest, TearModeTearsAtWordBoundary) {
+  CrashSim::SetTearMode(true);
+  pmem::StoreBytes(buf_, std::string(64, 'y').data(), 64);
+  CrashSim::SimulateCrash();
+  // A durable prefix of whole 8-byte words survived; the tail reverted.
+  // The prefix length is implementation-chosen but must be a multiple of 8
+  // and less than 64.
+  int flip = 0;
+  while (flip < 64 && buf_[flip] == 'y') ++flip;
+  EXPECT_EQ(flip % 8, 0);
+  EXPECT_LT(flip, 64);
+  for (int i = flip; i < 64; ++i) EXPECT_EQ(buf_[i], 0) << i;
+  CrashSim::SetTearMode(false);
+}
+
+TEST_F(CrashSimTest, EightByteStoreNeverTorn) {
+  CrashSim::SetTearMode(true);
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::Store(p, uint64_t{0xAABBCCDDEEFF0011ULL});
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*p, 0u) << "p-atomic store must revert entirely";
+  CrashSim::SetTearMode(false);
+}
+
+TEST_F(CrashSimTest, StoreVolatileIsNotLogged) {
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::StoreVolatile(p, uint64_t{7});
+  EXPECT_EQ(CrashSim::PendingRecords(), 0u);
+  CrashSim::SimulateCrash();
+  // Volatile stores are exempt: value remains whatever it was (7 here),
+  // reflecting "this field's post-crash content is meaningless".
+  EXPECT_EQ(*p, 7u);
+}
+
+TEST_F(CrashSimTest, CommitAllRetiresEverything) {
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::Store(p, uint64_t{5});
+  CrashSim::CommitAll();
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*p, 5u);
+}
+
+TEST_F(CrashSimTest, CrashPointThrowsWhenArmed) {
+  CrashSim::ArmCrashPoint("test.point");
+  EXPECT_THROW(CrashSim::Point("test.point"), CrashException);
+  // Disarmed after firing.
+  CrashSim::Point("test.point");  // no throw
+}
+
+TEST_F(CrashSimTest, CrashPointCountdown) {
+  CrashSim::ArmCrashPoint("test.count", 3);
+  CrashSim::Point("test.count");
+  CrashSim::Point("test.count");
+  EXPECT_THROW(CrashSim::Point("test.count"), CrashException);
+}
+
+TEST_F(CrashSimTest, UnarmedPointIsNoop) {
+  CrashSim::Point("never.armed");
+}
+
+TEST_F(CrashSimTest, RecordingEnumeratesVisitedPoints) {
+  CrashSim::StartRecordingPoints();
+  CrashSim::Point("a");
+  CrashSim::Point("b");
+  CrashSim::Point("a");
+  auto visited = CrashSim::StopRecordingPoints();
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0], "a");
+  EXPECT_EQ(visited[1], "b");
+  EXPECT_EQ(visited[2], "a");
+}
+
+TEST_F(CrashSimTest, MacroIsNoopWhenDisabled) {
+  CrashSim::Disable();
+  CrashSim::ArmCrashPoint("macro.point");  // armed but sim off
+  SCM_CRASH_POINT("macro.point");          // must not throw
+  CrashSim::Enable();
+}
+
+TEST_F(CrashSimTest, DisabledSimDoesNotLog) {
+  CrashSim::Disable();
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::Store(p, uint64_t{9});
+  EXPECT_EQ(CrashSim::PendingRecords(), 0u);
+  CrashSim::Enable();
+}
+
+}  // namespace
+}  // namespace scm
+}  // namespace fptree

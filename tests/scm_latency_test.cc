@@ -1,0 +1,110 @@
+// Latency model: calibrated delays, modeled-cache hit/miss behaviour, and
+// the event counters benchmarks rely on.
+
+#include "scm/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "scm/pmem.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace scm {
+namespace {
+
+class LatencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LatencyModel::Disable();
+    ThreadScmCache::Clear();
+    ClearThreadStats();
+  }
+  void TearDown() override { LatencyModel::Disable(); }
+
+  alignas(64) char buf_[1024] = {};
+};
+
+TEST_F(LatencyTest, SpinForRoughlyMatchesWallClock) {
+  // Calibration tolerance is loose (shared CI machines), but a 100 µs spin
+  // must take at least ~30 µs and at most ~10x.
+  LatencyModel::Calibrate();
+  Stopwatch sw;
+  LatencyModel::SpinFor(100000);
+  uint64_t ns = sw.ElapsedNanos();
+  EXPECT_GT(ns, 30000u);
+  EXPECT_LT(ns, 1000000u);
+}
+
+TEST_F(LatencyTest, SetScmLatencyComputesExcessOverDram) {
+  LatencyModel::Config().dram_ns = 90;
+  LatencyModel::SetScmLatency(650);
+  EXPECT_EQ(LatencyModel::read_extra_ns(), 560u);
+  EXPECT_EQ(LatencyModel::write_ns(), 650u);
+  LatencyModel::SetScmLatency(90);
+  EXPECT_EQ(LatencyModel::read_extra_ns(), 0u);
+  LatencyModel::SetScmLatency(50);  // below DRAM: clamp to zero
+  EXPECT_EQ(LatencyModel::read_extra_ns(), 0u);
+}
+
+TEST_F(LatencyTest, ReadScmCountsMissThenHit) {
+  ReadScm(buf_, 8);
+  EXPECT_EQ(ThreadStats().scm_read_misses, 1u);
+  EXPECT_EQ(ThreadStats().scm_read_hits, 0u);
+  ReadScm(buf_, 8);  // same line: modeled cache hit
+  EXPECT_EQ(ThreadStats().scm_read_misses, 1u);
+  EXPECT_EQ(ThreadStats().scm_read_hits, 1u);
+  ReadScm(buf_ + 64, 8);  // next line: miss
+  EXPECT_EQ(ThreadStats().scm_read_misses, 2u);
+}
+
+TEST_F(LatencyTest, ReadScmSpanningLinesCountsEachLine) {
+  ReadScm(buf_ + 60, 8);  // straddles two lines
+  EXPECT_EQ(ThreadStats().scm_read_misses, 2u);
+}
+
+TEST_F(LatencyTest, PersistEvictsModeledLine) {
+  ReadScm(buf_, 8);
+  EXPECT_EQ(ThreadStats().scm_read_misses, 1u);
+  pmem::Persist(buf_, 8);  // CLFLUSH semantics: evict
+  ReadScm(buf_, 8);
+  EXPECT_EQ(ThreadStats().scm_read_misses, 2u);
+}
+
+TEST_F(LatencyTest, PersistCountsFlushedLines) {
+  ClearThreadStats();
+  pmem::Persist(buf_, 200);  // 200 bytes from 64-aligned start: 4 lines
+  EXPECT_EQ(ThreadStats().flushed_lines, 4u);
+  EXPECT_EQ(ThreadStats().fences, 1u);
+}
+
+TEST_F(LatencyTest, InjectedReadLatencyIsMeasurable) {
+  LatencyModel::Config().dram_ns = 0;
+  LatencyModel::SetScmLatency(20000);  // exaggerated for measurability
+  ThreadScmCache::Clear();
+  Stopwatch sw;
+  for (int i = 0; i < 16; ++i) ReadScm(buf_ + (i % 4) * 64, 8);
+  uint64_t with_latency = sw.ElapsedNanos();
+  // 4 misses * 20 µs = 80 µs injected; 12 hits free.
+  EXPECT_GT(with_latency, 20000u);
+  LatencyModel::Config().dram_ns = 90;
+  LatencyModel::Disable();
+}
+
+TEST_F(LatencyTest, CacheLinesSpannedHelper) {
+  EXPECT_EQ(CacheLinesSpanned(buf_, 0), 0u);
+  EXPECT_EQ(CacheLinesSpanned(buf_, 1), 1u);
+  EXPECT_EQ(CacheLinesSpanned(buf_, 64), 1u);
+  EXPECT_EQ(CacheLinesSpanned(buf_, 65), 2u);
+  EXPECT_EQ(CacheLinesSpanned(buf_ + 63, 2), 2u);
+}
+
+TEST_F(LatencyTest, RoundUpToCacheLineHelper) {
+  EXPECT_EQ(RoundUpToCacheLine(0), 0u);
+  EXPECT_EQ(RoundUpToCacheLine(1), 64u);
+  EXPECT_EQ(RoundUpToCacheLine(64), 64u);
+  EXPECT_EQ(RoundUpToCacheLine(65), 128u);
+}
+
+}  // namespace
+}  // namespace scm
+}  // namespace fptree

@@ -1,0 +1,188 @@
+// util/: RNG determinism and uniformity, Zipf skew, fingerprint hash
+// distribution (the property §4.2's expected-probe analysis depends on),
+// histogram, status, barrier.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/threading.h"
+#include "util/zipf.h"
+
+namespace fptree {
+namespace {
+
+TEST(Random64, DeterministicForSameSeed) {
+  Random64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Random64, DifferentSeedsDiffer) {
+  Random64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random64, UniformInRange) {
+  Random64 r(3);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Random64, NextDoubleInUnitInterval) {
+  Random64 r(4);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random64, UniformityChiSquaredish) {
+  Random64 r(5);
+  std::array<int, 16> buckets{};
+  constexpr int kN = 160000;
+  for (int i = 0; i < kN; ++i) ++buckets[r.Uniform(16)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kN / 16 * 0.9);
+    EXPECT_LT(b, kN / 16 * 1.1);
+  }
+}
+
+TEST(ShuffledRange, IsAPermutation) {
+  auto v = ShuffledRange(1000, 9);
+  std::set<uint64_t> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 999u);
+  // And actually shuffled.
+  int fixed = 0;
+  for (size_t i = 0; i < v.size(); ++i) fixed += (v[i] == i);
+  EXPECT_LT(fixed, 50);
+}
+
+TEST(Zipf, HottestKeyDominates) {
+  ZipfGenerator z(100000, 0.99, 11);
+  std::array<int, 10> top{};
+  int other = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = z.Next();
+    if (v < 10) {
+      ++top[v];
+    } else {
+      ++other;
+    }
+  }
+  // With theta=0.99 the top-10 ranks draw a large share.
+  int top_sum = 0;
+  for (int t : top) top_sum += t;
+  EXPECT_GT(top_sum, kN / 5);
+  EXPECT_GT(top[0], top[9]);
+}
+
+TEST(Zipf, ValuesInRange) {
+  ZipfGenerator z(50, 0.5, 12);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(), 50u);
+}
+
+TEST(Fingerprint, UniformOver256Buckets) {
+  // §4.2 assumes "a hash function that generates uniformly distributed
+  // fingerprints"; verify ours is close over sequential keys (the common
+  // dense-key workload).
+  std::array<int, 256> buckets{};
+  constexpr int kN = 256 * 1000;
+  for (uint64_t k = 0; k < kN; ++k) ++buckets[Fingerprint(k)];
+  for (int b : buckets) {
+    EXPECT_GT(b, 1000 * 0.85);
+    EXPECT_LT(b, 1000 * 1.15);
+  }
+}
+
+TEST(Fingerprint, StringKeysUniform) {
+  std::array<int, 256> buckets{};
+  constexpr int kN = 256 * 500;
+  for (int k = 0; k < kN; ++k) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016d", k);
+    ++buckets[Fingerprint(std::string_view(buf, 16))];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, 500 * 0.8);
+    EXPECT_LT(b, 500 * 1.2);
+  }
+}
+
+TEST(Fingerprint, DeterministicPerKey) {
+  EXPECT_EQ(Fingerprint(uint64_t{12345}), Fingerprint(uint64_t{12345}));
+  EXPECT_EQ(Fingerprint(std::string_view("abc")),
+            Fingerprint(std::string_view("abc")));
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v * 100);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 10000u);
+  EXPECT_DOUBLE_EQ(h.Average(), 5050.0);
+  EXPECT_GT(h.Percentile(99), h.Percentile(50));
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 30u);
+  EXPECT_EQ(a.max(), 20u);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.Average(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+}
+
+TEST(SpinBarrier, SynchronizesThreads) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase0{0};
+  std::atomic<bool> ok{true};
+  ThreadGroup tg;
+  tg.Spawn(kThreads, [&](uint32_t) {
+    phase0.fetch_add(1);
+    barrier.Wait();
+    if (phase0.load() != kThreads) ok.store(false);
+    barrier.Wait();  // reusable
+  });
+  tg.Join();
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace fptree
