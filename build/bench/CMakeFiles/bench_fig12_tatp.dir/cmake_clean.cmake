@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tatp.dir/bench_fig12_tatp.cc.o"
+  "CMakeFiles/bench_fig12_tatp.dir/bench_fig12_tatp.cc.o.d"
+  "bench_fig12_tatp"
+  "bench_fig12_tatp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tatp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_memcached.dir/bench_fig13_memcached.cc.o"
+  "CMakeFiles/bench_fig13_memcached.dir/bench_fig13_memcached.cc.o.d"
+  "bench_fig13_memcached"
+  "bench_fig13_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_payload.dir/bench_fig14_payload.cc.o"
+  "CMakeFiles/bench_fig14_payload.dir/bench_fig14_payload.cc.o.d"
+  "bench_fig14_payload"
+  "bench_fig14_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

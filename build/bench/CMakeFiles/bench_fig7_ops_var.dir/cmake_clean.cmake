@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ops_var.dir/bench_fig7_ops_var.cc.o"
+  "CMakeFiles/bench_fig7_ops_var.dir/bench_fig7_ops_var.cc.o.d"
+  "bench_fig7_ops_var"
+  "bench_fig7_ops_var.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ops_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

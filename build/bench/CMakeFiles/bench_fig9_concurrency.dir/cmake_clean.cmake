@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_concurrency.dir/bench_fig9_concurrency.cc.o"
+  "CMakeFiles/bench_fig9_concurrency.dir/bench_fig9_concurrency.cc.o.d"
+  "bench_fig9_concurrency"
+  "bench_fig9_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_nodesizes.dir/bench_table1_nodesizes.cc.o"
+  "CMakeFiles/bench_table1_nodesizes.dir/bench_table1_nodesizes.cc.o.d"
+  "bench_table1_nodesizes"
+  "bench_table1_nodesizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nodesizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcache_demo.dir/kvcache_demo.cc.o"
+  "CMakeFiles/kvcache_demo.dir/kvcache_demo.cc.o.d"
+  "kvcache_demo"
+  "kvcache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

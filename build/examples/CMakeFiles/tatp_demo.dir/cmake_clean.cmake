@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tatp_demo.dir/tatp_demo.cc.o"
+  "CMakeFiles/tatp_demo.dir/tatp_demo.cc.o.d"
+  "tatp_demo"
+  "tatp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tatp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptree_kvcache.dir/kvcache.cc.o"
+  "CMakeFiles/fptree_kvcache.dir/kvcache.cc.o.d"
+  "libfptree_kvcache.a"
+  "libfptree_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptree_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

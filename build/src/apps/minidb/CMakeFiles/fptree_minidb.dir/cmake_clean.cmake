@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptree_minidb.dir/minidb.cc.o"
+  "CMakeFiles/fptree_minidb.dir/minidb.cc.o.d"
+  "CMakeFiles/fptree_minidb.dir/tatp.cc.o"
+  "CMakeFiles/fptree_minidb.dir/tatp.cc.o.d"
+  "libfptree_minidb.a"
+  "libfptree_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptree_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

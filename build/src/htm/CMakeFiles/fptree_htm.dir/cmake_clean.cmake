@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptree_htm.dir/htm.cc.o"
+  "CMakeFiles/fptree_htm.dir/htm.cc.o.d"
+  "libfptree_htm.a"
+  "libfptree_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptree_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

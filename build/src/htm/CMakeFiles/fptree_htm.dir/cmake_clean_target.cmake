@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfptree_htm.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scm/alloc.cc" "src/scm/CMakeFiles/fptree_scm.dir/alloc.cc.o" "gcc" "src/scm/CMakeFiles/fptree_scm.dir/alloc.cc.o.d"
+  "/root/repo/src/scm/crash.cc" "src/scm/CMakeFiles/fptree_scm.dir/crash.cc.o" "gcc" "src/scm/CMakeFiles/fptree_scm.dir/crash.cc.o.d"
+  "/root/repo/src/scm/latency.cc" "src/scm/CMakeFiles/fptree_scm.dir/latency.cc.o" "gcc" "src/scm/CMakeFiles/fptree_scm.dir/latency.cc.o.d"
+  "/root/repo/src/scm/pool.cc" "src/scm/CMakeFiles/fptree_scm.dir/pool.cc.o" "gcc" "src/scm/CMakeFiles/fptree_scm.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptree_scm.dir/alloc.cc.o"
+  "CMakeFiles/fptree_scm.dir/alloc.cc.o.d"
+  "CMakeFiles/fptree_scm.dir/crash.cc.o"
+  "CMakeFiles/fptree_scm.dir/crash.cc.o.d"
+  "CMakeFiles/fptree_scm.dir/latency.cc.o"
+  "CMakeFiles/fptree_scm.dir/latency.cc.o.d"
+  "CMakeFiles/fptree_scm.dir/pool.cc.o"
+  "CMakeFiles/fptree_scm.dir/pool.cc.o.d"
+  "libfptree_scm.a"
+  "libfptree_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptree_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptree_concurrent_test.dir/fptree_concurrent_test.cc.o"
+  "CMakeFiles/fptree_concurrent_test.dir/fptree_concurrent_test.cc.o.d"
+  "fptree_concurrent_test"
+  "fptree_concurrent_test.pdb"
+  "fptree_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptree_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptree_var_test.dir/fptree_var_test.cc.o"
+  "CMakeFiles/fptree_var_test.dir/fptree_var_test.cc.o.d"
+  "fptree_var_test"
+  "fptree_var_test.pdb"
+  "fptree_var_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptree_var_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inner_index_test.dir/inner_index_test.cc.o"
+  "CMakeFiles/inner_index_test.dir/inner_index_test.cc.o.d"
+  "inner_index_test"
+  "inner_index_test.pdb"
+  "inner_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inner_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_alloc_test.dir/scm_alloc_test.cc.o"
+  "CMakeFiles/scm_alloc_test.dir/scm_alloc_test.cc.o.d"
+  "scm_alloc_test"
+  "scm_alloc_test.pdb"
+  "scm_alloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

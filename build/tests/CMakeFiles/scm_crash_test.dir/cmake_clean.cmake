@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_crash_test.dir/scm_crash_test.cc.o"
+  "CMakeFiles/scm_crash_test.dir/scm_crash_test.cc.o.d"
+  "scm_crash_test"
+  "scm_crash_test.pdb"
+  "scm_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

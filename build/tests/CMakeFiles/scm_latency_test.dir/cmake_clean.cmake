@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_latency_test.dir/scm_latency_test.cc.o"
+  "CMakeFiles/scm_latency_test.dir/scm_latency_test.cc.o.d"
+  "scm_latency_test"
+  "scm_latency_test.pdb"
+  "scm_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

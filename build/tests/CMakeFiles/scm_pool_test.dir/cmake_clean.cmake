@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scm_pool_test.dir/scm_pool_test.cc.o"
+  "CMakeFiles/scm_pool_test.dir/scm_pool_test.cc.o.d"
+  "scm_pool_test"
+  "scm_pool_test.pdb"
+  "scm_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scm_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/scm_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/scm_alloc_test[1]_include.cmake")
+include("/root/repo/build/tests/scm_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/scm_latency_test[1]_include.cmake")
+include("/root/repo/build/tests/htm_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/inner_index_test[1]_include.cmake")
+include("/root/repo/build/tests/fptree_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/fptree_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/fptree_var_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_index_test[1]_include.cmake")
