@@ -112,5 +112,6 @@ int main(int argc, char** argv) {
               ConcurrentMixedMops(htm::Backend::kGlobalLock, n, n, threads),
               threads);
   scm::LatencyModel::Disable();
+  EmitMetricsJson("ablation");
   return 0;
 }

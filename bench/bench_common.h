@@ -11,11 +11,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "index/kv_index.h"
+#include "obs/metrics.h"
 #include "scm/latency.h"
 #include "scm/pool.h"
 #include "util/random.h"
@@ -29,6 +32,9 @@ struct Flags {
   uint64_t ops = 100000;
   uint32_t threads = 0;  // 0 = sweep
   uint64_t latency = 0;  // 0 = sweep
+  std::string tree;      // restrict to one tree; "all" = every registered
+  uint32_t sample = 64;  // latency sampling interval; 0 disables
+  uint64_t metrics_every = 0;  // periodic app metrics dump; 0 disables
   bool restart = false;
   bool quick = false;
 
@@ -40,10 +46,47 @@ struct Flags {
       if (std::strncmp(a, "--ops=", 6) == 0) f.ops = std::strtoull(a + 6, nullptr, 10);
       if (std::strncmp(a, "--threads=", 10) == 0) f.threads = std::strtoul(a + 10, nullptr, 10);
       if (std::strncmp(a, "--latency=", 10) == 0) f.latency = std::strtoull(a + 10, nullptr, 10);
+      if (std::strncmp(a, "--tree=", 7) == 0) f.tree = a + 7;
+      if (std::strncmp(a, "--sample=", 9) == 0) f.sample = std::strtoul(a + 9, nullptr, 10);
+      if (std::strncmp(a, "--metrics-every=", 16) == 0) f.metrics_every = std::strtoull(a + 16, nullptr, 10);
       if (std::strcmp(a, "--restart") == 0) f.restart = true;
       if (std::strcmp(a, "--quick") == 0) f.quick = true;
     }
+    obs::SetSampleInterval(f.sample);
     return f;
+  }
+
+  /// Resolves --tree against the registered fixed-key index names:
+  /// unset -> `defaults`, "all" -> every registered name, else that name
+  /// (which must be registered — unknown names exit with the valid list).
+  std::vector<std::string> FixedTrees(
+      std::initializer_list<const char*> defaults) const {
+    return ResolveTrees(index::ListFixedIndexNames(), defaults);
+  }
+
+  /// Same for var-key index names.
+  std::vector<std::string> VarTrees(
+      std::initializer_list<const char*> defaults) const {
+    return ResolveTrees(index::ListVarIndexNames(), defaults);
+  }
+
+ private:
+  std::vector<std::string> ResolveTrees(
+      std::vector<std::string> registered,
+      std::initializer_list<const char*> defaults) const {
+    if (tree == "all") return registered;
+    if (!tree.empty()) {
+      for (const std::string& name : registered) {
+        if (name == tree) return {tree};
+      }
+      std::fprintf(stderr, "unknown --tree=%s; registered:", tree.c_str());
+      for (const std::string& name : registered) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    return std::vector<std::string>(defaults.begin(), defaults.end());
   }
 };
 
@@ -105,16 +148,45 @@ inline void DoNotOptimize(T& value) {
   asm volatile("" : "+m"(value) : : "memory");
 }
 
-/// Runs fn over n items and returns average ns/op.
+/// Runs fn over n items and returns average ns/op. When `hist` is non-null
+/// and sampling is enabled, every sampling-interval-th op is individually
+/// timed into the named registry histogram; with sampling off the loop is
+/// identical to the unsampled one (the interval check happens once, here).
 template <typename Fn>
-double TimeOps(uint64_t n, Fn fn) {
+double TimeOps(uint64_t n, Fn fn, const char* hist = nullptr) {
+  obs::LatencyHistogram* h =
+      hist == nullptr || obs::SampleInterval() == 0
+          ? nullptr
+          : obs::MetricsRegistry::Global().GetHistogram(hist);
   Stopwatch sw;
-  for (uint64_t i = 0; i < n; ++i) fn(i);
+  if (h == nullptr) {
+    for (uint64_t i = 0; i < n; ++i) fn(i);
+  } else {
+    uint32_t mask = obs::SampleInterval() - 1;
+    Histogram local;  // merge once at the end; keeps the loop lock-free
+    for (uint64_t i = 0; i < n; ++i) {
+      if ((i & mask) == 0) {
+        uint64_t t0 = NowNanos();
+        fn(i);
+        local.Add(NowNanos() - t0);
+      } else {
+        fn(i);
+      }
+    }
+    h->Merge(local);
+  }
   return static_cast<double>(sw.ElapsedNanos()) / static_cast<double>(n);
 }
 
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+/// Prints the process-wide metrics snapshot as one machine-readable JSON
+/// line (prefixed METRICS_JSON so plot scripts can grep it out of the
+/// figure output). Every bench binary calls this once before exiting.
+inline void EmitMetricsJson(const char* bench_name) {
+  std::printf("\nMETRICS_JSON %s\n", obs::GlobalJson(bench_name).c_str());
 }
 
 }  // namespace bench

@@ -41,11 +41,11 @@ OpTimes RunTree(uint64_t n) {
   t.find_us = TimeOps(n, [&](uint64_t i) {
                 Value out;
                 tree.Find(warm[i] * 2, &out);
-              }) /
+              }, "find") /
               1000.0;
   t.insert_us = TimeOps(n, [&](uint64_t i) {
                   tree.Insert(extra[i] * 2 + 1, v);
-                }) /
+                }, "insert") /
                 1000.0;
   return t;
 }
@@ -131,5 +131,6 @@ int main(int argc, char** argv) {
       "\nPaper shape: NV-Tree degrades most with payload size (linear leaf "
       "scans read more);\ninserts degrade more than finds (bigger SCM "
       "allocations); FPTree/wBTree stay nearly flat.\n");
+  EmitMetricsJson("fig14_payload");
   return 0;
 }

@@ -89,5 +89,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper: for m = 32 the FPTree needs ~1 probe, the wBTree 5, the "
       "NV-Tree 16.\n");
+  EmitMetricsJson("fig4_probes");
   return 0;
 }

@@ -39,22 +39,22 @@ OpTimes RunTree(uint64_t n) {
                 uint64_t v = 0;
                 tree.Find(warm[i] * 2, &v);
                 DoNotOptimize(v);
-              }) /
+              }, "find") /
               1000.0;
   t.misses_per_find = static_cast<double>(
                           scm::ThreadStats().scm_read_misses) /
                       static_cast<double>(n);
   t.insert_us = TimeOps(n, [&](uint64_t i) {
                   tree.Insert(extra[i] * 2 + 1, i);
-                }) /
+                }, "insert") /
                 1000.0;
   t.update_us = TimeOps(n, [&](uint64_t i) {
                   tree.Update(warm[i] * 2, i);
-                }) /
+                }, "update") /
                 1000.0;
   t.erase_us = TimeOps(n, [&](uint64_t i) {
                  tree.Erase(extra[i] * 2 + 1);
-               }) /
+               }, "erase") /
                1000.0;
   return t;
 }
@@ -69,15 +69,15 @@ OpTimes RunStx(uint64_t n) {
                 uint64_t v = 0;
                 tree.Find(warm[i] * 2, &v);
                 DoNotOptimize(v);
-              }) /
+              }, "find") /
               1000.0;
   t.insert_us =
-      TimeOps(n, [&](uint64_t i) { tree.Insert(extra[i] * 2 + 1, i); }) /
+      TimeOps(n, [&](uint64_t i) { tree.Insert(extra[i] * 2 + 1, i); }, "insert") /
       1000.0;
   t.update_us =
-      TimeOps(n, [&](uint64_t i) { tree.Update(warm[i] * 2, i); }) / 1000.0;
+      TimeOps(n, [&](uint64_t i) { tree.Update(warm[i] * 2, i); }, "update") / 1000.0;
   t.erase_us =
-      TimeOps(n, [&](uint64_t i) { tree.Erase(extra[i] * 2 + 1); }) / 1000.0;
+      TimeOps(n, [&](uint64_t i) { tree.Erase(extra[i] * 2 + 1); }, "erase") / 1000.0;
   return t;
 }
 
@@ -125,5 +125,6 @@ int main(int argc, char** argv) {
       "\nPaper shape: FPTree fastest persistent tree at every latency; its "
       "curve is the flattest;\nwBTree degrades steepest (fully in SCM); "
       "STXTree is latency-independent (pure DRAM).\n");
+  EmitMetricsJson("fig7_ops_fixed");
   return 0;
 }

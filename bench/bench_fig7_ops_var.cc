@@ -32,19 +32,19 @@ OpTimes RunTree(uint64_t n) {
                 uint64_t v = 0;
                 tree.Find(MakeVarKey(warm[i] * 2), &v);
                 DoNotOptimize(v);
-              }) /
+              }, "find") /
               1000.0;
   t.insert_us = TimeOps(n, [&](uint64_t i) {
                   tree.Insert(MakeVarKey(extra[i] * 2 + 1), i);
-                }) /
+                }, "insert") /
                 1000.0;
   t.update_us = TimeOps(n, [&](uint64_t i) {
                   tree.Update(MakeVarKey(warm[i] * 2), i);
-                }) /
+                }, "update") /
                 1000.0;
   t.erase_us = TimeOps(n, [&](uint64_t i) {
                  tree.Erase(MakeVarKey(extra[i] * 2 + 1));
-               }) /
+               }, "erase") /
                1000.0;
   return t;
 }
@@ -59,19 +59,19 @@ OpTimes RunStx(uint64_t n) {
                 uint64_t v = 0;
                 tree.Find(MakeVarKey(warm[i] * 2), &v);
                 DoNotOptimize(v);
-              }) /
+              }, "find") /
               1000.0;
   t.insert_us = TimeOps(n, [&](uint64_t i) {
                   tree.Insert(MakeVarKey(extra[i] * 2 + 1), i);
-                }) /
+                }, "insert") /
                 1000.0;
   t.update_us = TimeOps(n, [&](uint64_t i) {
                   tree.Update(MakeVarKey(warm[i] * 2), i);
-                }) /
+                }, "update") /
                 1000.0;
   t.erase_us = TimeOps(n, [&](uint64_t i) {
                  tree.Erase(MakeVarKey(extra[i] * 2 + 1));
-               }) /
+               }, "erase") /
                1000.0;
   return t;
 }
@@ -113,5 +113,6 @@ int main(int argc, char** argv) {
       "\nPaper shape: fingerprints matter more for string keys (every probe "
       "is an SCM pointer\ndereference): FPTreeVar beats PTreeVar by more "
       "than FPTree beats PTree, at every latency.\n");
+  EmitMetricsJson("fig7_ops_var");
   return 0;
 }

@@ -99,5 +99,6 @@ int main(int argc, char** argv) {
       "recovers faster than\nPTree (leaf-group locality) and much faster "
       "than NV-Tree (sparse rebuild); all persistent\ntrees beat the full "
       "STX rebuild by a growing factor as size increases.\n");
+  EmitMetricsJson("fig7_recovery");
   return 0;
 }

@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
       "slightly higher; NV-Tree ~23%%\nDRAM and ~1.6x FPTree's SCM; wBTree "
       "0 DRAM. (Absolute bytes include our allocator's\n64 B per-block "
       "headers; see DESIGN.md.)\n");
+  EmitMetricsJson("fig8_memory");
   return 0;
 }

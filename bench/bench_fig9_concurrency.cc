@@ -158,5 +158,6 @@ int main(int argc, char** argv) {
       "\nPaper shape: FPTreeC scales near-linearly to physical cores "
       "(18.3x at 22 threads in the\npaper) for every op; NV-TreeC scales "
       "noticeably worse on writes (global rebuild latch).\n");
+  EmitMetricsJson("fig9_concurrency");
   return 0;
 }

@@ -75,5 +75,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper's chosen sizes: FPTree inner 4096 / leaf 56; wBTree inner 32 "
       "/ leaf 64.\n");
+  EmitMetricsJson("table1_nodesizes");
   return 0;
 }

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,7 @@
 #include <unordered_map>
 
 #include "index/kv_index.h"
+#include "obs/metrics.h"
 #include "scm/latency.h"
 #include "util/timer.h"
 
@@ -80,6 +82,8 @@ class KVCache {
     size_t capacity = 0;
     /// Per-request wire cost for the network model (0 = off).
     uint64_t network_ns_per_request = 0;
+    /// Dump a metrics JSON line to stderr every N requests (0 = off).
+    uint64_t metrics_dump_every = 0;
   };
 
   KVCache(std::unique_ptr<index::VarIndex> idx, const Options& options)
@@ -90,6 +94,7 @@ class KVCache {
   /// memcached SET: insert or overwrite.
   void Set(std::string_view key, uint64_t value) {
     throttle_.Admit();
+    MaybeDumpMetrics();
     stats_.sets.fetch_add(1, std::memory_order_relaxed);
     if (!index_->Insert(key, value)) {
       index_->Update(key, value);
@@ -103,6 +108,7 @@ class KVCache {
   /// memcached GET.
   bool Get(std::string_view key, uint64_t* value) {
     throttle_.Admit();
+    MaybeDumpMetrics();
     stats_.gets.fetch_add(1, std::memory_order_relaxed);
     bool hit = index_->Find(key, value);
     if (hit) stats_.get_hits.fetch_add(1, std::memory_order_relaxed);
@@ -115,11 +121,37 @@ class KVCache {
     return index_->Erase(key);
   }
 
-  size_t ItemCount() { return index_->Size(); }
+  size_t ItemCount() const { return index_->Size(); }
   CacheStats& stats() { return stats_; }
   index::VarIndex* index() { return index_.get(); }
 
+  /// Cache-level metrics snapshot: index telemetry plus request counters.
+  obs::Snapshot Metrics() const {
+    obs::Snapshot snap = index_->Stats();
+    snap.counters["cache.gets"] = stats_.gets.load(std::memory_order_relaxed);
+    snap.counters["cache.get_hits"] =
+        stats_.get_hits.load(std::memory_order_relaxed);
+    snap.counters["cache.sets"] = stats_.sets.load(std::memory_order_relaxed);
+    snap.counters["cache.evictions"] =
+        stats_.evictions.load(std::memory_order_relaxed);
+    snap.gauges["cache.items"] = index_->Size();
+    return snap;
+  }
+
+  std::string MetricsJson() const { return Metrics().ToJson("kvcache"); }
+
  private:
+  /// Periodic observability dump (Options::metrics_dump_every). A single
+  /// thread wins the modulo race and serializes; lost updates in the
+  /// request counter only shift a dump boundary by a few requests.
+  void MaybeDumpMetrics() {
+    if (options_.metrics_dump_every == 0) return;
+    uint64_t n = requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % options_.metrics_dump_every == 0) {
+      std::fprintf(stderr, "METRICS_JSON %s\n", MetricsJson().c_str());
+    }
+  }
+
   struct LruShard {
     std::mutex mu;
     std::list<std::string> order;  // front = most recent
@@ -158,6 +190,7 @@ class KVCache {
   std::unique_ptr<index::VarIndex> index_;
   NetworkThrottle throttle_;
   CacheStats stats_;
+  std::atomic<uint64_t> requests_{0};
   LruShard shards_[kLruShards];
 };
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "index/kv_index.h"
+#include "obs/metrics.h"
 #include "scm/latency.h"
 #include "scm/pmem.h"
 #include "scm/pool.h"
@@ -195,6 +196,16 @@ class MiniDb {
   index::KVIndex* index() { return index_.get(); }
   uint64_t subscribers() const { return options_.subscribers; }
   uint64_t restart_nanos() const { return restart_nanos_; }
+
+  /// Database-level metrics snapshot: index telemetry plus restart cost.
+  obs::Snapshot Metrics() const {
+    obs::Snapshot snap = index_->Stats();
+    snap.gauges["db.subscribers"] = options_.subscribers;
+    snap.gauges["db.restart_nanos"] = restart_nanos_;
+    return snap;
+  }
+
+  std::string MetricsJson() const { return Metrics().ToJson("minidb"); }
 
   // --- Load (warm-up; sequential Subscriber ids — the highly skewed
   // insertion pattern §6.4 describes) -------------------------------------

@@ -1,6 +1,7 @@
 #include "apps/minidb/tatp.h"
 
 #include <atomic>
+#include <cstdio>
 
 #include "util/random.h"
 #include "util/threading.h"
@@ -9,7 +10,8 @@
 namespace fptree {
 namespace apps {
 
-TatpResult TatpWorkload::Run(uint64_t n_tx, uint32_t clients) {
+TatpResult TatpWorkload::Run(uint64_t n_tx, uint32_t clients,
+                             uint64_t metrics_dump_every) {
   std::atomic<uint64_t> hits{0};
   const uint64_t n_sub = db_->subscribers();
   const uint64_t per_client = n_tx / clients;
@@ -33,6 +35,10 @@ TatpResult TatpWorkload::Run(uint64_t n_tx, uint32_t clients) {
       } else {
         uint64_t data;
         local_hits += db_->GetAccessData(s_id, rng.Uniform(4), &data);
+      }
+      if (metrics_dump_every != 0 && id == 0 &&
+          (i + 1) % metrics_dump_every == 0) {
+        std::fprintf(stderr, "METRICS_JSON %s\n", db_->MetricsJson().c_str());
       }
     }
     hits.fetch_add(local_hits, std::memory_order_relaxed);

@@ -28,8 +28,11 @@ class TatpWorkload {
  public:
   explicit TatpWorkload(MiniDb* db) : db_(db) {}
 
-  /// Runs `n_tx` read-only transactions over `clients` threads.
-  TatpResult Run(uint64_t n_tx, uint32_t clients);
+  /// Runs `n_tx` read-only transactions over `clients` threads. When
+  /// `metrics_dump_every` is non-zero, one client emits the database's
+  /// metrics JSON to stderr every that-many of its transactions.
+  TatpResult Run(uint64_t n_tx, uint32_t clients,
+                 uint64_t metrics_dump_every = 0);
 
  private:
   MiniDb* db_;

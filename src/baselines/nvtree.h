@@ -170,8 +170,11 @@ class NVTree {
     }
   }
 
+  ~NVTree() { core::FlushTreeStats(stats_); }
+
   size_t Size() const { return size_; }
   core::TreeOpStats& stats() { return stats_; }
+  const core::TreeOpStats& stats() const { return stats_; }
 
   uint64_t DramBytes() const {
     return inner_.MemoryBytes() + lps_.capacity() * sizeof(LPNode);
@@ -598,9 +601,17 @@ class ConcurrentNVTree : private NVTree<Value, kLeafCap, kLPCap, kInnerCap> {
   }
   bool Erase(Key key) { return Write(key, nullptr, WriteKind::kErase); }
 
-  size_t Size() {
+  size_t Size() const {
     std::shared_lock<std::shared_mutex> l(latch_);
     return approx_size_.load(std::memory_order_relaxed);
+  }
+
+  /// Scan under the shared structure latch (appends to live leaves may or
+  /// may not be observed; splits/rebuilds are excluded).
+  void RangeScan(Key start, size_t limit,
+                 std::vector<std::pair<Key, Value>>* out) {
+    std::shared_lock<std::shared_mutex> l(latch_);
+    Base::RangeScan(start, limit, out);
   }
 
   uint64_t DramBytes() const { return Base::DramBytes(); }
@@ -662,7 +673,7 @@ class ConcurrentNVTree : private NVTree<Value, kLeafCap, kLPCap, kInnerCap> {
     __atomic_store_n(&leaf->lock_word, uint64_t{0}, __ATOMIC_RELEASE);
   }
 
-  std::shared_mutex latch_;
+  mutable std::shared_mutex latch_;
   std::atomic<uint64_t> approx_size_{0};
 };
 

@@ -190,7 +190,10 @@ class WBTree {
   }
 
   size_t Size() const { return size_; }
+  ~WBTree() { core::FlushTreeStats(stats_); }
+
   core::TreeOpStats& stats() { return stats_; }
+  const core::TreeOpStats& stats() const { return stats_; }
   /// Fully SCM-resident: no DRAM footprint beyond the handle itself.
   uint64_t DramBytes() const { return 0; }
   uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }

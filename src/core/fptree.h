@@ -255,7 +255,10 @@ class FPTree {
 
   // --- Introspection ------------------------------------------------------
 
+  ~FPTree() { FlushTreeStats(stats_); }
+
   TreeOpStats& stats() { return stats_; }
+  const TreeOpStats& stats() const { return stats_; }
 
   /// DRAM footprint: inner nodes + transient leaf-group bookkeeping.
   uint64_t DramBytes() const {

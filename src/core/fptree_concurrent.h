@@ -406,6 +406,7 @@ class ConcurrentFPTree {
   uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
   uint64_t last_recovery_nanos() const { return recovery_nanos_; }
   htm::HtmStats& htm_stats() { return htm_.stats(); }
+  const htm::HtmStats& htm_stats() const { return htm_.stats(); }
 
   /// Single-threaded consistency walk (tests; callers must quiesce).
   bool CheckConsistency(std::string* why) const {

@@ -231,10 +231,80 @@ class ConcurrentFPTreeVar {
     return true;
   }
 
+  /// Ordered scan of up to `limit` pairs with key >= start; the leaf-chain
+  /// walk mirrors the fixed-key concurrent tree: each leaf is snapshotted
+  /// under the lock-word/bitmap validation protocol, the whole scan is
+  /// weakly consistent with concurrent writers. Key blobs read from a racy
+  /// snapshot always point into mapped pool memory (the allocator never
+  /// unmaps), so a stale read yields garbage bytes that validation discards.
+  void RangeScan(std::string_view start, size_t limit,
+                 std::vector<std::pair<std::string, Value>>* out) {
+    out->clear();
+    htm::Tx tx(&htm_);
+    LeafNode* leaf = nullptr;
+    for (;;) {
+      tx.Begin();
+      leaf = FindLeafTx(&tx, start);
+      if (!tx.ok() || leaf == nullptr) continue;
+      if (tx.Commit()) break;
+    }
+    std::vector<std::pair<std::string, Value>> in_leaf;
+    // Guard against pathological walks over leaves recycled mid-scan.
+    uint64_t guard = pool_->size() / sizeof(LeafNode) + 2;
+    while (leaf != nullptr && out->size() < limit && guard-- > 0) {
+      for (;;) {
+        if (scm::pmem::Load(&leaf->lock_word) == 1) {
+          SpinBarrier::CpuRelax();
+          continue;
+        }
+        uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        in_leaf.clear();
+        bool torn = false;
+        for (size_t i = 0; i < kLeafCap; ++i) {
+          if (!((bmp >> i) & 1)) continue;
+          scm::ReadScm(&leaf->kv[i], sizeof(KV));
+          scm::PPtr<KeyBlob> pkey;
+          pkey.pool_id = scm::pmem::Load(&leaf->kv[i].pkey.pool_id);
+          pkey.offset = scm::pmem::Load(&leaf->kv[i].pkey.offset);
+          if (pkey.IsNull()) {  // slot mutated under us; snapshot is stale
+            torn = true;
+            break;
+          }
+          const KeyBlob* blob = pkey.get();
+          uint64_t len = scm::pmem::Load(&blob->len);
+          if (len > kMaxVarKeyLen) {  // recycled blob; snapshot is stale
+            torn = true;
+            break;
+          }
+          scm::ReadScm(blob, sizeof(uint64_t) + len);
+          std::string k(blob->bytes, len);
+          if (k >= start) in_leaf.emplace_back(std::move(k),
+                                               leaf->kv[i].value);
+        }
+        // Validate the snapshot: unchanged bitmap and still unlocked.
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (!torn && scm::pmem::Load(&leaf->lock_word) == 0 &&
+            scm::pmem::Load(&leaf->bitmap) == bmp) {
+          break;
+        }
+      }
+      std::sort(in_leaf.begin(), in_leaf.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& p : in_leaf) {
+        if (out->size() >= limit) break;
+        out->push_back(std::move(p));
+      }
+      leaf = leaf->next.get();
+    }
+  }
+
   size_t Size() const { return size_.load(std::memory_order_relaxed); }
   uint64_t DramBytes() const { return arena_.MemoryBytes() + intern_bytes_; }
   uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
   uint64_t last_recovery_nanos() const { return recovery_nanos_; }
+  htm::HtmStats& htm_stats() { return htm_.stats(); }
+  const htm::HtmStats& htm_stats() const { return htm_.stats(); }
 
   bool CheckConsistency(std::string* why) const {
     LeafNode* leaf = proot_->head.get();

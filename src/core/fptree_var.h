@@ -219,7 +219,10 @@ class FPTreeVar {
   }
 
   size_t Size() const { return size_; }
+  ~FPTreeVar() { FlushTreeStats(stats_); }
+
   TreeOpStats& stats() { return stats_; }
+  const TreeOpStats& stats() const { return stats_; }
   uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
   uint64_t last_recovery_nanos() const { return recovery_nanos_; }
 

@@ -181,7 +181,10 @@ class PTree {
   }
 
   size_t Size() const { return size_; }
+  ~PTree() { FlushTreeStats(stats_); }
+
   TreeOpStats& stats() { return stats_; }
+  const TreeOpStats& stats() const { return stats_; }
   uint64_t DramBytes() const { return inner_.MemoryBytes(); }
   uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
   uint64_t last_recovery_nanos() const { return recovery_nanos_; }

@@ -2,9 +2,14 @@
 //
 // Operation counters shared by all single-threaded tree implementations;
 // the benchmarks read these (e.g. in-leaf key probes for Fig. 4).
+//
+// Per-instance counters stay plain (single-writer); tree destructors fold
+// them into a process-wide atomic total via FlushTreeStats() so registry
+// snapshots (src/obs) can report splits/probes after trees are gone.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace fptree {
@@ -19,6 +24,53 @@ struct TreeOpStats {
 
   void Clear() { *this = TreeOpStats{}; }
 };
+
+/// Process-wide totals accumulated from retired (and explicitly flushed)
+/// tree instances. Monotonic, relaxed.
+class GlobalTreeCounters {
+ public:
+  void Add(const TreeOpStats& s) {
+    finds_.fetch_add(s.finds, std::memory_order_relaxed);
+    key_probes_.fetch_add(s.key_probes, std::memory_order_relaxed);
+    leaf_splits_.fetch_add(s.leaf_splits, std::memory_order_relaxed);
+    leaf_deletes_.fetch_add(s.leaf_deletes, std::memory_order_relaxed);
+    rebuilds_.fetch_add(s.rebuilds, std::memory_order_relaxed);
+  }
+
+  TreeOpStats Snapshot() const {
+    TreeOpStats s;
+    s.finds = finds_.load(std::memory_order_relaxed);
+    s.key_probes = key_probes_.load(std::memory_order_relaxed);
+    s.leaf_splits = leaf_splits_.load(std::memory_order_relaxed);
+    s.leaf_deletes = leaf_deletes_.load(std::memory_order_relaxed);
+    s.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Clear() {
+    finds_.store(0, std::memory_order_relaxed);
+    key_probes_.store(0, std::memory_order_relaxed);
+    leaf_splits_.store(0, std::memory_order_relaxed);
+    leaf_deletes_.store(0, std::memory_order_relaxed);
+    rebuilds_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> finds_{0};
+  std::atomic<uint64_t> key_probes_{0};
+  std::atomic<uint64_t> leaf_splits_{0};
+  std::atomic<uint64_t> leaf_deletes_{0};
+  std::atomic<uint64_t> rebuilds_{0};
+};
+
+inline GlobalTreeCounters& GlobalTreeStats() {
+  static GlobalTreeCounters g;
+  return g;
+}
+
+/// Folds a per-instance counter block into the process-wide total. Called by
+/// tree destructors; safe to call more than once only with disjoint deltas.
+inline void FlushTreeStats(const TreeOpStats& s) { GlobalTreeStats().Add(s); }
 
 }  // namespace core
 }  // namespace fptree

@@ -1,11 +1,26 @@
 #include "htm/htm.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace fptree {
 namespace htm {
 
 namespace {
+
+// Registry of live engines plus the folded totals of destroyed ones, so the
+// metrics layer can report process-wide HTM telemetry without threading an
+// engine handle through every call site. Leaked so late destructors are safe.
+struct EngineRegistry {
+  std::mutex mu;
+  std::vector<HtmStats*> live;
+  HtmStatsSnapshot retired;
+
+  static EngineRegistry& Instance() {
+    static EngineRegistry* r = new EngineRegistry;
+    return *r;
+  }
+};
 
 inline void CpuRelax() {
 #if defined(__x86_64__) || defined(__i386__)
@@ -25,9 +40,39 @@ inline void Backoff(int attempt) {
 }  // namespace
 
 HtmEngine::HtmEngine(Backend backend)
-    : backend_(backend), table_(kTableSize) {}
+    : backend_(backend), table_(kTableSize) {
+  EngineRegistry& reg = EngineRegistry::Instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live.push_back(&stats_);
+}
 
-HtmEngine::~HtmEngine() = default;
+HtmEngine::~HtmEngine() {
+  EngineRegistry& reg = EngineRegistry::Instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.retired.Add(stats_);
+  for (size_t i = 0; i < reg.live.size(); ++i) {
+    if (reg.live[i] == &stats_) {
+      reg.live[i] = reg.live.back();
+      reg.live.pop_back();
+      break;
+    }
+  }
+}
+
+HtmStatsSnapshot GlobalHtmStats() {
+  EngineRegistry& reg = EngineRegistry::Instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  HtmStatsSnapshot total = reg.retired;
+  for (const HtmStats* s : reg.live) total.Add(*s);
+  return total;
+}
+
+void ResetGlobalHtmStats() {
+  EngineRegistry& reg = EngineRegistry::Instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.retired = HtmStatsSnapshot{};
+  for (HtmStats* s : reg.live) s->Clear();
+}
 
 Tx::~Tx() { ReleaseFallbackIfHeld(); }
 
@@ -46,10 +91,30 @@ void Tx::ReleaseFallbackIfHeld() {
   }
 }
 
+void Tx::CountAbort(AbortCause cause) {
+  eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  switch (cause) {
+    case AbortCause::kConflict:
+      eng_->stats_.aborts_conflict.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case AbortCause::kCapacity:
+      eng_->stats_.aborts_capacity.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case AbortCause::kExplicit:
+      eng_->stats_.aborts_explicit.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
 void Tx::Begin() {
+  // A still-active doomed attempt means the caller bailed out of the loop
+  // body (tx.ok() was false) without reaching Commit(); count that abort
+  // here so the telemetry sees every failed speculative attempt.
+  if (active_ && doomed_) CountAbort(doom_cause_);
   ReleaseFallbackIfHeld();
   ResetSets();
   doomed_ = false;
+  doom_cause_ = AbortCause::kConflict;
   active_ = true;
   ++attempts_;
 
@@ -87,8 +152,9 @@ void Tx::Begin() {
   rv_ = eng_->clock_.load(std::memory_order_acquire);
 }
 
-void Tx::Doom() {
+void Tx::Doom(AbortCause cause) {
   doomed_ = true;
+  doom_cause_ = cause;
 }
 
 uint64_t Tx::Load(const uint64_t* addr) {
@@ -100,22 +166,26 @@ uint64_t Tx::Load(const uint64_t* addr) {
   for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
     if (it->addr == addr) return it->value;
   }
+  if (reads_.size() + writes_.size() >= HtmEngine::kMaxTracked) {
+    Doom(AbortCause::kCapacity);
+    return 0;
+  }
   std::atomic<uint64_t>& lock = eng_->LockFor(addr);
   uint64_t l1 = lock.load(std::memory_order_acquire);
   if ((l1 & 1) != 0) {
-    Doom();
+    Doom(AbortCause::kConflict);
     return 0;
   }
   uint64_t value = __atomic_load_n(addr, __ATOMIC_ACQUIRE);
   uint64_t l2 = lock.load(std::memory_order_acquire);
   if (l1 != l2 || (l1 >> 1) > rv_) {
-    Doom();
+    Doom(AbortCause::kConflict);
     return value;
   }
   // Detect an engaged fallback quickly so a doomed transaction does not
   // wander stale pointers for long.
   if (eng_->fallback_word_.load(std::memory_order_acquire) != fb_seen_) {
-    Doom();
+    Doom(AbortCause::kConflict);
     return value;
   }
   reads_.push_back(ReadEntry{&lock, l1});
@@ -134,11 +204,15 @@ void Tx::Store(uint64_t* addr, uint64_t value) {
       return;
     }
   }
+  if (reads_.size() + writes_.size() >= HtmEngine::kMaxTracked) {
+    Doom(AbortCause::kCapacity);
+    return;
+  }
   writes_.push_back(WriteEntry{addr, value});
 }
 
 void Tx::UserAbort() {
-  eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  CountAbort(AbortCause::kExplicit);
   ReleaseFallbackIfHeld();
   ResetSets();
   active_ = false;
@@ -161,7 +235,7 @@ bool Tx::Commit() {
     return true;
   }
   if (doomed_) {
-    eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    CountAbort(doom_cause_);
     return false;
   }
 
@@ -169,7 +243,7 @@ bool Tx::Commit() {
     // Read-only transaction: validate the read set and fallback word.
     if (!ValidateReads() ||
         eng_->fallback_word_.load(std::memory_order_acquire) != fb_seen_) {
-      eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      CountAbort(AbortCause::kConflict);
       return false;
     }
     eng_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
@@ -181,7 +255,7 @@ bool Tx::Commit() {
   eng_->inflight_commits_.fetch_add(1, std::memory_order_acq_rel);
   if (eng_->fallback_word_.load(std::memory_order_acquire) != fb_seen_) {
     eng_->inflight_commits_.fetch_sub(1, std::memory_order_acq_rel);
-    eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    CountAbort(AbortCause::kConflict);
     return false;
   }
 
@@ -254,7 +328,7 @@ bool Tx::Commit() {
              std::memory_order_release);
   }
   eng_->inflight_commits_.fetch_sub(1, std::memory_order_acq_rel);
-  eng_->stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  CountAbort(AbortCause::kConflict);
   return false;
 }
 

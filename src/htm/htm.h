@@ -43,18 +43,59 @@ enum class Backend {
   kGlobalLock  ///< every transaction takes one global mutex (ablation)
 };
 
-/// Engine statistics (monotonic, relaxed).
+/// Why a speculative attempt aborted (mirrors the TSX abort-status causes
+/// the paper's §6.3 evaluation breaks down).
+enum class AbortCause {
+  kConflict,  ///< read-set validation / lock-table conflict / fallback engaged
+  kCapacity,  ///< tracked read+write set exceeded the transactional buffer
+  kExplicit   ///< programmer UserAbort() (e.g. leaf already locked)
+};
+
+/// Engine statistics (monotonic, relaxed). `aborts` is the total;
+/// the three cause counters partition it.
 struct HtmStats {
   std::atomic<uint64_t> commits{0};
   std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> aborts_conflict{0};
+  std::atomic<uint64_t> aborts_capacity{0};
+  std::atomic<uint64_t> aborts_explicit{0};
   std::atomic<uint64_t> fallbacks{0};
 
   void Clear() {
     commits.store(0, std::memory_order_relaxed);
     aborts.store(0, std::memory_order_relaxed);
+    aborts_conflict.store(0, std::memory_order_relaxed);
+    aborts_capacity.store(0, std::memory_order_relaxed);
+    aborts_explicit.store(0, std::memory_order_relaxed);
     fallbacks.store(0, std::memory_order_relaxed);
   }
 };
+
+/// Plain-value copy of HtmStats, summable across engines.
+struct HtmStatsSnapshot {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t aborts_conflict = 0;
+  uint64_t aborts_capacity = 0;
+  uint64_t aborts_explicit = 0;
+  uint64_t fallbacks = 0;
+
+  void Add(const HtmStats& s) {
+    commits += s.commits.load(std::memory_order_relaxed);
+    aborts += s.aborts.load(std::memory_order_relaxed);
+    aborts_conflict += s.aborts_conflict.load(std::memory_order_relaxed);
+    aborts_capacity += s.aborts_capacity.load(std::memory_order_relaxed);
+    aborts_explicit += s.aborts_explicit.load(std::memory_order_relaxed);
+    fallbacks += s.fallbacks.load(std::memory_order_relaxed);
+  }
+};
+
+/// Sum over every live HtmEngine plus engines already destroyed. This is
+/// what obs::MetricsRegistry snapshots report as htm.* counters.
+HtmStatsSnapshot GlobalHtmStats();
+
+/// Zeroes the process-wide HTM totals (retired totals and live engines).
+void ResetGlobalHtmStats();
 
 class Tx;
 
@@ -67,6 +108,11 @@ class HtmEngine {
   /// Speculative attempts before taking the fallback lock (the paper lets a
   /// TSX transaction "retry a few times").
   static constexpr int kMaxAttempts = 16;
+  /// Tracked read+write entries before an attempt aborts with
+  /// AbortCause::kCapacity — the software analog of TSX's L1-bounded
+  /// transactional buffer. Tree operations touch a few dozen slots; this
+  /// bound only fires on runaway transactions.
+  static constexpr size_t kMaxTracked = 1 << 16;
 
   explicit HtmEngine(Backend backend = Backend::kTl2);
   ~HtmEngine();
@@ -76,6 +122,7 @@ class HtmEngine {
 
   Backend backend() const { return backend_; }
   HtmStats& stats() { return stats_; }
+  const HtmStats& stats() const { return stats_; }
 
  private:
   friend class Tx;
@@ -171,7 +218,8 @@ class Tx {
   };
 
   void ResetSets();
-  void Doom();                  // internal conflict: mark attempt dead
+  void Doom(AbortCause cause);  // internal conflict: mark attempt dead
+  void CountAbort(AbortCause cause);
   void ReleaseFallbackIfHeld();
   bool ValidateReads() const;
 
@@ -184,6 +232,7 @@ class Tx {
   bool active_ = false;
   bool doomed_ = false;
   bool in_fallback_ = false;
+  AbortCause doom_cause_ = AbortCause::kConflict;
 };
 
 }  // namespace htm

@@ -1,0 +1,139 @@
+#include "index/kv_index.h"
+
+#include <algorithm>
+
+namespace fptree {
+namespace index {
+
+IndexRegistry& IndexRegistry::Instance() {
+  static IndexRegistry* r = new IndexRegistry;
+  return *r;
+}
+
+void IndexRegistry::RegisterFixed(const std::string& name, FixedFactory f) {
+  fixed_[name] = std::move(f);
+}
+
+void IndexRegistry::RegisterVar(const std::string& name, VarFactory f) {
+  var_[name] = std::move(f);
+}
+
+std::unique_ptr<KVIndex> IndexRegistry::MakeFixed(const std::string& name,
+                                                  scm::Pool* pool,
+                                                  bool locked) const {
+  auto it = fixed_.find(name);
+  return it == fixed_.end() ? nullptr : it->second(pool, locked);
+}
+
+std::unique_ptr<VarIndex> IndexRegistry::MakeVar(const std::string& name,
+                                                 scm::Pool* pool,
+                                                 bool locked) const {
+  auto it = var_.find(name);
+  return it == var_.end() ? nullptr : it->second(pool, locked);
+}
+
+std::vector<std::string> IndexRegistry::FixedNames() const {
+  std::vector<std::string> names;
+  names.reserve(fixed_.size());
+  for (const auto& [name, f] : fixed_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> IndexRegistry::VarNames() const {
+  std::vector<std::string> names;
+  names.reserve(var_.size());
+  for (const auto& [name, f] : var_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> ListFixedIndexNames() {
+  return IndexRegistry::Instance().FixedNames();
+}
+
+std::vector<std::string> ListVarIndexNames() {
+  return IndexRegistry::Instance().VarNames();
+}
+
+std::unique_ptr<KVIndex> MakeFixedIndex(const std::string& name,
+                                        scm::Pool* pool, bool locked) {
+  return IndexRegistry::Instance().MakeFixed(name, pool, locked);
+}
+
+std::unique_ptr<VarIndex> MakeVarIndex(const std::string& name,
+                                       scm::Pool* pool, bool locked) {
+  return IndexRegistry::Instance().MakeVar(name, pool, locked);
+}
+
+namespace {
+
+// Static registrations. These live in the same translation unit as
+// MakeFixedIndex/MakeVarIndex so linking either factory function is
+// guaranteed to pull the registrations in (no dead-stripped statics).
+
+template <typename TreeT>
+std::unique_ptr<KVIndex> MakeFixedAdapter(scm::Pool* pool, bool locked) {
+  return std::make_unique<FixedAdapter<TreeT>>(locked, pool);
+}
+
+template <typename TreeT>
+std::unique_ptr<VarIndex> MakeVarAdapter(scm::Pool* pool, bool locked) {
+  return std::make_unique<VarAdapter<TreeT>>(locked, pool);
+}
+
+struct Registrations {
+  Registrations() {
+    IndexRegistry& reg = IndexRegistry::Instance();
+
+    reg.RegisterFixed("fptree", MakeFixedAdapter<core::FPTree<>>);
+    reg.RegisterFixed(
+        "fptree-nogroups",
+        MakeFixedAdapter<core::FPTree<uint64_t, 56, 4096, false>>);
+    reg.RegisterFixed("ptree", MakeFixedAdapter<core::PTree<>>);
+    reg.RegisterFixed("wbtree", MakeFixedAdapter<baselines::WBTree<>>);
+    reg.RegisterFixed("nvtree", MakeFixedAdapter<baselines::NVTree<>>);
+    reg.RegisterFixed("stx", [](scm::Pool*, bool locked) {
+      return std::unique_ptr<KVIndex>(
+          std::make_unique<FixedAdapter<baselines::STXTree<>>>(locked));
+    });
+    reg.RegisterFixed("fptree-c", [](scm::Pool* pool, bool) {
+      return std::unique_ptr<KVIndex>(
+          std::make_unique<ConcurrentAdapter<core::ConcurrentFPTree<>,
+                                             KVIndex, uint64_t>>(pool));
+    });
+    reg.RegisterFixed("fptree-c-lock", [](scm::Pool* pool, bool) {
+      return std::unique_ptr<KVIndex>(
+          std::make_unique<ConcurrentAdapter<core::ConcurrentFPTree<>,
+                                             KVIndex, uint64_t>>(
+              pool, htm::Backend::kGlobalLock));
+    });
+    reg.RegisterFixed("nvtree-c", [](scm::Pool* pool, bool) {
+      return std::unique_ptr<KVIndex>(
+          std::make_unique<ConcurrentAdapter<baselines::ConcurrentNVTree<>,
+                                             KVIndex, uint64_t>>(pool));
+    });
+
+    reg.RegisterVar("fptree-var", MakeVarAdapter<core::FPTreeVar<>>);
+    reg.RegisterVar(
+        "ptree-var",
+        MakeVarAdapter<core::FPTreeVar<uint64_t, 32, 256, false>>);
+    reg.RegisterVar("stx-var", MakeVarAdapter<STXVarTree>);
+    reg.RegisterVar("fptree-c-var", [](scm::Pool* pool, bool) {
+      return std::unique_ptr<VarIndex>(
+          std::make_unique<ConcurrentAdapter<core::ConcurrentFPTreeVar<>,
+                                             VarIndex, std::string_view>>(
+              pool));
+    });
+    reg.RegisterVar("hashmap", [](scm::Pool*, bool) {
+      return std::unique_ptr<VarIndex>(std::make_unique<ShardedHashMap>());
+    });
+  }
+};
+
+const Registrations g_registrations;
+
+}  // namespace
+
+}  // namespace index
+}  // namespace fptree

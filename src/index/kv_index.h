@@ -1,9 +1,18 @@
 // Copyright (c) FPTree reproduction authors.
 //
-// Uniform index interfaces and adapters. The end-to-end applications
-// (kvcache, minidb) and the benchmark harnesses hold trees through these so
-// every tree in the paper's evaluation can be swapped in by name, exactly
-// as the paper swaps trees into memcached and its prototype database.
+// Uniform index interfaces and adapters (index API v2). The end-to-end
+// applications (kvcache, minidb) and the benchmark harnesses hold trees
+// through these so every tree in the paper's evaluation can be swapped in
+// by name, exactly as the paper swaps trees into memcached and its
+// prototype database.
+//
+// v2 additions:
+//  * RangeScan(start, limit, cb) — ordered scans through the interface.
+//  * Stats() — a per-instance obs::Snapshot (size/bytes gauges, tree op
+//    counters, HTM telemetry where the tree has them).
+//  * Implementations self-register in IndexRegistry (kv_index.cc);
+//    ListFixedIndexNames()/ListVarIndexNames() enumerate them for
+//    `--tree=all` style drivers.
 
 #pragma once
 
@@ -13,6 +22,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "baselines/nvtree.h"
 #include "baselines/stxtree.h"
@@ -22,6 +32,7 @@
 #include "core/fptree_concurrent_var.h"
 #include "core/fptree_var.h"
 #include "core/ptree.h"
+#include "obs/metrics.h"
 #include "scm/pool.h"
 #include "util/hash.h"
 
@@ -31,17 +42,27 @@ namespace index {
 /// \brief Fixed-size (8-byte) key index.
 class KVIndex {
  public:
+  /// Scan visitor; return false to stop early.
+  using ScanCallback = std::function<bool(uint64_t key, uint64_t value)>;
+
   virtual ~KVIndex() = default;
 
   virtual bool Find(uint64_t key, uint64_t* value) = 0;
   virtual bool Insert(uint64_t key, uint64_t value) = 0;
   virtual bool Update(uint64_t key, uint64_t value) = 0;
   virtual bool Erase(uint64_t key) = 0;
-  virtual size_t Size() = 0;
+  /// Ordered visit of up to `limit` pairs with key >= start; returns the
+  /// number of pairs delivered. Unordered indexes return 0.
+  virtual size_t RangeScan(uint64_t start, size_t limit,
+                           const ScanCallback& cb) = 0;
+  virtual size_t Size() const = 0;
   virtual uint64_t DramBytes() const = 0;
   virtual uint64_t ScmBytes() const = 0;
   /// Nanoseconds the constructor spent on recovery (0 for transient trees).
   virtual uint64_t RecoveryNanos() const { return 0; }
+  /// Per-instance metrics snapshot (index.* gauges, tree.*/htm.* counters
+  /// where the underlying tree keeps them).
+  virtual obs::Snapshot Stats() const = 0;
   /// True when the implementation is internally thread-safe.
   virtual bool concurrent() const { return false; }
 };
@@ -49,19 +70,99 @@ class KVIndex {
 /// \brief Variable-size (string) key index.
 class VarIndex {
  public:
+  using ScanCallback = std::function<bool(std::string_view key,
+                                          uint64_t value)>;
+
   virtual ~VarIndex() = default;
 
   virtual bool Find(std::string_view key, uint64_t* value) = 0;
   virtual bool Insert(std::string_view key, uint64_t value) = 0;
   virtual bool Update(std::string_view key, uint64_t value) = 0;
   virtual bool Erase(std::string_view key) = 0;
-  virtual size_t Size() = 0;
+  virtual size_t RangeScan(std::string_view start, size_t limit,
+                           const ScanCallback& cb) = 0;
+  virtual size_t Size() const = 0;
   virtual uint64_t DramBytes() const = 0;
   virtual uint64_t ScmBytes() const = 0;
+  virtual uint64_t RecoveryNanos() const { return 0; }
+  virtual obs::Snapshot Stats() const = 0;
   virtual bool concurrent() const { return false; }
 };
 
 namespace internal {
+
+/// Builds the per-instance metrics snapshot from whatever the tree exposes;
+/// feature-detected so one helper serves every adapter.
+template <typename TreeT>
+obs::Snapshot TreeSnapshot(const TreeT& t) {
+  obs::Snapshot s;
+  s.gauges["index.size"] = t.Size();
+  s.gauges["index.dram_bytes"] = t.DramBytes();
+  if constexpr (requires { t.ScmBytes(); }) {
+    s.gauges["index.scm_bytes"] = t.ScmBytes();
+  } else {
+    s.gauges["index.scm_bytes"] = 0;
+  }
+  if constexpr (requires { t.last_recovery_nanos(); }) {
+    s.gauges["index.recovery_nanos"] = t.last_recovery_nanos();
+  }
+  if constexpr (requires { t.stats(); }) {
+    const core::TreeOpStats& st = t.stats();
+    s.counters["tree.finds"] = st.finds;
+    s.counters["tree.key_probes"] = st.key_probes;
+    s.counters["tree.leaf_splits"] = st.leaf_splits;
+    s.counters["tree.leaf_deletes"] = st.leaf_deletes;
+    s.counters["tree.rebuilds"] = st.rebuilds;
+  }
+  if constexpr (requires { t.htm_stats(); }) {
+    htm::HtmStatsSnapshot h;
+    h.Add(t.htm_stats());
+    s.counters["htm.commits"] = h.commits;
+    s.counters["htm.aborts"] = h.aborts;
+    s.counters["htm.aborts_conflict"] = h.aborts_conflict;
+    s.counters["htm.aborts_capacity"] = h.aborts_capacity;
+    s.counters["htm.aborts_explicit"] = h.aborts_explicit;
+    s.counters["htm.fallbacks"] = h.fallbacks;
+  }
+  return s;
+}
+
+/// Drains a tree's vector-based RangeScan into a visitor callback.
+template <typename TreeT, typename KeyArg, typename Callback>
+size_t ScanInto(TreeT& tree, KeyArg start, size_t limit,
+                const Callback& cb) {
+  if constexpr (requires(std::vector<std::pair<uint64_t, uint64_t>>* out) {
+                  tree.RangeScan(start, limit, out);
+                }) {
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    tree.RangeScan(start, limit, &out);
+    size_t n = 0;
+    for (const auto& [k, v] : out) {
+      ++n;
+      if (!cb(k, v)) break;
+    }
+    return n;
+  } else if constexpr (requires(
+                           std::vector<std::pair<std::string, uint64_t>>*
+                               out) {
+                         tree.RangeScan(start, limit, out);
+                       }) {
+    std::vector<std::pair<std::string, uint64_t>> out;
+    tree.RangeScan(start, limit, &out);
+    size_t n = 0;
+    for (const auto& [k, v] : out) {
+      ++n;
+      if (!cb(std::string_view(k), v)) break;
+    }
+    return n;
+  } else {
+    (void)tree;
+    (void)start;
+    (void)limit;
+    (void)cb;
+    return 0;
+  }
+}
 
 /// Wraps a single-threaded tree; optionally adds a global read/write lock
 /// so concurrent applications can drive it (the paper does exactly this in
@@ -93,8 +194,15 @@ class LockedAdapter {
     std::unique_lock<std::shared_mutex> l(mu_);
     return tree_.Erase(key);
   }
+  template <typename Callback>
+  size_t RangeScan(KeyArg start, size_t limit, const Callback& cb) {
+    if (!lock_) return ScanInto(tree_, start, limit, cb);
+    std::shared_lock<std::shared_mutex> l(mu_);
+    return ScanInto(tree_, start, limit, cb);
+  }
 
   TreeT& tree() { return tree_; }
+  const TreeT& tree() const { return tree_; }
 
  private:
   bool lock_;
@@ -122,16 +230,28 @@ class FixedAdapter : public KVIndex {
     return impl_.Update(key, value);
   }
   bool Erase(uint64_t key) override { return impl_.Erase(key); }
-  size_t Size() override { return impl_.tree().Size(); }
-  uint64_t DramBytes() const override {
-    return const_cast<FixedAdapter*>(this)->impl_.tree().DramBytes();
+  size_t RangeScan(uint64_t start, size_t limit,
+                   const ScanCallback& cb) override {
+    return impl_.RangeScan(start, limit, cb);
   }
+  size_t Size() const override { return impl_.tree().Size(); }
+  uint64_t DramBytes() const override { return impl_.tree().DramBytes(); }
   uint64_t ScmBytes() const override {
-    if constexpr (requires(TreeT& t) { t.ScmBytes(); }) {
-      return const_cast<FixedAdapter*>(this)->impl_.tree().ScmBytes();
+    if constexpr (requires(const TreeT& t) { t.ScmBytes(); }) {
+      return impl_.tree().ScmBytes();
     } else {
       return 0;  // fully transient tree
     }
+  }
+  uint64_t RecoveryNanos() const override {
+    if constexpr (requires(const TreeT& t) { t.last_recovery_nanos(); }) {
+      return impl_.tree().last_recovery_nanos();
+    } else {
+      return 0;
+    }
+  }
+  obs::Snapshot Stats() const override {
+    return internal::TreeSnapshot(impl_.tree());
   }
   bool concurrent() const override { return locked_; }
 
@@ -160,12 +280,22 @@ class VarAdapter : public VarIndex {
     return impl_.Update(key, value);
   }
   bool Erase(std::string_view key) override { return impl_.Erase(key); }
-  size_t Size() override { return impl_.tree().Size(); }
-  uint64_t DramBytes() const override {
-    return const_cast<VarAdapter*>(this)->impl_.tree().DramBytes();
+  size_t RangeScan(std::string_view start, size_t limit,
+                   const ScanCallback& cb) override {
+    return impl_.RangeScan(start, limit, cb);
   }
-  uint64_t ScmBytes() const override {
-    return const_cast<VarAdapter*>(this)->impl_.tree().ScmBytes();
+  size_t Size() const override { return impl_.tree().Size(); }
+  uint64_t DramBytes() const override { return impl_.tree().DramBytes(); }
+  uint64_t ScmBytes() const override { return impl_.tree().ScmBytes(); }
+  uint64_t RecoveryNanos() const override {
+    if constexpr (requires(const TreeT& t) { t.last_recovery_nanos(); }) {
+      return impl_.tree().last_recovery_nanos();
+    } else {
+      return 0;
+    }
+  }
+  obs::Snapshot Stats() const override {
+    return internal::TreeSnapshot(impl_.tree());
   }
   bool concurrent() const override { return locked_; }
 
@@ -194,9 +324,23 @@ class ConcurrentAdapter : public Base {
     return tree_.Update(key, value);
   }
   bool Erase(KeyArg key) override { return tree_.Erase(key); }
-  size_t Size() override { return tree_.Size(); }
+  size_t RangeScan(KeyArg start, size_t limit,
+                   const typename Base::ScanCallback& cb) override {
+    return internal::ScanInto(tree_, start, limit, cb);
+  }
+  size_t Size() const override { return tree_.Size(); }
   uint64_t DramBytes() const override { return tree_.DramBytes(); }
   uint64_t ScmBytes() const override { return tree_.ScmBytes(); }
+  uint64_t RecoveryNanos() const override {
+    if constexpr (requires(const TreeT& t) { t.last_recovery_nanos(); }) {
+      return tree_.last_recovery_nanos();
+    } else {
+      return 0;
+    }
+  }
+  obs::Snapshot Stats() const override {
+    return internal::TreeSnapshot(tree_);
+  }
   bool concurrent() const override { return true; }
 
   TreeT& tree() { return tree_; }
@@ -206,49 +350,6 @@ class ConcurrentAdapter : public Base {
 };
 
 // Update() on the plain concurrent NV-Tree adapter works out of the box.
-
-/// Creates a fixed-key index by tree name. Pool-backed trees attach to
-/// `pool`; "stx" ignores it. When `locked` is set, single-threaded trees
-/// get a global read/write lock (the paper's memcached arrangement).
-/// Names: fptree, fptree-nogroups, ptree, wbtree, nvtree, stx, fptree-c,
-/// fptree-c-lock (global-lock HTM ablation), nvtree-c.
-inline std::unique_ptr<KVIndex> MakeFixedIndex(const std::string& name,
-                                               scm::Pool* pool,
-                                               bool locked = false) {
-  if (name == "fptree") {
-    return std::make_unique<FixedAdapter<core::FPTree<>>>(locked, pool);
-  }
-  if (name == "fptree-nogroups") {
-    return std::make_unique<
-        FixedAdapter<core::FPTree<uint64_t, 56, 4096, false>>>(locked, pool);
-  }
-  if (name == "ptree") {
-    return std::make_unique<FixedAdapter<core::PTree<>>>(locked, pool);
-  }
-  if (name == "wbtree") {
-    return std::make_unique<FixedAdapter<baselines::WBTree<>>>(locked, pool);
-  }
-  if (name == "nvtree") {
-    return std::make_unique<FixedAdapter<baselines::NVTree<>>>(locked, pool);
-  }
-  if (name == "stx") {
-    return std::make_unique<FixedAdapter<baselines::STXTree<>>>(locked);
-  }
-  if (name == "fptree-c") {
-    return std::make_unique<ConcurrentAdapter<core::ConcurrentFPTree<>,
-                                              KVIndex, uint64_t>>(pool);
-  }
-  if (name == "fptree-c-lock") {
-    return std::make_unique<ConcurrentAdapter<core::ConcurrentFPTree<>,
-                                              KVIndex, uint64_t>>(
-        pool, htm::Backend::kGlobalLock);
-  }
-  if (name == "nvtree-c") {
-    return std::make_unique<ConcurrentAdapter<baselines::ConcurrentNVTree<>,
-                                              KVIndex, uint64_t>>(pool);
-  }
-  return nullptr;
-}
 
 /// Transient STX B+-Tree over std::string keys (STXTreeVar).
 class STXVarTree {
@@ -265,6 +366,10 @@ class STXVarTree {
     return tree_.Update(std::string(k), v);
   }
   bool Erase(std::string_view k) { return tree_.Erase(std::string(k)); }
+  void RangeScan(std::string_view start, size_t limit,
+                 std::vector<std::pair<std::string, uint64_t>>* out) {
+    tree_.RangeScan(std::string(start), limit, out);
+  }
   size_t Size() const { return tree_.Size(); }
   uint64_t DramBytes() const { return tree_.DramBytes(); }
   uint64_t ScmBytes() const { return 0; }
@@ -305,7 +410,11 @@ class ShardedHashMap : public VarIndex {
     std::unique_lock<std::shared_mutex> l(s.mu);
     return s.map.erase(std::string(key)) == 1;
   }
-  size_t Size() override {
+  size_t RangeScan(std::string_view /*start*/, size_t /*limit*/,
+                   const ScanCallback& /*cb*/) override {
+    return 0;  // unordered index: ordered scans unsupported
+  }
+  size_t Size() const override {
     size_t n = 0;
     for (auto& s : shards_) {
       std::shared_lock<std::shared_mutex> l(s.mu);
@@ -319,6 +428,13 @@ class ShardedHashMap : public VarIndex {
     return n;
   }
   uint64_t ScmBytes() const override { return 0; }
+  obs::Snapshot Stats() const override {
+    obs::Snapshot s;
+    s.gauges["index.size"] = Size();
+    s.gauges["index.dram_bytes"] = DramBytes();
+    s.gauges["index.scm_bytes"] = 0;
+    return s;
+  }
   bool concurrent() const override { return true; }
 
  private:
@@ -332,31 +448,58 @@ class ShardedHashMap : public VarIndex {
   mutable Shard shards_[kShards];
 };
 
+// ---------------------------------------------------------------------------
+// Self-registering factory (definitions in kv_index.cc).
+
+/// Registry of index constructors keyed by tree name. Implementations
+/// register at static-init time from kv_index.cc; callers go through
+/// MakeFixedIndex()/MakeVarIndex() or enumerate with the List functions.
+class IndexRegistry {
+ public:
+  using FixedFactory =
+      std::function<std::unique_ptr<KVIndex>(scm::Pool* pool, bool locked)>;
+  using VarFactory =
+      std::function<std::unique_ptr<VarIndex>(scm::Pool* pool, bool locked)>;
+
+  static IndexRegistry& Instance();
+
+  void RegisterFixed(const std::string& name, FixedFactory f);
+  void RegisterVar(const std::string& name, VarFactory f);
+
+  std::unique_ptr<KVIndex> MakeFixed(const std::string& name, scm::Pool* pool,
+                                     bool locked) const;
+  std::unique_ptr<VarIndex> MakeVar(const std::string& name, scm::Pool* pool,
+                                    bool locked) const;
+
+  /// Sorted registered names.
+  std::vector<std::string> FixedNames() const;
+  std::vector<std::string> VarNames() const;
+
+ private:
+  IndexRegistry() = default;
+  std::unordered_map<std::string, FixedFactory> fixed_;
+  std::unordered_map<std::string, VarFactory> var_;
+};
+
+/// Sorted names of every registered fixed-key index (for --tree=all).
+std::vector<std::string> ListFixedIndexNames();
+
+/// Sorted names of every registered var-key index.
+std::vector<std::string> ListVarIndexNames();
+
+/// Creates a fixed-key index by tree name; nullptr for unknown names.
+/// Pool-backed trees attach to `pool`; "stx" ignores it. When `locked` is
+/// set, single-threaded trees get a global read/write lock (the paper's
+/// memcached arrangement). Registered names: fptree, fptree-nogroups,
+/// ptree, wbtree, nvtree, stx, fptree-c, fptree-c-lock (global-lock HTM
+/// ablation), nvtree-c.
+std::unique_ptr<KVIndex> MakeFixedIndex(const std::string& name,
+                                        scm::Pool* pool, bool locked = false);
+
 /// Creates a var-key index by name: fptree-var, ptree-var, stx-var,
 /// fptree-c-var, hashmap.
-inline std::unique_ptr<VarIndex> MakeVarIndex(const std::string& name,
-                                              scm::Pool* pool,
-                                              bool locked = false) {
-  if (name == "fptree-var") {
-    return std::make_unique<VarAdapter<core::FPTreeVar<>>>(locked, pool);
-  }
-  if (name == "ptree-var") {
-    return std::make_unique<
-        VarAdapter<core::FPTreeVar<uint64_t, 32, 256, false>>>(locked, pool);
-  }
-  if (name == "stx-var") {
-    return std::make_unique<VarAdapter<STXVarTree>>(locked, pool);
-  }
-  if (name == "fptree-c-var") {
-    return std::make_unique<
-        ConcurrentAdapter<core::ConcurrentFPTreeVar<>, VarIndex,
-                          std::string_view>>(pool);
-  }
-  if (name == "hashmap") {
-    return std::make_unique<ShardedHashMap>();
-  }
-  return nullptr;
-}
+std::unique_ptr<VarIndex> MakeVarIndex(const std::string& name,
+                                       scm::Pool* pool, bool locked = false);
 
 }  // namespace index
 }  // namespace fptree

@@ -1,0 +1,249 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "core/tree_stats.h"
+#include "htm/htm.h"
+#include "scm/stats.h"
+
+namespace fptree {
+namespace obs {
+
+namespace {
+
+void AppendKey(std::string* out, const std::string& key) {
+  out->push_back('"');
+  *out += key;
+  *out += "\":";
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendHistogram(std::string* out, const HistogramSummary& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%" PRIu64 ",\"avg_ns\":%.1f,\"min_ns\":%" PRIu64
+                ",\"p50_ns\":%" PRIu64 ",\"p95_ns\":%" PRIu64
+                ",\"p99_ns\":%" PRIu64 ",\"max_ns\":%" PRIu64 "}",
+                h.count, h.avg_ns, h.min_ns, h.p50_ns, h.p95_ns, h.p99_ns,
+                h.max_ns);
+  *out += buf;
+}
+
+// Groups dotted names ("scm.fences") into nested objects; bare names go to
+// the top level. Values are pre-serialized JSON fragments.
+void AppendGrouped(std::string* out,
+                   const std::vector<std::pair<std::string, std::string>>& kv,
+                   bool* first_out) {
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      groups;
+  for (const auto& [name, value] : kv) {
+    size_t dot = name.find('.');
+    if (dot == std::string::npos) {
+      groups[""].emplace_back(name, value);
+    } else {
+      groups[name.substr(0, dot)].emplace_back(name.substr(dot + 1), value);
+    }
+  }
+  for (const auto& [group, entries] : groups) {
+    if (group.empty()) {
+      for (const auto& [leaf, value] : entries) {
+        if (!*first_out) out->push_back(',');
+        *first_out = false;
+        AppendKey(out, leaf);
+        *out += value;
+      }
+      continue;
+    }
+    if (!*first_out) out->push_back(',');
+    *first_out = false;
+    AppendKey(out, group);
+    out->push_back('{');
+    bool first_in_group = true;
+    for (const auto& [leaf, value] : entries) {
+      if (!first_in_group) out->push_back(',');
+      first_in_group = false;
+      AppendKey(out, leaf);
+      *out += value;
+    }
+    out->push_back('}');
+  }
+}
+
+}  // namespace
+
+HistogramSummary HistogramSummary::From(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.sum_ns = h.sum();
+  s.avg_ns = h.Average();
+  s.min_ns = h.min();
+  s.p50_ns = h.Percentile(50);
+  s.p95_ns = h.Percentile(95);
+  s.p99_ns = h.Percentile(99);
+  s.max_ns = h.max();
+  return s;
+}
+
+Snapshot Snapshot::DeltaSince(const Snapshot& base) const {
+  Snapshot d = *this;
+  for (auto& [name, v] : d.counters) {
+    auto it = base.counters.find(name);
+    if (it != base.counters.end()) v = v >= it->second ? v - it->second : 0;
+  }
+  for (auto& [name, h] : d.histograms) {
+    auto it = base.histograms.find(name);
+    if (it == base.histograms.end()) continue;
+    h.count = h.count >= it->second.count ? h.count - it->second.count : 0;
+    h.sum_ns =
+        h.sum_ns >= it->second.sum_ns ? h.sum_ns - it->second.sum_ns : 0;
+    h.avg_ns = h.count == 0 ? 0.0
+                            : static_cast<double>(h.sum_ns) /
+                                  static_cast<double>(h.count);
+  }
+  return d;
+}
+
+std::string Snapshot::ToJson(const std::string& tag) const {
+  std::string out = "{";
+  bool first = true;
+  if (!tag.empty()) {
+    AppendKey(&out, "bench");
+    out.push_back('"');
+    out += tag;
+    out += "\"";
+    first = false;
+  }
+
+  std::vector<std::pair<std::string, std::string>> kv;
+  for (const auto& [name, v] : counters) {
+    std::string s;
+    AppendU64(&s, v);
+    kv.emplace_back(name, s);
+  }
+  // Gauges and counters share the numeric namespace; suffix nothing, they
+  // are disjoint by convention (gauges are size/bytes style names).
+  for (const auto& [name, v] : gauges) {
+    std::string s;
+    AppendU64(&s, v);
+    kv.emplace_back(name, s);
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string s;
+    AppendHistogram(&s, h);
+    kv.emplace_back("latency." + name, s);
+  }
+  std::sort(kv.begin(), kv.end());
+  AppendGrouped(&out, kv, &first);
+  out.push_back('}');
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry;
+  return *g;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::SetGauge(const std::string& name,
+                               std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+void MetricsRegistry::RemoveGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.erase(name);
+}
+
+Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+    for (const auto& [name, fn] : gauges_) snap.gauges[name] = fn();
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms[name] = HistogramSummary::From(h->Snap());
+    }
+  }
+
+  // Absorbed subsystem telemetry.
+  scm::StatsCounters s = scm::AggregatedStats();
+  snap.counters["scm.read_misses"] = s.scm_read_misses;
+  snap.counters["scm.read_hits"] = s.scm_read_hits;
+  snap.counters["scm.flushed_lines"] = s.flushed_lines;
+  snap.counters["scm.fences"] = s.fences;
+  snap.counters["scm.allocations"] = s.allocations;
+  snap.counters["scm.deallocations"] = s.deallocations;
+
+  htm::HtmStatsSnapshot h = htm::GlobalHtmStats();
+  snap.counters["htm.commits"] = h.commits;
+  snap.counters["htm.aborts"] = h.aborts;
+  snap.counters["htm.aborts_conflict"] = h.aborts_conflict;
+  snap.counters["htm.aborts_capacity"] = h.aborts_capacity;
+  snap.counters["htm.aborts_explicit"] = h.aborts_explicit;
+  snap.counters["htm.fallbacks"] = h.fallbacks;
+
+  core::TreeOpStats t = core::GlobalTreeStats().Snapshot();
+  snap.counters["tree.finds"] = t.finds;
+  snap.counters["tree.key_probes"] = t.key_probes;
+  snap.counters["tree.leaf_splits"] = t.leaf_splits;
+  snap.counters["tree.leaf_deletes"] = t.leaf_deletes;
+  snap.counters["tree.rebuilds"] = t.rebuilds;
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) c->Reset();
+    for (auto& [name, h] : histograms_) h->Reset();
+  }
+  scm::ResetAggregatedStats();
+  htm::ResetGlobalHtmStats();
+  core::GlobalTreeStats().Clear();
+}
+
+void SetSampleInterval(uint32_t interval) {
+  uint32_t mask;
+  if (interval == 0) {
+    mask = UINT32_MAX;
+  } else {
+    uint32_t pow2 = 1;
+    while (pow2 < interval && pow2 < (1u << 30)) pow2 <<= 1;
+    mask = pow2 - 1;
+  }
+  SamplingMaskWord().store(mask, std::memory_order_relaxed);
+}
+
+uint32_t SampleInterval() {
+  uint32_t mask = SamplingMaskWord().load(std::memory_order_relaxed);
+  return mask == UINT32_MAX ? 0 : mask + 1;
+}
+
+std::string GlobalJson(const std::string& tag) {
+  return MetricsRegistry::Global().TakeSnapshot().ToJson(tag);
+}
+
+}  // namespace obs
+}  // namespace fptree

@@ -1,0 +1,168 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Unified observability: one process-wide registry of named counters,
+// gauges, and latency histograms, exportable as JSON snapshots.
+//
+// Design rules (ROADMAP "production-scale" discipline):
+//  * Counters are monotonic, relaxed atomics — cheap enough for hot paths.
+//  * Gauges are pull-based callbacks sampled at snapshot time (sizes,
+//    byte totals), so idle registries cost nothing.
+//  * Latency histograms are mutex-guarded util/histogram.h instances fed by
+//    *sampled* operations: the per-op cost is a single branch on a cached
+//    sampling mask when sampling is off (see ShouldSample()).
+//  * TakeSnapshot() folds in the subsystem telemetry that predates this
+//    registry — scm::AggregatedStats() (scm.*), htm::GlobalHtmStats()
+//    (htm.*) and core::GlobalTreeStats() (tree.*) — so one call yields the
+//    whole observable state of the process.
+//
+// Names use dotted paths ("scm.flushed_lines", "latency.find"); JSON output
+// nests on the first dot.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace fptree {
+namespace obs {
+
+/// Monotonic counter. Pointer-stable once created in a registry: fetch it
+/// once, keep the pointer, Add() from any thread.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Thread-safe wrapper around the log-bucketed Histogram. Callers only reach
+/// here for sampled operations, so a mutex is fine.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    h_.Add(ns);
+  }
+  void Merge(const Histogram& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    h_.Merge(other);
+  }
+  Histogram Snap() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return h_;
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    h_.Clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram h_;
+};
+
+/// Fixed-size digest of a histogram, cheap to copy into snapshots.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  double avg_ns = 0.0;
+  uint64_t min_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+
+  static HistogramSummary From(const Histogram& h);
+};
+
+/// Point-in-time copy of every metric. Counters and histograms support
+/// subtraction (DeltaSince) for per-phase reporting; gauges are
+/// instantaneous and taken from the newer snapshot as-is.
+struct Snapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Counters: this - base (clamped at 0). Gauges: from this. Histograms:
+  /// count/sum subtracted; percentiles kept from this (log-bucket
+  /// percentiles do not subtract meaningfully).
+  Snapshot DeltaSince(const Snapshot& base) const;
+
+  /// One-line JSON object, nested on the first dot of each metric name.
+  /// `tag` (if non-empty) is emitted as a leading "bench" field.
+  std::string ToJson(const std::string& tag = "") const;
+};
+
+/// The process-wide metrics registry.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Finds or creates. Returned pointers stay valid for process lifetime.
+  Counter* GetCounter(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Registers (or replaces) a pull-based gauge.
+  void SetGauge(const std::string& name, std::function<uint64_t()> fn);
+  void RemoveGauge(const std::string& name);
+
+  /// Copies every metric, including the scm.*, htm.* and tree.* subsystem
+  /// totals this registry absorbs.
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes counters and histograms here and in the absorbed subsystems
+  /// (scm thread stats, HTM engines, global tree counters). Gauges are
+  /// untouched. Call at quiescent points only.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::function<uint64_t()>> gauges_;
+};
+
+// ---------------------------------------------------------------------------
+// Sampling control for latency recording.
+//
+// The interval is global and rounded up to a power of two so the hot path is
+// `(n++ & mask) == 0`. Interval 0 disables sampling entirely: ShouldSample()
+// is then a single predictable branch on a relaxed load.
+
+/// Sets the sampling interval: every `interval`-th operation is timed.
+/// 0 disables sampling; other values round up to a power of two.
+void SetSampleInterval(uint32_t interval);
+
+/// Current (rounded) interval; 0 when disabled.
+uint32_t SampleInterval();
+
+inline std::atomic<uint32_t>& SamplingMaskWord() {
+  static std::atomic<uint32_t> mask{63};  // default: every 64th op
+  return mask;
+}
+
+/// True if this operation should be timed. One relaxed load + one branch
+/// when sampling is off.
+inline bool ShouldSample() {
+  uint32_t mask = SamplingMaskWord().load(std::memory_order_relaxed);
+  if (mask == UINT32_MAX) return false;  // disabled
+  static thread_local uint32_t n = 0;
+  return (n++ & mask) == 0;
+}
+
+/// Convenience: snapshot the global registry and serialize.
+std::string GlobalJson(const std::string& tag = "");
+
+}  // namespace obs
+}  // namespace fptree

@@ -3,18 +3,23 @@
 // Per-thread counters of simulated-SCM events. Benchmarks read these to
 // report, e.g., SCM misses per Find (paper §6.2 observes the FPTree Find
 // costs ≈ 2 SCM cache misses) and flushes per insert.
+//
+// Each thread owns a private StatsCounters block (no hot-path
+// synchronization). Blocks register themselves in a process-wide registry so
+// AggregatedStats() can sum across live threads; when a thread exits its
+// final counts are folded into a retired total. The obs::MetricsRegistry
+// snapshot reads AggregatedStats() — callers should not hand-aggregate.
 
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 namespace fptree {
 namespace scm {
 
-/// \brief Event counters. Thread-local instances are aggregated into a
-/// global total when threads call FlushThreadStats() (or transparently via
-/// the thread-local destructor).
+/// \brief Event counters. One instance per thread; see AggregatedStats().
 struct StatsCounters {
   uint64_t scm_read_misses = 0;   ///< cache-line reads charged SCM latency
   uint64_t scm_read_hits = 0;     ///< cache-line reads served by the model LLC
@@ -35,14 +40,84 @@ struct StatsCounters {
 };
 
 namespace internal {
-inline thread_local StatsCounters tls_stats;
+
+/// Process-wide registry of live per-thread counter blocks plus the summed
+/// totals of threads that have exited. Leaked on purpose so thread-local
+/// destructors that run after static destruction still have a valid target.
+class StatsRegistry {
+ public:
+  static StatsRegistry& Instance() {
+    static StatsRegistry* r = new StatsRegistry;
+    return *r;
+  }
+
+  void Register(StatsCounters* c) {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.push_back(c);
+  }
+
+  void Retire(StatsCounters* c) {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.Add(*c);
+    for (size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i] == c) {
+        live_[i] = live_.back();
+        live_.pop_back();
+        break;
+      }
+    }
+  }
+
+  /// Sum of retired totals plus every live thread's block. Reads of other
+  /// threads' plain counters are racy but benign: values are monotonic
+  /// word-sized counts used for reporting only.
+  StatsCounters Aggregate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    StatsCounters total = retired_;
+    for (const StatsCounters* c : live_) total.Add(*c);
+    return total;
+  }
+
+  /// Zeroes retired totals and every live thread's block.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.Clear();
+    for (StatsCounters* c : live_) c->Clear();
+  }
+
+ private:
+  StatsRegistry() = default;
+  mutable std::mutex mu_;
+  std::vector<StatsCounters*> live_;
+  StatsCounters retired_;
+};
+
+struct ThreadStatsHolder {
+  StatsCounters counters;
+  ThreadStatsHolder() { StatsRegistry::Instance().Register(&counters); }
+  ~ThreadStatsHolder() { StatsRegistry::Instance().Retire(&counters); }
+};
+
+inline thread_local ThreadStatsHolder tls_stats;
+
 }  // namespace internal
 
 /// Returns this thread's counters (mutable).
-inline StatsCounters& ThreadStats() { return internal::tls_stats; }
+inline StatsCounters& ThreadStats() { return internal::tls_stats.counters; }
 
 /// Clears this thread's counters.
-inline void ClearThreadStats() { internal::tls_stats.Clear(); }
+inline void ClearThreadStats() { ThreadStats().Clear(); }
+
+/// Process-wide totals: all live threads plus threads that already exited.
+inline StatsCounters AggregatedStats() {
+  return internal::StatsRegistry::Instance().Aggregate();
+}
+
+/// Zeroes the process-wide totals, including other threads' live counters.
+/// Call only at quiescent points (benchmark phase boundaries).
+inline void ResetAggregatedStats() {
+  internal::StatsRegistry::Instance().Reset();
+}
 
 }  // namespace scm
 }  // namespace fptree

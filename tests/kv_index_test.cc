@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
 
 #include "scm/latency.h"
@@ -112,6 +114,161 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// --- Registry sweep: every registered name must construct and round-trip
+// through the full v2 interface (Insert/Find/Update/Erase/RangeScan/Stats).
+
+std::string PaddedKey(uint64_t i) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(i));
+  return std::string(buf, 16);
+}
+
+TEST(IndexRegistry, ListsAreNonEmptyAndSorted) {
+  auto fixed = ListFixedIndexNames();
+  auto var = ListVarIndexNames();
+  EXPECT_GE(fixed.size(), 9u);
+  EXPECT_GE(var.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(fixed.begin(), fixed.end()));
+  EXPECT_TRUE(std::is_sorted(var.begin(), var.end()));
+}
+
+TEST(IndexRegistry, EveryFixedNameRoundTrips) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("regfixed");
+  for (const std::string& name : ListFixedIndexNames()) {
+    SCOPED_TRACE(name);
+    Pool::Destroy(path).ok();
+    std::unique_ptr<Pool> pool;
+    Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+    auto idx = MakeFixedIndex(name, pool.get(), /*locked=*/true);
+    ASSERT_NE(idx, nullptr);
+    EXPECT_TRUE(idx->concurrent());  // locked adapters report thread-safety
+
+    for (uint64_t k = 0; k < 200; ++k) ASSERT_TRUE(idx->Insert(k * 3, k));
+    uint64_t v = 0;
+    ASSERT_TRUE(idx->Find(300, &v));
+    EXPECT_EQ(v, 100u);
+    ASSERT_TRUE(idx->Update(300, 7));
+    ASSERT_TRUE(idx->Find(300, &v));
+    EXPECT_EQ(v, 7u);
+    ASSERT_TRUE(idx->Erase(300));
+    EXPECT_FALSE(idx->Find(300, &v));
+    EXPECT_EQ(idx->Size(), 199u);
+
+    // Ordered scan of ten keys from 30: 30, 33, ..., 57.
+    std::vector<uint64_t> keys;
+    size_t n = idx->RangeScan(30, 10, [&](uint64_t key, uint64_t) {
+      keys.push_back(key);
+      return true;
+    });
+    ASSERT_EQ(n, 10u);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(keys[i], 30 + 3 * i);
+    }
+
+    obs::Snapshot stats = idx->Stats();
+    EXPECT_FALSE(stats.gauges.empty());
+    EXPECT_EQ(stats.gauges["index.size"], idx->Size());
+
+    idx.reset();
+    pool.reset();
+  }
+  Pool::Destroy(path).ok();
+}
+
+TEST(IndexRegistry, EveryVarNameRoundTrips) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("regvar");
+  for (const std::string& name : ListVarIndexNames()) {
+    SCOPED_TRACE(name);
+    Pool::Destroy(path).ok();
+    std::unique_ptr<Pool> pool;
+    Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+    auto idx = MakeVarIndex(name, pool.get(), /*locked=*/true);
+    ASSERT_NE(idx, nullptr);
+    EXPECT_TRUE(idx->concurrent());
+
+    for (uint64_t k = 0; k < 200; ++k) {
+      ASSERT_TRUE(idx->Insert(PaddedKey(k * 3), k));
+    }
+    uint64_t v = 0;
+    ASSERT_TRUE(idx->Find(PaddedKey(300), &v));
+    EXPECT_EQ(v, 100u);
+    ASSERT_TRUE(idx->Update(PaddedKey(300), 7));
+    ASSERT_TRUE(idx->Find(PaddedKey(300), &v));
+    EXPECT_EQ(v, 7u);
+    ASSERT_TRUE(idx->Erase(PaddedKey(300)));
+    EXPECT_FALSE(idx->Find(PaddedKey(300), &v));
+    EXPECT_EQ(idx->Size(), 199u);
+
+    std::vector<std::string> keys;
+    size_t n = idx->RangeScan(PaddedKey(30), 10,
+                              [&](std::string_view key, uint64_t) {
+                                keys.emplace_back(key);
+                                return true;
+                              });
+    if (name == "hashmap") {
+      EXPECT_EQ(n, 0u);  // unordered index: scans unsupported by contract
+    } else {
+      ASSERT_EQ(n, 10u);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        EXPECT_EQ(keys[i], PaddedKey(30 + 3 * i));
+      }
+    }
+
+    obs::Snapshot stats = idx->Stats();
+    EXPECT_FALSE(stats.gauges.empty());
+    EXPECT_EQ(stats.gauges["index.size"], idx->Size());
+
+    idx.reset();
+    pool.reset();
+  }
+  Pool::Destroy(path).ok();
+}
+
+TEST(IndexRegistry, UnlockedSingleThreadedTreeIsNotConcurrent) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("unlocked");
+  Pool::Destroy(path).ok();
+  std::unique_ptr<Pool> pool;
+  Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto idx = MakeFixedIndex("fptree", pool.get(), /*locked=*/false);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_FALSE(idx->concurrent());
+  auto cidx = MakeFixedIndex("fptree-c", pool.get(), /*locked=*/false);
+  ASSERT_NE(cidx, nullptr);
+  EXPECT_TRUE(cidx->concurrent());  // internally concurrent regardless
+  cidx.reset();
+  idx.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+TEST(IndexRegistry, ScanCallbackCanStopEarly) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("scanstop");
+  Pool::Destroy(path).ok();
+  std::unique_ptr<Pool> pool;
+  Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto idx = MakeFixedIndex("fptree", pool.get(), /*locked=*/true);
+  ASSERT_NE(idx, nullptr);
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(idx->Insert(k, k));
+  size_t seen = 0;
+  idx->RangeScan(0, 100, [&](uint64_t, uint64_t) {
+    ++seen;
+    return seen < 5;  // stop after five
+  });
+  EXPECT_EQ(seen, 5u);
+  idx.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
 
 TEST(IndexFactory, UnknownNamesReturnNull) {
   EXPECT_EQ(MakeFixedIndex("btree9000", nullptr), nullptr);

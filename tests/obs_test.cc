@@ -1,0 +1,190 @@
+// obs/: the unified metrics registry — counter aggregation across threads,
+// gauge pulls, histogram summaries/percentiles, subsystem absorption
+// (scm.*/htm.*/tree.*), sampling control, and the JSON snapshot shape the
+// bench binaries emit (METRICS_JSON lines).
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tree_stats.h"
+#include "scm/stats.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace obs {
+namespace {
+
+TEST(Counter, PointerStableAndSharedByName) {
+  Counter* a = MetricsRegistry::Global().GetCounter("obs_test.shared");
+  Counter* b = MetricsRegistry::Global().GetCounter("obs_test.shared");
+  EXPECT_EQ(a, b);
+  a->Reset();
+  a->Add(3);
+  b->Add(4);
+  EXPECT_EQ(a->value(), 7u);
+}
+
+TEST(Counter, AggregatesAcrossThreads) {
+  Counter* c = MetricsRegistry::Global().GetCounter("obs_test.mt");
+  c->Reset();
+  constexpr uint32_t kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  ThreadGroup tg;
+  tg.Spawn(kThreads, [&](uint32_t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) c->Add();
+  });
+  tg.Join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, PulledAtSnapshotTime) {
+  uint64_t source = 5;
+  MetricsRegistry::Global().SetGauge("obs_test.gauge",
+                                     [&source] { return source; });
+  EXPECT_EQ(MetricsRegistry::Global().TakeSnapshot().gauges.at(
+                "obs_test.gauge"),
+            5u);
+  source = 9;
+  EXPECT_EQ(MetricsRegistry::Global().TakeSnapshot().gauges.at(
+                "obs_test.gauge"),
+            9u);
+  MetricsRegistry::Global().RemoveGauge("obs_test.gauge");
+  EXPECT_EQ(MetricsRegistry::Global().TakeSnapshot().gauges.count(
+                "obs_test.gauge"),
+            0u);
+}
+
+TEST(LatencyHistogramTest, SummaryPercentilesBracketTheData) {
+  LatencyHistogram h;
+  // 1000 samples at 100ns, 10 outliers at 100us: p50 near 100,
+  // p99 <= a bucket above 100, max bucket holds 100000.
+  for (int i = 0; i < 1000; ++i) h.Record(100);
+  for (int i = 0; i < 10; ++i) h.Record(100000);
+  HistogramSummary s = HistogramSummary::From(h.Snap());
+  EXPECT_EQ(s.count, 1010u);
+  EXPECT_EQ(s.min_ns, 100u);
+  EXPECT_EQ(s.max_ns, 100000u);
+  // Log-bucketed percentiles: same bucket as the true value, so within a
+  // small constant factor (bucket edges may land just under it).
+  EXPECT_GE(s.p50_ns, 50u);
+  EXPECT_LE(s.p50_ns, 200u);
+  EXPECT_GE(s.p99_ns, 50u);
+  EXPECT_LE(s.p99_ns, 200u);
+  EXPECT_NEAR(s.avg_ns, (1000.0 * 100 + 10.0 * 100000) / 1010.0,
+              s.avg_ns * 0.01);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCounts) {
+  LatencyHistogram h;
+  h.Reset();
+  Histogram local;
+  local.Add(50);
+  local.Add(60);
+  h.Merge(local);
+  h.Record(70);
+  EXPECT_EQ(h.Snap().count(), 3u);
+}
+
+TEST(Sampling, IntervalRoundsToPowerOfTwoAndZeroDisables) {
+  SetSampleInterval(0);
+  EXPECT_EQ(SampleInterval(), 0u);
+  EXPECT_FALSE(ShouldSample());
+  EXPECT_FALSE(ShouldSample());
+
+  SetSampleInterval(1);  // every op
+  EXPECT_EQ(SampleInterval(), 1u);
+  EXPECT_TRUE(ShouldSample());
+  EXPECT_TRUE(ShouldSample());
+
+  SetSampleInterval(100);  // rounds up to 128
+  EXPECT_EQ(SampleInterval(), 128u);
+  int sampled = 0;
+  for (int i = 0; i < 1280; ++i) sampled += ShouldSample();
+  EXPECT_EQ(sampled, 10);
+
+  SetSampleInterval(64);  // restore default
+}
+
+TEST(SnapshotTest, AbsorbsScmThreadStats) {
+  Snapshot before = MetricsRegistry::Global().TakeSnapshot();
+  scm::ThreadStats().flushed_lines += 13;
+  scm::ThreadStats().fences += 5;
+  Snapshot after = MetricsRegistry::Global().TakeSnapshot();
+  Snapshot d = after.DeltaSince(before);
+  EXPECT_EQ(d.counters.at("scm.flushed_lines"), 13u);
+  EXPECT_EQ(d.counters.at("scm.fences"), 5u);
+}
+
+TEST(SnapshotTest, AbsorbsTreeCounters) {
+  Snapshot before = MetricsRegistry::Global().TakeSnapshot();
+  core::TreeOpStats ops;
+  ops.finds = 42;
+  ops.leaf_splits = 2;
+  core::FlushTreeStats(ops);
+  Snapshot d = MetricsRegistry::Global().TakeSnapshot().DeltaSince(before);
+  EXPECT_EQ(d.counters.at("tree.finds"), 42u);
+  EXPECT_EQ(d.counters.at("tree.leaf_splits"), 2u);
+}
+
+TEST(SnapshotTest, DeltaClampsAtZeroAndKeepsGauges) {
+  Snapshot a;
+  a.counters["x"] = 10;
+  Snapshot b;
+  b.counters["x"] = 4;  // counter reset between snapshots
+  b.gauges["g"] = 7;
+  Snapshot d = b.DeltaSince(a);
+  EXPECT_EQ(d.counters.at("x"), 0u);
+  EXPECT_EQ(d.gauges.at("g"), 7u);
+}
+
+TEST(JsonTest, NestsOnFirstDotAndEmitsTag) {
+  Snapshot s;
+  s.counters["scm.fences"] = 3;
+  s.counters["scm.flushed_lines"] = 4;
+  s.counters["htm.commits"] = 9;
+  s.counters["toplevel"] = 1;
+  s.gauges["index.size"] = 100;
+  Histogram h;
+  h.Add(100);
+  s.histograms["find"] = HistogramSummary::From(h);
+  std::string json = s.ToJson("unit");
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"bench\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"scm\":{\"fences\":3,\"flushed_lines\":4}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"htm\":{\"commits\":9}"), std::string::npos);
+  EXPECT_NE(json.find("\"toplevel\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"index\":{\"size\":100}"), std::string::npos);
+  EXPECT_NE(json.find("\"latency\":{\"find\":{\"count\":1,"),
+            std::string::npos);
+  // No adjacent-separator artifacts.
+  EXPECT_EQ(json.find(",,"), std::string::npos);
+  EXPECT_EQ(json.find("{,"), std::string::npos);
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+TEST(JsonTest, GlobalJsonContainsSubsystemGroups) {
+  std::string json = GlobalJson("shape");
+  EXPECT_NE(json.find("\"bench\":\"shape\""), std::string::npos);
+  EXPECT_NE(json.find("\"scm\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"htm\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"tree\":{"), std::string::npos);
+}
+
+TEST(RegistryTest, HistogramAppearsInSnapshotUnderLatencyPrefix) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("obs_test_op");
+  h->Reset();
+  h->Record(500);
+  Snapshot s = MetricsRegistry::Global().TakeSnapshot();
+  ASSERT_EQ(s.histograms.count("obs_test_op"), 1u);
+  EXPECT_EQ(s.histograms.at("obs_test_op").count, 1u);
+  EXPECT_NE(s.ToJson().find("\"latency\":{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fptree
