@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/recovery.h"
 #include "index/kv_index.h"
 #include "obs/metrics.h"
 #include "scm/latency.h"
@@ -35,6 +36,7 @@ struct Flags {
   std::string tree;      // restrict to one tree; "all" = every registered
   uint32_t sample = 64;  // latency sampling interval; 0 disables
   uint64_t metrics_every = 0;  // periodic app metrics dump; 0 disables
+  uint32_t recover_threads = 0;  // recovery scan width; 0 = hw concurrency
   bool restart = false;
   bool quick = false;
 
@@ -49,10 +51,12 @@ struct Flags {
       if (std::strncmp(a, "--tree=", 7) == 0) f.tree = a + 7;
       if (std::strncmp(a, "--sample=", 9) == 0) f.sample = std::strtoul(a + 9, nullptr, 10);
       if (std::strncmp(a, "--metrics-every=", 16) == 0) f.metrics_every = std::strtoull(a + 16, nullptr, 10);
+      if (std::strncmp(a, "--recover-threads=", 18) == 0) f.recover_threads = std::strtoul(a + 18, nullptr, 10);
       if (std::strcmp(a, "--restart") == 0) f.restart = true;
       if (std::strcmp(a, "--quick") == 0) f.quick = true;
     }
     obs::SetSampleInterval(f.sample);
+    core::SetRecoverThreads(f.recover_threads);
     return f;
   }
 

@@ -251,18 +251,31 @@ class NVTree {
 
   /// Reverse linear scan (most recent entry wins). Returns 1 if the key is
   /// live, 0 if its latest entry is negated, -1 if absent.
+  ///
+  /// Vectorizable form: a forward pre-scan builds a match bitmask over the
+  /// committed entries (plain loads — entries below `n` are immutable once
+  /// the counter covers them, and the counter is only n after their
+  /// persist), the newest match is the mask's highest bit, and the reverse
+  /// walk then charges key probes and SCM reads for exactly the entries the
+  /// scalar early-exit loop would have visited: n-1 down to the match (or
+  /// all n when absent).
   int SearchLeaf(LeafNode* leaf, uint64_t n, Key key, Value* value) {
+    static_assert(kLeafCap <= 64, "match mask is one 64-bit word");
     scm::ReadScm(leaf, 64);
-    for (uint64_t i = n; i-- > 0;) {
+    uint64_t match = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      match |= static_cast<uint64_t>(leaf->entries[i].key == key) << i;
+    }
+    const uint64_t newest =
+        match == 0 ? 0 : 63 - static_cast<uint64_t>(__builtin_clzll(match));
+    for (uint64_t i = n; i-- > newest;) {
       ++stats_.key_probes;
       scm::ReadScm(&leaf->entries[i], sizeof(Entry));
-      if (leaf->entries[i].key == key) {
-        if (leaf->entries[i].negated != 0) return 0;
-        *value = leaf->entries[i].value;
-        return 1;
-      }
     }
-    return -1;
+    if (match == 0) return -1;
+    if (leaf->entries[newest].negated != 0) return 0;
+    *value = leaf->entries[newest].value;
+    return 1;
   }
 
   void CollectLive(LeafNode* leaf, uint64_t n, Key min_key,

@@ -357,10 +357,15 @@ class WBTree {
       return node;
     }
     // Linear fallback (slot array invalid): smallest key >= key, else max.
+    // ctz iteration visits exactly the valid entries, ascending — same
+    // probes and SCM charges as the TestBit loop.
     int best = -1, max_e = -1;
     Key best_key = 0, max_key = 0;
-    for (size_t i = 0; i < kInnerCap; ++i) {
-      if (!TestBit(&node->hdr, i)) continue;
+    uint64_t valid = node->hdr.bitmap;
+    if constexpr (kInnerCap < 64) valid &= (uint64_t{1} << kInnerCap) - 1;
+    while (valid != 0) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(valid));
+      valid &= valid - 1;
       scm::ReadScm(&node->keys[i], sizeof(Key));
       Key k = node->keys[i];
       if (k >= key && (best < 0 || k < best_key)) {
@@ -418,9 +423,14 @@ class WBTree {
       scm::ReadScm(&leaf->keys[idx], sizeof(Key));
       return leaf->keys[idx] == key ? idx : -1;
     }
+    // Linear fallback: ctz iteration over the validity bitmap probes the
+    // same valid slots, in the same ascending order, as the TestBit loop.
     int found = -1;
-    for (size_t i = 0; i < kLeafCap; ++i) {
-      if (!TestBit(&leaf->hdr, i)) continue;
+    uint64_t valid = leaf->hdr.bitmap;
+    if constexpr (kLeafCap < 64) valid &= (uint64_t{1} << kLeafCap) - 1;
+    while (valid != 0) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(valid));
+      valid &= valid - 1;
       ++stats_.key_probes;
       scm::ReadScm(&leaf->keys[i], sizeof(Key));
       if (leaf->keys[i] == key) {

@@ -21,12 +21,15 @@
 #include <vector>
 
 #include "core/inner_index.h"
+#include "core/recovery.h"
 #include "core/tree_stats.h"
 #include "scm/alloc.h"
 #include "scm/crash.h"
 #include "scm/pmem.h"
 #include "scm/pool.h"
 #include "util/hash.h"
+#include "util/simd.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace fptree {
@@ -386,13 +389,20 @@ class FPTree {
   }
 
   /// Fingerprint-filtered in-leaf search (paper §4.2). Counts key probes.
+  /// The fingerprint line is compared byte-parallel (simd::MatchByte) and
+  /// the match mask is ANDed with the validity bitmap; only the surviving
+  /// candidates — the same slots, in the same ascending order, that the
+  /// scalar byte loop would probe — are charged as key probes.
   int FindInLeaf(LeafNode* leaf, Key key) {
     if (leaf == nullptr) return -1;
     // One SCM line: fingerprints + bitmap.
     scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
     uint8_t fp = Fingerprint(key);
-    for (size_t i = 0; i < kLeafCap; ++i) {
-      if (!leaf->TestBit(i) || leaf->fingerprints[i] != fp) continue;
+    uint64_t candidates =
+        simd::MatchByte(leaf->fingerprints, kLeafCap, fp) & leaf->bitmap;
+    while (candidates != 0) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(candidates));
+      candidates &= candidates - 1;
       ++stats_.key_probes;
       scm::ReadScm(&leaf->kv[i], sizeof(KV));
       if (leaf->kv[i].key == key) return static_cast<int>(i);
@@ -737,6 +747,7 @@ class FPTree {
     }
     if (!pool_->root_initialized()) pool_->SetRootInitialized();
     recovery_nanos_ = NowNanos() - t0;
+    RecordRecovery(recovery_nanos_, RecoverThreads());
   }
 
   /// Paper Alg. 4: if the split leaf is still full the crash hit before
@@ -849,11 +860,30 @@ class FPTree {
                                 scm::PPtr<LeafGroup>::Null());
   }
 
+  /// Per-shard output of the parallel recovery scan. Shards scan disjoint
+  /// contiguous runs of the (already collected) group/leaf array into
+  /// private vectors, which are merged in shard order — so the merged
+  /// result is element-for-element what the serial walk would produce.
+  struct RecoveryShard {
+    std::vector<std::pair<Key, void*>> live;  // (max key, leaf)
+    std::vector<scm::PPtr<LeafNode>> free_leaves;
+    std::vector<std::pair<uint64_t, GroupInfo>> groups;
+    size_t size = 0;
+  };
+
   /// Rebuilds all transient state: inner nodes (bulk build from per-leaf
   /// max keys), the free-leaves vector, the group index, lock words, and
   /// the size counter. With groups this walks the group list for data
   /// locality (paper Appendix B "Recovery"); in-tree membership is decided
   /// by a non-empty bitmap (FreeLeaf durably clears bitmaps).
+  ///
+  /// The list walk itself is a serial pointer chase (cheap: one next-pointer
+  /// dereference per group), but scanning each group's leaves — bitmap
+  /// popcounts, per-slot max-key reduction, lock-word resets — is
+  /// embarrassingly parallel, so it is sharded across RecoverThreads()
+  /// workers. Each worker touches disjoint leaves (lock-word stores never
+  /// alias) and charges SCM reads against its own thread-local modeled
+  /// cache. BulkBuild stays serial and bottom-up, exactly Alg. 9.
   void RebuildTransientState() {
     inner_.Clear();
     free_leaves_.clear();
@@ -862,36 +892,61 @@ class FPTree {
     std::vector<std::pair<Key, void*>> live;  // (max key, leaf)
 
     LeafNode* head = proot_->head.get();
+    const uint32_t threads = RecoverThreads();
     if constexpr (kUseGroups) {
-      LeafGroup* last = nullptr;
+      std::vector<LeafGroup*> groups;
       for (LeafGroup* g = proot_->groups_head.get(); g != nullptr;
            g = g->next.get()) {
-        last = g;
-        uint64_t group_off = pool_->ToPPtr(g).offset;
-        GroupInfo info;
-        for (size_t i = 0; i < kGroupSize; ++i) {
-          LeafNode* leaf = &g->leaves[i];
-          scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
-          if (leaf->bitmap == 0 && leaf != head) {
-            ++info.free_count;
-            free_leaves_.push_back(pool_->ToPPtr(leaf));
-          } else {
-            CollectLiveLeaf(leaf, &live);
-          }
-        }
-        group_index_.emplace(group_off, info);
+        groups.push_back(g);
       }
+      std::vector<RecoveryShard> shards(
+          std::max<size_t>(size_t{1}, std::min<size_t>(threads,
+                                                       groups.size())));
+      ParallelShards(groups.size(), threads,
+                     [&](size_t shard, size_t begin, size_t end) {
+        RecoveryShard& out = shards[shard];
+        for (size_t gi = begin; gi < end; ++gi) {
+          LeafGroup* g = groups[gi];
+          uint64_t group_off = pool_->ToPPtr(g).offset;
+          GroupInfo info;
+          for (size_t i = 0; i < kGroupSize; ++i) {
+            LeafNode* leaf = &g->leaves[i];
+            scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
+            if (leaf->bitmap == 0 && leaf != head) {
+              ++info.free_count;
+              out.free_leaves.push_back(pool_->ToPPtr(leaf));
+            } else {
+              CollectLiveLeaf(leaf, &out.live, &out.size);
+            }
+          }
+          out.groups.emplace_back(group_off, info);
+        }
+      });
+      for (RecoveryShard& out : shards) MergeRecoveryShard(&out, &live);
       // Fix the persistent tail if a crash left it stale.
+      LeafGroup* last = groups.empty() ? nullptr : groups.back();
       scm::PPtr<LeafGroup> tail =
           last == nullptr ? scm::PPtr<LeafGroup>::Null() : pool_->ToPPtr(last);
       if (!(proot_->groups_tail == tail)) {
         scm::pmem::StorePPtrPersist(&proot_->groups_tail, tail);
       }
     } else {
+      std::vector<LeafNode*> leaves;
       for (LeafNode* leaf = head; leaf != nullptr; leaf = leaf->next.get()) {
-        scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
-        CollectLiveLeaf(leaf, &live);
+        leaves.push_back(leaf);
       }
+      std::vector<RecoveryShard> shards(
+          std::max<size_t>(size_t{1}, std::min<size_t>(threads,
+                                                       leaves.size())));
+      ParallelShards(leaves.size(), threads,
+                     [&](size_t shard, size_t begin, size_t end) {
+        RecoveryShard& out = shards[shard];
+        for (size_t li = begin; li < end; ++li) {
+          scm::pmem::StoreVolatile(&leaves[li]->lock_word, uint64_t{0});
+          CollectLiveLeaf(leaves[li], &out.live, &out.size);
+        }
+      });
+      for (RecoveryShard& out : shards) MergeRecoveryShard(&out, &live);
     }
 
     if (!live.empty()) {
@@ -903,18 +958,33 @@ class FPTree {
     }
   }
 
+  void MergeRecoveryShard(RecoveryShard* out,
+                          std::vector<std::pair<Key, void*>>* live) {
+    live->insert(live->end(), out->live.begin(), out->live.end());
+    free_leaves_.insert(free_leaves_.end(), out->free_leaves.begin(),
+                        out->free_leaves.end());
+    group_index_.insert(out->groups.begin(), out->groups.end());
+    size_ += out->size;
+  }
+
   void CollectLiveLeaf(LeafNode* leaf,
-                       std::vector<std::pair<Key, void*>>* live) {
+                       std::vector<std::pair<Key, void*>>* live,
+                       size_t* size) {
     scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
-    Key max_key = 0;
+    // Seed max_key from the first live slot (Key{0} is not a safe identity
+    // for arbitrary key types); iterate live slots via ctz.
+    Key max_key{};
     size_t cnt = 0;
-    for (size_t i = 0; i < kLeafCap; ++i) {
-      if (!leaf->TestBit(i)) continue;
+    uint64_t valid = leaf->bitmap;
+    while (valid != 0) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(valid));
+      valid &= valid - 1;
       scm::ReadScm(&leaf->kv[i], sizeof(KV));
-      max_key = std::max(max_key, leaf->kv[i].key);
+      max_key = cnt == 0 ? leaf->kv[i].key : std::max(max_key,
+                                                      leaf->kv[i].key);
       ++cnt;
     }
-    size_ += cnt;
+    *size += cnt;
     if (cnt > 0) live->emplace_back(max_key, leaf);
   }
 

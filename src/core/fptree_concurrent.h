@@ -27,16 +27,19 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "core/recovery.h"
 #include "htm/htm.h"
 #include "scm/alloc.h"
 #include "scm/crash.h"
 #include "scm/pmem.h"
 #include "scm/pool.h"
 #include "util/hash.h"
+#include "util/simd.h"
 #include "util/threading.h"
 #include "util/timer.h"
 
@@ -571,10 +574,22 @@ class ConcurrentFPTree {
     // Pairs with the release fence a writer's Persist() issues between its
     // KV stores and its bitmap publication: bits we see imply their KVs.
     std::atomic_thread_fence(std::memory_order_acquire);
-    uint8_t fp = Fingerprint(key);
-    for (size_t i = 0; i < kLeafCap; ++i) {
-      if (!((bmp >> i) & 1)) continue;
-      if (scm::pmem::Load(&leaf->fingerprints[i]) != fp) continue;
+    // Snapshot the fingerprint line with word-sized atomic loads so the
+    // byte-parallel compare below stays race-free: slots not yet published
+    // in bmp may be concurrently written, and the AND with bmp discards
+    // them. The word loads never touch the bitmap — it starts at the first
+    // 8-byte boundary after the fingerprint array.
+    alignas(64) uint8_t fps[64] = {};
+    const auto* words = reinterpret_cast<const uint64_t*>(leaf->fingerprints);
+    for (size_t w = 0; w < (kLeafCap + 7) / 8; ++w) {
+      uint64_t word = __atomic_load_n(words + w, __ATOMIC_RELAXED);
+      std::memcpy(fps + w * 8, &word, sizeof(word));
+    }
+    uint64_t candidates =
+        simd::MatchByte(fps, kLeafCap, Fingerprint(key)) & bmp;
+    while (candidates != 0) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(candidates));
+      candidates &= candidates - 1;
       scm::ReadScm(&leaf->kv[i], sizeof(KV));
       if (scm::pmem::Load(&leaf->kv[i].key) == key) {
         return static_cast<int>(i);
@@ -826,6 +841,7 @@ class ConcurrentFPTree {
     RebuildInner();
     if (!pool_->root_initialized()) pool_->SetRootInitialized();
     recovery_nanos_ = NowNanos() - t0;
+    RecordRecovery(recovery_nanos_, RecoverThreads());
   }
 
   void RecoverSplit(SplitLog* log) {
@@ -871,25 +887,57 @@ class ConcurrentFPTree {
     scm::pmem::Persist(log, sizeof(*log));
   }
 
-  /// Single-threaded bulk rebuild of the DRAM inner nodes (paper Alg. 9):
-  /// walk the leaf list, reset lock words, collect max keys, build.
+  /// Bulk rebuild of the DRAM inner nodes (paper Alg. 9): walk the leaf
+  /// list, reset lock words, collect max keys, build bottom-up.
+  ///
+  /// The list walk is a serial pointer chase, but the per-leaf scans
+  /// (lock-word resets, max-key reductions) are embarrassingly parallel
+  /// and sharded across RecoverThreads() workers over the collected leaf
+  /// array. Shards append to private vectors merged in shard order, so
+  /// `live` keeps the leaf-list order — which is key order, because splits
+  /// insert siblings in place — and no sort is needed, exactly as before.
+  /// Recovery is single-client (no concurrent tree ops), so plain leaf
+  /// reads race with nothing.
   void RebuildInner() {
+    std::vector<LeafNode*> leaves;
+    LeafNode* head = proot_->head.get();
+    for (LeafNode* leaf = head; leaf != nullptr; leaf = leaf->next.get()) {
+      leaves.push_back(leaf);
+    }
+    struct Shard {
+      std::vector<std::pair<Key, LeafNode*>> live;
+      size_t count = 0;
+    };
+    const uint32_t threads = RecoverThreads();
+    std::vector<Shard> shards(
+        std::max<size_t>(size_t{1}, std::min<size_t>(threads,
+                                                     leaves.size())));
+    ParallelShards(leaves.size(), threads,
+                   [&](size_t shard, size_t begin, size_t end) {
+      Shard& out = shards[shard];
+      for (size_t li = begin; li < end; ++li) {
+        LeafNode* leaf = leaves[li];
+        scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
+        // Seed the max from the first live slot — Key{0} is not a safe
+        // identity for arbitrary key types. Live slots iterate via ctz.
+        Key mx{};
+        size_t cnt = 0;
+        uint64_t valid = leaf->bitmap;
+        while (valid != 0) {
+          size_t i = static_cast<size_t>(__builtin_ctzll(valid));
+          valid &= valid - 1;
+          mx = cnt == 0 ? leaf->kv[i].key : std::max(mx, leaf->kv[i].key);
+          ++cnt;
+        }
+        out.count += cnt;
+        if (cnt > 0 || leaf == head) out.live.emplace_back(mx, leaf);
+      }
+    });
     std::vector<std::pair<Key, LeafNode*>> live;
     size_t count = 0;
-    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
-         leaf = leaf->next.get()) {
-      scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
-      Key mx = 0;
-      size_t cnt = 0;
-      for (size_t i = 0; i < kLeafCap; ++i) {
-        if (!((leaf->bitmap >> i) & 1)) continue;
-        mx = std::max(mx, leaf->kv[i].key);
-        ++cnt;
-      }
-      count += cnt;
-      if (cnt > 0 || leaf == proot_->head.get()) {
-        live.emplace_back(mx, leaf);
-      }
+    for (Shard& out : shards) {
+      live.insert(live.end(), out.live.begin(), out.live.end());
+      count += out.count;
     }
     size_.store(count, std::memory_order_relaxed);
 

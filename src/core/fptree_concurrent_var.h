@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +30,7 @@
 #include "scm/pmem.h"
 #include "scm/pool.h"
 #include "util/hash.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace fptree {
@@ -400,10 +402,19 @@ class ConcurrentFPTreeVar {
     scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
     uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
     std::atomic_thread_fence(std::memory_order_acquire);
-    uint8_t fp = Fingerprint(key);
-    for (size_t i = 0; i < kLeafCap; ++i) {
-      if (!((bmp >> i) & 1)) continue;
-      if (scm::pmem::Load(&leaf->fingerprints[i]) != fp) continue;
+    // Race-free byte-parallel fingerprint filter; see the fixed-key
+    // ScanLeaf for why the word-wise snapshot stays inside the line.
+    alignas(64) uint8_t fps[64] = {};
+    const auto* words = reinterpret_cast<const uint64_t*>(leaf->fingerprints);
+    for (size_t w = 0; w < (kLeafCap + 7) / 8; ++w) {
+      uint64_t word = __atomic_load_n(words + w, __ATOMIC_RELAXED);
+      std::memcpy(fps + w * 8, &word, sizeof(word));
+    }
+    uint64_t candidates =
+        simd::MatchByte(fps, kLeafCap, Fingerprint(key)) & bmp;
+    while (candidates != 0) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(candidates));
+      candidates &= candidates - 1;
       scm::ReadScm(&leaf->kv[i], sizeof(KV));
       uint64_t off = scm::pmem::Load(&leaf->kv[i].pkey.offset);
       if (off == 0) continue;

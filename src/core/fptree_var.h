@@ -37,6 +37,7 @@
 #include "scm/pmem.h"
 #include "scm/pool.h"
 #include "util/hash.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace fptree {
@@ -329,16 +330,22 @@ class FPTreeVar {
   }
 
   /// Fingerprint-filtered probe; each surviving probe dereferences the key
-  /// blob in SCM (the var-key cache miss of §4.2).
+  /// blob in SCM (the var-key cache miss of §4.2). The fingerprint filter is
+  /// evaluated byte-parallel over the whole line (simd::MatchByte) and ANDed
+  /// with the bitmap; for PTreeVar (kUseFingerprints = false) the candidate
+  /// set is the bitmap alone. Either way the surviving slots are probed in
+  /// the same ascending order as the scalar loop, so probe counts match.
   int FindInLeaf(LeafNode* leaf, std::string_view key) {
     if (leaf == nullptr) return -1;
     scm::ReadScm(leaf, sizeof(leaf->fingerprints) + sizeof(leaf->bitmap));
-    [[maybe_unused]] uint8_t fp = Fingerprint(key);
-    for (size_t i = 0; i < kLeafCap; ++i) {
-      if (!leaf->TestBit(i)) continue;
-      if constexpr (kUseFingerprints) {
-        if (leaf->fingerprints[i] != fp) continue;
-      }
+    uint64_t candidates = leaf->bitmap;
+    if constexpr (kUseFingerprints) {
+      candidates &= simd::MatchByte(leaf->fingerprints, kLeafCap,
+                                    Fingerprint(key));
+    }
+    while (candidates != 0) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(candidates));
+      candidates &= candidates - 1;
       ++stats_.key_probes;
       scm::ReadScm(&leaf->kv[i], sizeof(KV));
       const KeyBlob* blob = leaf->kv[i].pkey.get();

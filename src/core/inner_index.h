@@ -16,7 +16,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
+
+#include "util/simd.h"
 
 namespace fptree {
 namespace core {
@@ -207,10 +210,21 @@ class InnerIndex {
   }
 
  private:
+  /// Child slot = lower_bound over the sorted separator array. For 8-byte
+  /// integer keys this runs branchless (cmov halving + compare-and-sum,
+  /// vectorized where available — util/simd.h): inner descent is the hot
+  /// loop of every operation and a mispredicted binary-search compare costs
+  /// more than the extra compares the unrolled tail does. Other key types
+  /// (e.g. the var-trees' std::string separators) keep std::lower_bound.
   static uint32_t ChildSlot(const Node* n, const Key& key) {
-    const Key* begin = n->keys;
-    const Key* end = n->keys + n->n_keys;
-    return static_cast<uint32_t>(std::lower_bound(begin, end, key) - begin);
+    if constexpr (std::is_same_v<Key, uint64_t>) {
+      return static_cast<uint32_t>(simd::LowerBoundU64(n->keys, n->n_keys,
+                                                       key));
+    } else {
+      const Key* begin = n->keys;
+      const Key* end = n->keys + n->n_keys;
+      return static_cast<uint32_t>(std::lower_bound(begin, end, key) - begin);
+    }
   }
 
   static void InsertAt(Node* n, uint32_t slot, const Key& key, void* right) {

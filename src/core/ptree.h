@@ -257,8 +257,12 @@ class PTree {
     if (leaf == nullptr) return -1;
     scm::ReadScm(leaf, 64);  // header line (bitmap etc.)
     scm::ReadScm(leaf->keys, sizeof(leaf->keys));
-    for (size_t i = 0; i < kLeafCap; ++i) {
-      if (!leaf->TestBit(i)) continue;
+    // ctz iteration over the validity bitmap: probes exactly the valid
+    // slots, in ascending order, like the scalar TestBit loop did.
+    uint64_t valid = leaf->bitmap;
+    while (valid != 0) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(valid));
+      valid &= valid - 1;
       ++stats_.key_probes;
       if (leaf->keys[i] == key) return static_cast<int>(i);
     }
@@ -449,11 +453,13 @@ class PTree {
       scm::pmem::StoreVolatile(&leaf->lock_word, uint64_t{0});
       scm::ReadScm(leaf, 64);
       scm::ReadScm(leaf->keys, sizeof(leaf->keys));
-      Key max_key = 0;
+      // Seed max_key from the first live slot — Key{0} is not a safe
+      // identity for arbitrary key types.
+      Key max_key{};
       size_t cnt = 0;
       for (size_t i = 0; i < kLeafCap; ++i) {
         if (!leaf->TestBit(i)) continue;
-        max_key = std::max(max_key, leaf->keys[i]);
+        max_key = cnt == 0 ? leaf->keys[i] : std::max(max_key, leaf->keys[i]);
         ++cnt;
       }
       size_ += cnt;

@@ -1,0 +1,70 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Process-wide configuration and telemetry for the parallel recovery path
+// (paper §6.1, Fig. 7 "recovery"): rebuilding the DRAM inner nodes from the
+// persistent leaves is embarrassingly parallel — each leaf yields one
+// (max_key, leaf) pair independently — so the trees shard the leaf scan
+// across ParallelShards (util/threading.h) and merge per-shard vectors
+// before the bottom-up BulkBuild.
+//
+// The thread count is a process-wide knob rather than a per-tree parameter
+// because recovery runs inside tree constructors (attach = recover), where
+// no per-call argument can reach; benches set it from --recover-threads.
+// The last-recovery telemetry feeds the obs registry's tree.recovery_nanos
+// / tree.recover_threads gauges (src/obs/metrics.cc).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace fptree {
+namespace core {
+
+namespace internal {
+inline std::atomic<uint32_t>& RecoverThreadsKnob() {
+  static std::atomic<uint32_t> g{0};  // 0 = hardware_concurrency
+  return g;
+}
+inline std::atomic<uint64_t>& LastRecoveryNanosSlot() {
+  static std::atomic<uint64_t> g{0};
+  return g;
+}
+inline std::atomic<uint64_t>& LastRecoverThreadsSlot() {
+  static std::atomic<uint64_t> g{0};
+  return g;
+}
+}  // namespace internal
+
+/// Sets the recovery scan width; 0 restores the default
+/// (hardware_concurrency).
+inline void SetRecoverThreads(uint32_t n) {
+  internal::RecoverThreadsKnob().store(n, std::memory_order_relaxed);
+}
+
+/// Effective recovery thread count (always >= 1).
+inline uint32_t RecoverThreads() {
+  uint32_t n =
+      internal::RecoverThreadsKnob().load(std::memory_order_relaxed);
+  if (n == 0) n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Recorded by every tree recovery; surfaced as obs gauges.
+inline void RecordRecovery(uint64_t nanos, uint32_t threads) {
+  internal::LastRecoveryNanosSlot().store(nanos, std::memory_order_relaxed);
+  internal::LastRecoverThreadsSlot().store(threads,
+                                           std::memory_order_relaxed);
+}
+
+inline uint64_t LastRecoveryNanos() {
+  return internal::LastRecoveryNanosSlot().load(std::memory_order_relaxed);
+}
+
+inline uint64_t LastRecoverThreads() {
+  return internal::LastRecoverThreadsSlot().load(std::memory_order_relaxed);
+}
+
+}  // namespace core
+}  // namespace fptree

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/recovery.h"
 #include "core/tree_stats.h"
 #include "htm/htm.h"
 #include "scm/stats.h"
@@ -210,6 +211,10 @@ Snapshot MetricsRegistry::TakeSnapshot() const {
   snap.counters["tree.leaf_splits"] = t.leaf_splits;
   snap.counters["tree.leaf_deletes"] = t.leaf_deletes;
   snap.counters["tree.rebuilds"] = t.rebuilds;
+
+  // Last tree recovery (gauges: most recent attach, not monotonic).
+  snap.gauges["tree.recovery_nanos"] = core::LastRecoveryNanos();
+  snap.gauges["tree.recover_threads"] = core::LastRecoverThreads();
   return snap;
 }
 

@@ -1,0 +1,209 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Vectorized search primitives for the hot paths (ROADMAP: "as fast as the
+// hardware allows").
+//
+// The paper's Fingerprinting argument (§4.2) is that one cache line of
+// 1-byte hashes bounds the expected number of in-leaf key probes to ≈1.
+// The *filter scan itself* is byte-parallel work: instead of testing the 64
+// fingerprint bytes one at a time, MatchByte() compares all of them against
+// the needle in a few SIMD instructions and returns a candidate bitmask.
+// Tree leaf probes AND that mask with the validity bitmap and iterate the
+// surviving candidates via count-trailing-zeros — exactly the same
+// candidates, in exactly the same (ascending) order, as the scalar loop, so
+// the probe-count semantics measured by bench_fig4_probes are preserved
+// bit-for-bit.
+//
+// LowerBoundU64() is the matching inner-node primitive: a branchless
+// binary search (conditional moves, no mispredicted compares) that narrows
+// to a small block and finishes with a vectorizable compare-and-sum. It
+// returns exactly std::lower_bound's index.
+//
+// Dispatch is compile-time: AVX2 when the TU is compiled with -mavx2,
+// else SSE2 (baseline on x86-64), else a portable SWAR fallback. Defining
+// FPTREE_NO_SIMD (CMake option of the same name) forces the portable
+// fallback everywhere; the `nosimd` ctest configuration builds and runs the
+// whole tier-1 suite in that mode so the fallback can never rot. The
+// *Scalar reference implementations stay compiled unconditionally — the
+// equivalence fuzz test (tests/simd_test.cc) checks the dispatched
+// implementation against them under both build modes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if !defined(FPTREE_NO_SIMD) && (defined(__SSE2__) || defined(__AVX2__))
+#include <immintrin.h>
+#define FPTREE_SIMD_X86 1
+#endif
+
+namespace fptree {
+namespace simd {
+
+// ---------------------------------------------------------------------------
+// MatchByte: candidate mask over a fingerprint array.
+//
+// Contract: returns a mask whose bit i (i < cap, cap <= 64) is set iff
+// bytes[i] == needle. The implementation may read up to 64 bytes starting
+// at `bytes` regardless of `cap`; callers must guarantee those bytes are
+// readable. Every leaf layout in this repo satisfies this: fingerprint
+// arrays sit at the head of an alignas(64) node that is at least 64 bytes
+// long, so the over-read never leaves the node.
+
+/// Portable reference implementation (also the FPTREE_NO_SIMD fallback):
+/// SWAR over 8-byte words using the classic zero-byte test.
+inline uint64_t MatchByteScalar(const uint8_t* bytes, size_t cap,
+                                uint8_t needle) {
+  const uint64_t ones = 0x0101010101010101ULL;
+  const uint64_t lows = 0x7f7f7f7f7f7f7f7fULL;
+  const uint64_t pattern = ones * needle;
+  uint64_t mask = 0;
+  size_t i = 0;
+  for (; i + 8 <= cap; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes + i, 8);
+    uint64_t x = word ^ pattern;  // matching bytes become 0x00
+    // Exact per-byte zero test (no inter-byte carries — the borrow-based
+    // `(x - ones) & ~x` variant flags bytes after a zero run): high bit of
+    // byte b set iff byte b == 0.
+    uint64_t zeros = ~(((x & lows) + lows) | x | lows);
+    // Compress the per-byte high-bit flags down to one mask bit per byte:
+    // multiplying by the magic gathers bit 8b+7 of every byte b into the
+    // top byte of the product, ordered b0..b7 from bit 56 upward.
+    uint64_t bits = (zeros >> 7) * 0x0102040810204080ULL >> 56;
+    mask |= bits << i;
+  }
+  for (; i < cap; ++i) {
+    mask |= static_cast<uint64_t>(bytes[i] == needle) << i;
+  }
+  return mask;
+}
+
+#if defined(FPTREE_SIMD_X86)
+#if defined(__AVX2__)
+/// AVX2: two 32-byte compares cover the full 64-byte fingerprint line.
+inline uint64_t MatchByteSimd(const uint8_t* bytes, size_t cap,
+                              uint8_t needle) {
+  const __m256i n = _mm256_set1_epi8(static_cast<char>(needle));
+  const __m256i lo = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(bytes));
+  uint64_t mask = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, n)));
+  if (cap > 32) {
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bytes + 32));
+    mask |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, n))))
+            << 32;
+  }
+  return cap >= 64 ? mask : mask & ((uint64_t{1} << cap) - 1);
+}
+#else
+/// SSE2 (x86-64 baseline): 16 bytes per compare.
+inline uint64_t MatchByteSimd(const uint8_t* bytes, size_t cap,
+                              uint8_t needle) {
+  const __m128i n = _mm_set1_epi8(static_cast<char>(needle));
+  uint64_t mask = 0;
+  for (size_t i = 0; i < cap; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + i));
+    mask |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm_movemask_epi8(_mm_cmpeq_epi8(v, n))))
+            << i;
+  }
+  return cap >= 64 ? mask : mask & ((uint64_t{1} << cap) - 1);
+}
+#endif
+#endif  // FPTREE_SIMD_X86
+
+/// Dispatched candidate-mask primitive: bit i set iff bytes[i] == needle.
+inline uint64_t MatchByte(const uint8_t* bytes, size_t cap, uint8_t needle) {
+#if defined(FPTREE_SIMD_X86)
+  return MatchByteSimd(bytes, cap, needle);
+#else
+  return MatchByteScalar(bytes, cap, needle);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// LowerBoundU64: branchless inner-node child search.
+
+/// Number of elements below which the compare-and-sum tail takes over from
+/// the branchless halving loop (one or two vector iterations).
+constexpr size_t kLowerBoundLinearCutoff = 8;
+
+/// Counts elements of the sorted block [a, a+n) that are < key. Reference
+/// scalar implementation; branchless (no data-dependent jumps).
+inline size_t CountLessScalar(const uint64_t* a, size_t n, uint64_t key) {
+  size_t cnt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cnt += static_cast<size_t>(a[i] < key);
+  }
+  return cnt;
+}
+
+#if defined(FPTREE_SIMD_X86)
+/// Vectorized compare-and-sum. x86 has only *signed* 64-bit compares, so
+/// both sides are biased by 2^63 first (flips the sign bit, preserving
+/// unsigned order).
+inline size_t CountLessSimd(const uint64_t* a, size_t n, uint64_t key) {
+#if defined(__AVX2__)
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i k = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(key)), bias);
+  size_t cnt = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)), bias);
+    const int m = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(k, v)));
+    cnt += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  for (; i < n; ++i) cnt += static_cast<size_t>(a[i] < key);
+  return cnt;
+#else
+  // SSE2 lacks a 64-bit compare; SSE4.2 has one but is not baseline. The
+  // scalar compare-and-sum compiles to setb+add (still branchless).
+  return CountLessScalar(a, n, key);
+#endif
+}
+#endif  // FPTREE_SIMD_X86
+
+/// std::lower_bound(a, a+n, key) - a, computed without a single
+/// data-dependent branch: halving steps compile to conditional moves, the
+/// tail is a compare-and-sum.
+inline size_t LowerBoundU64(const uint64_t* a, size_t n, uint64_t key) {
+  const uint64_t* base = a;
+  while (n > kLowerBoundLinearCutoff) {
+    const size_t half = n / 2;
+    // cmov: advance past the lower half iff its last element is < key.
+    base = base[half - 1] < key ? base + half : base;
+    n -= half;
+  }
+  size_t cnt;
+#if defined(FPTREE_SIMD_X86)
+  cnt = CountLessSimd(base, n, key);
+#else
+  cnt = CountLessScalar(base, n, key);
+#endif
+  return static_cast<size_t>(base - a) + cnt;
+}
+
+/// Reference implementation for the equivalence tests: plain branchless
+/// halving + scalar tail, never vectorized.
+inline size_t LowerBoundU64Scalar(const uint64_t* a, size_t n, uint64_t key) {
+  const uint64_t* base = a;
+  while (n > kLowerBoundLinearCutoff) {
+    const size_t half = n / 2;
+    base = base[half - 1] < key ? base + half : base;
+    n -= half;
+  }
+  return static_cast<size_t>(base - a) + CountLessScalar(base, n, key);
+}
+
+}  // namespace simd
+}  // namespace fptree

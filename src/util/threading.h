@@ -1,12 +1,15 @@
 // Copyright (c) FPTree reproduction authors.
 //
-// Thread orchestration helpers for concurrency benchmarks and stress tests:
-// a reusable spin barrier (so per-op timing is not polluted by futex wakeups)
-// and a scoped thread pool that joins on destruction.
+// Thread orchestration helpers for concurrency benchmarks, stress tests and
+// the parallel recovery path: a reusable spin barrier (so per-op timing is
+// not polluted by futex wakeups), a scoped thread pool that joins on
+// destruction, and a contiguous-shard fork-join helper.
 
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -71,5 +74,31 @@ class ThreadGroup {
  private:
   std::vector<std::thread> threads_;
 };
+
+/// \brief Splits [0, n_items) into up to `threads` contiguous shards and
+/// runs fn(shard, begin, end) for each, fork-join. Shard boundaries are
+/// deterministic (first `n_items % shards` shards get one extra item), so
+/// callers can size per-shard result slots up front and merge in shard
+/// order. Runs inline on the caller when one shard suffices — recovery
+/// paths keep their exact single-threaded behaviour at --recover-threads=1.
+template <typename Fn>
+void ParallelShards(size_t n_items, uint32_t threads, const Fn& fn) {
+  const size_t shards =
+      std::min<size_t>(threads == 0 ? 1 : threads, n_items);
+  if (shards <= 1) {
+    if (n_items > 0) fn(size_t{0}, size_t{0}, n_items);
+    return;
+  }
+  const size_t base = n_items / shards;
+  const size_t extra = n_items % shards;
+  ThreadGroup group;
+  group.Spawn(static_cast<uint32_t>(shards), [&](uint32_t shard) {
+    const size_t begin =
+        shard * base + std::min<size_t>(shard, extra);
+    const size_t end = begin + base + (shard < extra ? 1 : 0);
+    fn(static_cast<size_t>(shard), begin, end);
+  });
+  group.Join();
+}
 
 }  // namespace fptree
