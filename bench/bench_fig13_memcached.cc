@@ -70,6 +70,14 @@ CacheRun RunCache(const std::string& kind, uint64_t n_keys,
         static_cast<double>(per_client * clients) / sw.ElapsedSeconds() / 1e3;
     tg.Join();
   }
+  // Post-run structural audit: bumps tree.invariant_checks (and
+  // .invariant_failures on a violation) so the counters land in
+  // METRICS_JSON alongside the throughput numbers.
+  std::string why;
+  if (!cache.index()->CheckInvariants(&why)) {
+    std::fprintf(stderr, "invariant violation after %s run: %s\n",
+                 kind.c_str(), why.c_str());
+  }
   return out;
 }
 

@@ -32,6 +32,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/inner_index.h"
@@ -225,6 +226,70 @@ class NVTree {
       *why = "size mismatch: counted " + std::to_string(total) + " vs " +
              std::to_string(size_);
       return false;
+    }
+    return true;
+  }
+
+  /// Full invariant sweep (DESIGN.md §8): structural consistency, committed
+  /// counters within capacity, negation-word (valid flag) soundness,
+  /// live-key uniqueness across leaves with routing agreement, unlocked
+  /// leaves, and the persistent-leak audit.
+  bool CheckInvariants(std::string* why) {
+    if (!CheckConsistency(why)) return false;
+    std::unordered_set<uint64_t> reachable;
+    reachable.insert(pool_->root().offset);
+    std::unordered_map<Key, LeafNode*> live_at;
+    for (LPNode& lp : lps_) {
+      for (uint32_t c = 0; c <= lp.n_keys; ++c) {
+        LeafNode* leaf = lp.children[c];
+        if (leaf == nullptr) continue;
+        reachable.insert(pool_->ToPPtr(leaf).offset);
+        if (leaf->n > kLeafCap) {
+          *why = "committed counter " + std::to_string(leaf->n) +
+                 " exceeds leaf capacity";
+          return false;
+        }
+        if (leaf->lock_word != 0) {
+          *why = "quiesced leaf still holds its lock word";
+          return false;
+        }
+        std::unordered_map<Key, bool> state;
+        for (uint64_t i = 0; i < leaf->n; ++i) {
+          const Entry& e = leaf->entries[i];
+          if (e.negated > 1) {
+            *why = "entry negation word is neither 0 nor 1";
+            return false;
+          }
+          state[e.key] = e.negated == 0;
+        }
+        for (auto& [k, live] : state) {
+          if (!live) continue;
+          auto [it, inserted] = live_at.emplace(k, leaf);
+          (void)it;
+          if (!inserted) {
+            *why = "key " + std::to_string(k) + " is live in two leaves";
+            return false;
+          }
+        }
+      }
+    }
+    for (auto& [k, leaf] : live_at) {
+      if (DescendToLeaf(k, nullptr, nullptr) != leaf) {
+        *why = "inner index routes key " + std::to_string(k) +
+               " to the wrong leaf";
+        return false;
+      }
+    }
+    const SplitLog& log = proot_->split_log;
+    if (!log.p_old.IsNull()) reachable.insert(log.p_old.offset);
+    if (!log.p_new1.IsNull()) reachable.insert(log.p_new1.offset);
+    if (!log.p_new2.IsNull()) reachable.insert(log.p_new2.offset);
+    if (!proot_->gc_slot.IsNull()) reachable.insert(proot_->gc_slot.offset);
+    for (uint64_t off : pool_->allocator()->AllocatedPayloadOffsets()) {
+      if (reachable.count(off) == 0) {
+        *why = "leaked block at offset " + std::to_string(off);
+        return false;
+      }
     }
     return true;
   }
@@ -554,9 +619,15 @@ class NVTree {
 
   void RecoverSplit() {
     SplitLog* log = &proot_->split_log;
-    if (log->copied != 0 && !log->p_old.IsNull()) {
-      // Both halves durable: complete by freeing the old leaf.
-      pool_->allocator()->Deallocate(&log->p_old);
+    if (log->copied != 0) {
+      // Both halves are durable: complete by freeing the old leaf. p_old
+      // can already be null here — a crash inside the allocator's dealloc
+      // was replayed by allocator recovery before we ran — and then the
+      // completed free is all there was left to do. Either way the new
+      // halves must be kept: they hold the only copy of the data.
+      if (!log->p_old.IsNull()) {
+        pool_->allocator()->Deallocate(&log->p_old);
+      }
     } else {
       // Roll back: discard any allocated halves; the old leaf is intact.
       if (!log->p_new1.IsNull()) {
@@ -629,6 +700,18 @@ class ConcurrentNVTree : private NVTree<Value, kLeafCap, kLPCap, kInnerCap> {
 
   uint64_t DramBytes() const { return Base::DramBytes(); }
   uint64_t ScmBytes() const { return Base::ScmBytes(); }
+
+  /// Quiesced invariant sweep: take the structure latch exclusively, audit
+  /// the base tree, and confirm the approximate size converged to truth.
+  bool CheckInvariants(std::string* why) {
+    std::unique_lock<std::shared_mutex> l(latch_);
+    if (!Base::CheckInvariants(why)) return false;
+    if (approx_size_.load(std::memory_order_relaxed) != Base::Size()) {
+      *why = "approximate size diverged from the committed size";
+      return false;
+    }
+    return true;
+  }
 
  private:
   enum class WriteKind { kInsert, kUpdate, kErase };

@@ -25,6 +25,7 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/tree_stats.h"
@@ -114,7 +115,10 @@ class WBTree {
     DescentPath path;
     LeafNode* leaf = DescendToLeaf(key, &path, /*raise_bound=*/true);
     if (SearchLeaf(leaf, key) >= 0) return false;
-    if (NodeCount(&leaf->hdr) == kLeafCap) {
+    // The post-split re-descent can land on a sibling leaf that is itself
+    // full (when the key range was re-routed by ancestor fix-ups), so split
+    // until the owning leaf has room.
+    while (NodeCount(&leaf->hdr) == kLeafCap) {
       leaf = SplitLeafAndRoute(leaf, key, &path);
     }
     InsertIntoLeaf(leaf, key, value);
@@ -235,7 +239,135 @@ class WBTree {
     return true;
   }
 
+  /// Full invariant sweep (DESIGN.md §8): structural consistency, sorted
+  /// slot-array soundness on every node, level monotonicity, every live
+  /// key findable via the tree's own descent (the functional routing
+  /// invariant — separator keys themselves may go stale by design),
+  /// leaf-chain/tree agreement, and the persistent-leak audit.
+  bool CheckInvariants(std::string* why) {
+    if (!CheckConsistency(why)) return false;
+    std::unordered_set<uint64_t> reachable;
+    reachable.insert(pool_->root().offset);
+    std::unordered_set<uint64_t> tree_leaves;
+    if (!CheckNodeInvariants(static_cast<NodeHeader*>(proot_->root.get()),
+                             &reachable, &tree_leaves, why)) {
+      return false;
+    }
+    // The leaf chain and the routed leaf set must agree exactly (emptied
+    // leaves stay both linked and routed, faithful to the original), and
+    // every live key must route back to the leaf holding it.
+    size_t chain = 0;
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      if (tree_leaves.count(pool_->ToPPtr(leaf).offset) == 0) {
+        *why = "linked leaf unreachable from the root";
+        return false;
+      }
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!TestBit(&leaf->hdr, i)) continue;
+        if (DescendToLeaf(leaf->keys[i], nullptr) != leaf) {
+          *why = "key " + std::to_string(leaf->keys[i]) +
+                 " does not route to the leaf holding it";
+          return false;
+        }
+      }
+      ++chain;
+    }
+    if (chain != tree_leaves.size()) {
+      *why = "routed leaves missing from the leaf chain: " +
+             std::to_string(tree_leaves.size()) + " routed vs " +
+             std::to_string(chain) + " linked";
+      return false;
+    }
+    if (!proot_->root_log.p_new_root.IsNull()) {
+      reachable.insert(proot_->root_log.p_new_root.offset);
+    }
+    for (size_t i = 0; i < kMaxLevels; ++i) {
+      const SplitLog& log = proot_->split_logs[i];
+      if (!log.p_current.IsNull()) reachable.insert(log.p_current.offset);
+      if (!log.p_new.IsNull()) reachable.insert(log.p_new.offset);
+    }
+    for (uint64_t off : pool_->allocator()->AllocatedPayloadOffsets()) {
+      if (reachable.count(off) == 0) {
+        *why = "leaked block at offset " + std::to_string(off);
+        return false;
+      }
+    }
+    return true;
+  }
+
  private:
+  /// Slot-array soundness for one node: a valid (non-zero) n_slots is
+  /// exactly the bitmap population, lists each valid entry once, and walks
+  /// the keys in sorted order.
+  template <typename NodeT>
+  bool CheckSlotArray(const NodeT* node, size_t cap, std::string* why) {
+    const NodeHeader* h = &node->hdr;
+    if (h->n_slots == 0) return true;  // invalidated: rebuilt lazily
+    size_t n = NodeCount(h);
+    if (h->n_slots != n) {
+      *why = "slot array count " + std::to_string(h->n_slots) +
+             " != bitmap population " + std::to_string(n);
+      return false;
+    }
+    uint64_t seen = 0;
+    Key prev = 0;
+    for (size_t j = 0; j < n; ++j) {
+      uint8_t s = node->slots[j];
+      if (s >= cap || !TestBit(h, s)) {
+        *why = "slot array references invalid entry " + std::to_string(s);
+        return false;
+      }
+      if ((seen >> s) & 1) {
+        *why = "slot array references entry " + std::to_string(s) + " twice";
+        return false;
+      }
+      seen |= uint64_t{1} << s;
+      if (j > 0 && node->keys[s] < prev) {
+        *why = "slot array out of sorted order";
+        return false;
+      }
+      prev = node->keys[s];
+    }
+    return true;
+  }
+
+  /// Recursive node audit: slot arrays, level monotonicity, null children.
+  /// Separator keys are upper bounds only in spirit — the largest entry of
+  /// a node legitimately goes stale (a split morphs the historical-max
+  /// separator down to the split key, and step-2 insertion can tie entry
+  /// keys), so there is no per-entry bound to assert structurally; instead
+  /// CheckInvariants verifies routing functionally, key by key, through
+  /// DescendToLeaf.
+  bool CheckNodeInvariants(NodeHeader* h,
+                           std::unordered_set<uint64_t>* reachable,
+                           std::unordered_set<uint64_t>* tree_leaves,
+                           std::string* why) {
+    reachable->insert(pool_->ToPPtr(h).offset);
+    if (h->level == 0) {
+      LeafNode* leaf = reinterpret_cast<LeafNode*>(h);
+      tree_leaves->insert(pool_->ToPPtr(h).offset);
+      return CheckSlotArray(leaf, kLeafCap, why);
+    }
+    InnerNode* node = reinterpret_cast<InnerNode*>(h);
+    if (!CheckSlotArray(node, kInnerCap, why)) return false;
+    for (size_t i = 0; i < kInnerCap; ++i) {
+      if (!TestBit(h, i)) continue;
+      NodeHeader* ch = static_cast<NodeHeader*>(node->children[i].get());
+      if (ch == nullptr) {
+        *why = "inner entry with null child";
+        return false;
+      }
+      if (ch->level + 1 != h->level) {
+        *why = "child level " + std::to_string(ch->level) +
+               " under inner level " + std::to_string(h->level);
+        return false;
+      }
+      if (!CheckNodeInvariants(ch, reachable, tree_leaves, why)) return false;
+    }
+    return true;
+  }
+
   void DumpNode(NodeHeader* h, int d) {
     if (h->level == 0) {
       LeafNode* l = reinterpret_cast<LeafNode*>(h);
@@ -490,7 +622,14 @@ class WBTree {
   }
 
   /// Splits `leaf` (micro-logged), fixes parent routing (possibly splitting
-  /// ancestors), and returns the half that should receive `key`.
+  /// ancestors), then re-descends for `key` and returns the leaf that now
+  /// owns it. The obvious shortcut — return the `key > sk` half directly —
+  /// is wrong when the fix-up cascades: the morph lowers separators to `sk`
+  /// before the new entry lands, so after ancestor splits the new leaf's
+  /// entry may sit in a node where it is not the largest, and a pending
+  /// `key > old_max` placed into that half would be stranded above a
+  /// separator that can never be raised. A fresh bound-raising descent is
+  /// the only placement that preserves the routing invariant.
   LeafNode* SplitLeafAndRoute(LeafNode* leaf, Key key, DescentPath* path) {
     ++stats_.leaf_splits;
     SplitLog* log = &proot_->split_logs[0];
@@ -505,8 +644,7 @@ class WBTree {
     FinishLeafSplitData(log);
     FixParentAfterSplit(log, /*level=*/0, path);
     ResetSplitLog(log);
-    LeafNode* new_leaf = leaf->next.get();
-    return key > sk ? new_leaf : leaf;
+    return DescendToLeaf(key, path, /*raise_bound=*/true);
   }
 
   void BeginSplitLog(SplitLog* log, scm::VoidPPtr current, Key sk,
@@ -756,7 +894,14 @@ class WBTree {
       scm::pmem::Persist(proot_, sizeof(*proot_));
     }
     RecoverRootLog();
-    for (uint64_t level = 0; level < kMaxLevels; ++level) {
+    // Highest level first: a crash inside a nested ancestor split leaves
+    // both the leaf-level log and an inner-level log armed. Replaying the
+    // leaf log re-runs its parent fix-up, which may call SplitInner on the
+    // still-full parent — and SplitInner's Allocate(&log->p_new) would
+    // overwrite (and so leak) the block the armed inner log already holds.
+    // Draining inner logs first leaves every log the lower-level replay can
+    // reach in the idle state.
+    for (uint64_t level = kMaxLevels; level-- > 0;) {
       RecoverSplitLog(level);
     }
     if (proot_->root.IsNull()) {

@@ -348,6 +348,26 @@ class FPTree {
     return true;
   }
 
+  /// Full invariant sweep (DESIGN.md §8): structural consistency, leaf-list
+  /// vs. inner-index routing agreement, and the persistent-leak audit.
+  /// Non-const because the routing probe reuses the regular descent path.
+  bool CheckInvariants(std::string* why) {
+    if (!CheckConsistency(why)) return false;
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        Path path;
+        if (FindLeaf(leaf->kv[i].key, &path) != leaf) {
+          *why = "inner index routes key " + std::to_string(leaf->kv[i].key) +
+                 " to the wrong leaf";
+          return false;
+        }
+      }
+    }
+    return CheckNoLeaks(why);
+  }
+
   /// Nanoseconds spent in the last recovery (inner rebuild etc.).
   uint64_t last_recovery_nanos() const { return recovery_nanos_; }
 

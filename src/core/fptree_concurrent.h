@@ -30,6 +30,8 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/recovery.h"
@@ -163,6 +165,7 @@ class ConcurrentFPTree {
   bool Find(Key key, Value* value) {
     htm::Tx tx(&htm_);
     for (;;) {
+      SCM_CRASH_POINT("cfptree.retry");
       tx.Begin();
       LeafNode* leaf = FindLeafTx(&tx, key, nullptr);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -191,6 +194,7 @@ class ConcurrentFPTree {
     LeafNode* leaf = nullptr;
     Decision decision{};
     for (;;) {
+      SCM_CRASH_POINT("cfptree.retry");
       tx.Begin();
       leaf = FindLeafTx(&tx, key, nullptr);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -236,6 +240,7 @@ class ConcurrentFPTree {
     Decision decision{};
     int prev_slot = -1;
     for (;;) {
+      SCM_CRASH_POINT("cfptree.retry");
       tx.Begin();
       leaf = FindLeafTx(&tx, key, nullptr);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -293,6 +298,7 @@ class ConcurrentFPTree {
     LeafNode* prev = nullptr;
     Decision decision{};
     for (;;) {
+      SCM_CRASH_POINT("cfptree.retry");
       tx.Begin();
       prev = nullptr;
       PathRec path;
@@ -361,6 +367,7 @@ class ConcurrentFPTree {
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
     for (;;) {
+      SCM_CRASH_POINT("cfptree.retry");
       tx.Begin();
       leaf = FindLeafTx(&tx, start, nullptr);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -373,6 +380,7 @@ class ConcurrentFPTree {
     while (leaf != nullptr && out->size() < limit && guard-- > 0) {
       // Per-leaf snapshot: retry while a writer holds the leaf.
       for (;;) {
+        SCM_CRASH_POINT("cfptree.retry");
         if (scm::pmem::Load(&leaf->lock_word) == 1) {
           SpinBarrier::CpuRelax();
           continue;
@@ -445,6 +453,52 @@ class ConcurrentFPTree {
     return true;
   }
 
+  /// Quiesced full invariant sweep (DESIGN.md §8): released lock words,
+  /// fingerprint agreement on every live slot, leaf-list vs inner-index
+  /// routing agreement, and the persistent-leak audit cross-checking every
+  /// allocated block against the leaf list and the micro-log arrays.
+  bool CheckInvariants(std::string* why) {
+    if (!CheckConsistency(why)) return false;
+    std::unordered_set<uint64_t> reachable;
+    reachable.insert(pool_->root().offset);
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      reachable.insert(pool_->ToPPtr(leaf).offset);
+      if (scm::pmem::Load(&leaf->lock_word) != 0) {
+        *why = "quiesced leaf still holds its lock word";
+        return false;
+      }
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!((leaf->bitmap >> i) & 1)) continue;
+        if (leaf->fingerprints[i] != Fingerprint(leaf->kv[i].key)) {
+          *why = "fingerprint mismatch for key " +
+                 std::to_string(leaf->kv[i].key);
+          return false;
+        }
+        if (FindLeafRaw(leaf->kv[i].key) != leaf) {
+          *why = "inner index routes key " +
+                 std::to_string(leaf->kv[i].key) + " to the wrong leaf";
+          return false;
+        }
+      }
+    }
+    for (size_t i = 0; i < kNumLogs; ++i) {
+      const SplitLog& sl = proot_->split_logs[i];
+      if (!sl.p_current.IsNull()) reachable.insert(sl.p_current.offset);
+      if (!sl.p_new.IsNull()) reachable.insert(sl.p_new.offset);
+      const DeleteLog& dl = proot_->delete_logs[i];
+      if (!dl.p_current.IsNull()) reachable.insert(dl.p_current.offset);
+      if (!dl.p_prev.IsNull()) reachable.insert(dl.p_prev.offset);
+    }
+    for (uint64_t off : pool_->allocator()->AllocatedPayloadOffsets()) {
+      if (reachable.count(off) == 0) {
+        *why = "leaked block at offset " + std::to_string(off);
+        return false;
+      }
+    }
+    return true;
+  }
+
  private:
   /// Inner node, fully transactional: every field is an 8-byte tracked slot.
   struct Inner {
@@ -495,6 +549,23 @@ class ConcurrentFPTree {
       node = reinterpret_cast<Inner*>(child);
     }
     return nullptr;  // depth guard (doomed-tx cycle protection)
+  }
+
+  /// Untracked descent for quiesced audits (no transaction, no stats).
+  LeafNode* FindLeafRaw(Key key) {
+    Inner* node = reinterpret_cast<Inner*>(root_);
+    for (uint32_t depth = 0; depth < PathRec::kMaxDepth; ++depth) {
+      if (node == nullptr) return nullptr;
+      uint64_t n = node->n_keys;
+      uint64_t lo = static_cast<uint64_t>(
+          std::lower_bound(node->keys, node->keys + n, key) - node->keys);
+      uint64_t child = node->children[lo];
+      if (node->leaf_children != 0) {
+        return reinterpret_cast<LeafNode*>(child);
+      }
+      node = reinterpret_cast<Inner*>(child);
+    }
+    return nullptr;
   }
 
   /// Right-most leaf of the subtree immediately left of the recorded path —
@@ -711,6 +782,7 @@ class ConcurrentFPTree {
   void UpdateParents(Key split_key, LeafNode* new_leaf) {
     htm::Tx tx(&htm_);
     for (;;) {
+      SCM_CRASH_POINT("cfptree.retry");
       tx.Begin();
       PathRec path;
       LeafNode* routed = FindLeafTx(&tx, split_key, &path);

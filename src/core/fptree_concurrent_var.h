@@ -86,6 +86,7 @@ class ConcurrentFPTreeVar {
   bool Find(std::string_view key, Value* value) {
     htm::Tx tx(&htm_);
     for (;;) {
+      SCM_CRASH_POINT("cfptreevar.retry");
       tx.Begin();
       LeafNode* leaf = FindLeafTx(&tx, key);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -113,6 +114,7 @@ class ConcurrentFPTreeVar {
     LeafNode* leaf = nullptr;
     Decision decision{};
     for (;;) {
+      SCM_CRASH_POINT("cfptreevar.retry");
       tx.Begin();
       leaf = FindLeafTx(&tx, key);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -155,6 +157,7 @@ class ConcurrentFPTreeVar {
     Decision decision{};
     int prev_slot = -1;
     for (;;) {
+      SCM_CRASH_POINT("cfptreevar.retry");
       tx.Begin();
       leaf = FindLeafTx(&tx, key);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -209,6 +212,7 @@ class ConcurrentFPTreeVar {
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
     for (;;) {
+      SCM_CRASH_POINT("cfptreevar.retry");
       tx.Begin();
       leaf = FindLeafTx(&tx, key);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -245,6 +249,7 @@ class ConcurrentFPTreeVar {
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
     for (;;) {
+      SCM_CRASH_POINT("cfptreevar.retry");
       tx.Begin();
       leaf = FindLeafTx(&tx, start);
       if (!tx.ok() || leaf == nullptr) continue;
@@ -255,6 +260,7 @@ class ConcurrentFPTreeVar {
     uint64_t guard = pool_->size() / sizeof(LeafNode) + 2;
     while (leaf != nullptr && out->size() < limit && guard-- > 0) {
       for (;;) {
+        SCM_CRASH_POINT("cfptreevar.retry");
         if (scm::pmem::Load(&leaf->lock_word) == 1) {
           SpinBarrier::CpuRelax();
           continue;
@@ -341,7 +347,91 @@ class ConcurrentFPTreeVar {
     return true;
   }
 
+  /// Quiesced full invariant sweep (DESIGN.md §8): released lock words,
+  /// fingerprint agreement, leaf-list vs inner-index routing agreement,
+  /// valid-slot blob soundness (no two valid slots alias one blob; stale
+  /// pointers in invalid slots are tolerated until the next recovery
+  /// sweep), and the persistent-leak audit.
+  bool CheckInvariants(std::string* why) {
+    if (!CheckConsistency(why)) return false;
+    std::unordered_set<uint64_t> reachable;
+    std::unordered_set<uint64_t> valid_blobs;
+    reachable.insert(pool_->root().offset);
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      reachable.insert(pool_->ToPPtr(leaf).offset);
+      if (scm::pmem::Load(&leaf->lock_word) != 0) {
+        *why = "quiesced leaf still holds its lock word";
+        return false;
+      }
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!((leaf->bitmap >> i) & 1)) continue;
+        const KV& kv = leaf->kv[i];
+        if (kv.pkey.IsNull()) {
+          *why = "valid slot holds a null key blob";
+          return false;
+        }
+        const KeyBlob* blob = kv.pkey.get();
+        if (blob->len > kMaxVarKeyLen) {
+          *why = "key blob length exceeds the maximum";
+          return false;
+        }
+        std::string k(blob->view());
+        if (leaf->fingerprints[i] != Fingerprint(k)) {
+          *why = "fingerprint mismatch for key \"" + k + "\"";
+          return false;
+        }
+        if (!valid_blobs.insert(kv.pkey.offset).second) {
+          *why = "two valid slots alias one key blob (\"" + k + "\")";
+          return false;
+        }
+        if (FindLeafRaw(k) != leaf) {
+          *why = "inner index routes key \"" + k + "\" to the wrong leaf";
+          return false;
+        }
+      }
+    }
+    reachable.insert(valid_blobs.begin(), valid_blobs.end());
+    if (!proot_->gc_slot.IsNull()) reachable.insert(proot_->gc_slot.offset);
+    for (size_t i = 0; i < kNumLogs; ++i) {
+      const SplitLog& sl = proot_->split_logs[i];
+      if (!sl.p_current.IsNull()) reachable.insert(sl.p_current.offset);
+      if (!sl.p_new.IsNull()) reachable.insert(sl.p_new.offset);
+    }
+    for (uint64_t off : pool_->allocator()->AllocatedPayloadOffsets()) {
+      if (reachable.count(off) == 0) {
+        *why = "leaked block at offset " + std::to_string(off);
+        return false;
+      }
+    }
+    return true;
+  }
+
  private:
+  /// Untracked descent for quiesced audits (no transaction, no stats).
+  LeafNode* FindLeafRaw(std::string_view key) {
+    Inner* node = reinterpret_cast<Inner*>(root_);
+    for (uint32_t depth = 0; depth < 32; ++depth) {
+      if (node == nullptr) return nullptr;
+      uint64_t n = node->n_keys;
+      uint64_t lo = 0, hi = n;
+      while (lo < hi) {
+        uint64_t mid = (lo + hi) / 2;
+        if (KeyAt(node->keys[mid]) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      uint64_t child = node->children[lo];
+      if (node->leaf_children != 0) {
+        return reinterpret_cast<LeafNode*>(child);
+      }
+      node = reinterpret_cast<Inner*>(child);
+    }
+    return nullptr;
+  }
+
   struct Inner {
     uint64_t n_keys;
     uint64_t leaf_children;
@@ -509,6 +599,7 @@ class ConcurrentFPTreeVar {
     const std::string* interned = Intern(split_key);
     htm::Tx tx(&htm_);
     for (;;) {
+      SCM_CRASH_POINT("cfptreevar.retry");
       tx.Begin();
       PathRec path;
       LeafNode* routed = FindLeafTxPath(&tx, split_key, &path);

@@ -299,6 +299,24 @@ class FPTreeVar {
     return true;
   }
 
+  /// Full invariant sweep (DESIGN.md §8): structural consistency, leaf-list
+  /// vs. inner-index routing agreement, and the key-blob leak audit.
+  bool CheckInvariants(std::string* why) {
+    if (!CheckConsistency(why)) return false;
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        Path path;
+        if (FindLeaf(leaf->kv[i].pkey.get()->view(), &path) != leaf) {
+          *why = "inner index routes key to the wrong leaf";
+          return false;
+        }
+      }
+    }
+    return CheckNoLeaks(why);
+  }
+
  private:
   using Inner = InnerIndex<std::string, kInnerCap>;
   using Path = typename Inner::Path;

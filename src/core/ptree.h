@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/inner_index.h"
@@ -219,6 +221,49 @@ class PTree {
       return false;
     }
     return true;
+  }
+
+  /// Leak check: every allocated block is the root struct, a linked leaf,
+  /// or referenced from an in-flight micro-log.
+  bool CheckNoLeaks(std::string* why) const {
+    std::unordered_set<uint64_t> reachable;
+    reachable.insert(pool_->root().offset);
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      reachable.insert(pool_->ToPPtr(leaf).offset);
+    }
+    if (!proot_->split_log.p_current.IsNull()) {
+      reachable.insert(proot_->split_log.p_current.offset);
+    }
+    if (!proot_->split_log.p_new.IsNull()) {
+      reachable.insert(proot_->split_log.p_new.offset);
+    }
+    for (uint64_t off : pool_->allocator()->AllocatedPayloadOffsets()) {
+      if (reachable.count(off) == 0) {
+        *why = "leaked block at offset " + std::to_string(off);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Full invariant sweep (DESIGN.md §8): structural consistency, leaf-list
+  /// vs. inner-index routing agreement, and the persistent-leak audit.
+  bool CheckInvariants(std::string* why) {
+    if (!CheckConsistency(why)) return false;
+    for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
+         leaf = leaf->next.get()) {
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!leaf->TestBit(i)) continue;
+        Path path;
+        if (FindLeaf(leaf->keys[i], &path) != leaf) {
+          *why = "inner index routes key " + std::to_string(leaf->keys[i]) +
+                 " to the wrong leaf";
+          return false;
+        }
+      }
+    }
+    return CheckNoLeaks(why);
   }
 
  private:

@@ -65,6 +65,17 @@ class KVIndex {
   virtual obs::Snapshot Stats() const = 0;
   /// True when the implementation is internally thread-safe.
   virtual bool concurrent() const { return false; }
+  /// Universal invariant check (DESIGN.md §8): the deepest structural audit
+  /// the implementation supports — leaf/inner agreement, fingerprint and
+  /// slot-array soundness, persistent-leak audit. Returns true (and leaves
+  /// *why untouched) for transient indexes with no deep checker. Callers
+  /// must quiesce concurrent indexes first. Adapter implementations bump
+  /// tree.invariant_checks / tree.invariant_failures in the global metrics
+  /// registry so harnesses can assert clean runs from METRICS_JSON.
+  virtual bool CheckInvariants(std::string* why) {
+    (void)why;
+    return true;
+  }
 };
 
 /// \brief Variable-size (string) key index.
@@ -87,6 +98,11 @@ class VarIndex {
   virtual uint64_t RecoveryNanos() const { return 0; }
   virtual obs::Snapshot Stats() const = 0;
   virtual bool concurrent() const { return false; }
+  /// Universal invariant check; see KVIndex::CheckInvariants.
+  virtual bool CheckInvariants(std::string* why) {
+    (void)why;
+    return true;
+  }
 };
 
 namespace internal {
@@ -125,6 +141,27 @@ obs::Snapshot TreeSnapshot(const TreeT& t) {
     s.counters["htm.fallbacks"] = h.fallbacks;
   }
   return s;
+}
+
+/// Runs the deepest invariant checker the tree exposes (CheckInvariants,
+/// falling back to CheckConsistency, then to vacuous truth for transient
+/// trees), bumping the global observability counters so benches and crash
+/// harnesses can assert clean runs straight from METRICS_JSON.
+template <typename TreeT>
+bool RunInvariantCheck(TreeT& t, std::string* why) {
+  obs::MetricsRegistry::Global().GetCounter("tree.invariant_checks")->Add(1);
+  bool ok = true;
+  if constexpr (requires { t.CheckInvariants(why); }) {
+    ok = t.CheckInvariants(why);
+  } else if constexpr (requires { t.CheckConsistency(why); }) {
+    ok = t.CheckConsistency(why);
+  }
+  if (!ok) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("tree.invariant_failures")
+        ->Add(1);
+  }
+  return ok;
 }
 
 /// Drains a tree's vector-based RangeScan into a visitor callback.
@@ -254,6 +291,9 @@ class FixedAdapter : public KVIndex {
     return internal::TreeSnapshot(impl_.tree());
   }
   bool concurrent() const override { return locked_; }
+  bool CheckInvariants(std::string* why) override {
+    return internal::RunInvariantCheck(impl_.tree(), why);
+  }
 
   TreeT& tree() { return impl_.tree(); }
 
@@ -298,6 +338,9 @@ class VarAdapter : public VarIndex {
     return internal::TreeSnapshot(impl_.tree());
   }
   bool concurrent() const override { return locked_; }
+  bool CheckInvariants(std::string* why) override {
+    return internal::RunInvariantCheck(impl_.tree(), why);
+  }
 
   TreeT& tree() { return impl_.tree(); }
 
@@ -342,6 +385,9 @@ class ConcurrentAdapter : public Base {
     return internal::TreeSnapshot(tree_);
   }
   bool concurrent() const override { return true; }
+  bool CheckInvariants(std::string* why) override {
+    return internal::RunInvariantCheck(tree_, why);
+  }
 
   TreeT& tree() { return tree_; }
 

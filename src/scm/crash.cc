@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "scm/layout.h"
 
@@ -16,15 +17,22 @@ namespace {
 struct UndoRecord {
   char* addr;
   std::vector<unsigned char> old_bytes;
+  std::thread::id tid;  ///< thread that issued the store (attribution)
 };
 
 struct SimState {
   std::mutex mu;
-  std::deque<UndoRecord> pending;  // oldest first
+  std::deque<UndoRecord> pending;  // oldest first, all threads interleaved
   std::unordered_map<std::string, int> armed;  // name -> countdown
   bool recording = false;
   bool tear_mode = false;
   std::vector<std::string> visited;
+  // Crash barrier: tripped marks the global power-loss instant; crash_tid
+  // is the thread whose armed point fired (it unwinds via the original
+  // CrashException and must not be re-frozen while doing so).
+  bool barrier_mode = false;
+  bool barrier_tripped = false;
+  std::thread::id crash_tid;
 };
 
 SimState& State() {
@@ -37,27 +45,37 @@ SimState& State() {
 void CrashSim::Enable() {
   auto& s = State();
   std::lock_guard<std::mutex> l(s.mu);
-  enabled_flag_ = true;
+  enabled_flag_.store(true, std::memory_order_relaxed);
 }
 
 void CrashSim::Disable() {
   auto& s = State();
   std::lock_guard<std::mutex> l(s.mu);
-  enabled_flag_ = false;
+  enabled_flag_.store(false, std::memory_order_relaxed);
   s.pending.clear();
   s.armed.clear();
   s.recording = false;
   s.visited.clear();
+  s.barrier_mode = false;
+  s.barrier_tripped = false;
 }
 
 void CrashSim::LogStore(void* addr, size_t n) {
   if (n == 0) return;
   auto& s = State();
   std::lock_guard<std::mutex> l(s.mu);
+  if (s.barrier_tripped &&
+      std::this_thread::get_id() != s.crash_tid) {
+    // Sibling thread reached its next pmem store after the crash instant:
+    // the store never executes. (The crashing thread itself is exempt so
+    // stray stores during its unwind cannot throw from a destructor.)
+    throw CrashException(kBarrierPoint);
+  }
   UndoRecord rec;
   rec.addr = static_cast<char*>(addr);
   rec.old_bytes.resize(n);
   std::memcpy(rec.old_bytes.data(), addr, n);
+  rec.tid = std::this_thread::get_id();
   s.pending.push_back(std::move(rec));
 }
 
@@ -65,6 +83,17 @@ void CrashSim::NotifyPersist(const void* addr, size_t n) {
   if (n == 0) return;
   auto& s = State();
   std::lock_guard<std::mutex> l(s.mu);
+  // After the power-loss instant no cache line can reach the medium any
+  // more. The crashing thread's persists are dead letters (it is already
+  // unwinding and must not throw again); a sibling attempting a flush
+  // freezes exactly as it would at a store — otherwise it could complete
+  // and acknowledge an operation whose stores the crash then reverts.
+  if (s.barrier_tripped) {
+    if (std::this_thread::get_id() != s.crash_tid) {
+      throw CrashException(kBarrierPoint);
+    }
+    return;
+  }
   // Flushing is cache-line granular: everything within the covered lines
   // becomes durable.
   uintptr_t lo = reinterpret_cast<uintptr_t>(addr) & ~(kCacheLineSize - 1);
@@ -85,6 +114,7 @@ void CrashSim::NotifyPersist(const void* addr, size_t n) {
       head.addr = rec.addr;
       head.old_bytes.assign(rec.old_bytes.begin(),
                             rec.old_bytes.begin() + (lo - b));
+      head.tid = rec.tid;
       kept.push_back(std::move(head));
     }
     if (e > hi) {
@@ -92,6 +122,7 @@ void CrashSim::NotifyPersist(const void* addr, size_t n) {
       tail.addr = rec.addr + (hi - b);
       tail.old_bytes.assign(rec.old_bytes.begin() + (hi - b),
                             rec.old_bytes.end());
+      tail.tid = rec.tid;
       kept.push_back(std::move(tail));
     }
     // Fully covered portion is durable: dropped.
@@ -104,6 +135,8 @@ void CrashSim::SimulateCrash() {
   std::lock_guard<std::mutex> l(s.mu);
   bool tore = false;
   // Revert newest first so overlapping stores unwind to the original bytes.
+  // The deque interleaves every thread's stores in issue order, so one
+  // newest-first pass is the coherent machine-wide revert.
   for (auto it = s.pending.rbegin(); it != s.pending.rend(); ++it) {
     size_t n = it->old_bytes.size();
     size_t keep = 0;
@@ -118,6 +151,7 @@ void CrashSim::SimulateCrash() {
   }
   s.pending.clear();
   s.armed.clear();
+  s.barrier_tripped = false;
 }
 
 void CrashSim::CommitAll() {
@@ -130,6 +164,24 @@ size_t CrashSim::PendingRecords() {
   auto& s = State();
   std::lock_guard<std::mutex> l(s.mu);
   return s.pending.size();
+}
+
+size_t CrashSim::PendingThreads() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  std::unordered_set<std::thread::id> tids;
+  for (const auto& rec : s.pending) tids.insert(rec.tid);
+  return tids.size();
+}
+
+size_t CrashSim::PendingRecordsForCurrentThread() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  size_t n = 0;
+  for (const auto& rec : s.pending) {
+    if (rec.tid == std::this_thread::get_id()) ++n;
+  }
+  return n;
 }
 
 void CrashSim::SetTearMode(bool on) {
@@ -153,11 +205,20 @@ void CrashSim::DisarmAll() {
 void CrashSim::Point(const char* name) {
   auto& s = State();
   std::unique_lock<std::mutex> l(s.mu);
+  if (s.barrier_tripped &&
+      std::this_thread::get_id() != s.crash_tid) {
+    l.unlock();
+    throw CrashException(kBarrierPoint);
+  }
   if (s.recording) s.visited.emplace_back(name);
   auto it = s.armed.find(name);
   if (it != s.armed.end()) {
     if (--it->second <= 0) {
       s.armed.erase(it);
+      if (s.barrier_mode) {
+        s.barrier_tripped = true;
+        s.crash_tid = std::this_thread::get_id();
+      }
       l.unlock();
       throw CrashException(name);
     }
@@ -176,6 +237,19 @@ std::vector<std::string> CrashSim::StopRecordingPoints() {
   std::lock_guard<std::mutex> l(s.mu);
   s.recording = false;
   return std::move(s.visited);
+}
+
+void CrashSim::SetCrashBarrier(bool on) {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  s.barrier_mode = on;
+  if (!on) s.barrier_tripped = false;
+}
+
+bool CrashSim::BarrierTripped() {
+  auto& s = State();
+  std::lock_guard<std::mutex> l(s.mu);
+  return s.barrier_tripped;
 }
 
 }  // namespace scm

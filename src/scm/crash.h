@@ -19,13 +19,24 @@
 //
 // Crash points: recovery algorithms are tested by arming named points
 // (e.g. "fptree.split.after_alloc") that throw CrashException mid-operation.
+//
+// Thread-coherent crashes (DESIGN.md §8): every undo record is attributed
+// to the thread that issued the store. In CrashBarrier mode, the moment an
+// armed point fires in one worker the whole process is considered to have
+// lost power: sibling threads are frozen at their next pmem store or crash
+// point (the store never executes; CrashException unwinds them), and
+// post-instant Persist() calls retire nothing. SimulateCrash() then reverts
+// the unpersisted stores of *all* threads, newest first, yielding exactly
+// the SCM image an instantaneous machine-wide power loss would leave.
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace fptree {
@@ -45,25 +56,41 @@ class CrashException : public std::exception {
 
 class CrashSim {
  public:
+  /// Pseudo-point name carried by the CrashException that freezes sibling
+  /// threads once a CrashBarrier has tripped.
+  static constexpr const char* kBarrierPoint = "crash.barrier";
+
   /// Starts shadow-logging all pmem stores. Idempotent.
   static void Enable();
 
   /// Stops logging and drops all pending records (clean-shutdown semantics).
+  /// Also clears barrier mode and any tripped barrier.
   static void Disable();
 
-  static bool enabled() { return enabled_flag_; }
+  static bool enabled() {
+    return enabled_flag_.load(std::memory_order_relaxed);
+  }
 
-  /// Records that `n` bytes at `addr` are about to be overwritten. Called by
-  /// pmem::Store* before the actual write.
+  /// Records that `n` bytes at `addr` are about to be overwritten, tagged
+  /// with the calling thread. Called by pmem::Store* before the actual
+  /// write. When a CrashBarrier has tripped in another thread, throws
+  /// CrashException(kBarrierPoint) instead of logging — the store never
+  /// executes, freezing this thread at the crash instant.
   static void LogStore(void* addr, size_t n);
 
   /// Records that [addr, addr+n) was flushed: the covered cache lines become
-  /// durable and the covered portions of pending records are retired.
+  /// durable and the covered portions of pending records are retired. After
+  /// a barrier trips nothing is retired (no flush can happen after the
+  /// power-loss instant): the crashing thread's persists are silently
+  /// dropped, while a sibling thread is frozen with
+  /// CrashException(kBarrierPoint) just as at a store — it must not run on
+  /// and acknowledge an operation whose stores the crash will revert.
   static void NotifyPersist(const void* addr, size_t n);
 
-  /// The crash: reverts every pending (un-persisted) store, newest first.
-  /// If tear mode is on, one pending multi-word store keeps a durable prefix
-  /// (simulating a partial write). Also disarms all crash points.
+  /// The crash: reverts every pending (un-persisted) store of every thread,
+  /// newest first. If tear mode is on, one pending multi-word store keeps a
+  /// durable prefix (simulating a partial write). Also disarms all crash
+  /// points and resets a tripped barrier.
   static void SimulateCrash();
 
   /// Retires all pending records without reverting (orderly shutdown).
@@ -71,6 +98,13 @@ class CrashSim {
 
   /// Number of pending (not-yet-durable) undo records; test introspection.
   static size_t PendingRecords();
+
+  /// Number of distinct threads with pending undo records (per-thread
+  /// attribution introspection for the concurrent crash tests).
+  static size_t PendingThreads();
+
+  /// Pending undo records attributed to the calling thread.
+  static size_t PendingRecordsForCurrentThread();
 
   /// When on, SimulateCrash() tears the newest pending store larger than 8
   /// bytes at an 8-byte boundary instead of reverting it entirely.
@@ -85,7 +119,10 @@ class CrashSim {
 
   /// Marks a named point in an operation; throws CrashException when armed.
   /// Call through the SCM_CRASH_POINT macro so the check compiles to a
-  /// single predictable branch when the simulator is off.
+  /// single predictable branch when the simulator is off. When a
+  /// CrashBarrier tripped in another thread, throws
+  /// CrashException(kBarrierPoint) — a frozen sibling observes the crash at
+  /// its next crash point even if it never stores again.
   static void Point(const char* name);
 
   /// When recording, Point() also appends every visited name; tests use this
@@ -93,9 +130,24 @@ class CrashSim {
   static void StartRecordingPoints();
   static std::vector<std::string> StopRecordingPoints();
 
+  // --- Thread-coherent crash barrier --------------------------------------
+
+  /// When on, the first armed point that fires marks the global crash
+  /// instant: all other threads are frozen at their next pmem store or
+  /// crash point (CrashException(kBarrierPoint) unwinds them) and further
+  /// persists retire nothing. The mode is sticky across SimulateCrash();
+  /// Disable() clears it.
+  static void SetCrashBarrier(bool on);
+
+  /// True between an armed point firing in barrier mode and the following
+  /// SimulateCrash()/Disable().
+  static bool BarrierTripped();
+
  private:
-  // Single flag read on the store hot path.
-  static inline volatile bool enabled_flag_ = false;
+  // Single flag read on the store hot path. Atomic (not volatile): it is
+  // written under the state mutex but read without it from every pmem
+  // store, which the previous volatile qualifier left a formal data race.
+  static inline std::atomic<bool> enabled_flag_{false};
 };
 
 }  // namespace scm

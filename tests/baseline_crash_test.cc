@@ -1,0 +1,242 @@
+// Targeted crash-window coverage for the persistent baselines (wB+-Tree
+// slot-array commits, NV-Tree append-only leaf commits): a recording pass
+// enumerates every crash point the workload visits, then one run per window
+// arms exactly that point, crashes there, recovers, and asserts the
+// universal invariants plus a full model differential. This complements the
+// randomized fuzz suites with deterministic one-window-at-a-time coverage.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/nvtree.h"
+#include "baselines/wbtree.h"
+#include "crash_test_util.h"
+#include "scm/crash.h"
+#include "scm/latency.h"
+#include "util/random.h"
+
+namespace fptree {
+namespace baselines {
+namespace {
+
+using scm::CrashException;
+using scm::CrashSim;
+using scm::Pool;
+using testutil::TestPath;
+
+// Small fan-outs so a few hundred keys drive multi-level splits (root
+// splits, inner splits, leaf replacement) and thus visit every window.
+using SmallWBTree = WBTree<uint64_t, 8, 4>;
+using SmallNVTree = NVTree<uint64_t, 8, 4, 8>;
+
+constexpr int kSteps = 600;
+constexpr uint64_t kKeyRange = 240;
+
+// One deterministic model-aware op draw: insert when the key is absent,
+// else update or erase. The op stream is a function of the rng state and
+// the model, so the recording pass and each armed pass agree up to the
+// crash.
+struct Step {
+  uint64_t key;
+  int op;  // 0=insert 1=update 2=erase
+  bool had_old;
+  uint64_t old_val;
+  uint64_t new_val;
+};
+
+Step DrawStep(const std::map<uint64_t, uint64_t>& model, Random64* rng,
+              int step) {
+  Step s{};
+  s.key = rng->Uniform(kKeyRange);
+  auto it = model.find(s.key);
+  s.had_old = it != model.end();
+  if (s.had_old) s.old_val = it->second;
+  s.op = s.had_old ? (rng->Uniform(2) ? 1 : 2) : 0;
+  s.new_val = static_cast<uint64_t>(step);
+  return s;
+}
+
+template <typename TreeT>
+void ApplyStep(TreeT* tree, const Step& s) {
+  switch (s.op) {
+    case 0:
+      tree->Insert(s.key, s.new_val);
+      break;
+    case 1:
+      tree->Update(s.key, s.new_val);
+      break;
+    default:
+      tree->Erase(s.key);
+      break;
+  }
+}
+
+void ApplyToModel(std::map<uint64_t, uint64_t>* model, const Step& s) {
+  if (s.op == 2) {
+    model->erase(s.key);
+  } else {
+    (*model)[s.key] = s.new_val;
+  }
+}
+
+// Pass 1: enumerate every crash window the workload visits, in first-visit
+// order.
+template <typename TreeT>
+std::vector<std::string> RecordPoints(const std::string& path) {
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  EXPECT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto tree = std::make_unique<TreeT>(pool.get());
+  CrashSim::Enable();
+  CrashSim::StartRecordingPoints();
+  std::map<uint64_t, uint64_t> model;
+  Random64 rng(424242);
+  for (int step = 0; step < kSteps; ++step) {
+    Step s = DrawStep(model, &rng, step);
+    ApplyStep(tree.get(), s);
+    ApplyToModel(&model, s);
+  }
+  std::vector<std::string> visited = CrashSim::StopRecordingPoints();
+  CrashSim::Disable();
+  tree.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+
+  std::vector<std::string> unique;
+  for (auto& p : visited) {
+    if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+      unique.push_back(p);
+    }
+  }
+  return unique;
+}
+
+// Pass 2: arm `point` once, replay the workload until the crash fires,
+// recover, and require (a) the invariant checker passes, (b) the
+// interrupted op applied atomically (old state xor new state), (c) every
+// other key's value survived verbatim, and (d) the rest of the workload and
+// the final differential complete cleanly.
+template <typename TreeT>
+void CrashAtPoint(const std::string& path, const std::string& point) {
+  SCOPED_TRACE("point=" + point);
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto tree = std::make_unique<TreeT>(pool.get());
+  CrashSim::Enable();
+  CrashSim::ArmCrashPoint(point, 1);
+
+  std::map<uint64_t, uint64_t> model;
+  Random64 rng(424242);
+  bool crashed = false;
+  const char* dbg_env = std::getenv("FPTREE_CRASH_DEBUG");
+  for (int step = 0; step < kSteps; ++step) {
+    Step s = DrawStep(model, &rng, step);
+    if (dbg_env != nullptr && step == std::atoi(dbg_env)) {
+      if constexpr (requires { tree->DebugDump(); }) tree->DebugDump();
+    }
+    try {
+      ApplyStep(tree.get(), s);
+      ApplyToModel(&model, s);
+    } catch (const CrashException& e) {
+      ASSERT_FALSE(crashed) << "armed point fired twice";
+      crashed = true;
+      CrashSim::SimulateCrash();
+      tree.reset();
+      pool.reset();
+      ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
+      tree = std::make_unique<TreeT>(pool.get());
+      std::string why;
+      ASSERT_TRUE(tree->CheckInvariants(&why))
+          << "after crash at " << e.what() << ": " << why;
+      // The interrupted op must have applied atomically.
+      uint64_t got = 0;
+      bool found = tree->Find(s.key, &got);
+      bool atomic = false;
+      switch (s.op) {
+        case 0:
+          atomic = !found || got == s.new_val;
+          break;
+        case 1:
+          atomic = found && (got == s.old_val || got == s.new_val);
+          break;
+        default:
+          atomic = !found || got == s.old_val;
+          break;
+      }
+      ASSERT_TRUE(atomic) << "op " << s.op << " on key " << s.key
+                          << " applied non-atomically (found=" << found
+                          << " got=" << got << ")";
+      if (found) {
+        model[s.key] = got;
+      } else {
+        model.erase(s.key);
+      }
+      // Every other key survived verbatim; no phantoms appeared.
+      for (const auto& [k, v] : model) {
+        if (k == s.key) continue;
+        uint64_t cur = 0;
+        ASSERT_TRUE(tree->Find(k, &cur)) << "key " << k << " lost";
+        ASSERT_EQ(cur, v) << "key " << k << " value lost";
+      }
+      ASSERT_EQ(tree->Size(), model.size());
+    }
+    if (crashed && dbg_env != nullptr) {
+      std::string w;
+      if (!tree->CheckInvariants(&w)) {
+        if constexpr (requires { tree->DebugDump(); }) tree->DebugDump();
+        FAIL() << "step " << step << " op " << s.op << " key " << s.key
+               << ": " << w;
+      }
+    }
+  }
+  EXPECT_TRUE(crashed) << "recorded point was never reached on replay";
+
+  std::string why;
+  if (!tree->CheckInvariants(&why)) {
+    if constexpr (requires { tree->DebugDump(); }) tree->DebugDump();
+    FAIL() << why;
+  }
+  ASSERT_EQ(tree->Size(), model.size());
+  for (const auto& [k, val] : model) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree->Find(k, &v)) << k;
+    EXPECT_EQ(v, val) << k;
+  }
+
+  CrashSim::Disable();
+  tree.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+template <typename TreeT>
+void RunAllWindows(const std::string& tag) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath(tag);
+  std::vector<std::string> points = RecordPoints<TreeT>(path);
+  ASSERT_FALSE(points.empty()) << "workload visited no crash windows";
+  for (const std::string& p : points) {
+    CrashAtPoint<TreeT>(path, p);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(BaselineCrashTest, WBTreeEveryRecordedWindow) {
+  RunAllWindows<SmallWBTree>("wbt_crash");
+}
+
+TEST(BaselineCrashTest, NVTreeEveryRecordedWindow) {
+  RunAllWindows<SmallNVTree>("nvt_crash");
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace fptree

@@ -1,0 +1,377 @@
+// Concurrent crash-recovery fuzzing (DESIGN.md §8): N writer threads run
+// disjoint random op streams against the concurrent FPTree through the index
+// interface; a crash barrier freezes the whole "machine" mid-flight in one
+// worker; recovery (swept across 1/2/4 recover threads) must then satisfy
+// every worker's history exactly:
+//
+//  * every acknowledged op is durable (the op's effect survives verbatim);
+//  * the at-most-one in-flight op per worker applied atomically or not at
+//    all (old state xor new state, never a mix);
+//  * no phantom keys — a full ordered scan yields exactly the union of the
+//    per-worker models, and the universal invariant checker passes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/recovery.h"
+#include "crash_test_util.h"
+#include "index/kv_index.h"
+#include "scm/crash.h"
+#include "scm/latency.h"
+#include "util/random.h"
+
+namespace fptree {
+namespace index {
+namespace {
+
+using scm::CrashException;
+using scm::CrashSim;
+using scm::Pool;
+using testutil::FuzzSeeds;
+using testutil::TestPath;
+
+// Crash windows reachable from the concurrent fixed-key tree. "cfptree.retry"
+// sits at the top of every HTM retry loop, so it fires on every operation and
+// doubles as the "crash at an arbitrary instant" window.
+const char* const kFixedPoints[] = {
+    "cfptree.retry",
+    "cfptree.insert.before_bitmap",
+    "cfptree.split.logged",
+    "cfptree.split.allocated",
+    "cfptree.split.copied",
+    "cfptree.split.new_bitmap",
+    "cfptree.split.old_bitmap",
+    "cfptree.split.linked",
+    "cfptree.delete.logged",
+    "cfptree.delete.prev_logged",
+    "cfptree.delete.unlinked",
+    "palloc.alloc.logged",
+    "palloc.alloc.header_marked",
+    "palloc.alloc.delivered",
+    "palloc.dealloc.logged",
+    "palloc.dealloc.nulled",
+};
+
+// The var-key concurrent tree funnels all leaf commits through the same
+// bitmap protocol; its named windows are the per-op retry point plus the
+// allocator windows its key blobs pass through.
+const char* const kVarPoints[] = {
+    "cfptreevar.retry",
+    "palloc.alloc.logged",
+    "palloc.alloc.block_chosen",
+    "palloc.alloc.header_marked",
+    "palloc.alloc.top_bumped",
+    "palloc.alloc.delivered",
+    "palloc.dealloc.logged",
+    "palloc.dealloc.nulled",
+    "palloc.dealloc.freed",
+};
+
+struct FixedTraits {
+  using Index = KVIndex;
+  using Key = uint64_t;
+  static constexpr const char* kTag = "cfuzz";
+  static constexpr const char* const* kPoints = kFixedPoints;
+  static constexpr int kPointCount =
+      sizeof(kFixedPoints) / sizeof(kFixedPoints[0]);
+  static constexpr const char* kRetryPoint = "cfptree.retry";
+
+  static std::unique_ptr<Index> Make(scm::Pool* pool) {
+    return MakeFixedIndex("fptree-c", pool);
+  }
+  static Key MakeKey(int t, int threads, uint64_t u) {
+    return static_cast<uint64_t>(t) + static_cast<uint64_t>(threads) * u;
+  }
+  static int Owner(Key k, int threads) { return static_cast<int>(k % threads); }
+  static bool Find(Index* idx, const Key& k, uint64_t* v) {
+    return idx->Find(k, v);
+  }
+  static bool Apply(Index* idx, int op, const Key& k, uint64_t v) {
+    switch (op) {
+      case 0:
+        return idx->Insert(k, v);
+      case 1:
+        return idx->Update(k, v);
+      default:
+        return idx->Erase(k);
+    }
+  }
+  static size_t ScanAll(Index* idx,
+                        const std::function<void(Key, uint64_t)>& visit) {
+    return idx->RangeScan(0, size_t{1} << 20, [&](uint64_t k, uint64_t v) {
+      visit(k, v);
+      return true;
+    });
+  }
+};
+
+struct VarTraits {
+  using Index = VarIndex;
+  using Key = std::string;
+  static constexpr const char* kTag = "cvfuzz";
+  static constexpr const char* const* kPoints = kVarPoints;
+  static constexpr int kPointCount =
+      sizeof(kVarPoints) / sizeof(kVarPoints[0]);
+  static constexpr const char* kRetryPoint = "cfptreevar.retry";
+
+  static std::unique_ptr<Index> Make(scm::Pool* pool) {
+    return MakeVarIndex("fptree-c-var", pool);
+  }
+  static Key MakeKey(int t, int threads, uint64_t u) {
+    return testutil::VarKey(static_cast<uint64_t>(t) +
+                            static_cast<uint64_t>(threads) * u);
+  }
+  static int Owner(const Key& k, int threads) {
+    return static_cast<int>(std::stoull(k) % threads);
+  }
+  static bool Find(Index* idx, const Key& k, uint64_t* v) {
+    return idx->Find(k, v);
+  }
+  static bool Apply(Index* idx, int op, const Key& k, uint64_t v) {
+    switch (op) {
+      case 0:
+        return idx->Insert(k, v);
+      case 1:
+        return idx->Update(k, v);
+      default:
+        return idx->Erase(k);
+    }
+  }
+  static size_t ScanAll(Index* idx,
+                        const std::function<void(Key, uint64_t)>& visit) {
+    return idx->RangeScan("", size_t{1} << 20,
+                          [&](std::string_view k, uint64_t v) {
+                            visit(std::string(k), v);
+                            return true;
+                          });
+  }
+};
+
+template <typename Traits>
+void RunConcurrentFuzz(uint64_t seed, int threads) {
+  using Key = typename Traits::Key;
+  scm::LatencyModel::Disable();
+  std::string path = TestPath(std::string(Traits::kTag) +
+                              std::to_string(seed) + "x" +
+                              std::to_string(threads));
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto index = Traits::Make(pool.get());
+  ASSERT_NE(index, nullptr);
+  ASSERT_TRUE(index->concurrent());
+
+  Random64 rng(seed * 1000003 + static_cast<uint64_t>(threads));
+
+  // The per-worker history: the model holds every acknowledged op's effect;
+  // `InFlight` captures the single op that was issued but not acknowledged
+  // when the crash hit. Workers own disjoint key residues mod `threads`, so
+  // histories compose without cross-thread ordering assumptions.
+  struct InFlight {
+    bool active = false;
+    Key key{};
+    int op = 0;  // 0=insert 1=update 2=erase
+    uint64_t old_val = 0;
+    uint64_t new_val = 0;
+  };
+  std::vector<std::map<Key, uint64_t>> model(threads);
+  std::vector<InFlight> inflight(threads);
+  std::vector<char> crashed(threads, 0);
+
+  // Workers must not use gtest asserts; they report through this instead.
+  std::atomic<bool> violation{false};
+  std::mutex vmu;
+  std::string vmsg;
+  auto report = [&](const std::string& m) {
+    std::lock_guard<std::mutex> l(vmu);
+    if (!violation.exchange(true)) vmsg = m;
+  };
+
+  CrashSim::Enable();
+  CrashSim::SetCrashBarrier(true);
+
+  static const uint32_t kRecoverSweep[3] = {1, 2, 4};
+  int total_crashes = 0;
+  for (int round = 0; round < 3; ++round) {
+    // Arm one window per round. Round 0 always arms the per-op retry point
+    // deep into the run (a crash at an arbitrary instant, with real state
+    // built up); later rounds draw random protocol windows.
+    const char* point =
+        round == 0 ? Traits::kRetryPoint
+                   : Traits::kPoints[rng.Uniform(Traits::kPointCount)];
+    int countdown = std::string(point) == Traits::kRetryPoint
+                        ? 40 + static_cast<int>(rng.Uniform(100))
+                        : 1 + static_cast<int>(rng.Uniform(4));
+    CrashSim::ArmCrashPoint(point, countdown);
+
+    for (int t = 0; t < threads; ++t) {
+      inflight[t] = InFlight{};
+      crashed[t] = 0;
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Random64 trng(seed * 7919 + static_cast<uint64_t>(round) * 131 +
+                      static_cast<uint64_t>(t) + 1);
+        auto& m = model[t];
+        for (int i = 0; i < 150; ++i) {
+          Key key = Traits::MakeKey(t, threads, trng.Uniform(150));
+          uint64_t val = (static_cast<uint64_t>(t + 1) << 32) |
+                         static_cast<uint64_t>(round * 1000 + i);
+          try {
+            if (trng.Uniform(5) == 0) {
+              // A read of an owned key is linearizable against this
+              // worker's own acknowledged history at every instant.
+              uint64_t got = 0;
+              bool found = Traits::Find(index.get(), key, &got);
+              auto it = m.find(key);
+              bool expect = it != m.end();
+              if (found != expect || (found && got != it->second)) {
+                report("worker read disagrees with own history");
+              }
+              continue;
+            }
+            auto it = m.find(key);
+            InFlight inf;
+            inf.active = true;
+            inf.key = key;
+            inf.new_val = val;
+            bool had_old = it != m.end();
+            if (had_old) inf.old_val = it->second;
+            inf.op = had_old ? (trng.Uniform(2) ? 1 : 2) : 0;
+            inflight[t] = inf;
+            bool ok = Traits::Apply(index.get(), inf.op, key, val);
+            if (!ok) report("op on an owned key unexpectedly failed");
+            // Acknowledged: from here the effect must survive any crash.
+            if (inf.op == 2) {
+              m.erase(key);
+            } else {
+              m[key] = val;
+            }
+            inflight[t].active = false;
+          } catch (const CrashException&) {
+            crashed[t] = 1;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    ASSERT_FALSE(violation.load()) << vmsg;
+
+    bool any_crash = CrashSim::BarrierTripped();
+    for (int t = 0; t < threads; ++t) any_crash |= (crashed[t] != 0);
+    if (any_crash) {
+      ++total_crashes;
+      CrashSim::SimulateCrash();
+      index.reset();
+      pool.reset();
+      core::SetRecoverThreads(kRecoverSweep[round]);
+      ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
+      index = Traits::Make(pool.get());  // attach = recover
+      ASSERT_NE(index, nullptr);
+    } else {
+      CrashSim::DisarmAll();
+    }
+
+    std::string why;
+    ASSERT_TRUE(index->CheckInvariants(&why)) << "round " << round << ": "
+                                              << why;
+
+    // Per-worker history validation: resolve each in-flight op (atomic:
+    // old state xor new state), then require every acknowledged op's effect
+    // verbatim.
+    for (int t = 0; t < threads; ++t) {
+      auto& m = model[t];
+      if (inflight[t].active) {
+        const InFlight& inf = inflight[t];
+        uint64_t got = 0;
+        bool found = Traits::Find(index.get(), inf.key, &got);
+        bool atomic = false;
+        switch (inf.op) {
+          case 0:
+            atomic = !found || got == inf.new_val;
+            break;
+          case 1:
+            atomic = found && (got == inf.old_val || got == inf.new_val);
+            break;
+          default:
+            atomic = !found || got == inf.old_val;
+            break;
+        }
+        ASSERT_TRUE(atomic)
+            << "worker " << t << " in-flight op " << inf.op
+            << " applied non-atomically (found=" << found << " got=" << got
+            << " old=" << inf.old_val << " new=" << inf.new_val << ")";
+        if (found) {
+          m[inf.key] = got;
+        } else {
+          m.erase(inf.key);
+        }
+        inflight[t].active = false;
+      }
+      for (const auto& [k, v] : m) {
+        uint64_t got = 0;
+        ASSERT_TRUE(Traits::Find(index.get(), k, &got))
+            << "worker " << t << ": acknowledged key lost by the crash";
+        ASSERT_EQ(got, v) << "worker " << t << ": acknowledged value lost";
+      }
+    }
+
+    // Phantom sweep: the tree holds exactly the union of the models.
+    size_t expected = 0;
+    for (const auto& m : model) expected += m.size();
+    ASSERT_EQ(index->Size(), expected);
+    size_t scanned = Traits::ScanAll(index.get(), [&](Key k, uint64_t v) {
+      int owner = Traits::Owner(k, threads);
+      auto it = model[owner].find(k);
+      if (it == model[owner].end()) {
+        report("phantom key surfaced by scan");
+      } else if (it->second != v) {
+        report("scanned value disagrees with owner history");
+      }
+    });
+    ASSERT_FALSE(violation.load()) << "round " << round << ": " << vmsg;
+    ASSERT_EQ(scanned, expected);
+  }
+  EXPECT_GE(total_crashes, 1) << "fuzz run should actually crash";
+
+  CrashSim::SetCrashBarrier(false);
+  CrashSim::Disable();
+  core::SetRecoverThreads(0);
+  index.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+class ConcurrentCrashFuzzTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(ConcurrentCrashFuzzTest, FixedKeyHistoriesSurviveCrash) {
+  auto [seed, threads] = GetParam();
+  RunConcurrentFuzz<FixedTraits>(seed, threads);
+}
+
+TEST_P(ConcurrentCrashFuzzTest, VarKeyHistoriesSurviveCrash) {
+  auto [seed, threads] = GetParam();
+  RunConcurrentFuzz<VarTraits>(seed, threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, ConcurrentCrashFuzzTest,
+    ::testing::Combine(::testing::Range(uint64_t{1}, 1 + FuzzSeeds(8)),
+                       ::testing::Values(2, 4)));
+
+}  // namespace
+}  // namespace index
+}  // namespace fptree

@@ -6,12 +6,12 @@
 // combinations that the targeted per-window tests cannot enumerate.
 
 #include <gtest/gtest.h>
-#include <unistd.h>
 
 #include <map>
 
 #include "core/fptree.h"
 #include "core/fptree_var.h"
+#include "crash_test_util.h"
 #include "scm/crash.h"
 #include "scm/latency.h"
 #include "util/random.h"
@@ -23,10 +23,8 @@ namespace {
 using scm::CrashException;
 using scm::CrashSim;
 using scm::Pool;
-
-std::string TestPath(const std::string& name) {
-  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
-}
+using testutil::FuzzSeeds;
+using testutil::TestPath;
 
 // Every named crash point in the fixed-key FPTree + allocator stack.
 const char* const kAllPoints[] = {
@@ -129,11 +127,11 @@ TEST_P(CrashFuzzTest, RandomTraceWithRandomCrashes) {
         model.erase(key);
       }
     }
-    // Invariants hold after every step.
+    // The full invariant sweep (consistency + routing agreement + leak
+    // audit) holds after every step.
     std::string why;
-    ASSERT_TRUE(tree->CheckConsistency(&why))
+    ASSERT_TRUE(tree->CheckInvariants(&why))
         << "step " << step << ": " << why;
-    ASSERT_TRUE(tree->CheckNoLeaks(&why)) << "step " << step << ": " << why;
   }
 
   // Full differential check at the end.
@@ -152,7 +150,7 @@ TEST_P(CrashFuzzTest, RandomTraceWithRandomCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzzTest,
-                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+                         ::testing::Range(uint64_t{1}, 1 + FuzzSeeds(8)));
 
 // Var-key fuzz: exercises key-blob leak windows under random crashes.
 class VarCrashFuzzTest : public ::testing::TestWithParam<uint64_t> {};
@@ -179,14 +177,8 @@ TEST_P(VarCrashFuzzTest, RandomTraceWithRandomCrashes) {
   auto tree = std::make_unique<Tree>(pool.get());
   CrashSim::Enable();
 
-  auto make_key = [](uint64_t i) {
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llu",
-                  static_cast<unsigned long long>(i));
-    return std::string(buf, 16);
-  };
-
   Random64 rng(GetParam() * 31 + 5);
+  std::map<std::string, uint64_t> model;
   int crashes = 0;
   constexpr int kPointCount = sizeof(kVarPoints) / sizeof(kVarPoints[0]);
   for (int step = 0; step < 300; ++step) {
@@ -194,10 +186,11 @@ TEST_P(VarCrashFuzzTest, RandomTraceWithRandomCrashes) {
       CrashSim::ArmCrashPoint(kVarPoints[rng.Uniform(kPointCount)],
                               1 + static_cast<int>(rng.Uniform(2)));
     }
-    std::string key = make_key(rng.Uniform(200));
+    std::string key = testutil::VarKey(rng.Uniform(200));
+    int op = static_cast<int>(rng.Uniform(3));
     bool crashed = false;
     try {
-      switch (rng.Uniform(3)) {
+      switch (op) {
         case 0:
           tree->Insert(key, step);
           break;
@@ -219,13 +212,40 @@ TEST_P(VarCrashFuzzTest, RandomTraceWithRandomCrashes) {
       ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
       tree = std::make_unique<Tree>(pool.get());
       CrashSim::Enable();
+      // The interrupted op may or may not have applied atomically; adopt
+      // the recovered state for its key, then keep the model differential.
+      uint64_t v;
+      if (tree->Find(key, &v)) {
+        model[key] = v;
+      } else {
+        model.erase(key);
+      }
+    } else {
+      switch (op) {
+        case 0:
+          model.emplace(key, step);
+          break;
+        case 1:
+          if (model.count(key)) model[key] = step;
+          break;
+        default:
+          model.erase(key);
+          break;
+      }
     }
     std::string why;
-    ASSERT_TRUE(tree->CheckConsistency(&why))
+    ASSERT_TRUE(tree->CheckInvariants(&why))
         << "step " << step << ": " << why;
-    ASSERT_TRUE(tree->CheckNoLeaks(&why)) << "step " << step << ": " << why;
   }
   EXPECT_GT(crashes, 2);
+
+  // Full differential check at the end.
+  ASSERT_EQ(tree->Size(), model.size());
+  for (auto& [k, val] : model) {
+    uint64_t v;
+    ASSERT_TRUE(tree->Find(k, &v)) << k;
+    EXPECT_EQ(v, val) << k;
+  }
 
   CrashSim::Disable();
   tree.reset();
@@ -234,7 +254,7 @@ TEST_P(VarCrashFuzzTest, RandomTraceWithRandomCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VarCrashFuzzTest,
-                         ::testing::Range(uint64_t{1}, uint64_t{6}));
+                         ::testing::Range(uint64_t{1}, 1 + FuzzSeeds(5)));
 
 }  // namespace
 }  // namespace core

@@ -1,0 +1,44 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Shared helpers for the crash-consistency test suites (crash_fuzz_test,
+// concurrent_crash_fuzz_test, baseline_crash_test).
+
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fptree {
+namespace testutil {
+
+inline std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+/// Seed count for the randomized crash-fuzz suites. Defaults to
+/// `default_count`; the FPTREE_FUZZ_SEEDS environment variable overrides it
+/// (4 keeps a local smoke run quick, CI runs 16 for deeper coverage).
+inline uint64_t FuzzSeeds(uint64_t default_count) {
+  const char* env = std::getenv("FPTREE_FUZZ_SEEDS");
+  if (env == nullptr || *env == '\0') return default_count;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(env, &end, 10);
+  if (end == env || n == 0) return default_count;
+  return static_cast<uint64_t>(n);
+}
+
+/// Fixed-width decimal key used by the var-key crash suites (order-preserving
+/// with respect to the numeric key space).
+inline std::string VarKey(uint64_t i) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(i));
+  return std::string(buf, 16);
+}
+
+}  // namespace testutil
+}  // namespace fptree

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <string>
+#include <thread>
 
 #include "scm/latency.h"
 #include "scm/pmem.h"
@@ -183,6 +186,105 @@ TEST_F(CrashSimTest, DisabledSimDoesNotLog) {
   pmem::Store(p, uint64_t{9});
   EXPECT_EQ(CrashSim::PendingRecords(), 0u);
   CrashSim::Enable();
+}
+
+// --- Thread-coherent crash barrier (DESIGN.md §8) --------------------------
+
+TEST_F(CrashSimTest, PendingRecordsAttributedPerThread) {
+  uint64_t* a = reinterpret_cast<uint64_t*>(buf_);
+  uint64_t* b = reinterpret_cast<uint64_t*>(buf_ + 128);
+  pmem::Store(a, uint64_t{1});
+  EXPECT_EQ(CrashSim::PendingRecordsForCurrentThread(), 1u);
+  std::thread t([&] {
+    pmem::Store(b, uint64_t{2});
+    EXPECT_EQ(CrashSim::PendingRecordsForCurrentThread(), 1u);
+  });
+  t.join();
+  EXPECT_EQ(CrashSim::PendingRecords(), 2u);
+  EXPECT_EQ(CrashSim::PendingThreads(), 2u);
+  // One newest-first pass reverts every thread's stores coherently.
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 0u);
+}
+
+TEST_F(CrashSimTest, RetirementSplitKeepsThreadAttribution) {
+  std::thread t([&] {
+    pmem::StoreBytes(buf_, std::string(256, 'x').data(), 256);
+  });
+  t.join();
+  pmem::Persist(buf_, 1);  // retires only the first line; tail split off
+  EXPECT_GE(CrashSim::PendingRecords(), 1u);
+  EXPECT_EQ(CrashSim::PendingThreads(), 1u);
+  EXPECT_EQ(CrashSim::PendingRecordsForCurrentThread(), 0u)
+      << "split-off tail must keep the storing thread's attribution";
+}
+
+TEST_F(CrashSimTest, BarrierFreezesSiblingAtNextStore) {
+  CrashSim::SetCrashBarrier(true);
+  CrashSim::ArmCrashPoint("barrier.fire");
+  uint64_t* a = reinterpret_cast<uint64_t*>(buf_);
+  uint64_t* b = reinterpret_cast<uint64_t*>(buf_ + 128);
+  pmem::StorePersist(a, uint64_t{1});  // durable pre-history
+  std::atomic<bool> frozen{false};
+  std::thread sibling([&] {
+    while (!CrashSim::BarrierTripped()) std::this_thread::yield();
+    try {
+      pmem::Store(b, uint64_t{7});
+    } catch (const CrashException& e) {
+      EXPECT_STREQ(e.what(), CrashSim::kBarrierPoint);
+      frozen = true;
+    }
+  });
+  pmem::Store(a, uint64_t{2});  // in-cache at the crash instant
+  EXPECT_THROW(CrashSim::Point("barrier.fire"), CrashException);
+  sibling.join();
+  EXPECT_TRUE(frozen.load());
+  EXPECT_EQ(*b, 0u) << "a frozen store must never execute";
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*a, 1u) << "unpersisted store reverts to the durable value";
+  EXPECT_FALSE(CrashSim::BarrierTripped());
+  CrashSim::SetCrashBarrier(false);
+}
+
+TEST_F(CrashSimTest, BarrierFreezesSiblingAtPointAndPersist) {
+  CrashSim::SetCrashBarrier(true);
+  CrashSim::ArmCrashPoint("barrier.fire");
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::Store(p, uint64_t{5});
+  EXPECT_THROW(CrashSim::Point("barrier.fire"), CrashException);
+  std::thread sibling([&] {
+    // An unarmed point freezes a sibling once the barrier has tripped...
+    EXPECT_THROW(CrashSim::Point("never.armed"), CrashException);
+    // ...and so does a flush (it could otherwise run on and acknowledge an
+    // operation whose stores the crash reverts).
+    EXPECT_THROW(pmem::Persist(p, sizeof(*p)), CrashException);
+  });
+  sibling.join();
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*p, 0u);
+  CrashSim::SetCrashBarrier(false);
+}
+
+TEST_F(CrashSimTest, PersistAfterBarrierTripIsDeadLetter) {
+  CrashSim::SetCrashBarrier(true);
+  CrashSim::ArmCrashPoint("barrier.fire");
+  uint64_t* p = reinterpret_cast<uint64_t*>(buf_);
+  pmem::Store(p, uint64_t{5});
+  EXPECT_THROW(CrashSim::Point("barrier.fire"), CrashException);
+  // The crashing thread is exempt from re-throw (it is unwinding) but its
+  // flush must not make anything durable after the power-loss instant.
+  pmem::Persist(p, sizeof(*p));
+  CrashSim::SimulateCrash();
+  EXPECT_EQ(*p, 0u);
+  CrashSim::SetCrashBarrier(false);
+}
+
+TEST_F(CrashSimTest, NoBarrierModeDoesNotFreeze) {
+  CrashSim::ArmCrashPoint("plain.fire");
+  EXPECT_THROW(CrashSim::Point("plain.fire"), CrashException);
+  EXPECT_FALSE(CrashSim::BarrierTripped());
+  pmem::Store(reinterpret_cast<uint64_t*>(buf_), uint64_t{3});  // no throw
 }
 
 }  // namespace
