@@ -1,0 +1,259 @@
+// Network serving throughput: an in-process fptree_server instance fronted
+// by many pipelined client connections (DESIGN.md §9). Two load shapes:
+//
+//  * closed loop (default): every connection keeps a fixed window of
+//    requests in flight and issues a new one per response — measures the
+//    saturated request rate at a given concurrency.
+//  * open loop (--open --rate=N): every connection offers N requests/second
+//    regardless of completions and reaps responses opportunistically —
+//    measures sustained throughput and exposes queueing when the offered
+//    rate exceeds capacity.
+//
+// One OS thread drives one connection, so --connections=64 really is 64
+// concurrent pipelined TCP streams. The workload is a PUT/GET/SCAN mix over
+// a keyspace preloaded through the server itself, i.e. every byte travels
+// the full codec + epoll + index path. Ends with a drain (BeginDrain) and
+// checks that every acked response was received — the zero-lost-acks
+// acceptance bar — then METRICS_JSON.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+struct NetFlags {
+  uint32_t connections = 64;
+  uint32_t window = 16;      // closed-loop in-flight window per connection
+  uint64_t rate = 20000;     // open-loop offered req/s per connection
+  bool open_loop = false;
+  uint32_t io_threads = 4;
+
+  static NetFlags Parse(int argc, char** argv) {
+    NetFlags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--connections=", 14) == 0) f.connections = std::strtoul(a + 14, nullptr, 10);
+      if (std::strncmp(a, "--window=", 9) == 0) f.window = std::strtoul(a + 9, nullptr, 10);
+      if (std::strncmp(a, "--rate=", 7) == 0) f.rate = std::strtoull(a + 7, nullptr, 10);
+      if (std::strncmp(a, "--io-threads=", 13) == 0) f.io_threads = std::strtoul(a + 13, nullptr, 10);
+      if (std::strcmp(a, "--open") == 0) f.open_loop = true;
+    }
+    if (f.connections == 0) f.connections = 1;
+    if (f.window == 0) f.window = 1;
+    return f;
+  }
+};
+
+/// One client connection's deterministic op stream: 45% PUT, 45% GET,
+/// 10% SCAN over the shared keyspace.
+struct OpStream {
+  Random64 rng;
+  uint64_t keys;
+
+  void QueueNext(net::Client* c) {
+    uint64_t dice = rng.Next() % 100;
+    uint64_t k = rng.Next() % keys;
+    if (dice < 45) {
+      c->QueuePut(MakeVarKey(k), dice);
+    } else if (dice < 90) {
+      c->QueueGet(MakeVarKey(k));
+    } else {
+      c->QueueScan(MakeVarKey(k), 16);
+    }
+  }
+};
+
+struct RunResult {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  double seconds = 0;
+};
+
+RunResult RunClosedLoop(const std::string& host, uint16_t port,
+                        const NetFlags& nf, uint64_t keys,
+                        uint64_t ops_per_conn) {
+  std::atomic<uint64_t> sent{0}, received{0};
+  SpinBarrier barrier(nf.connections + 1);
+  ThreadGroup tg;
+  tg.Spawn(nf.connections, [&](uint32_t id) {
+    net::Client client;
+    if (!client.Connect(host, port).ok()) return;
+    OpStream stream{Random64(1000 + id), keys};
+    barrier.Wait();
+    uint64_t mine_sent = 0, mine_recv = 0;
+    net::Response resp;
+    // Prime the pipeline window, then one-in-one-out until the budget is
+    // spent, then drain the window.
+    for (uint32_t i = 0; i < nf.window && mine_sent < ops_per_conn; ++i) {
+      stream.QueueNext(&client);
+      ++mine_sent;
+    }
+    if (!client.Flush().ok()) return;
+    while (mine_recv < ops_per_conn) {
+      if (!client.ReadResponse(&resp).ok()) break;
+      ++mine_recv;
+      if (mine_sent < ops_per_conn) {
+        stream.QueueNext(&client);
+        ++mine_sent;
+        if (!client.Flush().ok()) break;
+      }
+    }
+    sent.fetch_add(mine_sent);
+    received.fetch_add(mine_recv);
+    barrier.Wait();
+  });
+  barrier.Wait();
+  Stopwatch sw;
+  barrier.Wait();
+  RunResult r;
+  r.seconds = sw.ElapsedSeconds();
+  tg.Join();
+  r.sent = sent.load();
+  r.received = received.load();
+  return r;
+}
+
+RunResult RunOpenLoop(const std::string& host, uint16_t port,
+                      const NetFlags& nf, uint64_t keys,
+                      uint64_t ops_per_conn) {
+  std::atomic<uint64_t> sent{0}, received{0};
+  SpinBarrier barrier(nf.connections + 1);
+  ThreadGroup tg;
+  tg.Spawn(nf.connections, [&](uint32_t id) {
+    net::Client client;
+    if (!client.Connect(host, port).ok()) return;
+    OpStream stream{Random64(2000 + id), keys};
+    barrier.Wait();
+    uint64_t mine_sent = 0, mine_recv = 0;
+    net::Response resp;
+    const uint64_t gap_ns = nf.rate == 0 ? 0 : 1000000000ull / nf.rate;
+    uint64_t next_send = NowNanos();
+    bool alive = true;
+    while (alive && mine_sent < ops_per_conn) {
+      // Offered-rate pacing: send whenever the schedule says so, reap
+      // whatever responses have arrived in the meantime.
+      if (NowNanos() >= next_send) {
+        stream.QueueNext(&client);
+        ++mine_sent;
+        next_send += gap_ns;
+        if (!client.Flush().ok()) break;
+      }
+      bool got = true;
+      while (got) {
+        if (!client.TryReadResponse(&resp, &got).ok()) {
+          alive = false;
+          break;
+        }
+        if (got) ++mine_recv;
+      }
+    }
+    // Reap the tail.
+    while (alive && mine_recv < mine_sent) {
+      if (!client.ReadResponse(&resp).ok()) break;
+      ++mine_recv;
+    }
+    sent.fetch_add(mine_sent);
+    received.fetch_add(mine_recv);
+    barrier.Wait();
+  });
+  barrier.Wait();
+  Stopwatch sw;
+  barrier.Wait();
+  RunResult r;
+  r.seconds = sw.ElapsedSeconds();
+  tg.Join();
+  r.sent = sent.load();
+  r.received = received.load();
+  return r;
+}
+
+void RunOne(const std::string& kind, const Flags& flags, const NetFlags& nf) {
+  ScopedPool pool(size_t{2} << 30);
+  auto index = index::MakeVarIndex(kind, pool.get(), /*locked=*/true);
+  if (index == nullptr) return;
+
+  net::Server::Options sopts;
+  sopts.io_threads = nf.io_threads;
+  net::Server server(index.get(), sopts);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return;
+  }
+
+  // Preload through the wire so the steady-state mix sees a warm tree.
+  {
+    net::Client loader;
+    if (!loader.Connect("127.0.0.1", server.port()).ok()) return;
+    for (uint64_t k = 0; k < flags.keys; ++k) {
+      loader.QueuePut(MakeVarKey(k), k);
+      if (loader.inflight() >= 256) {
+        loader.Flush().ok();
+        net::Response resp;
+        while (loader.inflight() > 0) {
+          if (!loader.ReadResponse(&resp).ok()) return;
+        }
+      }
+    }
+    loader.Flush().ok();
+    net::Response resp;
+    while (loader.inflight() > 0) {
+      if (!loader.ReadResponse(&resp).ok()) return;
+    }
+  }
+
+  uint64_t ops_per_conn = flags.ops / nf.connections;
+  if (ops_per_conn == 0) ops_per_conn = 1;
+  RunResult r = nf.open_loop
+                    ? RunOpenLoop("127.0.0.1", server.port(), nf, flags.keys,
+                                  ops_per_conn)
+                    : RunClosedLoop("127.0.0.1", server.port(), nf,
+                                    flags.keys, ops_per_conn);
+
+  server.Shutdown();
+
+  // Zero lost acked writes: the server acked (fully wrote) at least every
+  // response the clients consumed; the preload responses are included.
+  bool acks_ok = server.acked_ops() >= r.received;
+  std::printf(
+      "%-14s %-6s conns=%3u window=%2u  %9.1f kops/s  sent=%llu recv=%llu "
+      "acked=%llu %s\n",
+      kind.c_str(), nf.open_loop ? "open" : "closed", nf.connections,
+      nf.window, static_cast<double>(r.received) / r.seconds / 1e3,
+      static_cast<unsigned long long>(r.sent),
+      static_cast<unsigned long long>(r.received),
+      static_cast<unsigned long long>(server.acked_ops()),
+      acks_ok ? "" : "ACK-MISMATCH");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  bench::NetFlags nf = bench::NetFlags::Parse(argc, argv);
+  if (flags.quick) {
+    flags.keys = std::min<uint64_t>(flags.keys, 20000);
+    flags.ops = std::min<uint64_t>(flags.ops, 50000);
+    nf.connections = std::min<uint32_t>(nf.connections, 16);
+  }
+  scm::LatencyModel::Disable();
+
+  bench::PrintHeader("network serving throughput (pipelined binary protocol)");
+  for (const std::string& kind :
+       flags.VarTrees({"fptree-c-var", "hashmap"})) {
+    bench::RunOne(kind, flags, nf);
+  }
+  bench::EmitMetricsJson("net_throughput");
+  return 0;
+}

@@ -91,14 +91,18 @@ class KVCache {
         index_(std::move(idx)),
         throttle_(options.network_ns_per_request) {}
 
-  /// memcached SET: insert or overwrite.
+  /// memcached SET: insert or overwrite. Both paths go through the LRU
+  /// tracker: a re-Put must refresh recency, and TrackAndMaybeEvict's
+  /// find-first discipline guarantees it never double-counts a key that is
+  /// already resident (the residency audit that motivated the fix: a
+  /// second list node per key would inflate `order.size()` against the
+  /// true resident count and trigger premature eviction).
   void Set(std::string_view key, uint64_t value) {
     throttle_.Admit();
     MaybeDumpMetrics();
     stats_.sets.fetch_add(1, std::memory_order_relaxed);
     if (!index_->Insert(key, value)) {
       index_->Update(key, value);
-      return;
     }
     if (options_.capacity != 0) {
       TrackAndMaybeEvict(key);
@@ -115,11 +119,20 @@ class KVCache {
     return hit;
   }
 
-  /// memcached DELETE.
+  /// memcached DELETE. The key must leave the LRU tracker too: a stale
+  /// entry would keep counting against the shard's capacity after the item
+  /// is gone, inflating residency and evicting live items early.
   bool Delete(std::string_view key) {
     throttle_.Admit();
+    if (options_.capacity != 0) {
+      Untrack(key);
+    }
     return index_->Erase(key);
   }
+
+  /// Shard count of the LRU tracker. Public so tests can model the exact
+  /// per-shard capacity slicing and eviction order.
+  static constexpr size_t kLruShards = 16;
 
   size_t ItemCount() const { return index_->Size(); }
   CacheStats& stats() { return stats_; }
@@ -158,8 +171,11 @@ class KVCache {
     std::unordered_map<std::string, std::list<std::string>::iterator> pos;
   };
 
-  static constexpr size_t kLruShards = 16;
-
+  /// Records `key` as most-recently-used in its shard and evicts the
+  /// shard's LRU tail once the shard exceeds its capacity slice. A key
+  /// already resident is spliced to the front — never re-inserted — so
+  /// re-Puts cannot double-count residency, and `shard.order.size()`
+  /// always equals the number of distinct tracked keys.
   void TrackAndMaybeEvict(std::string_view key) {
     LruShard& shard = shards_[HashBytes(key.data(), key.size()) % kLruShards];
     std::string victim;
@@ -183,6 +199,17 @@ class KVCache {
       if (index_->Erase(victim)) {
         stats_.evictions.fetch_add(1, std::memory_order_relaxed);
       }
+    }
+  }
+
+  /// Drops `key` from its shard's LRU bookkeeping (explicit Delete).
+  void Untrack(std::string_view key) {
+    LruShard& shard = shards_[HashBytes(key.data(), key.size()) % kLruShards];
+    std::lock_guard<std::mutex> l(shard.mu);
+    auto it = shard.pos.find(std::string(key));
+    if (it != shard.pos.end()) {
+      shard.order.erase(it->second);
+      shard.pos.erase(it);
     }
   }
 

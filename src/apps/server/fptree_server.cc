@@ -1,0 +1,131 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// fptree_server: network front-end for any registered var-key index
+// (DESIGN.md §9). Binds a TCP port, serves the length-prefixed GET/PUT/
+// DEL/SCAN protocol from src/net/protocol.h over a persistent pool, and
+// drains gracefully on SIGTERM/SIGINT — in-flight requests are answered
+// and flushed, then the process prints a METRICS_JSON line and exits.
+//
+//   fptree_server --port=7070 --tree=fptree-c-var --threads=4 \
+//                 --pool=/tmp/fptree_server.pool --pool-mb=1024
+//
+// Pair with bench_net_throughput as the load generator.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "index/kv_index.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "scm/latency.h"
+#include "scm/pool.h"
+
+namespace fptree {
+namespace {
+
+struct ServerFlags {
+  uint16_t port = 7070;
+  std::string host = "127.0.0.1";
+  std::string tree = "fptree-c-var";
+  uint32_t threads = 2;
+  std::string pool_path = "/tmp/fptree_server.pool";
+  uint64_t pool_mb = 1024;
+  uint32_t sample = 64;
+  uint32_t drain_grace_ms = 5000;
+
+  static ServerFlags Parse(int argc, char** argv) {
+    ServerFlags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--port=", 7) == 0) f.port = static_cast<uint16_t>(std::strtoul(a + 7, nullptr, 10));
+      if (std::strncmp(a, "--host=", 7) == 0) f.host = a + 7;
+      if (std::strncmp(a, "--tree=", 7) == 0) f.tree = a + 7;
+      if (std::strncmp(a, "--threads=", 10) == 0) f.threads = std::strtoul(a + 10, nullptr, 10);
+      if (std::strncmp(a, "--pool=", 7) == 0) f.pool_path = a + 7;
+      if (std::strncmp(a, "--pool-mb=", 10) == 0) f.pool_mb = std::strtoull(a + 10, nullptr, 10);
+      if (std::strncmp(a, "--sample=", 9) == 0) f.sample = std::strtoul(a + 9, nullptr, 10);
+      if (std::strncmp(a, "--drain-grace-ms=", 17) == 0) f.drain_grace_ms = std::strtoul(a + 17, nullptr, 10);
+      if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+        std::printf(
+            "usage: fptree_server [--port=N] [--host=A] [--tree=NAME]\n"
+            "                     [--threads=N] [--pool=PATH] [--pool-mb=N]\n"
+            "                     [--sample=N] [--drain-grace-ms=N]\n"
+            "registered var-key trees:");
+        for (const std::string& n : index::ListVarIndexNames()) {
+          std::printf(" %s", n.c_str());
+        }
+        std::printf("\n");
+        std::exit(0);
+      }
+    }
+    return f;
+  }
+};
+
+int Run(int argc, char** argv) {
+  ServerFlags flags = ServerFlags::Parse(argc, argv);
+  obs::SetSampleInterval(flags.sample);
+  scm::LatencyModel::Disable();  // serve at native speed
+
+  std::unique_ptr<scm::Pool> pool;
+  bool created = false;
+  scm::Pool::Options popts{.size = flags.pool_mb << 20,
+                           .randomize_base = false};
+  Status s = scm::Pool::OpenOrCreate(flags.pool_path, 1, popts, &pool,
+                                     &created);
+  if (!s.ok()) {
+    std::fprintf(stderr, "pool open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Non-concurrent trees get the registry's global lock so the IO workers
+  // can share them, mirroring the paper's memcached arrangement.
+  auto index = index::MakeVarIndex(flags.tree, pool.get(), /*locked=*/true);
+  if (index == nullptr) {
+    std::fprintf(stderr, "unknown --tree=%s; registered:", flags.tree.c_str());
+    for (const std::string& n : index::ListVarIndexNames()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  net::Server::Options sopts;
+  sopts.port = flags.port;
+  sopts.host = flags.host;
+  sopts.io_threads = flags.threads;
+  sopts.drain_grace_ms = flags.drain_grace_ms;
+  net::Server server(index.get(), sopts);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  net::InstallDrainOnSignal(&server, SIGTERM);
+  net::InstallDrainOnSignal(&server, SIGINT);
+
+  std::printf("fptree_server listening on %s:%u tree=%s threads=%u pool=%s%s\n",
+              flags.host.c_str(), server.port(), flags.tree.c_str(),
+              flags.threads, flags.pool_path.c_str(),
+              created ? " (created)" : " (recovered)");
+  std::printf("READY port=%u\n", server.port());
+  std::fflush(stdout);
+
+  server.Join();  // returns once a SIGTERM/SIGINT drain completes
+  net::InstallDrainOnSignal(nullptr, SIGTERM);
+  net::InstallDrainOnSignal(nullptr, SIGINT);
+
+  std::printf("drained: acked_ops=%llu index_size=%zu\n",
+              static_cast<unsigned long long>(server.acked_ops()),
+              index->Size());
+  std::printf("METRICS_JSON %s\n", obs::GlobalJson("fptree_server").c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fptree
+
+int main(int argc, char** argv) { return fptree::Run(argc, argv); }

@@ -169,7 +169,7 @@ class ConcurrentFPTree {
       tx.Begin();
       LeafNode* leaf = FindLeafTx(&tx, key, nullptr);
       if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Load(&leaf->lock_word) == 1) {
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
         tx.UserAbort();
         continue;
       }
@@ -198,7 +198,7 @@ class ConcurrentFPTree {
       tx.Begin();
       leaf = FindLeafTx(&tx, key, nullptr);
       if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Load(&leaf->lock_word) == 1) {
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
         tx.UserAbort();
         continue;
       }
@@ -209,7 +209,7 @@ class ConcurrentFPTree {
         return false;
       }
       decision = IsFull(leaf) ? Decision::kSplit : Decision::kInsert;
-      tx.Store(&leaf->lock_word, 1);  // never persisted (paper Alg. 2)
+      tx.Store(&leaf->lock_word, NewOddGen());  // never persisted (Alg. 2)
       if (tx.Commit()) break;
     }
 
@@ -244,7 +244,7 @@ class ConcurrentFPTree {
       tx.Begin();
       leaf = FindLeafTx(&tx, key, nullptr);
       if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Load(&leaf->lock_word) == 1) {
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
         tx.UserAbort();
         continue;
       }
@@ -256,7 +256,7 @@ class ConcurrentFPTree {
         return false;
       }
       decision = IsFull(leaf) ? Decision::kSplit : Decision::kUpdate;
-      tx.Store(&leaf->lock_word, 1);
+      tx.Store(&leaf->lock_word, NewOddGen());
       if (tx.Commit()) break;
     }
 
@@ -304,7 +304,7 @@ class ConcurrentFPTree {
       PathRec path;
       leaf = FindLeafTx(&tx, key, &path);
       if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Load(&leaf->lock_word) == 1) {
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
         tx.UserAbort();
         continue;
       }
@@ -320,13 +320,13 @@ class ConcurrentFPTree {
       if (BitmapCount(leaf) == 1 && !head_only) {
         prev = FindPrevLeafTx(&tx, &path);
         if (!tx.ok()) continue;
-        if (prev != nullptr && tx.Load(&prev->lock_word) == 1) {
+        if (prev != nullptr && (tx.Load(&prev->lock_word) & 1) != 0) {
           tx.UserAbort();
           continue;
         }
         decision = Decision::kLeafEmpty;
-        tx.Store(&leaf->lock_word, 1);
-        if (prev != nullptr) tx.Store(&prev->lock_word, 1);
+        tx.Store(&leaf->lock_word, NewOddGen());
+        if (prev != nullptr) tx.Store(&prev->lock_word, NewOddGen());
         // The leaf becomes unreachable: remove it from the inner nodes
         // inside this same transaction (no persistence primitives needed).
         RemoveLeafFromInnerTx(&tx, &path);
@@ -337,7 +337,7 @@ class ConcurrentFPTree {
         if (tx.Commit()) break;
       } else {
         decision = Decision::kDelete;
-        tx.Store(&leaf->lock_word, 1);
+        tx.Store(&leaf->lock_word, NewOddGen());
         if (tx.Commit()) break;
       }
     }
@@ -361,53 +361,66 @@ class ConcurrentFPTree {
   /// read under the transactional lock-word protocol (per-leaf
   /// consistency; the scan as a whole is weakly consistent with respect to
   /// concurrent writers, like range queries over the paper's leaf list).
+  /// Memory safety vs concurrent DeleteLeaf: every snapshot is validated
+  /// by a generation witness — each lock acquisition stores a globally
+  /// unique odd value and each release a globally unique even value, so an
+  /// unchanged lock word across the snapshot proves the leaf was untouched
+  /// for the whole window (a plain locked/unlocked bit would admit ABA: a
+  /// split that clears the upper bitmap half can be followed by reinserts
+  /// that restore the identical bitmap, with the lock cycling through the
+  /// same values, and the snapshot would mix a pre-split next pointer with
+  /// post-refill slots and skip the new sibling). The next-leaf offset is
+  /// captured inside that witnessed window, so it cannot come from a
+  /// recycled leaf. The successor itself can still be deleted after our
+  /// snapshot and its memory recycled into a live leaf for a different key
+  /// range, so each hop is a handshake: snapshot the successor first, then
+  /// re-check the predecessor's generation — unlinking the successor must
+  /// lock the predecessor (bumping its generation), so a recycled
+  /// successor cannot pass both checks. The entry leaf has no predecessor;
+  /// it is confirmed by a second descent mapping the cursor to the same
+  /// leaf after the snapshot. A leaf that stays locked (a descheduled
+  /// writer, or a deleted leaf whose lock word stays odd forever) is
+  /// retried with bounded exponential backoff and then abandoned; every
+  /// failure path re-descends from the root at the smallest key not yet
+  /// emitted, so output stays sorted and duplicate-free.
   void RangeScan(Key start, size_t limit,
                  std::vector<std::pair<Key, Value>>* out) {
     out->clear();
+    if (limit == 0) return;
     htm::Tx tx(&htm_);
-    LeafNode* leaf = nullptr;
-    for (;;) {
-      SCM_CRASH_POINT("cfptree.retry");
-      tx.Begin();
-      leaf = FindLeafTx(&tx, start, nullptr);
-      if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Commit()) break;
-    }
-    std::vector<std::pair<Key, Value>> in_leaf;
+    Key cursor = start;
+    std::vector<std::pair<Key, Value>> in_leaf, in_succ;
     // Guard against pathological walks over leaves recycled mid-scan
     // (weakly consistent with concurrent deletes).
-    uint64_t guard = pool_->size() / sizeof(LeafNode) + 2;
-    while (leaf != nullptr && out->size() < limit && guard-- > 0) {
-      // Per-leaf snapshot: retry while a writer holds the leaf.
-      for (;;) {
-        SCM_CRASH_POINT("cfptree.retry");
-        if (scm::pmem::Load(&leaf->lock_word) == 1) {
-          SpinBarrier::CpuRelax();
-          continue;
-        }
-        uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
-        std::atomic_thread_fence(std::memory_order_acquire);
-        in_leaf.clear();
-        for (size_t i = 0; i < kLeafCap; ++i) {
-          if (!((bmp >> i) & 1)) continue;
-          scm::ReadScm(&leaf->kv[i], sizeof(KV));
-          Key k = scm::pmem::Load(&leaf->kv[i].key);
-          if (k >= start) in_leaf.emplace_back(k, leaf->kv[i].value);
-        }
-        // Validate the snapshot: unchanged bitmap and still unlocked.
-        std::atomic_thread_fence(std::memory_order_acquire);
-        if (scm::pmem::Load(&leaf->lock_word) == 0 &&
-            scm::pmem::Load(&leaf->bitmap) == bmp) {
-          break;
-        }
-      }
+    const uint64_t max_hops = pool_->size() / sizeof(LeafNode) + 2;
+    uint64_t guard = max_hops;
+    uint64_t gen = 0;
+    uint64_t next_off = 0;
+    LeafNode* leaf = EnterScan(&tx, cursor, &in_leaf, &next_off, &gen);
+    for (;;) {
       std::sort(in_leaf.begin(), in_leaf.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
       for (auto& p : in_leaf) {
-        if (out->size() >= limit) break;
+        if (out->size() >= limit) return;
         out->push_back(p);
+        if (p.first == ~Key{0}) return;  // key-space max: cursor is done
+        cursor = p.first + 1;
       }
-      leaf = leaf->next.get();
+      if (out->size() >= limit || next_off == 0) return;
+      LeafNode* succ = scm::PPtr<LeafNode>{pool_->id(), next_off}.get();
+      uint64_t succ_gen = 0;
+      uint64_t succ_next = 0;
+      if (guard-- > 0 &&
+          SnapshotLeaf(succ, cursor, &in_succ, &succ_next, &succ_gen) &&
+          RevalidateLeaf(leaf, gen)) {
+        leaf = succ;
+        gen = succ_gen;
+        next_off = succ_next;
+        in_leaf.swap(in_succ);
+      } else {
+        leaf = EnterScan(&tx, cursor, &in_leaf, &next_off, &gen);
+        guard = max_hops;  // fresh descent, fresh chain budget
+      }
     }
   }
 
@@ -464,7 +477,7 @@ class ConcurrentFPTree {
     for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
          leaf = leaf->next.get()) {
       reachable.insert(pool_->ToPPtr(leaf).offset);
-      if (scm::pmem::Load(&leaf->lock_word) != 0) {
+      if ((scm::pmem::Load(&leaf->lock_word) & 1) != 0) {
         *why = "quiesced leaf still holds its lock word";
         return false;
       }
@@ -669,10 +682,110 @@ class ConcurrentFPTree {
     return -1;
   }
 
+  /// Per-leaf retry budget for RangeScan before the scan abandons the leaf
+  /// and re-descends from the root (a deleted leaf's lock word is never
+  /// released, so an unbounded spin would livelock every scanner).
+  static constexpr uint32_t kScanLockRounds = 64;
+
+  /// Transactional descent used by RangeScan on entry and whenever a leaf
+  /// snapshot fails its validation budget.
+  LeafNode* DescendForScan(htm::Tx* tx, Key key) {
+    for (;;) {
+      SCM_CRASH_POINT("cfptree.retry");
+      tx->Begin();
+      LeafNode* leaf = FindLeafTx(tx, key, nullptr);
+      if (!tx->ok() || leaf == nullptr) continue;
+      if (tx->Commit()) return leaf;
+    }
+  }
+
+  /// One validated RangeScan leaf snapshot: pairs with key >= `ge` land in
+  /// `out`, and the next-leaf offset is captured inside the same validated
+  /// window (an offset loaded after validation could belong to a recycled
+  /// leaf). Validation is a generation witness: the lock word is read once
+  /// before and once after the slot reads, and the snapshot is good only
+  /// if both reads saw the same even (released) value — every release
+  /// stores a globally unique generation, so equality proves no writer
+  /// locked the leaf in between (no bitmap ABA, no recycle ABA). The
+  /// witnessed generation is returned through `gen_out` so the caller can
+  /// later RevalidateLeaf() this snapshot. Returns false when the leaf
+  /// stayed locked for the whole bounded-backoff budget; the caller
+  /// re-descends from the root.
+  bool SnapshotLeaf(LeafNode* leaf, Key ge,
+                    std::vector<std::pair<Key, Value>>* out,
+                    uint64_t* next_off, uint64_t* gen_out) {
+    for (uint32_t round = 0; round < kScanLockRounds; ++round) {
+      SCM_CRASH_POINT("cfptree.retry");
+      uint64_t w1 = __atomic_load_n(&leaf->lock_word, __ATOMIC_ACQUIRE);
+      if ((w1 & 1) != 0) {
+        BackoffSpin(round);
+        continue;
+      }
+      uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      out->clear();
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!((bmp >> i) & 1)) continue;
+        scm::ReadScm(&leaf->kv[i], sizeof(KV));
+        Key k = scm::pmem::Load(&leaf->kv[i].key);
+        if (k >= ge) out->emplace_back(k, leaf->kv[i].value);
+      }
+      uint64_t next = scm::pmem::Load(&leaf->next.offset);
+      // Validate: same generation on both sides of the reads, next inside
+      // the pool.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (scm::pmem::Load(&leaf->lock_word) == w1 && next < pool_->size()) {
+        *next_off = next;
+        *gen_out = w1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Re-checks an earlier SnapshotLeaf(): the leaf still carries the
+  /// witnessed generation, i.e. no writer locked it since. Called AFTER
+  /// snapshotting the successor: deleting (and recycling) the successor
+  /// requires the deleter to lock this leaf and rewrite its next field,
+  /// which bumps the generation — so passing here means the successor
+  /// snapshot read the live chain.
+  bool RevalidateLeaf(LeafNode* leaf, uint64_t gen) {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return scm::pmem::Load(&leaf->lock_word) == gen;
+  }
+
+  /// Scan entry (and recovery after any failed hop): descend to the leaf
+  /// covering `cursor`, snapshot it, then confirm with a second descent
+  /// that the inner index still maps `cursor` to the same leaf — without
+  /// the confirmation the leaf could have been deleted and recycled into a
+  /// different key range between the descent's commit and our snapshot,
+  /// and the scan would emit that range and skip everything in between.
+  LeafNode* EnterScan(htm::Tx* tx, Key cursor,
+                      std::vector<std::pair<Key, Value>>* out,
+                      uint64_t* next_off, uint64_t* gen_out) {
+    for (;;) {
+      LeafNode* leaf = DescendForScan(tx, cursor);
+      if (!SnapshotLeaf(leaf, cursor, out, next_off, gen_out)) continue;
+      if (DescendForScan(tx, cursor) == leaf) return leaf;
+    }
+  }
+
   // --- Persistent mutations (outside transactions, leaf locked) ------------
 
+  /// Lock-word generations: acquisitions store a fresh odd value, releases
+  /// a fresh even value, so every value a leaf's lock word ever holds is
+  /// globally unique. Scans use an unchanged word as proof the leaf was
+  /// untouched across their read window (see SnapshotLeaf). The word is
+  /// transient — recovery resets it to 0 (even, i.e. released).
+  uint64_t NewOddGen() {
+    return lock_gen_.fetch_add(2, std::memory_order_relaxed) | 1;
+  }
+  uint64_t NewEvenGen() {
+    return lock_gen_.fetch_add(2, std::memory_order_relaxed);
+  }
+
   void UnlockLeaf(LeafNode* leaf) {
-    __atomic_store_n(&leaf->lock_word, uint64_t{0}, __ATOMIC_RELEASE);
+    __atomic_store_n(&leaf->lock_word, NewEvenGen(), __ATOMIC_RELEASE);
   }
 
   void InsertKV(LeafNode* leaf, Key key, const Value& value) {
@@ -707,8 +820,11 @@ class ConcurrentFPTree {
     LeafNode* leaf = log->p_current.get();
     LeafNode* new_leaf = log->p_new.get();
     scm::pmem::StoreBytes(new_leaf, leaf, sizeof(LeafNode));
-    // The copy duplicated the lock word; the new leaf starts locked, which
-    // is exactly what the insert path needs.
+    // The copy duplicated the (odd, locked) lock word; re-stamp it with a
+    // fresh odd generation so this incarnation of the node is unique —
+    // a scanner holding a witness from a prior leaf at this address must
+    // not be able to validate against the copied value.
+    __atomic_store_n(&new_leaf->lock_word, NewOddGen(), __ATOMIC_RELEASE);
     scm::pmem::Persist(new_leaf, sizeof(LeafNode));
     SCM_CRASH_POINT("cfptree.split.copied");
     Key sk = ComputeSplitKey(leaf);
@@ -1058,6 +1174,9 @@ class ConcurrentFPTree {
   LogClaimMask split_claims_;
   LogClaimMask delete_claims_;
   std::atomic<size_t> size_{0};
+  /// Lock-word generation counter (see NewOddGen). Starts at 2 so the
+  /// recovery-reset value 0 is never re-issued.
+  std::atomic<uint64_t> lock_gen_{2};
   uint64_t recovery_nanos_ = 0;
 };
 

@@ -31,6 +31,7 @@
 #include "scm/pool.h"
 #include "util/hash.h"
 #include "util/simd.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace fptree {
@@ -90,7 +91,7 @@ class ConcurrentFPTreeVar {
       tx.Begin();
       LeafNode* leaf = FindLeafTx(&tx, key);
       if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Load(&leaf->lock_word) == 1) {
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
         tx.UserAbort();
         continue;
       }
@@ -118,7 +119,7 @@ class ConcurrentFPTreeVar {
       tx.Begin();
       leaf = FindLeafTx(&tx, key);
       if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Load(&leaf->lock_word) == 1) {
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
         tx.UserAbort();
         continue;
       }
@@ -127,7 +128,7 @@ class ConcurrentFPTreeVar {
         return false;
       }
       decision = IsFull(leaf) ? Decision::kSplit : Decision::kInsert;
-      tx.Store(&leaf->lock_word, 1);
+      tx.Store(&leaf->lock_word, NewOddGen());
       if (tx.Commit()) break;
     }
 
@@ -161,7 +162,7 @@ class ConcurrentFPTreeVar {
       tx.Begin();
       leaf = FindLeafTx(&tx, key);
       if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Load(&leaf->lock_word) == 1) {
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
         tx.UserAbort();
         continue;
       }
@@ -171,7 +172,7 @@ class ConcurrentFPTreeVar {
         return false;
       }
       decision = IsFull(leaf) ? Decision::kSplit : Decision::kUpdate;
-      tx.Store(&leaf->lock_word, 1);
+      tx.Store(&leaf->lock_word, NewOddGen());
       if (tx.Commit()) break;
     }
 
@@ -216,7 +217,7 @@ class ConcurrentFPTreeVar {
       tx.Begin();
       leaf = FindLeafTx(&tx, key);
       if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Load(&leaf->lock_word) == 1) {
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
         tx.UserAbort();
         continue;
       }
@@ -224,7 +225,7 @@ class ConcurrentFPTreeVar {
         if (!tx.Commit()) continue;
         return false;
       }
-      tx.Store(&leaf->lock_word, 1);
+      tx.Store(&leaf->lock_word, NewOddGen());
       if (tx.Commit()) break;
     }
     int slot = ScanLeaf(leaf, key);
@@ -239,71 +240,45 @@ class ConcurrentFPTreeVar {
 
   /// Ordered scan of up to `limit` pairs with key >= start; the leaf-chain
   /// walk mirrors the fixed-key concurrent tree: each leaf is snapshotted
-  /// under the lock-word/bitmap validation protocol, the whole scan is
+  /// under the generation-witnessed lock-word protocol, the whole scan is
   /// weakly consistent with concurrent writers. Key blobs read from a racy
   /// snapshot always point into mapped pool memory (the allocator never
   /// unmaps), so a stale read yields garbage bytes that validation discards.
+  /// The next-leaf offset is captured inside the validated snapshot window
+  /// and a leaf that stays locked is abandoned after a bounded-backoff
+  /// budget (the scan re-descends from the root at the smallest key not yet
+  /// emitted) — the same protocol as the fixed-key concurrent tree, even
+  /// though this tree never unlinks leaves, so the scan cannot livelock on
+  /// a writer descheduled while holding a leaf.
   void RangeScan(std::string_view start, size_t limit,
                  std::vector<std::pair<std::string, Value>>* out) {
     out->clear();
+    if (limit == 0) return;
     htm::Tx tx(&htm_);
-    LeafNode* leaf = nullptr;
-    for (;;) {
-      SCM_CRASH_POINT("cfptreevar.retry");
-      tx.Begin();
-      leaf = FindLeafTx(&tx, start);
-      if (!tx.ok() || leaf == nullptr) continue;
-      if (tx.Commit()) break;
-    }
+    std::string cursor(start);
+    LeafNode* leaf = DescendForScan(&tx, cursor);
     std::vector<std::pair<std::string, Value>> in_leaf;
     // Guard against pathological walks over leaves recycled mid-scan.
-    uint64_t guard = pool_->size() / sizeof(LeafNode) + 2;
+    const uint64_t max_hops = pool_->size() / sizeof(LeafNode) + 2;
+    uint64_t guard = max_hops;
     while (leaf != nullptr && out->size() < limit && guard-- > 0) {
-      for (;;) {
-        SCM_CRASH_POINT("cfptreevar.retry");
-        if (scm::pmem::Load(&leaf->lock_word) == 1) {
-          SpinBarrier::CpuRelax();
-          continue;
-        }
-        uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
-        std::atomic_thread_fence(std::memory_order_acquire);
-        in_leaf.clear();
-        bool torn = false;
-        for (size_t i = 0; i < kLeafCap; ++i) {
-          if (!((bmp >> i) & 1)) continue;
-          scm::ReadScm(&leaf->kv[i], sizeof(KV));
-          scm::PPtr<KeyBlob> pkey;
-          pkey.pool_id = scm::pmem::Load(&leaf->kv[i].pkey.pool_id);
-          pkey.offset = scm::pmem::Load(&leaf->kv[i].pkey.offset);
-          if (pkey.IsNull()) {  // slot mutated under us; snapshot is stale
-            torn = true;
-            break;
-          }
-          const KeyBlob* blob = pkey.get();
-          uint64_t len = scm::pmem::Load(&blob->len);
-          if (len > kMaxVarKeyLen) {  // recycled blob; snapshot is stale
-            torn = true;
-            break;
-          }
-          scm::ReadScm(blob, sizeof(uint64_t) + len);
-          std::string k(blob->bytes, len);
-          if (k >= start) in_leaf.emplace_back(std::move(k),
-                                               leaf->kv[i].value);
-        }
-        // Validate the snapshot: unchanged bitmap and still unlocked.
-        std::atomic_thread_fence(std::memory_order_acquire);
-        if (!torn && scm::pmem::Load(&leaf->lock_word) == 0 &&
-            scm::pmem::Load(&leaf->bitmap) == bmp) {
-          break;
-        }
+      uint64_t next_off = 0;
+      if (!SnapshotLeaf(leaf, cursor, &in_leaf, &next_off)) {
+        leaf = DescendForScan(&tx, cursor);
+        guard = max_hops;  // fresh descent, fresh chain budget
+        continue;
       }
       std::sort(in_leaf.begin(), in_leaf.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
       for (auto& p : in_leaf) {
         if (out->size() >= limit) break;
+        cursor.assign(p.first);
+        cursor.push_back('\0');  // successor: the smallest key > p.first
         out->push_back(std::move(p));
       }
-      leaf = leaf->next.get();
+      leaf = next_off == 0
+                 ? nullptr
+                 : scm::PPtr<LeafNode>{pool_->id(), next_off}.get();
     }
   }
 
@@ -360,7 +335,7 @@ class ConcurrentFPTreeVar {
     for (LeafNode* leaf = proot_->head.get(); leaf != nullptr;
          leaf = leaf->next.get()) {
       reachable.insert(pool_->ToPPtr(leaf).offset);
-      if (scm::pmem::Load(&leaf->lock_word) != 0) {
+      if ((scm::pmem::Load(&leaf->lock_word) & 1) != 0) {
         *why = "quiesced leaf still holds its lock word";
         return false;
       }
@@ -515,8 +490,86 @@ class ConcurrentFPTreeVar {
     return -1;
   }
 
+  /// Per-leaf retry budget for RangeScan; see the fixed-key tree.
+  static constexpr uint32_t kScanLockRounds = 64;
+
+  LeafNode* DescendForScan(htm::Tx* tx, std::string_view key) {
+    for (;;) {
+      SCM_CRASH_POINT("cfptreevar.retry");
+      tx->Begin();
+      LeafNode* leaf = FindLeafTx(tx, key);
+      if (!tx->ok() || leaf == nullptr) continue;
+      if (tx->Commit()) return leaf;
+    }
+  }
+
+  /// One validated RangeScan leaf snapshot (pairs with key >= `ge`, plus
+  /// the next-leaf offset captured inside the validated window). The
+  /// snapshot is witnessed by the lock word's generation: good only if the
+  /// word holds the same even (released) value before and after the reads,
+  /// which proves no writer locked the leaf in between — a plain
+  /// locked/unlocked bit would admit the split-refill bitmap ABA (see the
+  /// fixed-key tree's SnapshotLeaf). Returns false once the
+  /// bounded-backoff budget is exhausted.
+  bool SnapshotLeaf(LeafNode* leaf, const std::string& ge,
+                    std::vector<std::pair<std::string, Value>>* out,
+                    uint64_t* next_off) {
+    for (uint32_t round = 0; round < kScanLockRounds; ++round) {
+      SCM_CRASH_POINT("cfptreevar.retry");
+      uint64_t w1 = __atomic_load_n(&leaf->lock_word, __ATOMIC_ACQUIRE);
+      if ((w1 & 1) != 0) {
+        BackoffSpin(round);
+        continue;
+      }
+      uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      out->clear();
+      bool torn = false;
+      for (size_t i = 0; i < kLeafCap; ++i) {
+        if (!((bmp >> i) & 1)) continue;
+        scm::ReadScm(&leaf->kv[i], sizeof(KV));
+        scm::PPtr<KeyBlob> pkey;
+        pkey.pool_id = scm::pmem::Load(&leaf->kv[i].pkey.pool_id);
+        pkey.offset = scm::pmem::Load(&leaf->kv[i].pkey.offset);
+        if (pkey.IsNull()) {  // slot mutated under us; snapshot is stale
+          torn = true;
+          break;
+        }
+        const KeyBlob* blob = pkey.get();
+        uint64_t len = scm::pmem::Load(&blob->len);
+        if (len > kMaxVarKeyLen) {  // recycled blob; snapshot is stale
+          torn = true;
+          break;
+        }
+        scm::ReadScm(blob, sizeof(uint64_t) + len);
+        std::string k(blob->bytes, len);
+        if (k >= ge) out->emplace_back(std::move(k), leaf->kv[i].value);
+      }
+      uint64_t next = scm::pmem::Load(&leaf->next.offset);
+      // Validate: same generation on both sides of the reads, next inside
+      // the pool.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (!torn && scm::pmem::Load(&leaf->lock_word) == w1 &&
+          next < pool_->size()) {
+        *next_off = next;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Lock-word generations (see the fixed-key tree): acquisitions store a
+  /// fresh odd value, releases a fresh even value, so an unchanged lock
+  /// word witnesses an untouched leaf across a scan's read window.
+  uint64_t NewOddGen() {
+    return lock_gen_.fetch_add(2, std::memory_order_relaxed) | 1;
+  }
+  uint64_t NewEvenGen() {
+    return lock_gen_.fetch_add(2, std::memory_order_relaxed);
+  }
+
   void UnlockLeaf(LeafNode* leaf) {
-    __atomic_store_n(&leaf->lock_word, uint64_t{0}, __ATOMIC_RELEASE);
+    __atomic_store_n(&leaf->lock_word, NewEvenGen(), __ATOMIC_RELEASE);
   }
 
   void InsertKV(LeafNode* leaf, std::string_view key, const Value& value) {
@@ -550,6 +603,9 @@ class ConcurrentFPTreeVar {
     LeafNode* leaf = log->p_current.get();
     LeafNode* new_leaf = log->p_new.get();
     scm::pmem::StoreBytes(new_leaf, leaf, sizeof(LeafNode));
+    // Re-stamp the copied lock word with a fresh odd generation so this
+    // incarnation of the node is unique (see the fixed-key tree).
+    __atomic_store_n(&new_leaf->lock_word, NewOddGen(), __ATOMIC_RELEASE);
     scm::pmem::Persist(new_leaf, sizeof(LeafNode));
     std::string sk = ComputeSplitKey(leaf);
     uint64_t upper = 0;
@@ -863,6 +919,9 @@ class ConcurrentFPTreeVar {
   std::vector<std::unique_ptr<std::string>> interned_;
   uint64_t intern_bytes_ = 0;
   std::atomic<size_t> size_{0};
+  /// Lock-word generation counter (see NewOddGen). Starts at 2 so the
+  /// recovery-reset value 0 is never re-issued.
+  std::atomic<uint64_t> lock_gen_{2};
   uint64_t recovery_nanos_ = 0;
 };
 

@@ -1,0 +1,181 @@
+// Copyright (c) FPTree reproduction authors.
+
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fptree {
+namespace net {
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError("connect: " + std::string(strerror(errno)));
+    Close();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  outbuf_.clear();
+  inbuf_.clear();
+  in_pos_ = 0;
+  queued_ = received_ = 0;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Flush() {
+  size_t off = 0;
+  while (off < outbuf_.size()) {
+    // MSG_NOSIGNAL: EPIPE instead of SIGPIPE when the server is gone.
+    ssize_t w = ::send(fd_, outbuf_.data() + off, outbuf_.size() - off,
+                       MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+    } else if (w < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return Status::IOError("write: " + std::string(strerror(errno)));
+    }
+  }
+  outbuf_.clear();
+  return Status::OK();
+}
+
+Status Client::FillBuffer(bool blocking, bool* progress) {
+  *progress = false;
+  char buf[64 * 1024];
+  int flags = blocking ? 0 : MSG_DONTWAIT;
+  ssize_t r = ::recv(fd_, buf, sizeof(buf), flags);
+  if (r > 0) {
+    inbuf_.append(buf, static_cast<size_t>(r));
+    *progress = true;
+    return Status::OK();
+  }
+  if (r == 0) return Status::IOError("server closed the connection");
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return Status::OK();
+  }
+  return Status::IOError("recv: " + std::string(strerror(errno)));
+}
+
+Status Client::DecodeOne(Response* resp, bool* got) {
+  *got = false;
+  size_t consumed = 0;
+  DecodeStatus st = DecodeResponse(inbuf_.data() + in_pos_,
+                                   inbuf_.size() - in_pos_, resp, &consumed);
+  if (st == DecodeStatus::kError) {
+    return Status::IOError("malformed response frame");
+  }
+  if (st == DecodeStatus::kOk) {
+    in_pos_ += consumed;
+    ++received_;
+    *got = true;
+    if (in_pos_ > 64 * 1024) {
+      inbuf_.erase(0, in_pos_);
+      in_pos_ = 0;
+    }
+  }
+  return Status::OK();
+}
+
+Status Client::ReadResponse(Response* resp) {
+  for (;;) {
+    bool got = false;
+    Status s = DecodeOne(resp, &got);
+    if (!s.ok()) return s;
+    if (got) return Status::OK();
+    bool progress = false;
+    s = FillBuffer(/*blocking=*/true, &progress);
+    if (!s.ok()) return s;
+  }
+}
+
+Status Client::TryReadResponse(Response* resp, bool* got) {
+  Status s = DecodeOne(resp, got);
+  if (!s.ok() || *got) return s;
+  bool progress = false;
+  s = FillBuffer(/*blocking=*/false, &progress);
+  if (!s.ok()) return s;
+  if (!progress) return Status::OK();
+  return DecodeOne(resp, got);
+}
+
+Status Client::Put(std::string_view key, uint64_t value) {
+  QueuePut(key, value);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status != RespStatus::kOk) {
+    return Status::IOError("PUT rejected by server");
+  }
+  return Status::OK();
+}
+
+Status Client::Get(std::string_view key, uint64_t* value, bool* found) {
+  QueueGet(key);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  *found = resp.status == RespStatus::kOk;
+  if (*found) *value = resp.value;
+  return Status::OK();
+}
+
+Status Client::Del(std::string_view key, bool* found) {
+  QueueDel(key);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  *found = resp.status == RespStatus::kOk;
+  return Status::OK();
+}
+
+Status Client::Scan(std::string_view start, uint32_t limit,
+                    std::vector<std::pair<std::string, uint64_t>>* rows) {
+  QueueScan(start, limit);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status != RespStatus::kOk) {
+    return Status::IOError("SCAN rejected by server");
+  }
+  *rows = std::move(resp.scan);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace fptree

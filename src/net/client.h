@@ -1,0 +1,93 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Minimal client for the FPTree KV server's wire protocol (protocol.h).
+// Built for the two load-generation styles the bench needs:
+//
+//  * Closed loop: Queue*() + Flush() + ReadResponse() per batch — the
+//    caller pipelines a window of requests and blocks for the responses.
+//  * Open loop: Queue*() + Flush() at the offered rate, TryReadResponse()
+//    to reap whatever responses have arrived without blocking.
+//
+// Responses arrive strictly in request order, so callers match them by
+// counting. The class is not thread-safe; use one Client per connection.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace fptree {
+namespace net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (blocking) to host:port.
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Queue a request frame into the send buffer (no I/O).
+  void QueuePut(std::string_view key, uint64_t value) {
+    EncodePut(&outbuf_, key, value);
+    ++queued_;
+  }
+  void QueueGet(std::string_view key) {
+    EncodeGet(&outbuf_, key);
+    ++queued_;
+  }
+  void QueueDel(std::string_view key) {
+    EncodeDel(&outbuf_, key);
+    ++queued_;
+  }
+  void QueueScan(std::string_view start, uint32_t limit) {
+    EncodeScan(&outbuf_, start, limit);
+    ++queued_;
+  }
+
+  /// Requests queued but whose responses have not been read yet.
+  uint64_t inflight() const { return queued_ - received_; }
+
+  /// Writes the whole send buffer to the socket (blocking).
+  Status Flush();
+
+  /// Blocks until one response frame is available and decodes it.
+  Status ReadResponse(Response* resp);
+
+  /// Non-blocking reap: decodes one response if a complete frame is already
+  /// buffered or readable without blocking. Sets *got accordingly; a false
+  /// *got with an OK status just means "nothing there yet".
+  Status TryReadResponse(Response* resp, bool* got);
+
+  // --- convenience synchronous ops (queue + flush + read) -------------------
+
+  Status Put(std::string_view key, uint64_t value);
+  /// found=false on NOT_FOUND.
+  Status Get(std::string_view key, uint64_t* value, bool* found);
+  Status Del(std::string_view key, bool* found);
+  Status Scan(std::string_view start, uint32_t limit,
+              std::vector<std::pair<std::string, uint64_t>>* rows);
+
+ private:
+  Status FillBuffer(bool blocking, bool* progress);
+  Status DecodeOne(Response* resp, bool* got);
+
+  int fd_ = -1;
+  std::string outbuf_;
+  std::string inbuf_;
+  size_t in_pos_ = 0;
+  uint64_t queued_ = 0;
+  uint64_t received_ = 0;
+};
+
+}  // namespace net
+}  // namespace fptree

@@ -1,0 +1,84 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Per-connection state for the epoll server (DESIGN.md §9). A connection is
+// owned by exactly one IO worker for its whole life, so none of this needs
+// locking; cross-worker interaction happens only at accept time (fd handoff
+// through the worker's inbox).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fptree {
+namespace net {
+
+/// \brief One client connection: receive buffer, parse cursor, bounded
+/// output queue and backpressure / drain flags.
+struct Conn {
+  int fd = -1;
+
+  /// Bytes received but not yet parsed. `in_pos` is the parse cursor;
+  /// consumed prefixes are compacted away once the cursor passes 64 KiB so
+  /// pipelined bursts do not re-copy on every frame.
+  std::string in;
+  size_t in_pos = 0;
+
+  /// Encoded responses not yet written to the socket. `out_pos` is the
+  /// write cursor, compacted on the same policy as `in`.
+  std::string out;
+  size_t out_pos = 0;
+
+  /// EPOLLOUT is armed (the socket rejected a partial write).
+  bool want_write = false;
+
+  /// Backpressure: the output queue crossed Options::max_output_bytes, so
+  /// EPOLLIN is disarmed and request processing is paused until the peer
+  /// drains the queue below the resume watermark.
+  bool paused_read = false;
+
+  /// The peer half-closed (read returned 0) — flush and close.
+  bool peer_closed = false;
+
+  /// A protocol error was answered with BAD_REQUEST; close once the
+  /// response has been flushed.
+  bool close_after_flush = false;
+
+  /// Drain mode: bytes already received at drain time are served, newly
+  /// arriving bytes are discarded (their requests were never acked).
+  bool draining = false;
+  /// Parse cutoff at drain time: frames that were fully received when the
+  /// drain began; nothing past this offset is processed.
+  size_t drain_cutoff = 0;
+  /// Drain sent shutdown(SHUT_WR) after the final flush; the connection
+  /// now only waits for the peer's EOF (or the grace deadline).
+  bool half_closed = false;
+
+  /// Current epoll interest mask (EPOLLIN/EPOLLOUT), to skip no-op MODs.
+  uint32_t events = 0;
+
+  /// Responses encoded but not yet known-flushed; folded into the server's
+  /// acked-operation counter whenever the output queue fully drains.
+  uint64_t unflushed_responses = 0;
+
+  size_t pending_out() const { return out.size() - out_pos; }
+  size_t pending_in() const { return in.size() - in_pos; }
+
+  /// Reclaims consumed buffer prefixes (amortized O(1) per byte).
+  void Compact() {
+    constexpr size_t kCompactAt = 64 * 1024;
+    if (in_pos > kCompactAt) {
+      in.erase(0, in_pos);
+      if (draining) drain_cutoff -= in_pos;
+      in_pos = 0;
+    }
+    if (out_pos > kCompactAt) {
+      out.erase(0, out_pos);
+      out_pos = 0;
+    }
+  }
+};
+
+}  // namespace net
+}  // namespace fptree

@@ -1,0 +1,243 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Wire protocol of the FPTree KV server (DESIGN.md §9): compact
+// little-endian length-prefixed frames, designed for pipelining — a client
+// may write any number of request frames back-to-back and the server emits
+// exactly one response frame per request, strictly in request order, so no
+// request ids are needed.
+//
+//   Request:  [u32 body_len][u8 op][payload...]      (body_len = 1 + payload)
+//     PUT  (1): [u32 klen][key bytes][u64 value]     upsert, always OK
+//     GET  (2): [u32 klen][key bytes]
+//     DEL  (3): [u32 klen][key bytes]
+//     SCAN (4): [u32 klen][start key][u32 limit]     ordered, ascending
+//   Response: [u32 body_len][u8 status][payload...]
+//     status: 0 OK, 1 NOT_FOUND, 2 BAD_REQUEST
+//     GET OK:  [u64 value]
+//     SCAN OK: [u32 count] then count * ([u32 klen][key bytes][u64 value])
+//
+// Decoders are incremental (kNeedMore on a partial frame) and defensive:
+// any frame violating the body/key/limit bounds decodes to kError and the
+// server answers BAD_REQUEST, then closes the connection.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fptree {
+namespace net {
+
+enum class Op : uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kDel = 3,
+  kScan = 4,
+};
+
+enum class RespStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kBadRequest = 2,
+};
+
+/// Upper bound on one frame body; anything larger is a protocol error.
+constexpr size_t kMaxFrameBody = size_t{1} << 20;
+/// Upper bound on one key.
+constexpr size_t kMaxKeyLen = 4096;
+/// Server-side cap on a single SCAN's row count.
+constexpr uint32_t kMaxScanLimit = 4096;
+
+/// Parsed request; `key` views into the caller's receive buffer and is only
+/// valid until that buffer is mutated.
+struct Request {
+  Op op = Op::kGet;
+  std::string_view key;
+  uint64_t value = 0;      // PUT payload
+  uint32_t scan_limit = 0; // SCAN row cap (pre-clamped to kMaxScanLimit)
+};
+
+/// Parsed response (client side). `scan` is only filled for SCAN.
+struct Response {
+  RespStatus status = RespStatus::kOk;
+  uint64_t value = 0;
+  std::vector<std::pair<std::string, uint64_t>> scan;
+};
+
+enum class DecodeStatus {
+  kNeedMore,  // buffer holds a partial frame; read more bytes
+  kOk,        // one frame decoded; *consumed bytes were used
+  kError,     // malformed frame; the connection should be dropped
+};
+
+// --- little-endian primitives ----------------------------------------------
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+inline uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// --- request encoding (client) ---------------------------------------------
+
+inline void EncodePut(std::string* out, std::string_view key, uint64_t value) {
+  PutU32(out, static_cast<uint32_t>(1 + 4 + key.size() + 8));
+  out->push_back(static_cast<char>(Op::kPut));
+  PutU32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+  PutU64(out, value);
+}
+
+inline void EncodeGet(std::string* out, std::string_view key) {
+  PutU32(out, static_cast<uint32_t>(1 + 4 + key.size()));
+  out->push_back(static_cast<char>(Op::kGet));
+  PutU32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+}
+
+inline void EncodeDel(std::string* out, std::string_view key) {
+  PutU32(out, static_cast<uint32_t>(1 + 4 + key.size()));
+  out->push_back(static_cast<char>(Op::kDel));
+  PutU32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+}
+
+inline void EncodeScan(std::string* out, std::string_view start,
+                       uint32_t limit) {
+  PutU32(out, static_cast<uint32_t>(1 + 4 + start.size() + 4));
+  out->push_back(static_cast<char>(Op::kScan));
+  PutU32(out, static_cast<uint32_t>(start.size()));
+  out->append(start.data(), start.size());
+  PutU32(out, limit);
+}
+
+// --- request decoding (server) ---------------------------------------------
+
+inline DecodeStatus DecodeRequest(const char* data, size_t len, Request* req,
+                                  size_t* consumed) {
+  if (len < 4) return DecodeStatus::kNeedMore;
+  uint32_t body = LoadU32(data);
+  if (body < 1 + 4 || body > kMaxFrameBody) return DecodeStatus::kError;
+  if (len < 4 + body) return DecodeStatus::kNeedMore;
+  const char* p = data + 4;
+  uint8_t op = static_cast<uint8_t>(*p);
+  uint32_t klen = LoadU32(p + 1);
+  if (klen > kMaxKeyLen || 1 + 4 + static_cast<size_t>(klen) > body) {
+    return DecodeStatus::kError;
+  }
+  req->key = std::string_view(p + 1 + 4, klen);
+  size_t tail = body - 1 - 4 - klen;  // bytes after the key
+  switch (op) {
+    case static_cast<uint8_t>(Op::kPut):
+      if (tail != 8) return DecodeStatus::kError;
+      req->op = Op::kPut;
+      req->value = LoadU64(p + 1 + 4 + klen);
+      break;
+    case static_cast<uint8_t>(Op::kGet):
+    case static_cast<uint8_t>(Op::kDel):
+      if (tail != 0) return DecodeStatus::kError;
+      req->op = static_cast<Op>(op);
+      break;
+    case static_cast<uint8_t>(Op::kScan): {
+      if (tail != 4) return DecodeStatus::kError;
+      req->op = Op::kScan;
+      uint32_t limit = LoadU32(p + 1 + 4 + klen);
+      req->scan_limit = limit > kMaxScanLimit ? kMaxScanLimit : limit;
+      break;
+    }
+    default:
+      return DecodeStatus::kError;
+  }
+  *consumed = 4 + body;
+  return DecodeStatus::kOk;
+}
+
+// --- response encoding (server) --------------------------------------------
+
+/// Status-only response (PUT, DEL, errors).
+inline void EncodeStatusResponse(std::string* out, RespStatus st) {
+  PutU32(out, 1);
+  out->push_back(static_cast<char>(st));
+}
+
+/// GET response carrying a value.
+inline void EncodeValueResponse(std::string* out, uint64_t value) {
+  PutU32(out, 1 + 8);
+  out->push_back(static_cast<char>(RespStatus::kOk));
+  PutU64(out, value);
+}
+
+/// SCAN response. `rows` are (key, value) in ascending key order.
+inline void EncodeScanResponse(
+    std::string* out,
+    const std::vector<std::pair<std::string, uint64_t>>& rows) {
+  size_t body = 1 + 4;
+  for (const auto& [k, v] : rows) body += 4 + k.size() + 8;
+  PutU32(out, static_cast<uint32_t>(body));
+  out->push_back(static_cast<char>(RespStatus::kOk));
+  PutU32(out, static_cast<uint32_t>(rows.size()));
+  for (const auto& [k, v] : rows) {
+    PutU32(out, static_cast<uint32_t>(k.size()));
+    out->append(k);
+    PutU64(out, v);
+  }
+}
+
+// --- response decoding (client) --------------------------------------------
+
+inline DecodeStatus DecodeResponse(const char* data, size_t len,
+                                   Response* resp, size_t* consumed) {
+  if (len < 4) return DecodeStatus::kNeedMore;
+  uint32_t body = LoadU32(data);
+  if (body < 1 || body > kMaxFrameBody) return DecodeStatus::kError;
+  if (len < 4 + body) return DecodeStatus::kNeedMore;
+  const char* p = data + 4;
+  resp->status = static_cast<RespStatus>(*p);
+  resp->value = 0;
+  resp->scan.clear();
+  if (body == 1 + 8) {
+    resp->value = LoadU64(p + 1);
+  } else if (body >= 1 + 4) {
+    uint32_t count = LoadU32(p + 1);
+    const char* q = p + 1 + 4;
+    const char* end = p + body;
+    resp->scan.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (q + 4 > end) return DecodeStatus::kError;
+      uint32_t klen = LoadU32(q);
+      if (klen > kMaxKeyLen || q + 4 + klen + 8 > end) {
+        return DecodeStatus::kError;
+      }
+      resp->scan.emplace_back(std::string(q + 4, klen),
+                              LoadU64(q + 4 + klen));
+      q += 4 + klen + 8;
+    }
+  }
+  *consumed = 4 + body;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace net
+}  // namespace fptree

@@ -1,0 +1,595 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Epoll server implementation. See server.h and DESIGN.md §9 for the
+// architecture; the invariants that matter here:
+//
+//  * A connection is owned by one worker forever: all Conn state is
+//    worker-local, no locks.
+//  * Responses are appended to the connection's output queue in request
+//    order before any flush, so pipelining needs no sequencing metadata.
+//  * The output queue is bounded: crossing Options::max_output_bytes
+//    pauses both the socket reads AND request execution for that
+//    connection; nothing is dropped, the queue just stops growing.
+//  * Index writes happen strictly before their response bytes exist, so
+//    any response the client ever observes ("acked") is durably applied —
+//    the drain path relies on this for zero lost acked writes.
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/conn.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace net {
+
+namespace {
+
+/// Registry pointers fetched once; shared by every server in the process.
+struct NetMetrics {
+  obs::Counter* accepted;
+  obs::Counter* closed;
+  obs::Counter* bad_frames;
+  obs::Counter* backpressure_stalls;
+  obs::Counter* drain_discarded_bytes;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* ops_get;
+  obs::Counter* ops_put;
+  obs::Counter* ops_del;
+  obs::Counter* ops_scan;
+  obs::LatencyHistogram* lat_get;
+  obs::LatencyHistogram* lat_put;
+  obs::LatencyHistogram* lat_del;
+  obs::LatencyHistogram* lat_scan;
+  obs::LatencyHistogram* queue_depth;
+
+  static const NetMetrics& Get() {
+    static const NetMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      NetMetrics n;
+      n.accepted = r.GetCounter("net.accepted");
+      n.closed = r.GetCounter("net.closed");
+      n.bad_frames = r.GetCounter("net.bad_frames");
+      n.backpressure_stalls = r.GetCounter("net.backpressure_stalls");
+      n.drain_discarded_bytes = r.GetCounter("net.drain_discarded_bytes");
+      n.bytes_in = r.GetCounter("net.bytes_in");
+      n.bytes_out = r.GetCounter("net.bytes_out");
+      n.ops_get = r.GetCounter("net.ops.get");
+      n.ops_put = r.GetCounter("net.ops.put");
+      n.ops_del = r.GetCounter("net.ops.del");
+      n.ops_scan = r.GetCounter("net.ops.scan");
+      n.lat_get = r.GetHistogram("latency.net.get");
+      n.lat_put = r.GetHistogram("latency.net.put");
+      n.lat_del = r.GetHistogram("latency.net.del");
+      n.lat_scan = r.GetHistogram("latency.net.scan");
+      n.queue_depth = r.GetHistogram("net.queue_depth");
+      return n;
+    }();
+    return m;
+  }
+};
+
+/// Per-wakeup cap on unprocessed input buffered for one connection, so a
+/// firehose peer cannot starve the worker's other connections.
+constexpr size_t kMaxBufferedIn = 256 * 1024;
+
+}  // namespace
+
+namespace internal {
+
+/// One IO worker: epoll set, wakeup eventfd, accept inbox, owned conns.
+struct Worker {
+  Server* server = nullptr;
+  uint32_t id = 0;
+  int epfd = -1;
+  int event_fd = -1;
+  std::mutex inbox_mu;
+  std::vector<int> inbox;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  bool drain_started = false;
+  uint64_t drain_deadline_ns = 0;
+  uint32_t next_rr = 0;  // round-robin accept target (worker 0 only)
+
+  // Worker is the Server's friend; these let the file-local helpers touch
+  // the server-wide counters without widening the friendship.
+  void NoteConnClosed();
+  void NoteAcked(uint64_t n);
+
+  ~Worker() {
+    for (auto& [fd, c] : conns) ::close(fd);
+    if (event_fd >= 0) ::close(event_fd);
+    if (epfd >= 0) ::close(epfd);
+  }
+};
+
+void Worker::NoteConnClosed() {
+  server->connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Worker::NoteAcked(uint64_t n) {
+  server->acked_ops_.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+using internal::Worker;
+
+Server::Server(index::VarIndex* index, const Options& options)
+    : index_(index), options_(options) {}
+
+Server::~Server() {
+  Shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status Server::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError("bind: " + std::string(strerror(errno)));
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    return Status::IOError("listen: " + std::string(strerror(errno)));
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  uint32_t n = options_.io_threads == 0 ? 1 : options_.io_threads;
+  for (uint32_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->server = this;
+    w->id = i;
+    w->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epfd < 0 || w->event_fd < 0) {
+      return Status::IOError("epoll/eventfd: " + std::string(strerror(errno)));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->event_fd;
+    ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->event_fd, &ev);
+    if (i == 0) {
+      ev.data.fd = listen_fd_;
+      ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    }
+    workers_.push_back(std::move(w));
+  }
+  obs::MetricsRegistry::Global().SetGauge(
+      "net.connections", [this] { return connections(); });
+  started_ = true;
+  for (uint32_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+  return Status::OK();
+}
+
+void Server::BeginDrain() {
+  // Async-signal-safe: one atomic store plus eventfd writes.
+  if (!started_) return;
+  drain_.store(true, std::memory_order_release);
+  uint64_t wake = 1;
+  for (auto& w : workers_) {
+    ssize_t ignored = ::write(w->event_fd, &wake, sizeof(wake));
+    (void)ignored;
+  }
+}
+
+void Server::Join() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (started_ && !joined_) {
+    obs::MetricsRegistry::Global().RemoveGauge("net.connections");
+    joined_ = true;
+  }
+}
+
+void Server::Shutdown() {
+  BeginDrain();
+  Join();
+}
+
+// --- worker internals -------------------------------------------------------
+
+namespace {
+
+void UpdateInterest(Worker* w, Conn* c, const Server::Options& opts) {
+  const NetMetrics& m = NetMetrics::Get();
+  bool pause = c->pending_out() >= opts.max_output_bytes;
+  if (pause && !c->paused_read) m.backpressure_stalls->Add(1);
+  if (!pause && c->paused_read &&
+      c->pending_out() >= opts.resume_output_bytes) {
+    pause = true;  // hysteresis: stay paused until below the low watermark
+  }
+  c->paused_read = pause;
+  uint32_t want = 0;
+  if (!pause && !c->peer_closed) want |= EPOLLIN;
+  if (c->pending_out() > 0) want |= EPOLLOUT;
+  if (want != c->events) {
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.fd = c->fd;
+    ::epoll_ctl(w->epfd, EPOLL_CTL_MOD, c->fd, &ev);
+    c->events = want;
+  }
+}
+
+void CloseConn(Worker* w, Conn* c) {
+  const NetMetrics& m = NetMetrics::Get();
+  int fd = c->fd;
+  ::epoll_ctl(w->epfd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  w->conns.erase(fd);
+  w->NoteConnClosed();
+  m.closed->Add(1);
+}
+
+/// Writes as much of the output queue as the socket accepts. Returns false
+/// when the connection died mid-write (already closed).
+bool FlushConn(Worker* w, Conn* c) {
+  const NetMetrics& m = NetMetrics::Get();
+  while (c->pending_out() > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write yields EPIPE, not a
+    // process-wide SIGPIPE.
+    ssize_t wr = ::send(c->fd, c->out.data() + c->out_pos, c->pending_out(),
+                        MSG_NOSIGNAL);
+    if (wr > 0) {
+      c->out_pos += static_cast<size_t>(wr);
+      m.bytes_out->Add(static_cast<uint64_t>(wr));
+    } else if (wr < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else if (wr < 0 && errno == EINTR) {
+      continue;
+    } else {
+      CloseConn(w, c);
+      return false;
+    }
+  }
+  if (c->pending_out() == 0 && c->unflushed_responses > 0) {
+    w->NoteAcked(c->unflushed_responses);
+    c->unflushed_responses = 0;
+  }
+  c->Compact();
+  return true;
+}
+
+}  // namespace
+
+void Server::WorkerMain(uint32_t id) {
+  Worker* w = workers_[id].get();
+  const NetMetrics& m = NetMetrics::Get();
+
+  auto execute = [&](const Request& req, Conn* c) {
+    bool sample = obs::ShouldSample();
+    uint64_t t0 = sample ? NowNanos() : 0;
+    switch (req.op) {
+      case Op::kPut: {
+        // Upsert; retry covers the Insert/Update race against a
+        // concurrent Erase of the same key.
+        while (!index_->Insert(req.key, req.value) &&
+               !index_->Update(req.key, req.value)) {
+        }
+        EncodeStatusResponse(&c->out, RespStatus::kOk);
+        m.ops_put->Add(1);
+        if (sample) m.lat_put->Record(NowNanos() - t0);
+        break;
+      }
+      case Op::kGet: {
+        uint64_t v = 0;
+        if (index_->Find(req.key, &v)) {
+          EncodeValueResponse(&c->out, v);
+        } else {
+          EncodeStatusResponse(&c->out, RespStatus::kNotFound);
+        }
+        m.ops_get->Add(1);
+        if (sample) m.lat_get->Record(NowNanos() - t0);
+        break;
+      }
+      case Op::kDel: {
+        EncodeStatusResponse(&c->out, index_->Erase(req.key)
+                                          ? RespStatus::kOk
+                                          : RespStatus::kNotFound);
+        m.ops_del->Add(1);
+        if (sample) m.lat_del->Record(NowNanos() - t0);
+        break;
+      }
+      case Op::kScan: {
+        std::vector<std::pair<std::string, uint64_t>> rows;
+        if (req.scan_limit > 0) {
+          rows.reserve(req.scan_limit);
+          index_->RangeScan(req.key, req.scan_limit,
+                            [&rows](std::string_view k, uint64_t v) {
+                              rows.emplace_back(std::string(k), v);
+                              return true;
+                            });
+        }
+        EncodeScanResponse(&c->out, rows);
+        m.ops_scan->Add(1);
+        if (sample) m.lat_scan->Record(NowNanos() - t0);
+        break;
+      }
+    }
+    ++c->unflushed_responses;
+  };
+
+  // Parse and execute every complete frame buffered on the connection
+  // (request batching per wakeup), respecting the output-queue bound and
+  // the drain cutoff, then flush once and re-arm interest.
+  auto process = [&](Conn* c) {
+    // Outer loop: a flush can free output budget with complete frames still
+    // buffered in `in` and no further epoll event coming (the peer already
+    // sent everything) — parsing must resume here, not wait for the kernel.
+    for (;;) {
+      bool stopped_on_bound = false;
+      for (;;) {
+        if (c->pending_out() >= options_.max_output_bytes) {
+          stopped_on_bound = true;
+          break;
+        }
+        size_t parse_end = c->draining ? c->drain_cutoff : c->in.size();
+        if (c->in_pos >= parse_end) break;
+        Request req;
+        size_t consumed = 0;
+        DecodeStatus st =
+            DecodeRequest(c->in.data() + c->in_pos, parse_end - c->in_pos,
+                          &req, &consumed);
+        if (st == DecodeStatus::kNeedMore) break;
+        if (st == DecodeStatus::kError) {
+          m.bad_frames->Add(1);
+          EncodeStatusResponse(&c->out, RespStatus::kBadRequest);
+          c->close_after_flush = true;
+          break;
+        }
+        c->in_pos += consumed;
+        execute(req, c);
+      }
+      if (obs::ShouldSample()) {
+        m.queue_depth->Record(c->pending_out());
+      }
+      size_t before = c->pending_out();
+      if (!FlushConn(w, c)) return;  // connection died
+      // Re-parse only when the bound stopped us and the flush made room;
+      // a full queue against a clogged socket exits with EPOLLOUT armed.
+      if (!stopped_on_bound ||
+          c->pending_out() >= options_.max_output_bytes ||
+          c->pending_out() == before) {
+        break;
+      }
+    }
+    // Close / half-close bookkeeping once the queue is empty.
+    if (c->pending_out() == 0) {
+      bool served_everything =
+          c->in_pos >= (c->draining ? c->drain_cutoff : c->in.size());
+      if (c->peer_closed || c->close_after_flush) {
+        CloseConn(w, c);
+        return;
+      }
+      if (c->draining && served_everything && !c->half_closed) {
+        // All acked responses are on the wire: half-close and wait for the
+        // peer's EOF so the kernel never RSTs away unread responses.
+        ::shutdown(c->fd, SHUT_WR);
+        c->half_closed = true;
+      }
+    }
+    UpdateInterest(w, c, options_);
+  };
+
+  auto on_readable = [&](Conn* c) {
+    char buf[64 * 1024];
+    for (;;) {
+      if (c->pending_in() >= kMaxBufferedIn) break;
+      ssize_t r = ::read(c->fd, buf, sizeof(buf));
+      if (r > 0) {
+        m.bytes_in->Add(static_cast<uint64_t>(r));
+        if (c->draining) {
+          // Past the drain cutoff: the request is never processed and
+          // never acked; discard so the peer can reach EOF.
+          m.drain_discarded_bytes->Add(static_cast<uint64_t>(r));
+        } else {
+          c->in.append(buf, static_cast<size_t>(r));
+        }
+      } else if (r == 0) {
+        c->peer_closed = true;
+        break;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        CloseConn(w, c);
+        return;
+      }
+    }
+    process(c);
+  };
+
+  auto register_conn = [&](int fd) {
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(w->epfd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      return;
+    }
+    c->events = EPOLLIN;
+    w->conns.emplace(fd, std::move(c));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  auto accept_loop = [&] {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or a transient error; epoll re-signals
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (options_.sndbuf_bytes > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                     sizeof(options_.sndbuf_bytes));
+      }
+      m.accepted->Add(1);
+      uint32_t target = w->next_rr++ % static_cast<uint32_t>(workers_.size());
+      if (target == w->id) {
+        register_conn(fd);
+      } else {
+        Worker* t = workers_[target].get();
+        {
+          std::lock_guard<std::mutex> l(t->inbox_mu);
+          t->inbox.push_back(fd);
+        }
+        uint64_t wake = 1;
+        ssize_t ignored = ::write(t->event_fd, &wake, sizeof(wake));
+        (void)ignored;
+      }
+    }
+  };
+
+  auto drain_inbox = [&] {
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> l(w->inbox_mu);
+      fds.swap(w->inbox);
+    }
+    for (int fd : fds) {
+      if (drain_.load(std::memory_order_acquire)) {
+        ::close(fd);  // never served, nothing acked
+        continue;
+      }
+      register_conn(fd);
+    }
+  };
+
+  auto start_drain = [&] {
+    w->drain_started = true;
+    w->drain_deadline_ns =
+        NowNanos() + uint64_t{options_.drain_grace_ms} * 1000000;
+    if (w->id == 0 && listen_fd_ >= 0) {
+      ::epoll_ctl(w->epfd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    }
+    // Snapshot the cutoff on every conn, then serve + flush each one.
+    std::vector<Conn*> cs;
+    cs.reserve(w->conns.size());
+    for (auto& [fd, c] : w->conns) cs.push_back(c.get());
+    for (Conn* c : cs) {
+      c->draining = true;
+      c->drain_cutoff = c->in.size();
+      process(c);
+    }
+  };
+
+  epoll_event evs[64];
+  for (;;) {
+    int timeout_ms = w->drain_started ? 20 : -1;
+    int n = ::epoll_wait(w->epfd, evs, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = evs[i].data.fd;
+      if (fd == w->event_fd) {
+        uint64_t junk;
+        while (::read(w->event_fd, &junk, sizeof(junk)) > 0) {
+        }
+        drain_inbox();
+        continue;
+      }
+      if (w->id == 0 && fd == listen_fd_ && !w->drain_started) {
+        accept_loop();
+        continue;
+      }
+      auto it = w->conns.find(fd);
+      if (it == w->conns.end()) continue;
+      Conn* c = it->second.get();
+      if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        // Flush whatever still fits, then drop.
+        FlushConn(w, c);
+        if (w->conns.count(fd)) CloseConn(w, c);
+        continue;
+      }
+      if (evs[i].events & EPOLLIN) {
+        on_readable(c);
+        if (!w->conns.count(fd)) continue;
+      }
+      if (evs[i].events & EPOLLOUT) {
+        process(c);
+      }
+    }
+    if (!w->drain_started && drain_.load(std::memory_order_acquire)) {
+      start_drain();
+    }
+    if (w->drain_started) {
+      if (NowNanos() > w->drain_deadline_ns) {
+        // Grace expired: force-close stragglers.
+        std::vector<int> fds;
+        for (auto& [fd, c] : w->conns) fds.push_back(fd);
+        for (int fd : fds) CloseConn(w, w->conns[fd].get());
+      }
+      if (w->conns.empty()) break;
+    }
+  }
+  if (w->id == 0 && listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+// --- signal plumbing --------------------------------------------------------
+
+namespace {
+std::atomic<Server*> g_drain_target{nullptr};
+
+void DrainSignalHandler(int) {
+  Server* s = g_drain_target.load(std::memory_order_acquire);
+  if (s != nullptr) s->BeginDrain();
+}
+}  // namespace
+
+void InstallDrainOnSignal(Server* server, int signo) {
+  g_drain_target.store(server, std::memory_order_release);
+  struct sigaction sa{};
+  if (server != nullptr) {
+    sa.sa_handler = DrainSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+  } else {
+    sa.sa_handler = SIG_DFL;
+  }
+  ::sigaction(signo, &sa, nullptr);
+}
+
+}  // namespace net
+}  // namespace fptree

@@ -1,0 +1,123 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Epoll-based pipelined KV server (DESIGN.md §9): a fixed pool of IO worker
+// threads, each running its own epoll loop over the connections it owns.
+// Worker 0 additionally owns the listening socket and hands accepted fds to
+// the other workers round-robin through eventfd-signalled inboxes. Request
+// batching happens per wakeup: every complete frame buffered on a readable
+// connection is executed against the index and its response appended to the
+// connection's output queue before a single flush attempt. Output queues
+// are bounded — a connection whose peer stops reading is paused (EPOLLIN
+// disarmed, processing stopped) until the queue drains below the resume
+// watermark. SIGTERM (via InstallDrainOnSignal) triggers a graceful drain:
+// stop accepting, serve every request fully received at the cutoff, flush,
+// half-close, and exit the workers.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "util/status.h"
+
+namespace fptree {
+namespace net {
+
+namespace internal {
+struct Worker;
+}  // namespace internal
+
+/// \brief The server. One instance fronts one VarIndex; all methods except
+/// BeginDrain must be called from the owning (non-worker) thread.
+class Server {
+ public:
+  struct Options {
+    /// TCP port; 0 binds a kernel-assigned port (read it back via port()).
+    uint16_t port = 0;
+    /// Listen address.
+    std::string host = "127.0.0.1";
+    /// IO worker threads (accept + event loops). At least 1.
+    uint32_t io_threads = 2;
+    /// Per-connection output queue bound; crossing it pauses reads.
+    size_t max_output_bytes = 4u << 20;
+    /// Resume watermark: reads re-arm once the queue drains below this.
+    size_t resume_output_bytes = 1u << 20;
+    /// listen(2) backlog.
+    int backlog = 128;
+    /// During a drain, connections that still have unflushed output (or an
+    /// unread half-close) are force-closed after this grace period.
+    uint32_t drain_grace_ms = 5000;
+    /// Kernel send-buffer size for accepted sockets (SO_SNDBUF); 0 keeps
+    /// the kernel default with autotuning. Capping it makes the userspace
+    /// output-queue bound bite deterministically (the kernel otherwise
+    /// absorbs megabytes before ::send returns EAGAIN).
+    int sndbuf_bytes = 0;
+  };
+
+  /// The index must outlive the server. Non-concurrent indexes should be
+  /// created with locked=true (the registry's global-lock arrangement).
+  Server(index::VarIndex* index, const Options& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the IO workers.
+  Status Start();
+
+  /// The bound port (after Start); useful with Options::port == 0.
+  uint16_t port() const { return port_; }
+
+  /// Initiates a graceful drain. Async-signal-safe (atomic store + eventfd
+  /// writes), idempotent. Workers stop accepting, serve what was fully
+  /// received, flush, and exit.
+  void BeginDrain();
+
+  /// Blocks until every worker has exited (i.e. a drain completed).
+  void Join();
+
+  /// BeginDrain + Join. Safe to call more than once.
+  void Shutdown();
+
+  /// Live connection count (drives the net.connections gauge).
+  uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Total responses fully written to sockets ("acked" operations).
+  uint64_t acked_ops() const {
+    return acked_ops_.load(std::memory_order_relaxed);
+  }
+
+  bool draining() const { return drain_.load(std::memory_order_relaxed); }
+
+ private:
+  friend struct internal::Worker;
+
+  void WorkerMain(uint32_t id);
+
+  index::VarIndex* const index_;
+  const Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> drain_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> acked_ops_{0};
+  std::vector<std::unique_ptr<internal::Worker>> workers_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+/// Installs a signal handler (default SIGTERM) that calls BeginDrain on
+/// `server`. Pass nullptr to uninstall before the server is destroyed.
+/// The handler is async-signal-safe.
+void InstallDrainOnSignal(Server* server, int signo);
+
+}  // namespace net
+}  // namespace fptree

@@ -48,6 +48,20 @@ class SpinBarrier {
   std::atomic<uint32_t> sense_{0};
 };
 
+/// \brief One step of bounded exponential backoff for optimistic retry
+/// loops: spin-relax with a doubling budget for the early rounds, then
+/// yield the CPU so a descheduled lock holder can run. Callers bound the
+/// round count and fall back to a slow path (e.g. re-descending from the
+/// root) when the loop stays contended.
+inline void BackoffSpin(uint32_t round) {
+  if (round < 16) {
+    uint32_t spins = uint32_t{1} << (round < 10 ? round : 10);
+    while (spins-- > 0) SpinBarrier::CpuRelax();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
 /// \brief Launches `n` workers running fn(thread_id) and joins on
 /// destruction (or explicit Join()).
 class ThreadGroup {

@@ -5,10 +5,15 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
+#include <list>
+
 #include "apps/kvcache/kvcache.h"
 #include "apps/minidb/minidb.h"
 #include "apps/minidb/tatp.h"
 #include "scm/latency.h"
+#include "util/hash.h"
 #include "util/random.h"
 #include "util/threading.h"
 
@@ -106,6 +111,86 @@ TEST_P(KVCacheTest, LruEvictionBoundsResidency) {
   std::snprintf(key, sizeof(key), "k%llu",
                 static_cast<unsigned long long>(4999ULL));
   EXPECT_TRUE(cache->Get(key, &v));
+}
+
+// Reference model of the intended LRU semantics: per-shard recency lists
+// with the same hash, capacity slice and eviction rule as KVCache. A
+// deterministic workload heavy on re-Puts and Deletes is replayed against
+// both; resident set, item count and the evictions counter must match
+// exactly. This is the audit for the residency-accounting bugs: a re-Put
+// double-counting a resident key, or a Delete leaving a stale LRU entry,
+// both desynchronize the model within a few hundred operations.
+TEST_P(KVCacheTest, LruAccountingMatchesModel) {
+  struct LruModel {
+    explicit LruModel(size_t capacity) : capacity(capacity) {}
+
+    void Set(const std::string& k) {
+      auto& order = shards[ShardOf(k)];
+      auto it = std::find(order.begin(), order.end(), k);
+      if (it != order.end()) order.erase(it);
+      order.push_front(k);
+      if (order.size() > capacity / KVCache::kLruShards &&
+          order.size() > 1) {
+        order.pop_back();
+        ++evictions;
+      }
+    }
+    void Delete(const std::string& k) {
+      auto& order = shards[ShardOf(k)];
+      auto it = std::find(order.begin(), order.end(), k);
+      if (it != order.end()) order.erase(it);
+    }
+    bool Contains(const std::string& k) const {
+      const auto& order = shards[ShardOf(k)];
+      return std::find(order.begin(), order.end(), k) != order.end();
+    }
+    size_t Resident() const {
+      size_t n = 0;
+      for (const auto& order : shards) n += order.size();
+      return n;
+    }
+    static size_t ShardOf(const std::string& k) {
+      return HashBytes(k.data(), k.size()) % KVCache::kLruShards;
+    }
+
+    size_t capacity;
+    uint64_t evictions = 0;
+    std::array<std::list<std::string>, KVCache::kLruShards> shards;
+  };
+
+  KVCache::Options options;
+  options.capacity = 64;
+  auto cache = MakeCache(options);
+  ASSERT_NE(cache, nullptr);
+  LruModel model(options.capacity);
+
+  constexpr uint64_t kUniverse = 600;
+  Random64 rng(7);
+  char key[32];
+  for (uint64_t op = 0; op < 20000; ++op) {
+    uint64_t k = rng.Next() % kUniverse;
+    std::snprintf(key, sizeof(key), "k%llu",
+                  static_cast<unsigned long long>(k));
+    uint64_t dice = rng.Next() % 100;
+    if (dice < 70) {
+      cache->Set(key, op);
+      model.Set(key);
+    } else {
+      cache->Delete(key);
+      model.Delete(key);
+    }
+    if (op % 1024 == 0) {
+      ASSERT_EQ(cache->ItemCount(), model.Resident()) << "op " << op;
+    }
+  }
+  EXPECT_EQ(cache->ItemCount(), model.Resident());
+  EXPECT_EQ(cache->stats().evictions.load(), model.evictions);
+  uint64_t v;
+  for (uint64_t k = 0; k < kUniverse; ++k) {
+    std::snprintf(key, sizeof(key), "k%llu",
+                  static_cast<unsigned long long>(k));
+    EXPECT_EQ(cache->Get(key, &v), model.Contains(key)) << key;
+  }
 }
 
 TEST_P(KVCacheTest, NetworkThrottleCapsThroughput) {

@@ -1,0 +1,246 @@
+// Regression stress for the RangeScan-vs-writer races (DESIGN.md §5):
+// writers continuously empty whole leaves (forcing DeleteLeaf to unlink and
+// deallocate them) and reinsert the same keys, while scanners walk the full
+// keyspace through the leaf next-pointer chain. Before the fixes, a scanner
+// could (a) load `next` from a leaf *after* its snapshot validation window,
+// following a stale pointer into deallocated memory, (b) spin forever on a
+// deallocated leaf's lock_word, which DeleteLeaf leaves locked, and
+// (c) validate a snapshot that spanned a whole split-plus-refill (the
+// bitmap returns to its exact pre-split value and a locked/unlocked lock
+// word carries no history), mixing a pre-split next pointer with
+// post-refill slots and skipping the new sibling's keys. With the fixes the
+// next pointer is captured inside the snapshot window, the window itself is
+// witnessed by a generation-stamped lock word (every acquire/release stores
+// a globally unique value, so an unchanged word proves an untouched leaf),
+// each hop revalidates the predecessor's generation, and the per-leaf retry
+// loop is bounded (re-descending from the root at the scan cursor). Every
+// scan terminates and returns a sorted, duplicate-free view containing
+// every key that was never touched. Reverting any part of the fix makes
+// this test hang (caught by its ctest TIMEOUT) or fail the stable-key
+// assertions.
+//
+// The keyspace interleaves stable and volatile blocks so every full scan
+// must cross a region of churning leaves to reach the next stable block.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fptree_concurrent.h"
+#include "core/fptree_concurrent_var.h"
+#include "crash_test_util.h"
+#include "scm/latency.h"
+#include "util/random.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace core {
+namespace {
+
+using scm::Pool;
+using testutil::FuzzSeeds;
+using testutil::VarKey;
+
+// Small leaves: a volatile block spans many leaves, so each writer round
+// triggers a batch of leaf deletions right where the scanners are walking.
+using StressTree = ConcurrentFPTree<uint64_t, 8, 8>;
+using StressVarTree = ConcurrentFPTreeVar<uint64_t, 8, 8>;
+
+constexpr uint64_t kBlock = 128;    // keys per block
+constexpr uint64_t kBlocks = 16;    // even blocks stable, odd volatile
+constexpr uint64_t kUniverse = kBlock * kBlocks;
+constexpr uint32_t kWriters = 3;    // each owns a slice of the odd blocks
+constexpr uint32_t kScanners = 3;
+constexpr int kWriterRounds = 40;
+
+class ScanVsDeleteStressTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, htm::Backend>> {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    path_ = testutil::TestPath("scan_stress");
+    Pool::Destroy(path_).ok();
+    Pool::Options opts{.size = 512u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+  }
+  void TearDown() override {
+    pool_.reset();
+    Pool::Destroy(path_).ok();
+  }
+
+  static bool Volatile(uint64_t key) { return (key / kBlock) % 2 == 1; }
+
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+};
+
+TEST_P(ScanVsDeleteStressTest, FixedKeysScanSurvivesLeafDeletion) {
+  auto [seed, backend] = GetParam();
+  StressTree tree(pool_.get(), backend);
+  for (uint64_t k = 0; k < kUniverse; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans_done{0};
+  ThreadGroup writers;
+  writers.Spawn(kWriters, [&](uint32_t id) {
+    Random64 rng(seed * 131 + id);
+    for (int round = 0; round < kWriterRounds; ++round) {
+      for (uint64_t b = 1; b < kBlocks; b += 2) {
+        if ((b / 2) % kWriters != id) continue;
+        // Empty the whole block (leaf by leaf DeleteLeaf fires as the
+        // last key of each leaf goes), then bring it back.
+        for (uint64_t k = b * kBlock; k < (b + 1) * kBlock; ++k) {
+          tree.Erase(k);
+        }
+        for (uint64_t k = b * kBlock; k < (b + 1) * kBlock; ++k) {
+          tree.Insert(k, round);
+        }
+      }
+      if (rng.Next() % 4 == 0) std::this_thread::yield();
+    }
+  });
+
+  ThreadGroup scanners;
+  scanners.Spawn(kScanners, [&](uint32_t id) {
+    Random64 rng(seed * 977 + id);
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t start = (rng.Next() % kBlocks) * kBlock;
+      tree.RangeScan(start, kUniverse, &out);
+      if (out.empty()) {
+        // Only legitimate when start is in the top (volatile) block and a
+        // writer had the whole block erased at scan time.
+        ASSERT_GE(start, kUniverse - kBlock);
+        continue;
+      }
+      uint64_t prev = out[0].first;
+      ASSERT_GE(prev, start);
+      ASSERT_LT(prev, kUniverse);
+      std::set<uint64_t> got{prev};
+      for (size_t i = 1; i < out.size(); ++i) {
+        ASSERT_GT(out[i].first, prev) << "unsorted or duplicate at " << i;
+        prev = out[i].first;
+        ASSERT_LT(prev, kUniverse);
+        got.insert(prev);
+      }
+      // Weak consistency floor: keys no writer ever touches are all there.
+      for (uint64_t k = start; k < kUniverse; ++k) {
+        if (!Volatile(k) && got.count(k) == 0) {
+          auto gap = got.upper_bound(k);
+          std::string around = "neighbors:";
+          auto lo = gap;
+          for (int back = 0; back < 3 && lo != got.begin(); ++back) --lo;
+          for (auto it = lo; it != got.end() && around.size() < 120; ++it) {
+            around += " " + std::to_string(*it);
+          }
+          ASSERT_EQ(got.count(k), 1u)
+              << "stable key " << k << " missing (start=" << start
+              << " out=" << out.size() << " " << around << ")";
+        }
+      }
+      scans_done.fetch_add(1);
+    }
+  });
+
+  writers.Join();
+  stop.store(true, std::memory_order_release);
+  scanners.Join();
+  EXPECT_GT(scans_done.load(), 0u);
+  std::string why;
+  EXPECT_TRUE(tree.CheckConsistency(&why)) << why;
+}
+
+TEST_P(ScanVsDeleteStressTest, VarKeysScanSurvivesLeafDeletion) {
+  auto [seed, backend] = GetParam();
+  StressVarTree tree(pool_.get(), backend);
+  for (uint64_t k = 0; k < kUniverse; ++k) {
+    ASSERT_TRUE(tree.Insert(VarKey(k), k));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans_done{0};
+  ThreadGroup writers;
+  writers.Spawn(kWriters, [&](uint32_t id) {
+    for (int round = 0; round < kWriterRounds / 2; ++round) {
+      for (uint64_t b = 1; b < kBlocks; b += 2) {
+        if ((b / 2) % kWriters != id) continue;
+        for (uint64_t k = b * kBlock; k < (b + 1) * kBlock; ++k) {
+          tree.Erase(VarKey(k));
+        }
+        for (uint64_t k = b * kBlock; k < (b + 1) * kBlock; ++k) {
+          tree.Insert(VarKey(k), round);
+        }
+      }
+    }
+    (void)seed;
+  });
+
+  ThreadGroup scanners;
+  scanners.Spawn(kScanners, [&](uint32_t id) {
+    Random64 rng(seed * 313 + id);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t start_k = (rng.Next() % kBlocks) * kBlock;
+      std::string start = VarKey(start_k);
+      tree.RangeScan(start, kUniverse, &out);
+      if (out.empty()) {
+        // Only legitimate when start is in the top (volatile) block and a
+        // writer had the whole block erased at scan time.
+        ASSERT_GE(start_k, kUniverse - kBlock);
+        continue;
+      }
+      std::set<std::string> got;
+      std::string prev;
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (i > 0) {
+          ASSERT_GT(out[i].first, prev) << "unsorted or duplicate at " << i;
+        }
+        prev = out[i].first;
+        ASSERT_GE(prev, start);
+        got.insert(prev);
+      }
+      for (uint64_t k = start_k; k < kUniverse; ++k) {
+        if (!Volatile(k) && got.count(VarKey(k)) == 0) {
+          auto gap = got.upper_bound(VarKey(k));
+          std::string around = "neighbors:";
+          auto lo = gap;
+          for (int back = 0; back < 3 && lo != got.begin(); ++back) --lo;
+          for (auto it = lo; it != got.end() && around.size() < 160; ++it) {
+            around += " " + *it;
+          }
+          ASSERT_EQ(got.count(VarKey(k)), 1u)
+              << "stable key " << k << " missing (start=" << start_k
+              << " out=" << out.size() << " " << around << ")";
+        }
+      }
+      scans_done.fetch_add(1);
+    }
+  });
+
+  writers.Join();
+  stop.store(true, std::memory_order_release);
+  scanners.Join();
+  EXPECT_GT(scans_done.load(), 0u);
+  std::string why;
+  EXPECT_TRUE(tree.CheckConsistency(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ScanVsDeleteStressTest,
+    ::testing::Combine(::testing::Range(uint64_t{1}, 1 + FuzzSeeds(2)),
+                       ::testing::Values(htm::Backend::kTl2,
+                                         htm::Backend::kGlobalLock)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == htm::Backend::kTl2 ? "_tl2"
+                                                            : "_lock");
+    });
+
+}  // namespace
+}  // namespace core
+}  // namespace fptree
