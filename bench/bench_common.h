@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/recovery.h"
+#include "engine/sharded_index.h"
 #include "index/kv_index.h"
 #include "obs/metrics.h"
 #include "scm/latency.h"
@@ -65,29 +66,36 @@ struct Flags {
   /// (which must be registered — unknown names exit with the valid list).
   std::vector<std::string> FixedTrees(
       std::initializer_list<const char*> defaults) const {
-    return ResolveTrees(index::ListFixedIndexNames(), defaults);
+    return ResolveTrees(index::ListFixedIndexNames(), defaults,
+                        /*var=*/false);
   }
 
   /// Same for var-key index names.
   std::vector<std::string> VarTrees(
       std::initializer_list<const char*> defaults) const {
-    return ResolveTrees(index::ListVarIndexNames(), defaults);
+    return ResolveTrees(index::ListVarIndexNames(), defaults, /*var=*/true);
   }
 
  private:
   std::vector<std::string> ResolveTrees(
       std::vector<std::string> registered,
-      std::initializer_list<const char*> defaults) const {
+      std::initializer_list<const char*> defaults, bool var) const {
     if (tree == "all") return registered;
     if (!tree.empty()) {
       for (const std::string& name : registered) {
         if (name == tree) return {tree};
       }
-      std::fprintf(stderr, "unknown --tree=%s; registered:", tree.c_str());
-      for (const std::string& name : registered) {
-        std::fprintf(stderr, " %s", name.c_str());
+      // Unknown name: surface the checked registry Status (API v3), which
+      // carries the registered-name list, and exit non-zero.
+      Status st;
+      if (var) {
+        std::unique_ptr<index::VarIndex> probe;
+        st = index::MakeVarIndexChecked(tree, nullptr, false, &probe);
+      } else {
+        std::unique_ptr<index::KVIndex> probe;
+        st = index::MakeFixedIndexChecked(tree, nullptr, false, &probe);
       }
-      std::fprintf(stderr, "\n");
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
       std::exit(2);
     }
     return std::vector<std::string>(defaults.begin(), defaults.end());
@@ -132,6 +140,69 @@ class ScopedPool {
   static inline int counter_ = 0;
   std::string path_;
   std::unique_ptr<scm::Pool> pool_;
+};
+
+/// Fresh sharded engine over temp pool files `<prefix>.0..N-1`; indexes
+/// and files are torn down on scope end. Fatal on construction failure
+/// (the checked Status carries the registered-name list).
+class ScopedShardedVar {
+ public:
+  ScopedShardedVar(const std::string& inner, size_t shards,
+                   size_t shard_bytes = size_t{1} << 28, bool locked = true)
+      : prefix_("/tmp/fptree_bench_shard_" + std::to_string(::getpid()) +
+                "_" + std::to_string(counter_++)),
+        shards_(shards) {
+    DestroyFiles();
+    engine::ShardedOptions opts;
+    opts.shards = shards;
+    opts.path_prefix = prefix_;
+    opts.shard_bytes = shard_bytes;
+    opts.locked = locked;
+    opts.randomize_base = false;
+    Status s = engine::ShardedVarIndex::Make(inner, opts, &index_);
+    if (!s.ok()) {
+      std::fprintf(stderr, "sharded engine construction failed: %s\n",
+                   s.ToString().c_str());
+      std::exit(2);
+    }
+  }
+
+  /// Closes every shard pool and reopens the engine (shard-parallel
+  /// recovery); times nothing itself — read RecoveryNanos() after.
+  void Reopen(const std::string& inner) {
+    index_.reset();
+    engine::ShardedOptions opts;
+    opts.shards = shards_;
+    opts.path_prefix = prefix_;
+    opts.shard_bytes = 0;  // existing files keep their size
+    opts.randomize_base = true;
+    opts.locked = true;
+    Status s = engine::ShardedVarIndex::Make(inner, opts, &index_);
+    if (!s.ok()) {
+      std::fprintf(stderr, "sharded engine reopen failed: %s\n",
+                   s.ToString().c_str());
+      std::exit(2);
+    }
+  }
+
+  ~ScopedShardedVar() {
+    index_.reset();
+    DestroyFiles();
+  }
+
+  engine::ShardedVarIndex* get() { return index_.get(); }
+
+ private:
+  void DestroyFiles() {
+    for (size_t i = 0; i < shards_; ++i) {
+      scm::Pool::Destroy(prefix_ + "." + std::to_string(i)).ok();
+    }
+  }
+
+  static inline int counter_ = 0;
+  std::string prefix_;
+  size_t shards_;
+  std::unique_ptr<engine::ShardedVarIndex> index_;
 };
 
 inline void SetLatency(uint64_t ns) {

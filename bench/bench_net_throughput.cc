@@ -35,6 +35,7 @@ struct NetFlags {
   uint64_t rate = 20000;     // open-loop offered req/s per connection
   bool open_loop = false;
   uint32_t io_threads = 4;
+  uint32_t shards = 1;       // >1 serves through the sharded engine
 
   static NetFlags Parse(int argc, char** argv) {
     NetFlags f;
@@ -44,16 +45,18 @@ struct NetFlags {
       if (std::strncmp(a, "--window=", 9) == 0) f.window = std::strtoul(a + 9, nullptr, 10);
       if (std::strncmp(a, "--rate=", 7) == 0) f.rate = std::strtoull(a + 7, nullptr, 10);
       if (std::strncmp(a, "--io-threads=", 13) == 0) f.io_threads = std::strtoul(a + 13, nullptr, 10);
+      if (std::strncmp(a, "--shards=", 9) == 0) f.shards = std::strtoul(a + 9, nullptr, 10);
       if (std::strcmp(a, "--open") == 0) f.open_loop = true;
     }
     if (f.connections == 0) f.connections = 1;
     if (f.window == 0) f.window = 1;
+    if (f.shards == 0) f.shards = 1;
     return f;
   }
 };
 
-/// One client connection's deterministic op stream: 45% PUT, 45% GET,
-/// 10% SCAN over the shared keyspace.
+/// One client connection's deterministic op stream: 35% PUT, 10% UPSERT,
+/// 45% GET, 10% SCAN over the shared keyspace.
 struct OpStream {
   Random64 rng;
   uint64_t keys;
@@ -61,8 +64,10 @@ struct OpStream {
   void QueueNext(net::Client* c) {
     uint64_t dice = rng.Next() % 100;
     uint64_t k = rng.Next() % keys;
-    if (dice < 45) {
+    if (dice < 35) {
       c->QueuePut(MakeVarKey(k), dice);
+    } else if (dice < 45) {
+      c->QueueUpsert(MakeVarKey(k), dice);
     } else if (dice < 90) {
       c->QueueGet(MakeVarKey(k));
     } else {
@@ -176,13 +181,32 @@ RunResult RunOpenLoop(const std::string& host, uint16_t port,
 }
 
 void RunOne(const std::string& kind, const Flags& flags, const NetFlags& nf) {
-  ScopedPool pool(size_t{2} << 30);
-  auto index = index::MakeVarIndex(kind, pool.get(), /*locked=*/true);
-  if (index == nullptr) return;
+  // --shards>1 serves the same tree through the sharded engine (one pool
+  // file per shard, merged-cursor scans); --shards=1 keeps the single-pool
+  // path so existing series stay comparable.
+  std::unique_ptr<ScopedPool> pool;
+  std::unique_ptr<ScopedShardedVar> sharded;
+  std::unique_ptr<index::VarIndex> single;
+  index::VarIndex* index = nullptr;
+  if (nf.shards > 1) {
+    sharded = std::make_unique<ScopedShardedVar>(
+        kind, nf.shards, /*shard_bytes=*/size_t{1} << 28);
+    index = sharded->get();
+  } else {
+    pool = std::make_unique<ScopedPool>(size_t{2} << 30);
+    Status st =
+        index::MakeVarIndexChecked(kind, pool->get(), /*locked=*/true,
+                                   &single);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      std::exit(2);
+    }
+    index = single.get();
+  }
 
   net::Server::Options sopts;
   sopts.io_threads = nf.io_threads;
-  net::Server server(index.get(), sopts);
+  net::Server server(index, sopts);
   Status s = server.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
@@ -224,10 +248,11 @@ void RunOne(const std::string& kind, const Flags& flags, const NetFlags& nf) {
   // response the clients consumed; the preload responses are included.
   bool acks_ok = server.acked_ops() >= r.received;
   std::printf(
-      "%-14s %-6s conns=%3u window=%2u  %9.1f kops/s  sent=%llu recv=%llu "
-      "acked=%llu %s\n",
+      "%-14s %-6s conns=%3u window=%2u shards=%u  %9.1f kops/s  sent=%llu "
+      "recv=%llu acked=%llu %s\n",
       kind.c_str(), nf.open_loop ? "open" : "closed", nf.connections,
-      nf.window, static_cast<double>(r.received) / r.seconds / 1e3,
+      nf.window, nf.shards,
+      static_cast<double>(r.received) / r.seconds / 1e3,
       static_cast<unsigned long long>(r.sent),
       static_cast<unsigned long long>(r.received),
       static_cast<unsigned long long>(server.acked_ops()),

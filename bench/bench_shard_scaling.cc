@@ -1,0 +1,189 @@
+// Shard-scaling sweep (DESIGN.md §10): aggregate write throughput of the
+// sharded multi-pool engine as the shard count grows at a fixed total
+// thread count, plus the shard-parallel recovery time and a merged-scan
+// sanity checksum per configuration. Writes go through the index API v3
+// Upsert on a concurrent inner tree (fptree-c-var), so the only thing the
+// sweep varies is how many pools/trees the same offered load is partitioned
+// across.
+//
+// Emits BENCH_shard_scaling.json with a `series` array (one row per
+// shards × threads cell) and the 8-vs-1-shard throughput ratio per thread
+// count. The acceptance criterion — >= 1.8x aggregate write throughput at
+// 8 shards vs 1 shard for the same total thread count — applies on
+// multi-core hosts; the JSON carries hardware_concurrency so single-core
+// container runs are self-describing.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/hash.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+struct Cell {
+  size_t shards = 0;
+  uint32_t threads = 0;
+  double write_kops = 0;
+  double scan_kops = 0;
+  uint64_t scan_rows = 0;
+  uint64_t scan_checksum = 0;
+  double recovery_ms_slowest_shard = 0;
+};
+
+Cell RunCell(const std::string& inner, size_t shards, uint32_t threads,
+             const Flags& flags) {
+  Cell cell;
+  cell.shards = shards;
+  cell.threads = threads;
+
+  ScopedShardedVar engine(inner, shards);
+
+  // Aggregate write throughput: T threads upserting random keys from a
+  // shared keyspace; hash partitioning spreads them across shards.
+  const uint64_t ops_per_thread = std::max<uint64_t>(flags.ops / threads, 1);
+  SpinBarrier barrier(threads + 1);
+  ThreadGroup tg;
+  tg.Spawn(threads, [&](uint32_t id) {
+    Random64 rng(7000 + id);
+    barrier.Wait();
+    for (uint64_t i = 0; i < ops_per_thread; ++i) {
+      engine.get()->Upsert(MakeVarKey(rng.Next() % flags.keys), i);
+    }
+    barrier.Wait();
+  });
+  barrier.Wait();
+  Stopwatch sw;
+  barrier.Wait();
+  double write_secs = sw.ElapsedSeconds();
+  tg.Join();
+  cell.write_kops =
+      static_cast<double>(ops_per_thread) * threads / write_secs / 1e3;
+
+  // Merged globally-ordered scan over everything (k-way cursor merge).
+  {
+    Stopwatch scan_sw;
+    auto cursor = engine.get()->OpenScan("", flags.keys);
+    std::string k;
+    uint64_t v;
+    std::string prev;
+    while (cursor->Next(&k, &v)) {
+      if (cell.scan_rows > 0 && !(prev < k)) {
+        std::fprintf(stderr, "merged scan out of order at row %llu\n",
+                     static_cast<unsigned long long>(cell.scan_rows));
+        std::exit(1);
+      }
+      cell.scan_checksum += HashBytes(k.data(), k.size()) + v;
+      prev = std::move(k);
+      ++cell.scan_rows;
+    }
+    cursor->Close();
+    double scan_secs = scan_sw.ElapsedSeconds();
+    cell.scan_kops =
+        scan_secs > 0
+            ? static_cast<double>(cell.scan_rows) / scan_secs / 1e3
+            : 0;
+  }
+
+  // Shard-parallel recovery: close every pool, reopen concurrently.
+  engine.Reopen(inner);
+  cell.recovery_ms_slowest_shard =
+      static_cast<double>(engine.get()->RecoveryNanos()) / 1e6;
+
+  std::printf(
+      "shards=%zu threads=%u  write=%9.1f kops/s  scan=%9.1f kops/s "
+      "rows=%llu  recovery(slowest shard)=%.3f ms\n",
+      shards, threads, cell.write_kops, cell.scan_kops,
+      static_cast<unsigned long long>(cell.scan_rows),
+      cell.recovery_ms_slowest_shard);
+  return cell;
+}
+
+void WriteJson(const std::string& inner, const std::vector<Cell>& cells) {
+  FILE* f = std::fopen("BENCH_shard_scaling.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_shard_scaling.json\n");
+    return;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  std::fprintf(f, "{\n  \"bench\": \"shard_scaling\",\n");
+  std::fprintf(f,
+               "  \"host\": {\n    \"hardware_concurrency\": %u,\n"
+               "    \"note\": \"single-core containers serialize the shard "
+               "threads; the >=1.8x 8-vs-1-shard write-throughput criterion "
+               "applies on multi-core hosts\"\n  },\n",
+               hw);
+  std::fprintf(f, "  \"inner\": \"%s\",\n  \"series\": [\n",
+               inner.c_str());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %zu, \"threads\": %u, \"write_kops\": %.1f, "
+        "\"scan_kops\": %.1f, \"scan_rows\": %llu, "
+        "\"recovery_ms_slowest_shard\": %.3f}%s\n",
+        c.shards, c.threads, c.write_kops, c.scan_kops,
+        static_cast<unsigned long long>(c.scan_rows),
+        c.recovery_ms_slowest_shard, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"ratios_8_vs_1_shard\": {\n");
+  bool first = true;
+  for (const Cell& a : cells) {
+    if (a.shards != 1) continue;
+    for (const Cell& b : cells) {
+      if (b.shards == 8 && b.threads == a.threads && a.write_kops > 0) {
+        std::fprintf(f, "%s    \"t%u\": %.2f", first ? "" : ",\n",
+                     a.threads, b.write_kops / a.write_kops);
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_shard_scaling.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  if (flags.quick) {
+    flags.keys = std::min<uint64_t>(flags.keys, 20000);
+    flags.ops = std::min<uint64_t>(flags.ops, 40000);
+  }
+  scm::LatencyModel::Disable();  // measure structure, not emulated media
+
+  bench::PrintHeader("sharded engine scaling (shards x threads)");
+  // A concurrent inner tree by default; --tree resolves against the
+  // registry (unknown names exit with the registered list).
+  const std::string inner = flags.VarTrees({"fptree-c-var"}).front();
+
+  std::vector<size_t> shard_counts = {1, 2, 4, 8};
+  std::vector<uint32_t> thread_counts;
+  if (flags.threads != 0) {
+    thread_counts = {flags.threads};
+  } else if (flags.quick) {
+    thread_counts = {2};
+  } else {
+    thread_counts = {1, 2, 4, 8};
+  }
+
+  std::vector<bench::Cell> cells;
+  for (uint32_t t : thread_counts) {
+    for (size_t s : shard_counts) {
+      cells.push_back(bench::RunCell(inner, s, t, flags));
+    }
+  }
+  bench::WriteJson(inner, cells);
+  bench::EmitMetricsJson("shard_scaling");
+  return 0;
+}

@@ -101,9 +101,7 @@ class KVCache {
     throttle_.Admit();
     MaybeDumpMetrics();
     stats_.sets.fetch_add(1, std::memory_order_relaxed);
-    if (!index_->Insert(key, value)) {
-      index_->Update(key, value);
-    }
+    index_->Upsert(key, value);
     if (options_.capacity != 0) {
       TrackAndMaybeEvict(key);
     }

@@ -167,19 +167,22 @@ class MiniDb {
     restart_nanos_ = NowNanos() - t0;
   }
 
-  /// Re-derives every index entry from the key columns.
+  /// Re-derives every index entry from the key columns. Upsert makes the
+  /// rebuild idempotent: re-running over a partially rebuilt index (e.g.
+  /// after an interrupted restart) converges instead of silently dropping
+  /// rows whose keys already exist.
   void RebuildIndexFromColumns() {
     for (uint64_t r = 0; r < sub_bit_->size(); ++r) {
-      index_->Insert(r, r);  // subscriber s_id == row id by construction
+      index_->Upsert(r, r);  // subscriber s_id == row id by construction
     }
     for (uint64_t r = 0; r < ai_key_->size(); ++r) {
-      index_->Insert(kAccessBase + ai_key_->Get(r), r);
+      index_->Upsert(kAccessBase + ai_key_->Get(r), r);
     }
     for (uint64_t r = 0; r < sf_key_->size(); ++r) {
-      index_->Insert(kSpecialBase + sf_key_->Get(r), r);
+      index_->Upsert(kSpecialBase + sf_key_->Get(r), r);
     }
     for (uint64_t r = 0; r < cf_key_->size(); ++r) {
-      index_->Insert(kForwardBase + cf_key_->Get(r), r);
+      index_->Upsert(kForwardBase + cf_key_->Get(r), r);
     }
   }
 

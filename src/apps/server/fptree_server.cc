@@ -1,13 +1,19 @@
 // Copyright (c) FPTree reproduction authors.
 //
 // fptree_server: network front-end for any registered var-key index
-// (DESIGN.md §9). Binds a TCP port, serves the length-prefixed GET/PUT/
-// DEL/SCAN protocol from src/net/protocol.h over a persistent pool, and
-// drains gracefully on SIGTERM/SIGINT — in-flight requests are answered
-// and flushed, then the process prints a METRICS_JSON line and exits.
+// (DESIGN.md §9/§10). Binds a TCP port, serves the length-prefixed GET/
+// PUT/UPSERT/DEL/SCAN protocol from src/net/protocol.h over a persistent
+// pool, and drains gracefully on SIGTERM/SIGINT — in-flight requests are
+// answered and flushed, then the process prints a METRICS_JSON line and
+// exits.
 //
 //   fptree_server --port=7070 --tree=fptree-c-var --threads=4 \
 //                 --pool=/tmp/fptree_server.pool --pool-mb=1024
+//
+// With --shards=N (or --tree=sharded(<inner>,N)) the server runs the
+// sharded multi-pool engine: pool files `<pool>.0 .. <pool>.N-1`, keys
+// hash-partitioned across N inner indexes, shard-parallel recovery on
+// restart, and SCAN served through the k-way merged cursor.
 //
 // Pair with bench_net_throughput as the load generator.
 
@@ -17,6 +23,7 @@
 #include <cstring>
 #include <string>
 
+#include "engine/sharded_index.h"
 #include "index/kv_index.h"
 #include "net/server.h"
 #include "obs/metrics.h"
@@ -35,6 +42,7 @@ struct ServerFlags {
   uint64_t pool_mb = 1024;
   uint32_t sample = 64;
   uint32_t drain_grace_ms = 5000;
+  uint32_t shards = 1;
 
   static ServerFlags Parse(int argc, char** argv) {
     ServerFlags f;
@@ -48,11 +56,14 @@ struct ServerFlags {
       if (std::strncmp(a, "--pool-mb=", 10) == 0) f.pool_mb = std::strtoull(a + 10, nullptr, 10);
       if (std::strncmp(a, "--sample=", 9) == 0) f.sample = std::strtoul(a + 9, nullptr, 10);
       if (std::strncmp(a, "--drain-grace-ms=", 17) == 0) f.drain_grace_ms = std::strtoul(a + 17, nullptr, 10);
+      if (std::strncmp(a, "--shards=", 9) == 0) f.shards = std::strtoul(a + 9, nullptr, 10);
       if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
         std::printf(
             "usage: fptree_server [--port=N] [--host=A] [--tree=NAME]\n"
             "                     [--threads=N] [--pool=PATH] [--pool-mb=N]\n"
             "                     [--sample=N] [--drain-grace-ms=N]\n"
+            "                     [--shards=N]\n"
+            "--tree also accepts sharded(<inner>,<N>) specs\n"
             "registered var-key trees:");
         for (const std::string& n : index::ListVarIndexNames()) {
           std::printf(" %s", n.c_str());
@@ -71,26 +82,61 @@ int Run(int argc, char** argv) {
   scm::LatencyModel::Disable();  // serve at native speed
 
   std::unique_ptr<scm::Pool> pool;
+  std::unique_ptr<index::VarIndex> index;
   bool created = false;
-  scm::Pool::Options popts{.size = flags.pool_mb << 20,
-                           .randomize_base = false};
-  Status s = scm::Pool::OpenOrCreate(flags.pool_path, 1, popts, &pool,
-                                     &created);
-  if (!s.ok()) {
-    std::fprintf(stderr, "pool open failed: %s\n", s.ToString().c_str());
-    return 1;
+  Status s;
+
+  std::string sharded_inner;
+  size_t sharded_n = 0;
+  Status spec_error;
+  const bool is_sharded_spec = engine::ParseShardedSpec(
+      flags.tree, &sharded_inner, &sharded_n, &spec_error);
+  if (is_sharded_spec && !spec_error.ok()) {
+    std::fprintf(stderr, "bad --tree spec: %s\n",
+                 spec_error.ToString().c_str());
+    return 2;
   }
 
-  // Non-concurrent trees get the registry's global lock so the IO workers
-  // can share them, mirroring the paper's memcached arrangement.
-  auto index = index::MakeVarIndex(flags.tree, pool.get(), /*locked=*/true);
-  if (index == nullptr) {
-    std::fprintf(stderr, "unknown --tree=%s; registered:", flags.tree.c_str());
-    for (const std::string& n : index::ListVarIndexNames()) {
-      std::fprintf(stderr, " %s", n.c_str());
+  if (is_sharded_spec || flags.shards > 1) {
+    // Sharded engine path: one pool file per shard, shard-parallel
+    // open/recovery, merged-cursor scans.
+    engine::ShardedOptions eopts;
+    eopts.shards = flags.shards;
+    eopts.path_prefix = flags.pool_path;
+    eopts.shard_bytes = flags.pool_mb << 20;
+    eopts.locked = true;
+    eopts.randomize_base = false;
+    s = engine::MakeVarIndexFromSpec(flags.tree, eopts, &index);
+    if (!s.ok()) {
+      std::fprintf(stderr, "index construction failed: %s\n",
+                   s.ToString().c_str());
+      return 2;
     }
-    std::fprintf(stderr, "\n");
-    return 2;
+  } else {
+    // Single-pool path, unchanged file naming for existing deployments.
+    scm::Pool::Options popts{.size = flags.pool_mb << 20,
+                             .randomize_base = false};
+    s = scm::Pool::OpenOrCreate(flags.pool_path, 1, popts, &pool, &created);
+    if (!s.ok()) {
+      std::fprintf(stderr, "pool open failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // Non-concurrent trees get the registry's global lock so the IO workers
+    // can share them, mirroring the paper's memcached arrangement.
+    s = index::MakeVarIndexChecked(flags.tree, pool.get(), /*locked=*/true,
+                                   &index);
+    if (!s.ok()) {
+      std::fprintf(stderr, "index construction failed: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Surface per-shard recovery telemetry (tree.recovery_nanos gauges come
+  // from index->Stats() at drain; the worst shard is reported up front).
+  if (index->RecoveryNanos() > 0) {
+    std::printf("recovery: %.3f ms (slowest shard)\n",
+                static_cast<double>(index->RecoveryNanos()) / 1e6);
   }
 
   net::Server::Options sopts;
@@ -107,10 +153,13 @@ int Run(int argc, char** argv) {
   net::InstallDrainOnSignal(&server, SIGTERM);
   net::InstallDrainOnSignal(&server, SIGINT);
 
-  std::printf("fptree_server listening on %s:%u tree=%s threads=%u pool=%s%s\n",
-              flags.host.c_str(), server.port(), flags.tree.c_str(),
-              flags.threads, flags.pool_path.c_str(),
-              created ? " (created)" : " (recovered)");
+  std::printf(
+      "fptree_server listening on %s:%u tree=%s threads=%u shards=%zu "
+      "pool=%s%s\n",
+      flags.host.c_str(), server.port(), flags.tree.c_str(), flags.threads,
+      is_sharded_spec ? sharded_n : static_cast<size_t>(flags.shards),
+      flags.pool_path.c_str(),
+      pool != nullptr && created ? " (created)" : " (recovered)");
   std::printf("READY port=%u\n", server.port());
   std::fflush(stdout);
 

@@ -205,6 +205,55 @@ class FPTree {
     return true;
   }
 
+  /// Insert-or-update in one descent (index API v3): merges the Insert and
+  /// Update tails behind a single FindLeaf/FindInLeaf probe. Returns true
+  /// when the key was newly inserted, false when replaced. Crash
+  /// consistency is inherited: each tail publishes through the same single
+  /// p-atomic bitmap store as the stand-alone operation.
+  bool Upsert(Key key, const Value& value) {
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    int prev_slot = FindInLeaf(leaf, key);
+
+    if (prev_slot < 0) {  // Insert tail
+      LeafNode* target = leaf;
+      if (leaf->IsFull()) {
+        Key split_key;
+        LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+        if (key > split_key) target = new_leaf;
+        InsertKV(target, key, value);
+        inner_.InsertSplit(path, split_key, new_leaf);
+      } else {
+        InsertKV(target, key, value);
+      }
+      ++size_;
+      return true;
+    }
+
+    // Update tail (paper Alg. 8).
+    if (leaf->IsFull()) {
+      Key split_key;
+      LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      inner_.InsertSplit(path, split_key, new_leaf);
+      if (key > split_key) leaf = new_leaf;
+      prev_slot = FindInLeaf(leaf, key);
+      assert(prev_slot >= 0);
+    }
+    int slot = leaf->FindFirstZero();
+    assert(slot >= 0);
+    scm::pmem::Store(&leaf->kv[slot], KV{key, value});
+    scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+    scm::pmem::Persist(&leaf->kv[slot]);
+    scm::pmem::Persist(&leaf->fingerprints[slot], 1);
+    SCM_CRASH_POINT("fptree.update.before_bitmap");
+    uint64_t bmp = leaf->bitmap;
+    bmp &= ~(uint64_t{1} << prev_slot);
+    bmp |= uint64_t{1} << slot;
+    scm::pmem::StorePersist(&leaf->bitmap, bmp);
+    SCM_CRASH_POINT("fptree.update.after_bitmap");
+    return false;
+  }
+
   /// Removes a key (paper Alg. 5/6). Returns false if absent.
   bool Erase(Key key) {
     Path path;

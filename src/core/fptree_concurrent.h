@@ -290,6 +290,79 @@ class ConcurrentFPTree {
     return true;
   }
 
+  /// Concurrent insert-or-update in one HTM acquisition (index API v3):
+  /// merges the Alg. 2 and Alg. 8 decision loops — one FindLeafTx probe
+  /// decides between the insert and update tails, so there is no window
+  /// between a failed Insert and the Update where a concurrent Erase could
+  /// force a retry. Returns true when the key was newly inserted.
+  bool Upsert(Key key, const Value& value) {
+    enum class Decision { kInsert, kInsertSplit, kUpdate, kUpdateSplit };
+    htm::Tx tx(&htm_);
+    LeafNode* leaf = nullptr;
+    Decision decision{};
+    int prev_slot = -1;
+    for (;;) {
+      SCM_CRASH_POINT("cfptree.retry");
+      tx.Begin();
+      leaf = FindLeafTx(&tx, key, nullptr);
+      if (!tx.ok() || leaf == nullptr) continue;
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
+        tx.UserAbort();
+        continue;
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      prev_slot = ScanLeaf(leaf, key);
+      if (prev_slot < 0) {
+        decision = IsFull(leaf) ? Decision::kInsertSplit : Decision::kInsert;
+      } else {
+        decision = IsFull(leaf) ? Decision::kUpdateSplit : Decision::kUpdate;
+      }
+      tx.Store(&leaf->lock_word, NewOddGen());
+      if (tx.Commit()) break;
+    }
+
+    // Outside any transaction: persistent work under the leaf lock.
+    LeafNode* new_leaf = nullptr;
+    Key split_key = 0;
+    LeafNode* target = leaf;
+    bool split = decision == Decision::kInsertSplit ||
+                 decision == Decision::kUpdateSplit;
+    if (split) {
+      new_leaf = SplitLeaf(leaf, &split_key);
+      if (key > split_key) target = new_leaf;
+    }
+
+    bool inserted;
+    if (decision == Decision::kInsert || decision == Decision::kInsertSplit) {
+      InsertKV(target, key, value);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      inserted = true;
+    } else {
+      if (split) {
+        prev_slot = ScanLeaf(target, key);
+        assert(prev_slot >= 0);
+      }
+      int slot = FindFirstZero(target);
+      assert(slot >= 0);
+      scm::pmem::Store(&target->kv[slot], KV{key, value});
+      scm::pmem::Store(&target->fingerprints[slot], Fingerprint(key));
+      scm::pmem::Persist(&target->kv[slot]);
+      scm::pmem::Persist(&target->fingerprints[slot], 1);
+      uint64_t bmp = target->bitmap;
+      bmp &= ~(uint64_t{1} << prev_slot);
+      bmp |= uint64_t{1} << slot;
+      scm::pmem::StorePersist(&target->bitmap, bmp);
+      inserted = false;
+    }
+
+    if (split) {
+      UpdateParents(split_key, new_leaf);
+      UnlockLeaf(new_leaf);
+    }
+    UnlockLeaf(leaf);
+    return inserted;
+  }
+
   /// Concurrent Delete (Alg. 5). Returns false if the key is absent.
   bool Erase(Key key) {
     enum class Decision { kDelete, kLeafEmpty, kAbsent };

@@ -207,6 +207,79 @@ class ConcurrentFPTreeVar {
     return true;
   }
 
+  /// Concurrent insert-or-update in one HTM acquisition (index API v3):
+  /// one probe picks the Alg. 14 insert tail or the Alg. 16 aliasing update
+  /// tail. Returns true when the key was newly inserted.
+  bool Upsert(std::string_view key, const Value& value) {
+    enum class Decision { kInsert, kInsertSplit, kUpdate, kUpdateSplit };
+    htm::Tx tx(&htm_);
+    LeafNode* leaf = nullptr;
+    Decision decision{};
+    int prev_slot = -1;
+    for (;;) {
+      SCM_CRASH_POINT("cfptreevar.retry");
+      tx.Begin();
+      leaf = FindLeafTx(&tx, key);
+      if (!tx.ok() || leaf == nullptr) continue;
+      if ((tx.Load(&leaf->lock_word) & 1) != 0) {
+        tx.UserAbort();
+        continue;
+      }
+      prev_slot = ScanLeaf(leaf, key);
+      if (prev_slot < 0) {
+        decision = IsFull(leaf) ? Decision::kInsertSplit : Decision::kInsert;
+      } else {
+        decision = IsFull(leaf) ? Decision::kUpdateSplit : Decision::kUpdate;
+      }
+      tx.Store(&leaf->lock_word, NewOddGen());
+      if (tx.Commit()) break;
+    }
+
+    LeafNode* new_leaf = nullptr;
+    std::string split_key;
+    LeafNode* target = leaf;
+    bool split = decision == Decision::kInsertSplit ||
+                 decision == Decision::kUpdateSplit;
+    if (split) {
+      new_leaf = SplitLeaf(leaf, &split_key);
+      if (key > split_key) target = new_leaf;
+    }
+
+    bool inserted;
+    if (decision == Decision::kInsert || decision == Decision::kInsertSplit) {
+      InsertKV(target, key, value);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      inserted = true;
+    } else {
+      if (split) {
+        prev_slot = ScanLeaf(target, key);
+        assert(prev_slot >= 0);
+      }
+      int slot = FindFirstZero(target);
+      assert(slot >= 0);
+      scm::pmem::StorePPtr(&target->kv[slot].pkey,
+                           target->kv[prev_slot].pkey);
+      scm::pmem::Store(&target->kv[slot].value, value);
+      scm::pmem::Store(&target->fingerprints[slot], Fingerprint(key));
+      scm::pmem::Persist(&target->kv[slot]);
+      scm::pmem::Persist(&target->fingerprints[slot], 1);
+      uint64_t bmp = target->bitmap;
+      bmp &= ~(uint64_t{1} << prev_slot);
+      bmp |= uint64_t{1} << slot;
+      scm::pmem::StorePersist(&target->bitmap, bmp);
+      scm::pmem::StorePPtrPersist(&target->kv[prev_slot].pkey,
+                                  scm::PPtr<KeyBlob>::Null());
+      inserted = false;
+    }
+
+    if (split) {
+      UpdateParents(split_key, new_leaf);
+      UnlockLeaf(new_leaf);
+    }
+    UnlockLeaf(leaf);
+    return inserted;
+  }
+
   /// Paper Alg. 15. (Leaf reclamation is delegated to recovery sweeps, as
   /// in our single-threaded var tree; emptied leaves stay linked.)
   bool Erase(std::string_view key) {

@@ -170,6 +170,57 @@ class FPTreeVar {
     return true;
   }
 
+  /// Insert-or-update in one descent (index API v3): one
+  /// FindLeaf/FindInLeaf probe picks the Alg. 14 insert tail or the Alg. 16
+  /// aliasing update tail. Returns true when newly inserted.
+  bool Upsert(std::string_view key, const Value& value) {
+    Path path;
+    LeafNode* leaf = FindLeaf(key, &path);
+    int prev_slot = FindInLeaf(leaf, key);
+
+    if (prev_slot < 0) {  // Alg. 14 insert tail
+      LeafNode* target = leaf;
+      if (leaf->IsFull()) {
+        std::string split_key;
+        LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+        if (key > split_key) target = new_leaf;
+        InsertKV(target, key, value);
+        inner_.InsertSplit(path, split_key, new_leaf);
+      } else {
+        InsertKV(target, key, value);
+      }
+      ++size_;
+      return true;
+    }
+
+    // Alg. 16 update tail: alias the existing key blob into the new slot.
+    if (leaf->IsFull()) {
+      std::string split_key;
+      LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      inner_.InsertSplit(path, split_key, new_leaf);
+      if (key > split_key) leaf = new_leaf;
+      prev_slot = FindInLeaf(leaf, key);
+      assert(prev_slot >= 0);
+    }
+    int slot = leaf->FindFirstZero();
+    assert(slot >= 0);
+    scm::pmem::StorePPtr(&leaf->kv[slot].pkey, leaf->kv[prev_slot].pkey);
+    scm::pmem::Store(&leaf->kv[slot].value, value);
+    scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+    scm::pmem::Persist(&leaf->kv[slot]);
+    scm::pmem::Persist(&leaf->fingerprints[slot], 1);
+    SCM_CRASH_POINT("fptreevar.update.before_bitmap");
+    uint64_t bmp = leaf->bitmap;
+    bmp &= ~(uint64_t{1} << prev_slot);
+    bmp |= uint64_t{1} << slot;
+    scm::pmem::StorePersist(&leaf->bitmap, bmp);
+    SCM_CRASH_POINT("fptreevar.update.aliased");
+    scm::pmem::StorePPtrPersist(&leaf->kv[prev_slot].pkey,
+                                scm::PPtr<KeyBlob>::Null());
+    SCM_CRASH_POINT("fptreevar.update.old_reset");
+    return false;
+  }
+
   /// Paper Alg. 15: bitmap-clear then blob deallocation.
   bool Erase(std::string_view key) {
     Path path;

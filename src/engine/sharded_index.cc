@@ -1,0 +1,520 @@
+#include "engine/sharded_index.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <queue>
+#include <utility>
+
+#include "core/recovery.h"
+#include "util/hash.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace engine {
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t EffectiveThreads(uint32_t requested, size_t shards) {
+  uint32_t n = requested != 0 ? requested : core::RecoverThreads();
+  if (n == 0) n = 1;
+  return static_cast<uint32_t>(std::min<size_t>(n, shards));
+}
+
+std::string ShardPath(const std::string& prefix, size_t i) {
+  return prefix + "." + std::to_string(i);
+}
+
+Status ValidateOptions(const ShardedOptions& opts) {
+  if (opts.shards < 1 || opts.shards > 32) {
+    return Status::InvalidArgument(
+        "sharded engine: shards must be in [1, 32], got " +
+        std::to_string(opts.shards));
+  }
+  if (opts.base_pool_id < 1 ||
+      opts.base_pool_id + opts.shards > scm::kMaxPools) {
+    return Status::InvalidArgument(
+        "sharded engine: pool ids [" + std::to_string(opts.base_pool_id) +
+        ", " + std::to_string(opts.base_pool_id + opts.shards) +
+        ") fall outside [1, " + std::to_string(scm::kMaxPools) + ")");
+  }
+  if (opts.path_prefix.empty()) {
+    return Status::InvalidArgument("sharded engine: empty path_prefix");
+  }
+  return Status::OK();
+}
+
+/// Opens every shard pool and constructs the inner index, shard-parallel.
+/// ShardT is ShardedKVIndex::Shard or ShardedVarIndex::Shard; MakeInner is
+/// Status(name, pool, locked, out).
+template <typename ShardT, typename MakeInner>
+Status OpenShards(const std::string& inner, const ShardedOptions& opts,
+                  const MakeInner& make_inner, std::vector<ShardT>* shards) {
+  shards->resize(opts.shards);
+  std::vector<Status> errors(opts.shards);
+  const uint32_t threads = EffectiveThreads(opts.threads, opts.shards);
+  ParallelShards(opts.shards, threads,
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     ShardT& s = (*shards)[i];
+                     uint64_t t0 = NowNanos();
+                     scm::Pool::Options popts;
+                     popts.size = opts.shard_bytes;
+                     popts.randomize_base = opts.randomize_base;
+                     bool created = false;
+                     Status st = scm::Pool::OpenOrCreate(
+                         ShardPath(opts.path_prefix, i),
+                         opts.base_pool_id + i, popts, &s.pool, &created);
+                     if (!st.ok()) {
+                       errors[i] = std::move(st);
+                       continue;
+                     }
+                     // Inner construction is attach-time recovery for
+                     // pool-backed trees.
+                     st = make_inner(inner, s.pool.get(), opts.locked,
+                                     &s.index);
+                     if (!st.ok()) {
+                       errors[i] = std::move(st);
+                       s.pool.reset();
+                       continue;
+                     }
+                     s.open_nanos = NowNanos() - t0;
+                   }
+                 });
+  for (size_t i = 0; i < errors.size(); ++i) {
+    if (!errors[i].ok()) {
+      shards->clear();  // release every pool before reporting
+      return Status::IOError("shard " + std::to_string(i) + ": " +
+                             errors[i].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+/// K-way streaming merge over per-shard cursors. Hash partitioning puts
+/// each key in exactly one shard, so the heap never holds duplicates; the
+/// shard index tie-break only makes the order deterministic if an
+/// application ever loads the same key into two shards by hand.
+class MergedKVCursor final : public index::KVScanCursor {
+ public:
+  MergedKVCursor(std::vector<std::unique_ptr<index::KVScanCursor>> cursors,
+                 size_t limit)
+      : cursors_(std::move(cursors)), remaining_(limit) {
+    for (size_t i = 0; i < cursors_.size(); ++i) Pull(i);
+  }
+
+  bool Next(uint64_t* key, uint64_t* value) override {
+    if (remaining_ == 0 || heap_.empty()) return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    Pull(e.shard);
+    *key = e.key;
+    *value = e.value;
+    --remaining_;
+    return true;
+  }
+
+  void Close() override {
+    remaining_ = 0;
+    for (auto& c : cursors_) {
+      if (c) c->Close();
+    }
+    heap_ = {};
+  }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint64_t value;
+    size_t shard;
+  };
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      return a.shard > b.shard;
+    }
+  };
+
+  void Pull(size_t shard) {
+    Entry e;
+    e.shard = shard;
+    if (cursors_[shard] && cursors_[shard]->Next(&e.key, &e.value)) {
+      heap_.push(e);
+    }
+  }
+
+  std::vector<std::unique_ptr<index::KVScanCursor>> cursors_;
+  std::priority_queue<Entry, std::vector<Entry>, Greater> heap_;
+  size_t remaining_;
+};
+
+class MergedVarCursor final : public index::VarScanCursor {
+ public:
+  MergedVarCursor(std::vector<std::unique_ptr<index::VarScanCursor>> cursors,
+                  size_t limit)
+      : cursors_(std::move(cursors)), remaining_(limit) {
+    for (size_t i = 0; i < cursors_.size(); ++i) Pull(i);
+  }
+
+  bool Next(std::string* key, uint64_t* value) override {
+    if (remaining_ == 0 || heap_.empty()) return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    Pull(e.shard);
+    *key = std::move(e.key);
+    *value = e.value;
+    --remaining_;
+    return true;
+  }
+
+  void Close() override {
+    remaining_ = 0;
+    for (auto& c : cursors_) {
+      if (c) c->Close();
+    }
+    heap_ = {};
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t value;
+    size_t shard;
+  };
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      return a.shard > b.shard;
+    }
+  };
+
+  void Pull(size_t shard) {
+    Entry e;
+    e.shard = shard;
+    if (cursors_[shard] && cursors_[shard]->Next(&e.key, &e.value)) {
+      heap_.push(e);
+    }
+  }
+
+  std::vector<std::unique_ptr<index::VarScanCursor>> cursors_;
+  std::priority_queue<Entry, std::vector<Entry>, Greater> heap_;
+  size_t remaining_;
+};
+
+/// Aggregates shard snapshots: counters and top-level gauges sum; every
+/// shard gauge is re-exported under shard.<i>.<name>.
+template <typename Shards>
+obs::Snapshot AggregateStats(const Shards& shards) {
+  obs::Snapshot agg;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    obs::Snapshot s = shards[i].index->Stats();
+    for (const auto& [name, v] : s.counters) agg.counters[name] += v;
+    for (const auto& [name, v] : s.gauges) {
+      agg.gauges[name] += v;
+      agg.gauges["shard." + std::to_string(i) + "." + name] = v;
+    }
+  }
+  agg.gauges["engine.shards"] = shards.size();
+  return agg;
+}
+
+/// Fan-out invariant check; failures are concatenated with shard tags.
+template <typename Shards>
+bool FanOutInvariants(Shards& shards, uint32_t threads, std::string* why) {
+  std::atomic<bool> ok{true};
+  std::mutex why_mu;
+  ParallelShards(shards.size(), EffectiveThreads(threads, shards.size()),
+                 [&](size_t, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     std::string shard_why;
+                     if (!shards[i].index->CheckInvariants(&shard_why)) {
+                       ok.store(false, std::memory_order_relaxed);
+                       if (why != nullptr) {
+                         std::lock_guard<std::mutex> l(why_mu);
+                         if (!why->empty()) *why += "; ";
+                         *why += "shard " + std::to_string(i) + ": " +
+                                 shard_why;
+                       }
+                     }
+                   }
+                 });
+  return ok.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// --- ShardedKVIndex --------------------------------------------------------
+
+Status ShardedKVIndex::Make(const std::string& inner,
+                            const ShardedOptions& opts,
+                            std::unique_ptr<ShardedKVIndex>* out) {
+  Status st = ValidateOptions(opts);
+  if (!st.ok()) return st;
+  std::unique_ptr<ShardedKVIndex> idx(new ShardedKVIndex());
+  st = OpenShards(inner, opts, index::MakeFixedIndexChecked, &idx->shards_);
+  if (!st.ok()) return st;
+  idx->threads_ = opts.threads;
+  idx->inner_name_ = inner;
+  idx->concurrent_ = true;
+  for (const auto& s : idx->shards_) {
+    if (!s.index->concurrent()) idx->concurrent_ = false;
+  }
+  *out = std::move(idx);
+  return Status::OK();
+}
+
+ShardedKVIndex::~ShardedKVIndex() = default;
+
+size_t ShardedKVIndex::ShardOf(uint64_t key) const {
+  return Mix64(key) % shards_.size();
+}
+
+bool ShardedKVIndex::Find(uint64_t key, uint64_t* value) {
+  return shards_[ShardOf(key)].index->Find(key, value);
+}
+bool ShardedKVIndex::Insert(uint64_t key, uint64_t value) {
+  return shards_[ShardOf(key)].index->Insert(key, value);
+}
+bool ShardedKVIndex::Update(uint64_t key, uint64_t value) {
+  return shards_[ShardOf(key)].index->Update(key, value);
+}
+bool ShardedKVIndex::Erase(uint64_t key) {
+  return shards_[ShardOf(key)].index->Erase(key);
+}
+bool ShardedKVIndex::Upsert(uint64_t key, uint64_t value) {
+  return shards_[ShardOf(key)].index->Upsert(key, value);
+}
+
+std::unique_ptr<index::KVScanCursor> ShardedKVIndex::OpenScan(uint64_t start,
+                                                              size_t limit) {
+  std::vector<std::unique_ptr<index::KVScanCursor>> cursors;
+  cursors.reserve(shards_.size());
+  for (auto& s : shards_) {
+    // Each shard can contribute at most `limit` of the merged output.
+    cursors.push_back(s.index->OpenScan(start, limit));
+  }
+  return std::make_unique<MergedKVCursor>(std::move(cursors), limit);
+}
+
+size_t ShardedKVIndex::RangeScan(uint64_t start, size_t limit,
+                                 const ScanCallback& cb) {
+  auto cursor = OpenScan(start, limit);
+  size_t n = 0;
+  uint64_t k, v;
+  while (cursor->Next(&k, &v)) {
+    ++n;
+    if (!cb(k, v)) break;
+  }
+  cursor->Close();
+  return n;
+}
+
+size_t ShardedKVIndex::Size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s.index->Size();
+  return n;
+}
+uint64_t ShardedKVIndex::DramBytes() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s.index->DramBytes();
+  return n;
+}
+uint64_t ShardedKVIndex::ScmBytes() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s.index->ScmBytes();
+  return n;
+}
+uint64_t ShardedKVIndex::RecoveryNanos() const {
+  uint64_t worst = 0;
+  for (const auto& s : shards_) worst = std::max(worst, s.open_nanos);
+  return worst;
+}
+
+obs::Snapshot ShardedKVIndex::Stats() const {
+  obs::Snapshot s = AggregateStats(shards_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    s.gauges["shard." + std::to_string(i) + ".tree.recovery_nanos"] =
+        shards_[i].open_nanos;
+  }
+  s.gauges["index.recovery_nanos"] = RecoveryNanos();
+  return s;
+}
+
+bool ShardedKVIndex::CheckInvariants(std::string* why) {
+  return FanOutInvariants(shards_, threads_, why);
+}
+
+// --- ShardedVarIndex -------------------------------------------------------
+
+Status ShardedVarIndex::Make(const std::string& inner,
+                             const ShardedOptions& opts,
+                             std::unique_ptr<ShardedVarIndex>* out) {
+  Status st = ValidateOptions(opts);
+  if (!st.ok()) return st;
+  std::unique_ptr<ShardedVarIndex> idx(new ShardedVarIndex());
+  st = OpenShards(inner, opts, index::MakeVarIndexChecked, &idx->shards_);
+  if (!st.ok()) return st;
+  idx->threads_ = opts.threads;
+  idx->inner_name_ = inner;
+  idx->concurrent_ = true;
+  for (const auto& s : idx->shards_) {
+    if (!s.index->concurrent()) idx->concurrent_ = false;
+  }
+  *out = std::move(idx);
+  return Status::OK();
+}
+
+ShardedVarIndex::~ShardedVarIndex() = default;
+
+size_t ShardedVarIndex::ShardOf(std::string_view key) const {
+  return HashBytes(key.data(), key.size()) % shards_.size();
+}
+
+bool ShardedVarIndex::Find(std::string_view key, uint64_t* value) {
+  return shards_[ShardOf(key)].index->Find(key, value);
+}
+bool ShardedVarIndex::Insert(std::string_view key, uint64_t value) {
+  return shards_[ShardOf(key)].index->Insert(key, value);
+}
+bool ShardedVarIndex::Update(std::string_view key, uint64_t value) {
+  return shards_[ShardOf(key)].index->Update(key, value);
+}
+bool ShardedVarIndex::Erase(std::string_view key) {
+  return shards_[ShardOf(key)].index->Erase(key);
+}
+bool ShardedVarIndex::Upsert(std::string_view key, uint64_t value) {
+  return shards_[ShardOf(key)].index->Upsert(key, value);
+}
+
+std::unique_ptr<index::VarScanCursor> ShardedVarIndex::OpenScan(
+    std::string_view start, size_t limit) {
+  std::vector<std::unique_ptr<index::VarScanCursor>> cursors;
+  cursors.reserve(shards_.size());
+  for (auto& s : shards_) {
+    cursors.push_back(s.index->OpenScan(start, limit));
+  }
+  return std::make_unique<MergedVarCursor>(std::move(cursors), limit);
+}
+
+size_t ShardedVarIndex::RangeScan(std::string_view start, size_t limit,
+                                  const ScanCallback& cb) {
+  auto cursor = OpenScan(start, limit);
+  size_t n = 0;
+  std::string k;
+  uint64_t v;
+  while (cursor->Next(&k, &v)) {
+    ++n;
+    if (!cb(k, v)) break;
+  }
+  cursor->Close();
+  return n;
+}
+
+size_t ShardedVarIndex::Size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s.index->Size();
+  return n;
+}
+uint64_t ShardedVarIndex::DramBytes() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s.index->DramBytes();
+  return n;
+}
+uint64_t ShardedVarIndex::ScmBytes() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s.index->ScmBytes();
+  return n;
+}
+uint64_t ShardedVarIndex::RecoveryNanos() const {
+  uint64_t worst = 0;
+  for (const auto& s : shards_) worst = std::max(worst, s.open_nanos);
+  return worst;
+}
+
+obs::Snapshot ShardedVarIndex::Stats() const {
+  obs::Snapshot s = AggregateStats(shards_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    s.gauges["shard." + std::to_string(i) + ".tree.recovery_nanos"] =
+        shards_[i].open_nanos;
+  }
+  s.gauges["index.recovery_nanos"] = RecoveryNanos();
+  return s;
+}
+
+bool ShardedVarIndex::CheckInvariants(std::string* why) {
+  return FanOutInvariants(shards_, threads_, why);
+}
+
+// --- Spec parsing ----------------------------------------------------------
+
+bool ParseShardedSpec(const std::string& spec, std::string* inner,
+                      size_t* shards, Status* error) {
+  constexpr const char kPrefix[] = "sharded(";
+  if (spec.rfind(kPrefix, 0) != 0) return false;
+  *error = Status::OK();
+  if (spec.back() != ')') {
+    *error = Status::InvalidArgument("sharded spec missing ')': " + spec);
+    return true;
+  }
+  std::string body = spec.substr(sizeof(kPrefix) - 1,
+                                 spec.size() - sizeof(kPrefix));
+  size_t comma = body.rfind(',');
+  if (comma == std::string::npos || comma == 0) {
+    *error = Status::InvalidArgument(
+        "sharded spec must be sharded(<inner>,<N>): " + spec);
+    return true;
+  }
+  *inner = body.substr(0, comma);
+  const std::string count = body.substr(comma + 1);
+  char* endp = nullptr;
+  unsigned long n = std::strtoul(count.c_str(), &endp, 10);
+  if (count.empty() || endp == nullptr || *endp != '\0' || n < 1 || n > 32) {
+    *error = Status::InvalidArgument(
+        "sharded spec shard count must be an integer in [1, 32]: " + spec);
+    return true;
+  }
+  *shards = static_cast<size_t>(n);
+  return true;
+}
+
+Status MakeVarIndexFromSpec(const std::string& spec,
+                            const ShardedOptions& opts,
+                            std::unique_ptr<index::VarIndex>* out) {
+  std::string inner = spec;
+  ShardedOptions effective = opts;
+  Status parse_error;
+  if (ParseShardedSpec(spec, &inner, &effective.shards, &parse_error)) {
+    if (!parse_error.ok()) return parse_error;
+  }
+  std::unique_ptr<ShardedVarIndex> sharded;
+  Status st = ShardedVarIndex::Make(inner, effective, &sharded);
+  if (!st.ok()) return st;
+  *out = std::move(sharded);
+  return Status::OK();
+}
+
+Status MakeFixedIndexFromSpec(const std::string& spec,
+                              const ShardedOptions& opts,
+                              std::unique_ptr<index::KVIndex>* out) {
+  std::string inner = spec;
+  ShardedOptions effective = opts;
+  Status parse_error;
+  if (ParseShardedSpec(spec, &inner, &effective.shards, &parse_error)) {
+    if (!parse_error.ok()) return parse_error;
+  }
+  std::unique_ptr<ShardedKVIndex> sharded;
+  Status st = ShardedKVIndex::Make(inner, effective, &sharded);
+  if (!st.ok()) return st;
+  *out = std::move(sharded);
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace fptree

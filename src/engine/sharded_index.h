@@ -1,0 +1,172 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Sharded multi-pool engine (DESIGN.md §10). A ShardedKVIndex /
+// ShardedVarIndex composes N instances of any registered index — each over
+// its own SCM pool file (`<prefix>.0 .. <prefix>.N-1`) — behind the plain
+// KVIndex/VarIndex interfaces:
+//
+//  * Keys are hash-partitioned (Mix64 for fixed keys, HashBytes for var
+//    keys), so every key lives in exactly one shard and point ops touch a
+//    single inner index.
+//  * Construction opens all shard pools concurrently (ParallelShards);
+//    attach-time recovery therefore runs shard-parallel, turning the §7
+//    intra-tree parallel rebuild into embarrassingly-parallel per-shard
+//    recovery.
+//  * Globally ordered RangeScan is a k-way streaming merge over per-shard
+//    ScanCursors (index API v3); the callback form is reimplemented on top
+//    of the merged cursor.
+//  * Stats() aggregates counters and index.* gauges and adds per-shard
+//    `shard.<i>.*` gauges; CheckInvariants fans out across shards.
+//
+// The engine owns its pools: destroying the index closes every shard pool,
+// so a crash-recovery cycle is "destroy, re-Make".
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/kv_index.h"
+#include "scm/pool.h"
+#include "util/status.h"
+
+namespace fptree {
+namespace engine {
+
+/// Configuration for a sharded engine instance.
+struct ShardedOptions {
+  /// Number of shards (pool files / inner indexes), in [1, 32].
+  size_t shards = 8;
+  /// Shard i's pool file is `<path_prefix>.<i>`.
+  std::string path_prefix = "pool";
+  /// Size of each shard's pool file (sparse; untouched pages cost nothing).
+  size_t shard_bytes = size_t{1} << 28;
+  /// Pool ids base..base+shards-1 are claimed; must stay inside [1, 64).
+  uint64_t base_pool_id = 1;
+  /// Wrap non-concurrent inner indexes with a per-shard global lock.
+  bool locked = false;
+  /// Workers for parallel open/recovery/invariant fan-out; 0 = one thread
+  /// per shard (capped by core::RecoverThreads()).
+  uint32_t threads = 0;
+  /// Map shard pools at randomized bases (recovery realism; see scm::Pool).
+  bool randomize_base = true;
+};
+
+/// Fixed-key sharded engine.
+class ShardedKVIndex final : public index::KVIndex {
+ public:
+  /// Opens (or creates) every shard pool concurrently and constructs one
+  /// `inner` index per shard via the checked registry factory. On any
+  /// failure nothing is leaked and `*out` is untouched.
+  static Status Make(const std::string& inner, const ShardedOptions& opts,
+                     std::unique_ptr<ShardedKVIndex>* out);
+
+  ~ShardedKVIndex() override;
+
+  bool Find(uint64_t key, uint64_t* value) override;
+  bool Insert(uint64_t key, uint64_t value) override;
+  bool Update(uint64_t key, uint64_t value) override;
+  bool Erase(uint64_t key) override;
+  bool Upsert(uint64_t key, uint64_t value) override;
+  /// Globally ordered scan: k-way merge over per-shard cursors.
+  size_t RangeScan(uint64_t start, size_t limit,
+                   const ScanCallback& cb) override;
+  std::unique_ptr<index::KVScanCursor> OpenScan(uint64_t start,
+                                                size_t limit) override;
+  size_t Size() const override;
+  uint64_t DramBytes() const override;
+  uint64_t ScmBytes() const override;
+  /// Wall-clock of the slowest shard's attach-time recovery.
+  uint64_t RecoveryNanos() const override;
+  obs::Snapshot Stats() const override;
+  bool concurrent() const override { return concurrent_; }
+  bool CheckInvariants(std::string* why) override;
+
+  size_t shards() const { return shards_.size(); }
+  index::KVIndex* shard(size_t i) { return shards_[i].index.get(); }
+  /// Shard the key routes to (exposed for tests/differentials).
+  size_t ShardOf(uint64_t key) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<scm::Pool> pool;
+    std::unique_ptr<index::KVIndex> index;
+    uint64_t open_nanos = 0;  // pool open + inner construction (recovery)
+  };
+
+  ShardedKVIndex() = default;
+
+  std::vector<Shard> shards_;
+  uint32_t threads_ = 0;
+  bool concurrent_ = false;
+  std::string inner_name_;
+};
+
+/// Var-key sharded engine; see ShardedKVIndex.
+class ShardedVarIndex final : public index::VarIndex {
+ public:
+  static Status Make(const std::string& inner, const ShardedOptions& opts,
+                     std::unique_ptr<ShardedVarIndex>* out);
+
+  ~ShardedVarIndex() override;
+
+  bool Find(std::string_view key, uint64_t* value) override;
+  bool Insert(std::string_view key, uint64_t value) override;
+  bool Update(std::string_view key, uint64_t value) override;
+  bool Erase(std::string_view key) override;
+  bool Upsert(std::string_view key, uint64_t value) override;
+  size_t RangeScan(std::string_view start, size_t limit,
+                   const ScanCallback& cb) override;
+  std::unique_ptr<index::VarScanCursor> OpenScan(std::string_view start,
+                                                 size_t limit) override;
+  size_t Size() const override;
+  uint64_t DramBytes() const override;
+  uint64_t ScmBytes() const override;
+  uint64_t RecoveryNanos() const override;
+  obs::Snapshot Stats() const override;
+  bool concurrent() const override { return concurrent_; }
+  bool CheckInvariants(std::string* why) override;
+
+  size_t shards() const { return shards_.size(); }
+  index::VarIndex* shard(size_t i) { return shards_[i].index.get(); }
+  size_t ShardOf(std::string_view key) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<scm::Pool> pool;
+    std::unique_ptr<index::VarIndex> index;
+    uint64_t open_nanos = 0;
+  };
+
+  ShardedVarIndex() = default;
+
+  std::vector<Shard> shards_;
+  uint32_t threads_ = 0;
+  bool concurrent_ = false;
+  std::string inner_name_;
+};
+
+/// Parses a `sharded(<inner>,<N>)` spec. Returns true and fills
+/// inner/shards on match; false when `spec` is not a sharded spec at all
+/// (a plain tree name). A malformed sharded spec (bad count, missing
+/// paren) returns true with *error set, so callers can distinguish "not
+/// sharded" from "sharded but broken".
+bool ParseShardedSpec(const std::string& spec, std::string* inner,
+                      size_t* shards, Status* error);
+
+/// Builds a var-key index from a tree spec: a plain registered name makes
+/// a 1..N-shard engine per `opts.shards`; a `sharded(inner,N)` spec
+/// overrides opts.shards with N. Unknown inner names surface the checked
+/// registry Status (registered-name list included).
+Status MakeVarIndexFromSpec(const std::string& spec,
+                            const ShardedOptions& opts,
+                            std::unique_ptr<index::VarIndex>* out);
+
+/// Fixed-key twin of MakeVarIndexFromSpec.
+Status MakeFixedIndexFromSpec(const std::string& spec,
+                              const ShardedOptions& opts,
+                              std::unique_ptr<index::KVIndex>* out);
+
+}  // namespace engine
+}  // namespace fptree

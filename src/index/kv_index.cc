@@ -48,6 +48,43 @@ std::vector<std::string> IndexRegistry::VarNames() const {
   return names;
 }
 
+namespace {
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const auto& n : names) {
+    if (!joined.empty()) joined += ", ";
+    joined += n;
+  }
+  return joined;
+}
+
+}  // namespace
+
+Status IndexRegistry::MakeFixedChecked(const std::string& name,
+                                       scm::Pool* pool, bool locked,
+                                       std::unique_ptr<KVIndex>* out) const {
+  auto it = fixed_.find(name);
+  if (it == fixed_.end()) {
+    return Status::NotFound("unknown fixed-key index '" + name +
+                            "'; registered: " + JoinNames(FixedNames()));
+  }
+  *out = it->second(pool, locked);
+  return Status::OK();
+}
+
+Status IndexRegistry::MakeVarChecked(const std::string& name, scm::Pool* pool,
+                                     bool locked,
+                                     std::unique_ptr<VarIndex>* out) const {
+  auto it = var_.find(name);
+  if (it == var_.end()) {
+    return Status::NotFound("unknown var-key index '" + name +
+                            "'; registered: " + JoinNames(VarNames()));
+  }
+  *out = it->second(pool, locked);
+  return Status::OK();
+}
+
 std::vector<std::string> ListFixedIndexNames() {
   return IndexRegistry::Instance().FixedNames();
 }
@@ -64,6 +101,16 @@ std::unique_ptr<KVIndex> MakeFixedIndex(const std::string& name,
 std::unique_ptr<VarIndex> MakeVarIndex(const std::string& name,
                                        scm::Pool* pool, bool locked) {
   return IndexRegistry::Instance().MakeVar(name, pool, locked);
+}
+
+Status MakeFixedIndexChecked(const std::string& name, scm::Pool* pool,
+                             bool locked, std::unique_ptr<KVIndex>* out) {
+  return IndexRegistry::Instance().MakeFixedChecked(name, pool, locked, out);
+}
+
+Status MakeVarIndexChecked(const std::string& name, scm::Pool* pool,
+                           bool locked, std::unique_ptr<VarIndex>* out) {
+  return IndexRegistry::Instance().MakeVarChecked(name, pool, locked, out);
 }
 
 namespace {

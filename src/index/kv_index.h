@@ -13,10 +13,26 @@
 //  * Implementations self-register in IndexRegistry (kv_index.cc);
 //    ListFixedIndexNames()/ListVarIndexNames() enumerate them for
 //    `--tree=all` style drivers.
+//
+// v3 additions (DESIGN.md §10):
+//  * Upsert(key, value) — atomic insert-or-update. The default loops
+//    Insert/Update; the FPTree variants provide a native one-descent fast
+//    path the adapters pick up by feature detection.
+//  * OpenScan(start, limit) — a pull-based ScanCursor (Open/Next/Close).
+//    The default cursor batch-refills from the callback RangeScan and
+//    re-descends per batch, so a cursor held across concurrent mutations
+//    never touches a stale leaf (generation safety comes from RangeScan's
+//    own snapshot discipline). Composed indexes (src/engine/ sharding)
+//    implement the callback RangeScan *on top of* their cursor instead.
+//  * Status-returning factories (MakeFixedIndexChecked/MakeVarIndexChecked)
+//    that report unknown names with the registered list instead of a bare
+//    nullptr.
 
 #pragma once
 
+#include <algorithm>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -35,15 +51,44 @@
 #include "obs/metrics.h"
 #include "scm/pool.h"
 #include "util/hash.h"
+#include "util/status.h"
 
 namespace fptree {
 namespace index {
+
+/// \brief Pull-based ordered scan over fixed-size keys (index API v3).
+///
+/// Obtained from KVIndex::OpenScan. Next() yields pairs in ascending key
+/// order until the limit requested at open time, the end of the index, or
+/// Close(); all three make every later Next() return false. A cursor is
+/// single-threaded, but the index may be mutated concurrently between
+/// Next() calls: implementations refill in bounded batches and re-descend
+/// from the root per batch, never holding a leaf reference across calls.
+class KVScanCursor {
+ public:
+  virtual ~KVScanCursor() = default;
+
+  /// Advances to the next pair. Returns false once exhausted or closed.
+  virtual bool Next(uint64_t* key, uint64_t* value) = 0;
+
+  /// Releases buffered state early; idempotent, implied by destruction.
+  virtual void Close() = 0;
+};
+
+/// \brief Pull-based ordered scan over variable-size keys.
+class VarScanCursor {
+ public:
+  virtual ~VarScanCursor() = default;
+  virtual bool Next(std::string* key, uint64_t* value) = 0;
+  virtual void Close() = 0;
+};
 
 /// \brief Fixed-size (8-byte) key index.
 class KVIndex {
  public:
   /// Scan visitor; return false to stop early.
   using ScanCallback = std::function<bool(uint64_t key, uint64_t value)>;
+  using ScanCursor = KVScanCursor;
 
   virtual ~KVIndex() = default;
 
@@ -51,10 +96,27 @@ class KVIndex {
   virtual bool Insert(uint64_t key, uint64_t value) = 0;
   virtual bool Update(uint64_t key, uint64_t value) = 0;
   virtual bool Erase(uint64_t key) = 0;
+  /// Insert-or-update (API v3): after return, `key` maps to `value`.
+  /// Returns true when the key was newly inserted, false when an existing
+  /// value was replaced. The default retries the Insert/Update pair until
+  /// one wins (covers the race against a concurrent Erase); adapters route
+  /// to a native single-descent tree Upsert where one exists.
+  virtual bool Upsert(uint64_t key, uint64_t value) {
+    for (;;) {
+      if (Insert(key, value)) return true;
+      if (Update(key, value)) return false;
+    }
+  }
   /// Ordered visit of up to `limit` pairs with key >= start; returns the
   /// number of pairs delivered. Unordered indexes return 0.
   virtual size_t RangeScan(uint64_t start, size_t limit,
                            const ScanCallback& cb) = 0;
+  /// Opens a pull-based cursor over the same ordered range (API v3). The
+  /// default wraps RangeScan in a batch-refilling cursor (defined after
+  /// the internal helpers below). Never returns nullptr; unordered indexes
+  /// yield an immediately-exhausted cursor.
+  virtual std::unique_ptr<KVScanCursor> OpenScan(uint64_t start,
+                                                 size_t limit);
   virtual size_t Size() const = 0;
   virtual uint64_t DramBytes() const = 0;
   virtual uint64_t ScmBytes() const = 0;
@@ -83,6 +145,7 @@ class VarIndex {
  public:
   using ScanCallback = std::function<bool(std::string_view key,
                                           uint64_t value)>;
+  using ScanCursor = VarScanCursor;
 
   virtual ~VarIndex() = default;
 
@@ -90,8 +153,18 @@ class VarIndex {
   virtual bool Insert(std::string_view key, uint64_t value) = 0;
   virtual bool Update(std::string_view key, uint64_t value) = 0;
   virtual bool Erase(std::string_view key) = 0;
+  /// Insert-or-update; see KVIndex::Upsert.
+  virtual bool Upsert(std::string_view key, uint64_t value) {
+    for (;;) {
+      if (Insert(key, value)) return true;
+      if (Update(key, value)) return false;
+    }
+  }
   virtual size_t RangeScan(std::string_view start, size_t limit,
                            const ScanCallback& cb) = 0;
+  /// Pull-based cursor; see KVIndex::OpenScan.
+  virtual std::unique_ptr<VarScanCursor> OpenScan(std::string_view start,
+                                                  size_t limit);
   virtual size_t Size() const = 0;
   virtual uint64_t DramBytes() const = 0;
   virtual uint64_t ScmBytes() const = 0;
@@ -104,6 +177,140 @@ class VarIndex {
     return true;
   }
 };
+
+namespace internal {
+
+/// Default batch size of the refilling cursors: large enough to amortize
+/// the per-batch re-descent, small enough that an abandoned cursor holds
+/// only a few KB.
+constexpr size_t kScanCursorBatch = 128;
+
+/// Batch-refilling cursor over a fixed-key index's callback RangeScan.
+/// Each refill is an independent RangeScan starting just past the last
+/// delivered key, so the cursor inherits the scan's generation safety: no
+/// leaf pointer survives between batches, and keys mutated behind the
+/// cursor can neither reappear nor be double-delivered.
+class KVBatchScanCursor final : public KVScanCursor {
+ public:
+  KVBatchScanCursor(KVIndex* index, uint64_t start, size_t limit,
+                    size_t batch = kScanCursorBatch)
+      : index_(index),
+        next_start_(start),
+        remaining_(limit),
+        batch_(batch == 0 ? 1 : batch) {}
+
+  bool Next(uint64_t* key, uint64_t* value) override {
+    if (pos_ == buf_.size() && !Refill()) return false;
+    *key = buf_[pos_].first;
+    *value = buf_[pos_].second;
+    ++pos_;
+    return true;
+  }
+
+  void Close() override {
+    done_ = true;
+    buf_.clear();
+    buf_.shrink_to_fit();
+    pos_ = 0;
+  }
+
+ private:
+  bool Refill() {
+    if (done_ || remaining_ == 0) return false;
+    buf_.clear();
+    pos_ = 0;
+    size_t want = std::min(batch_, remaining_);
+    size_t got = index_->RangeScan(
+        next_start_, want, [this](uint64_t k, uint64_t v) {
+          buf_.emplace_back(k, v);
+          return true;
+        });
+    if (got < want) done_ = true;  // index ran out within this batch
+    if (got == 0) return false;
+    remaining_ -= got;
+    uint64_t last = buf_.back().first;
+    if (last == std::numeric_limits<uint64_t>::max()) {
+      done_ = true;  // nothing can follow the maximal key
+    } else {
+      next_start_ = last + 1;
+    }
+    return true;
+  }
+
+  KVIndex* index_;
+  uint64_t next_start_;
+  size_t remaining_;
+  size_t batch_;
+  bool done_ = false;
+  std::vector<std::pair<uint64_t, uint64_t>> buf_;
+  size_t pos_ = 0;
+};
+
+/// Var-key batch cursor; the restart key is last + '\0', the smallest
+/// string strictly greater than the last delivered key.
+class VarBatchScanCursor final : public VarScanCursor {
+ public:
+  VarBatchScanCursor(VarIndex* index, std::string_view start, size_t limit,
+                     size_t batch = kScanCursorBatch)
+      : index_(index),
+        next_start_(start),
+        remaining_(limit),
+        batch_(batch == 0 ? 1 : batch) {}
+
+  bool Next(std::string* key, uint64_t* value) override {
+    if (pos_ == buf_.size() && !Refill()) return false;
+    *key = std::move(buf_[pos_].first);
+    *value = buf_[pos_].second;
+    ++pos_;
+    return true;
+  }
+
+  void Close() override {
+    done_ = true;
+    buf_.clear();
+    buf_.shrink_to_fit();
+    pos_ = 0;
+  }
+
+ private:
+  bool Refill() {
+    if (done_ || remaining_ == 0) return false;
+    buf_.clear();
+    pos_ = 0;
+    size_t want = std::min(batch_, remaining_);
+    size_t got = index_->RangeScan(
+        next_start_, want, [this](std::string_view k, uint64_t v) {
+          buf_.emplace_back(std::string(k), v);
+          return true;
+        });
+    if (got < want) done_ = true;
+    if (got == 0) return false;
+    remaining_ -= got;
+    next_start_ = buf_.back().first;
+    next_start_.push_back('\0');
+    return true;
+  }
+
+  VarIndex* index_;
+  std::string next_start_;
+  size_t remaining_;
+  size_t batch_;
+  bool done_ = false;
+  std::vector<std::pair<std::string, uint64_t>> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace internal
+
+inline std::unique_ptr<KVScanCursor> KVIndex::OpenScan(uint64_t start,
+                                                       size_t limit) {
+  return std::make_unique<internal::KVBatchScanCursor>(this, start, limit);
+}
+
+inline std::unique_ptr<VarScanCursor> VarIndex::OpenScan(
+    std::string_view start, size_t limit) {
+  return std::make_unique<internal::VarBatchScanCursor>(this, start, limit);
+}
 
 namespace internal {
 
@@ -231,6 +438,14 @@ class LockedAdapter {
     std::unique_lock<std::shared_mutex> l(mu_);
     return tree_.Erase(key);
   }
+  /// One lock hold for the whole insert-or-update: the default interface
+  /// loop would take and drop the writer lock twice, opening an
+  /// insert/update race window even on "locked" trees.
+  bool Upsert(KeyArg key, uint64_t value) {
+    if (!lock_) return UpsertLocked(key, value);
+    std::unique_lock<std::shared_mutex> l(mu_);
+    return UpsertLocked(key, value);
+  }
   template <typename Callback>
   size_t RangeScan(KeyArg start, size_t limit, const Callback& cb) {
     if (!lock_) return ScanInto(tree_, start, limit, cb);
@@ -242,6 +457,16 @@ class LockedAdapter {
   const TreeT& tree() const { return tree_; }
 
  private:
+  bool UpsertLocked(KeyArg key, uint64_t value) {
+    if constexpr (requires { tree_.Upsert(key, value); }) {
+      return tree_.Upsert(key, value);  // native single-descent path
+    } else {
+      if (tree_.Insert(key, value)) return true;
+      tree_.Update(key, value);
+      return false;
+    }
+  }
+
   bool lock_;
   std::shared_mutex mu_;
   TreeT tree_;
@@ -267,6 +492,9 @@ class FixedAdapter : public KVIndex {
     return impl_.Update(key, value);
   }
   bool Erase(uint64_t key) override { return impl_.Erase(key); }
+  bool Upsert(uint64_t key, uint64_t value) override {
+    return impl_.Upsert(key, value);
+  }
   size_t RangeScan(uint64_t start, size_t limit,
                    const ScanCallback& cb) override {
     return impl_.RangeScan(start, limit, cb);
@@ -320,6 +548,9 @@ class VarAdapter : public VarIndex {
     return impl_.Update(key, value);
   }
   bool Erase(std::string_view key) override { return impl_.Erase(key); }
+  bool Upsert(std::string_view key, uint64_t value) override {
+    return impl_.Upsert(key, value);
+  }
   size_t RangeScan(std::string_view start, size_t limit,
                    const ScanCallback& cb) override {
     return impl_.RangeScan(start, limit, cb);
@@ -367,6 +598,13 @@ class ConcurrentAdapter : public Base {
     return tree_.Update(key, value);
   }
   bool Erase(KeyArg key) override { return tree_.Erase(key); }
+  bool Upsert(KeyArg key, uint64_t value) override {
+    if constexpr (requires { tree_.Upsert(key, value); }) {
+      return tree_.Upsert(key, value);  // native single-descent path
+    } else {
+      return Base::Upsert(key, value);  // interface retry loop
+    }
+  }
   size_t RangeScan(KeyArg start, size_t limit,
                    const typename Base::ScanCallback& cb) override {
     return internal::ScanInto(tree_, start, limit, cb);
@@ -456,6 +694,13 @@ class ShardedHashMap : public VarIndex {
     std::unique_lock<std::shared_mutex> l(s.mu);
     return s.map.erase(std::string(key)) == 1;
   }
+  bool Upsert(std::string_view key, uint64_t value) override {
+    Shard& s = ShardFor(key);
+    std::unique_lock<std::shared_mutex> l(s.mu);
+    auto [it, inserted] = s.map.insert_or_assign(std::string(key), value);
+    (void)it;
+    return inserted;
+  }
   size_t RangeScan(std::string_view /*start*/, size_t /*limit*/,
                    const ScanCallback& /*cb*/) override {
     return 0;  // unordered index: ordered scans unsupported
@@ -517,6 +762,16 @@ class IndexRegistry {
   std::unique_ptr<VarIndex> MakeVar(const std::string& name, scm::Pool* pool,
                                     bool locked) const;
 
+  /// Status-returning lookups (API v3): unknown names yield NotFound with
+  /// the sorted registered-name list in the message, so `--tree=` typos
+  /// surface the menu instead of a bare nullptr.
+  Status MakeFixedChecked(const std::string& name, scm::Pool* pool,
+                                bool locked,
+                                std::unique_ptr<KVIndex>* out) const;
+  Status MakeVarChecked(const std::string& name, scm::Pool* pool,
+                              bool locked,
+                              std::unique_ptr<VarIndex>* out) const;
+
   /// Sorted registered names.
   std::vector<std::string> FixedNames() const;
   std::vector<std::string> VarNames() const;
@@ -546,6 +801,17 @@ std::unique_ptr<KVIndex> MakeFixedIndex(const std::string& name,
 /// fptree-c-var, hashmap.
 std::unique_ptr<VarIndex> MakeVarIndex(const std::string& name,
                                        scm::Pool* pool, bool locked = false);
+
+/// Checked factories (API v3): like MakeFixedIndex/MakeVarIndex but an
+/// unknown name returns Status NotFound whose message lists every
+/// registered name. On success `*out` holds the index and OkStatus is
+/// returned. Drivers print the status and exit non-zero instead of
+/// segfaulting on nullptr.
+Status MakeFixedIndexChecked(const std::string& name, scm::Pool* pool,
+                                   bool locked,
+                                   std::unique_ptr<KVIndex>* out);
+Status MakeVarIndexChecked(const std::string& name, scm::Pool* pool,
+                                 bool locked, std::unique_ptr<VarIndex>* out);
 
 }  // namespace index
 }  // namespace fptree

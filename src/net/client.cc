@@ -139,6 +139,20 @@ Status Client::Put(std::string_view key, uint64_t value) {
   return Status::OK();
 }
 
+Status Client::Upsert(std::string_view key, uint64_t value, bool* inserted) {
+  QueueUpsert(key, value);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status != RespStatus::kOk) {
+    return Status::IOError("UPSERT rejected by server");
+  }
+  *inserted = resp.value != 0;
+  return Status::OK();
+}
+
 Status Client::Get(std::string_view key, uint64_t* value, bool* found) {
   QueueGet(key);
   Status s = Flush();

@@ -53,6 +53,10 @@ class Client {
     EncodeScan(&outbuf_, start, limit);
     ++queued_;
   }
+  void QueueUpsert(std::string_view key, uint64_t value) {
+    EncodeUpsert(&outbuf_, key, value);
+    ++queued_;
+  }
 
   /// Requests queued but whose responses have not been read yet.
   uint64_t inflight() const { return queued_ - received_; }
@@ -71,6 +75,8 @@ class Client {
   // --- convenience synchronous ops (queue + flush + read) -------------------
 
   Status Put(std::string_view key, uint64_t value);
+  /// *inserted = true when the key was newly inserted, false on replace.
+  Status Upsert(std::string_view key, uint64_t value, bool* inserted);
   /// found=false on NOT_FOUND.
   Status Get(std::string_view key, uint64_t* value, bool* found);
   Status Del(std::string_view key, bool* found);

@@ -11,9 +11,12 @@
 //     GET  (2): [u32 klen][key bytes]
 //     DEL  (3): [u32 klen][key bytes]
 //     SCAN (4): [u32 klen][start key][u32 limit]     ordered, ascending
+//     UPSERT(5):[u32 klen][key bytes][u64 value]     like PUT, but the OK
+//               response reports whether the key was inserted or replaced
 //   Response: [u32 body_len][u8 status][payload...]
 //     status: 0 OK, 1 NOT_FOUND, 2 BAD_REQUEST
 //     GET OK:  [u64 value]
+//     UPSERT OK: [u64 inserted]   (1 = newly inserted, 0 = replaced)
 //     SCAN OK: [u32 count] then count * ([u32 klen][key bytes][u64 value])
 //
 // Decoders are incremental (kNeedMore on a partial frame) and defensive:
@@ -37,6 +40,7 @@ enum class Op : uint8_t {
   kGet = 2,
   kDel = 3,
   kScan = 4,
+  kUpsert = 5,
 };
 
 enum class RespStatus : uint8_t {
@@ -110,6 +114,15 @@ inline void EncodePut(std::string* out, std::string_view key, uint64_t value) {
   PutU64(out, value);
 }
 
+inline void EncodeUpsert(std::string* out, std::string_view key,
+                         uint64_t value) {
+  PutU32(out, static_cast<uint32_t>(1 + 4 + key.size() + 8));
+  out->push_back(static_cast<char>(Op::kUpsert));
+  PutU32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+  PutU64(out, value);
+}
+
 inline void EncodeGet(std::string* out, std::string_view key) {
   PutU32(out, static_cast<uint32_t>(1 + 4 + key.size()));
   out->push_back(static_cast<char>(Op::kGet));
@@ -151,8 +164,9 @@ inline DecodeStatus DecodeRequest(const char* data, size_t len, Request* req,
   size_t tail = body - 1 - 4 - klen;  // bytes after the key
   switch (op) {
     case static_cast<uint8_t>(Op::kPut):
+    case static_cast<uint8_t>(Op::kUpsert):
       if (tail != 8) return DecodeStatus::kError;
-      req->op = Op::kPut;
+      req->op = static_cast<Op>(op);
       req->value = LoadU64(p + 1 + 4 + klen);
       break;
     case static_cast<uint8_t>(Op::kGet):

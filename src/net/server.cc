@@ -53,10 +53,12 @@ struct NetMetrics {
   obs::Counter* ops_put;
   obs::Counter* ops_del;
   obs::Counter* ops_scan;
+  obs::Counter* ops_upsert;
   obs::LatencyHistogram* lat_get;
   obs::LatencyHistogram* lat_put;
   obs::LatencyHistogram* lat_del;
   obs::LatencyHistogram* lat_scan;
+  obs::LatencyHistogram* lat_upsert;
   obs::LatencyHistogram* queue_depth;
 
   static const NetMetrics& Get() {
@@ -74,10 +76,12 @@ struct NetMetrics {
       n.ops_put = r.GetCounter("net.ops.put");
       n.ops_del = r.GetCounter("net.ops.del");
       n.ops_scan = r.GetCounter("net.ops.scan");
+      n.ops_upsert = r.GetCounter("net.ops.upsert");
       n.lat_get = r.GetHistogram("latency.net.get");
       n.lat_put = r.GetHistogram("latency.net.put");
       n.lat_del = r.GetHistogram("latency.net.del");
       n.lat_scan = r.GetHistogram("latency.net.scan");
+      n.lat_upsert = r.GetHistogram("latency.net.upsert");
       n.queue_depth = r.GetHistogram("net.queue_depth");
       return n;
     }();
@@ -292,14 +296,17 @@ void Server::WorkerMain(uint32_t id) {
     uint64_t t0 = sample ? NowNanos() : 0;
     switch (req.op) {
       case Op::kPut: {
-        // Upsert; retry covers the Insert/Update race against a
-        // concurrent Erase of the same key.
-        while (!index_->Insert(req.key, req.value) &&
-               !index_->Update(req.key, req.value)) {
-        }
+        index_->Upsert(req.key, req.value);
         EncodeStatusResponse(&c->out, RespStatus::kOk);
         m.ops_put->Add(1);
         if (sample) m.lat_put->Record(NowNanos() - t0);
+        break;
+      }
+      case Op::kUpsert: {
+        bool inserted = index_->Upsert(req.key, req.value);
+        EncodeValueResponse(&c->out, inserted ? 1 : 0);
+        m.ops_upsert->Add(1);
+        if (sample) m.lat_upsert->Record(NowNanos() - t0);
         break;
       }
       case Op::kGet: {
@@ -322,14 +329,18 @@ void Server::WorkerMain(uint32_t id) {
         break;
       }
       case Op::kScan: {
+        // Served through the pull cursor (API v3): on the sharded engine
+        // this is the k-way merge over per-shard cursors directly.
         std::vector<std::pair<std::string, uint64_t>> rows;
         if (req.scan_limit > 0) {
           rows.reserve(req.scan_limit);
-          index_->RangeScan(req.key, req.scan_limit,
-                            [&rows](std::string_view k, uint64_t v) {
-                              rows.emplace_back(std::string(k), v);
-                              return true;
-                            });
+          auto cursor = index_->OpenScan(req.key, req.scan_limit);
+          std::string k;
+          uint64_t v;
+          while (rows.size() < req.scan_limit && cursor->Next(&k, &v)) {
+            rows.emplace_back(std::move(k), v);
+          }
+          cursor->Close();
         }
         EncodeScanResponse(&c->out, rows);
         m.ops_scan->Add(1);

@@ -23,6 +23,7 @@
 
 #include "core/recovery.h"
 #include "crash_test_util.h"
+#include "engine/sharded_index.h"
 #include "index/kv_index.h"
 #include "scm/crash.h"
 #include "scm/latency.h"
@@ -75,6 +76,10 @@ const char* const kVarPoints[] = {
     "palloc.dealloc.freed",
 };
 
+// Traits own the storage lifecycle (Holder/Open/Destroy) so single-pool
+// trees and the multi-pool sharded engine share one fuzz loop: the crash
+// simulator is pool-agnostic, so SimulateCrash rolls every shard pool back
+// together and the reopen exercises multi-shard recovery.
 struct FixedTraits {
   using Index = KVIndex;
   using Key = uint64_t;
@@ -84,9 +89,25 @@ struct FixedTraits {
       sizeof(kFixedPoints) / sizeof(kFixedPoints[0]);
   static constexpr const char* kRetryPoint = "cfptree.retry";
 
-  static std::unique_ptr<Index> Make(scm::Pool* pool) {
-    return MakeFixedIndex("fptree-c", pool);
+  struct Holder {
+    std::unique_ptr<Pool> pool;
+    std::unique_ptr<Index> index;
+    Index* get() { return index.get(); }
+    void Drop() {
+      index.reset();
+      pool.reset();
+    }
+  };
+  static bool Open(const std::string& path, bool fresh, Holder* h) {
+    Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+    Status s = fresh ? Pool::Create(path, 1, opts, &h->pool)
+                     : Pool::Open(path, 1, opts, &h->pool);
+    if (!s.ok()) return false;
+    h->index = MakeFixedIndex("fptree-c", h->pool.get());
+    return h->index != nullptr;
   }
+  static void Destroy(const std::string& path) { Pool::Destroy(path).ok(); }
+
   static Key MakeKey(int t, int threads, uint64_t u) {
     return static_cast<uint64_t>(t) + static_cast<uint64_t>(threads) * u;
   }
@@ -122,9 +143,25 @@ struct VarTraits {
       sizeof(kVarPoints) / sizeof(kVarPoints[0]);
   static constexpr const char* kRetryPoint = "cfptreevar.retry";
 
-  static std::unique_ptr<Index> Make(scm::Pool* pool) {
-    return MakeVarIndex("fptree-c-var", pool);
+  struct Holder {
+    std::unique_ptr<Pool> pool;
+    std::unique_ptr<Index> index;
+    Index* get() { return index.get(); }
+    void Drop() {
+      index.reset();
+      pool.reset();
+    }
+  };
+  static bool Open(const std::string& path, bool fresh, Holder* h) {
+    Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+    Status s = fresh ? Pool::Create(path, 1, opts, &h->pool)
+                     : Pool::Open(path, 1, opts, &h->pool);
+    if (!s.ok()) return false;
+    h->index = MakeVarIndex("fptree-c-var", h->pool.get());
+    return h->index != nullptr;
   }
+  static void Destroy(const std::string& path) { Pool::Destroy(path).ok(); }
+
   static Key MakeKey(int t, int threads, uint64_t u) {
     return testutil::VarKey(static_cast<uint64_t>(t) +
                             static_cast<uint64_t>(threads) * u);
@@ -155,6 +192,35 @@ struct VarTraits {
   }
 };
 
+// The sharded engine over concurrent var-key trees: same histories, same
+// windows, but the "machine" now spans three pools. A crash freezes workers
+// mid-flight across shards, SimulateCrash rolls all shard pools back as one
+// failure domain, and the reopen runs the engine's shard-parallel recovery.
+struct ShardedVarTraits : VarTraits {
+  static constexpr const char* kTag = "csfuzz";
+  static constexpr size_t kShards = 3;
+
+  struct Holder {
+    std::unique_ptr<engine::ShardedVarIndex> index;
+    Index* get() { return index.get(); }
+    void Drop() { index.reset(); }
+  };
+  static bool Open(const std::string& path, bool fresh, Holder* h) {
+    engine::ShardedOptions opts;
+    opts.shards = kShards;
+    opts.path_prefix = path;
+    opts.shard_bytes = fresh ? (size_t{64} << 20) : 0;
+    opts.randomize_base = true;
+    return engine::ShardedVarIndex::Make("fptree-c-var", opts, &h->index)
+        .ok();
+  }
+  static void Destroy(const std::string& path) {
+    for (size_t i = 0; i < kShards; ++i) {
+      Pool::Destroy(path + "." + std::to_string(i)).ok();
+    }
+  }
+};
+
 template <typename Traits>
 void RunConcurrentFuzz(uint64_t seed, int threads) {
   using Key = typename Traits::Key;
@@ -162,13 +228,11 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
   std::string path = TestPath(std::string(Traits::kTag) +
                               std::to_string(seed) + "x" +
                               std::to_string(threads));
-  Pool::Destroy(path).ok();
-  Pool::Options opts{.size = 128u << 20, .randomize_base = true};
-  std::unique_ptr<Pool> pool;
-  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
-  auto index = Traits::Make(pool.get());
-  ASSERT_NE(index, nullptr);
-  ASSERT_TRUE(index->concurrent());
+  Traits::Destroy(path);
+  typename Traits::Holder holder;
+  ASSERT_TRUE(Traits::Open(path, /*fresh=*/true, &holder));
+  ASSERT_NE(holder.get(), nullptr);
+  ASSERT_TRUE(holder.get()->concurrent());
 
   Random64 rng(seed * 1000003 + static_cast<uint64_t>(threads));
 
@@ -233,7 +297,7 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
               // A read of an owned key is linearizable against this
               // worker's own acknowledged history at every instant.
               uint64_t got = 0;
-              bool found = Traits::Find(index.get(), key, &got);
+              bool found = Traits::Find(holder.get(), key, &got);
               auto it = m.find(key);
               bool expect = it != m.end();
               if (found != expect || (found && got != it->second)) {
@@ -250,7 +314,7 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
             if (had_old) inf.old_val = it->second;
             inf.op = had_old ? (trng.Uniform(2) ? 1 : 2) : 0;
             inflight[t] = inf;
-            bool ok = Traits::Apply(index.get(), inf.op, key, val);
+            bool ok = Traits::Apply(holder.get(), inf.op, key, val);
             if (!ok) report("op on an owned key unexpectedly failed");
             // Acknowledged: from here the effect must survive any crash.
             if (inf.op == 2) {
@@ -274,18 +338,18 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
     if (any_crash) {
       ++total_crashes;
       CrashSim::SimulateCrash();
-      index.reset();
-      pool.reset();
+      holder.Drop();
       core::SetRecoverThreads(kRecoverSweep[round]);
-      ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
-      index = Traits::Make(pool.get());  // attach = recover
-      ASSERT_NE(index, nullptr);
+      // Reattach = recover; for the sharded engine this reopens every
+      // shard pool concurrently and rebuilds each inner tree.
+      ASSERT_TRUE(Traits::Open(path, /*fresh=*/false, &holder));
+      ASSERT_NE(holder.get(), nullptr);
     } else {
       CrashSim::DisarmAll();
     }
 
     std::string why;
-    ASSERT_TRUE(index->CheckInvariants(&why)) << "round " << round << ": "
+    ASSERT_TRUE(holder.get()->CheckInvariants(&why)) << "round " << round << ": "
                                               << why;
 
     // Per-worker history validation: resolve each in-flight op (atomic:
@@ -296,7 +360,7 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
       if (inflight[t].active) {
         const InFlight& inf = inflight[t];
         uint64_t got = 0;
-        bool found = Traits::Find(index.get(), inf.key, &got);
+        bool found = Traits::Find(holder.get(), inf.key, &got);
         bool atomic = false;
         switch (inf.op) {
           case 0:
@@ -322,7 +386,7 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
       }
       for (const auto& [k, v] : m) {
         uint64_t got = 0;
-        ASSERT_TRUE(Traits::Find(index.get(), k, &got))
+        ASSERT_TRUE(Traits::Find(holder.get(), k, &got))
             << "worker " << t << ": acknowledged key lost by the crash";
         ASSERT_EQ(got, v) << "worker " << t << ": acknowledged value lost";
       }
@@ -331,8 +395,8 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
     // Phantom sweep: the tree holds exactly the union of the models.
     size_t expected = 0;
     for (const auto& m : model) expected += m.size();
-    ASSERT_EQ(index->Size(), expected);
-    size_t scanned = Traits::ScanAll(index.get(), [&](Key k, uint64_t v) {
+    ASSERT_EQ(holder.get()->Size(), expected);
+    size_t scanned = Traits::ScanAll(holder.get(), [&](Key k, uint64_t v) {
       int owner = Traits::Owner(k, threads);
       auto it = model[owner].find(k);
       if (it == model[owner].end()) {
@@ -349,9 +413,8 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
   CrashSim::SetCrashBarrier(false);
   CrashSim::Disable();
   core::SetRecoverThreads(0);
-  index.reset();
-  pool.reset();
-  Pool::Destroy(path).ok();
+  holder.Drop();
+  Traits::Destroy(path);
 }
 
 class ConcurrentCrashFuzzTest
@@ -360,6 +423,11 @@ class ConcurrentCrashFuzzTest
 TEST_P(ConcurrentCrashFuzzTest, FixedKeyHistoriesSurviveCrash) {
   auto [seed, threads] = GetParam();
   RunConcurrentFuzz<FixedTraits>(seed, threads);
+}
+
+TEST_P(ConcurrentCrashFuzzTest, ShardedVarHistoriesSurviveCrash) {
+  auto [seed, threads] = GetParam();
+  RunConcurrentFuzz<ShardedVarTraits>(seed, threads);
 }
 
 TEST_P(ConcurrentCrashFuzzTest, VarKeyHistoriesSurviveCrash) {

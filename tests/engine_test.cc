@@ -1,0 +1,469 @@
+// Sharded multi-pool engine tests (DESIGN.md §10): the engine must be
+// observationally identical to a single-shard oracle — every op returns the
+// same answer and the merged RangeScan is bit-identical — plus cursor
+// semantics (early close, batch-refill boundaries, scan-vs-delete), spec
+// parsing, checked-registry errors, per-shard stats and shard-parallel
+// recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crash_test_util.h"
+#include "engine/sharded_index.h"
+#include "index/kv_index.h"
+#include "scm/latency.h"
+#include "scm/pool.h"
+#include "util/random.h"
+
+namespace fptree {
+namespace engine {
+namespace {
+
+using index::KVIndex;
+using index::VarIndex;
+using testutil::TestPath;
+using testutil::VarKey;
+
+void DestroyShardFiles(const std::string& prefix, size_t shards) {
+  for (size_t i = 0; i < shards; ++i) {
+    scm::Pool::Destroy(prefix + "." + std::to_string(i)).ok();
+  }
+}
+
+/// Engine + shard-file lifetime for one test. Distinct `base_id`s let two
+/// engines (e.g. engine-under-test and oracle) coexist in one process.
+template <typename Engine>
+class Scoped {
+ public:
+  Scoped(const std::string& tag, const std::string& inner, size_t shards,
+         uint64_t base_id)
+      : prefix_(TestPath("eng_" + tag)), shards_(shards), base_id_(base_id) {
+    DestroyShardFiles(prefix_, shards_);
+    Status s = Engine::Make(inner, Options(/*fresh=*/true), &index_);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  /// Closes every shard pool and re-attaches (shard-parallel recovery).
+  void Reopen(const std::string& inner) {
+    index_.reset();
+    Status s = Engine::Make(inner, Options(/*fresh=*/false), &index_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  ~Scoped() {
+    index_.reset();
+    DestroyShardFiles(prefix_, shards_);
+  }
+
+  Engine* get() { return index_.get(); }
+  Engine* operator->() { return index_.get(); }
+
+ private:
+  ShardedOptions Options(bool fresh) const {
+    ShardedOptions o;
+    o.shards = shards_;
+    o.path_prefix = prefix_;
+    o.shard_bytes = fresh ? (size_t{64} << 20) : 0;
+    o.base_pool_id = base_id_;
+    o.locked = true;
+    o.randomize_base = true;
+    return o;
+  }
+
+  std::string prefix_;
+  size_t shards_;
+  uint64_t base_id_;
+  std::unique_ptr<Engine> index_;
+};
+
+std::vector<std::pair<uint64_t, uint64_t>> DrainKV(KVIndex* idx,
+                                                   uint64_t start,
+                                                   size_t limit) {
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+  auto cursor = idx->OpenScan(start, limit);
+  uint64_t k, v;
+  while (cursor->Next(&k, &v)) rows.emplace_back(k, v);
+  cursor->Close();
+  return rows;
+}
+
+std::vector<std::pair<std::string, uint64_t>> DrainVar(VarIndex* idx,
+                                                       std::string_view start,
+                                                       size_t limit) {
+  std::vector<std::pair<std::string, uint64_t>> rows;
+  auto cursor = idx->OpenScan(start, limit);
+  std::string k;
+  uint64_t v;
+  while (cursor->Next(&k, &v)) rows.emplace_back(std::move(k), v);
+  cursor->Close();
+  return rows;
+}
+
+// --- oracle differentials ---------------------------------------------------
+
+TEST(ShardedEngineTest, FixedMatchesSingleShardOracle) {
+  scm::LatencyModel::Disable();
+  Scoped<ShardedKVIndex> sharded("fix_s", "fptree", 5, /*base_id=*/10);
+  Scoped<ShardedKVIndex> oracle("fix_o", "fptree", 1, /*base_id=*/20);
+
+  Random64 rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t key = rng.Uniform(600);
+    uint64_t val = rng.Next();
+    switch (rng.Uniform(4)) {
+      case 0:
+        ASSERT_EQ(sharded->Insert(key, val), oracle->Insert(key, val));
+        break;
+      case 1:
+        ASSERT_EQ(sharded->Update(key, val), oracle->Update(key, val));
+        break;
+      case 2:
+        ASSERT_EQ(sharded->Upsert(key, val), oracle->Upsert(key, val));
+        break;
+      default:
+        ASSERT_EQ(sharded->Erase(key), oracle->Erase(key));
+        break;
+    }
+    uint64_t a = 0, b = 0;
+    uint64_t probe = rng.Uniform(600);
+    ASSERT_EQ(sharded->Find(probe, &a), oracle->Find(probe, &b));
+    ASSERT_EQ(a, b);
+  }
+  ASSERT_EQ(sharded->Size(), oracle->Size());
+
+  // The merged scan must be bit-identical to the single-shard oracle —
+  // full range, offset starts and tight limits.
+  EXPECT_EQ(DrainKV(sharded.get(), 0, 1 << 20),
+            DrainKV(oracle.get(), 0, 1 << 20));
+  EXPECT_EQ(DrainKV(sharded.get(), 300, 1 << 20),
+            DrainKV(oracle.get(), 300, 1 << 20));
+  EXPECT_EQ(DrainKV(sharded.get(), 123, 37), DrainKV(oracle.get(), 123, 37));
+
+  std::string why;
+  EXPECT_TRUE(sharded->CheckInvariants(&why)) << why;
+}
+
+TEST(ShardedEngineTest, VarMatchesSingleShardOracle) {
+  scm::LatencyModel::Disable();
+  Scoped<ShardedVarIndex> sharded("var_s", "fptree-var", 4, /*base_id=*/10);
+  Scoped<ShardedVarIndex> oracle("var_o", "fptree-var", 1, /*base_id=*/20);
+
+  Random64 rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = VarKey(rng.Uniform(500));
+    uint64_t val = rng.Next();
+    switch (rng.Uniform(4)) {
+      case 0:
+        ASSERT_EQ(sharded->Insert(key, val), oracle->Insert(key, val));
+        break;
+      case 1:
+        ASSERT_EQ(sharded->Update(key, val), oracle->Update(key, val));
+        break;
+      case 2:
+        ASSERT_EQ(sharded->Upsert(key, val), oracle->Upsert(key, val));
+        break;
+      default:
+        ASSERT_EQ(sharded->Erase(key), oracle->Erase(key));
+        break;
+    }
+  }
+  ASSERT_EQ(sharded->Size(), oracle->Size());
+  EXPECT_EQ(DrainVar(sharded.get(), "", 1 << 20),
+            DrainVar(oracle.get(), "", 1 << 20));
+  EXPECT_EQ(DrainVar(sharded.get(), VarKey(250), 1 << 20),
+            DrainVar(oracle.get(), VarKey(250), 1 << 20));
+  EXPECT_EQ(DrainVar(sharded.get(), VarKey(100), 13),
+            DrainVar(oracle.get(), VarKey(100), 13));
+
+  std::string why;
+  EXPECT_TRUE(sharded->CheckInvariants(&why)) << why;
+}
+
+TEST(ShardedEngineTest, CallbackScanMatchesCursorAndHonorsEarlyStop) {
+  Scoped<ShardedKVIndex> eng("cbscan", "fptree", 3, /*base_id=*/10);
+  for (uint64_t k = 0; k < 200; ++k) ASSERT_TRUE(eng->Insert(k, k * 3));
+
+  std::vector<uint64_t> keys;
+  size_t n = eng->RangeScan(50, 1 << 20, [&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(v, k * 3);
+    keys.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(n, 150u);
+  ASSERT_EQ(keys.size(), 150u);
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(keys[i], 50 + i);
+
+  // Callback returning false stops the merged scan mid-flight.
+  size_t seen = 0;
+  eng->RangeScan(0, 1 << 20, [&](uint64_t, uint64_t) {
+    return ++seen < 10;
+  });
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(ShardedEngineTest, ScanHandlesEmptyAndSparseShards) {
+  Scoped<ShardedVarIndex> eng("sparse", "fptree-var", 8, /*base_id=*/10);
+  // Empty engine: cursor reports done immediately.
+  EXPECT_TRUE(DrainVar(eng.get(), "", 100).empty());
+
+  // Three keys across eight shards — most shard cursors are empty.
+  for (uint64_t k : {11u, 12u, 13u}) ASSERT_TRUE(eng->Insert(VarKey(k), k));
+  auto rows = DrainVar(eng.get(), "", 100);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, VarKey(11));
+  EXPECT_EQ(rows[2].first, VarKey(13));
+}
+
+// --- cursor semantics -------------------------------------------------------
+
+TEST(ScanCursorTest, EarlyCloseIsSafeAndIdempotent) {
+  Scoped<ShardedKVIndex> eng("close", "fptree", 4, /*base_id=*/10);
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(eng->Insert(k, k));
+
+  auto cursor = eng->OpenScan(0, 1 << 20);
+  uint64_t k, v;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(cursor->Next(&k, &v));
+  cursor->Close();
+  EXPECT_FALSE(cursor->Next(&k, &v));  // closed cursor stays exhausted
+  cursor->Close();                     // double close is a no-op
+  cursor.reset();                      // destruction after close is safe
+
+  // Dropping a cursor without Close must release everything too.
+  { auto abandoned = eng->OpenScan(0, 1 << 20); }
+  EXPECT_EQ(DrainKV(eng.get(), 0, 1 << 20).size(), 500u);
+}
+
+TEST(ScanCursorTest, BatchRefillCrossesBoundariesExactly) {
+  // A plain registered index exercises the default batch-refill cursor
+  // (internal::kScanCursorBatch = 128).
+  std::string path = TestPath("eng_batch");
+  scm::Pool::Destroy(path).ok();
+  scm::Pool::Options popts{.size = 64u << 20, .randomize_base = true};
+  std::unique_ptr<scm::Pool> pool;
+  ASSERT_TRUE(scm::Pool::Create(path, 30, popts, &pool).ok());
+  auto idx = index::MakeFixedIndex("fptree", pool.get());
+  ASSERT_NE(idx, nullptr);
+
+  // Sizes straddling the refill boundary: one short batch, exactly one
+  // batch, one key into the second batch, several batches.
+  for (size_t total : {127u, 128u, 129u, 300u}) {
+    while (idx->Size() < total) {
+      ASSERT_TRUE(idx->Insert(idx->Size() * 2, idx->Size()));
+    }
+    auto rows = DrainKV(idx.get(), 0, 1 << 20);
+    ASSERT_EQ(rows.size(), total);
+    for (size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(rows[i].first, i * 2);
+      ASSERT_EQ(rows[i].second, i);
+    }
+    // A limit below/at/above the batch size is honored exactly.
+    EXPECT_EQ(DrainKV(idx.get(), 0, 100).size(), std::min<size_t>(total, 100));
+    EXPECT_EQ(DrainKV(idx.get(), 0, 128).size(), std::min<size_t>(total, 128));
+    EXPECT_EQ(DrainKV(idx.get(), 0, 129).size(), std::min<size_t>(total, 129));
+  }
+
+  idx.reset();
+  pool.reset();
+  scm::Pool::Destroy(path).ok();
+}
+
+TEST(ScanCursorTest, BatchRefillSurvivesMaxKey) {
+  // The fixed-key resume position is last_key + 1; a batch ending at
+  // UINT64_MAX must terminate instead of wrapping around.
+  std::string path = TestPath("eng_maxkey");
+  scm::Pool::Destroy(path).ok();
+  scm::Pool::Options popts{.size = 64u << 20, .randomize_base = true};
+  std::unique_ptr<scm::Pool> pool;
+  ASSERT_TRUE(scm::Pool::Create(path, 30, popts, &pool).ok());
+  auto idx = index::MakeFixedIndex("fptree", pool.get());
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  ASSERT_TRUE(idx->Insert(kMax - 1, 1));
+  ASSERT_TRUE(idx->Insert(kMax, 2));
+  auto rows = DrainKV(idx.get(), kMax - 1, 100);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].first, kMax);
+  rows = DrainKV(idx.get(), kMax, 100);
+  ASSERT_EQ(rows.size(), 1u);
+  idx.reset();
+  pool.reset();
+  scm::Pool::Destroy(path).ok();
+}
+
+TEST(ScanCursorTest, CursorToleratesDeletesBetweenBatches) {
+  // Deleting not-yet-visited keys between Next() calls must never surface
+  // a deleted key twice, break global order, or crash; keys deleted ahead
+  // of the cursor may or may not appear (they race with the refill), but
+  // keys behind it are settled.
+  Scoped<ShardedKVIndex> eng("scandel", "fptree", 4, /*base_id=*/10);
+  constexpr uint64_t kTotal = 600;
+  for (uint64_t k = 0; k < kTotal; ++k) ASSERT_TRUE(eng->Insert(k, k));
+
+  auto cursor = eng->OpenScan(0, 1 << 20);
+  std::vector<uint64_t> seen;
+  uint64_t k, v;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cursor->Next(&k, &v));
+    seen.push_back(k);
+  }
+  // Kill every third key ahead of the cursor, then keep draining.
+  for (uint64_t d = seen.back() + 1; d < kTotal; d += 3) eng->Erase(d);
+  while (cursor->Next(&k, &v)) seen.push_back(k);
+  cursor->Close();
+
+  for (size_t i = 1; i < seen.size(); ++i) {
+    ASSERT_LT(seen[i - 1], seen[i]) << "scan order broken at " << i;
+  }
+  // Everything still present must have been seen exactly once.
+  ASSERT_GE(seen.size(), eng->Size());
+}
+
+// --- upsert, stats, recovery ------------------------------------------------
+
+TEST(ShardedEngineTest, UpsertReportsInsertedVsReplaced) {
+  Scoped<ShardedVarIndex> eng("upsert", "fptree-c-var", 3, /*base_id=*/10);
+  EXPECT_TRUE(eng->Upsert("alpha", 1));   // fresh -> inserted
+  EXPECT_FALSE(eng->Upsert("alpha", 2));  // existing -> replaced
+  uint64_t v = 0;
+  ASSERT_TRUE(eng->Find("alpha", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(eng->Size(), 1u);
+}
+
+TEST(ShardedEngineTest, StatsAggregateWithPerShardGauges) {
+  Scoped<ShardedKVIndex> eng("stats", "fptree", 4, /*base_id=*/10);
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(eng->Insert(k, k));
+  obs::Snapshot snap = eng->Stats();
+  EXPECT_EQ(snap.gauges.at("engine.shards"), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    std::string prefix = "shard." + std::to_string(i) + ".";
+    EXPECT_TRUE(snap.gauges.count(prefix + "tree.recovery_nanos"))
+        << "missing per-shard recovery gauge for shard " << i;
+  }
+  EXPECT_TRUE(snap.gauges.count("index.recovery_nanos"));
+}
+
+TEST(ShardedEngineTest, ShardParallelRecoveryKeepsEverything) {
+  scm::LatencyModel::Disable();
+  Scoped<ShardedVarIndex> eng("recover", "fptree-var", 4, /*base_id=*/10);
+  std::map<std::string, uint64_t> model;
+  Random64 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = VarKey(rng.Uniform(800));
+    uint64_t val = rng.Next();
+    eng->Upsert(key, val);
+    model[key] = val;
+  }
+  size_t before = eng->Size();
+  ASSERT_EQ(before, model.size());
+
+  eng.Reopen("fptree-var");  // closes all shard pools, reopens concurrently
+  EXPECT_GT(eng->RecoveryNanos(), 0u);
+  ASSERT_EQ(eng->Size(), before);
+  for (const auto& [k2, v2] : model) {
+    uint64_t got = 0;
+    ASSERT_TRUE(eng->Find(k2, &got)) << "lost key " << k2;
+    ASSERT_EQ(got, v2);
+  }
+  auto rows = DrainVar(eng.get(), "", 1 << 20);
+  ASSERT_EQ(rows.size(), model.size());
+  auto it = model.begin();
+  for (const auto& [k2, v2] : rows) {
+    ASSERT_EQ(k2, it->first);
+    ASSERT_EQ(v2, it->second);
+    ++it;
+  }
+  std::string why;
+  EXPECT_TRUE(eng->CheckInvariants(&why)) << why;
+}
+
+// --- spec parsing & checked registry ---------------------------------------
+
+TEST(ShardedSpecTest, ParsesWellFormedSpecs) {
+  std::string inner;
+  size_t shards = 0;
+  Status err;
+  ASSERT_TRUE(ParseShardedSpec("sharded(fptree-var,4)", &inner, &shards, &err));
+  EXPECT_TRUE(err.ok());
+  EXPECT_EQ(inner, "fptree-var");
+  EXPECT_EQ(shards, 4u);
+
+  // A plain tree name is not a sharded spec (and not an error).
+  err = Status::OK();
+  EXPECT_FALSE(ParseShardedSpec("fptree-var", &inner, &shards, &err));
+  EXPECT_TRUE(err.ok());
+}
+
+TEST(ShardedSpecTest, RejectsMalformedSpecs) {
+  std::string inner;
+  size_t shards = 0;
+  for (const char* bad : {"sharded(fptree-var)", "sharded(fptree-var,0)",
+                          "sharded(fptree-var,33)", "sharded(fptree-var,x)",
+                          "sharded(fptree-var,4", "sharded(,4)"}) {
+    Status err;
+    EXPECT_TRUE(ParseShardedSpec(bad, &inner, &shards, &err))
+        << bad << " should be recognized as a sharded spec";
+    EXPECT_FALSE(err.ok()) << bad << " should be rejected";
+  }
+}
+
+TEST(ShardedSpecTest, MakeFromSpecOverridesShardCount) {
+  std::string prefix = TestPath("eng_spec");
+  DestroyShardFiles(prefix, 3);
+  ShardedOptions opts;
+  opts.shards = 1;  // the spec's N wins
+  opts.path_prefix = prefix;
+  opts.shard_bytes = 64u << 20;
+  opts.locked = true;
+  std::unique_ptr<VarIndex> idx;
+  Status s = MakeVarIndexFromSpec("sharded(fptree-var,3)", opts, &idx);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(idx->Insert("k", 1));
+  EXPECT_EQ(idx->Stats().gauges.at("engine.shards"), 3u);
+  idx.reset();
+  DestroyShardFiles(prefix, 3);
+}
+
+TEST(CheckedRegistryTest, UnknownNamesSurfaceRegisteredList) {
+  std::unique_ptr<KVIndex> fixed;
+  Status s = index::MakeFixedIndexChecked("nope", nullptr, false, &fixed);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("nope"), std::string::npos);
+  EXPECT_NE(s.ToString().find("fptree"), std::string::npos) << s.ToString();
+
+  std::unique_ptr<VarIndex> var;
+  s = index::MakeVarIndexChecked("nope", nullptr, false, &var);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("fptree-var"), std::string::npos)
+      << s.ToString();
+
+  // The engine surfaces the same status for unknown inner names.
+  ShardedOptions opts;
+  opts.shards = 2;
+  opts.path_prefix = TestPath("eng_badinner");
+  std::unique_ptr<ShardedVarIndex> eng;
+  s = ShardedVarIndex::Make("nope", opts, &eng);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("nope"), std::string::npos);
+  DestroyShardFiles(TestPath("eng_badinner"), 2);
+}
+
+TEST(CheckedRegistryTest, ShardCountBoundsAreEnforced) {
+  ShardedOptions opts;
+  opts.path_prefix = TestPath("eng_bounds");
+  std::unique_ptr<ShardedKVIndex> eng;
+  opts.shards = 0;
+  EXPECT_FALSE(ShardedKVIndex::Make("fptree", opts, &eng).ok());
+  opts.shards = 33;
+  EXPECT_FALSE(ShardedKVIndex::Make("fptree", opts, &eng).ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace fptree
