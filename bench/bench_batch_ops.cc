@@ -1,0 +1,207 @@
+// Batched execution pipeline sweep (DESIGN.md §11): MultiGet/MultiPut
+// throughput versus the single-op loop across batch size x emulated SCM
+// latency. Two effects are measured per cell:
+//
+//  * Read side: MultiGet stages a whole chunk of root-to-leaf descents,
+//    prefetches the target leaves' header lines, and charges the batch's
+//    read misses at the modeled memory-level parallelism — so ops/s should
+//    grow with both batch size and SCM latency relative to a Get loop.
+//  * Write side: MultiPut coalesces per-leaf persist ranges and issues one
+//    trailing fence per touched-leaf run instead of one per op; the
+//    scm.fences counter delta per op is the direct witness.
+//
+// Emits BENCH_batch_ops.json (host stanza + one series row per cell) and
+// prints the acceptance ratios: at SCM read latency >= 300 ns, batch=32
+// MultiGet must clear 1.5x the single-Get loop and MultiPut must spend
+// measurably fewer fences per op.
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "scm/stats.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+struct Cell {
+  uint64_t latency_ns = 0;
+  uint32_t batch = 0;
+  double mget_kops = 0;
+  double mget_speedup = 0;  // vs the batch=1 loop at the same latency
+  double mput_kops = 0;
+  double put_fences_per_op = 0;
+  double fence_ratio = 0;   // batch fences/op over loop fences/op
+};
+
+Cell RunCell(const std::string& kind, uint64_t latency, uint32_t batch,
+             const Flags& flags) {
+  Cell cell;
+  cell.latency_ns = latency;
+  cell.batch = batch;
+
+  ScopedPool pool(size_t{2} << 30);
+  std::unique_ptr<index::KVIndex> idx;
+  Status st = index::MakeFixedIndexChecked(kind, pool.get(),
+                                           /*locked=*/false, &idx);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::exit(2);
+  }
+
+  // Preload outside the emulated medium; only the measured phases pay.
+  scm::LatencyModel::Disable();
+  for (uint64_t k = 0; k < flags.keys; ++k) idx->Insert(k, k);
+  SetLatency(latency);
+
+  const uint64_t rounds = std::max<uint64_t>(flags.ops / batch, 1);
+  std::vector<uint64_t> keys(batch), vals(batch);
+  std::vector<uint8_t> found(batch);
+
+  {  // Read phase: batch=1 is the single-Get loop baseline.
+    Random64 rng(42);
+    Stopwatch sw;
+    for (uint64_t r = 0; r < rounds; ++r) {
+      for (uint32_t j = 0; j < batch; ++j) keys[j] = rng.Next() % flags.keys;
+      if (batch == 1) {
+        idx->Find(keys[0], &vals[0]);
+      } else {
+        idx->MultiGet(keys.data(), batch, vals.data(), found.data());
+      }
+    }
+    DoNotOptimize(vals);
+    cell.mget_kops = static_cast<double>(rounds) * batch /
+                     sw.ElapsedSeconds() / 1e3;
+  }
+
+  {  // Write phase: fresh ascending keys; fences/op from the scm counter.
+    uint64_t next = flags.keys;
+    uint64_t fences_before = scm::AggregatedStats().fences;
+    Stopwatch sw;
+    for (uint64_t r = 0; r < rounds; ++r) {
+      for (uint32_t j = 0; j < batch; ++j) {
+        keys[j] = next++;
+        vals[j] = j;
+      }
+      if (batch == 1) {
+        idx->Insert(keys[0], vals[0]);
+      } else {
+        idx->MultiPut(keys.data(), vals.data(), batch, nullptr);
+      }
+    }
+    double secs = sw.ElapsedSeconds();
+    uint64_t fences = scm::AggregatedStats().fences - fences_before;
+    cell.mput_kops = static_cast<double>(rounds) * batch / secs / 1e3;
+    cell.put_fences_per_op =
+        static_cast<double>(fences) / (static_cast<double>(rounds) * batch);
+  }
+
+  scm::LatencyModel::Disable();
+  std::string why;
+  if (!idx->CheckInvariants(&why)) {
+    std::fprintf(stderr, "invariant violation (lat=%llu batch=%u): %s\n",
+                 static_cast<unsigned long long>(latency), batch,
+                 why.c_str());
+    std::exit(1);
+  }
+  return cell;
+}
+
+void WriteJson(const std::string& kind, const std::vector<Cell>& cells) {
+  FILE* f = std::fopen("BENCH_batch_ops.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_batch_ops.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"batch_ops\",\n");
+  std::fprintf(f,
+               "  \"host\": {\n    \"hardware_concurrency\": %u,\n"
+               "    \"note\": \"single-threaded sweep over one %s instance; "
+               "speedups come from modeled memory-level parallelism "
+               "(ReadBatch) and group persistence (PersistBatch), not "
+               "thread count\"\n  },\n",
+               std::thread::hardware_concurrency(), kind.c_str());
+  std::fprintf(f, "  \"tree\": \"%s\",\n  \"series\": [\n", kind.c_str());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"latency_ns\": %llu, \"batch\": %u, \"mget_kops\": %.1f, "
+        "\"mget_speedup_vs_loop\": %.2f, \"mput_kops\": %.1f, "
+        "\"mput_fences_per_op\": %.3f, \"fences_per_op_ratio_vs_loop\": "
+        "%.3f}%s\n",
+        static_cast<unsigned long long>(c.latency_ns), c.batch, c.mget_kops,
+        c.mget_speedup, c.mput_kops, c.put_fences_per_op, c.fence_ratio,
+        i + 1 < cells.size() ? "," : "");
+  }
+  // Acceptance stanza: batch=32 at the highest latency >= 300 ns.
+  double speedup32 = 0, fence_ratio32 = 0;
+  uint64_t at_lat = 0;
+  for (const Cell& c : cells) {
+    if (c.batch == 32 && c.latency_ns >= 300 && c.latency_ns >= at_lat) {
+      at_lat = c.latency_ns;
+      speedup32 = c.mget_speedup;
+      fence_ratio32 = c.fence_ratio;
+    }
+  }
+  std::fprintf(f,
+               "  ],\n  \"acceptance\": {\"latency_ns\": %llu, "
+               "\"mget_speedup_batch32\": %.2f, "
+               "\"mput_fence_ratio_batch32\": %.3f}\n}\n",
+               static_cast<unsigned long long>(at_lat), speedup32,
+               fence_ratio32);
+  std::fclose(f);
+  std::printf("wrote BENCH_batch_ops.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  if (flags.quick) {
+    flags.keys = std::min<uint64_t>(flags.keys, 20000);
+    flags.ops = std::min<uint64_t>(flags.ops, 40000);
+  }
+  scm::LatencyModel::Calibrate();
+
+  bench::PrintHeader("batched execution pipeline (batch size x SCM latency)");
+  const std::string kind = flags.FixedTrees({"fptree"}).front();
+
+  std::vector<uint64_t> latencies =
+      flags.latency != 0 ? std::vector<uint64_t>{flags.latency}
+                         : std::vector<uint64_t>{90, 300, 650};
+  std::vector<uint32_t> batches = {1, 8, 32, 128};
+
+  std::printf("%8s %6s %12s %10s %12s %12s %10s\n", "lat(ns)", "batch",
+              "MGET kops", "speedup", "MPUT kops", "fences/op", "ratio");
+  std::vector<bench::Cell> cells;
+  for (uint64_t lat : latencies) {
+    double loop_get_kops = 0, loop_fences_per_op = 0;
+    for (uint32_t b : batches) {
+      bench::Cell c = bench::RunCell(kind, lat, b, flags);
+      if (b == 1) {
+        loop_get_kops = c.mget_kops;
+        loop_fences_per_op = c.put_fences_per_op;
+      }
+      c.mget_speedup = loop_get_kops > 0 ? c.mget_kops / loop_get_kops : 0;
+      c.fence_ratio = loop_fences_per_op > 0
+                          ? c.put_fences_per_op / loop_fences_per_op
+                          : 0;
+      std::printf("%8llu %6u %12.1f %9.2fx %12.1f %12.3f %9.3fx\n",
+                  static_cast<unsigned long long>(c.latency_ns), c.batch,
+                  c.mget_kops, c.mget_speedup, c.mput_kops,
+                  c.put_fences_per_op, c.fence_ratio);
+      cells.push_back(c);
+    }
+    std::printf("\n");
+  }
+  bench::WriteJson(kind, cells);
+  bench::EmitMetricsJson("batch_ops");
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/recovery.h"
@@ -38,6 +39,8 @@ struct Flags {
   uint32_t sample = 64;  // latency sampling interval; 0 disables
   uint64_t metrics_every = 0;  // periodic app metrics dump; 0 disables
   uint32_t recover_threads = 0;  // recovery scan width; 0 = hw concurrency
+  uint32_t batch = 1;    // keys per MultiGet/MultiPut/MGET/MPUT frame;
+                         // 1 = scalar ops (existing series stay comparable)
   bool restart = false;
   bool quick = false;
 
@@ -45,6 +48,7 @@ struct Flags {
     Flags f;
     for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
+      if (std::strncmp(a, "--batch=", 8) == 0) f.batch = std::strtoul(a + 8, nullptr, 10);
       if (std::strncmp(a, "--keys=", 7) == 0) f.keys = std::strtoull(a + 7, nullptr, 10);
       if (std::strncmp(a, "--ops=", 6) == 0) f.ops = std::strtoull(a + 6, nullptr, 10);
       if (std::strncmp(a, "--threads=", 10) == 0) f.threads = std::strtoul(a + 10, nullptr, 10);
@@ -56,8 +60,16 @@ struct Flags {
       if (std::strcmp(a, "--restart") == 0) f.restart = true;
       if (std::strcmp(a, "--quick") == 0) f.quick = true;
     }
+    if (f.batch == 0) f.batch = 1;
     obs::SetSampleInterval(f.sample);
     core::SetRecoverThreads(f.recover_threads);
+    // Host stanza: every METRICS_JSON line records the run's batch size
+    // (and core count) so downstream plots can group by configuration.
+    obs::MetricsRegistry::Global().SetGauge(
+        "host.batch_size", [b = f.batch] { return b; });
+    obs::MetricsRegistry::Global().SetGauge("host.hardware_concurrency", [] {
+      return static_cast<uint64_t>(std::thread::hardware_concurrency());
+    });
     return f;
   }
 

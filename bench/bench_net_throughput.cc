@@ -36,6 +36,7 @@ struct NetFlags {
   bool open_loop = false;
   uint32_t io_threads = 4;
   uint32_t shards = 1;       // >1 serves through the sharded engine
+  uint32_t batch = 1;        // copied from Flags::batch; >1 = MGET/MPUT mode
 
   static NetFlags Parse(int argc, char** argv) {
     NetFlags f;
@@ -55,14 +56,38 @@ struct NetFlags {
   }
 };
 
-/// One client connection's deterministic op stream: 35% PUT, 10% UPSERT,
-/// 45% GET, 10% SCAN over the shared keyspace.
+/// One client connection's deterministic op stream. Scalar mode (batch=1):
+/// 35% PUT, 10% UPSERT, 45% GET, 10% SCAN over the shared keyspace. Batch
+/// mode (--batch=N > 1): every frame is a batch op carrying N keys — 45%
+/// MPUT, 55% MGET (matching the scalar write/read split; SCAN drops out) —
+/// so one queued "op" is one frame and N key-ops.
 struct OpStream {
   Random64 rng;
   uint64_t keys;
+  uint32_t batch = 1;
+  std::vector<std::string> kbuf;
+  std::vector<std::string_view> kviews;
+  std::vector<uint64_t> vals;
 
   void QueueNext(net::Client* c) {
     uint64_t dice = rng.Next() % 100;
+    if (batch > 1) {
+      kbuf.clear();
+      kviews.clear();
+      vals.clear();
+      for (uint32_t i = 0; i < batch; ++i) {
+        kbuf.push_back(MakeVarKey(rng.Next() % keys));
+        vals.push_back(dice);
+      }
+      // Views only after kbuf stops growing (reallocation safety).
+      for (const std::string& k : kbuf) kviews.push_back(k);
+      if (dice < 45) {
+        c->QueueMput(kviews.data(), vals.data(), batch);
+      } else {
+        c->QueueMget(kviews.data(), batch);
+      }
+      return;
+    }
     uint64_t k = rng.Next() % keys;
     if (dice < 35) {
       c->QueuePut(MakeVarKey(k), dice);
@@ -91,7 +116,7 @@ RunResult RunClosedLoop(const std::string& host, uint16_t port,
   tg.Spawn(nf.connections, [&](uint32_t id) {
     net::Client client;
     if (!client.Connect(host, port).ok()) return;
-    OpStream stream{Random64(1000 + id), keys};
+    OpStream stream{Random64(1000 + id), keys, nf.batch};
     barrier.Wait();
     uint64_t mine_sent = 0, mine_recv = 0;
     net::Response resp;
@@ -135,7 +160,7 @@ RunResult RunOpenLoop(const std::string& host, uint16_t port,
   tg.Spawn(nf.connections, [&](uint32_t id) {
     net::Client client;
     if (!client.Connect(host, port).ok()) return;
-    OpStream stream{Random64(2000 + id), keys};
+    OpStream stream{Random64(2000 + id), keys, nf.batch};
     barrier.Wait();
     uint64_t mine_sent = 0, mine_recv = 0;
     net::Response resp;
@@ -247,12 +272,15 @@ void RunOne(const std::string& kind, const Flags& flags, const NetFlags& nf) {
   // Zero lost acked writes: the server acked (fully wrote) at least every
   // response the clients consumed; the preload responses are included.
   bool acks_ok = server.acked_ops() >= r.received;
+  // In batch mode every frame carries nf.batch key-ops; report key-op
+  // throughput so --batch series compare directly against scalar runs.
+  double kops =
+      static_cast<double>(r.received) * (nf.batch > 1 ? nf.batch : 1);
   std::printf(
-      "%-14s %-6s conns=%3u window=%2u shards=%u  %9.1f kops/s  sent=%llu "
-      "recv=%llu acked=%llu %s\n",
+      "%-14s %-6s conns=%3u window=%2u shards=%u batch=%u  %9.1f kops/s  "
+      "sent=%llu recv=%llu acked=%llu %s\n",
       kind.c_str(), nf.open_loop ? "open" : "closed", nf.connections,
-      nf.window, nf.shards,
-      static_cast<double>(r.received) / r.seconds / 1e3,
+      nf.window, nf.shards, nf.batch, kops / r.seconds / 1e3,
       static_cast<unsigned long long>(r.sent),
       static_cast<unsigned long long>(r.received),
       static_cast<unsigned long long>(server.acked_ops()),
@@ -267,6 +295,7 @@ int main(int argc, char** argv) {
   using namespace fptree;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
   bench::NetFlags nf = bench::NetFlags::Parse(argc, argv);
+  nf.batch = flags.batch;
   if (flags.quick) {
     flags.keys = std::min<uint64_t>(flags.keys, 20000);
     flags.ops = std::min<uint64_t>(flags.ops, 50000);

@@ -117,6 +117,24 @@ class KVCache {
     return hit;
   }
 
+  /// memcached multi-key GET ("get k1 k2 ..."): one wire request fetching
+  /// n keys, routed through the index's batch path (interleaved prefetched
+  /// descents / per-shard fan-out). One Admit() charges a single request's
+  /// wire cost — that is the point of the memcached multi-get protocol:
+  /// the per-request network overhead amortizes over the batch. values[i]
+  /// is untouched when found[i] == 0. Returns the hit count.
+  size_t MultiGet(const std::string_view* keys, size_t n, uint64_t* values,
+                  uint8_t* found) {
+    throttle_.Admit();
+    MaybeDumpMetrics();
+    stats_.gets.fetch_add(n, std::memory_order_relaxed);
+    index_->MultiGet(keys, n, values, found);
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) hits += found[i] != 0;
+    if (hits > 0) stats_.get_hits.fetch_add(hits, std::memory_order_relaxed);
+    return hits;
+  }
+
   /// memcached DELETE. The key must leave the LRU tracker too: a stale
   /// entry would keep counting against the shard's capacity after the item
   /// is gone, inflating residency and evicting live items early.

@@ -254,6 +254,86 @@ class FPTree {
     return false;
   }
 
+  /// Keys per staged MultiGet round: enough in-flight lines to saturate the
+  /// modeled memory-level parallelism, small enough for a stack array.
+  static constexpr size_t kBatchChunk = 64;
+
+  /// Batched lookup with interleaved prefetched descents (DESIGN.md §11).
+  /// Per chunk: (1) run every DRAM-resident inner descent and stage each
+  /// target leaf's fingerprint+bitmap line in one ReadBatch, (2) from the
+  /// now-prefetched fingerprint arrays compute the MatchByte candidate
+  /// masks and stage the candidate KV lines, (3) resolve every key through
+  /// the unchanged FindInLeaf, whose SCM touches now hit the staged lines.
+  /// Results are bit-identical to a Find() loop — only the miss timing
+  /// overlaps.
+  void MultiGet(const Key* keys, size_t n, Value* values, uint8_t* found) {
+    LeafNode* leaves[kBatchChunk];
+    for (size_t base = 0; base < n; base += kBatchChunk) {
+      const size_t m = std::min(kBatchChunk, n - base);
+      scm::ReadBatch rb;
+      for (size_t i = 0; i < m; ++i) {
+        Path path;
+        leaves[i] = FindLeaf(keys[base + i], &path);
+        if (leaves[i] != nullptr) {
+          rb.Add(leaves[i],
+                 sizeof(leaves[i]->fingerprints) + sizeof(leaves[i]->bitmap));
+        }
+      }
+      rb.Issue();
+#if !defined(FPTREE_NO_PREFETCH)
+      for (size_t i = 0; i < m; ++i) {
+        LeafNode* leaf = leaves[i];
+        if (leaf == nullptr) continue;
+        uint64_t cand = simd::MatchByte(leaf->fingerprints, kLeafCap,
+                                        Fingerprint(keys[base + i])) &
+                        leaf->bitmap;
+        while (cand != 0) {
+          size_t s = static_cast<size_t>(__builtin_ctzll(cand));
+          cand &= cand - 1;
+          rb.Add(&leaf->kv[s], sizeof(KV));
+        }
+      }
+      rb.Issue();
+#endif
+      for (size_t i = 0; i < m; ++i) {
+        ++stats_.finds;
+        int slot = FindInLeaf(leaves[i], keys[base + i]);
+        if (slot >= 0) {
+          values[base + i] = leaves[i]->kv[slot].value;
+          found[base + i] = 1;
+        } else {
+          found[base + i] = 0;
+        }
+      }
+    }
+  }
+
+  /// Batched insert with group persistence: consecutive same-leaf inserts
+  /// form one run (see BatchWriter). inserted[i] may be read back as 1/0;
+  /// pass nullptr to discard.
+  void MultiPut(const Key* keys, const Value* values, size_t n,
+                uint8_t* inserted) {
+    BatchWriter w(this);
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = w.Insert(keys[i], values[i]);
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+    w.Flush();
+  }
+
+  /// Batched upsert; same run discipline, update slots join the run's
+  /// single bitmap publish (insert bit set + stale bit clear in one
+  /// p-atomic store, the Alg. 8 rule extended to a whole run).
+  void MultiUpsert(const Key* keys, const Value* values, size_t n,
+                   uint8_t* inserted) {
+    BatchWriter w(this);
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = w.Upsert(keys[i], values[i]);
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+    w.Flush();
+  }
+
   /// Removes a key (paper Alg. 5/6). Returns false if absent.
   bool Erase(Key key) {
     Path path;
@@ -495,6 +575,120 @@ class FPTree {
                             leaf->bitmap | (uint64_t{1} << slot));
     SCM_CRASH_POINT("fptree.insert.after_bitmap");
   }
+
+  /// Open-run accumulator for batched writes (DESIGN.md §11). Consecutive
+  /// ops landing in the same leaf form a "run": KVs and fingerprints are
+  /// staged into distinct free slots with their flush ranges coalesced in
+  /// one PersistBatch, then Flush() commits the run with exactly two fences
+  /// — one PersistBatch commit covering every staged line, one p-atomic
+  /// bitmap store publishing all staged bits (and clearing all stale upsert
+  /// bits) at once — where the looped path pays three fences per op. Crash
+  /// safety: an uncommitted run is entirely invisible (its slots are not in
+  /// the bitmap), so a crash leaves exactly the ops before the last
+  /// committed run durable — a strict prefix of the batch. A run breaks
+  /// when the next op targets a different leaf, repeats a pending key
+  /// (keeps loop-oracle duplicate semantics trivially), or the leaf runs
+  /// out of free slots (the op falls back to the single-op split path).
+  class BatchWriter {
+   public:
+    explicit BatchWriter(FPTree* t) : t_(t) {}
+    ~BatchWriter() { Flush(); }
+
+    bool Insert(Key key, const Value& value) {
+      Path path;
+      LeafNode* leaf = t_->FindLeaf(key, &path);
+      if (leaf != leaf_) Flush();
+      if (leaf_ != nullptr && PendingHas(key)) return false;  // dup in batch
+      if (t_->FindInLeaf(leaf, key) >= 0) return false;
+      int slot = FreeSlotIn(leaf);
+      if (slot < 0) {
+        Flush();
+        return t_->Insert(key, value);  // split path, per-op
+      }
+      Stage(leaf, slot, key, value);
+      ++t_->size_;
+      return true;
+    }
+
+    bool Upsert(Key key, const Value& value) {
+      for (;;) {
+        Path path;
+        LeafNode* leaf = t_->FindLeaf(key, &path);
+        if (leaf != leaf_) Flush();
+        if (leaf_ != nullptr && PendingHas(key)) {
+          // Same key twice in one batch: publish the open run first so the
+          // second op sees the first's value — "last wins", as the loop.
+          Flush();
+          continue;
+        }
+        int prev = t_->FindInLeaf(leaf, key);
+        int slot = FreeSlotIn(leaf);
+        if (slot < 0) {
+          Flush();
+          return t_->Upsert(key, value);  // split path, per-op
+        }
+        Stage(leaf, slot, key, value);
+        if (prev >= 0) {
+          clear_ |= uint64_t{1} << prev;
+          return false;
+        }
+        ++t_->size_;
+        return true;
+      }
+    }
+
+    /// Commits the open run: one coalesced flush fence, one bitmap publish.
+    void Flush() {
+      if (leaf_ == nullptr) return;
+      pb_.Commit();
+      SCM_CRASH_POINT("fptree.multiput.before_bitmap");
+      scm::pmem::StorePersist(&leaf_->bitmap,
+                              (leaf_->bitmap & ~clear_) | set_);
+      SCM_CRASH_POINT("fptree.multiput.after_bitmap");
+      leaf_ = nullptr;
+      set_ = 0;
+      clear_ = 0;
+      pend_n_ = 0;
+    }
+
+   private:
+    bool PendingHas(Key key) const {
+      for (size_t i = 0; i < pend_n_; ++i) {
+        if (pend_keys_[i] == key) return true;
+      }
+      return false;
+    }
+
+    /// First slot free in the published bitmap AND not staged by this run.
+    /// Slots pending a clear stay occupied until the publish (their old
+    /// value must survive a crash), so they are never handed out here.
+    int FreeSlotIn(const LeafNode* leaf) const {
+      uint64_t used = leaf->bitmap | set_;
+      if constexpr (kLeafCap < 64) {
+        used |= ~((uint64_t{1} << kLeafCap) - 1);
+      }
+      uint64_t inv = ~used;
+      return inv == 0 ? -1 : static_cast<int>(__builtin_ctzll(inv));
+    }
+
+    void Stage(LeafNode* leaf, int slot, Key key, const Value& value) {
+      leaf_ = leaf;
+      scm::pmem::Store(&leaf->kv[slot], KV{key, value});
+      scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+      pb_.Add(&leaf->kv[slot], sizeof(KV));
+      pb_.Add(&leaf->fingerprints[slot], 1);
+      set_ |= uint64_t{1} << slot;
+      pend_keys_[pend_n_++] = key;
+    }
+
+    FPTree* t_;
+    LeafNode* leaf_ = nullptr;     // leaf of the open run (null = none)
+    uint64_t set_ = 0;             // staged slots to publish
+    uint64_t clear_ = 0;           // stale upsert slots to retire
+    Key pend_keys_[kLeafCap];      // keys staged in the open run
+    size_t pend_n_ = 0;
+    scm::pmem::PersistBatch pb_;
+  };
 
   /// Leaf split (paper Alg. 3). Returns the new right sibling and the split
   /// key (max of the surviving lower half).

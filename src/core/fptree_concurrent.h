@@ -497,6 +497,107 @@ class ConcurrentFPTree {
     }
   }
 
+  // --- Batched operations (batch pipeline, DESIGN.md §11) ------------------
+
+  /// Keys per staged MultiGet descent group. Smaller than the
+  /// single-threaded trees' chunk: the whole chunk's descents share one
+  /// speculative transaction, and a larger read set raises its conflict
+  /// probability for no extra overlap benefit.
+  static constexpr size_t kBatchChunk = 16;
+  /// Max operations planned into one write window.
+  static constexpr size_t kBatchWindowOps = 16;
+  /// Max distinct leaves one write window may lock ("up to K leaf updates
+  /// per transaction").
+  static constexpr size_t kHtmBatchLeaves = 4;
+  /// Plan-transaction attempts before a window falls back to the single-op
+  /// path (which retries unboundedly and can always make progress).
+  static constexpr size_t kBatchTxRetries = 8;
+
+  /// Batched point lookups. Correctness is carried entirely by the
+  /// unchanged Find() that resolves each key (full lock-word + commit
+  /// validation); the staging pass is advisory — one transaction descends
+  /// for the whole chunk, and only if it commits are the staged leaves'
+  /// header lines and candidate slots handed to a ReadBatch. Leaves live in
+  /// pool memory that is never unmapped, so prefetching a leaf that a
+  /// concurrent writer is touching is benign. values[i] is untouched when
+  /// found[i] == 0.
+  void MultiGet(const Key* keys, size_t n, Value* values, uint8_t* found) {
+#if !defined(FPTREE_NO_PREFETCH)
+    LeafNode* leaves[kBatchChunk];
+    htm::Tx tx(&htm_);
+#endif
+    for (size_t base = 0; base < n; base += kBatchChunk) {
+      size_t m = std::min(kBatchChunk, n - base);
+#if !defined(FPTREE_NO_PREFETCH)
+      tx.Begin();
+      bool staged = true;
+      for (size_t i = 0; i < m; ++i) {
+        leaves[i] = FindLeafTx(&tx, keys[base + i], nullptr);
+        if (!tx.ok() || leaves[i] == nullptr) {
+          staged = false;
+          break;
+        }
+      }
+      if (staged) {
+        staged = tx.Commit();
+      } else if (tx.ok()) {
+        tx.UserAbort();
+      }
+      if (staged) {
+        scm::ReadBatch rb;
+        for (size_t i = 0; i < m; ++i) {
+          rb.Add(leaves[i],
+                 sizeof(leaves[i]->fingerprints) + sizeof(leaves[i]->bitmap));
+        }
+        rb.Issue();
+        for (size_t i = 0; i < m; ++i) {
+          LeafNode* leaf = leaves[i];
+          // Same race-free fingerprint snapshot as ScanLeaf: word-sized
+          // atomic loads, unpublished slots discarded by the bitmap AND.
+          uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
+          alignas(64) uint8_t fps[64] = {};
+          const auto* words =
+              reinterpret_cast<const uint64_t*>(leaf->fingerprints);
+          for (size_t wd = 0; wd < (kLeafCap + 7) / 8; ++wd) {
+            uint64_t word = __atomic_load_n(words + wd, __ATOMIC_RELAXED);
+            std::memcpy(fps + wd * 8, &word, sizeof(word));
+          }
+          uint64_t cand =
+              simd::MatchByte(fps, kLeafCap, Fingerprint(keys[base + i])) &
+              bmp;
+          while (cand != 0) {
+            size_t s = static_cast<size_t>(__builtin_ctzll(cand));
+            cand &= cand - 1;
+            rb.Add(&leaf->kv[s], sizeof(KV));
+          }
+        }
+        rb.Issue();
+      }
+#endif
+      for (size_t i = 0; i < m; ++i) {
+        found[base + i] = Find(keys[base + i], &values[base + i]) ? 1 : 0;
+      }
+    }
+  }
+
+  /// Batched Insert: windows of up to kBatchWindowOps ops are planned —
+  /// and their leaves lock-acquired — inside ONE transaction, then executed
+  /// outside it with group persistence (one batched fence for all staged
+  /// ranges, one p-atomic bitmap publish per touched leaf). Each key
+  /// remains individually atomic; semantics match a loop of Insert(),
+  /// including duplicates within the batch. inserted may be nullptr.
+  void MultiPut(const Key* keys, const Value* values, size_t n,
+                uint8_t* inserted) {
+    MultiWrite(keys, values, n, inserted, /*upsert=*/false);
+  }
+
+  /// Batched Upsert; duplicate keys within the batch behave last-wins,
+  /// matching the loop oracle. inserted[i] = 1 iff newly inserted.
+  void MultiUpsert(const Key* keys, const Value* values, size_t n,
+                   uint8_t* inserted) {
+    MultiWrite(keys, values, n, inserted, /*upsert=*/true);
+  }
+
   size_t Size() const { return size_.load(std::memory_order_relaxed); }
 
   uint64_t DramBytes() const { return arena_.MemoryBytes(); }
@@ -753,6 +854,191 @@ class ConcurrentFPTree {
       }
     }
     return -1;
+  }
+
+  // --- Batched write windows (batch pipeline, DESIGN.md §11) ---------------
+
+  /// One planned batch operation. prev_slot >= 0: upsert-update aliasing
+  /// that slot; -1: insert into a free slot; -2: insert over an existing
+  /// key (no-op, validated by the plan transaction's commit).
+  struct BatchOp {
+    LeafNode* leaf;
+    int prev_slot;
+  };
+
+  void MultiWrite(const Key* keys, const Value* values, size_t n,
+                  uint8_t* inserted, bool upsert) {
+    BatchOp ops[kBatchWindowOps];
+    size_t i = 0;
+    while (i < n) {
+      size_t w =
+          PlanWindow(keys + i, std::min(n - i, kBatchWindowOps), upsert, ops);
+      if (w == 0) {
+        // Abort-fallback: the single-op path handles splits and contended
+        // leaves, and always makes progress.
+        bool ok =
+            upsert ? Upsert(keys[i], values[i]) : Insert(keys[i], values[i]);
+        if (inserted != nullptr) inserted[i] = ok ? 1 : 0;
+        ++i;
+        continue;
+      }
+      ExecuteWindow(keys + i, values + i, w, ops,
+                    inserted == nullptr ? nullptr : inserted + i);
+      i += w;
+    }
+  }
+
+  /// Plans one write window inside a single transaction: descends for up
+  /// to max_ops consecutive ops, bounds the window to kHtmBatchLeaves
+  /// distinct written leaves, and atomically lock-acquires every one of
+  /// them — one commit validates the whole plan, where the looped path
+  /// pays one transaction per op. The window truncates (without failing)
+  /// at: a key already planned in this window (the next window re-reads
+  /// the published state, so last-wins holds), a locked leaf, a leaf
+  /// beyond the leaf budget, or a leaf without enough free slots for its
+  /// staged ops. Returns the number of ops planned; 0 means the caller
+  /// must run the FIRST op through the single-op path (split needed,
+  /// contended leaf, or the plan transaction kept aborting).
+  size_t PlanWindow(const Key* keys, size_t max_ops, bool upsert,
+                    BatchOp* ops) {
+    htm::Tx tx(&htm_);
+    for (size_t attempt = 0; attempt < kBatchTxRetries; ++attempt) {
+      SCM_CRASH_POINT("cfptree.retry");
+      tx.Begin();
+      LeafNode* wleaves[kHtmBatchLeaves];
+      size_t wstaged[kHtmBatchLeaves];  // slots this window stages per leaf
+      size_t wfree[kHtmBatchLeaves];    // free slots at plan time
+      size_t nleaves = 0;
+      size_t planned = 0;
+      bool doomed = false;
+      bool first_needs_single = false;
+      while (planned < max_ops) {
+        Key key = keys[planned];
+        bool dup = false;
+        for (size_t j = 0; j < planned; ++j) {
+          if (keys[j] == key) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) break;
+        LeafNode* leaf = FindLeafTx(&tx, key, nullptr);
+        if (!tx.ok() || leaf == nullptr) {
+          doomed = true;
+          break;
+        }
+        if ((tx.Load(&leaf->lock_word) & 1) != 0) {
+          if (planned == 0) doomed = true;  // contended: retry the plan
+          break;
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        int prev = ScanLeaf(leaf, key);
+        int prev_rec;
+        bool stages = true;
+        if (prev >= 0) {
+          if (upsert) {
+            prev_rec = prev;  // aliasing update (Alg. 8 tail)
+          } else {
+            prev_rec = -2;  // exists: no-op, no lock needed
+            stages = false;
+          }
+        } else {
+          prev_rec = -1;  // plain insert
+        }
+        if (stages) {
+          size_t li = 0;
+          while (li < nleaves && wleaves[li] != leaf) ++li;
+          if (li == nleaves) {
+            if (nleaves == kHtmBatchLeaves) break;  // leaf budget reached
+            wleaves[nleaves] = leaf;
+            wstaged[nleaves] = 0;
+            wfree[nleaves] = kLeafCap - BitmapCount(leaf);
+            ++nleaves;
+          }
+          // Updates free their previous slot only at publish time, so
+          // every staged op consumes one currently-free slot. A leaf that
+          // can't take the op must not stay in the window's lock set when
+          // nothing stages into it — the executor only unlocks leaves that
+          // staged ops, so locking it here would leak the lock.
+          if (wstaged[li] + 1 > wfree[li]) {
+            if (li == nleaves - 1 && wstaged[li] == 0) --nleaves;
+            if (planned == 0) first_needs_single = true;  // split path
+            break;
+          }
+          ++wstaged[li];
+        }
+        ops[planned] = BatchOp{leaf, prev_rec};
+        ++planned;
+      }
+      if (doomed) {
+        if (tx.ok()) tx.UserAbort();
+        continue;
+      }
+      if (first_needs_single || planned == 0) {
+        if (tx.ok()) tx.UserAbort();
+        return 0;
+      }
+      for (size_t li = 0; li < nleaves; ++li) {
+        tx.Store(&wleaves[li]->lock_word, NewOddGen());
+      }
+      if (tx.Commit()) return planned;
+    }
+    return 0;  // kept aborting: let the single-op path make progress
+  }
+
+  /// Executes a planned window outside any transaction: staged KV and
+  /// fingerprint ranges across ALL window leaves share one batched fence,
+  /// then each written leaf publishes with its single p-atomic bitmap
+  /// store, then the locks drop. Each key is individually atomic (its
+  /// leaf's bitmap flip); a crash makes exactly the already-published
+  /// leaves' ops durable.
+  void ExecuteWindow(const Key* keys, const Value* values, size_t w,
+                     const BatchOp* ops, uint8_t* inserted) {
+    LeafNode* wleaves[kHtmBatchLeaves];
+    uint64_t set[kHtmBatchLeaves];
+    uint64_t clear[kHtmBatchLeaves];
+    size_t nleaves = 0;
+    scm::pmem::PersistBatch pb;
+    for (size_t i = 0; i < w; ++i) {
+      LeafNode* leaf = ops[i].leaf;
+      if (ops[i].prev_slot == -2) {  // insert over an existing key
+        if (inserted != nullptr) inserted[i] = 0;
+        continue;
+      }
+      size_t li = 0;
+      while (li < nleaves && wleaves[li] != leaf) ++li;
+      if (li == nleaves) {
+        wleaves[nleaves] = leaf;
+        set[nleaves] = 0;
+        clear[nleaves] = 0;
+        ++nleaves;
+      }
+      uint64_t used = scm::pmem::Load(&leaf->bitmap) | set[li];
+      if constexpr (kLeafCap < 64) used |= ~((uint64_t{1} << kLeafCap) - 1);
+      assert(used != ~uint64_t{0});  // planner budgeted the free slots
+      int slot = __builtin_ctzll(~used);
+      scm::pmem::Store(&leaf->kv[slot], KV{keys[i], values[i]});
+      scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(keys[i]));
+      pb.Add(&leaf->kv[slot]);
+      pb.Add(&leaf->fingerprints[slot], 1);
+      set[li] |= uint64_t{1} << slot;
+      if (ops[i].prev_slot >= 0) {
+        clear[li] |= uint64_t{1} << ops[i].prev_slot;
+        if (inserted != nullptr) inserted[i] = 0;
+      } else {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        if (inserted != nullptr) inserted[i] = 1;
+      }
+    }
+    pb.Commit();
+    SCM_CRASH_POINT("cfptree.multiput.before_bitmap");
+    for (size_t li = 0; li < nleaves; ++li) {
+      uint64_t bmp = scm::pmem::Load(&wleaves[li]->bitmap);
+      scm::pmem::StorePersist(&wleaves[li]->bitmap,
+                              (bmp & ~clear[li]) | set[li]);
+    }
+    SCM_CRASH_POINT("cfptree.multiput.after_bitmap");
+    for (size_t li = 0; li < nleaves; ++li) UnlockLeaf(wleaves[li]);
   }
 
   /// Per-leaf retry budget for RangeScan before the scan abandons the leaf

@@ -355,6 +355,100 @@ class ConcurrentFPTreeVar {
     }
   }
 
+  // --- Batched operations (batch pipeline, DESIGN.md §11) ------------------
+
+  /// Chunk / window sizing; see the fixed-key concurrent tree.
+  static constexpr size_t kBatchChunk = 16;
+  static constexpr size_t kBatchWindowOps = 16;
+  static constexpr size_t kHtmBatchLeaves = 4;
+  static constexpr size_t kBatchTxRetries = 8;
+
+  /// Batched point lookups with advisory staging (see the fixed-key
+  /// concurrent tree's MultiGet); the var-key staging also prefetches the
+  /// candidate slots' out-of-line key blobs — racy reads of pool memory
+  /// that is never unmapped, bounds-checked the same way ScanLeaf's
+  /// optimistic probes are. Resolution runs through the unchanged Find().
+  void MultiGet(const std::string_view* keys, size_t n, Value* values,
+                uint8_t* found) {
+#if !defined(FPTREE_NO_PREFETCH)
+    LeafNode* leaves[kBatchChunk];
+    htm::Tx tx(&htm_);
+#endif
+    for (size_t base = 0; base < n; base += kBatchChunk) {
+      size_t m = std::min(kBatchChunk, n - base);
+#if !defined(FPTREE_NO_PREFETCH)
+      tx.Begin();
+      bool staged = true;
+      for (size_t i = 0; i < m; ++i) {
+        leaves[i] = FindLeafTx(&tx, keys[base + i]);
+        if (!tx.ok() || leaves[i] == nullptr) {
+          staged = false;
+          break;
+        }
+      }
+      if (staged) {
+        staged = tx.Commit();
+      } else if (tx.ok()) {
+        tx.UserAbort();
+      }
+      if (staged) {
+        scm::ReadBatch rb;
+        for (size_t i = 0; i < m; ++i) {
+          rb.Add(leaves[i],
+                 sizeof(leaves[i]->fingerprints) + sizeof(leaves[i]->bitmap));
+        }
+        rb.Issue();
+        for (size_t i = 0; i < m; ++i) {
+          LeafNode* leaf = leaves[i];
+          uint64_t bmp = scm::pmem::Load(&leaf->bitmap);
+          alignas(64) uint8_t fps[64] = {};
+          const auto* words =
+              reinterpret_cast<const uint64_t*>(leaf->fingerprints);
+          for (size_t wd = 0; wd < (kLeafCap + 7) / 8; ++wd) {
+            uint64_t word = __atomic_load_n(words + wd, __ATOMIC_RELAXED);
+            std::memcpy(fps + wd * 8, &word, sizeof(word));
+          }
+          uint64_t cand =
+              simd::MatchByte(fps, kLeafCap, Fingerprint(keys[base + i])) &
+              bmp;
+          while (cand != 0) {
+            size_t s = static_cast<size_t>(__builtin_ctzll(cand));
+            cand &= cand - 1;
+            rb.Add(&leaf->kv[s], sizeof(KV));
+            uint64_t off = scm::pmem::Load(&leaf->kv[s].pkey.offset);
+            if (off == 0 || off >= pool_->size()) continue;
+            const KeyBlob* blob =
+                scm::PPtr<KeyBlob>{leaf->kv[s].pkey.pool_id, off}.get();
+            uint64_t len = scm::pmem::Load(&blob->len);
+            if (len <= kMaxVarKeyLen) rb.Add(blob, sizeof(uint64_t) + len);
+          }
+        }
+        rb.Issue();
+      }
+#endif
+      for (size_t i = 0; i < m; ++i) {
+        found[base + i] = Find(keys[base + i], &values[base + i]) ? 1 : 0;
+      }
+    }
+  }
+
+  /// Batched Insert via planned write windows (see the fixed-key
+  /// concurrent tree's MultiPut); key blobs are allocated while the leaf
+  /// is locked, before the window's single batched fence and per-leaf
+  /// bitmap publish. inserted may be nullptr.
+  void MultiPut(const std::string_view* keys, const Value* values, size_t n,
+                uint8_t* inserted) {
+    MultiWrite(keys, values, n, inserted, /*upsert=*/false);
+  }
+
+  /// Batched Upsert; duplicates within the batch behave last-wins. Staged
+  /// updates alias the previous slot's blob (Alg. 16) and reset the old
+  /// pointer after the publish, all resets sharing one batched fence.
+  void MultiUpsert(const std::string_view* keys, const Value* values,
+                   size_t n, uint8_t* inserted) {
+    MultiWrite(keys, values, n, inserted, /*upsert=*/true);
+  }
+
   size_t Size() const { return size_.load(std::memory_order_relaxed); }
   uint64_t DramBytes() const { return arena_.MemoryBytes() + intern_bytes_; }
   uint64_t ScmBytes() const { return pool_->allocator()->heap_used_bytes(); }
@@ -561,6 +655,197 @@ class ConcurrentFPTreeVar {
       if (CompareBlob(blob, key) == 0) return static_cast<int>(i);
     }
     return -1;
+  }
+
+  // --- Batched write windows (batch pipeline, DESIGN.md §11) ---------------
+
+  /// One planned batch operation; see the fixed-key concurrent tree.
+  /// prev_slot >= 0: aliasing update; -1: insert; -2: exists no-op.
+  struct BatchOp {
+    LeafNode* leaf;
+    int prev_slot;
+  };
+
+  void MultiWrite(const std::string_view* keys, const Value* values,
+                  size_t n, uint8_t* inserted, bool upsert) {
+    BatchOp ops[kBatchWindowOps];
+    size_t i = 0;
+    while (i < n) {
+      size_t w =
+          PlanWindow(keys + i, std::min(n - i, kBatchWindowOps), upsert, ops);
+      if (w == 0) {
+        bool ok =
+            upsert ? Upsert(keys[i], values[i]) : Insert(keys[i], values[i]);
+        if (inserted != nullptr) inserted[i] = ok ? 1 : 0;
+        ++i;
+        continue;
+      }
+      ExecuteWindow(keys + i, values + i, w, ops,
+                    inserted == nullptr ? nullptr : inserted + i);
+      i += w;
+    }
+  }
+
+  /// Plans one write window inside a single transaction and atomically
+  /// lock-acquires every leaf it will write; see the fixed-key concurrent
+  /// tree's PlanWindow for the truncation and fallback rules.
+  size_t PlanWindow(const std::string_view* keys, size_t max_ops, bool upsert,
+                    BatchOp* ops) {
+    htm::Tx tx(&htm_);
+    for (size_t attempt = 0; attempt < kBatchTxRetries; ++attempt) {
+      SCM_CRASH_POINT("cfptreevar.retry");
+      tx.Begin();
+      LeafNode* wleaves[kHtmBatchLeaves];
+      size_t wstaged[kHtmBatchLeaves];
+      size_t wfree[kHtmBatchLeaves];
+      size_t nleaves = 0;
+      size_t planned = 0;
+      bool doomed = false;
+      bool first_needs_single = false;
+      while (planned < max_ops) {
+        std::string_view key = keys[planned];
+        bool dup = false;
+        for (size_t j = 0; j < planned; ++j) {
+          if (keys[j] == key) {
+            dup = true;
+            break;
+          }
+        }
+        if (dup) break;
+        LeafNode* leaf = FindLeafTx(&tx, key);
+        if (!tx.ok() || leaf == nullptr) {
+          doomed = true;
+          break;
+        }
+        if ((tx.Load(&leaf->lock_word) & 1) != 0) {
+          if (planned == 0) doomed = true;
+          break;
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        int prev = ScanLeaf(leaf, key);
+        int prev_rec;
+        bool stages = true;
+        if (prev >= 0) {
+          if (upsert) {
+            prev_rec = prev;
+          } else {
+            prev_rec = -2;
+            stages = false;
+          }
+        } else {
+          prev_rec = -1;
+        }
+        if (stages) {
+          size_t li = 0;
+          while (li < nleaves && wleaves[li] != leaf) ++li;
+          if (li == nleaves) {
+            if (nleaves == kHtmBatchLeaves) break;
+            wleaves[nleaves] = leaf;
+            wstaged[nleaves] = 0;
+            wfree[nleaves] =
+                kLeafCap - static_cast<size_t>(__builtin_popcountll(
+                               scm::pmem::Load(&leaf->bitmap)));
+            ++nleaves;
+          }
+          // A just-added leaf with nothing staged must leave the lock set
+          // before the break: the executor only unlocks leaves that staged
+          // ops, so locking it would leak the lock (and deadlock the next
+          // op touching that leaf).
+          if (wstaged[li] + 1 > wfree[li]) {
+            if (li == nleaves - 1 && wstaged[li] == 0) --nleaves;
+            if (planned == 0) first_needs_single = true;
+            break;
+          }
+          ++wstaged[li];
+        }
+        ops[planned] = BatchOp{leaf, prev_rec};
+        ++planned;
+      }
+      if (doomed) {
+        if (tx.ok()) tx.UserAbort();
+        continue;
+      }
+      if (first_needs_single || planned == 0) {
+        if (tx.ok()) tx.UserAbort();
+        return 0;
+      }
+      for (size_t li = 0; li < nleaves; ++li) {
+        tx.Store(&wleaves[li]->lock_word, NewOddGen());
+      }
+      if (tx.Commit()) return planned;
+    }
+    return 0;
+  }
+
+  /// Executes a planned window outside any transaction: blob allocations
+  /// and staged KV/fingerprint stores first (one batched fence for all of
+  /// them), one p-atomic bitmap publish per written leaf, then the staged
+  /// updates' old-pointer resets (one more batched fence), then the locks
+  /// drop. Each key is individually atomic at its leaf's bitmap flip.
+  void ExecuteWindow(const std::string_view* keys, const Value* values,
+                     size_t w, const BatchOp* ops, uint8_t* inserted) {
+    LeafNode* wleaves[kHtmBatchLeaves];
+    uint64_t set[kHtmBatchLeaves];
+    uint64_t clear[kHtmBatchLeaves];
+    size_t nleaves = 0;
+    scm::pmem::PersistBatch pb;
+    for (size_t i = 0; i < w; ++i) {
+      LeafNode* leaf = ops[i].leaf;
+      if (ops[i].prev_slot == -2) {  // insert over an existing key
+        if (inserted != nullptr) inserted[i] = 0;
+        continue;
+      }
+      size_t li = 0;
+      while (li < nleaves && wleaves[li] != leaf) ++li;
+      if (li == nleaves) {
+        wleaves[nleaves] = leaf;
+        set[nleaves] = 0;
+        clear[nleaves] = 0;
+        ++nleaves;
+      }
+      uint64_t used = scm::pmem::Load(&leaf->bitmap) | set[li];
+      if constexpr (kLeafCap < 64) used |= ~((uint64_t{1} << kLeafCap) - 1);
+      assert(used != ~uint64_t{0});  // planner budgeted the free slots
+      int slot = __builtin_ctzll(~used);
+      if (ops[i].prev_slot >= 0) {
+        scm::pmem::StorePPtr(&leaf->kv[slot].pkey,
+                             leaf->kv[ops[i].prev_slot].pkey);
+      } else {
+        Status s = AllocateKeyBlob(pool_, &leaf->kv[slot].pkey, keys[i]);
+        assert(s.ok());
+        (void)s;
+        SCM_CRASH_POINT("cfptreevar.multiput.key_allocated");
+      }
+      scm::pmem::Store(&leaf->kv[slot].value, values[i]);
+      scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(keys[i]));
+      pb.Add(&leaf->kv[slot]);
+      pb.Add(&leaf->fingerprints[slot], 1);
+      set[li] |= uint64_t{1} << slot;
+      if (ops[i].prev_slot >= 0) {
+        clear[li] |= uint64_t{1} << ops[i].prev_slot;
+        if (inserted != nullptr) inserted[i] = 0;
+      } else {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        if (inserted != nullptr) inserted[i] = 1;
+      }
+    }
+    pb.Commit();
+    SCM_CRASH_POINT("cfptreevar.multiput.before_bitmap");
+    for (size_t li = 0; li < nleaves; ++li) {
+      uint64_t bmp = scm::pmem::Load(&wleaves[li]->bitmap);
+      scm::pmem::StorePersist(&wleaves[li]->bitmap,
+                              (bmp & ~clear[li]) | set[li]);
+    }
+    SCM_CRASH_POINT("cfptreevar.multiput.after_bitmap");
+    for (size_t i = 0; i < w; ++i) {
+      if (ops[i].prev_slot < 0) continue;
+      scm::pmem::StorePPtr(&ops[i].leaf->kv[ops[i].prev_slot].pkey,
+                           scm::PPtr<KeyBlob>::Null());
+      pb.Add(&ops[i].leaf->kv[ops[i].prev_slot].pkey);
+    }
+    pb.Commit();
+    SCM_CRASH_POINT("cfptreevar.multiput.old_reset");
+    for (size_t li = 0; li < nleaves; ++li) UnlockLeaf(wleaves[li]);
   }
 
   /// Per-leaf retry budget for RangeScan; see the fixed-key tree.

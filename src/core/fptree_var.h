@@ -270,6 +270,95 @@ class FPTreeVar {
     }
   }
 
+  /// Keys per staged descent group in MultiGet (batch pipeline, DESIGN.md
+  /// §11). Bounds the stack footprint of the staging arrays.
+  static constexpr size_t kBatchChunk = 64;
+
+  /// Batched point lookups with interleaved prefetched descents. Results
+  /// are bit-identical to a loop of Find(): resolution runs through the
+  /// unchanged FindInLeaf probe. The staging rounds only pre-install the
+  /// modeled-cache tags (and issue the hardware prefetches) for the leaf
+  /// header lines, the candidate KV slots, and their out-of-line key
+  /// blobs, so the resolving probes overlap their SCM misses instead of
+  /// serializing them. values[i] is untouched when found[i] == 0.
+  void MultiGet(const std::string_view* keys, size_t n, Value* values,
+                uint8_t* found) {
+    LeafNode* leaves[kBatchChunk];
+    for (size_t base = 0; base < n; base += kBatchChunk) {
+      size_t m = std::min(kBatchChunk, n - base);
+      scm::ReadBatch rb;
+      for (size_t i = 0; i < m; ++i) {
+        Path path;
+        leaves[i] = FindLeaf(keys[base + i], &path);
+        if (leaves[i] != nullptr) {
+          rb.Add(leaves[i],
+                 sizeof(leaves[i]->fingerprints) + sizeof(leaves[i]->bitmap));
+        }
+      }
+      rb.Issue();
+#if !defined(FPTREE_NO_PREFETCH)
+      // Second staging round: the fingerprint filter is now modeled-cache
+      // resident, so compute each key's candidate set and stage the KV
+      // slots plus the key blobs they point to (the var-key cache miss of
+      // §4.2 — the dominant cost fingerprints leave behind).
+      for (size_t i = 0; i < m; ++i) {
+        LeafNode* leaf = leaves[i];
+        if (leaf == nullptr) continue;
+        uint64_t cand = leaf->bitmap;
+        if constexpr (kUseFingerprints) {
+          cand &= simd::MatchByte(leaf->fingerprints, kLeafCap,
+                                  Fingerprint(keys[base + i]));
+        }
+        while (cand != 0) {
+          size_t s = static_cast<size_t>(__builtin_ctzll(cand));
+          cand &= cand - 1;
+          rb.Add(&leaf->kv[s], sizeof(KV));
+          const KeyBlob* blob = leaf->kv[s].pkey.get();
+          if (blob != nullptr) {
+            uint64_t len = scm::pmem::Load(&blob->len);
+            if (len <= kMaxVarKeyLen) rb.Add(blob, sizeof(uint64_t) + len);
+          }
+        }
+      }
+      rb.Issue();
+#endif
+      for (size_t i = 0; i < m; ++i) {
+        ++stats_.finds;
+        int slot = FindInLeaf(leaves[i], keys[base + i]);
+        if (slot >= 0) values[base + i] = leaves[i]->kv[slot].value;
+        found[base + i] = slot >= 0 ? 1 : 0;
+      }
+    }
+  }
+
+  /// Batched Insert with group persistence: runs of consecutive keys that
+  /// land in the same leaf share one flush fence and one bitmap publish
+  /// (see BatchWriter). inserted[i] (when non-null) gets 1 iff the key was
+  /// newly inserted; semantics match a loop of Insert() exactly, including
+  /// duplicate keys within the batch (first one wins).
+  void MultiPut(const std::string_view* keys, const Value* values, size_t n,
+                uint8_t* inserted) {
+    BatchWriter w(this);
+    for (size_t i = 0; i < n; ++i) {
+      bool ok = w.Insert(keys[i], values[i]);
+      if (inserted != nullptr) inserted[i] = ok ? 1 : 0;
+    }
+    w.Flush();
+  }
+
+  /// Batched Upsert; inserted[i] mirrors Upsert()'s return (1 = newly
+  /// inserted). Duplicate keys within the batch behave last-wins, matching
+  /// the loop oracle.
+  void MultiUpsert(const std::string_view* keys, const Value* values,
+                   size_t n, uint8_t* inserted) {
+    BatchWriter w(this);
+    for (size_t i = 0; i < n; ++i) {
+      bool ok = w.Upsert(keys[i], values[i]);
+      if (inserted != nullptr) inserted[i] = ok ? 1 : 0;
+    }
+    w.Flush();
+  }
+
   size_t Size() const { return size_; }
   ~FPTreeVar() { FlushTreeStats(stats_); }
 
@@ -441,6 +530,161 @@ class FPTreeVar {
                             leaf->bitmap | (uint64_t{1} << slot));
     SCM_CRASH_POINT("fptreevar.insert.after_bitmap");
   }
+
+  /// \brief Open write run used by MultiPut/MultiUpsert (group persistence,
+  /// DESIGN.md §11), var-key variant of FPTree::BatchWriter.
+  ///
+  /// Consecutive batch ops that land in the same leaf are staged into free
+  /// slots and published with ONE PersistBatch commit (covering every
+  /// staged KV + fingerprint range) followed by ONE p-atomic bitmap store —
+  /// where the looped path fences per operation. The bitmap flip stays the
+  /// sole publish point, so a crash leaves exactly the already-flushed runs
+  /// durable: runs are contiguous in batch order, hence the durable set is
+  /// always a strict prefix of the input and no leaf is ever torn.
+  ///
+  /// Var-key specifics: staged inserts allocate their key blobs up front
+  /// (the allocator's own persistence protocol is unchanged; a crash before
+  /// the run publishes leaves blobs referenced only by invalid slots, which
+  /// the recovery leak sweep reclaims — the same window as single-op
+  /// Alg. 14). Staged updates alias the previous slot's blob (Alg. 16) and
+  /// defer the old-pointer reset until after the run's bitmap publish; the
+  /// resets for the whole run then share one more batched fence. A crash
+  /// between publish and reset leaves stale pointers in invalid slots,
+  /// which the recovery sweep nulls — the same window as the single-op
+  /// update tail.
+  ///
+  /// A run breaks (Flush) when: the next key routes to a different leaf,
+  /// the same key appears again in the batch (Upsert republishes so
+  /// last-wins holds), or the leaf has no free slot left (the op falls back
+  /// to the single-op path, which may split).
+  class BatchWriter {
+   public:
+    explicit BatchWriter(FPTreeVar* t) : t_(t) {}
+    ~BatchWriter() { Flush(); }
+
+    bool Insert(std::string_view key, const Value& value) {
+      Path path;
+      LeafNode* leaf = t_->FindLeaf(key, &path);
+      if (leaf != leaf_) Flush();
+      if (PendingHas(key)) return false;  // duplicate within the batch
+      if (t_->FindInLeaf(leaf, key) >= 0) return false;
+      int slot = FreeSlotIn(leaf);
+      if (slot < 0) {  // full: publish the run, take the split path
+        Flush();
+        return t_->Insert(key, value);
+      }
+      StageInsert(leaf, slot, key, value);
+      ++t_->size_;
+      return true;
+    }
+
+    bool Upsert(std::string_view key, const Value& value) {
+      for (;;) {
+        Path path;
+        LeafNode* leaf = t_->FindLeaf(key, &path);
+        if (leaf != leaf_) Flush();
+        if (PendingHas(key)) {
+          // Same key staged earlier in this run: publish it, then re-run
+          // this op as an update of it (last-wins, like the loop oracle).
+          Flush();
+          continue;
+        }
+        int prev = t_->FindInLeaf(leaf, key);
+        int slot = FreeSlotIn(leaf);
+        if (slot < 0) {
+          Flush();
+          return t_->Upsert(key, value);
+        }
+        if (prev >= 0) {
+          StageUpdate(leaf, slot, prev, key, value);
+          return false;
+        }
+        StageInsert(leaf, slot, key, value);
+        ++t_->size_;
+        return true;
+      }
+    }
+
+    /// Publishes the open run: one batched fence for all staged ranges,
+    /// the p-atomic bitmap flip, then the old-pointer resets for staged
+    /// updates under one more batched fence.
+    void Flush() {
+      if (leaf_ == nullptr) return;
+      pb_.Commit();
+      SCM_CRASH_POINT("fptreevar.multiput.before_bitmap");
+      scm::pmem::StorePersist(&leaf_->bitmap,
+                              (leaf_->bitmap & ~clear_) | set_);
+      SCM_CRASH_POINT("fptreevar.multiput.after_bitmap");
+      for (size_t i = 0; i < old_n_; ++i) {
+        scm::pmem::StorePPtr(&leaf_->kv[old_slots_[i]].pkey,
+                             scm::PPtr<KeyBlob>::Null());
+        pb_.Add(&leaf_->kv[old_slots_[i]].pkey);
+      }
+      pb_.Commit();
+      SCM_CRASH_POINT("fptreevar.multiput.old_reset");
+      leaf_ = nullptr;
+      set_ = 0;
+      clear_ = 0;
+      pend_n_ = 0;
+      old_n_ = 0;
+    }
+
+   private:
+    bool PendingHas(std::string_view key) const {
+      for (size_t i = 0; i < pend_n_; ++i) {
+        if (pend_keys_[i] == key) return true;
+      }
+      return false;
+    }
+
+    /// First slot free in both the durable bitmap and the staged set; -1
+    /// when the leaf (plus this run's stages) is full.
+    int FreeSlotIn(LeafNode* leaf) const {
+      uint64_t used = leaf->bitmap | set_;
+      if constexpr (kLeafCap < 64) used |= ~((uint64_t{1} << kLeafCap) - 1);
+      return used == ~uint64_t{0} ? -1 : __builtin_ctzll(~used);
+    }
+
+    void StageInsert(LeafNode* leaf, int slot, std::string_view key,
+                     const Value& value) {
+      Status s = AllocateKeyBlob(t_->pool_, &leaf->kv[slot].pkey, key);
+      assert(s.ok());
+      (void)s;
+      SCM_CRASH_POINT("fptreevar.insert.key_allocated");
+      scm::pmem::Store(&leaf->kv[slot].value, value);
+      scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+      Stage(leaf, slot, key);
+    }
+
+    void StageUpdate(LeafNode* leaf, int slot, int prev, std::string_view key,
+                     const Value& value) {
+      scm::pmem::StorePPtr(&leaf->kv[slot].pkey, leaf->kv[prev].pkey);
+      scm::pmem::Store(&leaf->kv[slot].value, value);
+      scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
+      Stage(leaf, slot, key);
+      clear_ |= uint64_t{1} << prev;
+      old_slots_[old_n_++] = static_cast<uint8_t>(prev);
+    }
+
+    void Stage(LeafNode* leaf, int slot, std::string_view key) {
+      leaf_ = leaf;
+      pb_.Add(&leaf->kv[slot]);
+      pb_.Add(&leaf->fingerprints[slot], 1);
+      set_ |= uint64_t{1} << slot;
+      pend_keys_[pend_n_++] = key;
+    }
+
+    FPTreeVar* t_;
+    LeafNode* leaf_ = nullptr;
+    uint64_t set_ = 0;    ///< staged slots, published with the next Flush
+    uint64_t clear_ = 0;  ///< previous slots of staged updates
+    // Views into the caller's batch; they outlive the writer by contract.
+    std::string_view pend_keys_[kLeafCap];
+    size_t pend_n_ = 0;
+    uint8_t old_slots_[kLeafCap];  ///< slots needing post-publish resets
+    size_t old_n_ = 0;
+    scm::pmem::PersistBatch pb_;
+  };
 
   LeafNode* SplitLeaf(LeafNode* leaf, std::string* split_key) {
     ++stats_.leaf_splits;

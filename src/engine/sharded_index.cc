@@ -209,13 +209,18 @@ class MergedVarCursor final : public index::VarScanCursor {
 };
 
 /// Aggregates shard snapshots: counters and top-level gauges sum; every
-/// shard gauge is re-exported under shard.<i>.<name>.
+/// shard gauge is re-exported under shard.<i>.<name>, and summed counters
+/// are additionally exported as engine-level totals (engine.total.<name>)
+/// so rollups survive downstream grouping on the first dot.
 template <typename Shards>
 obs::Snapshot AggregateStats(const Shards& shards) {
   obs::Snapshot agg;
   for (size_t i = 0; i < shards.size(); ++i) {
     obs::Snapshot s = shards[i].index->Stats();
-    for (const auto& [name, v] : s.counters) agg.counters[name] += v;
+    for (const auto& [name, v] : s.counters) {
+      agg.counters[name] += v;
+      agg.counters["engine.total." + name] += v;
+    }
     for (const auto& [name, v] : s.gauges) {
       agg.gauges[name] += v;
       agg.gauges["shard." + std::to_string(i) + "." + name] = v;
@@ -246,6 +251,36 @@ bool FanOutInvariants(Shards& shards, uint32_t threads, std::string* why) {
                    }
                  });
   return ok.load(std::memory_order_relaxed);
+}
+
+/// Batches at least this large fan sub-batches out over ParallelShards
+/// (when the engine is concurrent); below it, thread hand-off costs more
+/// than the per-shard work saves.
+constexpr size_t kParallelBatchMin = 128;
+
+/// Shared fan-out skeleton for the batch ops: one pass partitions input
+/// positions by shard (preserving input order, so duplicate-key semantics
+/// inside a shard match the loop oracle), then `run(shard, positions)`
+/// executes each shard's sub-batch — serially, or shard-parallel for big
+/// batches. Each shard is touched by exactly one worker, so even
+/// non-concurrent inners would be safe here; parallelism is still gated on
+/// `parallel` by the callers.
+template <typename ShardOfFn, typename RunFn>
+void FanOutBatch(size_t nshards, size_t n, bool parallel, uint32_t threads,
+                 const ShardOfFn& shard_of, const RunFn& run) {
+  std::vector<std::vector<uint32_t>> part(nshards);
+  for (auto& p : part) p.reserve(n / nshards + 1);
+  for (size_t i = 0; i < n; ++i) {
+    part[shard_of(i)].push_back(static_cast<uint32_t>(i));
+  }
+  if (parallel) {
+    ParallelShards(nshards, EffectiveThreads(threads, nshards),
+                   [&](size_t, size_t begin, size_t end) {
+                     for (size_t s = begin; s < end; ++s) run(s, part[s]);
+                   });
+  } else {
+    for (size_t s = 0; s < nshards; ++s) run(s, part[s]);
+  }
 }
 
 }  // namespace
@@ -290,6 +325,82 @@ bool ShardedKVIndex::Erase(uint64_t key) {
 }
 bool ShardedKVIndex::Upsert(uint64_t key, uint64_t value) {
   return shards_[ShardOf(key)].index->Upsert(key, value);
+}
+
+void ShardedKVIndex::MultiGet(const uint64_t* keys, size_t n,
+                              uint64_t* values, uint8_t* found) {
+  if (shards_.size() == 1) {
+    shards_[0].index->MultiGet(keys, n, values, found);
+    return;
+  }
+  const bool parallel = concurrent_ && n >= kParallelBatchMin;
+  FanOutBatch(
+      shards_.size(), n, parallel, threads_,
+      [&](size_t i) { return ShardOf(keys[i]); },
+      [&](size_t s, const std::vector<uint32_t>& pos) {
+        if (pos.empty()) return;
+        std::vector<uint64_t> k(pos.size()), v(pos.size());
+        std::vector<uint8_t> f(pos.size());
+        for (size_t j = 0; j < pos.size(); ++j) k[j] = keys[pos[j]];
+        shards_[s].index->MultiGet(k.data(), pos.size(), v.data(), f.data());
+        for (size_t j = 0; j < pos.size(); ++j) {
+          found[pos[j]] = f[j];
+          if (f[j]) values[pos[j]] = v[j];  // misses leave values untouched
+        }
+      });
+}
+
+void ShardedKVIndex::MultiPut(const uint64_t* keys, const uint64_t* values,
+                              size_t n, uint8_t* inserted) {
+  if (shards_.size() == 1) {
+    shards_[0].index->MultiPut(keys, values, n, inserted);
+    return;
+  }
+  const bool parallel = concurrent_ && n >= kParallelBatchMin;
+  FanOutBatch(
+      shards_.size(), n, parallel, threads_,
+      [&](size_t i) { return ShardOf(keys[i]); },
+      [&](size_t s, const std::vector<uint32_t>& pos) {
+        if (pos.empty()) return;
+        std::vector<uint64_t> k(pos.size()), v(pos.size());
+        std::vector<uint8_t> ins(pos.size());
+        for (size_t j = 0; j < pos.size(); ++j) {
+          k[j] = keys[pos[j]];
+          v[j] = values[pos[j]];
+        }
+        shards_[s].index->MultiPut(k.data(), v.data(), pos.size(),
+                                   ins.data());
+        if (inserted != nullptr) {
+          for (size_t j = 0; j < pos.size(); ++j) inserted[pos[j]] = ins[j];
+        }
+      });
+}
+
+void ShardedKVIndex::MultiUpsert(const uint64_t* keys,
+                                 const uint64_t* values, size_t n,
+                                 uint8_t* inserted) {
+  if (shards_.size() == 1) {
+    shards_[0].index->MultiUpsert(keys, values, n, inserted);
+    return;
+  }
+  const bool parallel = concurrent_ && n >= kParallelBatchMin;
+  FanOutBatch(
+      shards_.size(), n, parallel, threads_,
+      [&](size_t i) { return ShardOf(keys[i]); },
+      [&](size_t s, const std::vector<uint32_t>& pos) {
+        if (pos.empty()) return;
+        std::vector<uint64_t> k(pos.size()), v(pos.size());
+        std::vector<uint8_t> ins(pos.size());
+        for (size_t j = 0; j < pos.size(); ++j) {
+          k[j] = keys[pos[j]];
+          v[j] = values[pos[j]];
+        }
+        shards_[s].index->MultiUpsert(k.data(), v.data(), pos.size(),
+                                      ins.data());
+        if (inserted != nullptr) {
+          for (size_t j = 0; j < pos.size(); ++j) inserted[pos[j]] = ins[j];
+        }
+      });
 }
 
 std::unique_ptr<index::KVScanCursor> ShardedKVIndex::OpenScan(uint64_t start,
@@ -391,6 +502,86 @@ bool ShardedVarIndex::Erase(std::string_view key) {
 }
 bool ShardedVarIndex::Upsert(std::string_view key, uint64_t value) {
   return shards_[ShardOf(key)].index->Upsert(key, value);
+}
+
+void ShardedVarIndex::MultiGet(const std::string_view* keys, size_t n,
+                               uint64_t* values, uint8_t* found) {
+  if (shards_.size() == 1) {
+    shards_[0].index->MultiGet(keys, n, values, found);
+    return;
+  }
+  const bool parallel = concurrent_ && n >= kParallelBatchMin;
+  FanOutBatch(
+      shards_.size(), n, parallel, threads_,
+      [&](size_t i) { return ShardOf(keys[i]); },
+      [&](size_t s, const std::vector<uint32_t>& pos) {
+        if (pos.empty()) return;
+        std::vector<std::string_view> k(pos.size());
+        std::vector<uint64_t> v(pos.size());
+        std::vector<uint8_t> f(pos.size());
+        for (size_t j = 0; j < pos.size(); ++j) k[j] = keys[pos[j]];
+        shards_[s].index->MultiGet(k.data(), pos.size(), v.data(), f.data());
+        for (size_t j = 0; j < pos.size(); ++j) {
+          found[pos[j]] = f[j];
+          if (f[j]) values[pos[j]] = v[j];
+        }
+      });
+}
+
+void ShardedVarIndex::MultiPut(const std::string_view* keys,
+                               const uint64_t* values, size_t n,
+                               uint8_t* inserted) {
+  if (shards_.size() == 1) {
+    shards_[0].index->MultiPut(keys, values, n, inserted);
+    return;
+  }
+  const bool parallel = concurrent_ && n >= kParallelBatchMin;
+  FanOutBatch(
+      shards_.size(), n, parallel, threads_,
+      [&](size_t i) { return ShardOf(keys[i]); },
+      [&](size_t s, const std::vector<uint32_t>& pos) {
+        if (pos.empty()) return;
+        std::vector<std::string_view> k(pos.size());
+        std::vector<uint64_t> v(pos.size());
+        std::vector<uint8_t> ins(pos.size());
+        for (size_t j = 0; j < pos.size(); ++j) {
+          k[j] = keys[pos[j]];
+          v[j] = values[pos[j]];
+        }
+        shards_[s].index->MultiPut(k.data(), v.data(), pos.size(),
+                                   ins.data());
+        if (inserted != nullptr) {
+          for (size_t j = 0; j < pos.size(); ++j) inserted[pos[j]] = ins[j];
+        }
+      });
+}
+
+void ShardedVarIndex::MultiUpsert(const std::string_view* keys,
+                                  const uint64_t* values, size_t n,
+                                  uint8_t* inserted) {
+  if (shards_.size() == 1) {
+    shards_[0].index->MultiUpsert(keys, values, n, inserted);
+    return;
+  }
+  const bool parallel = concurrent_ && n >= kParallelBatchMin;
+  FanOutBatch(
+      shards_.size(), n, parallel, threads_,
+      [&](size_t i) { return ShardOf(keys[i]); },
+      [&](size_t s, const std::vector<uint32_t>& pos) {
+        if (pos.empty()) return;
+        std::vector<std::string_view> k(pos.size());
+        std::vector<uint64_t> v(pos.size());
+        std::vector<uint8_t> ins(pos.size());
+        for (size_t j = 0; j < pos.size(); ++j) {
+          k[j] = keys[pos[j]];
+          v[j] = values[pos[j]];
+        }
+        shards_[s].index->MultiUpsert(k.data(), v.data(), pos.size(),
+                                      ins.data());
+        if (inserted != nullptr) {
+          for (size_t j = 0; j < pos.size(); ++j) inserted[pos[j]] = ins[j];
+        }
+      });
 }
 
 std::unique_ptr<index::VarScanCursor> ShardedVarIndex::OpenScan(

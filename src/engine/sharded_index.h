@@ -69,6 +69,19 @@ class ShardedKVIndex final : public index::KVIndex {
   bool Update(uint64_t key, uint64_t value) override;
   bool Erase(uint64_t key) override;
   bool Upsert(uint64_t key, uint64_t value) override;
+  /// Batched ops (index API v3.1): one hash-partition pass splits the
+  /// batch into per-shard sub-batches — input order is preserved within
+  /// each shard, and a key always routes to one shard, so duplicate-key
+  /// semantics match the loop oracle — then each sub-batch runs through
+  /// the shard's native batch path, shard-parallel (ParallelShards) for
+  /// large batches over concurrent inners. Results reassemble in input
+  /// order.
+  void MultiGet(const uint64_t* keys, size_t n, uint64_t* values,
+                uint8_t* found) override;
+  void MultiPut(const uint64_t* keys, const uint64_t* values, size_t n,
+                uint8_t* inserted) override;
+  void MultiUpsert(const uint64_t* keys, const uint64_t* values, size_t n,
+                   uint8_t* inserted) override;
   /// Globally ordered scan: k-way merge over per-shard cursors.
   size_t RangeScan(uint64_t start, size_t limit,
                    const ScanCallback& cb) override;
@@ -116,6 +129,14 @@ class ShardedVarIndex final : public index::VarIndex {
   bool Update(std::string_view key, uint64_t value) override;
   bool Erase(std::string_view key) override;
   bool Upsert(std::string_view key, uint64_t value) override;
+  /// Batched ops: see ShardedKVIndex — hash-partition once, per-shard
+  /// sub-batches, input-order reassembly.
+  void MultiGet(const std::string_view* keys, size_t n, uint64_t* values,
+                uint8_t* found) override;
+  void MultiPut(const std::string_view* keys, const uint64_t* values,
+                size_t n, uint8_t* inserted) override;
+  void MultiUpsert(const std::string_view* keys, const uint64_t* values,
+                   size_t n, uint8_t* inserted) override;
   size_t RangeScan(std::string_view start, size_t limit,
                    const ScanCallback& cb) override;
   std::unique_ptr<index::VarScanCursor> OpenScan(std::string_view start,

@@ -107,6 +107,44 @@ class KVIndex {
       if (Update(key, value)) return false;
     }
   }
+  /// Batched point lookup (API v3.1): for each i in [0, n), sets found[i]
+  /// to 1/0 and, on a hit, values[i] to the mapped value (values[i] is
+  /// untouched on a miss). Semantically identical to a loop of Find() —
+  /// the batch oracle tests enforce bit-identical results — but native
+  /// implementations run interleaved prefetched descents that overlap the
+  /// per-key SCM misses. The default is that loop.
+  virtual void MultiGet(const uint64_t* keys, size_t n, uint64_t* values,
+                        uint8_t* found) {
+    for (size_t i = 0; i < n; ++i) {
+      found[i] = Find(keys[i], &values[i]) ? 1 : 0;
+    }
+  }
+  /// Batched Insert (API v3.1): inserted[i] = 1 iff keys[i] was newly
+  /// inserted (0 when it already existed, whose value is left unchanged).
+  /// Ops apply in input order; for duplicate keys within the batch the
+  /// first wins, exactly as in the loop of Insert(). `inserted` may be
+  /// nullptr when the caller does not care. Native implementations add
+  /// group persistence: per-leaf flush ranges coalesce and one trailing
+  /// fence covers each published run, with every leaf's bitmap flip
+  /// remaining the atomic publish point — a crash makes a strict input
+  /// prefix of the batch durable.
+  virtual void MultiPut(const uint64_t* keys, const uint64_t* values,
+                        size_t n, uint8_t* inserted) {
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = Insert(keys[i], values[i]);
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+  }
+  /// Batched Upsert (API v3.1): like MultiPut but existing keys are
+  /// updated; inserted[i] reports insert-vs-replace. Duplicate keys within
+  /// the batch apply in input order (last value wins), as in the loop.
+  virtual void MultiUpsert(const uint64_t* keys, const uint64_t* values,
+                           size_t n, uint8_t* inserted) {
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = Upsert(keys[i], values[i]);
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+  }
   /// Ordered visit of up to `limit` pairs with key >= start; returns the
   /// number of pairs delivered. Unordered indexes return 0.
   virtual size_t RangeScan(uint64_t start, size_t limit,
@@ -158,6 +196,28 @@ class VarIndex {
     for (;;) {
       if (Insert(key, value)) return true;
       if (Update(key, value)) return false;
+    }
+  }
+  /// Batched ops; see the KVIndex v3.1 contracts.
+  virtual void MultiGet(const std::string_view* keys, size_t n,
+                        uint64_t* values, uint8_t* found) {
+    for (size_t i = 0; i < n; ++i) {
+      found[i] = Find(keys[i], &values[i]) ? 1 : 0;
+    }
+  }
+  virtual void MultiPut(const std::string_view* keys, const uint64_t* values,
+                        size_t n, uint8_t* inserted) {
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = Insert(keys[i], values[i]);
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+  }
+  virtual void MultiUpsert(const std::string_view* keys,
+                           const uint64_t* values, size_t n,
+                           uint8_t* inserted) {
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = Upsert(keys[i], values[i]);
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
     }
   }
   virtual size_t RangeScan(std::string_view start, size_t limit,
@@ -446,6 +506,27 @@ class LockedAdapter {
     std::unique_lock<std::shared_mutex> l(mu_);
     return UpsertLocked(key, value);
   }
+  /// Batch ops take the lock ONCE for the whole batch (the interface
+  /// default would lock per element) and route to the tree's native batch
+  /// methods where they exist.
+  void MultiGet(const KeyArg* keys, size_t n, uint64_t* values,
+                uint8_t* found) {
+    if (!lock_) return MultiGetLocked(keys, n, values, found);
+    std::shared_lock<std::shared_mutex> l(mu_);
+    MultiGetLocked(keys, n, values, found);
+  }
+  void MultiPut(const KeyArg* keys, const uint64_t* values, size_t n,
+                uint8_t* inserted) {
+    if (!lock_) return MultiPutLocked(keys, values, n, inserted);
+    std::unique_lock<std::shared_mutex> l(mu_);
+    MultiPutLocked(keys, values, n, inserted);
+  }
+  void MultiUpsert(const KeyArg* keys, const uint64_t* values, size_t n,
+                   uint8_t* inserted) {
+    if (!lock_) return MultiUpsertLocked(keys, values, n, inserted);
+    std::unique_lock<std::shared_mutex> l(mu_);
+    MultiUpsertLocked(keys, values, n, inserted);
+  }
   template <typename Callback>
   size_t RangeScan(KeyArg start, size_t limit, const Callback& cb) {
     if (!lock_) return ScanInto(tree_, start, limit, cb);
@@ -457,6 +538,41 @@ class LockedAdapter {
   const TreeT& tree() const { return tree_; }
 
  private:
+  void MultiGetLocked(const KeyArg* keys, size_t n, uint64_t* values,
+                      uint8_t* found) {
+    if constexpr (requires { tree_.MultiGet(keys, n, values, found); }) {
+      tree_.MultiGet(keys, n, values, found);  // interleaved descents
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        found[i] = tree_.Find(keys[i], &values[i]) ? 1 : 0;
+      }
+    }
+  }
+  void MultiPutLocked(const KeyArg* keys, const uint64_t* values, size_t n,
+                      uint8_t* inserted) {
+    if constexpr (requires { tree_.MultiPut(keys, values, n, inserted); }) {
+      tree_.MultiPut(keys, values, n, inserted);  // group persistence
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        bool ins = tree_.Insert(keys[i], values[i]);
+        if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+      }
+    }
+  }
+  void MultiUpsertLocked(const KeyArg* keys, const uint64_t* values,
+                         size_t n, uint8_t* inserted) {
+    if constexpr (requires {
+                    tree_.MultiUpsert(keys, values, n, inserted);
+                  }) {
+      tree_.MultiUpsert(keys, values, n, inserted);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        bool ins = UpsertLocked(keys[i], values[i]);
+        if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+      }
+    }
+  }
+
   bool UpsertLocked(KeyArg key, uint64_t value) {
     if constexpr (requires { tree_.Upsert(key, value); }) {
       return tree_.Upsert(key, value);  // native single-descent path
@@ -494,6 +610,18 @@ class FixedAdapter : public KVIndex {
   bool Erase(uint64_t key) override { return impl_.Erase(key); }
   bool Upsert(uint64_t key, uint64_t value) override {
     return impl_.Upsert(key, value);
+  }
+  void MultiGet(const uint64_t* keys, size_t n, uint64_t* values,
+                uint8_t* found) override {
+    impl_.MultiGet(keys, n, values, found);
+  }
+  void MultiPut(const uint64_t* keys, const uint64_t* values, size_t n,
+                uint8_t* inserted) override {
+    impl_.MultiPut(keys, values, n, inserted);
+  }
+  void MultiUpsert(const uint64_t* keys, const uint64_t* values, size_t n,
+                   uint8_t* inserted) override {
+    impl_.MultiUpsert(keys, values, n, inserted);
   }
   size_t RangeScan(uint64_t start, size_t limit,
                    const ScanCallback& cb) override {
@@ -551,6 +679,18 @@ class VarAdapter : public VarIndex {
   bool Upsert(std::string_view key, uint64_t value) override {
     return impl_.Upsert(key, value);
   }
+  void MultiGet(const std::string_view* keys, size_t n, uint64_t* values,
+                uint8_t* found) override {
+    impl_.MultiGet(keys, n, values, found);
+  }
+  void MultiPut(const std::string_view* keys, const uint64_t* values,
+                size_t n, uint8_t* inserted) override {
+    impl_.MultiPut(keys, values, n, inserted);
+  }
+  void MultiUpsert(const std::string_view* keys, const uint64_t* values,
+                   size_t n, uint8_t* inserted) override {
+    impl_.MultiUpsert(keys, values, n, inserted);
+  }
   size_t RangeScan(std::string_view start, size_t limit,
                    const ScanCallback& cb) override {
     return impl_.RangeScan(start, limit, cb);
@@ -603,6 +743,32 @@ class ConcurrentAdapter : public Base {
       return tree_.Upsert(key, value);  // native single-descent path
     } else {
       return Base::Upsert(key, value);  // interface retry loop
+    }
+  }
+  void MultiGet(const KeyArg* keys, size_t n, uint64_t* values,
+                uint8_t* found) override {
+    if constexpr (requires { tree_.MultiGet(keys, n, values, found); }) {
+      tree_.MultiGet(keys, n, values, found);
+    } else {
+      Base::MultiGet(keys, n, values, found);
+    }
+  }
+  void MultiPut(const KeyArg* keys, const uint64_t* values, size_t n,
+                uint8_t* inserted) override {
+    if constexpr (requires { tree_.MultiPut(keys, values, n, inserted); }) {
+      tree_.MultiPut(keys, values, n, inserted);
+    } else {
+      Base::MultiPut(keys, values, n, inserted);
+    }
+  }
+  void MultiUpsert(const KeyArg* keys, const uint64_t* values, size_t n,
+                   uint8_t* inserted) override {
+    if constexpr (requires {
+                    tree_.MultiUpsert(keys, values, n, inserted);
+                  }) {
+      tree_.MultiUpsert(keys, values, n, inserted);
+    } else {
+      Base::MultiUpsert(keys, values, n, inserted);
     }
   }
   size_t RangeScan(KeyArg start, size_t limit,

@@ -39,6 +39,7 @@ Status Client::Connect(const std::string& host, uint16_t port) {
   inbuf_.clear();
   in_pos_ = 0;
   queued_ = received_ = 0;
+  pending_ops_.clear();
   return Status::OK();
 }
 
@@ -87,12 +88,17 @@ Status Client::FillBuffer(bool blocking, bool* progress) {
 Status Client::DecodeOne(Response* resp, bool* got) {
   *got = false;
   size_t consumed = 0;
-  DecodeStatus st = DecodeResponse(inbuf_.data() + in_pos_,
-                                   inbuf_.size() - in_pos_, resp, &consumed);
+  // Responses arrive strictly in request order; decode with the op kind we
+  // queued (batch layouts are ambiguous under size-based guessing).
+  Op expected = pending_ops_.empty() ? Op::kGet : pending_ops_.front();
+  DecodeStatus st =
+      DecodeResponseFor(expected, inbuf_.data() + in_pos_,
+                        inbuf_.size() - in_pos_, resp, &consumed);
   if (st == DecodeStatus::kError) {
     return Status::IOError("malformed response frame");
   }
   if (st == DecodeStatus::kOk) {
+    if (!pending_ops_.empty()) pending_ops_.pop_front();
     in_pos_ += consumed;
     ++received_;
     *got = true;
@@ -188,6 +194,41 @@ Status Client::Scan(std::string_view start, uint32_t limit,
     return Status::IOError("SCAN rejected by server");
   }
   *rows = std::move(resp.scan);
+  return Status::OK();
+}
+
+Status Client::Mget(const std::string_view* keys, size_t count,
+                    uint64_t* values, uint8_t* found) {
+  QueueMget(keys, static_cast<uint32_t>(count));
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status != RespStatus::kOk || resp.multi_found.size() != count) {
+    return Status::IOError("MGET rejected by server");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    found[i] = resp.multi_found[i];
+    if (found[i]) values[i] = resp.multi_values[i];
+  }
+  return Status::OK();
+}
+
+Status Client::Mput(const std::string_view* keys, const uint64_t* values,
+                    size_t count, uint8_t* inserted) {
+  QueueMput(keys, values, static_cast<uint32_t>(count));
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.status != RespStatus::kOk || resp.multi_found.size() != count) {
+    return Status::IOError("MPUT rejected by server");
+  }
+  if (inserted != nullptr) {
+    for (size_t i = 0; i < count; ++i) inserted[i] = resp.multi_found[i];
+  }
   return Status::OK();
 }
 

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "net/protocol.h"
 #include "util/status.h"
@@ -36,26 +38,42 @@ class Client {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  /// Queue a request frame into the send buffer (no I/O).
+  /// Queue a request frame into the send buffer (no I/O). The op kind is
+  /// remembered in a FIFO so responses — which arrive strictly in request
+  /// order — decode with the right layout (batch responses are ambiguous
+  /// under size-based guessing; see protocol.h).
   void QueuePut(std::string_view key, uint64_t value) {
     EncodePut(&outbuf_, key, value);
-    ++queued_;
+    Queued(Op::kPut);
   }
   void QueueGet(std::string_view key) {
     EncodeGet(&outbuf_, key);
-    ++queued_;
+    Queued(Op::kGet);
   }
   void QueueDel(std::string_view key) {
     EncodeDel(&outbuf_, key);
-    ++queued_;
+    Queued(Op::kDel);
   }
   void QueueScan(std::string_view start, uint32_t limit) {
     EncodeScan(&outbuf_, start, limit);
-    ++queued_;
+    Queued(Op::kScan);
   }
   void QueueUpsert(std::string_view key, uint64_t value) {
     EncodeUpsert(&outbuf_, key, value);
-    ++queued_;
+    Queued(Op::kUpsert);
+  }
+  /// One MGET frame for `count` keys; the response carries one
+  /// (found, value) pair per key in request order.
+  void QueueMget(const std::string_view* keys, uint32_t count) {
+    EncodeMget(&outbuf_, keys, count);
+    Queued(Op::kMget);
+  }
+  /// One MPUT frame (per-key upsert semantics); the response carries one
+  /// inserted flag per key in request order.
+  void QueueMput(const std::string_view* keys, const uint64_t* values,
+                 uint32_t count) {
+    EncodeMput(&outbuf_, keys, values, count);
+    Queued(Op::kMput);
   }
 
   /// Requests queued but whose responses have not been read yet.
@@ -82,8 +100,19 @@ class Client {
   Status Del(std::string_view key, bool* found);
   Status Scan(std::string_view start, uint32_t limit,
               std::vector<std::pair<std::string, uint64_t>>* rows);
+  /// Batched GET: values[i]/found[i] filled per key (values[i] untouched
+  /// on a miss), one round trip for the whole batch.
+  Status Mget(const std::string_view* keys, size_t count, uint64_t* values,
+              uint8_t* found);
+  /// Batched upsert; inserted may be nullptr when the caller doesn't care.
+  Status Mput(const std::string_view* keys, const uint64_t* values,
+              size_t count, uint8_t* inserted);
 
  private:
+  void Queued(Op op) {
+    pending_ops_.push_back(op);
+    ++queued_;
+  }
   Status FillBuffer(bool blocking, bool* progress);
   Status DecodeOne(Response* resp, bool* got);
 
@@ -93,6 +122,7 @@ class Client {
   size_t in_pos_ = 0;
   uint64_t queued_ = 0;
   uint64_t received_ = 0;
+  std::deque<Op> pending_ops_;  // op kinds awaiting their response frame
 };
 
 }  // namespace net

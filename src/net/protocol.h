@@ -13,15 +13,26 @@
 //     SCAN (4): [u32 klen][start key][u32 limit]     ordered, ascending
 //     UPSERT(5):[u32 klen][key bytes][u64 value]     like PUT, but the OK
 //               response reports whether the key was inserted or replaced
+//     MGET (6): [u32 count] count*([u32 klen][key bytes])
+//     MPUT (7): [u32 count] count*([u32 klen][key bytes][u64 value])
+//               upsert semantics per key (like PUT), one frame per batch;
+//               count <= kMaxBatchOps and the frame must fit kMaxFrameBody
 //   Response: [u32 body_len][u8 status][payload...]
 //     status: 0 OK, 1 NOT_FOUND, 2 BAD_REQUEST
 //     GET OK:  [u64 value]
 //     UPSERT OK: [u64 inserted]   (1 = newly inserted, 0 = replaced)
 //     SCAN OK: [u32 count] then count * ([u32 klen][key bytes][u64 value])
+//     MGET OK: [u32 count] then count * ([u8 found][u64 value]) in request
+//              key order (value is 0 when found = 0)
+//     MPUT OK: [u32 count] then count * [u8 inserted] in request key order
 //
 // Decoders are incremental (kNeedMore on a partial frame) and defensive:
 // any frame violating the body/key/limit bounds decodes to kError and the
-// server answers BAD_REQUEST, then closes the connection.
+// server answers BAD_REQUEST, then closes the connection. Batch response
+// layouts collide with the size-based guessing DecodeResponse uses, so
+// pipelined clients that mix ops use DecodeResponseFor with the expected
+// op kind (responses arrive strictly in request order, so a FIFO of queued
+// op kinds is enough — see net::Client).
 
 #pragma once
 
@@ -41,6 +52,8 @@ enum class Op : uint8_t {
   kDel = 3,
   kScan = 4,
   kUpsert = 5,
+  kMget = 6,
+  kMput = 7,
 };
 
 enum class RespStatus : uint8_t {
@@ -55,21 +68,29 @@ constexpr size_t kMaxFrameBody = size_t{1} << 20;
 constexpr size_t kMaxKeyLen = 4096;
 /// Server-side cap on a single SCAN's row count.
 constexpr uint32_t kMaxScanLimit = 4096;
+/// Cap on one MGET/MPUT batch's key count.
+constexpr uint32_t kMaxBatchOps = 4096;
 
-/// Parsed request; `key` views into the caller's receive buffer and is only
-/// valid until that buffer is mutated.
+/// Parsed request; `key` and the `keys` entries view into the caller's
+/// receive buffer and are only valid until that buffer is mutated.
 struct Request {
   Op op = Op::kGet;
   std::string_view key;
   uint64_t value = 0;      // PUT payload
   uint32_t scan_limit = 0; // SCAN row cap (pre-clamped to kMaxScanLimit)
+  std::vector<std::string_view> keys;  // MGET/MPUT batch keys
+  std::vector<uint64_t> values;        // MPUT batch values
 };
 
-/// Parsed response (client side). `scan` is only filled for SCAN.
+/// Parsed response (client side). `scan` is only filled for SCAN;
+/// `multi_found`/`multi_values` only for MGET (found flag + value per key,
+/// request order) and `multi_found` doubles as inserted flags for MPUT.
 struct Response {
   RespStatus status = RespStatus::kOk;
   uint64_t value = 0;
   std::vector<std::pair<std::string, uint64_t>> scan;
+  std::vector<uint8_t> multi_found;
+  std::vector<uint64_t> multi_values;
 };
 
 enum class DecodeStatus {
@@ -146,6 +167,33 @@ inline void EncodeScan(std::string* out, std::string_view start,
   PutU32(out, limit);
 }
 
+inline void EncodeMget(std::string* out, const std::string_view* keys,
+                       uint32_t count) {
+  size_t body = 1 + 4;
+  for (uint32_t i = 0; i < count; ++i) body += 4 + keys[i].size();
+  PutU32(out, static_cast<uint32_t>(body));
+  out->push_back(static_cast<char>(Op::kMget));
+  PutU32(out, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PutU32(out, static_cast<uint32_t>(keys[i].size()));
+    out->append(keys[i].data(), keys[i].size());
+  }
+}
+
+inline void EncodeMput(std::string* out, const std::string_view* keys,
+                       const uint64_t* values, uint32_t count) {
+  size_t body = 1 + 4;
+  for (uint32_t i = 0; i < count; ++i) body += 4 + keys[i].size() + 8;
+  PutU32(out, static_cast<uint32_t>(body));
+  out->push_back(static_cast<char>(Op::kMput));
+  PutU32(out, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PutU32(out, static_cast<uint32_t>(keys[i].size()));
+    out->append(keys[i].data(), keys[i].size());
+    PutU64(out, values[i]);
+  }
+}
+
 // --- request decoding (server) ---------------------------------------------
 
 inline DecodeStatus DecodeRequest(const char* data, size_t len, Request* req,
@@ -156,6 +204,35 @@ inline DecodeStatus DecodeRequest(const char* data, size_t len, Request* req,
   if (len < 4 + body) return DecodeStatus::kNeedMore;
   const char* p = data + 4;
   uint8_t op = static_cast<uint8_t>(*p);
+  // Batch frames carry a count, not a klen, after the op byte.
+  if (op == static_cast<uint8_t>(Op::kMget) ||
+      op == static_cast<uint8_t>(Op::kMput)) {
+    const bool mput = op == static_cast<uint8_t>(Op::kMput);
+    const char* q = p + 1;
+    const char* end = p + body;
+    if (q + 4 > end) return DecodeStatus::kError;
+    uint32_t count = LoadU32(q);
+    q += 4;
+    if (count > kMaxBatchOps) return DecodeStatus::kError;
+    req->op = mput ? Op::kMput : Op::kMget;
+    req->keys.clear();
+    req->values.clear();
+    req->keys.reserve(count);
+    if (mput) req->values.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (q + 4 > end) return DecodeStatus::kError;
+      uint32_t bklen = LoadU32(q);
+      if (bklen > kMaxKeyLen) return DecodeStatus::kError;
+      size_t need = 4 + static_cast<size_t>(bklen) + (mput ? 8 : 0);
+      if (static_cast<size_t>(end - q) < need) return DecodeStatus::kError;
+      req->keys.emplace_back(q + 4, bklen);
+      if (mput) req->values.push_back(LoadU64(q + 4 + bklen));
+      q += need;
+    }
+    if (q != end) return DecodeStatus::kError;
+    *consumed = 4 + body;
+    return DecodeStatus::kOk;
+  }
   uint32_t klen = LoadU32(p + 1);
   if (klen > kMaxKeyLen || 1 + 4 + static_cast<size_t>(klen) > body) {
     return DecodeStatus::kError;
@@ -219,6 +296,30 @@ inline void EncodeScanResponse(
   }
 }
 
+/// MGET response: one (found, value) pair per requested key, request order.
+/// A missed key encodes value 0.
+inline void EncodeMgetResponse(std::string* out, const uint8_t* found,
+                               const uint64_t* values, uint32_t count) {
+  PutU32(out, static_cast<uint32_t>(1 + 4 + size_t{count} * 9));
+  out->push_back(static_cast<char>(RespStatus::kOk));
+  PutU32(out, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(static_cast<char>(found[i] ? 1 : 0));
+    PutU64(out, found[i] ? values[i] : 0);
+  }
+}
+
+/// MPUT response: one inserted flag per key, request order.
+inline void EncodeMputResponse(std::string* out, const uint8_t* inserted,
+                               uint32_t count) {
+  PutU32(out, static_cast<uint32_t>(1 + 4 + size_t{count}));
+  out->push_back(static_cast<char>(RespStatus::kOk));
+  PutU32(out, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(static_cast<char>(inserted[i] ? 1 : 0));
+  }
+}
+
 // --- response decoding (client) --------------------------------------------
 
 inline DecodeStatus DecodeResponse(const char* data, size_t len,
@@ -247,6 +348,85 @@ inline DecodeStatus DecodeResponse(const char* data, size_t len,
       resp->scan.emplace_back(std::string(q + 4, klen),
                               LoadU64(q + 4 + klen));
       q += 4 + klen + 8;
+    }
+  }
+  *consumed = 4 + body;
+  return DecodeStatus::kOk;
+}
+
+/// Op-aware response decoder. MGET and MPUT response bodies are ambiguous
+/// against SCAN under the size-based guessing above, so a client that can
+/// pipeline batch ops must decode with the op it queued (responses arrive
+/// strictly in request order; net::Client keeps a FIFO of queued ops).
+inline DecodeStatus DecodeResponseFor(Op expected, const char* data,
+                                      size_t len, Response* resp,
+                                      size_t* consumed) {
+  if (len < 4) return DecodeStatus::kNeedMore;
+  uint32_t body = LoadU32(data);
+  if (body < 1 || body > kMaxFrameBody) return DecodeStatus::kError;
+  if (len < 4 + body) return DecodeStatus::kNeedMore;
+  const char* p = data + 4;
+  resp->status = static_cast<RespStatus>(*p);
+  resp->value = 0;
+  resp->scan.clear();
+  resp->multi_found.clear();
+  resp->multi_values.clear();
+  const char* q = p + 1;
+  const char* end = p + body;
+  switch (expected) {
+    case Op::kGet:
+    case Op::kUpsert:
+      if (body == 1 + 8) resp->value = LoadU64(q);
+      break;
+    case Op::kPut:
+    case Op::kDel:
+      break;  // status-only
+    case Op::kScan: {
+      if (body < 1 + 4) break;  // e.g. BAD_REQUEST
+      uint32_t count = LoadU32(q);
+      q += 4;
+      resp->scan.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (q + 4 > end) return DecodeStatus::kError;
+        uint32_t klen = LoadU32(q);
+        if (klen > kMaxKeyLen ||
+            static_cast<size_t>(end - q) < 4 + size_t{klen} + 8) {
+          return DecodeStatus::kError;
+        }
+        resp->scan.emplace_back(std::string(q + 4, klen),
+                                LoadU64(q + 4 + klen));
+        q += 4 + klen + 8;
+      }
+      break;
+    }
+    case Op::kMget: {
+      if (body < 1 + 4) break;
+      uint32_t count = LoadU32(q);
+      q += 4;
+      if (count > kMaxBatchOps ||
+          static_cast<size_t>(end - q) != size_t{count} * 9) {
+        return DecodeStatus::kError;
+      }
+      resp->multi_found.reserve(count);
+      resp->multi_values.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        resp->multi_found.push_back(static_cast<uint8_t>(*q));
+        resp->multi_values.push_back(LoadU64(q + 1));
+        q += 9;
+      }
+      break;
+    }
+    case Op::kMput: {
+      if (body < 1 + 4) break;
+      uint32_t count = LoadU32(q);
+      q += 4;
+      if (count > kMaxBatchOps ||
+          static_cast<size_t>(end - q) != size_t{count}) {
+        return DecodeStatus::kError;
+      }
+      resp->multi_found.assign(reinterpret_cast<const uint8_t*>(q),
+                               reinterpret_cast<const uint8_t*>(q) + count);
+      break;
     }
   }
   *consumed = 4 + body;

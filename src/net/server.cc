@@ -54,11 +54,15 @@ struct NetMetrics {
   obs::Counter* ops_del;
   obs::Counter* ops_scan;
   obs::Counter* ops_upsert;
+  obs::Counter* ops_mget;
+  obs::Counter* ops_mput;
   obs::LatencyHistogram* lat_get;
   obs::LatencyHistogram* lat_put;
   obs::LatencyHistogram* lat_del;
   obs::LatencyHistogram* lat_scan;
   obs::LatencyHistogram* lat_upsert;
+  obs::LatencyHistogram* lat_mget;
+  obs::LatencyHistogram* lat_mput;
   obs::LatencyHistogram* queue_depth;
 
   static const NetMetrics& Get() {
@@ -77,11 +81,15 @@ struct NetMetrics {
       n.ops_del = r.GetCounter("net.ops.del");
       n.ops_scan = r.GetCounter("net.ops.scan");
       n.ops_upsert = r.GetCounter("net.ops.upsert");
+      n.ops_mget = r.GetCounter("net.ops.mget");
+      n.ops_mput = r.GetCounter("net.ops.mput");
       n.lat_get = r.GetHistogram("latency.net.get");
       n.lat_put = r.GetHistogram("latency.net.put");
       n.lat_del = r.GetHistogram("latency.net.del");
       n.lat_scan = r.GetHistogram("latency.net.scan");
       n.lat_upsert = r.GetHistogram("latency.net.upsert");
+      n.lat_mget = r.GetHistogram("latency.net.mget");
+      n.lat_mput = r.GetHistogram("latency.net.mput");
       n.queue_depth = r.GetHistogram("net.queue_depth");
       return n;
     }();
@@ -345,6 +353,33 @@ void Server::WorkerMain(uint32_t id) {
         EncodeScanResponse(&c->out, rows);
         m.ops_scan->Add(1);
         if (sample) m.lat_scan->Record(NowNanos() - t0);
+        break;
+      }
+      case Op::kMget: {
+        // One hop into the index's native batch path (interleaved
+        // prefetched descents / per-shard fan-out happen below us).
+        const uint32_t cnt = static_cast<uint32_t>(req.keys.size());
+        std::vector<uint64_t> vals(cnt, 0);
+        std::vector<uint8_t> found(cnt, 0);
+        if (cnt > 0) {
+          index_->MultiGet(req.keys.data(), cnt, vals.data(), found.data());
+        }
+        EncodeMgetResponse(&c->out, found.data(), vals.data(), cnt);
+        m.ops_mget->Add(1);
+        if (sample) m.lat_mget->Record(NowNanos() - t0);
+        break;
+      }
+      case Op::kMput: {
+        // Per-key upsert semantics (like PUT), grouped persistence below.
+        const uint32_t cnt = static_cast<uint32_t>(req.keys.size());
+        std::vector<uint8_t> ins(cnt, 0);
+        if (cnt > 0) {
+          index_->MultiUpsert(req.keys.data(), req.values.data(), cnt,
+                              ins.data());
+        }
+        EncodeMputResponse(&c->out, ins.data(), cnt);
+        m.ops_mput->Add(1);
+        if (sample) m.lat_mput->Record(NowNanos() - t0);
         break;
       }
     }

@@ -192,6 +192,7 @@ Snapshot MetricsRegistry::TakeSnapshot() const {
   scm::StatsCounters s = scm::AggregatedStats();
   snap.counters["scm.read_misses"] = s.scm_read_misses;
   snap.counters["scm.read_hits"] = s.scm_read_hits;
+  snap.counters["scm.prefetched_lines"] = s.prefetched_lines;
   snap.counters["scm.flushed_lines"] = s.flushed_lines;
   snap.counters["scm.fences"] = s.fences;
   snap.counters["scm.allocations"] = s.allocations;

@@ -22,6 +22,7 @@
 
 #include "scm/layout.h"
 #include "scm/stats.h"
+#include "util/simd.h"
 
 namespace fptree {
 namespace scm {
@@ -159,6 +160,65 @@ inline void ReadScm(const void* addr, size_t n) {
   }
   if (misses != 0) LatencyModel::ChargeReadMiss(misses);
 }
+
+/// Modeled memory-level parallelism of a batched descent: how many SCM line
+/// fills the staged prefetches keep in flight at once. Real hardware bounds
+/// this with its line-fill buffers (~10 on the paper's machines); the
+/// emulation charges ceil(misses / kMemoryLevelParallelism) serial miss
+/// latencies for a ReadBatch instead of `misses`.
+constexpr size_t kMemoryLevelParallelism = 8;
+
+/// \brief A group of SCM reads staged together (batch pipeline, DESIGN.md
+/// §11). Add() collects ranges; Issue() prefetches every collected line,
+/// installs the modeled-cache tags, and charges the latency model under the
+/// kMemoryLevelParallelism overlap model — after which the per-key ReadScm
+/// calls that resolve the batch hit the modeled cache and cost nothing.
+///
+/// Under FPTREE_NO_PREFETCH both calls are complete no-ops (no tags, no
+/// charge, no hardware prefetch): the resolving ReadScm calls then pay the
+/// exact serial cost of the unbatched path, so results are identical and
+/// only the timing differs.
+class ReadBatch {
+ public:
+#if defined(FPTREE_NO_PREFETCH)
+  void Add(const void* addr, size_t n) {
+    (void)addr;
+    (void)n;
+  }
+  void Issue() {}
+#else
+  void Add(const void* addr, size_t n) {
+    if (n == 0) return;
+    const char* p = static_cast<const char*>(addr);
+    const char* end = p + n;
+    for (const char* line = p; line < end;
+         line += kCacheLineSize - (reinterpret_cast<uintptr_t>(line) %
+                                   kCacheLineSize)) {
+      simd::PrefetchLines(line, 1);
+      if (ThreadScmCache::ReadTouch(line)) {
+        ++misses_;
+        ++ThreadStats().scm_read_misses;
+        ++ThreadStats().prefetched_lines;
+      } else {
+        ++ThreadStats().scm_read_hits;
+      }
+    }
+  }
+
+  /// Charges all collected misses as overlapping line fills and resets the
+  /// batch for reuse.
+  void Issue() {
+    if (misses_ == 0) return;
+    size_t rounds = (misses_ + kMemoryLevelParallelism - 1) /
+                    kMemoryLevelParallelism;
+    LatencyModel::ChargeReadMiss(rounds);
+    misses_ = 0;
+  }
+
+ private:
+  size_t misses_ = 0;
+#endif
+};
 
 }  // namespace scm
 }  // namespace fptree

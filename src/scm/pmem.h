@@ -59,6 +59,52 @@ inline void Fence() {
   std::atomic_thread_fence(std::memory_order_seq_cst);
 }
 
+/// \brief Group persistence (batch pipeline, DESIGN.md §11): coalesces the
+/// flush ranges of several stores and issues ONE trailing fence for all of
+/// them at Commit(), where the unbatched path would fence per Persist().
+///
+/// Add() performs steps 1 and 2 of Persist() immediately — crash-simulator
+/// retirement and modeled-cache eviction — which is safe before the fence
+/// because every range covers either unpublished slots (invisible until the
+/// owning leaf's bitmap flips, which happens after Commit()) or data whose
+/// early durability is harmless. Commit() then issues the fence, the flush
+/// stall for every collected line, and the flushed-line accounting, exactly
+/// once. Flush *work* (ChargeFlush) stays proportional to the lines
+/// touched; only the fence count drops — which is what the scm.fences
+/// counter measures in bench_batch_ops.
+class PersistBatch {
+ public:
+  void Add(const void* addr, size_t n) {
+    if (n == 0) return;
+    if (CrashSim::enabled()) CrashSim::NotifyPersist(addr, n);
+    size_t lines = CacheLinesSpanned(addr, n);
+    const char* p = static_cast<const char*>(addr);
+    for (size_t i = 0; i < lines; ++i) {
+      ThreadScmCache::Evict(p + i * kCacheLineSize);
+    }
+    lines_ += lines;
+  }
+
+  template <typename T>
+  void Add(const T* obj) {
+    Add(static_cast<const void*>(obj), sizeof(T));
+  }
+
+  /// One fence + one flush stall for everything Add()ed since the last
+  /// Commit(); resets the batch for reuse. No-op on an empty batch.
+  void Commit() {
+    if (lines_ == 0) return;
+    ThreadStats().flushed_lines += lines_;
+    ++ThreadStats().fences;
+    std::atomic_thread_fence(std::memory_order_release);
+    LatencyModel::ChargeFlush(lines_);
+    lines_ = 0;
+  }
+
+ private:
+  size_t lines_ = 0;
+};
+
 namespace internal {
 
 template <typename T>

@@ -23,6 +23,7 @@ namespace scm {
 struct StatsCounters {
   uint64_t scm_read_misses = 0;   ///< cache-line reads charged SCM latency
   uint64_t scm_read_hits = 0;     ///< cache-line reads served by the model LLC
+  uint64_t prefetched_lines = 0;  ///< missed lines staged by ReadBatch
   uint64_t flushed_lines = 0;     ///< cache lines flushed by Persist()
   uint64_t fences = 0;            ///< memory fences issued
   uint64_t allocations = 0;       ///< persistent allocations
@@ -31,6 +32,7 @@ struct StatsCounters {
   void Add(const StatsCounters& o) {
     scm_read_misses += o.scm_read_misses;
     scm_read_hits += o.scm_read_hits;
+    prefetched_lines += o.prefetched_lines;
     flushed_lines += o.flushed_lines;
     fences += o.fences;
     allocations += o.allocations;

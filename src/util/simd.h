@@ -205,5 +205,30 @@ inline size_t LowerBoundU64Scalar(const uint64_t* a, size_t n, uint64_t key) {
   return static_cast<size_t>(base - a) + CountLessScalar(base, n, key);
 }
 
+// ---------------------------------------------------------------------------
+// PrefetchLines: software prefetch over a byte range.
+
+/// Issues a read prefetch for every 64-byte cache line overlapping
+/// [addr, addr + bytes). Purely advisory — never faults, never changes
+/// results — so it is safe on racy pointers as long as the memory stays
+/// mapped (pool memory is never unmapped). Batched descents stage the next
+/// level's nodes and the target leaves' fingerprint lines through this
+/// before resolving them one by one. Defining FPTREE_NO_PREFETCH (CMake
+/// option of the same name, mirroring FPTREE_NO_SIMD) compiles it to a
+/// no-op; the batch oracle tests run under both modes so the prefetched
+/// path can never diverge from the scalar one.
+inline void PrefetchLines(const void* addr, size_t bytes) {
+#if defined(FPTREE_NO_PREFETCH)
+  (void)addr;
+  (void)bytes;
+#else
+  const char* p = static_cast<const char*>(addr);
+  const char* end = p + bytes;
+  for (; p < end; p += 64 - (reinterpret_cast<uintptr_t>(p) & 63)) {
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+  }
+#endif
+}
+
 }  // namespace simd
 }  // namespace fptree

@@ -1,0 +1,534 @@
+// Batched execution pipeline (index API v3.1): oracle differentials — a
+// MultiGet/MultiPut/MultiUpsert trace must be bit-identical, in both
+// returned results and final tree state, to the same trace run as a loop
+// of single ops — across every registered fixed and var index (including
+// sharded engine specs), plus duplicate-keys-in-batch semantics, batch
+// size edge cases (empty / 1 / leaf-refill boundary / 4096), and a
+// crash-fuzz arm that kills the process mid-MultiPut and checks per-key
+// atomicity: a prefix of the batch is durable and no leaf is torn.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fptree.h"
+#include "core/fptree_var.h"
+#include "crash_test_util.h"
+#include "engine/sharded_index.h"
+#include "index/kv_index.h"
+#include "scm/crash.h"
+#include "scm/latency.h"
+#include "util/random.h"
+
+namespace fptree {
+namespace index {
+namespace {
+
+using engine::MakeFixedIndexFromSpec;
+using engine::MakeVarIndexFromSpec;
+using engine::ShardedOptions;
+using scm::CrashException;
+using scm::CrashSim;
+using scm::Pool;
+using testutil::FuzzSeeds;
+using testutil::TestPath;
+
+// Batch sizes for the differential rounds: empty, single, a couple of
+// leaf-refill-boundary sizes, and a large batch (the wire-protocol cap).
+const size_t kBatchSizes[] = {0, 1, 7, 64, 200, 4096};
+
+/// One index under test plus the pool(s) backing it. Plain registered
+/// names run over a single pool through the checked factory (locked, so
+/// the adapters' batch overrides are exercised); `sharded(...)` specs own
+/// their per-shard pool files via the spec factory.
+template <typename IndexT>
+struct Instance {
+  std::string path;
+  size_t shard_files = 0;
+  std::unique_ptr<Pool> pool;
+  std::unique_ptr<IndexT> index;
+
+  ~Instance() {
+    index.reset();
+    pool.reset();
+    if (shard_files == 0) {
+      Pool::Destroy(path).ok();
+    } else {
+      for (size_t i = 0; i < shard_files; ++i) {
+        Pool::Destroy(path + "." + std::to_string(i)).ok();
+      }
+    }
+  }
+};
+
+void OpenFixed(const std::string& spec, const std::string& tag,
+               uint64_t base_pool_id, Instance<KVIndex>* out) {
+  out->path = TestPath("batch_" + tag);
+  std::string inner;
+  size_t shards = 0;
+  Status err;
+  if (engine::ParseShardedSpec(spec, &inner, &shards, &err)) {
+    ASSERT_TRUE(err.ok()) << err.ToString();
+    out->shard_files = shards;
+    for (size_t i = 0; i < shards; ++i) {
+      Pool::Destroy(out->path + "." + std::to_string(i)).ok();
+    }
+    ShardedOptions opts;
+    opts.base_pool_id = base_pool_id;
+    opts.path_prefix = out->path;
+    opts.shard_bytes = 64u << 20;
+    opts.locked = true;
+    opts.randomize_base = false;
+    ASSERT_TRUE(MakeFixedIndexFromSpec(spec, opts, &out->index).ok());
+    return;
+  }
+  Pool::Destroy(out->path).ok();
+  Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(out->path, base_pool_id, opts, &out->pool).ok());
+  ASSERT_TRUE(
+      MakeFixedIndexChecked(spec, out->pool.get(), /*locked=*/true,
+                            &out->index)
+          .ok());
+}
+
+void OpenVar(const std::string& spec, const std::string& tag,
+             uint64_t base_pool_id, Instance<VarIndex>* out) {
+  out->path = TestPath("batch_" + tag);
+  std::string inner;
+  size_t shards = 0;
+  Status err;
+  if (engine::ParseShardedSpec(spec, &inner, &shards, &err)) {
+    ASSERT_TRUE(err.ok()) << err.ToString();
+    out->shard_files = shards;
+    for (size_t i = 0; i < shards; ++i) {
+      Pool::Destroy(out->path + "." + std::to_string(i)).ok();
+    }
+    ShardedOptions opts;
+    opts.base_pool_id = base_pool_id;
+    opts.path_prefix = out->path;
+    opts.shard_bytes = 64u << 20;
+    opts.locked = true;
+    opts.randomize_base = false;
+    ASSERT_TRUE(MakeVarIndexFromSpec(spec, opts, &out->index).ok());
+    return;
+  }
+  Pool::Destroy(out->path).ok();
+  Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(out->path, base_pool_id, opts, &out->pool).ok());
+  ASSERT_TRUE(MakeVarIndexChecked(spec, out->pool.get(), /*locked=*/true,
+                                  &out->index)
+                  .ok());
+}
+
+std::string PaddedKey(uint64_t i) { return testutil::VarKey(i); }
+
+/// Runs the same randomized batch trace through `batch` (Multi* ops) and
+/// `oracle` (single-op loops) and requires bit-identical results at every
+/// step and identical final state. The keyspace is small relative to the
+/// batch sizes so batches routinely carry duplicates, hitting the
+/// first-wins (insert) / last-wins (upsert) in-batch semantics.
+void FixedDifferential(KVIndex* batch, KVIndex* oracle, uint64_t seed) {
+  Random64 rng(seed);
+  uint64_t tick = 0;
+  for (size_t n : kBatchSizes) {
+    std::vector<uint64_t> keys(n), vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = rng.Uniform(800);
+      vals[i] = ++tick;
+    }
+    // MultiPut vs Insert loop (first-wins on in-batch duplicates).
+    std::vector<uint8_t> ins_b(n, 0xee), ins_o(n, 0xee);
+    batch->MultiPut(keys.data(), vals.data(), n, ins_b.data());
+    for (size_t i = 0; i < n; ++i) {
+      ins_o[i] = oracle->Insert(keys[i], vals[i]) ? 1 : 0;
+    }
+    ASSERT_EQ(ins_b, ins_o) << "MultiPut inserted flags diverge, n=" << n;
+
+    // MultiUpsert vs Upsert loop (last-wins on in-batch duplicates).
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = rng.Uniform(800);
+      vals[i] = ++tick;
+    }
+    batch->MultiUpsert(keys.data(), vals.data(), n, ins_b.data());
+    for (size_t i = 0; i < n; ++i) {
+      ins_o[i] = oracle->Upsert(keys[i], vals[i]) ? 1 : 0;
+    }
+    ASSERT_EQ(ins_b, ins_o) << "MultiUpsert inserted flags diverge, n=" << n;
+
+    // MultiGet vs Find loop; values[i] must be untouched on a miss.
+    for (size_t i = 0; i < n; ++i) keys[i] = rng.Uniform(1200);
+    std::vector<uint64_t> got_b(n, 0xdead), got_o(n, 0xdead);
+    std::vector<uint8_t> found_b(n, 0xee), found_o(n, 0xee);
+    batch->MultiGet(keys.data(), n, got_b.data(), found_b.data());
+    for (size_t i = 0; i < n; ++i) {
+      found_o[i] = oracle->Find(keys[i], &got_o[i]) ? 1 : 0;
+      if (!found_o[i]) got_o[i] = 0xdead;  // oracle may not touch either
+    }
+    ASSERT_EQ(found_b, found_o) << "MultiGet found flags diverge, n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      if (found_b[i]) {
+        ASSERT_EQ(got_b[i], got_o[i]) << "value diverges at " << i;
+      } else {
+        ASSERT_EQ(got_b[i], 0xdeadu) << "miss clobbered values[" << i << "]";
+      }
+    }
+  }
+  // Final state: identical size and identical ordered contents.
+  ASSERT_EQ(batch->Size(), oracle->Size());
+  std::vector<std::pair<uint64_t, uint64_t>> rows_b, rows_o;
+  batch->RangeScan(0, SIZE_MAX, [&](uint64_t k, uint64_t v) {
+    rows_b.emplace_back(k, v);
+    return true;
+  });
+  oracle->RangeScan(0, SIZE_MAX, [&](uint64_t k, uint64_t v) {
+    rows_o.emplace_back(k, v);
+    return true;
+  });
+  ASSERT_EQ(rows_b, rows_o);
+  std::string why;
+  ASSERT_TRUE(batch->CheckInvariants(&why)) << why;
+}
+
+void VarDifferential(VarIndex* batch, VarIndex* oracle, uint64_t seed) {
+  Random64 rng(seed);
+  uint64_t tick = 0;
+  for (size_t n : kBatchSizes) {
+    std::vector<std::string> storage(n);
+    std::vector<std::string_view> keys(n);
+    std::vector<uint64_t> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      storage[i] = PaddedKey(rng.Uniform(800));
+      keys[i] = storage[i];
+      vals[i] = ++tick;
+    }
+    std::vector<uint8_t> ins_b(n, 0xee), ins_o(n, 0xee);
+    batch->MultiPut(keys.data(), vals.data(), n, ins_b.data());
+    for (size_t i = 0; i < n; ++i) {
+      ins_o[i] = oracle->Insert(keys[i], vals[i]) ? 1 : 0;
+    }
+    ASSERT_EQ(ins_b, ins_o) << "MultiPut inserted flags diverge, n=" << n;
+
+    for (size_t i = 0; i < n; ++i) {
+      storage[i] = PaddedKey(rng.Uniform(800));
+      keys[i] = storage[i];
+      vals[i] = ++tick;
+    }
+    batch->MultiUpsert(keys.data(), vals.data(), n, ins_b.data());
+    for (size_t i = 0; i < n; ++i) {
+      ins_o[i] = oracle->Upsert(keys[i], vals[i]) ? 1 : 0;
+    }
+    ASSERT_EQ(ins_b, ins_o) << "MultiUpsert inserted flags diverge, n=" << n;
+
+    for (size_t i = 0; i < n; ++i) {
+      storage[i] = PaddedKey(rng.Uniform(1200));
+      keys[i] = storage[i];
+    }
+    std::vector<uint64_t> got_b(n, 0xdead), got_o(n, 0xdead);
+    std::vector<uint8_t> found_b(n, 0xee), found_o(n, 0xee);
+    batch->MultiGet(keys.data(), n, got_b.data(), found_b.data());
+    for (size_t i = 0; i < n; ++i) {
+      found_o[i] = oracle->Find(keys[i], &got_o[i]) ? 1 : 0;
+      if (!found_o[i]) got_o[i] = 0xdead;
+    }
+    ASSERT_EQ(found_b, found_o) << "MultiGet found flags diverge, n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      if (found_b[i]) {
+        ASSERT_EQ(got_b[i], got_o[i]) << "value diverges at " << i;
+      } else {
+        ASSERT_EQ(got_b[i], 0xdeadu) << "miss clobbered values[" << i << "]";
+      }
+    }
+  }
+  ASSERT_EQ(batch->Size(), oracle->Size());
+  std::vector<std::pair<std::string, uint64_t>> rows_b, rows_o;
+  batch->RangeScan("", SIZE_MAX, [&](std::string_view k, uint64_t v) {
+    rows_b.emplace_back(std::string(k), v);
+    return true;
+  });
+  oracle->RangeScan("", SIZE_MAX, [&](std::string_view k, uint64_t v) {
+    rows_o.emplace_back(std::string(k), v);
+    return true;
+  });
+  ASSERT_EQ(rows_b, rows_o);
+  std::string why;
+  ASSERT_TRUE(batch->CheckInvariants(&why)) << why;
+}
+
+TEST(BatchOps, EveryFixedIndexMatchesLoopOracle) {
+  scm::LatencyModel::Disable();
+  std::vector<std::string> specs = ListFixedIndexNames();
+  specs.push_back("sharded(fptree,3)");
+  specs.push_back("sharded(fptree-c,2)");
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    Instance<KVIndex> batch, oracle;
+    OpenFixed(spec, "fb", /*base_pool_id=*/1, &batch);
+    OpenFixed(spec, "fo", /*base_pool_id=*/8, &oracle);
+    ASSERT_NE(batch.index, nullptr);
+    ASSERT_NE(oracle.index, nullptr);
+    FixedDifferential(batch.index.get(), oracle.index.get(), /*seed=*/7);
+  }
+}
+
+TEST(BatchOps, EveryVarIndexMatchesLoopOracle) {
+  scm::LatencyModel::Disable();
+  std::vector<std::string> specs = ListVarIndexNames();
+  specs.push_back("sharded(fptree-var,3)");
+  specs.push_back("sharded(fptree-c-var,2)");
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    Instance<VarIndex> batch, oracle;
+    OpenVar(spec, "vb", /*base_pool_id=*/1, &batch);
+    OpenVar(spec, "vo", /*base_pool_id=*/8, &oracle);
+    ASSERT_NE(batch.index, nullptr);
+    ASSERT_NE(oracle.index, nullptr);
+    VarDifferential(batch.index.get(), oracle.index.get(), /*seed=*/11);
+  }
+}
+
+// In-batch duplicate semantics, pinned explicitly: MultiPut is first-wins
+// (later duplicates report not-inserted), MultiUpsert is last-wins.
+TEST(BatchOps, DuplicateKeysInBatch) {
+  scm::LatencyModel::Disable();
+  Instance<KVIndex> inst;
+  OpenFixed("fptree", "dup", /*base_pool_id=*/1, &inst);
+  uint64_t keys[] = {5, 5, 9, 5, 9};
+  uint64_t vals[] = {10, 20, 30, 40, 50};
+  uint8_t ins[5];
+  inst.index->MultiPut(keys, vals, 5, ins);
+  EXPECT_EQ(ins[0], 1);
+  EXPECT_EQ(ins[1], 0);  // duplicate of keys[0]: first wins
+  EXPECT_EQ(ins[2], 1);
+  EXPECT_EQ(ins[3], 0);
+  EXPECT_EQ(ins[4], 0);
+  uint64_t v = 0;
+  ASSERT_TRUE(inst.index->Find(5, &v));
+  EXPECT_EQ(v, 10u);
+  ASSERT_TRUE(inst.index->Find(9, &v));
+  EXPECT_EQ(v, 30u);
+
+  inst.index->MultiUpsert(keys, vals, 5, ins);
+  EXPECT_EQ(ins[0], 0);  // both keys exist: every upsert is a replace
+  EXPECT_EQ(ins[1], 0);
+  ASSERT_TRUE(inst.index->Find(5, &v));
+  EXPECT_EQ(v, 40u);  // last duplicate wins
+  ASSERT_TRUE(inst.index->Find(9, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_EQ(inst.index->Size(), 2u);
+}
+
+// 4096 ascending keys in one MultiPut crosses many leaf refills/splits;
+// everything must land and read back through one MultiGet.
+TEST(BatchOps, LargeAscendingBatchCrossesLeafBoundaries) {
+  scm::LatencyModel::Disable();
+  Instance<KVIndex> inst;
+  OpenFixed("fptree", "big", /*base_pool_id=*/1, &inst);
+  constexpr size_t kN = 4096;
+  std::vector<uint64_t> keys(kN), vals(kN), got(kN, 0);
+  std::vector<uint8_t> ins(kN, 0), found(kN, 0);
+  for (size_t i = 0; i < kN; ++i) {
+    keys[i] = i * 3;
+    vals[i] = i + 1;
+  }
+  // inserted == nullptr must be tolerated; verify through MultiGet.
+  inst.index->MultiPut(keys.data(), vals.data(), kN, nullptr);
+  inst.index->MultiGet(keys.data(), kN, got.data(), found.data());
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(found[i], 1) << i;
+    ASSERT_EQ(got[i], vals[i]) << i;
+  }
+  EXPECT_EQ(inst.index->Size(), kN);
+  std::string why;
+  ASSERT_TRUE(inst.index->CheckInvariants(&why)) << why;
+}
+
+// The sharded engine's Stats() must roll per-shard counters up into
+// engine-level totals (engine.total.*), not only per-shard gauges.
+TEST(BatchOps, ShardedStatsAggregateEngineTotals) {
+  scm::LatencyModel::Disable();
+  Instance<KVIndex> inst;
+  OpenFixed("sharded(fptree,3)", "stats", /*base_pool_id=*/1, &inst);
+  std::vector<uint64_t> keys(64), vals(64), got(64);
+  std::vector<uint8_t> found(64);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = i * 17;
+    vals[i] = i;
+  }
+  inst.index->MultiPut(keys.data(), vals.data(), keys.size(), nullptr);
+  inst.index->MultiGet(keys.data(), keys.size(), got.data(), found.data());
+  obs::Snapshot snap = inst.index->Stats();
+  size_t totals = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name.rfind("engine.total.", 0) == 0) {
+      ++totals;
+      const std::string bare = name.substr(strlen("engine.total."));
+      auto it = snap.counters.find(bare);
+      ASSERT_NE(it, snap.counters.end()) << name;
+      EXPECT_EQ(it->second, v) << name;
+    }
+  }
+  EXPECT_GT(totals, 0u) << "no engine.total.* counters in sharded Stats()";
+}
+
+// --- crash-fuzz arm: die mid-MultiPut, recover, check batch durability ---
+//
+// Single-threaded trees promise strict input-prefix durability: after a
+// crash anywhere inside MultiPut, the durable subset of the batch's new
+// keys is exactly keys[0..p) for some p. (Concurrent trees promise per-key
+// atomicity instead; their windows are exercised by the existing
+// concurrent crash-fuzz suite's invariant machinery.)
+class BatchCrashTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchCrashTest, FixedPrefixDurableAcrossMultiPutCrash) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("bcrash" + std::to_string(GetParam()));
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  using Tree = core::FPTree<uint64_t, 8, 8, true, 4>;
+  auto tree = std::make_unique<Tree>(pool.get());
+
+  Random64 rng(GetParam());
+  // Preload a spread so batch runs break across existing leaves.
+  for (uint64_t k = 0; k < 64; ++k) tree->Insert(k * 10, k);
+
+  const char* const kPoints[] = {"fptree.multiput.before_bitmap",
+                                 "fptree.multiput.after_bitmap",
+                                 "fptree.insert.before_bitmap",
+                                 "fptree.split.copied"};
+  int crashes = 0;
+  for (int round = 0; round < 30; ++round) {
+    constexpr size_t kN = 48;
+    uint64_t keys[kN], vals[kN];
+    uint64_t base = 10000 + static_cast<uint64_t>(round) * 1000;
+    for (size_t i = 0; i < kN; ++i) {
+      keys[i] = base + i * 3;  // fresh ascending keys, multiple leaves
+      vals[i] = base + i;
+    }
+    CrashSim::Enable();
+    CrashSim::ArmCrashPoint(kPoints[rng.Uniform(4)],
+                            1 + static_cast<int>(rng.Uniform(4)));
+    if (GetParam() % 2 == 0) CrashSim::SetTearMode(true);
+    bool crashed = false;
+    try {
+      tree->MultiPut(keys, vals, kN, nullptr);
+    } catch (const CrashException&) {
+      crashed = true;
+    }
+    CrashSim::Disable();
+    if (crashed) {
+      ++crashes;
+      CrashSim::SimulateCrash();
+      CrashSim::SetTearMode(false);
+      tree.reset();
+      pool.reset();
+      ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
+      tree = std::make_unique<Tree>(pool.get());
+    } else {
+      CrashSim::SetTearMode(false);
+    }
+    // Strict prefix: once a batch key is missing, every later one is too;
+    // the ones that survived carry their exact values (no torn leaf).
+    bool seen_missing = false;
+    for (size_t i = 0; i < kN; ++i) {
+      uint64_t v = 0;
+      if (tree->Find(keys[i], &v)) {
+        ASSERT_FALSE(seen_missing)
+            << "non-prefix durability: keys[" << i << "] present after a "
+            << "missing batch key (round " << round << ")";
+        ASSERT_EQ(v, vals[i]) << "torn value at keys[" << i << "]";
+      } else {
+        seen_missing = true;
+      }
+    }
+    std::string why;
+    ASSERT_TRUE(tree->CheckInvariants(&why)) << why;
+  }
+  EXPECT_GT(crashes, 0) << "fuzz run should actually crash";
+  tree.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+TEST_P(BatchCrashTest, VarPrefixDurableAcrossMultiPutCrash) {
+  scm::LatencyModel::Disable();
+  std::string path = TestPath("vbcrash" + std::to_string(GetParam()));
+  Pool::Destroy(path).ok();
+  Pool::Options opts{.size = 128u << 20, .randomize_base = true};
+  std::unique_ptr<Pool> pool;
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  using Tree = core::FPTreeVar<uint64_t, 8, 8>;
+  auto tree = std::make_unique<Tree>(pool.get());
+
+  Random64 rng(GetParam() * 13 + 3);
+  for (uint64_t k = 0; k < 64; ++k) tree->Insert(PaddedKey(k * 10), k);
+
+  const char* const kPoints[] = {"fptreevar.multiput.before_bitmap",
+                                 "fptreevar.multiput.after_bitmap",
+                                 "fptreevar.multiput.old_reset",
+                                 "fptreevar.insert.key_allocated"};
+  int crashes = 0;
+  for (int round = 0; round < 20; ++round) {
+    constexpr size_t kN = 32;
+    std::vector<std::string> storage(kN);
+    std::vector<std::string_view> keys(kN);
+    std::vector<uint64_t> vals(kN);
+    uint64_t base = 10000 + static_cast<uint64_t>(round) * 1000;
+    for (size_t i = 0; i < kN; ++i) {
+      storage[i] = PaddedKey(base + i * 3);
+      keys[i] = storage[i];
+      vals[i] = base + i;
+    }
+    CrashSim::Enable();
+    CrashSim::ArmCrashPoint(kPoints[rng.Uniform(4)],
+                            1 + static_cast<int>(rng.Uniform(4)));
+    bool crashed = false;
+    try {
+      tree->MultiPut(keys.data(), vals.data(), kN, nullptr);
+    } catch (const CrashException&) {
+      crashed = true;
+    }
+    CrashSim::Disable();
+    if (crashed) {
+      ++crashes;
+      CrashSim::SimulateCrash();
+      tree.reset();
+      pool.reset();
+      ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
+      // Attach-time recovery also sweeps key-blob leaks from the crash
+      // windows between blob allocation and bitmap publish.
+      tree = std::make_unique<Tree>(pool.get());
+    }
+    bool seen_missing = false;
+    for (size_t i = 0; i < kN; ++i) {
+      uint64_t v = 0;
+      if (tree->Find(keys[i], &v)) {
+        ASSERT_FALSE(seen_missing)
+            << "non-prefix durability at round " << round << " key " << i;
+        ASSERT_EQ(v, vals[i]) << "torn value at keys[" << i << "]";
+      } else {
+        seen_missing = true;
+      }
+    }
+    std::string why;
+    ASSERT_TRUE(tree->CheckInvariants(&why)) << why;
+  }
+  EXPECT_GT(crashes, 0) << "fuzz run should actually crash";
+  tree.reset();
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchCrashTest,
+                         ::testing::Range(uint64_t{1}, 1 + FuzzSeeds(4)));
+
+}  // namespace
+}  // namespace index
+}  // namespace fptree
