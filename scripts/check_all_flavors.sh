@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under every supported build flavor
+# in one invocation:
+#
+#   default      — the production configuration
+#   sanitize     — FPTREE_SANITIZE=ON   (ASan+UBSan)
+#   nosimd       — FPTREE_NO_SIMD=ON    (scalar fingerprint probes)
+#   noprefetch   — FPTREE_NO_PREFETCH=ON
+#
+# Each flavor configures into its own build directory (build-flavor-<name>)
+# so the flavors never contaminate each other and incremental reruns stay
+# cheap. Any flavor failing configure, build, or ctest fails the script;
+# a summary table prints at the end either way.
+#
+# Usage:
+#   scripts/check_all_flavors.sh              # full tier-1 suite per flavor
+#   scripts/check_all_flavors.sh -L fault     # one suite per flavor
+#   FLAVORS="default sanitize" scripts/check_all_flavors.sh
+#
+# Extra arguments are passed through to ctest verbatim.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+FLAVORS="${FLAVORS:-default sanitize nosimd noprefetch}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake_flags_for() {
+  case "$1" in
+    default)    echo "" ;;
+    sanitize)   echo "-DFPTREE_SANITIZE=ON" ;;
+    nosimd)     echo "-DFPTREE_NO_SIMD=ON" ;;
+    noprefetch) echo "-DFPTREE_NO_PREFETCH=ON" ;;
+    *) echo "unknown flavor: $1" >&2; exit 2 ;;
+  esac
+}
+
+declare -A RESULT
+overall=0
+
+for flavor in $FLAVORS; do
+  dir="build-flavor-${flavor}"
+  flags="$(cmake_flags_for "$flavor")"
+  mkdir -p "$dir"
+  echo "==== [$flavor] configure ($dir) ===="
+  # shellcheck disable=SC2086
+  if ! cmake -B "$dir" -S . $flags > "$dir/configure.log" 2>&1; then
+    echo "[$flavor] CONFIGURE FAILED — see $dir/configure.log"
+    RESULT[$flavor]="configure-failed"; overall=1; continue
+  fi
+  echo "==== [$flavor] build ===="
+  if ! cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1; then
+    echo "[$flavor] BUILD FAILED — see $dir/build.log"
+    tail -30 "$dir/build.log"
+    RESULT[$flavor]="build-failed"; overall=1; continue
+  fi
+  echo "==== [$flavor] ctest $* ===="
+  if (cd "$dir" && ctest --output-on-failure -j "$JOBS" "$@"); then
+    RESULT[$flavor]="ok"
+  else
+    RESULT[$flavor]="tests-failed"; overall=1
+  fi
+done
+
+echo
+echo "==== flavor summary ===="
+for flavor in $FLAVORS; do
+  printf '  %-12s %s\n' "$flavor" "${RESULT[$flavor]:-skipped}"
+done
+exit $overall

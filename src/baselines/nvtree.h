@@ -99,33 +99,56 @@ class NVTree {
   }
 
   bool Insert(Key key, const Value& value) {
+    bool inserted = false;
+    return InsertChecked(key, value, &inserted).ok() && inserted;
+  }
+
+  /// Status-propagating insert (DESIGN.md §12): ResourceExhausted means the
+  /// pool could not hold the two split halves; nothing was applied.
+  Status InsertChecked(Key key, const Value& value, bool* inserted) {
+    *inserted = false;
     Value existing;
     LPNode* lp = nullptr;
     uint32_t lp_slot = 0;
     LeafNode* leaf = DescendToLeaf(key, &lp, &lp_slot);
-    if (SearchLeaf(leaf, leaf->n, key, &existing) == 1) return false;
+    if (SearchLeaf(leaf, leaf->n, key, &existing) == 1) return Status::OK();
     if (leaf->n == kLeafCap) {
       leaf = SplitLeaf(leaf, lp, lp_slot, key);
-      if (leaf == nullptr) return false;  // pool exhausted
+      if (leaf == nullptr) return NoSpace();
     }
     Append(leaf, key, value, /*negated=*/false);
     ++size_;
-    return true;
+    *inserted = true;
+    return Status::OK();
   }
 
   bool Update(Key key, const Value& value) {
+    bool updated = false;
+    return UpdateChecked(key, value, &updated).ok() && updated;
+  }
+
+  /// Status-propagating update; on ResourceExhausted the old version stays
+  /// live and readable.
+  Status UpdateChecked(Key key, const Value& value, bool* updated) {
+    *updated = false;
     Value existing;
     LPNode* lp = nullptr;
     uint32_t lp_slot = 0;
     LeafNode* leaf = DescendToLeaf(key, &lp, &lp_slot);
-    if (SearchLeaf(leaf, leaf->n, key, &existing) != 1) return false;
+    if (SearchLeaf(leaf, leaf->n, key, &existing) != 1) return Status::OK();
     if (leaf->n == kLeafCap) {
       leaf = SplitLeaf(leaf, lp, lp_slot, key);
-      if (leaf == nullptr) return false;
+      if (leaf == nullptr) return NoSpace();
     }
     // An update is just a newer appended version.
     Append(leaf, key, value, /*negated=*/false);
-    return true;
+    *updated = true;
+    return Status::OK();
+  }
+
+  static Status NoSpace() {
+    return Status::ResourceExhausted(
+        "nvtree: pool out of space (split allocation failed)");
   }
 
   bool Erase(Key key) {
@@ -378,7 +401,6 @@ class NVTree {
   /// Triggers a full inner rebuild if the LP overflows. Returns the leaf
   /// that should receive `key`.
   LeafNode* SplitLeaf(LeafNode* leaf, LPNode* lp, uint32_t lp_slot, Key key) {
-    ++stats_.leaf_splits;
     // Gather the live set.
     std::vector<std::pair<Key, Value>> live;
     CollectLive(leaf, leaf->n, 0, &live);
@@ -390,8 +412,15 @@ class NVTree {
     SCM_CRASH_POINT("nvtree.split.logged");
     if (!pool_->allocator()->Allocate(&log->p_new1, sizeof(LeafNode)).ok() ||
         !pool_->allocator()->Allocate(&log->p_new2, sizeof(LeafNode)).ok()) {
+      // Roll the armed log back so the next split (or recovery) starts
+      // idle; a delivered first half would otherwise leak when the log's
+      // p_new1 slot is overwritten by that split's own allocation.
+      if (!log->p_new1.IsNull()) pool_->allocator()->Deallocate(&log->p_new1);
+      scm::pmem::StorePPtr(&log->p_old, scm::PPtr<LeafNode>::Null());
+      scm::pmem::Persist(log, sizeof(*log));
       return nullptr;
     }
+    ++stats_.leaf_splits;
     SCM_CRASH_POINT("nvtree.split.allocated");
     LeafNode* n1 = log->p_new1.get();
     LeafNode* n2 = log->p_new2.get();
@@ -685,12 +714,27 @@ class ConcurrentNVTree : private NVTree<Value, kLeafCap, kLPCap, kInnerCap> {
   }
 
   bool Insert(Key key, const Value& value) {
-    return Write(key, &value, WriteKind::kInsert);
+    bool applied = false;
+    return WriteChecked(key, &value, WriteKind::kInsert, &applied).ok() &&
+           applied;
   }
   bool Update(Key key, const Value& value) {
-    return Write(key, &value, WriteKind::kUpdate);
+    bool applied = false;
+    return WriteChecked(key, &value, WriteKind::kUpdate, &applied).ok() &&
+           applied;
   }
-  bool Erase(Key key) { return Write(key, nullptr, WriteKind::kErase); }
+  bool Erase(Key key) {
+    bool applied = false;
+    return WriteChecked(key, nullptr, WriteKind::kErase, &applied).ok() &&
+           applied;
+  }
+
+  Status InsertChecked(Key key, const Value& value, bool* inserted) {
+    return WriteChecked(key, &value, WriteKind::kInsert, inserted);
+  }
+  Status UpdateChecked(Key key, const Value& value, bool* updated) {
+    return WriteChecked(key, &value, WriteKind::kUpdate, updated);
+  }
 
   size_t Size() const {
     std::shared_lock<std::shared_mutex> l(latch_);
@@ -723,7 +767,9 @@ class ConcurrentNVTree : private NVTree<Value, kLeafCap, kLPCap, kInnerCap> {
  private:
   enum class WriteKind { kInsert, kUpdate, kErase };
 
-  bool Write(Key key, const Value* value, WriteKind kind) {
+  Status WriteChecked(Key key, const Value* value, WriteKind kind,
+                      bool* applied) {
+    *applied = false;
     for (;;) {
       {
         std::shared_lock<std::shared_mutex> l(latch_);
@@ -738,7 +784,7 @@ class ConcurrentNVTree : private NVTree<Value, kLeafCap, kLPCap, kInnerCap> {
         bool want_exists = kind != WriteKind::kInsert;
         if (exists != want_exists) {
           UnlockLeaf(leaf);
-          return false;
+          return Status::OK();
         }
         if (n < kLeafCap) {
           this->Append(leaf, key, value == nullptr ? Value{} : *value,
@@ -749,7 +795,8 @@ class ConcurrentNVTree : private NVTree<Value, kLeafCap, kLPCap, kInnerCap> {
           } else if (kind == WriteKind::kErase) {
             approx_size_.fetch_sub(1, std::memory_order_relaxed);
           }
-          return true;
+          *applied = true;
+          return Status::OK();
         }
         UnlockLeaf(leaf);
       }
@@ -760,7 +807,9 @@ class ConcurrentNVTree : private NVTree<Value, kLeafCap, kLPCap, kInnerCap> {
         uint32_t slot = 0;
         LeafNode* leaf = this->DescendToLeaf(key, &lp, &slot);
         if (leaf->n == kLeafCap) {
-          if (this->SplitLeaf(leaf, lp, slot, key) == nullptr) return false;
+          if (this->SplitLeaf(leaf, lp, slot, key) == nullptr) {
+            return Base::NoSpace();
+          }
         }
       }
     }

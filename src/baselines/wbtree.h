@@ -112,29 +112,50 @@ class WBTree {
   }
 
   bool Insert(Key key, const Value& value) {
+    bool inserted = false;
+    return InsertChecked(key, value, &inserted).ok() && inserted;
+  }
+
+  /// Status-propagating insert (DESIGN.md §12): ResourceExhausted means an
+  /// allocation in the split cascade failed; the cascade was unwound and
+  /// the tree is unchanged (completed sibling splits excepted — those are
+  /// independent consistent transformations).
+  Status InsertChecked(Key key, const Value& value, bool* inserted) {
+    *inserted = false;
     DescentPath path;
     LeafNode* leaf = DescendToLeaf(key, &path, /*raise_bound=*/true);
-    if (SearchLeaf(leaf, key) >= 0) return false;
+    if (SearchLeaf(leaf, key) >= 0) return Status::OK();
     // The post-split re-descent can land on a sibling leaf that is itself
     // full (when the key range was re-routed by ancestor fix-ups), so split
     // until the owning leaf has room.
     while (NodeCount(&leaf->hdr) == kLeafCap) {
       leaf = SplitLeafAndRoute(leaf, key, &path);
+      if (leaf == nullptr) return NoSpace();
     }
     InsertIntoLeaf(leaf, key, value);
     ++size_;
-    return true;
+    *inserted = true;
+    return Status::OK();
   }
 
   bool Update(Key key, const Value& value) {
+    bool updated = false;
+    return UpdateChecked(key, value, &updated).ok() && updated;
+  }
+
+  /// Status-propagating update; on ResourceExhausted the old value remains
+  /// intact and readable.
+  Status UpdateChecked(Key key, const Value& value, bool* updated) {
+    *updated = false;
     LeafNode* leaf = DescendToLeaf(key, nullptr);
     int prev = SearchLeaf(leaf, key);
-    if (prev < 0) return false;
+    if (prev < 0) return Status::OK();
     if (NodeCount(&leaf->hdr) == kLeafCap) {
       // Out-of-place update needs one free slot; split if full.
       DescentPath path;
       leaf = DescendToLeaf(key, &path);
       leaf = SplitLeafAndRoute(leaf, key, &path);
+      if (leaf == nullptr) return NoSpace();
       prev = SearchLeaf(leaf, key);
       assert(prev >= 0);
     }
@@ -151,7 +172,13 @@ class WBTree {
     scm::pmem::StorePersist(&leaf->hdr.bitmap, bmp);
     SCM_CRASH_POINT("wbtree.update.committed");
     RebuildLeafSlots(leaf);
-    return true;
+    *updated = true;
+    return Status::OK();
+  }
+
+  static Status NoSpace() {
+    return Status::ResourceExhausted(
+        "wbtree: pool out of space (split allocation failed)");
   }
 
   bool Erase(Key key) {
@@ -630,19 +657,27 @@ class WBTree {
   /// `key > old_max` placed into that half would be stranded above a
   /// separator that can never be raised. A fresh bound-raising descent is
   /// the only placement that preserves the routing invariant.
+  /// Returns nullptr when any allocation in the cascade fails; the data
+  /// move is rolled back (see UnwindSplitDataMove) and the log reset.
   LeafNode* SplitLeafAndRoute(LeafNode* leaf, Key key, DescentPath* path) {
-    ++stats_.leaf_splits;
     SplitLog* log = &proot_->split_logs[0];
     Key old_max = MaxKeyOf(&leaf->hdr);
     Key sk = LeafSplitKey(leaf);
     BeginSplitLog(log, pool_->ToPPtr(leaf).template Cast<void>(), sk, old_max);
     SCM_CRASH_POINT("wbtree.split.logged");
     Status s = pool_->allocator()->Allocate(&log->p_new, sizeof(LeafNode));
-    assert(s.ok());
-    (void)s;
+    if (!s.ok()) {
+      ResetSplitLog(log);
+      return nullptr;
+    }
+    ++stats_.leaf_splits;
     SCM_CRASH_POINT("wbtree.split.allocated");
     FinishLeafSplitData(log);
-    FixParentAfterSplit(log, /*level=*/0, path);
+    if (!FixParentAfterSplit(log, /*level=*/0, path)) {
+      UnwindSplitDataMove(log, /*level=*/0);
+      ResetSplitLog(log);
+      return nullptr;
+    }
     ResetSplitLog(log);
     return DescendToLeaf(key, path, /*raise_bound=*/true);
   }
@@ -700,20 +735,29 @@ class WBTree {
   }
 
   /// Splits inner `node` at `level` (its own micro-log), then fixes ITS
-  /// parent. After the call the entries of `node` are halved.
-  void SplitInner(InnerNode* node, uint64_t level, DescentPath* path) {
+  /// parent. After the call the entries of `node` are halved. Returns
+  /// false (with the node restored and the log reset) when an allocation
+  /// anywhere in the nested cascade fails.
+  bool SplitInner(InnerNode* node, uint64_t level, DescentPath* path) {
     SplitLog* log = &proot_->split_logs[level];
     Key old_max = MaxKeyOf(&node->hdr);
     Key sk = InnerSplitKey(node);
     BeginSplitLog(log, pool_->ToPPtr(node).template Cast<void>(), sk,
                   old_max);
     Status s = pool_->allocator()->Allocate(&log->p_new, sizeof(InnerNode));
-    assert(s.ok());
-    (void)s;
+    if (!s.ok()) {
+      ResetSplitLog(log);
+      return false;
+    }
     SCM_CRASH_POINT("wbtree.inner_split.allocated");
     FinishInnerSplitData(log);
-    FixParentAfterSplit(log, level, path);
+    if (!FixParentAfterSplit(log, level, path)) {
+      UnwindSplitDataMove(log, level);
+      ResetSplitLog(log);
+      return false;
+    }
     ResetSplitLog(log);
+    return true;
   }
 
   Key InnerSplitKey(InnerNode* node) {
@@ -753,8 +797,9 @@ class WBTree {
   /// After the node logged in `log` split: ensure the parent (a) has an
   /// entry (split_key -> old node) and (b) routes old_max to the new node.
   /// Creates a new root when the split node was the root. Idempotent —
-  /// recovery re-runs it verbatim.
-  void FixParentAfterSplit(SplitLog* log, uint64_t level, DescentPath* path) {
+  /// recovery re-runs it verbatim. Returns false when an allocation in the
+  /// (possibly nested) fix-up fails; the caller unwinds its data move.
+  bool FixParentAfterSplit(SplitLog* log, uint64_t level, DescentPath* path) {
     scm::VoidPPtr old_node = log->p_current;
     scm::VoidPPtr new_node = log->p_new;
     Key sk = log->split_key;
@@ -765,8 +810,7 @@ class WBTree {
       RootLog* rlog = &proot_->root_log;
       Status s =
           pool_->allocator()->Allocate(&rlog->p_new_root, sizeof(InnerNode));
-      assert(s.ok());
-      (void)s;
+      if (!s.ok()) return false;
       SCM_CRASH_POINT("wbtree.rootsplit.allocated");
       InnerNode* root = rlog->p_new_root.get();
       InnerNode fresh{};
@@ -787,7 +831,7 @@ class WBTree {
       SCM_CRASH_POINT("wbtree.rootsplit.swung");
       scm::pmem::StorePPtrPersist(&rlog->p_new_root,
                                   scm::PPtr<InnerNode>::Null());
-      return;
+      return true;
     }
 
     // Locate the parent: prefer the recorded descent path; fall back to a
@@ -830,9 +874,8 @@ class WBTree {
       // No routing entry for the old node here (a prior attempt crashed
       // mid-way); insert one, splitting the parent on overflow.
       if (NodeCount(&parent->hdr) == kInnerCap) {
-        SplitInner(parent, parent->hdr.level, nullptr);
-        FixParentAfterSplit(log, level, nullptr);
-        return;
+        if (!SplitInner(parent, parent->hdr.level, nullptr)) return false;
+        return FixParentAfterSplit(log, level, nullptr);
       }
       InsertIntoInner(parent, sk, old_node);
       SCM_CRASH_POINT("wbtree.split.parent_lower");
@@ -858,8 +901,50 @@ class WBTree {
         SCM_CRASH_POINT("wbtree.split.parent_upper");
         break;
       }
-      SplitInner(q, q->hdr.level, nullptr);
+      if (!SplitInner(q, q->hdr.level, nullptr)) return false;
     }
+    return true;
+  }
+
+  /// Rolls back FinishLeaf/InnerSplitData after the parent fix-up failed
+  /// for lack of space: the upper half moves back into the old node, the
+  /// new node is freed, and a separator the fix-up lowered to split_key is
+  /// raised back to old_max (>= the subtree's true max, so routing stays
+  /// correct). Completed sibling splits performed while attempting the
+  /// fix-up are kept — each is an independent consistent transformation.
+  void UnwindSplitDataMove(SplitLog* log, uint64_t level) {
+    Key sk = log->split_key;
+    Key old_max = log->old_max;
+    scm::VoidPPtr old_node = log->p_current;
+    if (level == 0) {
+      LeafNode* leaf = static_cast<LeafNode*>(log->p_current.get());
+      LeafNode* nl = static_cast<LeafNode*>(log->p_new.get());
+      InvalidateSlots(&leaf->hdr);
+      scm::pmem::StorePersist(&leaf->hdr.bitmap,
+                              leaf->hdr.bitmap | nl->hdr.bitmap);
+      scm::pmem::StorePPtrPersist(&leaf->next, nl->next);
+      RebuildLeafSlots(leaf);
+    } else {
+      InnerNode* node = static_cast<InnerNode*>(log->p_current.get());
+      InnerNode* nn = static_cast<InnerNode*>(log->p_new.get());
+      InvalidateSlots(&node->hdr);
+      scm::pmem::StorePersist(&node->hdr.bitmap,
+                              node->hdr.bitmap | nn->hdr.bitmap);
+      RebuildInnerSlots(node);
+    }
+    InnerNode* parent = DescendToLevel(sk, level + 1);
+    if (parent != nullptr) {
+      for (size_t i = 0; i < kInnerCap; ++i) {
+        if (TestBit(&parent->hdr, i) && parent->children[i] == old_node &&
+            parent->keys[i] == sk) {
+          InvalidateSlots(&parent->hdr);
+          scm::pmem::StorePersist(&parent->keys[i], old_max);
+          RebuildInnerSlots(parent);
+          break;
+        }
+      }
+    }
+    pool_->allocator()->Deallocate(&log->p_new);
   }
 
   InnerNode* DescendToLevel(Key key, uint64_t level) {
@@ -967,7 +1052,11 @@ class WBTree {
         FinishInnerSplitData(log);
       }
     }
-    FixParentAfterSplit(log, level, nullptr);
+    if (!FixParentAfterSplit(log, level, nullptr)) {
+      // Pool exhausted during recovery replay: roll the split back instead
+      // of leaving a half-routed tree behind.
+      UnwindSplitDataMove(log, level);
+    }
     ResetSplitLog(log);
   }
 

@@ -153,16 +153,29 @@ class FPTree {
   }
 
   /// Inserts a new key. Returns false (no modification) if it exists
-  /// (the paper assumes unique keys, §4.2).
+  /// (the paper assumes unique keys, §4.2) — or when the pool is out of
+  /// space; use InsertChecked to distinguish.
   bool Insert(Key key, const Value& value) {
+    bool inserted = false;
+    return InsertChecked(key, value, &inserted).ok() && inserted;
+  }
+
+  /// Status-propagating insert (DESIGN.md §12): OK with *inserted=false
+  /// when the key exists, ResourceExhausted when a required split cannot
+  /// allocate — in which case the tree is untouched (no slot published, no
+  /// split-log residue, nothing leaked) and the op can be retried after
+  /// space is freed.
+  Status InsertChecked(Key key, const Value& value, bool* inserted) {
+    *inserted = false;
     Path path;
     LeafNode* leaf = FindLeaf(key, &path);
-    if (FindInLeaf(leaf, key) >= 0) return false;
+    if (FindInLeaf(leaf, key) >= 0) return Status::OK();
 
     LeafNode* target = leaf;
     if (leaf->IsFull()) {
       Key split_key;
       LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) return NoSpace();
       if (key > split_key) target = new_leaf;
       InsertKV(target, key, value);
       inner_.InsertSplit(path, split_key, new_leaf);
@@ -170,21 +183,32 @@ class FPTree {
       InsertKV(target, key, value);
     }
     ++size_;
-    return true;
+    *inserted = true;
+    return Status::OK();
   }
 
   /// Updates the value of an existing key (paper Alg. 8: the insert and the
   /// delete become visible through one p-atomic bitmap store). Returns
   /// false if the key does not exist.
   bool Update(Key key, const Value& value) {
+    bool updated = false;
+    return UpdateChecked(key, value, &updated).ok() && updated;
+  }
+
+  /// Status-propagating update; OK with *updated=false when the key does
+  /// not exist, ResourceExhausted when the out-of-place write needs a
+  /// split that cannot allocate (old value stays intact).
+  Status UpdateChecked(Key key, const Value& value, bool* updated) {
+    *updated = false;
     Path path;
     LeafNode* leaf = FindLeaf(key, &path);
     int prev_slot = FindInLeaf(leaf, key);
-    if (prev_slot < 0) return false;
+    if (prev_slot < 0) return Status::OK();
 
     if (leaf->IsFull()) {
       Key split_key;
       LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) return NoSpace();
       inner_.InsertSplit(path, split_key, new_leaf);
       if (key > split_key) leaf = new_leaf;
       prev_slot = FindInLeaf(leaf, key);
@@ -202,7 +226,8 @@ class FPTree {
     bmp |= uint64_t{1} << slot;
     scm::pmem::StorePersist(&leaf->bitmap, bmp);
     SCM_CRASH_POINT("fptree.update.after_bitmap");
-    return true;
+    *updated = true;
+    return Status::OK();
   }
 
   /// Insert-or-update in one descent (index API v3): merges the Insert and
@@ -211,6 +236,15 @@ class FPTree {
   /// consistency is inherited: each tail publishes through the same single
   /// p-atomic bitmap store as the stand-alone operation.
   bool Upsert(Key key, const Value& value) {
+    bool inserted = false;
+    UpsertChecked(key, value, &inserted);
+    return inserted;
+  }
+
+  /// Status-propagating upsert; ResourceExhausted means the op was not
+  /// applied at all (the previous mapping, if any, is intact).
+  Status UpsertChecked(Key key, const Value& value, bool* inserted) {
+    *inserted = false;
     Path path;
     LeafNode* leaf = FindLeaf(key, &path);
     int prev_slot = FindInLeaf(leaf, key);
@@ -220,6 +254,7 @@ class FPTree {
       if (leaf->IsFull()) {
         Key split_key;
         LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+        if (new_leaf == nullptr) return NoSpace();
         if (key > split_key) target = new_leaf;
         InsertKV(target, key, value);
         inner_.InsertSplit(path, split_key, new_leaf);
@@ -227,13 +262,15 @@ class FPTree {
         InsertKV(target, key, value);
       }
       ++size_;
-      return true;
+      *inserted = true;
+      return Status::OK();
     }
 
     // Update tail (paper Alg. 8).
     if (leaf->IsFull()) {
       Key split_key;
       LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) return NoSpace();
       inner_.InsertSplit(path, split_key, new_leaf);
       if (key > split_key) leaf = new_leaf;
       prev_slot = FindInLeaf(leaf, key);
@@ -251,7 +288,7 @@ class FPTree {
     bmp |= uint64_t{1} << slot;
     scm::pmem::StorePersist(&leaf->bitmap, bmp);
     SCM_CRASH_POINT("fptree.update.after_bitmap");
-    return false;
+    return Status::OK();
   }
 
   /// Keys per staged MultiGet round: enough in-flight lines to saturate the
@@ -690,16 +727,29 @@ class FPTree {
     scm::pmem::PersistBatch pb_;
   };
 
+  /// Out-of-space result for a write path that could not allocate. The
+  /// failed op was not applied and the tree is structurally untouched.
+  static Status NoSpace() {
+    return Status::ResourceExhausted(
+        "fptree: pool out of space (split allocation failed)");
+  }
+
   /// Leaf split (paper Alg. 3). Returns the new right sibling and the split
-  /// key (max of the surviving lower half).
+  /// key (max of the surviving lower half). Returns nullptr when the pool
+  /// cannot supply a new leaf: the armed split log is rolled back before
+  /// returning, so nothing is leaked and the old leaf is untouched — the
+  /// in-process mirror of RecoverSplit's "p_new null" undo case.
   LeafNode* SplitLeaf(LeafNode* leaf, Key* split_key) {
-    ++stats_.leaf_splits;
     SplitLog* log = &proot_->split_log;
     scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
     SCM_CRASH_POINT("fptree.split.logged");
 
     LeafNode* new_leaf = AcquireLeaf(&log->p_new);
-    assert(new_leaf != nullptr);
+    if (new_leaf == nullptr) {
+      ResetSplitLog(log);
+      return nullptr;
+    }
+    ++stats_.leaf_splits;
     SCM_CRASH_POINT("fptree.split.allocated");
 
     *split_key = FinishSplitFromCopy(log);
@@ -809,10 +859,12 @@ class FPTree {
 
   // --- Leaf acquisition: groups (Alg. 10–13) or direct allocation ---------
 
-  /// Fills *slot with a ready-to-use leaf and returns it.
+  /// Fills *slot with a ready-to-use leaf and returns it; nullptr when the
+  /// pool is exhausted (*slot is left untouched/null — nothing to leak).
   LeafNode* AcquireLeaf(scm::PPtr<LeafNode>* slot) {
     if constexpr (kUseGroups) {
       LeafNode* leaf = GetLeaf();
+      if (leaf == nullptr) return nullptr;
       scm::pmem::StorePPtrPersist(slot, pool_->ToPPtr(leaf));
       return leaf;
     } else {

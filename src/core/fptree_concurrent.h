@@ -189,6 +189,15 @@ class ConcurrentFPTree {
 
   /// Concurrent Insert (Alg. 2). Returns false if the key exists.
   bool Insert(Key key, const Value& value) {
+    bool inserted = false;
+    return InsertChecked(key, value, &inserted).ok() && inserted;
+  }
+
+  /// Status-propagating insert (DESIGN.md §12): ResourceExhausted means the
+  /// pool could not hold the split leaf; the leaf lock is released and the
+  /// tree is unchanged.
+  Status InsertChecked(Key key, const Value& value, bool* inserted) {
+    *inserted = false;
     enum class Decision { kInsert, kSplit, kExists };
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
@@ -206,7 +215,7 @@ class ConcurrentFPTree {
       if (ScanLeaf(leaf, key) >= 0) {
         decision = Decision::kExists;
         if (!tx.Commit()) continue;
-        return false;
+        return Status::OK();
       }
       decision = IsFull(leaf) ? Decision::kSplit : Decision::kInsert;
       tx.Store(&leaf->lock_word, NewOddGen());  // never persisted (Alg. 2)
@@ -219,6 +228,10 @@ class ConcurrentFPTree {
     LeafNode* target = leaf;
     if (decision == Decision::kSplit) {
       new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) {
+        UnlockLeaf(leaf);
+        return NoSpace();
+      }
       if (key > split_key) target = new_leaf;
     }
     InsertKV(target, key, value);
@@ -229,11 +242,20 @@ class ConcurrentFPTree {
       UnlockLeaf(new_leaf);
     }
     UnlockLeaf(leaf);
-    return true;
+    *inserted = true;
+    return Status::OK();
   }
 
   /// Concurrent Update (Alg. 8). Returns false if the key is absent.
   bool Update(Key key, const Value& value) {
+    bool updated = false;
+    return UpdateChecked(key, value, &updated).ok() && updated;
+  }
+
+  /// Status-propagating update: on ResourceExhausted the old value remains
+  /// intact and readable, and the leaf lock is released.
+  Status UpdateChecked(Key key, const Value& value, bool* updated) {
+    *updated = false;
     enum class Decision { kUpdate, kSplit, kAbsent };
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
@@ -253,7 +275,7 @@ class ConcurrentFPTree {
       if (prev_slot < 0) {
         decision = Decision::kAbsent;
         if (!tx.Commit()) continue;
-        return false;
+        return Status::OK();
       }
       decision = IsFull(leaf) ? Decision::kSplit : Decision::kUpdate;
       tx.Store(&leaf->lock_word, NewOddGen());
@@ -265,6 +287,10 @@ class ConcurrentFPTree {
     LeafNode* target = leaf;
     if (decision == Decision::kSplit) {
       new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) {
+        UnlockLeaf(leaf);
+        return NoSpace();
+      }
       if (key > split_key) target = new_leaf;
       prev_slot = ScanLeaf(target, key);
       assert(prev_slot >= 0);
@@ -287,7 +313,8 @@ class ConcurrentFPTree {
       UnlockLeaf(new_leaf);
     }
     UnlockLeaf(leaf);
-    return true;
+    *updated = true;
+    return Status::OK();
   }
 
   /// Concurrent insert-or-update in one HTM acquisition (index API v3):
@@ -296,6 +323,15 @@ class ConcurrentFPTree {
   /// between a failed Insert and the Update where a concurrent Erase could
   /// force a retry. Returns true when the key was newly inserted.
   bool Upsert(Key key, const Value& value) {
+    bool inserted = false;
+    UpsertChecked(key, value, &inserted);
+    return inserted;
+  }
+
+  /// Status-propagating upsert; on ResourceExhausted nothing was applied
+  /// and the leaf lock is released.
+  Status UpsertChecked(Key key, const Value& value, bool* inserted) {
+    *inserted = false;
     enum class Decision { kInsert, kInsertSplit, kUpdate, kUpdateSplit };
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
@@ -329,14 +365,17 @@ class ConcurrentFPTree {
                  decision == Decision::kUpdateSplit;
     if (split) {
       new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) {
+        UnlockLeaf(leaf);
+        return NoSpace();
+      }
       if (key > split_key) target = new_leaf;
     }
 
-    bool inserted;
     if (decision == Decision::kInsert || decision == Decision::kInsertSplit) {
       InsertKV(target, key, value);
       size_.fetch_add(1, std::memory_order_relaxed);
-      inserted = true;
+      *inserted = true;
     } else {
       if (split) {
         prev_slot = ScanLeaf(target, key);
@@ -352,7 +391,6 @@ class ConcurrentFPTree {
       bmp &= ~(uint64_t{1} << prev_slot);
       bmp |= uint64_t{1} << slot;
       scm::pmem::StorePersist(&target->bitmap, bmp);
-      inserted = false;
     }
 
     if (split) {
@@ -360,7 +398,7 @@ class ConcurrentFPTree {
       UnlockLeaf(new_leaf);
     }
     UnlockLeaf(leaf);
-    return inserted;
+    return Status::OK();
   }
 
   /// Concurrent Delete (Alg. 5). Returns false if the key is absent.
@@ -1147,6 +1185,11 @@ class ConcurrentFPTree {
     __atomic_store_n(&leaf->lock_word, NewEvenGen(), __ATOMIC_RELEASE);
   }
 
+  static Status NoSpace() {
+    return Status::ResourceExhausted(
+        "fptree-c: pool out of space (split allocation failed)");
+  }
+
   void InsertKV(LeafNode* leaf, Key key, const Value& value) {
     int slot = FindFirstZero(leaf);
     assert(slot >= 0);
@@ -1159,15 +1202,20 @@ class ConcurrentFPTree {
                             leaf->bitmap | (uint64_t{1} << slot));
   }
 
-  /// Paper Alg. 3: micro-log claimed from the lock-free mask.
+  /// Paper Alg. 3: micro-log claimed from the lock-free mask. Returns
+  /// nullptr when the new leaf cannot be allocated; the claimed log is
+  /// reset and released so recovery sees no in-flight split.
   LeafNode* SplitLeaf(LeafNode* leaf, Key* split_key) {
     int idx = split_claims_.Acquire();
     SplitLog* log = &proot_->split_logs[idx];
     scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
     SCM_CRASH_POINT("cfptree.split.logged");
     Status s = pool_->allocator()->Allocate(&log->p_new, sizeof(LeafNode));
-    assert(s.ok());
-    (void)s;
+    if (!s.ok()) {
+      ResetSplitLog(log);
+      split_claims_.Release(idx);
+      return nullptr;
+    }
     SCM_CRASH_POINT("cfptree.split.allocated");
     LeafNode* new_leaf = log->p_new.get();
     *split_key = FinishSplitFromCopy(log);

@@ -110,6 +110,16 @@ class ConcurrentFPTreeVar {
 
   /// Paper Alg. 14.
   bool Insert(std::string_view key, const Value& value) {
+    bool inserted = false;
+    return InsertChecked(key, value, &inserted).ok() && inserted;
+  }
+
+  /// Status-propagating insert (DESIGN.md §12): ResourceExhausted means the
+  /// pool could not hold the split leaf or the key blob; the leaf lock is
+  /// released and the tree is unchanged.
+  Status InsertChecked(std::string_view key, const Value& value,
+                       bool* inserted) {
+    *inserted = false;
     enum class Decision { kInsert, kSplit };
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
@@ -125,7 +135,7 @@ class ConcurrentFPTreeVar {
       }
       if (ScanLeaf(leaf, key) >= 0) {
         if (!tx.Commit()) continue;
-        return false;
+        return Status::OK();
       }
       decision = IsFull(leaf) ? Decision::kSplit : Decision::kInsert;
       tx.Store(&leaf->lock_word, NewOddGen());
@@ -137,9 +147,21 @@ class ConcurrentFPTreeVar {
     LeafNode* target = leaf;
     if (decision == Decision::kSplit) {
       new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) {
+        UnlockLeaf(leaf);
+        return NoSpace();
+      }
       if (key > split_key) target = new_leaf;
     }
-    InsertKV(target, key, value);
+    bool staged = InsertKV(target, key, value);
+    if (!staged) {
+      if (decision == Decision::kSplit) {
+        UpdateParents(split_key, new_leaf);
+        UnlockLeaf(new_leaf);
+      }
+      UnlockLeaf(leaf);
+      return NoSpace();
+    }
     size_.fetch_add(1, std::memory_order_relaxed);
 
     if (decision == Decision::kSplit) {
@@ -147,11 +169,21 @@ class ConcurrentFPTreeVar {
       UnlockLeaf(new_leaf);
     }
     UnlockLeaf(leaf);
-    return true;
+    *inserted = true;
+    return Status::OK();
   }
 
   /// Paper Alg. 16 (alias the blob into the new slot; one bitmap commit).
   bool Update(std::string_view key, const Value& value) {
+    bool updated = false;
+    return UpdateChecked(key, value, &updated).ok() && updated;
+  }
+
+  /// Status-propagating update: on ResourceExhausted the old value remains
+  /// intact and readable, and the leaf lock is released.
+  Status UpdateChecked(std::string_view key, const Value& value,
+                       bool* updated) {
+    *updated = false;
     enum class Decision { kUpdate, kSplit };
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
@@ -169,7 +201,7 @@ class ConcurrentFPTreeVar {
       prev_slot = ScanLeaf(leaf, key);
       if (prev_slot < 0) {
         if (!tx.Commit()) continue;
-        return false;
+        return Status::OK();
       }
       decision = IsFull(leaf) ? Decision::kSplit : Decision::kUpdate;
       tx.Store(&leaf->lock_word, NewOddGen());
@@ -181,6 +213,10 @@ class ConcurrentFPTreeVar {
     LeafNode* target = leaf;
     if (decision == Decision::kSplit) {
       new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) {
+        UnlockLeaf(leaf);
+        return NoSpace();
+      }
       if (key > split_key) target = new_leaf;
       prev_slot = ScanLeaf(target, key);
       assert(prev_slot >= 0);
@@ -204,13 +240,24 @@ class ConcurrentFPTreeVar {
       UnlockLeaf(new_leaf);
     }
     UnlockLeaf(leaf);
-    return true;
+    *updated = true;
+    return Status::OK();
   }
 
   /// Concurrent insert-or-update in one HTM acquisition (index API v3):
   /// one probe picks the Alg. 14 insert tail or the Alg. 16 aliasing update
   /// tail. Returns true when the key was newly inserted.
   bool Upsert(std::string_view key, const Value& value) {
+    bool inserted = false;
+    UpsertChecked(key, value, &inserted);
+    return inserted;
+  }
+
+  /// Status-propagating upsert; on ResourceExhausted nothing was applied
+  /// and the leaf lock is released.
+  Status UpsertChecked(std::string_view key, const Value& value,
+                       bool* inserted) {
+    *inserted = false;
     enum class Decision { kInsert, kInsertSplit, kUpdate, kUpdateSplit };
     htm::Tx tx(&htm_);
     LeafNode* leaf = nullptr;
@@ -242,14 +289,24 @@ class ConcurrentFPTreeVar {
                  decision == Decision::kUpdateSplit;
     if (split) {
       new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) {
+        UnlockLeaf(leaf);
+        return NoSpace();
+      }
       if (key > split_key) target = new_leaf;
     }
 
-    bool inserted;
     if (decision == Decision::kInsert || decision == Decision::kInsertSplit) {
-      InsertKV(target, key, value);
+      if (!InsertKV(target, key, value)) {
+        if (split) {
+          UpdateParents(split_key, new_leaf);
+          UnlockLeaf(new_leaf);
+        }
+        UnlockLeaf(leaf);
+        return NoSpace();
+      }
       size_.fetch_add(1, std::memory_order_relaxed);
-      inserted = true;
+      *inserted = true;
     } else {
       if (split) {
         prev_slot = ScanLeaf(target, key);
@@ -269,7 +326,6 @@ class ConcurrentFPTreeVar {
       scm::pmem::StorePersist(&target->bitmap, bmp);
       scm::pmem::StorePPtrPersist(&target->kv[prev_slot].pkey,
                                   scm::PPtr<KeyBlob>::Null());
-      inserted = false;
     }
 
     if (split) {
@@ -277,7 +333,7 @@ class ConcurrentFPTreeVar {
       UnlockLeaf(new_leaf);
     }
     UnlockLeaf(leaf);
-    return inserted;
+    return Status::OK();
   }
 
   /// Paper Alg. 15. (Leaf reclamation is delegated to recovery sweeps, as
@@ -812,8 +868,12 @@ class ConcurrentFPTreeVar {
                              leaf->kv[ops[i].prev_slot].pkey);
       } else {
         Status s = AllocateKeyBlob(pool_, &leaf->kv[slot].pkey, keys[i]);
-        assert(s.ok());
-        (void)s;
+        if (!s.ok()) {
+          // Pool exhausted mid-window: drop this insert (slot stays
+          // unpublished; the bitmap flip below never covers it).
+          if (inserted != nullptr) inserted[i] = 0;
+          continue;
+        }
         SCM_CRASH_POINT("cfptreevar.multiput.key_allocated");
       }
       scm::pmem::Store(&leaf->kv[slot].value, values[i]);
@@ -930,27 +990,39 @@ class ConcurrentFPTreeVar {
     __atomic_store_n(&leaf->lock_word, NewEvenGen(), __ATOMIC_RELEASE);
   }
 
-  void InsertKV(LeafNode* leaf, std::string_view key, const Value& value) {
+  static Status NoSpace() {
+    return Status::ResourceExhausted(
+        "fptree-c-var: pool out of space (allocation failed)");
+  }
+
+  /// Returns false when the key-blob allocation fails; nothing is
+  /// published in that case (no bitmap flip, no slot with a null blob).
+  bool InsertKV(LeafNode* leaf, std::string_view key, const Value& value) {
     int slot = FindFirstZero(leaf);
     assert(slot >= 0);
     Status s = AllocateKeyBlob(pool_, &leaf->kv[slot].pkey, key);
-    assert(s.ok());
-    (void)s;
+    if (!s.ok()) return false;
     scm::pmem::Store(&leaf->kv[slot].value, value);
     scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
     scm::pmem::Persist(&leaf->kv[slot]);
     scm::pmem::Persist(&leaf->fingerprints[slot], 1);
     scm::pmem::StorePersist(&leaf->bitmap,
                             leaf->bitmap | (uint64_t{1} << slot));
+    return true;
   }
 
+  /// Returns nullptr when the new leaf cannot be allocated; the claimed
+  /// log is reset and released so recovery sees no in-flight split.
   LeafNode* SplitLeaf(LeafNode* leaf, std::string* split_key) {
     int idx = split_claims_.Acquire();
     SplitLog* log = &proot_->split_logs[idx];
     scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
     Status s = pool_->allocator()->Allocate(&log->p_new, sizeof(LeafNode));
-    assert(s.ok());
-    (void)s;
+    if (!s.ok()) {
+      ResetSplitLog(log);
+      split_claims_.Release(idx);
+      return nullptr;
+    }
     LeafNode* new_leaf = log->p_new.get();
     *split_key = FinishSplitFromCopy(log);
     split_claims_.Release(idx);

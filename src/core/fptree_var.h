@@ -118,34 +118,57 @@ class FPTreeVar {
   /// Paper Alg. 14 (single-threaded): allocate the key blob leak-safely,
   /// then publish value + fingerprint via the bitmap.
   bool Insert(std::string_view key, const Value& value) {
+    bool inserted = false;
+    return InsertChecked(key, value, &inserted).ok() && inserted;
+  }
+
+  /// Status-propagating insert (DESIGN.md §12): ResourceExhausted means the
+  /// pool could not hold the split leaf or the key blob; the op was not
+  /// applied and the tree is untouched.
+  Status InsertChecked(std::string_view key, const Value& value,
+                       bool* inserted) {
+    *inserted = false;
     Path path;
     LeafNode* leaf = FindLeaf(key, &path);
-    if (FindInLeaf(leaf, key) >= 0) return false;
+    if (FindInLeaf(leaf, key) >= 0) return Status::OK();
     LeafNode* target = leaf;
     if (leaf->IsFull()) {
       std::string split_key;
       LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) return NoSpace();
       if (key > split_key) target = new_leaf;
-      InsertKV(target, key, value);
+      bool staged = InsertKV(target, key, value);
       inner_.InsertSplit(path, split_key, new_leaf);
+      if (!staged) return NoSpace();
     } else {
-      InsertKV(target, key, value);
+      if (!InsertKV(target, key, value)) return NoSpace();
     }
     ++size_;
-    return true;
+    *inserted = true;
+    return Status::OK();
   }
 
   /// Paper Alg. 16: the new slot aliases the existing key blob; one bitmap
   /// store publishes insert+delete; then the old slot's pointer is reset so
   /// each blob is referenced exactly once.
   bool Update(std::string_view key, const Value& value) {
+    bool updated = false;
+    return UpdateChecked(key, value, &updated).ok() && updated;
+  }
+
+  /// Status-propagating update: on ResourceExhausted the old value remains
+  /// intact and readable.
+  Status UpdateChecked(std::string_view key, const Value& value,
+                       bool* updated) {
+    *updated = false;
     Path path;
     LeafNode* leaf = FindLeaf(key, &path);
     int prev_slot = FindInLeaf(leaf, key);
-    if (prev_slot < 0) return false;
+    if (prev_slot < 0) return Status::OK();
     if (leaf->IsFull()) {
       std::string split_key;
       LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) return NoSpace();
       inner_.InsertSplit(path, split_key, new_leaf);
       if (key > split_key) leaf = new_leaf;
       prev_slot = FindInLeaf(leaf, key);
@@ -167,13 +190,23 @@ class FPTreeVar {
     scm::pmem::StorePPtrPersist(&leaf->kv[prev_slot].pkey,
                                 scm::PPtr<KeyBlob>::Null());
     SCM_CRASH_POINT("fptreevar.update.old_reset");
-    return true;
+    *updated = true;
+    return Status::OK();
   }
 
   /// Insert-or-update in one descent (index API v3): one
   /// FindLeaf/FindInLeaf probe picks the Alg. 14 insert tail or the Alg. 16
   /// aliasing update tail. Returns true when newly inserted.
   bool Upsert(std::string_view key, const Value& value) {
+    bool inserted = false;
+    UpsertChecked(key, value, &inserted);
+    return inserted;
+  }
+
+  /// Status-propagating upsert; on ResourceExhausted nothing was applied.
+  Status UpsertChecked(std::string_view key, const Value& value,
+                       bool* inserted) {
+    *inserted = false;
     Path path;
     LeafNode* leaf = FindLeaf(key, &path);
     int prev_slot = FindInLeaf(leaf, key);
@@ -183,20 +216,24 @@ class FPTreeVar {
       if (leaf->IsFull()) {
         std::string split_key;
         LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+        if (new_leaf == nullptr) return NoSpace();
         if (key > split_key) target = new_leaf;
-        InsertKV(target, key, value);
+        bool staged = InsertKV(target, key, value);
         inner_.InsertSplit(path, split_key, new_leaf);
+        if (!staged) return NoSpace();
       } else {
-        InsertKV(target, key, value);
+        if (!InsertKV(target, key, value)) return NoSpace();
       }
       ++size_;
-      return true;
+      *inserted = true;
+      return Status::OK();
     }
 
     // Alg. 16 update tail: alias the existing key blob into the new slot.
     if (leaf->IsFull()) {
       std::string split_key;
       LeafNode* new_leaf = SplitLeaf(leaf, &split_key);
+      if (new_leaf == nullptr) return NoSpace();
       inner_.InsertSplit(path, split_key, new_leaf);
       if (key > split_key) leaf = new_leaf;
       prev_slot = FindInLeaf(leaf, key);
@@ -218,7 +255,7 @@ class FPTreeVar {
     scm::pmem::StorePPtrPersist(&leaf->kv[prev_slot].pkey,
                                 scm::PPtr<KeyBlob>::Null());
     SCM_CRASH_POINT("fptreevar.update.old_reset");
-    return false;
+    return Status::OK();
   }
 
   /// Paper Alg. 15: bitmap-clear then blob deallocation.
@@ -514,12 +551,18 @@ class FPTreeVar {
     return -1;
   }
 
-  void InsertKV(LeafNode* leaf, std::string_view key, const Value& value) {
+  static Status NoSpace() {
+    return Status::ResourceExhausted(
+        "fptree-var: pool out of space (allocation failed)");
+  }
+
+  /// Returns false when the key-blob allocation fails; in that case nothing
+  /// was published (no bitmap flip, no slot holding a null blob pointer).
+  bool InsertKV(LeafNode* leaf, std::string_view key, const Value& value) {
     int slot = leaf->FindFirstZero();
     assert(slot >= 0);
     Status s = AllocateKeyBlob(pool_, &leaf->kv[slot].pkey, key);
-    assert(s.ok());
-    (void)s;
+    if (!s.ok()) return false;
     SCM_CRASH_POINT("fptreevar.insert.key_allocated");
     scm::pmem::Store(&leaf->kv[slot].value, value);
     scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
@@ -529,6 +572,7 @@ class FPTreeVar {
     scm::pmem::StorePersist(&leaf->bitmap,
                             leaf->bitmap | (uint64_t{1} << slot));
     SCM_CRASH_POINT("fptreevar.insert.after_bitmap");
+    return true;
   }
 
   /// \brief Open write run used by MultiPut/MultiUpsert (group persistence,
@@ -573,7 +617,10 @@ class FPTreeVar {
         Flush();
         return t_->Insert(key, value);
       }
-      StageInsert(leaf, slot, key, value);
+      if (!StageInsert(leaf, slot, key, value)) {
+        Flush();  // blob alloc failed: nothing staged for this op
+        return t_->Insert(key, value);
+      }
       ++t_->size_;
       return true;
     }
@@ -599,7 +646,10 @@ class FPTreeVar {
           StageUpdate(leaf, slot, prev, key, value);
           return false;
         }
-        StageInsert(leaf, slot, key, value);
+        if (!StageInsert(leaf, slot, key, value)) {
+          Flush();
+          return t_->Upsert(key, value);
+        }
         ++t_->size_;
         return true;
       }
@@ -645,15 +695,18 @@ class FPTreeVar {
       return used == ~uint64_t{0} ? -1 : __builtin_ctzll(~used);
     }
 
-    void StageInsert(LeafNode* leaf, int slot, std::string_view key,
+    /// Returns false (staging nothing) when the key blob cannot be
+    /// allocated; the caller falls back to the single-op path, which
+    /// reports the exhaustion.
+    bool StageInsert(LeafNode* leaf, int slot, std::string_view key,
                      const Value& value) {
       Status s = AllocateKeyBlob(t_->pool_, &leaf->kv[slot].pkey, key);
-      assert(s.ok());
-      (void)s;
+      if (!s.ok()) return false;
       SCM_CRASH_POINT("fptreevar.insert.key_allocated");
       scm::pmem::Store(&leaf->kv[slot].value, value);
       scm::pmem::Store(&leaf->fingerprints[slot], Fingerprint(key));
       Stage(leaf, slot, key);
+      return true;
     }
 
     void StageUpdate(LeafNode* leaf, int slot, int prev, std::string_view key,
@@ -686,14 +739,18 @@ class FPTreeVar {
     scm::pmem::PersistBatch pb_;
   };
 
+  /// Returns nullptr when the new leaf cannot be allocated; the split log
+  /// is reset so recovery sees no in-flight split and the tree is unchanged.
   LeafNode* SplitLeaf(LeafNode* leaf, std::string* split_key) {
-    ++stats_.leaf_splits;
     SplitLog* log = &proot_->split_log;
     scm::pmem::StorePPtrPersist(&log->p_current, pool_->ToPPtr(leaf));
     SCM_CRASH_POINT("fptreevar.split.logged");
     Status s = pool_->allocator()->Allocate(&log->p_new, sizeof(LeafNode));
-    assert(s.ok());
-    (void)s;
+    if (!s.ok()) {
+      ResetSplitLog(log);
+      return nullptr;
+    }
+    ++stats_.leaf_splits;
     SCM_CRASH_POINT("fptreevar.split.allocated");
     LeafNode* new_leaf = log->p_new.get();
     *split_key = FinishSplitFromCopy(log);

@@ -327,6 +327,11 @@ bool ShardedKVIndex::Upsert(uint64_t key, uint64_t value) {
   return shards_[ShardOf(key)].index->Upsert(key, value);
 }
 
+Status ShardedKVIndex::UpsertChecked(uint64_t key, uint64_t value,
+                                     bool* inserted) {
+  return shards_[ShardOf(key)].index->UpsertChecked(key, value, inserted);
+}
+
 void ShardedKVIndex::MultiGet(const uint64_t* keys, size_t n,
                               uint64_t* values, uint8_t* found) {
   if (shards_.size() == 1) {
@@ -502,6 +507,11 @@ bool ShardedVarIndex::Erase(std::string_view key) {
 }
 bool ShardedVarIndex::Upsert(std::string_view key, uint64_t value) {
   return shards_[ShardOf(key)].index->Upsert(key, value);
+}
+
+Status ShardedVarIndex::UpsertChecked(std::string_view key, uint64_t value,
+                                      bool* inserted) {
+  return shards_[ShardOf(key)].index->UpsertChecked(key, value, inserted);
 }
 
 void ShardedVarIndex::MultiGet(const std::string_view* keys, size_t n,

@@ -69,6 +69,11 @@ class ShardedKVIndex final : public index::KVIndex {
   bool Update(uint64_t key, uint64_t value) override;
   bool Erase(uint64_t key) override;
   bool Upsert(uint64_t key, uint64_t value) override;
+  /// Routes to the owning shard's checked upsert; ResourceExhausted means
+  /// that one shard's pool is full while the others keep absorbing writes.
+  /// The inherited MultiUpsertChecked loops this per key, preserving the
+  /// input-order durable-prefix contract across shards.
+  Status UpsertChecked(uint64_t key, uint64_t value, bool* inserted) override;
   /// Batched ops (index API v3.1): one hash-partition pass splits the
   /// batch into per-shard sub-batches — input order is preserved within
   /// each shard, and a key always routes to one shard, so duplicate-key
@@ -129,6 +134,9 @@ class ShardedVarIndex final : public index::VarIndex {
   bool Update(std::string_view key, uint64_t value) override;
   bool Erase(std::string_view key) override;
   bool Upsert(std::string_view key, uint64_t value) override;
+  /// Checked upsert; see ShardedKVIndex::UpsertChecked.
+  Status UpsertChecked(std::string_view key, uint64_t value,
+                       bool* inserted) override;
   /// Batched ops: see ShardedKVIndex — hash-partition once, per-shard
   /// sub-batches, input-order reassembly.
   void MultiGet(const std::string_view* keys, size_t n, uint64_t* values,

@@ -1,0 +1,244 @@
+// Copyright (c) FPTree reproduction authors.
+
+#include "fault/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace fptree {
+namespace fault {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashName(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+double ToUnitInterval(uint64_t r) {
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+/// One named injection site. Sites are created on first Arm/ShouldFail and
+/// never destroyed, so raw pointers stay valid without registry locking.
+struct FaultInjector::Site {
+  std::string name;
+
+  mutable std::mutex mu;  // guards everything below
+  bool armed = false;
+  FaultSpec spec;
+  uint64_t evals = 0;           // since last Arm
+  uint64_t fires = 0;           // since last Arm
+  uint64_t lifetime_fires = 0;  // monotonic (the fault.<site> counter)
+  uint64_t rng = 0;
+};
+
+struct FaultInjector::Impl {
+  mutable std::mutex mu;  // guards the map shape only
+  std::unordered_map<std::string, Site*> sites;
+  std::atomic<uint64_t> total_fires{0};  // the fault.injected counter
+};
+
+FaultInjector& FaultInjector::Instance() {
+  // Leaked: injection sites may be evaluated from static destructors.
+  static FaultInjector* f = new FaultInjector;
+  return *f;
+}
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  if (const char* seed = std::getenv("FPTREE_FAULT_SEED")) {
+    SetSeed(std::strtoull(seed, nullptr, 0));
+  }
+  if (const char* plan = std::getenv("FPTREE_FAULTS")) {
+    Status s = Configure(plan);
+    if (!s.ok()) {
+      std::fprintf(stderr, "FPTREE_FAULTS: %s\n", s.ToString().c_str());
+      std::abort();  // a silently-dropped fault plan reports vacuous success
+    }
+  }
+}
+
+FaultInjector::Site* FaultInjector::FindOrCreate(std::string_view site) {
+  std::lock_guard<std::mutex> l(impl_->mu);
+  auto it = impl_->sites.find(std::string(site));
+  if (it != impl_->sites.end()) return it->second;
+  Site* s = new Site;  // immortal, see Site comment
+  s->name = std::string(site);
+  impl_->sites.emplace(s->name, s);
+  return s;
+}
+
+const FaultInjector::Site* FaultInjector::Find(std::string_view site) const {
+  std::lock_guard<std::mutex> l(impl_->mu);
+  auto it = impl_->sites.find(std::string(site));
+  return it == impl_->sites.end() ? nullptr : it->second;
+}
+
+void FaultInjector::Arm(std::string_view site, const FaultSpec& spec) {
+  Site* s = FindOrCreate(site);
+  std::lock_guard<std::mutex> l(s->mu);
+  if (!s->armed) armed_.fetch_add(1, std::memory_order_acq_rel);
+  s->armed = true;
+  s->spec = spec;
+  s->evals = 0;
+  s->fires = 0;
+  s->rng = seed() ^ HashName(site);
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  Site* s = FindOrCreate(site);
+  std::lock_guard<std::mutex> l(s->mu);
+  if (s->armed) armed_.fetch_sub(1, std::memory_order_acq_rel);
+  s->armed = false;
+}
+
+void FaultInjector::DisarmAll() {
+  std::vector<Site*> all;
+  {
+    std::lock_guard<std::mutex> l(impl_->mu);
+    all.reserve(impl_->sites.size());
+    for (auto& [name, s] : impl_->sites) all.push_back(s);
+  }
+  for (Site* s : all) {
+    std::lock_guard<std::mutex> l(s->mu);
+    if (s->armed) armed_.fetch_sub(1, std::memory_order_acq_rel);
+    s->armed = false;
+  }
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  seed_.store(seed, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFail(const char* site) {
+  Site* s = FindOrCreate(site);
+  std::lock_guard<std::mutex> l(s->mu);
+  if (!s->armed) return false;
+  uint64_t eval = ++s->evals;
+  const FaultSpec& spec = s->spec;
+  if (eval <= spec.after) return false;
+  if (spec.max_fires != 0 && s->fires >= spec.max_fires) return false;
+  bool fire;
+  if (spec.every != 0) {
+    fire = (eval - spec.after) % spec.every == 0;
+  } else if (spec.probability > 0.0) {
+    fire = ToUnitInterval(SplitMix64(&s->rng)) < spec.probability;
+  } else {
+    fire = true;  // pure countdown / always-fire spec
+  }
+  if (fire) {
+    ++s->fires;
+    ++s->lifetime_fires;
+    impl_->total_fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::Fires(std::string_view site) const {
+  const Site* s = Find(site);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> l(s->mu);
+  return s->fires;
+}
+
+uint64_t FaultInjector::Evals(std::string_view site) const {
+  const Site* s = Find(site);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> l(s->mu);
+  return s->evals;
+}
+
+uint64_t FaultInjector::TotalFires() const {
+  return impl_->total_fires.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultInjector::LifetimeFires()
+    const {
+  std::vector<Site*> all;
+  {
+    std::lock_guard<std::mutex> l(impl_->mu);
+    all.reserve(impl_->sites.size());
+    for (auto& [name, s] : impl_->sites) all.push_back(s);
+  }
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(all.size());
+  for (Site* s : all) {
+    std::lock_guard<std::mutex> l(s->mu);
+    out.emplace_back(s->name, s->lifetime_fires);
+  }
+  return out;
+}
+
+Status FaultInjector::Configure(std::string_view plan) {
+  size_t pos = 0;
+  while (pos < plan.size()) {
+    size_t sep = plan.find(';', pos);
+    std::string_view clause =
+        plan.substr(pos, sep == std::string_view::npos ? sep : sep - pos);
+    pos = sep == std::string_view::npos ? plan.size() : sep + 1;
+    if (clause.empty()) continue;
+    size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault clause needs site=triggers: \"" +
+                                     std::string(clause) + "\"");
+    }
+    std::string_view site = clause.substr(0, eq);
+    std::string_view triggers = clause.substr(eq + 1);
+    FaultSpec spec;
+    size_t tpos = 0;
+    while (tpos < triggers.size()) {
+      size_t comma = triggers.find(',', tpos);
+      std::string_view t = triggers.substr(
+          tpos, comma == std::string_view::npos ? comma : comma - tpos);
+      tpos = comma == std::string_view::npos ? triggers.size() : comma + 1;
+      size_t colon = t.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("fault trigger needs kind:value: \"" +
+                                       std::string(t) + "\"");
+      }
+      std::string kind(t.substr(0, colon));
+      std::string value(t.substr(colon + 1));
+      char* endp = nullptr;
+      if (kind == "p") {
+        spec.probability = std::strtod(value.c_str(), &endp);
+        if (endp == value.c_str() || spec.probability < 0.0 ||
+            spec.probability > 1.0) {
+          return Status::InvalidArgument("bad probability \"" + value + "\"");
+        }
+      } else if (kind == "every" || kind == "after" || kind == "max") {
+        uint64_t v = std::strtoull(value.c_str(), &endp, 0);
+        if (endp == value.c_str()) {
+          return Status::InvalidArgument("bad " + kind + " value \"" + value +
+                                         "\"");
+        }
+        if (kind == "every") spec.every = v;
+        if (kind == "after") spec.after = v;
+        if (kind == "max") spec.max_fires = v;
+      } else {
+        return Status::InvalidArgument(
+            "unknown fault trigger \"" + kind +
+            "\" (want p/every/after/max)");
+      }
+    }
+    Arm(site, spec);
+  }
+  return Status::OK();
+}
+
+}  // namespace fault
+}  // namespace fptree

@@ -1,0 +1,143 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Deterministic fault injection (DESIGN.md §12). CrashSim (scm/crash.h)
+// proves the tree survives crashes; this layer proves the whole stack
+// degrades gracefully under the *non-crash* faults a production deployment
+// sees: SCM pool exhaustion, pathological HTM abort streams, and flaky
+// network peers. The design mirrors CrashSim's site registry:
+//
+//  * Code declares named injection sites with FPTREE_FAULT_POINT("name");
+//    when nothing is armed this compiles to a single relaxed-atomic load
+//    and branch, so sites are safe on hot paths.
+//  * Tests (or the FPTREE_FAULTS environment variable) arm a site with a
+//    FaultSpec combining four deterministic, seed-reproducible triggers:
+//    skip the first `after` evaluations, then fire every `every`-th
+//    evaluation or with `probability` per evaluation (per-site SplitMix64
+//    stream derived from the global seed and the site name), stopping
+//    after `max_fires` fires. A spec with neither `every` nor
+//    `probability` fires on every evaluation past the countdown — the
+//    "fail the very next Allocate" one-shot when combined with max_fires.
+//  * Every fire bumps obs counters `fault.<site>` and `fault.injected`,
+//    so harnesses can assert from METRICS_JSON that an injection actually
+//    happened (a fault test that never injects is vacuous).
+//
+// What each armed site makes the callee do:
+//
+//   scm.alloc.oom      Allocator::Allocate returns ResourceExhausted
+//                      before touching any persistent state.
+//   htm.abort          the speculative HTM attempt is doomed (counts as a
+//                      conflict abort); at 100% every operation is forced
+//                      through the global-lock fallback path.
+//   net.accept.drop    the server closes an accepted connection instantly.
+//   net.read.err       the server treats the next readable event as a
+//                      fatal socket error and drops the connection.
+//   net.write.err      same for the flush path.
+//   net.write.partial  the flush writes at most one byte, then yields
+//                      (exercises EPOLLOUT re-arm / short-write handling).
+//   net.stall          the server skips flushing queued responses (a
+//                      stalled peer from the client's point of view).
+//
+// Reproduction: every run is a pure function of (seed, arming specs,
+// evaluation order). Single-threaded tests are exactly reproducible;
+// concurrent tests are distribution-reproducible per seed.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fptree {
+namespace fault {
+
+/// How an armed site decides whether an evaluation fires. Triggers
+/// compose: the first `after` evaluations never fire; afterwards `every`
+/// (if set) wins over `probability`; `max_fires` caps the total.
+struct FaultSpec {
+  double probability = 0.0;  ///< chance per evaluation in [0, 1]
+  uint64_t after = 0;        ///< countdown: pass the first N evaluations
+  uint64_t every = 0;        ///< fire on every Nth post-countdown evaluation
+  uint64_t max_fires = 0;    ///< stop after this many fires (0 = unlimited)
+};
+
+/// Process-wide injection-site registry. All methods are thread-safe.
+class FaultInjector {
+ public:
+  /// The singleton. First use parses FPTREE_FAULT_SEED / FPTREE_FAULTS
+  /// from the environment (malformed specs abort the process: a chaos run
+  /// with a silently-ignored fault plan would report vacuous success).
+  static FaultInjector& Instance();
+
+  /// Arms (or re-arms) a site, resetting its evaluation/fire counts and
+  /// reseeding its RNG stream from the current global seed.
+  void Arm(std::string_view site, const FaultSpec& spec);
+
+  /// Disarms one site / every site. Counters keep their values.
+  void Disarm(std::string_view site);
+  void DisarmAll();
+
+  /// Sets the global seed; affects sites armed afterwards.
+  void SetSeed(uint64_t seed);
+  uint64_t seed() const { return seed_.load(std::memory_order_relaxed); }
+
+  /// Full decision for one evaluation of `site`. Callers go through
+  /// FPTREE_FAULT_POINT, which short-circuits when nothing is armed.
+  bool ShouldFail(const char* site);
+
+  /// Times the site fired / was evaluated since it was last armed.
+  uint64_t Fires(std::string_view site) const;
+  uint64_t Evals(std::string_view site) const;
+
+  /// Total fires across all sites since process start (monotonic; survives
+  /// re-arming). Reported as the `fault.injected` obs counter.
+  uint64_t TotalFires() const;
+
+  /// Per-site lifetime fire counts, for the obs snapshot absorption
+  /// (`fault.<site>` counters) — the same pattern scm.*/htm.* use.
+  std::vector<std::pair<std::string, uint64_t>> LifetimeFires() const;
+
+  /// Parses an arming plan: `site=trigger:value[,trigger:value...]`
+  /// clauses separated by `;`. Triggers: `p` (probability), `every`,
+  /// `after`, `max`. Example:
+  ///   scm.alloc.oom=every:5,max:3;htm.abort=p:1.0
+  Status Configure(std::string_view plan);
+
+  /// True while at least one site is armed (the macro fast path).
+  bool enabled() const {
+    return armed_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  struct Site;
+
+  FaultInjector();
+  Site* FindOrCreate(std::string_view site);
+  const Site* Find(std::string_view site) const;
+
+  std::atomic<int> armed_{0};
+  std::atomic<uint64_t> seed_{0x46505472656531ULL};  // "FPTree1"
+  // Sites live forever once created (the set is tiny and names are static
+  // string literals), so ShouldFail can use a pointer without holding the
+  // registry lock. Declared via pimpl-ish vector in fault.cc.
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Macro target: one branch when nothing is armed anywhere.
+inline bool ShouldInject(const char* site) {
+  FaultInjector& f = FaultInjector::Instance();
+  if (!f.enabled()) return false;
+  return f.ShouldFail(site);
+}
+
+}  // namespace fault
+}  // namespace fptree
+
+/// Evaluates to true when the named fault site fires. Usable inside any
+/// expression; no-op (single branch) unless a test armed something.
+#define FPTREE_FAULT_POINT(site) (::fptree::fault::ShouldInject(site))

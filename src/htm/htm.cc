@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "fault/fault.h"
+
 namespace fptree {
 namespace htm {
 
@@ -150,6 +152,12 @@ void Tx::Begin() {
     CpuRelax();
   }
   rv_ = eng_->clock_.load(std::memory_order_acquire);
+
+  // Injected abort stream (DESIGN.md §12): dooms only speculative attempts
+  // — the fallback path above is exempt, so a 100% abort rate forces every
+  // operation through the global lock instead of livelocking. The doom is
+  // accounted exactly like a real conflict abort.
+  if (FPTREE_FAULT_POINT("htm.abort")) Doom(AbortCause::kConflict);
 }
 
 void Tx::Doom(AbortCause cause) {

@@ -107,6 +107,37 @@ class KVIndex {
       if (Update(key, value)) return false;
     }
   }
+  /// Status-propagating insert-or-update (DESIGN.md §12 graceful
+  /// degradation): on success `*inserted` reports insert-vs-replace; on
+  /// ResourceExhausted the pool backing the index is full and the key is
+  /// untouched — the caller can keep issuing reads/deletes. The default
+  /// wraps the bool Upsert (adequate for transient indexes that cannot run
+  /// out of pool space); pool-backed adapters route to the tree's native
+  /// UpsertChecked.
+  virtual Status UpsertChecked(uint64_t key, uint64_t value,
+                               bool* inserted) {
+    *inserted = Upsert(key, value);
+    return Status::OK();
+  }
+  /// Batched Status-propagating upsert: applies keys[0..n) in input order
+  /// and stops at the first failure, so `*applied` is the length of the
+  /// durable input prefix (== n on success). inserted[i] is only
+  /// meaningful for i < *applied.
+  virtual Status MultiUpsertChecked(const uint64_t* keys,
+                                    const uint64_t* values, size_t n,
+                                    uint8_t* inserted, size_t* applied) {
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = false;
+      Status s = UpsertChecked(keys[i], values[i], &ins);
+      if (!s.ok()) {
+        *applied = i;
+        return s;
+      }
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+    *applied = n;
+    return Status::OK();
+  }
   /// Batched point lookup (API v3.1): for each i in [0, n), sets found[i]
   /// to 1/0 and, on a hit, values[i] to the mapped value (values[i] is
   /// untouched on a miss). Semantically identical to a loop of Find() —
@@ -197,6 +228,28 @@ class VarIndex {
       if (Insert(key, value)) return true;
       if (Update(key, value)) return false;
     }
+  }
+  /// Status-propagating upsert; see KVIndex::UpsertChecked.
+  virtual Status UpsertChecked(std::string_view key, uint64_t value,
+                               bool* inserted) {
+    *inserted = Upsert(key, value);
+    return Status::OK();
+  }
+  /// Prefix-stopping batched upsert; see KVIndex::MultiUpsertChecked.
+  virtual Status MultiUpsertChecked(const std::string_view* keys,
+                                    const uint64_t* values, size_t n,
+                                    uint8_t* inserted, size_t* applied) {
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = false;
+      Status s = UpsertChecked(keys[i], values[i], &ins);
+      if (!s.ok()) {
+        *applied = i;
+        return s;
+      }
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+    *applied = n;
+    return Status::OK();
   }
   /// Batched ops; see the KVIndex v3.1 contracts.
   virtual void MultiGet(const std::string_view* keys, size_t n,
@@ -506,6 +559,19 @@ class LockedAdapter {
     std::unique_lock<std::shared_mutex> l(mu_);
     return UpsertLocked(key, value);
   }
+  Status UpsertChecked(KeyArg key, uint64_t value, bool* inserted) {
+    if (!lock_) return UpsertCheckedLocked(key, value, inserted);
+    std::unique_lock<std::shared_mutex> l(mu_);
+    return UpsertCheckedLocked(key, value, inserted);
+  }
+  /// Prefix-stopping checked batch; one lock hold for the whole batch.
+  Status MultiUpsertChecked(const KeyArg* keys, const uint64_t* values,
+                            size_t n, uint8_t* inserted, size_t* applied) {
+    if (!lock_) return MultiUpsertCheckedLocked(keys, values, n, inserted,
+                                                applied);
+    std::unique_lock<std::shared_mutex> l(mu_);
+    return MultiUpsertCheckedLocked(keys, values, n, inserted, applied);
+  }
   /// Batch ops take the lock ONCE for the whole batch (the interface
   /// default would lock per element) and route to the tree's native batch
   /// methods where they exist.
@@ -583,6 +649,53 @@ class LockedAdapter {
     }
   }
 
+  Status UpsertCheckedLocked(KeyArg key, uint64_t value, bool* inserted) {
+    if constexpr (requires { tree_.UpsertChecked(key, value, inserted); }) {
+      return tree_.UpsertChecked(key, value, inserted);
+    } else if constexpr (requires {
+                           tree_.InsertChecked(key, value, inserted);
+                         }) {
+      // Trees with checked point ops but no native upsert (wbtree,
+      // nvtree): compose them, surfacing the first failure instead of the
+      // bool loop which would spin forever on a full pool (Insert keeps
+      // failing, Update keeps missing).
+      for (;;) {
+        bool flag = false;
+        Status s = tree_.InsertChecked(key, value, &flag);
+        if (!s.ok()) return s;
+        if (flag) {
+          *inserted = true;
+          return Status::OK();
+        }
+        s = tree_.UpdateChecked(key, value, &flag);
+        if (!s.ok()) return s;
+        if (flag) {
+          *inserted = false;
+          return Status::OK();
+        }
+      }
+    } else {
+      *inserted = UpsertLocked(key, value);  // transient tree: cannot fail
+      return Status::OK();
+    }
+  }
+
+  Status MultiUpsertCheckedLocked(const KeyArg* keys, const uint64_t* values,
+                                  size_t n, uint8_t* inserted,
+                                  size_t* applied) {
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = false;
+      Status s = UpsertCheckedLocked(keys[i], values[i], &ins);
+      if (!s.ok()) {
+        *applied = i;
+        return s;
+      }
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+    *applied = n;
+    return Status::OK();
+  }
+
   bool lock_;
   std::shared_mutex mu_;
   TreeT tree_;
@@ -610,6 +723,15 @@ class FixedAdapter : public KVIndex {
   bool Erase(uint64_t key) override { return impl_.Erase(key); }
   bool Upsert(uint64_t key, uint64_t value) override {
     return impl_.Upsert(key, value);
+  }
+  Status UpsertChecked(uint64_t key, uint64_t value,
+                       bool* inserted) override {
+    return impl_.UpsertChecked(key, value, inserted);
+  }
+  Status MultiUpsertChecked(const uint64_t* keys, const uint64_t* values,
+                            size_t n, uint8_t* inserted,
+                            size_t* applied) override {
+    return impl_.MultiUpsertChecked(keys, values, n, inserted, applied);
   }
   void MultiGet(const uint64_t* keys, size_t n, uint64_t* values,
                 uint8_t* found) override {
@@ -679,6 +801,15 @@ class VarAdapter : public VarIndex {
   bool Upsert(std::string_view key, uint64_t value) override {
     return impl_.Upsert(key, value);
   }
+  Status UpsertChecked(std::string_view key, uint64_t value,
+                       bool* inserted) override {
+    return impl_.UpsertChecked(key, value, inserted);
+  }
+  Status MultiUpsertChecked(const std::string_view* keys,
+                            const uint64_t* values, size_t n,
+                            uint8_t* inserted, size_t* applied) override {
+    return impl_.MultiUpsertChecked(keys, values, n, inserted, applied);
+  }
   void MultiGet(const std::string_view* keys, size_t n, uint64_t* values,
                 uint8_t* found) override {
     impl_.MultiGet(keys, n, values, found);
@@ -744,6 +875,32 @@ class ConcurrentAdapter : public Base {
     } else {
       return Base::Upsert(key, value);  // interface retry loop
     }
+  }
+  Status UpsertChecked(KeyArg key, uint64_t value, bool* inserted) override {
+    if constexpr (requires { tree_.UpsertChecked(key, value, inserted); }) {
+      return tree_.UpsertChecked(key, value, inserted);
+    } else {
+      return Base::UpsertChecked(key, value, inserted);
+    }
+  }
+  Status MultiUpsertChecked(const KeyArg* keys, const uint64_t* values,
+                            size_t n, uint8_t* inserted,
+                            size_t* applied) override {
+    // Loop the checked upsert (prefix-stop on failure) rather than the
+    // tree's native batch window, whose alloc-failure policy is
+    // drop-and-continue; the wire protocol needs the durable-prefix
+    // contract.
+    for (size_t i = 0; i < n; ++i) {
+      bool ins = false;
+      Status s = UpsertChecked(keys[i], values[i], &ins);
+      if (!s.ok()) {
+        *applied = i;
+        return s;
+      }
+      if (inserted != nullptr) inserted[i] = ins ? 1 : 0;
+    }
+    *applied = n;
+    return Status::OK();
   }
   void MultiGet(const KeyArg* keys, size_t n, uint64_t* values,
                 uint8_t* found) override {

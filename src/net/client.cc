@@ -6,20 +6,74 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "util/timer.h"
 
 namespace fptree {
 namespace net {
 
+uint64_t BackoffMs(const RetryPolicy& policy, uint32_t attempt) {
+  uint64_t cap = policy.base_backoff_ms == 0 ? 1 : policy.base_backoff_ms;
+  for (uint32_t i = 0; i < attempt && cap < policy.max_backoff_ms; ++i) {
+    cap <<= 1;
+  }
+  if (cap > policy.max_backoff_ms) cap = policy.max_backoff_ms;
+  // SplitMix64 of (seed, attempt): full jitter over the upper half of the
+  // cap, deterministic per seed so failures reproduce exactly.
+  uint64_t x = policy.seed + uint64_t{attempt + 1} * 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return cap / 2 + x % (cap / 2 + 1);
+}
+
 Client::~Client() { Close(); }
+
+uint64_t Client::DeadlineFromNow() const {
+  if (deadline_ms_ == 0) return 0;
+  return NowNanos() + uint64_t{deadline_ms_} * 1000000;
+}
+
+Status Client::WaitFor(short events, uint64_t deadline_ns) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline_ns != 0) {
+      uint64_t now = NowNanos();
+      if (now >= deadline_ns) {
+        return Status::TimedOut("client deadline expired");
+      }
+      uint64_t left = deadline_ns - now;
+      timeout_ms = static_cast<int>((left + 999999) / 1000000);
+    }
+    pollfd p{};
+    p.fd = fd_;
+    p.events = events;
+    int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return Status::OK();
+    if (r == 0) return Status::TimedOut("client deadline expired");
+    if (errno == EINTR) continue;
+    return Status::IOError("poll: " + std::string(strerror(errno)));
+  }
+}
 
 Status Client::Connect(const std::string& host, uint16_t port) {
   Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  host_ = host;
+  port_ = port;
+  const uint64_t deadline = DeadlineFromNow();
+  // The socket stays non-blocking for its whole life: every blocking wait
+  // in this class goes through poll() so deadlines apply uniformly.
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd_ < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -29,9 +83,24 @@ Status Client::Connect(const std::string& host, uint16_t port) {
     return Status::InvalidArgument("bad address " + host);
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status s = Status::IOError("connect: " + std::string(strerror(errno)));
-    Close();
-    return s;
+    if (errno != EINPROGRESS) {
+      Status s = Status::IOError("connect: " + std::string(strerror(errno)));
+      Close();
+      return s;
+    }
+    Status s = WaitFor(POLLOUT, deadline);
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      Status s2 = Status::IOError("connect: " + std::string(strerror(err)));
+      Close();
+      return s2;
+    }
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -43,6 +112,21 @@ Status Client::Connect(const std::string& host, uint16_t port) {
   return Status::OK();
 }
 
+Status Client::ConnectWithRetry(const std::string& host, uint16_t port,
+                                const RetryPolicy& policy) {
+  Status last = Status::IOError("connect: no attempts made");
+  uint32_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  for (uint32_t a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(policy, a - 1)));
+    }
+    last = Connect(host, port);
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
 void Client::Close() {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -51,6 +135,7 @@ void Client::Close() {
 }
 
 Status Client::Flush() {
+  const uint64_t deadline = DeadlineFromNow();
   size_t off = 0;
   while (off < outbuf_.size()) {
     // MSG_NOSIGNAL: EPIPE instead of SIGPIPE when the server is gone.
@@ -58,9 +143,16 @@ Status Client::Flush() {
                        MSG_NOSIGNAL);
     if (w > 0) {
       off += static_cast<size_t>(w);
+    } else if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      Status s = WaitFor(POLLOUT, deadline);
+      if (!s.ok()) {
+        outbuf_.erase(0, off);  // keep only the unsent tail
+        return s;
+      }
     } else if (w < 0 && errno == EINTR) {
       continue;
     } else {
+      outbuf_.erase(0, off);
       return Status::IOError("write: " + std::string(strerror(errno)));
     }
   }
@@ -68,21 +160,21 @@ Status Client::Flush() {
   return Status::OK();
 }
 
-Status Client::FillBuffer(bool blocking, bool* progress) {
+Status Client::FillBuffer(bool* progress) {
   *progress = false;
   char buf[64 * 1024];
-  int flags = blocking ? 0 : MSG_DONTWAIT;
-  ssize_t r = ::recv(fd_, buf, sizeof(buf), flags);
-  if (r > 0) {
-    inbuf_.append(buf, static_cast<size_t>(r));
-    *progress = true;
-    return Status::OK();
+  for (;;) {
+    ssize_t r = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (r > 0) {
+      inbuf_.append(buf, static_cast<size_t>(r));
+      *progress = true;
+      return Status::OK();
+    }
+    if (r == 0) return Status::IOError("server closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR) continue;
+    return Status::IOError("recv: " + std::string(strerror(errno)));
   }
-  if (r == 0) return Status::IOError("server closed the connection");
-  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-    return Status::OK();
-  }
-  return Status::IOError("recv: " + std::string(strerror(errno)));
 }
 
 Status Client::DecodeOne(Response* resp, bool* got) {
@@ -111,13 +203,16 @@ Status Client::DecodeOne(Response* resp, bool* got) {
 }
 
 Status Client::ReadResponse(Response* resp) {
+  const uint64_t deadline = DeadlineFromNow();
   for (;;) {
     bool got = false;
     Status s = DecodeOne(resp, &got);
     if (!s.ok()) return s;
     if (got) return Status::OK();
+    s = WaitFor(POLLIN, deadline);
+    if (!s.ok()) return s;  // TimedOut instead of the old block-forever
     bool progress = false;
-    s = FillBuffer(/*blocking=*/true, &progress);
+    s = FillBuffer(&progress);
     if (!s.ok()) return s;
   }
 }
@@ -126,7 +221,7 @@ Status Client::TryReadResponse(Response* resp, bool* got) {
   Status s = DecodeOne(resp, got);
   if (!s.ok() || *got) return s;
   bool progress = false;
-  s = FillBuffer(/*blocking=*/false, &progress);
+  s = FillBuffer(&progress);
   if (!s.ok()) return s;
   if (!progress) return Status::OK();
   return DecodeOne(resp, got);
@@ -139,6 +234,9 @@ Status Client::Put(std::string_view key, uint64_t value) {
   Response resp;
   s = ReadResponse(&resp);
   if (!s.ok()) return s;
+  if (resp.status == RespStatus::kNoSpace) {
+    return Status::ResourceExhausted("server out of space (NO_SPACE)");
+  }
   if (resp.status != RespStatus::kOk) {
     return Status::IOError("PUT rejected by server");
   }
@@ -152,6 +250,9 @@ Status Client::Upsert(std::string_view key, uint64_t value, bool* inserted) {
   Response resp;
   s = ReadResponse(&resp);
   if (!s.ok()) return s;
+  if (resp.status == RespStatus::kNoSpace) {
+    return Status::ResourceExhausted("server out of space (NO_SPACE)");
+  }
   if (resp.status != RespStatus::kOk) {
     return Status::IOError("UPSERT rejected by server");
   }
@@ -169,6 +270,29 @@ Status Client::Get(std::string_view key, uint64_t* value, bool* found) {
   *found = resp.status == RespStatus::kOk;
   if (*found) *value = resp.value;
   return Status::OK();
+}
+
+Status Client::GetWithRetry(std::string_view key, uint64_t* value,
+                            bool* found, const RetryPolicy& policy) {
+  Status last = Status::IOError("get: no attempts made");
+  uint32_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  for (uint32_t a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(policy, a - 1)));
+    }
+    if (!connected()) {
+      last = Connect(host_, port_);
+      if (!last.ok()) continue;
+    }
+    last = Get(key, value, found);
+    if (last.ok()) return last;
+    // Transport failure or deadline expiry: the connection's response FIFO
+    // can no longer be trusted (a late response would desynchronize it).
+    // Drop it; the next attempt reconnects. Safe because GET is idempotent.
+    Close();
+  }
+  return last;
 }
 
 Status Client::Del(std::string_view key, bool* found) {
@@ -223,6 +347,11 @@ Status Client::Mput(const std::string_view* keys, const uint64_t* values,
   Response resp;
   s = ReadResponse(&resp);
   if (!s.ok()) return s;
+  if (resp.status == RespStatus::kNoSpace) {
+    // A strict input prefix of the batch was applied durably server-side;
+    // the caller sees the whole batch as not acked.
+    return Status::ResourceExhausted("server out of space (NO_SPACE)");
+  }
   if (resp.status != RespStatus::kOk || resp.multi_found.size() != count) {
     return Status::IOError("MPUT rejected by server");
   }

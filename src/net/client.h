@@ -25,6 +25,20 @@
 namespace fptree {
 namespace net {
 
+/// Bounded exponential-backoff-plus-jitter retry schedule (DESIGN.md §12).
+/// Attempt k sleeps in [cap/2, cap] ms where cap = min(base << k, max);
+/// the jitter is a deterministic hash of (seed, attempt), so a test that
+/// fixes the seed reproduces the exact schedule.
+struct RetryPolicy {
+  uint32_t max_attempts = 5;
+  uint32_t base_backoff_ms = 10;
+  uint32_t max_backoff_ms = 1000;
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// The exact backoff of `attempt` (0-based) under `policy`, in ms.
+uint64_t BackoffMs(const RetryPolicy& policy, uint32_t attempt);
+
 class Client {
  public:
   Client() = default;
@@ -33,10 +47,25 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects (blocking) to host:port.
+  /// Connects to host:port, bounded by the deadline (below) when one is
+  /// set. The address is remembered so the retrying ops can reconnect.
   Status Connect(const std::string& host, uint16_t port);
+  /// Retries Connect under `policy` (server not yet listening, listen
+  /// backlog overflow). Note that a server that accepts and immediately
+  /// drops the connection still "connects" here — the drop only surfaces
+  /// on the first op; use GetWithRetry for end-to-end retry coverage.
+  Status ConnectWithRetry(const std::string& host, uint16_t port,
+                          const RetryPolicy& policy);
   void Close();
   bool connected() const { return fd_ >= 0; }
+
+  /// Per-blocking-call deadline in ms; 0 (default) waits forever. Applies
+  /// to Connect, Flush and ReadResponse independently: each call gets the
+  /// full budget. On expiry the call returns Status::TimedOut and the
+  /// connection should be considered poisoned (a late response would
+  /// desynchronize the FIFO) — Close() and reconnect.
+  void set_deadline_ms(uint32_t ms) { deadline_ms_ = ms; }
+  uint32_t deadline_ms() const { return deadline_ms_; }
 
   /// Queue a request frame into the send buffer (no I/O). The op kind is
   /// remembered in a FIFO so responses — which arrive strictly in request
@@ -92,11 +121,22 @@ class Client {
 
   // --- convenience synchronous ops (queue + flush + read) -------------------
 
+  /// Returns ResourceExhausted when the server answers NO_SPACE (the
+  /// key's pool/shard is full; the connection remains usable for reads).
   Status Put(std::string_view key, uint64_t value);
   /// *inserted = true when the key was newly inserted, false on replace.
+  /// ResourceExhausted on NO_SPACE, like Put.
   Status Upsert(std::string_view key, uint64_t value, bool* inserted);
   /// found=false on NOT_FOUND.
   Status Get(std::string_view key, uint64_t* value, bool* found);
+  /// Get with reconnect-and-retry under `policy`: on any transport
+  /// failure (dropped connection, deadline expiry) the connection is
+  /// closed, the backoff slept, and the op retried against the remembered
+  /// address. Only reads get a retrying wrapper — retrying a write after
+  /// an ambiguous failure could double-apply it; upserts are idempotent
+  /// but their inserted-flag answer is not.
+  Status GetWithRetry(std::string_view key, uint64_t* value, bool* found,
+                      const RetryPolicy& policy);
   Status Del(std::string_view key, bool* found);
   Status Scan(std::string_view start, uint32_t limit,
               std::vector<std::pair<std::string, uint64_t>>* rows);
@@ -113,8 +153,14 @@ class Client {
     pending_ops_.push_back(op);
     ++queued_;
   }
-  Status FillBuffer(bool blocking, bool* progress);
+  /// Non-blocking read into inbuf_; *progress reports whether bytes
+  /// arrived. Blocking waits go through WaitFor (poll with deadline).
+  Status FillBuffer(bool* progress);
   Status DecodeOne(Response* resp, bool* got);
+  /// Polls fd_ for `events` until ready or `deadline_ns` (0 = forever).
+  Status WaitFor(short events, uint64_t deadline_ns);
+  /// Absolute deadline for one blocking call; 0 when no deadline is set.
+  uint64_t DeadlineFromNow() const;
 
   int fd_ = -1;
   std::string outbuf_;
@@ -123,6 +169,9 @@ class Client {
   uint64_t queued_ = 0;
   uint64_t received_ = 0;
   std::deque<Op> pending_ops_;  // op kinds awaiting their response frame
+  uint32_t deadline_ms_ = 0;
+  std::string host_;  // remembered for the retrying reconnect paths
+  uint16_t port_ = 0;
 };
 
 }  // namespace net

@@ -18,7 +18,11 @@
 //               upsert semantics per key (like PUT), one frame per batch;
 //               count <= kMaxBatchOps and the frame must fit kMaxFrameBody
 //   Response: [u32 body_len][u8 status][payload...]
-//     status: 0 OK, 1 NOT_FOUND, 2 BAD_REQUEST
+//     status: 0 OK, 1 NOT_FOUND, 2 BAD_REQUEST, 3 NO_SPACE
+//     NO_SPACE is always status-only: the backing pool (or the owning
+//     shard's pool) is full. Reads, deletes and scans on the same
+//     connection keep succeeding; an MPUT answered NO_SPACE durably
+//     applied a strict input prefix of its batch.
 //     GET OK:  [u64 value]
 //     UPSERT OK: [u64 inserted]   (1 = newly inserted, 0 = replaced)
 //     SCAN OK: [u32 count] then count * ([u32 klen][key bytes][u64 value])
@@ -60,6 +64,11 @@ enum class RespStatus : uint8_t {
   kOk = 0,
   kNotFound = 1,
   kBadRequest = 2,
+  /// The shard owning the key's pool is out of SCM space (DESIGN.md §12).
+  /// Writes (PUT/UPSERT/MPUT) degrade to this status-only response; the
+  /// connection stays open and GET/DEL/SCAN keep working. An MPUT answered
+  /// kNoSpace applied a strict input prefix of the batch durably.
+  kNoSpace = 3,
 };
 
 /// Upper bound on one frame body; anything larger is a protocol error.

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "fault/fault.h"
 #include "net/conn.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
@@ -45,6 +46,7 @@ struct NetMetrics {
   obs::Counter* accepted;
   obs::Counter* closed;
   obs::Counter* bad_frames;
+  obs::Counter* no_space;
   obs::Counter* backpressure_stalls;
   obs::Counter* drain_discarded_bytes;
   obs::Counter* bytes_in;
@@ -72,6 +74,7 @@ struct NetMetrics {
       n.accepted = r.GetCounter("net.accepted");
       n.closed = r.GetCounter("net.closed");
       n.bad_frames = r.GetCounter("net.bad_frames");
+      n.no_space = r.GetCounter("net.no_space");
       n.backpressure_stalls = r.GetCounter("net.backpressure_stalls");
       n.drain_discarded_bytes = r.GetCounter("net.drain_discarded_bytes");
       n.bytes_in = r.GetCounter("net.bytes_in");
@@ -268,10 +271,26 @@ void CloseConn(Worker* w, Conn* c) {
 /// when the connection died mid-write (already closed).
 bool FlushConn(Worker* w, Conn* c) {
   const NetMetrics& m = NetMetrics::Get();
+  if (c->pending_out() > 0) {
+    // Fault injection (DESIGN.md §12): a hard write error kills the
+    // connection exactly like a peer that vanished; a stall models a peer
+    // whose receive window is shut — nothing is sent, EPOLLOUT stays
+    // armed, and the next flush retries.
+    if (FPTREE_FAULT_POINT("net.write.err")) {
+      CloseConn(w, c);
+      return false;
+    }
+    if (FPTREE_FAULT_POINT("net.stall")) return true;
+  }
+  // A partial-write fault clamps every send of this flush to one byte,
+  // exercising the out_pos bookkeeping against short writes.
+  const bool short_writes =
+      c->pending_out() > 1 && FPTREE_FAULT_POINT("net.write.partial");
   while (c->pending_out() > 0) {
     // MSG_NOSIGNAL: a peer that vanished mid-write yields EPIPE, not a
     // process-wide SIGPIPE.
-    ssize_t wr = ::send(c->fd, c->out.data() + c->out_pos, c->pending_out(),
+    size_t chunk = short_writes ? 1 : c->pending_out();
+    ssize_t wr = ::send(c->fd, c->out.data() + c->out_pos, chunk,
                         MSG_NOSIGNAL);
     if (wr > 0) {
       c->out_pos += static_cast<size_t>(wr);
@@ -304,15 +323,30 @@ void Server::WorkerMain(uint32_t id) {
     uint64_t t0 = sample ? NowNanos() : 0;
     switch (req.op) {
       case Op::kPut: {
-        index_->Upsert(req.key, req.value);
-        EncodeStatusResponse(&c->out, RespStatus::kOk);
+        // Checked write path (DESIGN.md §12): a full pool degrades this
+        // connection's writes to NO_SPACE responses while reads, deletes
+        // and scans below keep being served.
+        bool inserted = false;
+        Status s = index_->UpsertChecked(req.key, req.value, &inserted);
+        if (s.ok()) {
+          EncodeStatusResponse(&c->out, RespStatus::kOk);
+        } else {
+          EncodeStatusResponse(&c->out, RespStatus::kNoSpace);
+          m.no_space->Add(1);
+        }
         m.ops_put->Add(1);
         if (sample) m.lat_put->Record(NowNanos() - t0);
         break;
       }
       case Op::kUpsert: {
-        bool inserted = index_->Upsert(req.key, req.value);
-        EncodeValueResponse(&c->out, inserted ? 1 : 0);
+        bool inserted = false;
+        Status s = index_->UpsertChecked(req.key, req.value, &inserted);
+        if (s.ok()) {
+          EncodeValueResponse(&c->out, inserted ? 1 : 0);
+        } else {
+          EncodeStatusResponse(&c->out, RespStatus::kNoSpace);
+          m.no_space->Add(1);
+        }
         m.ops_upsert->Add(1);
         if (sample) m.lat_upsert->Record(NowNanos() - t0);
         break;
@@ -370,14 +404,24 @@ void Server::WorkerMain(uint32_t id) {
         break;
       }
       case Op::kMput: {
-        // Per-key upsert semantics (like PUT), grouped persistence below.
+        // Per-key upsert semantics (like PUT). The checked batch stops at
+        // the first failure, so a NO_SPACE answer means a strict input
+        // prefix was applied durably; the client treats the batch as not
+        // acked and may retry it wholesale (upserts are idempotent).
         const uint32_t cnt = static_cast<uint32_t>(req.keys.size());
         std::vector<uint8_t> ins(cnt, 0);
+        size_t applied = 0;
+        Status s = Status::OK();
         if (cnt > 0) {
-          index_->MultiUpsert(req.keys.data(), req.values.data(), cnt,
-                              ins.data());
+          s = index_->MultiUpsertChecked(req.keys.data(), req.values.data(),
+                                         cnt, ins.data(), &applied);
         }
-        EncodeMputResponse(&c->out, ins.data(), cnt);
+        if (s.ok()) {
+          EncodeMputResponse(&c->out, ins.data(), cnt);
+        } else {
+          EncodeStatusResponse(&c->out, RespStatus::kNoSpace);
+          m.no_space->Add(1);
+        }
         m.ops_mput->Add(1);
         if (sample) m.lat_mput->Record(NowNanos() - t0);
         break;
@@ -449,6 +493,12 @@ void Server::WorkerMain(uint32_t id) {
   };
 
   auto on_readable = [&](Conn* c) {
+    // Injected read error: behaves exactly like read() returning a fatal
+    // errno — connection dropped, unacked requests vanish with it.
+    if (FPTREE_FAULT_POINT("net.read.err")) {
+      CloseConn(w, c);
+      return;
+    }
     char buf[64 * 1024];
     for (;;) {
       if (c->pending_in() >= kMaxBufferedIn) break;
@@ -499,6 +549,13 @@ void Server::WorkerMain(uint32_t id) {
       if (fd < 0) {
         if (errno == EINTR) continue;
         break;  // EAGAIN or a transient error; epoll re-signals
+      }
+      // Injected accept failure: the connection is closed before it is
+      // ever registered — the client sees an immediate EOF/RST and must
+      // reconnect (ConnectWithRetry's backoff path).
+      if (FPTREE_FAULT_POINT("net.accept.drop")) {
+        ::close(fd);
+        continue;
       }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

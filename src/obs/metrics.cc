@@ -7,6 +7,7 @@
 
 #include "core/recovery.h"
 #include "core/tree_stats.h"
+#include "fault/fault.h"
 #include "htm/htm.h"
 #include "scm/stats.h"
 
@@ -205,6 +206,12 @@ Snapshot MetricsRegistry::TakeSnapshot() const {
   snap.counters["htm.aborts_capacity"] = h.aborts_capacity;
   snap.counters["htm.aborts_explicit"] = h.aborts_explicit;
   snap.counters["htm.fallbacks"] = h.fallbacks;
+
+  fault::FaultInjector& fi = fault::FaultInjector::Instance();
+  snap.counters["fault.injected"] = fi.TotalFires();
+  for (const auto& [site, fires] : fi.LifetimeFires()) {
+    snap.counters["fault." + site] = fires;
+  }
 
   core::TreeOpStats t = core::GlobalTreeStats().Snapshot();
   snap.counters["tree.finds"] = t.finds;

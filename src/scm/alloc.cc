@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/fault.h"
 #include "scm/crash.h"
 #include "scm/pmem.h"
 #include "scm/pool.h"
@@ -169,6 +170,14 @@ Status PAllocator::Allocate(VoidPPtr* target, size_t size) {
         "to the calling persistent data structure)");
   }
   uint64_t payload_size = RoundUpToCacheLine(size);
+
+  // Injected out-of-space (DESIGN.md §12): indistinguishable from genuine
+  // exhaustion to the caller, and fired before any log arming or frontier
+  // movement so the allocator state is untouched.
+  if (FPTREE_FAULT_POINT("scm.alloc.oom")) {
+    return Status::ResourceExhausted("pool " + pool_->path() +
+                                     " exhausted (injected scm.alloc.oom)");
+  }
 
   std::lock_guard<std::mutex> l(mu_);
   AllocMeta* m = meta();

@@ -28,6 +28,7 @@ class Status {
     kIOError = 5,
     kResourceExhausted = 6,
     kAlreadyExists = 7,
+    kTimedOut = 8,
   };
 
   /// Constructs an OK status.
@@ -55,12 +56,19 @@ class Status {
   static Status AlreadyExists(std::string msg) {
     return Status(Code::kAlreadyExists, std::move(msg));
   }
+  static Status TimedOut(std::string msg) {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -92,6 +100,8 @@ class Status {
         return "ResourceExhausted";
       case Code::kAlreadyExists:
         return "AlreadyExists";
+      case Code::kTimedOut:
+        return "TimedOut";
     }
     return "Unknown";
   }

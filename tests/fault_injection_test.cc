@@ -1,0 +1,596 @@
+// Deterministic fault injection (DESIGN.md §12): FaultInjector trigger
+// semantics, oracle-differential fuzzing with every-Nth-Allocate failures
+// across all six trees, the mid-split allocation-failure leak regression,
+// recovery from a pool that genuinely filled mid-split, and the forced-HTM
+// -abort degradation to the lock fallback. Runs under `ctest -L fault`.
+//
+// Every test asserts that at least one injection actually fired — a fault
+// test that never injects is vacuous.
+
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/nvtree.h"
+#include "baselines/wbtree.h"
+#include "core/fptree.h"
+#include "core/fptree_concurrent.h"
+#include "core/fptree_concurrent_var.h"
+#include "core/fptree_var.h"
+#include "obs/metrics.h"
+#include "scm/latency.h"
+#include "scm/pool.h"
+#include "util/random.h"
+
+namespace fptree {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultSpec;
+using scm::Pool;
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_fault_" + std::to_string(::getpid()) + "_" + name;
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    FaultInjector::Instance().DisarmAll();
+    FaultInjector::Instance().SetSeed(0xF417BEEF);
+  }
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+// --- FaultInjector trigger semantics ---------------------------------------
+
+TEST_F(FaultTest, EveryNthFiresDeterministically) {
+  auto& fi = FaultInjector::Instance();
+  fi.Arm("test.site", FaultSpec{.every = 3});
+  std::vector<bool> fires;
+  for (int i = 0; i < 9; ++i) fires.push_back(fi.ShouldFail("test.site"));
+  // Every 3rd evaluation fires: evaluations 3, 6, 9 (1-based).
+  std::vector<bool> want = {false, false, true, false, false,
+                            true,  false, false, true};
+  EXPECT_EQ(fires, want);
+  EXPECT_EQ(fi.Fires("test.site"), 3u);
+  EXPECT_EQ(fi.Evals("test.site"), 9u);
+}
+
+TEST_F(FaultTest, AfterAndMaxFiresCompose) {
+  auto& fi = FaultInjector::Instance();
+  // Skip 2 evaluations, then fire every evaluation, at most twice.
+  fi.Arm("test.site", FaultSpec{.after = 2, .every = 1, .max_fires = 2});
+  std::vector<bool> fires;
+  for (int i = 0; i < 6; ++i) fires.push_back(fi.ShouldFail("test.site"));
+  std::vector<bool> want = {false, false, true, true, false, false};
+  EXPECT_EQ(fires, want);
+}
+
+TEST_F(FaultTest, ProbabilityIsSeedReproducible) {
+  auto& fi = FaultInjector::Instance();
+  auto run = [&](uint64_t seed) {
+    fi.SetSeed(seed);
+    fi.Arm("test.site", FaultSpec{.probability = 0.5});
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) out.push_back(fi.ShouldFail("test.site"));
+    return out;
+  };
+  std::vector<bool> a = run(1), b = run(1), c = run(2);
+  EXPECT_EQ(a, b);          // same seed: identical stream
+  EXPECT_NE(a, c);          // different seed: different stream
+  size_t fires = 0;
+  for (bool f : a) fires += f;
+  EXPECT_GT(fires, 16u);    // ~0.5 rate, loosely bounded
+  EXPECT_LT(fires, 48u);
+}
+
+TEST_F(FaultTest, ConfigurePlanArmsAndRejects) {
+  auto& fi = FaultInjector::Instance();
+  ASSERT_TRUE(fi.Configure("a.site=every:5,max:3;b.site=p:1.0,after:7").ok());
+  EXPECT_TRUE(fi.enabled());
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(fi.ShouldFail("b.site"));
+  EXPECT_TRUE(fi.ShouldFail("b.site"));  // countdown spent, p=1.0 fires
+  EXPECT_GE(fi.Fires("b.site"), 1u);
+  EXPECT_FALSE(fi.Configure("a.site=bogus:1").ok());
+  EXPECT_FALSE(fi.Configure("no-equals-sign").ok());
+  EXPECT_FALSE(fi.Configure("a.site=p:2.0").ok());
+}
+
+TEST_F(FaultTest, FiresSurfaceInMetricsSnapshot) {
+  auto& fi = FaultInjector::Instance();
+  uint64_t before = fi.TotalFires();
+  fi.Arm("test.metrics", FaultSpec{.every = 1, .max_fires = 5});
+  for (int i = 0; i < 8; ++i) fi.ShouldFail("test.metrics");
+  obs::Snapshot snap = obs::MetricsRegistry::Global().TakeSnapshot();
+  EXPECT_GE(snap.counters["fault.injected"], before + 5);
+  EXPECT_GE(snap.counters["fault.test.metrics"], 5u);
+}
+
+// --- oracle-differential fuzz: every Nth Allocate fails --------------------
+//
+// The tree must stay exactly equal to a std::map oracle restricted to the
+// acknowledged (Status-OK) operations, and its deepest invariant checker
+// (structure + fingerprints + persistent-leak audit) must stay clean after
+// every failure burst.
+
+template <typename TreeT>
+void RunFixedDifferential(TreeT* tree, uint64_t seed, int ops,
+                          uint64_t key_space) {
+  std::map<uint64_t, uint64_t> model;
+  Random64 rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    uint64_t key = rng.Uniform(key_space);
+    uint64_t val = static_cast<uint64_t>(i);
+    switch (rng.Uniform(4)) {
+      case 0: {
+        bool ins = false;
+        Status s = tree->InsertChecked(key, val, &ins);
+        if (s.ok()) {
+          EXPECT_EQ(ins, model.emplace(key, val).second);
+        } else {
+          ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+        }
+        break;
+      }
+      case 1: {
+        bool up = false;
+        Status s = tree->UpdateChecked(key, val, &up);
+        if (s.ok()) {
+          EXPECT_EQ(up, model.count(key) == 1);
+          if (up) model[key] = val;
+        } else {
+          ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+        }
+        break;
+      }
+      case 2: {
+        uint64_t fires_before =
+            FaultInjector::Instance().Fires("scm.alloc.oom");
+        bool erased = tree->Erase(key);
+        if (erased) {
+          EXPECT_EQ(model.erase(key), 1u);
+        } else if (model.count(key) == 1) {
+          // The only legal way to refuse erasing a present key is an
+          // injected allocation failure: the append-only NV-Tree writes a
+          // tombstone, which can need a leaf split. The key must then stay
+          // live in both tree and model.
+          EXPECT_GT(FaultInjector::Instance().Fires("scm.alloc.oom"),
+                    fires_before)
+              << "erase of present key " << key
+              << " failed without an injected fault";
+        }
+        break;
+      }
+      default: {
+        uint64_t v = 0;
+        bool found = tree->Find(key, &v);
+        auto it = model.find(key);
+        ASSERT_EQ(found, it != model.end());
+        if (found) EXPECT_EQ(v, it->second);
+      }
+    }
+    if (i % 2000 == 1999) {
+      std::string why;
+      ASSERT_TRUE(tree->CheckInvariants(&why)) << why;
+    }
+  }
+  std::string why;
+  ASSERT_TRUE(tree->CheckInvariants(&why)) << why;
+  EXPECT_EQ(tree->Size(), model.size());
+  for (const auto& [k, v] : model) {
+    uint64_t out = 0;
+    ASSERT_TRUE(tree->Find(k, &out)) << "acked key " << k << " lost";
+    EXPECT_EQ(out, v);
+  }
+}
+
+template <typename TreeT>
+void RunVarDifferential(TreeT* tree, uint64_t seed, int ops,
+                        uint64_t key_space) {
+  std::map<std::string, uint64_t> model;
+  Random64 rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(key_space));
+    uint64_t val = static_cast<uint64_t>(i);
+    switch (rng.Uniform(4)) {
+      case 0: {
+        bool ins = false;
+        Status s = tree->InsertChecked(key, val, &ins);
+        if (s.ok()) {
+          EXPECT_EQ(ins, model.emplace(key, val).second);
+        } else {
+          ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+        }
+        break;
+      }
+      case 1: {
+        bool up = false;
+        Status s = tree->UpdateChecked(key, val, &up);
+        if (s.ok()) {
+          EXPECT_EQ(up, model.count(key) == 1);
+          if (up) model[key] = val;
+        } else {
+          ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+        }
+        break;
+      }
+      case 2: {
+        uint64_t fires_before =
+            FaultInjector::Instance().Fires("scm.alloc.oom");
+        bool erased = tree->Erase(key);
+        if (erased) {
+          EXPECT_EQ(model.erase(key), 1u);
+        } else if (model.count(key) == 1) {
+          // See RunFixedDifferential: an erase may only refuse a present
+          // key when an allocation fault fired inside the call.
+          EXPECT_GT(FaultInjector::Instance().Fires("scm.alloc.oom"),
+                    fires_before)
+              << "erase of present key " << key
+              << " failed without an injected fault";
+        }
+        break;
+      }
+      default: {
+        uint64_t v = 0;
+        bool found = tree->Find(key, &v);
+        auto it = model.find(key);
+        ASSERT_EQ(found, it != model.end());
+        if (found) EXPECT_EQ(v, it->second);
+      }
+    }
+    if (i % 2000 == 1999) {
+      std::string why;
+      ASSERT_TRUE(tree->CheckInvariants(&why)) << why;
+    }
+  }
+  std::string why;
+  ASSERT_TRUE(tree->CheckInvariants(&why)) << why;
+  for (const auto& [k, v] : model) {
+    uint64_t out = 0;
+    ASSERT_TRUE(tree->Find(k, &out)) << "acked key " << k << " lost";
+    EXPECT_EQ(out, v);
+  }
+}
+
+class AllocFaultDifferentialTest : public FaultTest {
+ protected:
+  void SetUp() override {
+    FaultTest::SetUp();
+    path_ = TestPath("diff");
+    Pool::Destroy(path_).ok();
+    Pool::Options opts{.size = 64u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+    // Every 7th allocation anywhere in the stack fails.
+    FaultInjector::Instance().Arm("scm.alloc.oom", FaultSpec{.every = 7});
+  }
+  void TearDown() override {
+    pool_.reset();
+    Pool::Destroy(path_).ok();
+    FaultTest::TearDown();
+  }
+  void ExpectInjected() {
+    EXPECT_GE(FaultInjector::Instance().Fires("scm.alloc.oom"), 1u)
+        << "vacuous run: no allocation fault was ever injected";
+  }
+
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+};
+
+TEST_F(AllocFaultDifferentialTest, FPTreeFixed) {
+  core::FPTree<uint64_t, 8, 8, /*groups=*/true, /*group=*/4> tree(
+      pool_.get());
+  RunFixedDifferential(&tree, 101, 20000, 600);
+  ExpectInjected();
+}
+
+TEST_F(AllocFaultDifferentialTest, FPTreeConcurrentSingleThreaded) {
+  core::ConcurrentFPTree<uint64_t, 8, 8> tree(pool_.get(),
+                                              htm::Backend::kTl2);
+  RunFixedDifferential(&tree, 202, 20000, 600);
+  ExpectInjected();
+}
+
+TEST_F(AllocFaultDifferentialTest, WBTree) {
+  baselines::WBTree<uint64_t, 8, 4> tree(pool_.get());
+  RunFixedDifferential(&tree, 303, 20000, 600);
+  ExpectInjected();
+}
+
+TEST_F(AllocFaultDifferentialTest, NVTree) {
+  baselines::NVTree<uint64_t, 8, 4, 8> tree(pool_.get());
+  RunFixedDifferential(&tree, 404, 20000, 600);
+  ExpectInjected();
+}
+
+TEST_F(AllocFaultDifferentialTest, FPTreeVar) {
+  core::FPTreeVar<uint64_t, 8, 8> tree(pool_.get());
+  RunVarDifferential(&tree, 505, 15000, 500);
+  ExpectInjected();
+}
+
+TEST_F(AllocFaultDifferentialTest, FPTreeConcurrentVarSingleThreaded) {
+  core::ConcurrentFPTreeVar<uint64_t, 8, 8> tree(pool_.get(),
+                                                 htm::Backend::kTl2);
+  RunVarDifferential(&tree, 606, 15000, 500);
+  ExpectInjected();
+}
+
+// --- mid-split allocation-failure leak regression --------------------------
+//
+// An Allocate failure inside SplitLeaf used to leak the partially-delivered
+// leaf (and, in the var trees, the staged key blob). Drive repeated
+// one-shot failures at varying offsets into the allocation sequence and
+// audit with the persistent-leak checker after every burst.
+
+TEST_F(FaultTest, SplitAllocFailureLeaksNothingFixed) {
+  std::string path = TestPath("leak_fixed");
+  Pool::Destroy(path).ok();
+  std::unique_ptr<Pool> pool;
+  Pool::Options opts{.size = 64u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto& fi = FaultInjector::Instance();
+  {
+    core::FPTree<uint64_t, 8, 8, true, 4> tree(pool.get());
+    std::map<uint64_t, uint64_t> model;
+    uint64_t key = 0;
+    for (int burst = 0; burst < 25; ++burst) {
+      // One-shot: the very next allocation of any kind fails.
+      fi.Arm("scm.alloc.oom", FaultSpec{.every = 1, .max_fires = 1});
+      bool injected = false;
+      // Leaf groups of 4 and leaf cap 8: a fresh group allocation is due
+      // at most every ~16 ascending inserts.
+      for (int i = 0; i < 64 && !injected; ++i) {
+        bool ins = false;
+        Status s = tree.InsertChecked(key, key * 3, &ins);
+        if (s.ok()) {
+          ASSERT_TRUE(ins);
+          model[key] = key * 3;
+          ++key;
+        } else {
+          ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+          injected = true;
+        }
+      }
+      ASSERT_TRUE(injected) << "one-shot alloc fault never hit an insert";
+      std::string why;
+      ASSERT_TRUE(tree.CheckInvariants(&why))
+          << "post-failure leak/invariant: " << why;
+      // The failed insert must succeed verbatim once space is "back".
+      bool ins = false;
+      ASSERT_TRUE(tree.InsertChecked(key, key * 3, &ins).ok());
+      ASSERT_TRUE(ins);
+      model[key] = key * 3;
+      ++key;
+    }
+    EXPECT_GE(fi.Fires("scm.alloc.oom"), 1u);
+    EXPECT_EQ(tree.Size(), model.size());
+    for (const auto& [k, v] : model) {
+      uint64_t out = 0;
+      ASSERT_TRUE(tree.Find(k, &out));
+      EXPECT_EQ(out, v);
+    }
+  }
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+TEST_F(FaultTest, SplitAllocFailureLeaksNothingVar) {
+  std::string path = TestPath("leak_var");
+  Pool::Destroy(path).ok();
+  std::unique_ptr<Pool> pool;
+  Pool::Options opts{.size = 64u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto& fi = FaultInjector::Instance();
+  {
+    core::FPTreeVar<uint64_t, 8, 8> tree(pool.get());
+    std::map<std::string, uint64_t> model;
+    uint64_t key = 0;
+    for (int burst = 0; burst < 25; ++burst) {
+      // Vary the offset so the failure lands on different allocations of
+      // the same insert: the split's new leaf, the key blob, etc.
+      fi.Arm("scm.alloc.oom", FaultSpec{.after = uint64_t(burst % 3),
+                                        .every = 1,
+                                        .max_fires = 1});
+      bool injected = false;
+      for (int i = 0; i < 64 && !injected; ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "key%06llu",
+                      static_cast<unsigned long long>(key));
+        bool ins = false;
+        Status s = tree.InsertChecked(buf, key * 7, &ins);
+        if (s.ok()) {
+          ASSERT_TRUE(ins);
+          model[buf] = key * 7;
+          ++key;
+        } else {
+          ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+          injected = true;
+          std::string why;
+          ASSERT_TRUE(tree.CheckInvariants(&why))
+              << "post-failure leak/invariant: " << why;
+          // Retry the identical insert now that the one-shot is spent.
+          bool ins2 = false;
+          ASSERT_TRUE(tree.InsertChecked(buf, key * 7, &ins2).ok());
+          ASSERT_TRUE(ins2);
+          model[buf] = key * 7;
+          ++key;
+        }
+      }
+      ASSERT_TRUE(injected) << "one-shot alloc fault never hit an insert";
+    }
+    EXPECT_GE(fi.Fires("scm.alloc.oom"), 1u);
+    for (const auto& [k, v] : model) {
+      uint64_t out = 0;
+      ASSERT_TRUE(tree.Find(k, &out)) << k;
+      EXPECT_EQ(out, v);
+    }
+  }
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+// --- recovery from a pool that genuinely filled mid-split ------------------
+
+TEST_F(FaultTest, RecoveryAfterPoolFilledMidSplit) {
+  std::string path = TestPath("full_pool");
+  Pool::Destroy(path).ok();
+  std::unique_ptr<Pool> pool;
+  // Tiny pool: ascending inserts genuinely exhaust it within seconds.
+  Pool::Options opts{.size = 4u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto& fi = FaultInjector::Instance();
+  // One injected failure early proves the injection plumbing fires in this
+  // test too; everything after is the real allocator running dry.
+  fi.Arm("scm.alloc.oom", FaultSpec{.after = 50, .every = 1, .max_fires = 1});
+  std::map<uint64_t, uint64_t> acked;
+  {
+    core::FPTree<uint64_t, 8, 8, true, 4> tree(pool.get());
+    uint64_t key = 0;
+    int rejections = 0;
+    // Keep going past the first NoSpace: a full pool must keep rejecting
+    // gracefully (no assert, no corruption), not just fail once.
+    while (rejections < 50) {
+      bool ins = false;
+      Status s = tree.InsertChecked(key, key + 1, &ins);
+      if (s.ok()) {
+        ASSERT_TRUE(ins);
+        acked[key] = key + 1;
+      } else {
+        ASSERT_TRUE(s.IsResourceExhausted()) << s.ToString();
+        ++rejections;
+      }
+      ++key;
+      ASSERT_LT(key, 10u << 20) << "pool never filled";
+    }
+    EXPECT_GE(fi.Fires("scm.alloc.oom"), 1u);
+    std::string why;
+    ASSERT_TRUE(tree.CheckInvariants(&why)) << why;
+    // Reads and deletes still work on the full pool.
+    uint64_t out = 0;
+    auto it = acked.begin();
+    ASSERT_TRUE(tree.Find(it->first, &out));
+    EXPECT_EQ(out, it->second);
+    ASSERT_TRUE(tree.Erase(it->first));
+    acked.erase(it);
+  }
+  pool.reset();
+  // Recovery: reopen the full pool; every acked key must come back.
+  ASSERT_TRUE(Pool::Open(path, 1, opts, &pool).ok());
+  {
+    core::FPTree<uint64_t, 8, 8, true, 4> tree(pool.get());
+    std::string why;
+    ASSERT_TRUE(tree.CheckInvariants(&why)) << why;
+    EXPECT_EQ(tree.Size(), acked.size());
+    for (const auto& [k, v] : acked) {
+      uint64_t out = 0;
+      ASSERT_TRUE(tree.Find(k, &out)) << "acked key " << k << " lost";
+      EXPECT_EQ(out, v);
+    }
+  }
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+// --- forced HTM aborts: everything degrades to the lock fallback -----------
+
+TEST_F(FaultTest, HtmFallbackForced) {
+  std::string path = TestPath("htm_forced");
+  Pool::Destroy(path).ok();
+  std::unique_ptr<Pool> pool;
+  Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto& fi = FaultInjector::Instance();
+  // 100% of speculative HTM attempts abort; only the global-lock fallback
+  // can make progress. Correctness must be unaffected.
+  fi.Arm("htm.abort", FaultSpec{.probability = 1.0});
+  {
+    core::ConcurrentFPTree<uint64_t, 8, 8> tree(pool.get(),
+                                                htm::Backend::kTl2);
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&tree, t] {
+        const uint64_t base = uint64_t(t) << 32;
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+          ASSERT_TRUE(tree.Insert(base + i, base + i + 1));
+        }
+        for (uint64_t i = 0; i < kPerThread; i += 2) {
+          ASSERT_TRUE(tree.Erase(base + i));
+        }
+        for (uint64_t i = 1; i < kPerThread; i += 2) {
+          ASSERT_TRUE(tree.Update(base + i, base + i + 2));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_GE(fi.Fires("htm.abort"), 1u)
+        << "vacuous run: no HTM abort was ever injected";
+    EXPECT_GT(tree.htm_stats().fallbacks.load(), 0u)
+        << "100% aborts but the lock fallback never engaged";
+    std::string why;
+    ASSERT_TRUE(tree.CheckInvariants(&why)) << why;
+    EXPECT_EQ(tree.Size(), size_t(kThreads) * kPerThread / 2);
+    for (int t = 0; t < kThreads; ++t) {
+      const uint64_t base = uint64_t(t) << 32;
+      uint64_t v = 0;
+      EXPECT_FALSE(tree.Find(base + 0, &v));
+      ASSERT_TRUE(tree.Find(base + 1, &v));
+      EXPECT_EQ(v, base + 3);
+    }
+  }
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+// Same forced-abort pathology against the var-key concurrent tree, whose
+// fallback path additionally covers blob allocation under the lock.
+TEST_F(FaultTest, HtmFallbackForcedVar) {
+  std::string path = TestPath("htm_forced_var");
+  Pool::Destroy(path).ok();
+  std::unique_ptr<Pool> pool;
+  Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+  ASSERT_TRUE(Pool::Create(path, 1, opts, &pool).ok());
+  auto& fi = FaultInjector::Instance();
+  fi.Arm("htm.abort", FaultSpec{.probability = 1.0});
+  {
+    core::ConcurrentFPTreeVar<uint64_t, 8, 8> tree(pool.get(),
+                                                   htm::Backend::kTl2);
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 1000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&tree, t] {
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+          std::string key =
+              "t" + std::to_string(t) + "/" + std::to_string(i);
+          ASSERT_TRUE(tree.Insert(key, i + 1));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_GE(fi.Fires("htm.abort"), 1u);
+    std::string why;
+    ASSERT_TRUE(tree.CheckInvariants(&why)) << why;
+    for (int t = 0; t < kThreads; ++t) {
+      uint64_t v = 0;
+      ASSERT_TRUE(tree.Find("t" + std::to_string(t) + "/0", &v));
+      EXPECT_EQ(v, 1u);
+    }
+  }
+  pool.reset();
+  Pool::Destroy(path).ok();
+}
+
+}  // namespace
+}  // namespace fptree

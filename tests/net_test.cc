@@ -8,9 +8,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
+#include "fault/fault.h"
 #include "index/kv_index.h"
 #include "net/client.h"
 #include "net/protocol.h"
@@ -420,6 +422,248 @@ TEST_F(NetServerTest, ConnectionGaugeTracksLiveConnections) {
   EXPECT_EQ(server_->connections(), 1u);
   server_->Shutdown();
   EXPECT_EQ(server_->connections(), 0u);
+}
+
+// ---------------- fault injection & graceful degradation ---------------------
+// DESIGN.md §12: client deadlines instead of block-forever reads, bounded
+// retry with backoff against injected connection drops, and NO_SPACE
+// degradation where writes fail but the same connection keeps serving
+// reads and deletes.
+
+class NetFaultTest : public NetServerTest {
+ protected:
+  void SetUp() override {
+    NetServerTest::SetUp();
+    fault::FaultInjector::Instance().DisarmAll();
+    fault::FaultInjector::Instance().SetSeed(0xBADF00D);
+  }
+  void TearDown() override {
+    fault::FaultInjector::Instance().DisarmAll();
+    NetServerTest::TearDown();
+  }
+};
+
+TEST(RetryPolicyTest, BackoffIsBoundedAndDeterministic) {
+  RetryPolicy p{.max_attempts = 8,
+                .base_backoff_ms = 10,
+                .max_backoff_ms = 80,
+                .seed = 42};
+  for (uint32_t a = 0; a < 8; ++a) {
+    uint64_t cap = std::min<uint64_t>(uint64_t{10} << a, 80);
+    uint64_t ms = BackoffMs(p, a);
+    EXPECT_GE(ms, cap / 2) << "attempt " << a;
+    EXPECT_LE(ms, cap) << "attempt " << a;
+    EXPECT_EQ(ms, BackoffMs(p, a)) << "jitter must be seed-deterministic";
+  }
+  RetryPolicy q = p;
+  q.seed = 43;
+  bool any_different = false;
+  for (uint32_t a = 0; a < 8; ++a) {
+    any_different |= BackoffMs(q, a) != BackoffMs(p, a);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ClientDeadlineTest, ReadDeadlineExpiresInsteadOfHanging) {
+  // A listener whose backlog completes handshakes but which never reads or
+  // answers: the old client would block in recv() forever.
+  int lfd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 8), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+
+  Client c;
+  c.set_deadline_ms(150);
+  ASSERT_TRUE(c.Connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  uint64_t v = 0;
+  bool found = false;
+  Stopwatch sw;
+  Status s = c.Get("never-answered", &v, &found);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.1);
+  EXPECT_LT(sw.ElapsedSeconds(), 5.0) << "deadline wildly overshot";
+  ::close(lfd);
+}
+
+TEST_F(NetFaultTest, ConnectDeadlineAndRetryAgainstDeadPort) {
+  // Find a port with no listener behind it.
+  int probe = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &alen),
+            0);
+  uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);  // bound but never listened: connects are refused
+
+  Client c;
+  c.set_deadline_ms(250);
+  RetryPolicy policy{.max_attempts = 3,
+                     .base_backoff_ms = 1,
+                     .max_backoff_ms = 4,
+                     .seed = 7};
+  Status s = c.ConnectWithRetry("127.0.0.1", dead_port, policy);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(c.connected());
+}
+
+TEST_F(NetFaultTest, GetWithRetrySurvivesDroppedConnections) {
+  StartServer();
+  auto& fi = fault::FaultInjector::Instance();
+  // Prime a key over a connection accepted before the faults are armed.
+  {
+    Client seed;
+    ASSERT_TRUE(seed.Connect("127.0.0.1", server_->port()).ok());
+    ASSERT_TRUE(seed.Put("sturdy", 99).ok());
+  }
+  // The server drops the next 3 accepted connections on the floor.
+  fi.Arm("net.accept.drop",
+         fault::FaultSpec{.every = 1, .max_fires = 3});
+  Client c;
+  c.set_deadline_ms(2000);
+  // TCP-level connect succeeds even for a to-be-dropped connection (the
+  // handshake finishes in the backlog); the drop surfaces on the first op.
+  ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  uint64_t v = 0;
+  bool found = false;
+  RetryPolicy policy{.max_attempts = 8,
+                     .base_backoff_ms = 2,
+                     .max_backoff_ms = 20,
+                     .seed = 11};
+  Status s = c.GetWithRetry("sturdy", &v, &found, policy);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(found);
+  EXPECT_EQ(v, 99u);
+  EXPECT_EQ(fi.Fires("net.accept.drop"), 3u)
+      << "vacuous run: the drops never happened";
+  server_->Shutdown();
+}
+
+TEST_F(NetFaultTest, NoSpacePutDegradesWhileReadsKeepWorking) {
+  StartServer();
+  auto& fi = fault::FaultInjector::Instance();
+  Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(c.Put("kept", 7).ok());
+  // From here every SCM allocation fails: the var-key index cannot stage
+  // any new key blob, so writes degrade to NO_SPACE.
+  fi.Arm("scm.alloc.oom", fault::FaultSpec{.every = 1});
+  Status s = c.Put("doomed", 1);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  bool inserted = false;
+  s = c.Upsert("doomed2", 2, &inserted);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  // Same connection: reads, scans and deletes still succeed.
+  uint64_t v = 0;
+  bool found = false;
+  ASSERT_TRUE(c.Get("kept", &v, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(v, 7u);
+  ASSERT_TRUE(c.Get("doomed", &v, &found).ok());
+  EXPECT_FALSE(found) << "a NO_SPACE write must not be applied";
+  std::vector<std::pair<std::string, uint64_t>> rows;
+  ASSERT_TRUE(c.Scan("", 10, &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, "kept");
+  ASSERT_TRUE(c.Del("kept", &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_GE(fi.Fires("scm.alloc.oom"), 1u);
+  // Space "returns": the same connection resumes absorbing writes.
+  fi.DisarmAll();
+  ASSERT_TRUE(c.Put("doomed", 1).ok());
+  ASSERT_TRUE(c.Get("doomed", &v, &found).ok());
+  EXPECT_TRUE(found);
+  server_->Shutdown();
+}
+
+TEST_F(NetFaultTest, MputNoSpaceAppliesStrictPrefix) {
+  StartServer();
+  auto& fi = fault::FaultInjector::Instance();
+  Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  // Fail the 4th allocation: with one key-blob allocation per fresh MPUT
+  // key, a strict prefix of the batch lands before the failure.
+  fi.Arm("scm.alloc.oom", fault::FaultSpec{.after = 3, .every = 1});
+  std::vector<std::string> keys;
+  std::vector<std::string_view> views;
+  std::vector<uint64_t> vals;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back("mp" + std::to_string(i));
+    vals.push_back(100 + i);
+  }
+  for (const auto& k : keys) views.push_back(k);
+  Status s = c.Mput(views.data(), vals.data(), views.size(), nullptr);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  EXPECT_GE(fi.Fires("scm.alloc.oom"), 1u);
+  fi.DisarmAll();
+  // The applied keys form a strict input prefix: once a key is missing,
+  // every later key must be missing too.
+  bool seen_missing = false;
+  for (const auto& k : keys) {
+    uint64_t v = 0;
+    bool found = false;
+    ASSERT_TRUE(c.Get(k, &v, &found).ok());
+    if (!found) seen_missing = true;
+    EXPECT_FALSE(found && seen_missing)
+        << "key " << k << " applied after an earlier key failed";
+  }
+  EXPECT_TRUE(seen_missing) << "the injected failure applied every key";
+  server_->Shutdown();
+}
+
+TEST_F(NetFaultTest, InjectedWriteFaultsDontLoseAckedData) {
+  StartServer();
+  auto& fi = fault::FaultInjector::Instance();
+  // Sprinkle transport chaos: occasional fatal read/write errors, short
+  // writes, and stalls. Acked writes must survive; failed connections just
+  // reconnect.
+  fi.Arm("net.read.err", fault::FaultSpec{.probability = 0.02});
+  fi.Arm("net.write.err", fault::FaultSpec{.probability = 0.02});
+  fi.Arm("net.write.partial", fault::FaultSpec{.probability = 0.2});
+  fi.Arm("net.stall", fault::FaultSpec{.probability = 0.1, .max_fires = 50});
+  std::vector<std::string> acked;
+  Client c;
+  c.set_deadline_ms(2000);
+  ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  for (int i = 0; i < 400; ++i) {
+    std::string key = "chaos" + std::to_string(i);
+    Status s = c.Put(key, uint64_t(i));
+    if (s.ok()) {
+      acked.push_back(key);
+    } else {
+      // Transport failure: reconnect and continue. The write may or may
+      // not have been applied (it was never acked, so either is legal).
+      c.Close();
+      ASSERT_TRUE(c.ConnectWithRetry("127.0.0.1", server_->port(),
+                                     RetryPolicy{.max_attempts = 5,
+                                                 .base_backoff_ms = 1,
+                                                 .max_backoff_ms = 8,
+                                                 .seed = 3})
+                      .ok());
+    }
+  }
+  uint64_t injected = fi.Fires("net.read.err") + fi.Fires("net.write.err") +
+                      fi.Fires("net.write.partial") + fi.Fires("net.stall");
+  EXPECT_GE(injected, 1u) << "vacuous chaos run";
+  fi.DisarmAll();
+  Client verify;
+  ASSERT_TRUE(verify.Connect("127.0.0.1", server_->port()).ok());
+  for (const std::string& key : acked) {
+    uint64_t v = 0;
+    bool found = false;
+    ASSERT_TRUE(verify.Get(key, &v, &found).ok());
+    EXPECT_TRUE(found) << "acked write " << key << " lost";
+  }
+  server_->Shutdown();
 }
 
 }  // namespace
