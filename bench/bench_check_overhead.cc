@@ -1,0 +1,160 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Capture-overhead micro-benchmark (DESIGN.md §13): the checked(...)
+// history decorator must stay cheap enough to leave on in stress runs.
+// Replays the fig9 Mixed workload (50/50 uniform Find / fresh-key Insert)
+// against a registered tree in adjacent raw/checked rep pairs — raw, then
+// wrapped in CheckedKVIndex with a live recorder — and reports the median
+// pair's throughput delta. The acceptance bar is
+// <10% overhead on the mixed path; the measured value lands in
+// METRICS_JSON as check.overhead_bp (basis points) next to the
+// check.events_captured counter, so the flavor matrix can track it.
+//
+//   bench_check_overhead [--tree=fptree-c] [--keys=N] [--ops=N]
+//                        [--threads=N] [--quick]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "check/checked_index.h"
+#include "check/history.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace bench {
+namespace {
+
+// Fig9 Mixed: 50% uniform Find over the warm range, 50% Insert of fresh
+// keys, per-thread key streams. Returns Mops/s. Timing happens inside the
+// workers (first-start to last-finish) and the main thread blocks in
+// Join(): a main thread spinning in a barrier for the measured region
+// would steal a core, which on a single-CPU host halves the baseline and
+// turns scheduler churn into fake capture overhead.
+double RunMixed(index::KVIndex* idx, uint64_t warm, uint64_t total_ops,
+                uint32_t threads) {
+  SpinBarrier barrier(threads);
+  std::atomic<uint64_t> t_start{0};
+  std::atomic<uint64_t> t_end{0};
+  ThreadGroup tg;
+  uint64_t per_thread = total_ops / threads;
+  tg.Spawn(threads, [&](uint32_t id) {
+    Random64 rng(id * 77 + 1);
+    barrier.Wait();
+    if (id == 0) {
+      t_start.store(NowNanos(), std::memory_order_relaxed);
+    }
+    for (uint64_t i = 0; i < per_thread; ++i) {
+      uint64_t v;
+      if (rng.Bernoulli(0.5)) {
+        idx->Find(rng.Uniform(warm), &v);
+      } else {
+        idx->Insert(warm + id * per_thread + i, i);
+      }
+    }
+    uint64_t now = NowNanos();
+    uint64_t prev = t_end.load(std::memory_order_relaxed);
+    while (prev < now &&
+           !t_end.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  });
+  tg.Join();
+  double secs = static_cast<double>(t_end.load() - t_start.load()) / 1e9;
+  return static_cast<double>(per_thread * threads) / secs / 1e6;
+}
+
+double OneRep(const std::string& tree, uint64_t warm, uint64_t ops,
+              uint32_t threads, check::HistoryRecorder* rec,
+              uint64_t* events_out) {
+  ScopedPool pool(size_t{2} << 30);
+  auto raw = index::MakeFixedIndex(tree, pool.get(), /*locked=*/true);
+  std::unique_ptr<index::KVIndex> idx;
+  if (rec != nullptr) {
+    idx = check::Checked(std::move(raw), rec);
+  } else {
+    idx = std::move(raw);
+  }
+  for (uint64_t k = 0; k < warm; ++k) idx->Insert(k, k);
+  double mops = RunMixed(idx.get(), warm, ops, threads);
+  if (rec != nullptr) {
+    // Release the rep's history (and report its size) so reps don't
+    // accumulate unbounded spill.
+    check::History h = rec->Drain();
+    if (events_out != nullptr) *events_out = h.size();
+  }
+  return mops;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fptree
+
+int main(int argc, char** argv) {
+  using namespace fptree;
+  using namespace fptree::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  // Same store conditions as bench_fig9: the acceptance bar is relative
+  // to the fig9 mix, so the raw side must pay the same emulated SCM
+  // latencies fig9 does — not a DRAM-speed tree.
+  scm::LatencyModel::Calibrate();
+
+  // Long-enough reps matter: a 1-vCPU host drifts through multi-second
+  // frequency/steal phases, and short reps sample them as overhead.
+  uint64_t warm = flags.quick ? 20000 : std::max<uint64_t>(flags.keys, 1000);
+  uint64_t ops = flags.quick ? 400000 : std::max<uint64_t>(flags.ops, 10000);
+  // Never oversubscribe by default: on a single-core host two compute
+  // threads just measure scheduler churn, not capture cost.
+  uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  uint32_t threads = flags.threads != 0 ? flags.threads : std::min(2u, hw);
+  int reps = flags.quick ? 3 : 5;
+  std::vector<std::string> trees = flags.FixedTrees({"fptree-c"});
+
+  PrintHeader("checked(...) capture overhead, fig9 Mixed 50/50");
+  std::printf("%14s %8s %12s %12s %10s\n", "tree", "threads", "raw Mops/s",
+              "checked", "overhead");
+
+  double worst_pct = 0;
+  for (const std::string& tree : trees) {
+    check::HistoryRecorder rec;
+    uint64_t events = 0;
+    // One discarded warm-up pair, then `reps` adjacent raw/checked rep
+    // pairs; each pair yields one overhead sample and the median sample
+    // is reported. Adjacent pairing plus a median keeps the host's
+    // multi-second frequency/steal phases — which land on one side of
+    // one pair — from reading as capture cost.
+    OneRep(tree, warm, ops, threads, nullptr, nullptr);
+    OneRep(tree, warm, ops, threads, &rec, nullptr);
+    struct Sample {
+      double raw, checked, pct;
+    };
+    std::vector<Sample> samples;
+    for (int r = 0; r < reps; ++r) {
+      double raw = OneRep(tree, warm, ops, threads, nullptr, nullptr);
+      double checked = OneRep(tree, warm, ops, threads, &rec, &events);
+      double pct = raw > 0 ? (raw - checked) / raw * 100.0 : 0.0;
+      samples.push_back({raw, checked, pct});
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) { return a.pct < b.pct; });
+    const Sample& med = samples[samples.size() / 2];
+    worst_pct = std::max(worst_pct, med.pct);
+    std::printf("%14s %8u %12.2f %12.2f %9.2f%%  (%llu events/rep)\n",
+                tree.c_str(), threads, med.raw, med.checked, med.pct,
+                static_cast<unsigned long long>(events));
+  }
+
+  // Basis points, clamped at zero: sub-noise "negative overhead" must not
+  // wrap the unsigned gauge.
+  uint64_t bp = worst_pct > 0 ? static_cast<uint64_t>(worst_pct * 100.0) : 0;
+  obs::MetricsRegistry::Global().SetGauge("check.overhead_bp",
+                                          [bp] { return bp; });
+  std::printf("\ncapture overhead: %.2f%% (bar: <10%% on the mixed path) %s\n",
+              worst_pct, worst_pct < 10.0 ? "PASS" : "FAIL");
+  EmitMetricsJson("bench_check_overhead");
+  return worst_pct < 10.0 ? 0 : 1;
+}

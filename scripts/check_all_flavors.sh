@@ -12,12 +12,20 @@
 # cheap. Any flavor failing configure, build, or ctest fails the script;
 # a summary table prints at the end either way.
 #
+# After the main suite, every flavor also runs the `check`-labeled suite
+# (history capture + linearizability) as its own step, so the flavor
+# summary tracks the checker separately — a sanitizer-only capture race
+# shows up as "check: failed" even when the main suite filter skipped it.
+#
 # Usage:
-#   scripts/check_all_flavors.sh              # full tier-1 suite per flavor
-#   scripts/check_all_flavors.sh -L fault     # one suite per flavor
+#   scripts/check_all_flavors.sh                      # full tier-1 suite per flavor
+#   scripts/check_all_flavors.sh -L fault             # one suite per flavor
+#   scripts/check_all_flavors.sh --flavors=default,nosimd
 #   FLAVORS="default sanitize" scripts/check_all_flavors.sh
 #
-# Extra arguments are passed through to ctest verbatim.
+# --flavors= takes a comma- or space-separated subset and overrides the
+# FLAVORS environment variable. All other arguments are passed through to
+# ctest verbatim.
 
 set -u
 
@@ -25,6 +33,15 @@ cd "$(dirname "$0")/.."
 
 FLAVORS="${FLAVORS:-default sanitize nosimd noprefetch}"
 JOBS="${JOBS:-$(nproc)}"
+
+ARGS=()
+for a in "$@"; do
+  case "$a" in
+    --flavors=*) FLAVORS="${a#--flavors=}"; FLAVORS="${FLAVORS//,/ }" ;;
+    *) ARGS+=("$a") ;;
+  esac
+done
+set -- ${ARGS[@]+"${ARGS[@]}"}
 
 cmake_flags_for() {
   case "$1" in
@@ -37,11 +54,17 @@ cmake_flags_for() {
 }
 
 declare -A RESULT
+declare -A CHECKRESULT
 overall=0
 
 for flavor in $FLAVORS; do
   dir="build-flavor-${flavor}"
-  flags="$(cmake_flags_for "$flavor")"
+  # cmake_flags_for runs in a command substitution: its `exit 2` would
+  # only leave the subshell, so the unknown-flavor status must be checked
+  # here or the script would barrel on with empty flags.
+  if ! flags="$(cmake_flags_for "$flavor")"; then
+    exit 2
+  fi
   mkdir -p "$dir"
   echo "==== [$flavor] configure ($dir) ===="
   # shellcheck disable=SC2086
@@ -61,11 +84,18 @@ for flavor in $FLAVORS; do
   else
     RESULT[$flavor]="tests-failed"; overall=1
   fi
+  echo "==== [$flavor] ctest -L check ===="
+  if (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L check); then
+    CHECKRESULT[$flavor]="ok"
+  else
+    CHECKRESULT[$flavor]="failed"; overall=1
+  fi
 done
 
 echo
 echo "==== flavor summary ===="
 for flavor in $FLAVORS; do
-  printf '  %-12s %s\n' "$flavor" "${RESULT[$flavor]:-skipped}"
+  printf '  %-12s %-16s check: %s\n' "$flavor" "${RESULT[$flavor]:-skipped}" \
+    "${CHECKRESULT[$flavor]:-skipped}"
 done
 exit $overall

@@ -23,6 +23,8 @@
 #include <cstring>
 #include <string>
 
+#include "check/checked_index.h"
+#include "check/history.h"
 #include "engine/sharded_index.h"
 #include "index/kv_index.h"
 #include "net/server.h"
@@ -63,7 +65,8 @@ struct ServerFlags {
             "                     [--threads=N] [--pool=PATH] [--pool-mb=N]\n"
             "                     [--sample=N] [--drain-grace-ms=N]\n"
             "                     [--shards=N]\n"
-            "--tree also accepts sharded(<inner>,<N>) specs\n"
+            "--tree also accepts sharded(<inner>,<N>) and checked(<inner>)\n"
+            "specs (checked wraps history capture around any inner spec)\n"
             "registered var-key trees:");
         for (const std::string& n : index::ListVarIndexNames()) {
           std::printf(" %s", n.c_str());
@@ -85,6 +88,15 @@ int Run(int argc, char** argv) {
   std::unique_ptr<index::VarIndex> index;
   bool created = false;
   Status s;
+
+  // checked(<inner>): wrap the index in the history-recording decorator
+  // (DESIGN.md §13). The inner spec may itself be sharded(...). Capture
+  // goes to the process-global recorder; the check.events_captured
+  // counter surfaces in METRICS_JSON at drain.
+  std::string checked_inner;
+  const bool is_checked_spec =
+      check::ParseCheckedSpec(flags.tree, &checked_inner);
+  if (is_checked_spec) flags.tree = checked_inner;
 
   std::string sharded_inner;
   size_t sharded_n = 0;
@@ -132,6 +144,12 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (is_checked_spec) {
+    index = check::Checked(std::move(index), check::GlobalRecorder());
+    std::printf("history capture enabled (checked(%s))\n",
+                flags.tree.c_str());
+  }
+
   // Surface per-shard recovery telemetry (tree.recovery_nanos gauges come
   // from index->Stats() at drain; the worst shard is reported up front).
   if (index->RecoveryNanos() > 0) {
@@ -166,6 +184,11 @@ int Run(int argc, char** argv) {
   server.Join();  // returns once a SIGTERM/SIGINT drain completes
   net::InstallDrainOnSignal(nullptr, SIGTERM);
   net::InstallDrainOnSignal(nullptr, SIGINT);
+
+  // Drain the recorder (discarding the history) so the amortized
+  // check.events_captured counter is flushed into the final METRICS_JSON;
+  // without this, histories shorter than one ring report 0.
+  if (is_checked_spec) (void)check::GlobalRecorder()->Drain();
 
   std::printf("drained: acked_ops=%llu index_size=%zu\n",
               static_cast<unsigned long long>(server.acked_ops()),

@@ -1,0 +1,39 @@
+// Copyright (c) FPTree reproduction authors.
+
+#include "check/checked_index.h"
+
+namespace fptree {
+namespace check {
+
+std::unique_ptr<index::KVIndex> Checked(std::unique_ptr<index::KVIndex> inner,
+                                        HistoryRecorder* recorder) {
+  return std::make_unique<CheckedKVIndex>(std::move(inner), recorder);
+}
+
+std::unique_ptr<index::VarIndex> Checked(std::unique_ptr<index::VarIndex> inner,
+                                         HistoryRecorder* recorder) {
+  return std::make_unique<CheckedVarIndex>(std::move(inner), recorder);
+}
+
+std::unique_ptr<index::KVIndex> CheckedBorrowed(index::KVIndex* inner,
+                                                HistoryRecorder* recorder) {
+  return std::make_unique<CheckedKVIndex>(inner, recorder);
+}
+
+std::unique_ptr<index::VarIndex> CheckedBorrowed(index::VarIndex* inner,
+                                                 HistoryRecorder* recorder) {
+  return std::make_unique<CheckedVarIndex>(inner, recorder);
+}
+
+bool ParseCheckedSpec(const std::string& spec, std::string* inner) {
+  constexpr const char* kPrefix = "checked(";
+  const size_t prefix_len = 8;
+  if (spec.size() < prefix_len + 1) return false;
+  if (spec.compare(0, prefix_len, kPrefix) != 0) return false;
+  if (spec.back() != ')') return false;
+  *inner = spec.substr(prefix_len, spec.size() - prefix_len - 1);
+  return !inner->empty();
+}
+
+}  // namespace check
+}  // namespace fptree

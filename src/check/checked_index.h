@@ -1,0 +1,538 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// `checked(<inner>)`: history-recording decorators over the index API
+// (DESIGN.md §13). Every operation is logged as an invocation/response
+// event in a HistoryRecorder; the wrapped index does all the real work.
+// The wrappers add two clock reads and a thread-local append per op —
+// no locks, no allocation on the point-op path — so capture overhead
+// stays under the bench_check_overhead budget.
+//
+// Recording discipline:
+//  * Every op's invocation is stamped *before* the inner call and a crash
+//    that unwinds mid-operation records the op as kPending ("effect may
+//    or may not have survived") — the durable checker's contract. Point
+//    ops reserve their ring slot up front and fill it in place; the
+//    slot's default state already IS the pending event, so an unwinding
+//    inner call needs no cleanup. Batch ops and scans use the open-slot
+//    table, which also covers ops abandoned across a wire reconnect.
+//  * A failed UpsertChecked / the unapplied tail of MultiUpsertChecked
+//    are recorded as kNoop: the key was untouched, so the events carry no
+//    constraint and the checker drops them.
+//  * Batch elements get one slot each, all opened before the inner batch
+//    call with a shared invocation stamp and closed with a shared
+//    response window. This is slightly *weaker* than the documented
+//    in-batch application order (the checker may accept a reordering a
+//    stricter model would reject) but never unsound.
+//  * Scans record each delivered row plus an exhaustion bit; the checker
+//    turns rows into per-key reads and — when the scan ran out of keys
+//    before its limit — absence witnesses over the scanned window.
+//
+// Cursors returned by OpenScan must be advanced and closed on the thread
+// that opened them (they hold a slot in that thread's log).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "check/history.h"
+#include "index/kv_index.h"
+
+namespace fptree {
+namespace check {
+
+namespace internal {
+
+/// Recording pull-cursor: mirrors every delivered row into the open scan
+/// slot and closes the slot when the cursor finishes. Exhaustion below
+/// the limit is what licenses absence witnesses, so it is only set when
+/// the inner cursor genuinely ran dry (not on early Close).
+template <typename Cursor, typename KeyArg>
+class RecordingCursor final : public Cursor {
+ public:
+  RecordingCursor(std::unique_ptr<Cursor> inner, ThreadLog* log,
+                  uint32_t slot, size_t limit)
+      : inner_(std::move(inner)), log_(log), slot_(slot), limit_(limit) {}
+
+  ~RecordingCursor() override { Finish(false); }
+
+  bool Next(KeyArg* key, uint64_t* value) override {
+    if (finished_) return false;
+    if (!inner_->Next(key, value)) {
+      Finish(true);
+      return false;
+    }
+    AddRow(*key, *value);
+    ++delivered_;
+    return true;
+  }
+
+  void Close() override {
+    Finish(false);
+    inner_->Close();
+  }
+
+ private:
+  void AddRow(uint64_t key, uint64_t value) {
+    log_->AddRowFixed(slot_, key, value);
+  }
+  void AddRow(const std::string& key, uint64_t value) {
+    log_->AddRowVar(slot_, key, value);
+  }
+  void Finish(bool ran_dry) {
+    if (finished_) return;
+    finished_ = true;
+    log_->open_event(slot_)->scan_exhausted = ran_dry && delivered_ < limit_;
+    log_->End(slot_, Outcome::kTrue, 0);
+  }
+
+  std::unique_ptr<Cursor> inner_;
+  ThreadLog* log_;
+  uint32_t slot_;
+  size_t limit_;
+  size_t delivered_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace internal
+
+/// \brief History-recording fixed-key index decorator.
+class CheckedKVIndex final : public index::KVIndex {
+ public:
+  /// Owning wrap: the decorator destroys `inner` with itself.
+  CheckedKVIndex(std::unique_ptr<index::KVIndex> inner,
+                 HistoryRecorder* recorder)
+      : owned_(std::move(inner)), inner_(owned_.get()), rec_(recorder) {}
+  /// Borrowing wrap (tests wrap an index they keep direct access to).
+  CheckedKVIndex(index::KVIndex* inner, HistoryRecorder* recorder)
+      : inner_(inner), rec_(recorder) {}
+
+  index::KVIndex* inner() { return inner_; }
+  HistoryRecorder* recorder() { return rec_; }
+
+  bool Find(uint64_t key, uint64_t* value) override {
+    if (!rec_->enabled()) return inner_->Find(key, value);
+    ThreadLog* log = rec_->Log();
+    Event* ev = log->Reserve();
+    ev->kind = OpKind::kGet;
+    ev->key = key;
+    bool found = inner_->Find(key, value);
+    ev->outcome = found ? Outcome::kTrue : Outcome::kFalse;
+    ev->result = found ? *value : 0;
+    log->Finish(ev);
+    return found;
+  }
+
+  bool Insert(uint64_t key, uint64_t value) override {
+    return Write(OpKind::kInsert, key, value,
+                 [&] { return inner_->Insert(key, value); });
+  }
+  bool Update(uint64_t key, uint64_t value) override {
+    return Write(OpKind::kUpdate, key, value,
+                 [&] { return inner_->Update(key, value); });
+  }
+  bool Erase(uint64_t key) override {
+    return Write(OpKind::kErase, key, 0, [&] { return inner_->Erase(key); });
+  }
+  bool Upsert(uint64_t key, uint64_t value) override {
+    return Write(OpKind::kUpsert, key, value,
+                 [&] { return inner_->Upsert(key, value); });
+  }
+
+  Status UpsertChecked(uint64_t key, uint64_t value, bool* inserted) override {
+    if (!rec_->enabled()) return inner_->UpsertChecked(key, value, inserted);
+    ThreadLog* log = rec_->Log();
+    Event* ev = log->Reserve();
+    ev->kind = OpKind::kUpsert;
+    ev->key = key;
+    ev->arg = value;
+    Status s = inner_->UpsertChecked(key, value, inserted);
+    if (s.ok()) {
+      ev->outcome = *inserted ? Outcome::kTrue : Outcome::kFalse;
+      ev->result = *inserted ? 1 : 0;
+    } else {
+      ev->outcome = Outcome::kNoop;
+      ev->result = 0;
+    }
+    log->Finish(ev);
+    return s;
+  }
+
+  Status MultiUpsertChecked(const uint64_t* keys, const uint64_t* values,
+                            size_t n, uint8_t* inserted,
+                            size_t* applied) override {
+    if (!rec_->enabled()) {
+      return inner_->MultiUpsertChecked(keys, values, n, inserted, applied);
+    }
+    ThreadLog* log = rec_->Log();
+    std::vector<uint32_t> slots(n);
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = log->Begin(Proto(OpKind::kUpsert, keys[i], values[i]));
+    }
+    Status s = inner_->MultiUpsertChecked(keys, values, n, inserted, applied);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < *applied) {
+        bool ins = inserted == nullptr || inserted[i] != 0;
+        log->End(slots[i], ins ? Outcome::kTrue : Outcome::kFalse,
+                 ins ? 1 : 0);
+      } else {
+        // Strict-prefix contract: keys at/after the failure index were
+        // never touched.
+        log->End(slots[i], Outcome::kNoop, 0);
+      }
+    }
+    return s;
+  }
+
+  void MultiGet(const uint64_t* keys, size_t n, uint64_t* values,
+                uint8_t* found) override {
+    if (!rec_->enabled()) return inner_->MultiGet(keys, n, values, found);
+    ThreadLog* log = rec_->Log();
+    uint64_t t0 = ClockNow();
+    inner_->MultiGet(keys, n, values, found);
+    uint64_t t1 = ClockNow();
+    for (size_t i = 0; i < n; ++i) {
+      Event ev = Proto(OpKind::kGet, keys[i], 0);
+      ev.t_inv = t0;
+      ev.t_resp = t1;
+      ev.outcome = found[i] ? Outcome::kTrue : Outcome::kFalse;
+      ev.result = found[i] ? values[i] : 0;
+      log->Commit(ev);
+    }
+  }
+
+  void MultiPut(const uint64_t* keys, const uint64_t* values, size_t n,
+                uint8_t* inserted) override {
+    MultiWrite(OpKind::kInsert, keys, values, n, inserted, [&](uint8_t* ins) {
+      inner_->MultiPut(keys, values, n, ins);
+    });
+  }
+
+  void MultiUpsert(const uint64_t* keys, const uint64_t* values, size_t n,
+                   uint8_t* inserted) override {
+    MultiWrite(OpKind::kUpsert, keys, values, n, inserted, [&](uint8_t* ins) {
+      inner_->MultiUpsert(keys, values, n, ins);
+    });
+  }
+
+  size_t RangeScan(uint64_t start, size_t limit,
+                   const ScanCallback& cb) override {
+    if (!rec_->enabled()) return inner_->RangeScan(start, limit, cb);
+    ThreadLog* log = rec_->Log();
+    uint32_t slot = log->Begin(Proto(OpKind::kScan, start, limit));
+    bool stopped_early = false;
+    size_t n = inner_->RangeScan(start, limit, [&](uint64_t k, uint64_t v) {
+      log->AddRowFixed(slot, k, v);
+      bool keep = cb(k, v);
+      if (!keep) stopped_early = true;
+      return keep;
+    });
+    log->open_event(slot)->scan_exhausted = !stopped_early && n < limit;
+    log->End(slot, Outcome::kTrue, 0);
+    return n;
+  }
+
+  std::unique_ptr<index::KVScanCursor> OpenScan(uint64_t start,
+                                                size_t limit) override {
+    if (!rec_->enabled()) return inner_->OpenScan(start, limit);
+    ThreadLog* log = rec_->Log();
+    uint32_t slot = log->Begin(Proto(OpKind::kScan, start, limit));
+    return std::make_unique<
+        internal::RecordingCursor<index::KVScanCursor, uint64_t>>(
+        inner_->OpenScan(start, limit), log, slot, limit);
+  }
+
+  size_t Size() const override { return inner_->Size(); }
+  uint64_t DramBytes() const override { return inner_->DramBytes(); }
+  uint64_t ScmBytes() const override { return inner_->ScmBytes(); }
+  uint64_t RecoveryNanos() const override { return inner_->RecoveryNanos(); }
+  obs::Snapshot Stats() const override { return inner_->Stats(); }
+  bool concurrent() const override { return inner_->concurrent(); }
+  bool CheckInvariants(std::string* why) override {
+    return inner_->CheckInvariants(why);
+  }
+
+ private:
+  static Event Proto(OpKind kind, uint64_t key, uint64_t arg) {
+    Event ev;
+    ev.t_inv = ClockNow();
+    ev.kind = kind;
+    ev.key = key;
+    ev.arg = arg;
+    return ev;
+  }
+
+  template <typename Fn>
+  bool Write(OpKind kind, uint64_t key, uint64_t arg, Fn&& fn) {
+    if (!rec_->enabled()) return fn();
+    ThreadLog* log = rec_->Log();
+    Event* ev = log->Reserve();
+    ev->kind = kind;
+    ev->key = key;
+    ev->arg = arg;
+    bool ok = fn();
+    ev->outcome = ok ? Outcome::kTrue : Outcome::kFalse;
+    ev->result = ok ? 1 : 0;
+    log->Finish(ev);
+    return ok;
+  }
+
+  template <typename Fn>
+  void MultiWrite(OpKind kind, const uint64_t* keys, const uint64_t* values,
+                  size_t n, uint8_t* inserted, Fn&& fn) {
+    if (!rec_->enabled()) {
+      fn(inserted);
+      return;
+    }
+    ThreadLog* log = rec_->Log();
+    std::vector<uint32_t> slots(n);
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = log->Begin(Proto(kind, keys[i], values[i]));
+    }
+    std::vector<uint8_t> local;
+    uint8_t* ins = inserted;
+    if (ins == nullptr) {
+      local.assign(n, 0);
+      ins = local.data();
+    }
+    fn(ins);
+    for (size_t i = 0; i < n; ++i) {
+      log->End(slots[i], ins[i] ? Outcome::kTrue : Outcome::kFalse,
+               ins[i] ? 1 : 0);
+    }
+  }
+
+  std::unique_ptr<index::KVIndex> owned_;
+  index::KVIndex* inner_;
+  HistoryRecorder* rec_;
+};
+
+/// \brief History-recording var-key index decorator.
+class CheckedVarIndex final : public index::VarIndex {
+ public:
+  CheckedVarIndex(std::unique_ptr<index::VarIndex> inner,
+                  HistoryRecorder* recorder)
+      : owned_(std::move(inner)), inner_(owned_.get()), rec_(recorder) {}
+  CheckedVarIndex(index::VarIndex* inner, HistoryRecorder* recorder)
+      : inner_(inner), rec_(recorder) {}
+
+  index::VarIndex* inner() { return inner_; }
+  HistoryRecorder* recorder() { return rec_; }
+
+  bool Find(std::string_view key, uint64_t* value) override {
+    if (!rec_->enabled()) return inner_->Find(key, value);
+    ThreadLog* log = rec_->Log();
+    Event* ev = log->ReserveVar(key);
+    ev->kind = OpKind::kGet;
+    bool found = inner_->Find(key, value);
+    ev->outcome = found ? Outcome::kTrue : Outcome::kFalse;
+    ev->result = found ? *value : 0;
+    log->Finish(ev);
+    return found;
+  }
+
+  bool Insert(std::string_view key, uint64_t value) override {
+    return Write(OpKind::kInsert, key, value,
+                 [&] { return inner_->Insert(key, value); });
+  }
+  bool Update(std::string_view key, uint64_t value) override {
+    return Write(OpKind::kUpdate, key, value,
+                 [&] { return inner_->Update(key, value); });
+  }
+  bool Erase(std::string_view key) override {
+    return Write(OpKind::kErase, key, 0, [&] { return inner_->Erase(key); });
+  }
+  bool Upsert(std::string_view key, uint64_t value) override {
+    return Write(OpKind::kUpsert, key, value,
+                 [&] { return inner_->Upsert(key, value); });
+  }
+
+  Status UpsertChecked(std::string_view key, uint64_t value,
+                       bool* inserted) override {
+    if (!rec_->enabled()) return inner_->UpsertChecked(key, value, inserted);
+    ThreadLog* log = rec_->Log();
+    Event* ev = log->ReserveVar(key);
+    ev->kind = OpKind::kUpsert;
+    ev->arg = value;
+    Status s = inner_->UpsertChecked(key, value, inserted);
+    if (s.ok()) {
+      ev->outcome = *inserted ? Outcome::kTrue : Outcome::kFalse;
+      ev->result = *inserted ? 1 : 0;
+    } else {
+      ev->outcome = Outcome::kNoop;
+      ev->result = 0;
+    }
+    log->Finish(ev);
+    return s;
+  }
+
+  Status MultiUpsertChecked(const std::string_view* keys,
+                            const uint64_t* values, size_t n,
+                            uint8_t* inserted, size_t* applied) override {
+    if (!rec_->enabled()) {
+      return inner_->MultiUpsertChecked(keys, values, n, inserted, applied);
+    }
+    ThreadLog* log = rec_->Log();
+    std::vector<uint32_t> slots(n);
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = log->BeginVar(Proto(OpKind::kUpsert, values[i]), keys[i]);
+    }
+    Status s = inner_->MultiUpsertChecked(keys, values, n, inserted, applied);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < *applied) {
+        bool ins = inserted == nullptr || inserted[i] != 0;
+        log->End(slots[i], ins ? Outcome::kTrue : Outcome::kFalse,
+                 ins ? 1 : 0);
+      } else {
+        log->End(slots[i], Outcome::kNoop, 0);
+      }
+    }
+    return s;
+  }
+
+  void MultiGet(const std::string_view* keys, size_t n, uint64_t* values,
+                uint8_t* found) override {
+    if (!rec_->enabled()) return inner_->MultiGet(keys, n, values, found);
+    ThreadLog* log = rec_->Log();
+    uint64_t t0 = ClockNow();
+    inner_->MultiGet(keys, n, values, found);
+    uint64_t t1 = ClockNow();
+    for (size_t i = 0; i < n; ++i) {
+      Event ev = Proto(OpKind::kGet, 0);
+      ev.t_inv = t0;
+      ev.t_resp = t1;
+      ev.outcome = found[i] ? Outcome::kTrue : Outcome::kFalse;
+      ev.result = found[i] ? values[i] : 0;
+      log->CommitVar(ev, keys[i]);
+    }
+  }
+
+  void MultiPut(const std::string_view* keys, const uint64_t* values,
+                size_t n, uint8_t* inserted) override {
+    MultiWrite(OpKind::kInsert, keys, values, n, inserted, [&](uint8_t* ins) {
+      inner_->MultiPut(keys, values, n, ins);
+    });
+  }
+
+  void MultiUpsert(const std::string_view* keys, const uint64_t* values,
+                   size_t n, uint8_t* inserted) override {
+    MultiWrite(OpKind::kUpsert, keys, values, n, inserted, [&](uint8_t* ins) {
+      inner_->MultiUpsert(keys, values, n, ins);
+    });
+  }
+
+  size_t RangeScan(std::string_view start, size_t limit,
+                   const ScanCallback& cb) override {
+    if (!rec_->enabled()) return inner_->RangeScan(start, limit, cb);
+    ThreadLog* log = rec_->Log();
+    uint32_t slot = log->BeginVar(ScanProto(limit), start);
+    bool stopped_early = false;
+    size_t n =
+        inner_->RangeScan(start, limit, [&](std::string_view k, uint64_t v) {
+          log->AddRowVar(slot, k, v);
+          bool keep = cb(k, v);
+          if (!keep) stopped_early = true;
+          return keep;
+        });
+    log->open_event(slot)->scan_exhausted = !stopped_early && n < limit;
+    log->End(slot, Outcome::kTrue, 0);
+    return n;
+  }
+
+  std::unique_ptr<index::VarScanCursor> OpenScan(std::string_view start,
+                                                 size_t limit) override {
+    if (!rec_->enabled()) return inner_->OpenScan(start, limit);
+    ThreadLog* log = rec_->Log();
+    uint32_t slot = log->BeginVar(ScanProto(limit), start);
+    return std::make_unique<
+        internal::RecordingCursor<index::VarScanCursor, std::string>>(
+        inner_->OpenScan(start, limit), log, slot, limit);
+  }
+
+  size_t Size() const override { return inner_->Size(); }
+  uint64_t DramBytes() const override { return inner_->DramBytes(); }
+  uint64_t ScmBytes() const override { return inner_->ScmBytes(); }
+  uint64_t RecoveryNanos() const override { return inner_->RecoveryNanos(); }
+  obs::Snapshot Stats() const override { return inner_->Stats(); }
+  bool concurrent() const override { return inner_->concurrent(); }
+  bool CheckInvariants(std::string* why) override {
+    return inner_->CheckInvariants(why);
+  }
+
+ private:
+  static Event Proto(OpKind kind, uint64_t arg) {
+    Event ev;
+    ev.t_inv = ClockNow();
+    ev.kind = kind;
+    ev.arg = arg;
+    return ev;
+  }
+  static Event ScanProto(uint64_t limit) {
+    Event ev = Proto(OpKind::kScan, limit);
+    return ev;
+  }
+
+  template <typename Fn>
+  bool Write(OpKind kind, std::string_view key, uint64_t arg, Fn&& fn) {
+    if (!rec_->enabled()) return fn();
+    ThreadLog* log = rec_->Log();
+    Event* ev = log->ReserveVar(key);
+    ev->kind = kind;
+    ev->arg = arg;
+    bool ok = fn();
+    ev->outcome = ok ? Outcome::kTrue : Outcome::kFalse;
+    ev->result = ok ? 1 : 0;
+    log->Finish(ev);
+    return ok;
+  }
+
+  template <typename Fn>
+  void MultiWrite(OpKind kind, const std::string_view* keys,
+                  const uint64_t* values, size_t n, uint8_t* inserted,
+                  Fn&& fn) {
+    if (!rec_->enabled()) {
+      fn(inserted);
+      return;
+    }
+    ThreadLog* log = rec_->Log();
+    std::vector<uint32_t> slots(n);
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = log->BeginVar(Proto(kind, values[i]), keys[i]);
+    }
+    std::vector<uint8_t> local;
+    uint8_t* ins = inserted;
+    if (ins == nullptr) {
+      local.assign(n, 0);
+      ins = local.data();
+    }
+    fn(ins);
+    for (size_t i = 0; i < n; ++i) {
+      log->End(slots[i], ins[i] ? Outcome::kTrue : Outcome::kFalse,
+               ins[i] ? 1 : 0);
+    }
+  }
+
+  std::unique_ptr<index::VarIndex> owned_;
+  index::VarIndex* inner_;
+  HistoryRecorder* rec_;
+};
+
+/// Wrap helpers. The borrowing forms record against an index the caller
+/// keeps owning (and must keep alive past the wrapper).
+std::unique_ptr<index::KVIndex> Checked(std::unique_ptr<index::KVIndex> inner,
+                                        HistoryRecorder* recorder);
+std::unique_ptr<index::VarIndex> Checked(std::unique_ptr<index::VarIndex> inner,
+                                         HistoryRecorder* recorder);
+std::unique_ptr<index::KVIndex> CheckedBorrowed(index::KVIndex* inner,
+                                                HistoryRecorder* recorder);
+std::unique_ptr<index::VarIndex> CheckedBorrowed(index::VarIndex* inner,
+                                                 HistoryRecorder* recorder);
+
+/// Parses a `checked(<inner>)` spec. Returns true and stores the inner
+/// spec (which may itself be `sharded(...)` or a plain registered name)
+/// when `spec` has the checked(...) shape; false otherwise.
+bool ParseCheckedSpec(const std::string& spec, std::string* inner);
+
+}  // namespace check
+}  // namespace fptree

@@ -1,0 +1,564 @@
+// Copyright (c) FPTree reproduction authors.
+
+#include "check/checker.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace fptree {
+namespace check {
+
+namespace {
+
+// One per-key operation after decomposition. `required()` ops completed
+// and must appear in any accepting linearization; pending ops are
+// optional (apply-or-skip).
+struct Node {
+  uint64_t t_inv = 0;
+  uint64_t t_resp = kPendingTime;
+  uint64_t arg = 0;
+  uint64_t result = 0;
+  OpKind kind = OpKind::kGet;
+  Outcome outcome = Outcome::kTrue;
+  bool from_scan = false;
+  bool recovered_read = false;
+  bool required() const { return outcome != Outcome::kPending; }
+};
+
+// The single-value register each key models.
+struct RegState {
+  bool present = false;
+  uint64_t value = 0;
+  bool operator==(const RegState& o) const {
+    return present == o.present && (!present || value == o.value);
+  }
+  bool operator<(const RegState& o) const {
+    if (present != o.present) return present < o.present;
+    return present && value < o.value;
+  }
+};
+
+const char* KindName(OpKind k) {
+  switch (k) {
+    case OpKind::kGet: return "get";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kUpdate: return "update";
+    case OpKind::kErase: return "erase";
+    case OpKind::kUpsert: return "upsert";
+    case OpKind::kScan: return "scan";
+  }
+  return "?";
+}
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kFalse: return "false";
+    case Outcome::kTrue: return "true";
+    case Outcome::kUnknown: return "unknown";
+    case Outcome::kPending: return "pending";
+    case Outcome::kNoop: return "noop";
+  }
+  return "?";
+}
+
+// Transition of a *completed* op: false when the recorded outcome is
+// inconsistent with state `s` (this linearization order is impossible).
+bool ApplyRequired(const Node& nd, RegState* s) {
+  switch (nd.kind) {
+    case OpKind::kGet:
+      if (nd.outcome == Outcome::kTrue) {
+        return s->present && s->value == nd.result;
+      }
+      if (nd.outcome == Outcome::kFalse) return !s->present;
+      return true;  // unreachable: reads always report found/not-found
+    case OpKind::kInsert:
+      if (nd.outcome == Outcome::kTrue) {
+        if (s->present) return false;
+        s->present = true;
+        s->value = nd.arg;
+        return true;
+      }
+      return s->present;  // kFalse: key already existed, value untouched
+    case OpKind::kUpdate:
+      if (nd.outcome == Outcome::kTrue) {
+        if (!s->present) return false;
+        s->value = nd.arg;
+        return true;
+      }
+      return !s->present;
+    case OpKind::kErase:
+      if (nd.outcome == Outcome::kTrue) {
+        if (!s->present) return false;
+        s->present = false;
+        return true;
+      }
+      return !s->present;
+    case OpKind::kUpsert:
+      if (nd.outcome == Outcome::kTrue && s->present) return false;
+      if (nd.outcome == Outcome::kFalse && !s->present) return false;
+      // kUnknown (wire PUT: ack without the inserted flag) constrains
+      // nothing about the prior state.
+      s->present = true;
+      s->value = nd.arg;
+      return true;
+    case OpKind::kScan:
+      return true;  // scans were decomposed; never reach the solver
+  }
+  return true;
+}
+
+// Possible effect of a pending op when a branch chooses to apply it.
+// False when the op could not have taken effect from state `s` (the
+// branch that skips it forever is explored separately).
+bool ApplyEffect(const Node& nd, RegState* s) {
+  switch (nd.kind) {
+    case OpKind::kInsert:
+      if (s->present) return false;
+      s->present = true;
+      s->value = nd.arg;
+      return true;
+    case OpKind::kUpdate:
+      if (!s->present) return false;
+      s->value = nd.arg;
+      return true;
+    case OpKind::kErase:
+      if (!s->present) return false;
+      s->present = false;
+      return true;
+    case OpKind::kUpsert:
+      s->present = true;
+      s->value = nd.arg;
+      return true;
+    case OpKind::kGet:
+      // Pending reads that still constrain (rows observed by a crashed
+      // scan) are modeled as required; a plain pending read has no
+      // effect and is dropped at decomposition.
+      return false;
+    case OpKind::kScan:
+      return false;
+  }
+  return false;
+}
+
+// Memoized Wing–Gong DFS over one cluster. Collects the set of register
+// states a complete linearization of the cluster can end in; an empty
+// set means no accepting order exists.
+class ClusterSolver {
+ public:
+  ClusterSolver(const Node* nodes, size_t n, uint64_t* dfs_budget,
+                CheckStats* stats)
+      : nodes_(nodes),
+        n_(n),
+        words_((n + 63) / 64),
+        bits_(words_, 0),
+        dfs_budget_(dfs_budget),
+        stats_(stats) {
+    for (size_t i = 0; i < n_; ++i) {
+      if (nodes_[i].required()) ++total_required_;
+    }
+  }
+
+  bool budget_hit() const { return budget_hit_; }
+
+  std::vector<RegState> Solve(const std::vector<RegState>& starts) {
+    for (const RegState& s : starts) {
+      std::fill(bits_.begin(), bits_.end(), 0);
+      done_required_ = 0;
+      num_linearized_ = 0;
+      Dfs(s);
+      if (budget_hit_) break;
+    }
+    return std::vector<RegState>(ends_.begin(), ends_.end());
+  }
+
+ private:
+  bool Linearized(size_t i) const {
+    return (bits_[i >> 6] >> (i & 63)) & 1;
+  }
+  void SetBit(size_t i) { bits_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void ClearBit(size_t i) { bits_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  std::string MemoKey(const RegState& s) const {
+    std::string k;
+    k.resize(words_ * 8 + 9);
+    char* p = k.data();
+    for (size_t w = 0; w < words_; ++w) {
+      uint64_t v = bits_[w];
+      for (int b = 0; b < 8; ++b) p[w * 8 + b] = static_cast<char>(v >> (8 * b));
+    }
+    p += words_ * 8;
+    p[0] = s.present ? 1 : 0;
+    uint64_t v = s.present ? s.value : 0;
+    for (int b = 0; b < 8; ++b) p[1 + b] = static_cast<char>(v >> (8 * b));
+    return k;
+  }
+
+  void Dfs(const RegState& s) {
+    if (budget_hit_) return;
+    if (*dfs_budget_ == 0) {
+      budget_hit_ = true;
+      return;
+    }
+    --*dfs_budget_;
+    ++stats_->dfs_nodes;
+    if (done_required_ == total_required_) ends_.insert(s);
+    if (num_linearized_ == n_) return;
+    if (!memo_.insert(MemoKey(s)).second) return;
+    // Wing–Gong candidate rule: an op may linearize next iff no
+    // unlinearized *completed* op's response strictly precedes its
+    // invocation.
+    uint64_t min_resp = kPendingTime;
+    for (size_t i = 0; i < n_; ++i) {
+      if (!Linearized(i) && nodes_[i].required()) {
+        min_resp = std::min(min_resp, nodes_[i].t_resp);
+      }
+    }
+    for (size_t i = 0; i < n_; ++i) {
+      if (Linearized(i)) continue;
+      const Node& nd = nodes_[i];
+      if (min_resp < nd.t_inv) continue;
+      RegState ns = s;
+      if (nd.required()) {
+        if (!ApplyRequired(nd, &ns)) continue;
+      } else {
+        if (!ApplyEffect(nd, &ns)) continue;
+      }
+      SetBit(i);
+      ++num_linearized_;
+      if (nd.required()) ++done_required_;
+      // Linearizing `nd` moves the cut past every pending op whose
+      // response it strictly follows: those can no longer take effect in
+      // this branch (a completed op's real-time order pins them).
+      skip_stack_.clear();
+      for (size_t j = 0; j < n_; ++j) {
+        if (!Linearized(j) && !nodes_[j].required() &&
+            nodes_[j].t_resp < nd.t_inv) {
+          SetBit(j);
+          ++num_linearized_;
+          skip_stack_.push_back(static_cast<uint32_t>(j));
+        }
+      }
+      std::vector<uint32_t> skipped;
+      skipped.swap(skip_stack_);
+      Dfs(ns);
+      for (uint32_t j : skipped) {
+        ClearBit(j);
+        --num_linearized_;
+      }
+      ClearBit(i);
+      --num_linearized_;
+      if (nd.required()) --done_required_;
+    }
+  }
+
+  const Node* nodes_;
+  size_t n_;
+  size_t words_;
+  std::vector<uint64_t> bits_;
+  size_t total_required_ = 0;
+  size_t done_required_ = 0;
+  size_t num_linearized_ = 0;
+  std::set<RegState> ends_;
+  std::unordered_set<std::string> memo_;
+  std::vector<uint32_t> skip_stack_;
+  uint64_t* dfs_budget_;
+  CheckStats* stats_;
+  bool budget_hit_ = false;
+};
+
+// --- key-space plumbing (fixed uint64 keys vs var string keys) --------------
+
+std::string PrintKey(uint64_t key) {
+  std::ostringstream os;
+  os << key;
+  return os.str();
+}
+
+std::string PrintKey(const std::string& key) {
+  std::string out = "\"";
+  for (char c : key) {
+    if (std::isprint(static_cast<unsigned char>(c))) {
+      out += c;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+    if (out.size() > 40) {
+      out += "...";
+      break;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+template <typename KeyT>
+struct Space {
+  std::map<KeyT, std::vector<Node>> per_key;
+  struct ScanRec {
+    KeyT start;
+    std::vector<KeyT> row_keys;  // sorted
+    bool exhausted = false;
+    uint64_t t_inv = 0;
+    uint64_t t_resp = kPendingTime;
+    bool pending = false;
+  };
+  std::vector<ScanRec> scans;
+};
+
+// Turns one captured event into per-key nodes. Shared between the two
+// key spaces via the KeyT-specific `key_of` / row extraction lambdas.
+template <typename KeyT, typename KeyOfFn, typename RowFn>
+void AddEvent(const History& h, const Event& ev, Space<KeyT>* sp,
+              const KeyOfFn& key_of, const RowFn& row_of,
+              CheckStats* stats) {
+  if (ev.outcome == Outcome::kNoop) return;
+  if (ev.kind != OpKind::kScan) {
+    if (ev.kind == OpKind::kGet && ev.outcome == Outcome::kPending) return;
+    Node nd;
+    nd.t_inv = ev.t_inv;
+    nd.t_resp = ev.t_resp;
+    nd.arg = ev.arg;
+    nd.result = ev.result;
+    nd.kind = ev.kind;
+    nd.outcome = ev.outcome;
+    sp->per_key[key_of(ev)].push_back(nd);
+    return;
+  }
+  // Scan: each delivered row is a completed read of (key -> value) whose
+  // interval is the scan's. Rows observed by a scan that never returned
+  // (crash mid-scan) were still truly read — they stay required, with the
+  // response widened to +inf.
+  typename Space<KeyT>::ScanRec rec;
+  rec.start = key_of(ev);
+  rec.exhausted = ev.scan_exhausted;
+  rec.t_inv = ev.t_inv;
+  rec.t_resp = ev.t_resp;
+  rec.pending = ev.outcome == Outcome::kPending;
+  rec.row_keys.reserve(ev.rows_n);
+  for (uint32_t i = 0; i < ev.rows_n; ++i) {
+    KeyT rkey;
+    uint64_t rval;
+    row_of(ev, i, &rkey, &rval);
+    Node nd;
+    nd.t_inv = ev.t_inv;
+    nd.t_resp = ev.t_resp;
+    nd.kind = OpKind::kGet;
+    nd.outcome = Outcome::kTrue;
+    nd.result = rval;
+    nd.from_scan = true;
+    sp->per_key[rkey].push_back(nd);
+    rec.row_keys.push_back(std::move(rkey));
+    ++stats->scan_reads;
+  }
+  std::sort(rec.row_keys.begin(), rec.row_keys.end());
+  sp->scans.push_back(std::move(rec));
+  (void)h;
+}
+
+// Absence witnesses: a completed scan that listed rows covers the window
+// [start, last row] — or [start, +inf) when it ran dry below its limit —
+// and every universe key inside the window it did *not* list was read as
+// absent. Scans with zero rows witness nothing: an unordered index
+// legitimately returns no rows, and treating that as "everything absent"
+// would be unsound.
+template <typename KeyT>
+void AddAbsenceWitnesses(Space<KeyT>* sp, CheckStats* stats) {
+  for (const auto& rec : sp->scans) {
+    if (rec.pending || rec.row_keys.empty()) continue;
+    auto it = sp->per_key.lower_bound(rec.start);
+    auto rows_it = rec.row_keys.begin();
+    const KeyT& last = rec.row_keys.back();
+    for (; it != sp->per_key.end(); ++it) {
+      if (!rec.exhausted && last < it->first) break;
+      while (rows_it != rec.row_keys.end() && *rows_it < it->first) ++rows_it;
+      if (rows_it != rec.row_keys.end() && *rows_it == it->first) continue;
+      Node nd;
+      nd.t_inv = rec.t_inv;
+      nd.t_resp = rec.t_resp;
+      nd.kind = OpKind::kGet;
+      nd.outcome = Outcome::kFalse;
+      nd.from_scan = true;
+      it->second.push_back(nd);
+      ++stats->scan_reads;
+    }
+  }
+}
+
+template <typename KeyT>
+std::string DescribeCluster(const KeyT& key, const Node* nodes, size_t n) {
+  std::ostringstream os;
+  os << "key " << PrintKey(key) << ": no linearization of " << n
+     << " overlapping op(s):";
+  size_t show = std::min<size_t>(n, 16);
+  for (size_t i = 0; i < show; ++i) {
+    const Node& nd = nodes[i];
+    os << "\n  " << KindName(nd.kind) << "(arg=" << nd.arg
+       << ") -> " << OutcomeName(nd.outcome);
+    if (nd.kind == OpKind::kGet && nd.outcome == Outcome::kTrue) {
+      os << " value=" << nd.result;
+    }
+    if (nd.recovered_read) os << " [recovered state]";
+    if (nd.from_scan) os << " [scan witness]";
+    os << " @[" << nd.t_inv << ", ";
+    if (nd.t_resp == kPendingTime) {
+      os << "pending";
+    } else {
+      os << nd.t_resp;
+    }
+    os << "]";
+  }
+  if (show < n) os << "\n  ... " << (n - show) << " more";
+  return os.str();
+}
+
+template <typename KeyT>
+bool CheckKey(const KeyT& key, std::vector<Node>* nodes, RegState init,
+              const CheckOptions& opts, uint64_t* dfs_budget,
+              CheckResult* res) {
+  std::stable_sort(nodes->begin(), nodes->end(),
+                   [](const Node& a, const Node& b) {
+                     if (a.t_inv != b.t_inv) return a.t_inv < b.t_inv;
+                     return a.t_resp < b.t_resp;
+                   });
+  ++res->stats.keys;
+  res->stats.ops += nodes->size();
+  std::vector<RegState> frontier{init};
+  size_t i = 0;
+  const size_t n = nodes->size();
+  while (i < n) {
+    // Grow the cluster until a quiescent cut: every op so far responded
+    // strictly before the next invocation.
+    uint64_t max_resp = (*nodes)[i].t_resp;
+    size_t j = i + 1;
+    while (j < n && !(max_resp < (*nodes)[j].t_inv)) {
+      max_resp = std::max(max_resp, (*nodes)[j].t_resp);
+      ++j;
+    }
+    const size_t len = j - i;
+    ++res->stats.clusters;
+    res->stats.largest_cluster =
+        std::max<uint64_t>(res->stats.largest_cluster, len);
+    if (len > opts.max_cluster_ops) {
+      res->decided = false;
+      res->why = "cluster of " + std::to_string(len) + " ops on key " +
+                 PrintKey(key) + " exceeds max_cluster_ops";
+      return false;
+    }
+    ClusterSolver solver(nodes->data() + i, len, dfs_budget, &res->stats);
+    frontier = solver.Solve(frontier);
+    if (solver.budget_hit()) {
+      res->decided = false;
+      res->why = "dfs budget exhausted on key " + PrintKey(key);
+      return false;
+    }
+    if (frontier.empty()) {
+      res->ok = false;
+      res->why = DescribeCluster(key, nodes->data() + i, len);
+      return false;
+    }
+    if (frontier.size() > opts.max_frontier_states) {
+      res->decided = false;
+      res->why = "frontier of " + std::to_string(frontier.size()) +
+                 " states on key " + PrintKey(key) +
+                 " exceeds max_frontier_states";
+      return false;
+    }
+    i = j;
+  }
+  return true;
+}
+
+template <typename KeyT>
+bool CheckSpace(Space<KeyT>* sp, const std::map<KeyT, uint64_t>& initial,
+                const std::map<KeyT, uint64_t>& recovered,
+                const CheckOptions& opts, uint64_t* dfs_budget,
+                CheckResult* res) {
+  // The universe must cover keys that only appear in the initial or
+  // recovered state: an unexplained appearance/disappearance is a
+  // violation only if the key gets its required recovered read.
+  for (const auto& kv : initial) sp->per_key[kv.first];
+  if (opts.durable) {
+    for (const auto& kv : recovered) sp->per_key[kv.first];
+  }
+  AddAbsenceWitnesses(sp, &res->stats);
+  if (opts.durable) {
+    for (auto& kv : sp->per_key) {
+      Node nd;
+      nd.kind = OpKind::kGet;
+      nd.t_inv = kPendingTime - 1;
+      nd.t_resp = kPendingTime - 1;
+      nd.recovered_read = true;
+      auto it = recovered.find(kv.first);
+      if (it != recovered.end()) {
+        nd.outcome = Outcome::kTrue;
+        nd.result = it->second;
+      } else {
+        nd.outcome = Outcome::kFalse;
+      }
+      kv.second.push_back(nd);
+    }
+  }
+  for (auto& kv : sp->per_key) {
+    RegState init;
+    auto it = initial.find(kv.first);
+    if (it != initial.end()) {
+      init.present = true;
+      init.value = it->second;
+    }
+    if (!CheckKey(kv.first, &kv.second, init, opts, dfs_budget, res)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckResult CheckHistory(const History& h, const CheckOptions& opts) {
+  CheckResult res;
+  uint64_t dfs_budget = opts.max_dfs_nodes;
+
+  Space<uint64_t> fixed;
+  Space<std::string> var;
+  auto fixed_key = [](const Event& ev) { return ev.key; };
+  auto fixed_row = [&h](const Event& ev, uint32_t i, uint64_t* key,
+                        uint64_t* val) {
+    *key = h.words[ev.rows_off + 2 * i];
+    *val = h.words[ev.rows_off + 2 * i + 1];
+  };
+  auto var_key = [&h](const Event& ev) {
+    return std::string(h.KeyOf(ev));
+  };
+  auto var_row = [&h](const Event& ev, uint32_t i, std::string* key,
+                      uint64_t* val) {
+    uint64_t off = h.words[ev.rows_off + 3 * i];
+    uint64_t len = h.words[ev.rows_off + 3 * i + 1];
+    key->assign(h.chars.data() + off, len);
+    *val = h.words[ev.rows_off + 3 * i + 2];
+  };
+  for (const Event& ev : h.events) {
+    if (ev.var_key) {
+      AddEvent(h, ev, &var, var_key, var_row, &res.stats);
+    } else {
+      AddEvent(h, ev, &fixed, fixed_key, fixed_row, &res.stats);
+    }
+  }
+
+  if (!CheckSpace(&fixed, opts.initial_fixed, opts.recovered_fixed, opts,
+                  &dfs_budget, &res)) {
+    return res;
+  }
+  CheckSpace(&var, opts.initial_var, opts.recovered_var, opts, &dfs_budget,
+             &res);
+  return res;
+}
+
+}  // namespace check
+}  // namespace fptree

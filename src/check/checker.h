@@ -1,0 +1,87 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Per-key Wing–Gong / Porcupine-style linearizability checker for the KV
+// object model (DESIGN.md §13).
+//
+// The object is a map of independent single-value registers, so a history
+// is linearizable iff each key's subhistory is — the checker decomposes
+// the history per key (point ops directly; batch elements as per-key ops
+// with the batch's invocation/response window; scan rows as per-key reads
+// plus absence witnesses over the scanned window) and checks keys
+// independently.
+//
+// Per key, events are sorted by invocation and split into *clusters* at
+// quiescent cuts: whenever every earlier op's response strictly precedes
+// the next invocation, any linearization must order the two sides
+// consecutively, so the search runs per cluster and only a set of
+// possible end states crosses the cut (interval pruning — this is what
+// makes million-op histories check in seconds: contention is local, so
+// clusters stay small).
+//
+// Within a cluster, a memoized DFS applies the Wing–Gong candidate rule:
+// an op can linearize first iff its invocation precedes every
+// *unreturned required* op's response. Completed (acked) ops are
+// required; pending ops (no response: in-flight at a crash, or lost on
+// the wire) are optional — each branch may apply the op's effect or skip
+// it forever, which is exactly durable linearizability's "effect may or
+// may not have survived".
+//
+// Durable mode (CheckOptions::durable): the caller provides the state
+// observed after crash + recovery; the checker appends one required read
+// per key at t = +inf. A history passes iff the recovered state is a
+// consistent cut that includes every acked operation — a lost acked
+// write, resurrected delete, or non-prefix batch all fail here.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "check/history.h"
+
+namespace fptree {
+namespace check {
+
+struct CheckOptions {
+  /// Durable mode: check the recovered state as a final required read of
+  /// every key (absent keys are required reads of "absent").
+  bool durable = false;
+
+  /// State each key starts in (keys not listed start absent). Chains
+  /// multi-round histories: round N's recovered state seeds round N+1.
+  std::map<uint64_t, uint64_t> initial_fixed;
+  std::map<std::string, uint64_t> initial_var;
+
+  /// The post-recovery state (durable mode only).
+  std::map<uint64_t, uint64_t> recovered_fixed;
+  std::map<std::string, uint64_t> recovered_var;
+
+  /// Budgets. Exceeding one yields decided=false (never a wrong verdict).
+  size_t max_cluster_ops = size_t{1} << 14;
+  uint64_t max_dfs_nodes = uint64_t{1} << 24;
+  size_t max_frontier_states = 64;  // distinct states crossing one cut
+};
+
+struct CheckStats {
+  uint64_t keys = 0;
+  uint64_t ops = 0;         // per-key ops checked (after decomposition)
+  uint64_t scan_reads = 0;  // reads contributed by scan rows + absences
+  uint64_t clusters = 0;
+  uint64_t dfs_nodes = 0;
+  uint64_t largest_cluster = 0;
+};
+
+struct CheckResult {
+  bool ok = true;       // linearizable (meaningless when !decided)
+  bool decided = true;  // false: a budget was exceeded
+  std::string why;      // violation/budget diagnostic, "" when ok
+  CheckStats stats;
+};
+
+/// Checks a drained history. Fixed- and var-key events are independent
+/// object spaces and are both checked in one call.
+CheckResult CheckHistory(const History& h, const CheckOptions& opts);
+
+}  // namespace check
+}  // namespace fptree

@@ -1,0 +1,265 @@
+// Copyright (c) FPTree reproduction authors.
+
+#include "check/history.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace fptree {
+namespace check {
+
+namespace {
+
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+obs::Counter* CapturedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("check.events_captured");
+  return c;
+}
+
+}  // namespace
+
+// --- ThreadLog --------------------------------------------------------------
+
+void ThreadLog::Spill() {
+  spilled_.push_back(std::move(ring_));
+  // Recycled chunks keep their pages mapped and warm; a fresh 256 KB
+  // allocation per 4096 events would eat a first-touch page fault per
+  // ring page, which bench_check_overhead sees. Their stale contents are
+  // never cleared — the cursor overwrites slots as it advances and only
+  // [0, pos_) is ever drained.
+  ring_ = pool_->Take();
+  pos_ = 0;
+  FlushCounter();
+}
+
+uint32_t ThreadLog::Begin(const Event& proto) {
+  uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(open_.size());
+    open_.emplace_back();
+  }
+  OpenOp& op = open_[slot];
+  op.used = true;
+  op.ev = proto;
+  op.ev.tid = tid_;
+  op.key.clear();
+  op.row_chars.clear();
+  op.row_words.clear();
+  return slot;
+}
+
+uint32_t ThreadLog::BeginVar(const Event& proto, std::string_view key) {
+  uint32_t slot = Begin(proto);
+  OpenOp& op = open_[slot];
+  op.ev.var_key = true;
+  op.key.assign(key.data(), key.size());
+  return slot;
+}
+
+void ThreadLog::AddRowFixed(uint32_t slot, uint64_t key, uint64_t value) {
+  OpenOp& op = open_[slot];
+  op.row_words.push_back(key);
+  op.row_words.push_back(value);
+}
+
+void ThreadLog::AddRowVar(uint32_t slot, std::string_view key,
+                          uint64_t value) {
+  OpenOp& op = open_[slot];
+  op.row_words.push_back(op.row_chars.size());
+  op.row_words.push_back(key.size());
+  op.row_words.push_back(value);
+  op.row_chars.append(key.data(), key.size());
+}
+
+void ThreadLog::Emit(OpenOp* op, Outcome outcome, uint64_t result,
+                     bool stamp_now) {
+  Event ev = op->ev;
+  ev.outcome = outcome;
+  ev.result = result;
+  ev.t_resp = stamp_now ? ClockNow() : kPendingTime;
+  if (stamp_now) last_resp_ = ev.t_resp;
+  if (ev.var_key && !op->key.empty()) {
+    ev.key_off = static_cast<uint32_t>(chars_.size());
+    ev.key_len = static_cast<uint32_t>(op->key.size());
+    chars_ += op->key;
+  }
+  if (!op->row_words.empty()) {
+    ev.rows_off = static_cast<uint32_t>(words_.size());
+    if (ev.var_key) {
+      // Rebase the row keys' local char offsets into this log's arena.
+      uint64_t cbase = chars_.size();
+      chars_ += op->row_chars;
+      ev.rows_n = static_cast<uint32_t>(op->row_words.size() / 3);
+      for (size_t i = 0; i < op->row_words.size(); i += 3) {
+        words_.push_back(op->row_words[i] + cbase);
+        words_.push_back(op->row_words[i + 1]);
+        words_.push_back(op->row_words[i + 2]);
+      }
+    } else {
+      ev.rows_n = static_cast<uint32_t>(op->row_words.size() / 2);
+      words_.insert(words_.end(), op->row_words.begin(), op->row_words.end());
+    }
+  }
+  Push(ev);
+}
+
+void ThreadLog::End(uint32_t slot, Outcome outcome, uint64_t result) {
+  OpenOp& op = open_[slot];
+  assert(op.used);
+  Emit(&op, outcome, result, outcome != Outcome::kPending);
+  op.used = false;
+  free_.push_back(slot);
+}
+
+void ThreadLog::EndAmbiguous(uint32_t slot) {
+  OpenOp& op = open_[slot];
+  assert(op.used);
+  Emit(&op, Outcome::kPending, 0, /*stamp_now=*/true);
+  op.used = false;
+  free_.push_back(slot);
+}
+
+// --- HistoryRecorder --------------------------------------------------------
+
+HistoryRecorder::HistoryRecorder() : id_(NextRecorderId()) {
+  // Eager registration: the counter key must exist in METRICS_JSON even
+  // for recorders that are never drained (e.g. a server killed mid-run).
+  CapturedCounter();
+}
+
+HistoryRecorder::~HistoryRecorder() = default;
+
+ThreadLog* HistoryRecorder::Register() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t tid = static_cast<uint32_t>(logs_.size());
+  logs_.emplace_back(new ThreadLog(tid, &pool_));
+  logs_.back()->counter_ = CapturedCounter();
+  return logs_.back().get();
+}
+
+ThreadLog* HistoryRecorder::LogSlow() {
+  thread_local std::unordered_map<uint64_t, ThreadLog*> by_id;
+  auto it = by_id.find(id_);
+  ThreadLog* log;
+  if (it != by_id.end()) {
+    log = it->second;
+  } else {
+    log = Register();
+    by_id.emplace(id_, log);
+  }
+  tl_cached = {id_, log};
+  return log;
+}
+
+History HistoryRecorder::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  History h;
+  size_t total = 0;
+  for (const auto& log : logs_) {
+    total += log->logged_ + log->open_.size();
+  }
+  h.events.reserve(total);
+  for (auto& logp : logs_) {
+    ThreadLog& log = *logp;
+    // Still-open slots are operations that never returned (crash unwound
+    // past End, or a connection died): drain them as pending.
+    for (auto& op : log.open_) {
+      if (op.used) log.Emit(&op, Outcome::kPending, 0, /*stamp_now=*/false);
+    }
+    log.open_.clear();
+    log.free_.clear();
+    const uint64_t cbase = h.chars.size();
+    const uint64_t wbase = h.words.size();
+    h.chars += log.chars_;
+    h.words.insert(h.words.end(), log.words_.begin(), log.words_.end());
+    // Event carries 32-bit arena offsets (it is packed to one cache
+    // line); no realistic history gets near them, but fail loudly rather
+    // than silently alias if one ever does.
+    if (h.chars.size() > UINT32_MAX || h.words.size() > UINT32_MAX) {
+      std::fprintf(stderr,
+                   "check: drained history exceeds 32-bit arena offsets\n");
+      std::abort();
+    }
+    auto splice = [&](std::vector<Event>& chunk, size_t n) {
+      for (size_t i = 0; i < n; ++i) {
+        Event ev = chunk[i];
+        // Unfenced rdtsc stamps can invert by a few cycles within one
+        // thread; clamp so every completed event is a valid interval.
+        if (ev.t_resp < ev.t_inv) ev.t_resp = ev.t_inv;
+        if (ev.var_key) {
+          ev.key_off = static_cast<uint32_t>(ev.key_off + cbase);
+        }
+        if (ev.rows_n != 0) {
+          ev.rows_off = static_cast<uint32_t>(ev.rows_off + wbase);
+          if (ev.var_key) {
+            // Var scan rows carry char offsets of their own: rebase them
+            // from the per-thread arena into the merged one.
+            for (uint32_t i = 0; i < ev.rows_n; ++i) {
+              h.words[ev.rows_off + 3 * i] += cbase;
+            }
+          }
+        }
+        h.events.push_back(ev);
+      }
+    };
+    // Spilled chunks are full by construction (Spill fires only at a full
+    // cursor); the live ring is valid up to the cursor.
+    for (auto& chunk : log.spilled_) {
+      splice(chunk, kRingEvents);
+      pool_.Put(std::move(chunk));
+    }
+    log.spilled_.clear();
+    splice(log.ring_, log.pos_);
+    log.pos_ = 0;
+    log.chars_.clear();
+    log.words_.clear();
+    log.FlushCounter();
+    log.logged_ = 0;
+    log.counted_ = 0;
+  }
+  return h;
+}
+
+void HistoryRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& logp : logs_) {
+    ThreadLog& log = *logp;
+    log.open_.clear();
+    log.free_.clear();
+    for (auto& chunk : log.spilled_) {
+      pool_.Put(std::move(chunk));
+    }
+    log.spilled_.clear();
+    log.pos_ = 0;
+    log.chars_.clear();
+    log.words_.clear();
+    log.FlushCounter();
+    log.logged_ = 0;
+    log.counted_ = 0;
+  }
+}
+
+size_t HistoryRecorder::threads_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logs_.size();
+}
+
+HistoryRecorder* GlobalRecorder() {
+  static HistoryRecorder* rec = new HistoryRecorder();
+  return rec;
+}
+
+}  // namespace check
+}  // namespace fptree

@@ -1,0 +1,384 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// History capture for linearizability checking (DESIGN.md §13).
+//
+// A HistoryRecorder owns one ThreadLog per participating thread. Logs are
+// strictly single-writer: the owning thread appends invocation/response
+// events with no synchronization at all (the recorder mutex is only taken
+// on first registration and at drain time). Each log keeps a bounded
+// in-place ring of events; full rings spill to an overflow list so long
+// stress runs never drop history, and drain stitches all per-thread logs
+// into one flat History.
+//
+// Timestamps come from the process-wide monotonic clock (util::NowNanos).
+// Two events overlap iff neither's response strictly precedes the other's
+// invocation; the checker compares with strict `<`, so equal stamps are
+// treated as overlapping — permissive, never unsound.
+//
+// The Begin/End slot protocol is crash-tolerant by construction: Begin
+// publishes the invocation into the log's open-op table *before* the
+// wrapped index is called, so an operation interrupted by a simulated
+// crash (CrashException unwinds past End) drains as a *pending* event —
+// exactly the "effect may or may not survive" shape the durable checker
+// needs.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace fptree {
+namespace check {
+
+/// Response stamp of an operation that never returned (in flight at a
+/// crash, or abandoned on a dead connection). Larger than any real stamp.
+constexpr uint64_t kPendingTime = ~uint64_t{0};
+
+/// Monotonic global clock shared by every thread and every recorder.
+/// Capture stamps are only ever *compared*, so units don't matter: on
+/// x86-64 this reads the invariant TSC directly — about half the cost of
+/// the vDSO clock_gettime path, which matters at two reads per op. The
+/// kernel's own choice of `tsc` as clocksource certifies cross-core
+/// synchronization; the instruction is deliberately unfenced (out-of-
+/// order skew is bounded well below the cache-coherence latency any
+/// cross-thread observation needs, and within a thread Drain clamps the
+/// rare t_resp < t_inv inversion). Elsewhere, fall back to the steady
+/// clock.
+#if defined(__x86_64__)
+inline uint64_t ClockNow() { return __builtin_ia32_rdtsc(); }
+#else
+inline uint64_t ClockNow() { return NowNanos(); }
+#endif
+
+/// The KV object model's operations. Scans decompose into per-key reads
+/// inside the checker; everything else is a single-key register op.
+enum class OpKind : uint8_t {
+  kGet = 0,     // Find: reads the register
+  kInsert,      // Insert: succeeds iff absent
+  kUpdate,      // Update: succeeds iff present
+  kErase,       // Erase: succeeds iff present
+  kUpsert,      // Upsert: unconditional write (result: inserted flag)
+  kScan,        // RangeScan / cursor scan: atomic multi-key read
+};
+
+enum class Outcome : uint8_t {
+  kFalse = 0,    // returned false / not-found / replaced
+  kTrue = 1,     // returned true / found / inserted
+  kUnknown = 2,  // completed, but the boolean answer was not observable
+                 // (e.g. the wire PUT acks without the inserted flag)
+  kPending = 3,  // never returned: effect may or may not have applied
+  kNoop = 4,     // completed with a hard error that left the key untouched
+                 // (e.g. NO_SPACE) — carries no constraint, checker drops it
+};
+
+/// One operation in the flattened history. Fixed-key ops use `key`;
+/// var-key ops intern their bytes in History::chars (key_off/key_len).
+/// Scan rows live in History::words: fixed scans store (key, value) pairs,
+/// var scans store (char_off, key_len, value) triples.
+///
+/// Deliberately packed and aligned to exactly one cache line: capture
+/// streams one Event per op through the per-thread ring, and a 64-byte
+/// event dirties half the lines a straddling layout would (measurable in
+/// bench_check_overhead). The 32-bit arena offsets cap one drained
+/// history at 4 GiB of interned keys / 512M scan-row words — far beyond
+/// any test run; Drain aborts loudly if a history ever gets there.
+struct alignas(64) Event {
+  uint64_t t_inv = 0;
+  uint64_t t_resp = kPendingTime;
+  uint64_t key = 0;       // fixed-key operand / scan start key
+  uint64_t arg = 0;       // value written (writes), limit (scans)
+  uint64_t result = 0;    // value read (Get), inserted flag (Upsert)
+  uint32_t key_off = 0;   // var-key bytes in History::chars
+  uint32_t rows_off = 0;  // scan rows in History::words
+  uint32_t key_len = 0;
+  uint32_t rows_n = 0;  // delivered row count
+  uint16_t tid = 0;     // recorder-local thread id
+  OpKind kind = OpKind::kGet;
+  Outcome outcome = Outcome::kPending;
+  bool var_key = false;
+  // True when the scan ended because the index ran out of keys *below its
+  // limit*: every universe key in [start, last row] — or [start, +inf) if
+  // rows were delivered to exhaustion — not listed was witnessed absent.
+  bool scan_exhausted = false;
+};
+static_assert(sizeof(Event) == 64, "Event must stay one cache line");
+
+/// A drained, self-contained history: events plus the two arenas the
+/// events index into. Event order carries no meaning — only timestamps do.
+struct History {
+  std::vector<Event> events;
+  std::string chars;            // interned var keys + var scan row keys
+  std::vector<uint64_t> words;  // scan rows
+
+  std::string_view KeyOf(const Event& e) const {
+    return std::string_view(chars.data() + e.key_off, e.key_len);
+  }
+  size_t size() const { return events.size(); }
+  bool empty() const { return events.empty(); }
+};
+
+class HistoryRecorder;
+
+/// One ring chunk's worth of events held in place before spilling.
+inline constexpr size_t kRingEvents = 4096;
+
+/// Recycles retired ring chunks across all threads of one recorder.
+/// Worker threads are often short-lived (stress rounds and bench reps
+/// spawn fresh threads per round); a per-thread freelist dies with its
+/// thread, so every new worker would pay a first-touch page fault per
+/// ring page (~64 faults per 256 KB chunk), which reads as capture
+/// overhead. Take/Put run once per kRingEvents captures, so a mutex is
+/// fine. Unbounded by design: the pool's high-water mark is the peak
+/// number of simultaneously live chunks, which Drain/Clear reclaim.
+class ChunkPool {
+ public:
+  std::vector<Event> Take() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!chunks_.empty()) {
+        std::vector<Event> c = std::move(chunks_.back());
+        chunks_.pop_back();
+        return c;
+      }
+    }
+    return std::vector<Event>(kRingEvents);
+  }
+  void Put(std::vector<Event> chunk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    chunks_.push_back(std::move(chunk));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::vector<Event>> chunks_;
+};
+
+/// Per-thread, single-writer event log. Obtain via HistoryRecorder::Log();
+/// never share a ThreadLog across threads.
+class ThreadLog {
+ public:
+  /// Opens a slot for an in-flight fixed-key op. `proto` must carry
+  /// t_inv/kind/key/arg; outcome and t_resp are filled by End. The slot
+  /// index stays valid until End or drain.
+  uint32_t Begin(const Event& proto);
+  /// Same, for a var-key op (key bytes are copied).
+  uint32_t BeginVar(const Event& proto, std::string_view key);
+
+  /// Appends one delivered scan row to an open scan slot.
+  void AddRowFixed(uint32_t slot, uint64_t key, uint64_t value);
+  void AddRowVar(uint32_t slot, std::string_view key, uint64_t value);
+
+  /// Mutable view of an open slot's event (e.g. to set scan_exhausted).
+  Event* open_event(uint32_t slot) { return &open_[slot].ev; }
+
+  /// Closes a slot: stamps t_resp (kPendingTime when outcome is kPending)
+  /// and moves the finished event into the log.
+  void End(uint32_t slot, Outcome outcome, uint64_t result = 0);
+
+  /// Closes a slot whose operation *completed* with an ambiguous effect
+  /// (e.g. one MPUT element under NO_SPACE: some strict prefix applied).
+  /// The event stays optional for the checker like any pending op, but
+  /// its finite response still pins real-time order: once a later op is
+  /// known to have started after this response, the ambiguous effect can
+  /// no longer materialize.
+  void EndAmbiguous(uint32_t slot);
+
+  /// Appends an already-complete event (caller stamped t_inv/t_resp —
+  /// used by the wire client, which learns reads' results in batches,
+  /// and by the point-op fast path, which skips the slot table). Defined
+  /// inline: this IS the capture hot path, and an out-of-line call per
+  /// op is measurable against a DRAM-speed tree.
+  void Commit(const Event& ev) {
+    if (pos_ == kRingEvents) Spill();
+    Event* slot = &ring_[pos_++];
+    *slot = ev;
+    slot->tid = tid_;
+    ++logged_;
+    if (ev.t_resp != kPendingTime && ev.t_resp > last_resp_) {
+      last_resp_ = ev.t_resp;
+    }
+  }
+  void CommitVar(Event ev, std::string_view key) {
+    ev.tid = tid_;
+    ev.var_key = true;
+    ev.key_off = static_cast<uint32_t>(chars_.size());
+    ev.key_len = static_cast<uint32_t>(key.size());
+    chars_.append(key.data(), key.size());
+    Push(ev);
+  }
+
+  /// Point-op fast path: reserves the next ring slot and returns a
+  /// pointer the caller fills in place — no stack Event, no copy. The
+  /// reserved slot is re-armed as a pending kGet (t_resp = kPendingTime,
+  /// outcome = kPending, no rows), so an operation that unwinds mid-call
+  /// (CrashSim's CrashException) needs no cleanup: the slot already
+  /// records "effect may or may not have survived", and a pending kGet
+  /// that never got its kind overwritten is simply dropped by the
+  /// checker. Fields the pending shape never reads (key, arg, result,
+  /// arena offsets) keep whatever the recycled chunk held — the caller
+  /// overwrites the ones its op kind uses. The pointer is valid until
+  /// the next capture call on this thread.
+  Event* Reserve() {
+    if (pos_ == kRingEvents) Spill();
+    Event* ev = &ring_[pos_++];
+    ++logged_;
+    // The ring advances one 64-byte line per op; pull the line a few slots
+    // ahead into cache with write intent so the stores below do not eat a
+    // demand read-for-ownership miss on the hot path.
+    __builtin_prefetch(ev + 16, /*rw=*/1, /*locality=*/0);
+    // Invocation stamp on the cheap: one past this thread's previous
+    // response. The true invocation is never earlier (same thread,
+    // program order), so the interval only widens — permissive for the
+    // checker, never unsound — while same-thread ops keep their strict
+    // real-time order. Saves one of the two clock reads per op.
+    ev->t_inv = last_resp_ + 1;
+    ev->t_resp = kPendingTime;
+    ev->rows_n = 0;
+    ev->tid = tid_;
+    ev->kind = OpKind::kGet;
+    ev->outcome = Outcome::kPending;
+    ev->var_key = false;
+    ev->scan_exhausted = false;
+    return ev;
+  }
+  /// Closes a reserved slot: stamps the response and advances the
+  /// thread's response watermark that the next Reserve derives t_inv
+  /// from. The single ClockNow() here is the only clock read a point op
+  /// pays.
+  void Finish(Event* ev) {
+    uint64_t t = ClockNow();
+    ev->t_resp = t;
+    last_resp_ = t;
+  }
+  /// Var-key flavor: interns the key up front so the pending shape is
+  /// complete before the inner call runs.
+  Event* ReserveVar(std::string_view key) {
+    Event* ev = Reserve();
+    ev->var_key = true;
+    ev->key_off = static_cast<uint32_t>(chars_.size());
+    ev->key_len = static_cast<uint32_t>(key.size());
+    chars_.append(key.data(), key.size());
+    return ev;
+  }
+
+  uint64_t events_logged() const { return logged_; }
+
+ private:
+  friend class HistoryRecorder;
+
+  struct OpenOp {
+    Event ev;
+    std::string key;              // var key (empty for fixed-key ops)
+    std::string row_chars;        // var scan row keys, local offsets
+    std::vector<uint64_t> row_words;
+    bool used = false;
+  };
+
+  ThreadLog(uint32_t tid, ChunkPool* pool)
+      : tid_(static_cast<uint16_t>(tid)), pool_(pool), ring_(pool->Take()) {}
+  void Emit(OpenOp* op, Outcome outcome, uint64_t result, bool stamp_now);
+  // Ring size invariant: ring_ always holds kRingEvents slots and pos_ is
+  // the write cursor; Spill/Drain/Clear preserve the size, so the hot
+  // paths never bounds-check beyond the cursor compare. Slots past pos_
+  // (and recycled chunks' contents) are stale garbage by design — only
+  // [0, pos_) is ever drained.
+  void Push(const Event& ev) {
+    if (pos_ == kRingEvents) Spill();
+    ring_[pos_++] = ev;
+    ++logged_;
+  }
+  void Spill();
+  /// Publishes logged-but-uncounted events to the check.events_captured
+  /// counter. Amortized: Spill flushes once per ring, Drain flushes the
+  /// remainder, so the hot path never touches the shared atomic.
+  void FlushCounter() {
+    if (logged_ > counted_) {
+      counter_->Add(logged_ - counted_);
+      counted_ = logged_;
+    }
+  }
+
+  uint16_t tid_ = 0;
+  uint64_t logged_ = 0;
+  uint64_t last_resp_ = 0;  // response watermark; Reserve derives t_inv
+  uint64_t counted_ = 0;  // events already flushed to the obs counter
+  obs::Counter* counter_ = nullptr;  // check.events_captured (set at reg.)
+  ChunkPool* pool_ = nullptr;  // recorder-wide chunk recycler
+  size_t pos_ = 0;                           // ring write cursor
+  std::vector<Event> ring_;                  // current chunk (always full-size)
+  std::vector<std::vector<Event>> spilled_;  // full chunks
+  std::string chars_;
+  std::vector<uint64_t> words_;
+  std::vector<OpenOp> open_;
+  std::vector<uint32_t> free_;
+};
+
+/// A history-recording domain. Threads self-register on first Log() call;
+/// Drain() (quiescent: no thread may be mid-operation) merges all logs
+/// into one History, converting still-open slots into pending events, and
+/// resets the recorder for the next round.
+class HistoryRecorder {
+ public:
+  HistoryRecorder();
+  ~HistoryRecorder();
+
+  HistoryRecorder(const HistoryRecorder&) = delete;
+  HistoryRecorder& operator=(const HistoryRecorder&) = delete;
+
+  /// The calling thread's log (registered on first use). Lock-free after
+  /// the first call per (thread, recorder) pair; the fast path is one
+  /// thread-local compare, inlined into the capture wrappers.
+  ThreadLog* Log() {
+    if (tl_cached.id == id_) return tl_cached.log;
+    return LogSlow();
+  }
+
+  /// Capture switch. Checked wrappers pass through without recording when
+  /// off. Flip only at a quiescent point.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Merges and resets all thread logs. Caller must guarantee quiescence
+  /// (all worker threads joined or between requests).
+  History Drain();
+  /// Discards all captured events without building a History.
+  void Clear();
+
+  size_t threads_seen() const;
+  uint64_t id() const { return id_; }
+
+ private:
+  struct Cached {
+    uint64_t id;
+    ThreadLog* log;
+  };
+  // One (recorder id -> log) pair cached per thread; LogSlow's map handles
+  // threads that alternate between live recorders. Keyed by the
+  // process-unique id, not the address, so a recorder allocated where a
+  // destroyed one lived can never alias a stale cache entry.
+  static inline thread_local Cached tl_cached{0, nullptr};
+
+  ThreadLog* Register();
+  ThreadLog* LogSlow();
+
+  const uint64_t id_;  // process-unique; keys the thread-local lookup
+  bool enabled_ = true;
+  mutable std::mutex mu_;
+  ChunkPool pool_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+/// Process-wide recorder used by the `checked(<inner>)` index spec (the
+/// server wires its wrapped index here). Enabled by default.
+HistoryRecorder* GlobalRecorder();
+
+}  // namespace check
+}  // namespace fptree

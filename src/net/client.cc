@@ -109,6 +109,10 @@ Status Client::Connect(const std::string& host, uint16_t port) {
   in_pos_ = 0;
   queued_ = received_ = 0;
   pending_ops_.clear();
+  // Requests abandoned by a reconnect keep their open log slots: they
+  // drain as pending (response never observed), which is exactly their
+  // truth — the old connection may or may not have applied them.
+  caps_.clear();
   return Status::OK();
 }
 
@@ -190,7 +194,13 @@ Status Client::DecodeOne(Response* resp, bool* got) {
     return Status::IOError("malformed response frame");
   }
   if (st == DecodeStatus::kOk) {
-    if (!pending_ops_.empty()) pending_ops_.pop_front();
+    if (!pending_ops_.empty()) {
+      if (recorder_ != nullptr && !caps_.empty()) {
+        CapResponse(pending_ops_.front(), *resp);
+        caps_.pop_front();
+      }
+      pending_ops_.pop_front();
+    }
     in_pos_ += consumed;
     ++received_;
     *got = true;
@@ -359,6 +369,178 @@ Status Client::Mput(const std::string_view* keys, const uint64_t* values,
     for (size_t i = 0; i < count; ++i) inserted[i] = resp.multi_found[i];
   }
   return Status::OK();
+}
+
+// --- history capture (DESIGN.md §13) ----------------------------------------
+//
+// Queue-time: open one log slot per point op / scan, one per MPUT element
+// (each element is an independent per-key upsert in the object model).
+// MGET opens nothing — reads carry no effect, so they commit wholesale
+// once the response reveals their results. Response-time: close the
+// front cap's slots with the decoded outcome. Slots left open when a
+// connection dies drain as pending.
+
+void Client::CapWrite(Op op, std::string_view key, uint64_t value) {
+  check::ThreadLog* log = recorder_->Log();
+  check::Event proto;
+  proto.t_inv = check::ClockNow();
+  proto.arg = value;
+  switch (op) {
+    case Op::kPut:
+    case Op::kUpsert:
+      proto.kind = check::OpKind::kUpsert;
+      break;
+    case Op::kGet:
+      proto.kind = check::OpKind::kGet;
+      break;
+    case Op::kDel:
+      proto.kind = check::OpKind::kErase;
+      break;
+    default:
+      return;
+  }
+  Cap cap;
+  cap.slots.push_back(log->BeginVar(proto, key));
+  caps_.push_back(std::move(cap));
+}
+
+void Client::CapScan(std::string_view start, uint32_t limit) {
+  check::ThreadLog* log = recorder_->Log();
+  check::Event proto;
+  proto.t_inv = check::ClockNow();
+  proto.kind = check::OpKind::kScan;
+  proto.arg = limit;
+  Cap cap;
+  cap.slots.push_back(log->BeginVar(proto, start));
+  cap.scan_limit = limit;
+  caps_.push_back(std::move(cap));
+}
+
+void Client::CapMget(const std::string_view* keys, uint32_t count) {
+  Cap cap;
+  cap.t_inv = check::ClockNow();
+  cap.mget_keys.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    cap.mget_keys.emplace_back(keys[i]);
+  }
+  caps_.push_back(std::move(cap));
+}
+
+void Client::CapMput(const std::string_view* keys, const uint64_t* values,
+                     uint32_t count) {
+  check::ThreadLog* log = recorder_->Log();
+  uint64_t t0 = check::ClockNow();
+  Cap cap;
+  cap.slots.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    check::Event proto;
+    proto.t_inv = t0;
+    proto.kind = check::OpKind::kUpsert;
+    proto.arg = values[i];
+    cap.slots.push_back(log->BeginVar(proto, keys[i]));
+  }
+  caps_.push_back(std::move(cap));
+}
+
+void Client::CapResponse(Op op, const Response& resp) {
+  check::ThreadLog* log = recorder_->Log();
+  Cap& cap = caps_.front();
+  switch (op) {
+    case Op::kPut:
+      // The PUT ack carries no inserted flag: the upsert completed but
+      // its boolean answer is unobservable (Outcome::kUnknown). Errors
+      // leave the key untouched.
+      if (resp.status == RespStatus::kOk) {
+        log->End(cap.slots[0], check::Outcome::kUnknown, 0);
+      } else {
+        log->End(cap.slots[0], check::Outcome::kNoop, 0);
+      }
+      break;
+    case Op::kUpsert:
+      if (resp.status == RespStatus::kOk) {
+        log->End(cap.slots[0],
+                 resp.value != 0 ? check::Outcome::kTrue
+                                 : check::Outcome::kFalse,
+                 resp.value);
+      } else {
+        log->End(cap.slots[0], check::Outcome::kNoop, 0);
+      }
+      break;
+    case Op::kGet:
+      if (resp.status == RespStatus::kOk) {
+        log->End(cap.slots[0], check::Outcome::kTrue, resp.value);
+      } else if (resp.status == RespStatus::kNotFound) {
+        log->End(cap.slots[0], check::Outcome::kFalse, 0);
+      } else {
+        log->End(cap.slots[0], check::Outcome::kNoop, 0);
+      }
+      break;
+    case Op::kDel:
+      if (resp.status == RespStatus::kOk) {
+        log->End(cap.slots[0], check::Outcome::kTrue, 1);
+      } else if (resp.status == RespStatus::kNotFound) {
+        log->End(cap.slots[0], check::Outcome::kFalse, 0);
+      } else {
+        log->End(cap.slots[0], check::Outcome::kNoop, 0);
+      }
+      break;
+    case Op::kScan:
+      if (resp.status == RespStatus::kOk) {
+        for (const auto& row : resp.scan) {
+          log->AddRowVar(cap.slots[0], row.first, row.second);
+        }
+        // The server pre-clamps the row cap, so fewer rows than the
+        // *effective* limit means the index ran out of keys.
+        uint32_t effective = cap.scan_limit > kMaxScanLimit
+                                 ? kMaxScanLimit
+                                 : cap.scan_limit;
+        log->open_event(cap.slots[0])->scan_exhausted =
+            resp.scan.size() < effective;
+        log->End(cap.slots[0], check::Outcome::kTrue, 0);
+      } else {
+        log->End(cap.slots[0], check::Outcome::kNoop, 0);
+      }
+      break;
+    case Op::kMget:
+      if (resp.status == RespStatus::kOk &&
+          resp.multi_found.size() == cap.mget_keys.size() &&
+          resp.multi_values.size() == cap.mget_keys.size()) {
+        uint64_t t1 = check::ClockNow();
+        for (size_t i = 0; i < cap.mget_keys.size(); ++i) {
+          check::Event ev;
+          ev.t_inv = cap.t_inv;
+          ev.t_resp = t1;
+          ev.kind = check::OpKind::kGet;
+          ev.outcome = resp.multi_found[i] != 0 ? check::Outcome::kTrue
+                                                : check::Outcome::kFalse;
+          ev.result = resp.multi_found[i] != 0 ? resp.multi_values[i] : 0;
+          log->CommitVar(ev, cap.mget_keys[i]);
+        }
+      }
+      break;
+    case Op::kMput:
+      if (resp.status == RespStatus::kOk &&
+          resp.multi_found.size() == cap.slots.size()) {
+        for (size_t i = 0; i < cap.slots.size(); ++i) {
+          bool ins = resp.multi_found[i] != 0;
+          log->End(cap.slots[i],
+                   ins ? check::Outcome::kTrue : check::Outcome::kFalse,
+                   ins ? 1 : 0);
+        }
+      } else if (resp.status == RespStatus::kNoSpace) {
+        // A strict input prefix applied durably, but the response does
+        // not say how long it is: each element individually may or may
+        // not have taken effect (ambiguous — permissive but sound).
+        for (uint32_t slot : cap.slots) {
+          log->EndAmbiguous(slot);
+        }
+      } else {
+        for (uint32_t slot : cap.slots) {
+          log->End(slot, check::Outcome::kNoop, 0);
+        }
+      }
+      break;
+  }
 }
 
 }  // namespace net

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "check/history.h"
 #include "net/protocol.h"
 #include "util/status.h"
 
@@ -59,6 +60,20 @@ class Client {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Attaches a history recorder (DESIGN.md §13): every queued request
+  /// becomes an invocation event when queued and a response event when
+  /// its frame is decoded, so wire histories are linearizability-checkable
+  /// end-to-end. Requests whose responses never arrive (timeout, dropped
+  /// connection) drain as *pending* — their effect may or may not have
+  /// applied, exactly what the checker's crash model expects. Set before
+  /// the first Queue*/op call and do not change it while requests are in
+  /// flight (capture state is matched to the response FIFO).
+  void set_recorder(check::HistoryRecorder* recorder) {
+    recorder_ = recorder;
+    caps_.clear();
+  }
+  check::HistoryRecorder* recorder() const { return recorder_; }
+
   /// Per-blocking-call deadline in ms; 0 (default) waits forever. Applies
   /// to Connect, Flush and ReadResponse independently: each call gets the
   /// full budget. On expiry the call returns Status::TimedOut and the
@@ -74,28 +89,34 @@ class Client {
   void QueuePut(std::string_view key, uint64_t value) {
     EncodePut(&outbuf_, key, value);
     Queued(Op::kPut);
+    if (recorder_ != nullptr) CapWrite(Op::kPut, key, value);
   }
   void QueueGet(std::string_view key) {
     EncodeGet(&outbuf_, key);
     Queued(Op::kGet);
+    if (recorder_ != nullptr) CapWrite(Op::kGet, key, 0);
   }
   void QueueDel(std::string_view key) {
     EncodeDel(&outbuf_, key);
     Queued(Op::kDel);
+    if (recorder_ != nullptr) CapWrite(Op::kDel, key, 0);
   }
   void QueueScan(std::string_view start, uint32_t limit) {
     EncodeScan(&outbuf_, start, limit);
     Queued(Op::kScan);
+    if (recorder_ != nullptr) CapScan(start, limit);
   }
   void QueueUpsert(std::string_view key, uint64_t value) {
     EncodeUpsert(&outbuf_, key, value);
     Queued(Op::kUpsert);
+    if (recorder_ != nullptr) CapWrite(Op::kUpsert, key, value);
   }
   /// One MGET frame for `count` keys; the response carries one
   /// (found, value) pair per key in request order.
   void QueueMget(const std::string_view* keys, uint32_t count) {
     EncodeMget(&outbuf_, keys, count);
     Queued(Op::kMget);
+    if (recorder_ != nullptr) CapMget(keys, count);
   }
   /// One MPUT frame (per-key upsert semantics); the response carries one
   /// inserted flag per key in request order.
@@ -103,6 +124,7 @@ class Client {
                  uint32_t count) {
     EncodeMput(&outbuf_, keys, values, count);
     Queued(Op::kMput);
+    if (recorder_ != nullptr) CapMput(keys, values, count);
   }
 
   /// Requests queued but whose responses have not been read yet.
@@ -149,10 +171,27 @@ class Client {
               size_t count, uint8_t* inserted);
 
  private:
+  /// Capture bookkeeping for one in-flight request frame: the open log
+  /// slot(s) its response will close. Mirrors pending_ops_ one-to-one.
+  struct Cap {
+    std::vector<uint32_t> slots;          // point op: 1; MPUT: one per key
+    std::vector<std::string> mget_keys;   // MGET: reads commit on response
+    uint64_t t_inv = 0;                   // MGET invocation stamp
+    uint32_t scan_limit = 0;
+  };
+
   void Queued(Op op) {
     pending_ops_.push_back(op);
     ++queued_;
   }
+  // Queue-time capture (open invocation events) and response-time capture
+  // (close them with the decoded outcome). Bodies in client.cc.
+  void CapWrite(Op op, std::string_view key, uint64_t value);
+  void CapScan(std::string_view start, uint32_t limit);
+  void CapMget(const std::string_view* keys, uint32_t count);
+  void CapMput(const std::string_view* keys, const uint64_t* values,
+               uint32_t count);
+  void CapResponse(Op op, const Response& resp);
   /// Non-blocking read into inbuf_; *progress reports whether bytes
   /// arrived. Blocking waits go through WaitFor (poll with deadline).
   Status FillBuffer(bool* progress);
@@ -169,6 +208,8 @@ class Client {
   uint64_t queued_ = 0;
   uint64_t received_ = 0;
   std::deque<Op> pending_ops_;  // op kinds awaiting their response frame
+  check::HistoryRecorder* recorder_ = nullptr;
+  std::deque<Cap> caps_;  // capture state, in lockstep with pending_ops_
   uint32_t deadline_ms_ = 0;
   std::string host_;  // remembered for the retrying reconnect paths
   uint16_t port_ = 0;

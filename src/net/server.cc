@@ -199,6 +199,11 @@ Status Server::Start() {
   }
   obs::MetricsRegistry::Global().SetGauge(
       "net.connections", [this] { return connections(); });
+  // Force the net.* counter/histogram registrations now, on this thread:
+  // the first worker may not be scheduled for a while, and METRICS_JSON
+  // consumers (and the metrics-key golden test) expect the full key set
+  // to exist as soon as Start() returns.
+  NetMetrics::Get();
   started_ = true;
   for (uint32_t i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { WorkerMain(i); });

@@ -1,0 +1,494 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Checker self-test corpus (DESIGN.md §13): hand-written histories with
+// known verdicts. The non-linearizable ones cover the bug classes the
+// checker exists to catch — stale reads, lost updates, torn batches,
+// resurrected deletes — and the linearizable ones pin down that the
+// checker is not trigger-happy (concurrent ops may order either way,
+// pending ops may apply or vanish). Also unit-tests the capture layer:
+// slot protocol, arenas, multi-thread drain, ring spill.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/checked_index.h"
+#include "check/checker.h"
+#include "check/history.h"
+#include "index/kv_index.h"
+#include "util/threading.h"
+
+namespace fptree {
+namespace check {
+namespace {
+
+// Event builder for hand-written fixed-key histories. Timestamps are
+// small integers; only their order matters.
+Event Ev(OpKind kind, uint64_t t_inv, uint64_t t_resp, uint64_t key,
+         Outcome outcome, uint64_t arg = 0, uint64_t result = 0) {
+  Event e;
+  e.kind = kind;
+  e.t_inv = t_inv;
+  e.t_resp = t_resp;
+  e.key = key;
+  e.outcome = outcome;
+  e.arg = arg;
+  e.result = result;
+  return e;
+}
+
+History Hist(std::vector<Event> events) {
+  History h;
+  h.events = std::move(events);
+  return h;
+}
+
+// Appends a fixed-key scan event with the given rows to `h`.
+void AddScan(History* h, uint64_t t_inv, uint64_t t_resp, uint64_t start,
+             bool exhausted,
+             const std::vector<std::pair<uint64_t, uint64_t>>& rows) {
+  Event e;
+  e.kind = OpKind::kScan;
+  e.t_inv = t_inv;
+  e.t_resp = t_resp;
+  e.key = start;
+  e.outcome = Outcome::kTrue;
+  e.scan_exhausted = exhausted;
+  e.rows_off = h->words.size();
+  e.rows_n = static_cast<uint32_t>(rows.size());
+  for (const auto& r : rows) {
+    h->words.push_back(r.first);
+    h->words.push_back(r.second);
+  }
+  h->events.push_back(e);
+}
+
+CheckResult Check(const History& h) {
+  return CheckHistory(h, CheckOptions{});
+}
+
+// --- known-linearizable histories -------------------------------------------
+
+TEST(CheckerCorpus, EmptyHistory) {
+  CheckResult r = Check(Hist({}));
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(CheckerCorpus, SequentialLifecycle) {
+  CheckResult r = Check(Hist({
+      Ev(OpKind::kGet, 1, 2, 7, Outcome::kFalse),
+      Ev(OpKind::kInsert, 3, 4, 7, Outcome::kTrue, 100),
+      Ev(OpKind::kGet, 5, 6, 7, Outcome::kTrue, 0, 100),
+      Ev(OpKind::kUpdate, 7, 8, 7, Outcome::kTrue, 200),
+      Ev(OpKind::kGet, 9, 10, 7, Outcome::kTrue, 0, 200),
+      Ev(OpKind::kErase, 11, 12, 7, Outcome::kTrue),
+      Ev(OpKind::kGet, 13, 14, 7, Outcome::kFalse),
+  }));
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+}
+
+TEST(CheckerCorpus, ConcurrentUpsertsEitherOrder) {
+  // Two overlapping wire-style upserts (no inserted flag observed): a
+  // later read may see either one.
+  for (uint64_t seen : {uint64_t{111}, uint64_t{222}}) {
+    CheckResult r = Check(Hist({
+        Ev(OpKind::kUpsert, 1, 10, 5, Outcome::kUnknown, 111),
+        Ev(OpKind::kUpsert, 2, 9, 5, Outcome::kUnknown, 222),
+        Ev(OpKind::kGet, 20, 21, 5, Outcome::kTrue, 0, seen),
+    }));
+    EXPECT_TRUE(r.decided);
+    EXPECT_TRUE(r.ok) << "seen=" << seen << ": " << r.why;
+  }
+}
+
+TEST(CheckerCorpus, InsertedFlagsPinConcurrentUpsertOrder) {
+  // Same shape, but the flags were observed: kTrue inserted, kFalse
+  // replaced. The replace cannot go first on an absent key, so the order
+  // is pinned and a later read must see the replace's value.
+  CheckResult ok_case = Check(Hist({
+      Ev(OpKind::kUpsert, 1, 10, 5, Outcome::kTrue, 111, 1),
+      Ev(OpKind::kUpsert, 2, 9, 5, Outcome::kFalse, 222),
+      Ev(OpKind::kGet, 20, 21, 5, Outcome::kTrue, 0, 222),
+  }));
+  EXPECT_TRUE(ok_case.decided);
+  EXPECT_TRUE(ok_case.ok) << ok_case.why;
+  CheckResult bad_case = Check(Hist({
+      Ev(OpKind::kUpsert, 1, 10, 5, Outcome::kTrue, 111, 1),
+      Ev(OpKind::kUpsert, 2, 9, 5, Outcome::kFalse, 222),
+      Ev(OpKind::kGet, 20, 21, 5, Outcome::kTrue, 0, 111),
+  }));
+  EXPECT_TRUE(bad_case.decided);
+  EXPECT_FALSE(bad_case.ok);
+}
+
+TEST(CheckerCorpus, ReadOverlappingWriteSeesEitherValue) {
+  for (uint64_t seen : {uint64_t{100}, uint64_t{200}}) {
+    CheckResult r = Check(Hist({
+        Ev(OpKind::kInsert, 1, 2, 3, Outcome::kTrue, 100),
+        Ev(OpKind::kUpdate, 10, 20, 3, Outcome::kTrue, 200),
+        Ev(OpKind::kGet, 11, 19, 3, Outcome::kTrue, 0, seen),
+    }));
+    EXPECT_TRUE(r.decided);
+    EXPECT_TRUE(r.ok) << "seen=" << seen << ": " << r.why;
+  }
+}
+
+TEST(CheckerCorpus, UnknownOutcomeUpsertConstrainsValueOnly) {
+  // The wire PUT acks without the inserted flag (Outcome::kUnknown): the
+  // value must land, but insert-vs-replace is unconstrained.
+  CheckResult r = Check(Hist({
+      Ev(OpKind::kUpsert, 1, 2, 9, Outcome::kUnknown, 42),
+      Ev(OpKind::kGet, 3, 4, 9, Outcome::kTrue, 0, 42),
+  }));
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+}
+
+TEST(CheckerCorpus, InitialStateSeedsRegisters) {
+  CheckOptions opts;
+  opts.initial_fixed[4] = 400;
+  CheckResult r = CheckHistory(
+      Hist({Ev(OpKind::kGet, 1, 2, 4, Outcome::kTrue, 0, 400)}), opts);
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+  CheckResult r2 = CheckHistory(
+      Hist({Ev(OpKind::kGet, 1, 2, 4, Outcome::kFalse)}), opts);
+  EXPECT_TRUE(r2.decided);
+  EXPECT_FALSE(r2.ok);
+}
+
+TEST(CheckerCorpus, ScanWitnessesPresentRows) {
+  History h;
+  h.events.push_back(Ev(OpKind::kInsert, 1, 2, 10, Outcome::kTrue, 1000));
+  h.events.push_back(Ev(OpKind::kInsert, 3, 4, 12, Outcome::kTrue, 1200));
+  AddScan(&h, 5, 6, 10, /*exhausted=*/true, {{10, 1000}, {12, 1200}});
+  CheckResult r = Check(h);
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+  EXPECT_GE(r.stats.scan_reads, 2u);
+}
+
+TEST(CheckerCorpus, ZeroRowScanWitnessesNothing) {
+  // An unordered index legitimately answers scans with zero rows; that
+  // must not read as "everything is absent".
+  History h;
+  h.events.push_back(Ev(OpKind::kInsert, 1, 2, 10, Outcome::kTrue, 1000));
+  AddScan(&h, 5, 6, 0, /*exhausted=*/true, {});
+  CheckResult r = Check(h);
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+}
+
+TEST(CheckerCorpus, PendingInsertMayOrMayNotSurvive) {
+  // Crash with an insert in flight: both recovered states are legal.
+  for (bool survived : {false, true}) {
+    CheckOptions opts;
+    opts.durable = true;
+    if (survived) opts.recovered_fixed[6] = 600;
+    CheckResult r = CheckHistory(
+        Hist({Ev(OpKind::kInsert, 1, kPendingTime, 6, Outcome::kPending,
+                 600)}),
+        opts);
+    EXPECT_TRUE(r.decided);
+    EXPECT_TRUE(r.ok) << "survived=" << survived << ": " << r.why;
+  }
+}
+
+TEST(CheckerCorpus, DurableAckedStateSurvives) {
+  CheckOptions opts;
+  opts.durable = true;
+  opts.recovered_fixed[1] = 100;
+  CheckResult r = CheckHistory(
+      Hist({
+          Ev(OpKind::kInsert, 1, 2, 1, Outcome::kTrue, 100),
+          Ev(OpKind::kInsert, 3, 4, 2, Outcome::kTrue, 200),
+          Ev(OpKind::kErase, 5, 6, 2, Outcome::kTrue),
+      }),
+      opts);
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+}
+
+TEST(CheckerCorpus, AmbiguousBatchElementThenReadOfAppliedValue) {
+  // MPUT under NO_SPACE: the element completed ambiguously (finite
+  // response, optional effect). A later read may see it applied...
+  CheckResult r = Check(Hist({
+      Ev(OpKind::kUpsert, 1, 2, 8, Outcome::kPending, 800),
+      Ev(OpKind::kGet, 10, 11, 8, Outcome::kTrue, 0, 800),
+  }));
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+  // ...or not applied.
+  CheckResult r2 = Check(Hist({
+      Ev(OpKind::kUpsert, 1, 2, 8, Outcome::kPending, 800),
+      Ev(OpKind::kGet, 10, 11, 8, Outcome::kFalse),
+  }));
+  EXPECT_TRUE(r2.decided);
+  EXPECT_TRUE(r2.ok) << r2.why;
+}
+
+// --- known-non-linearizable histories ---------------------------------------
+
+TEST(CheckerCorpus, StaleReadRejected) {
+  // Update completed before the read began, yet the read returned the
+  // overwritten value.
+  CheckResult r = Check(Hist({
+      Ev(OpKind::kInsert, 1, 2, 3, Outcome::kTrue, 100),
+      Ev(OpKind::kUpdate, 3, 4, 3, Outcome::kTrue, 200),
+      Ev(OpKind::kGet, 5, 6, 3, Outcome::kTrue, 0, 100),
+  }));
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.why.find("key 3"), std::string::npos) << r.why;
+}
+
+TEST(CheckerCorpus, LostUpdateRejected) {
+  // Two non-overlapping acked updates; the second's value vanishes: a
+  // read after both still sees the first.
+  CheckResult r = Check(Hist({
+      Ev(OpKind::kInsert, 1, 2, 3, Outcome::kTrue, 100),
+      Ev(OpKind::kUpdate, 3, 4, 3, Outcome::kTrue, 200),
+      Ev(OpKind::kUpdate, 5, 6, 3, Outcome::kTrue, 300),
+      Ev(OpKind::kGet, 7, 8, 3, Outcome::kTrue, 0, 200),
+  }));
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CheckerCorpus, InsertTrueOnPresentKeyRejected) {
+  CheckResult r = Check(Hist({
+      Ev(OpKind::kInsert, 1, 2, 3, Outcome::kTrue, 100),
+      Ev(OpKind::kInsert, 3, 4, 3, Outcome::kTrue, 200),
+  }));
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CheckerCorpus, TornBatchRejected) {
+  // Both batch elements acked (one MultiPut, same invocation window),
+  // but recovery kept only the second: not a strict prefix — torn.
+  CheckOptions opts;
+  opts.durable = true;
+  opts.recovered_fixed[21] = 2100;
+  CheckResult r = CheckHistory(
+      Hist({
+          Ev(OpKind::kInsert, 1, 3, 20, Outcome::kTrue, 2000),
+          Ev(OpKind::kInsert, 1, 3, 21, Outcome::kTrue, 2100),
+      }),
+      opts);
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.why.find("key 20"), std::string::npos) << r.why;
+}
+
+TEST(CheckerCorpus, ResurrectedDeleteRejected) {
+  // The erase was acked; recovery brought the key back.
+  CheckOptions opts;
+  opts.durable = true;
+  opts.recovered_fixed[5] = 500;
+  CheckResult r = CheckHistory(
+      Hist({
+          Ev(OpKind::kInsert, 1, 2, 5, Outcome::kTrue, 500),
+          Ev(OpKind::kErase, 3, 4, 5, Outcome::kTrue),
+      }),
+      opts);
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CheckerCorpus, LostAckedWriteRejected) {
+  CheckOptions opts;
+  opts.durable = true;  // recovered state: key absent
+  CheckResult r = CheckHistory(
+      Hist({Ev(OpKind::kInsert, 1, 2, 9, Outcome::kTrue, 900)}), opts);
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.why.find("recovered"), std::string::npos) << r.why;
+}
+
+TEST(CheckerCorpus, KeyFromNowhereRejected) {
+  // Recovery surfaced a key no one ever wrote.
+  CheckOptions opts;
+  opts.durable = true;
+  opts.recovered_fixed[77] = 7;
+  CheckResult r = CheckHistory(Hist({}), opts);
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CheckerCorpus, ScanAbsenceWitnessRejectsStableKeySkipped) {
+  // The PR-6 bug class: a scan that skips a present, untouched key. The
+  // insert of 11 completed before the scan began and nothing deleted it,
+  // yet the scan listed 10 and 12 only.
+  History h;
+  h.events.push_back(Ev(OpKind::kInsert, 1, 2, 10, Outcome::kTrue, 1000));
+  h.events.push_back(Ev(OpKind::kInsert, 3, 4, 11, Outcome::kTrue, 1100));
+  h.events.push_back(Ev(OpKind::kInsert, 5, 6, 12, Outcome::kTrue, 1200));
+  AddScan(&h, 10, 11, 10, /*exhausted=*/true, {{10, 1000}, {12, 1200}});
+  CheckResult r = Check(h);
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.why.find("key 11"), std::string::npos) << r.why;
+}
+
+TEST(CheckerCorpus, AmbiguousWriteCannotApplyAfterLaterOpCompletes) {
+  // The ambiguous (NO_SPACE) upsert responded at t=2; a read at [10,11]
+  // saw the old state, then a read at [20,21] saw the ambiguous value.
+  // The effect would have to materialize *after* an op that started
+  // after its response — impossible under linearizability.
+  CheckResult r = Check(Hist({
+      Ev(OpKind::kUpsert, 1, 2, 8, Outcome::kPending, 800),
+      Ev(OpKind::kGet, 10, 11, 8, Outcome::kFalse),
+      Ev(OpKind::kGet, 20, 21, 8, Outcome::kTrue, 0, 800),
+  }));
+  EXPECT_TRUE(r.decided);
+  EXPECT_FALSE(r.ok);
+}
+
+// --- capture-layer units ----------------------------------------------------
+
+TEST(CaptureUnit, RecordsPointOpsAndDrains) {
+  HistoryRecorder rec;
+  auto inner = index::MakeFixedIndex("stx", nullptr);
+  ASSERT_NE(inner, nullptr);
+  auto idx = Checked(std::move(inner), &rec);
+  uint64_t v = 0;
+  EXPECT_FALSE(idx->Find(1, &v));
+  EXPECT_TRUE(idx->Insert(1, 10));
+  EXPECT_TRUE(idx->Find(1, &v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_TRUE(idx->Update(1, 20));
+  EXPECT_FALSE(idx->Upsert(1, 30));  // replace
+  EXPECT_TRUE(idx->Erase(1));
+  History h = rec.Drain();
+  ASSERT_EQ(h.size(), 6u);
+  for (const Event& e : h.events) {
+    EXPECT_NE(e.outcome, Outcome::kPending);
+    EXPECT_LE(e.t_inv, e.t_resp);
+    EXPECT_EQ(e.key, 1u);
+  }
+  CheckResult r = CheckHistory(h, CheckOptions{});
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+  // Drain resets: nothing left.
+  EXPECT_TRUE(rec.Drain().empty());
+}
+
+TEST(CaptureUnit, BatchAndScanEventsRoundTrip) {
+  HistoryRecorder rec;
+  auto idx = Checked(index::MakeFixedIndex("stx", nullptr), &rec);
+  const uint64_t keys[] = {1, 2, 3};
+  const uint64_t vals[] = {10, 20, 30};
+  uint8_t ins[3] = {0, 0, 0};
+  idx->MultiPut(keys, vals, 3, ins);
+  uint64_t got[3] = {0, 0, 0};
+  uint8_t found[3] = {0, 0, 0};
+  idx->MultiGet(keys, 3, got, found);
+  size_t rows = 0;
+  idx->RangeScan(0, 100, [&](uint64_t, uint64_t) {
+    ++rows;
+    return true;
+  });
+  EXPECT_EQ(rows, 3u);
+  History h = rec.Drain();
+  // 3 puts + 3 gets + 1 scan event.
+  ASSERT_EQ(h.size(), 7u);
+  size_t scans = 0;
+  for (const Event& e : h.events) {
+    if (e.kind == OpKind::kScan) {
+      ++scans;
+      EXPECT_EQ(e.rows_n, 3u);
+      EXPECT_TRUE(e.scan_exhausted);
+    }
+  }
+  EXPECT_EQ(scans, 1u);
+  CheckResult r = CheckHistory(h, CheckOptions{});
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+}
+
+TEST(CaptureUnit, VarKeysInternAcrossThreadsAndSpill) {
+  HistoryRecorder rec;
+  auto idx = Checked(index::MakeVarIndex("stx-var", nullptr), &rec);
+  constexpr int kThreads = 3;
+  constexpr int kOps = 5000;  // > ring size, forces spill per thread
+  ThreadGroup group;
+  group.Spawn(kThreads, [&](int tid) {
+    for (int i = 0; i < kOps; ++i) {
+      std::string key =
+          "k" + std::to_string(tid) + "-" + std::to_string(i % 64);
+      idx->Upsert(key, static_cast<uint64_t>(tid * kOps + i));
+    }
+  });
+  group.Join();
+  EXPECT_EQ(rec.threads_seen(), static_cast<size_t>(kThreads));
+  History h = rec.Drain();
+  ASSERT_EQ(h.size(), static_cast<size_t>(kThreads * kOps));
+  for (const Event& e : h.events) {
+    ASSERT_TRUE(e.var_key);
+    std::string_view k = h.KeyOf(e);
+    ASSERT_GE(k.size(), 4u);
+    EXPECT_EQ(k[0], 'k');
+  }
+  CheckResult r = CheckHistory(h, CheckOptions{});
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.ok) << r.why;
+}
+
+TEST(CaptureUnit, DisabledRecorderCapturesNothing) {
+  HistoryRecorder rec;
+  rec.set_enabled(false);
+  auto idx = Checked(index::MakeFixedIndex("stx", nullptr), &rec);
+  idx->Insert(1, 10);
+  uint64_t v = 0;
+  idx->Find(1, &v);
+  EXPECT_TRUE(rec.Drain().empty());
+}
+
+TEST(CaptureUnit, PendingOpsSurfaceOnDrain) {
+  HistoryRecorder rec;
+  ThreadLog* log = rec.Log();
+  Event proto;
+  proto.t_inv = ClockNow();
+  proto.kind = OpKind::kInsert;
+  proto.key = 42;
+  proto.arg = 4200;
+  log->Begin(proto);  // never Ended: simulates a crash mid-insert
+  History h = rec.Drain();
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.events[0].outcome, Outcome::kPending);
+  EXPECT_EQ(h.events[0].t_resp, kPendingTime);
+  EXPECT_EQ(h.events[0].key, 42u);
+}
+
+TEST(CaptureUnit, BorrowedWrapperSharesInnerState) {
+  auto inner = index::MakeFixedIndex("stx", nullptr);
+  index::KVIndex* raw = inner.get();
+  HistoryRecorder rec;
+  auto wrapped = CheckedBorrowed(raw, &rec);
+  wrapped->Insert(5, 50);
+  uint64_t v = 0;
+  EXPECT_TRUE(raw->Find(5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_EQ(rec.Drain().size(), 1u);
+}
+
+TEST(CaptureUnit, ParseCheckedSpec) {
+  std::string inner;
+  EXPECT_TRUE(ParseCheckedSpec("checked(fptree-c)", &inner));
+  EXPECT_EQ(inner, "fptree-c");
+  EXPECT_TRUE(ParseCheckedSpec("checked(sharded(fptree-c-var,3))", &inner));
+  EXPECT_EQ(inner, "sharded(fptree-c-var,3)");
+  EXPECT_FALSE(ParseCheckedSpec("fptree-c", &inner));
+  EXPECT_FALSE(ParseCheckedSpec("checked()", &inner));
+  EXPECT_FALSE(ParseCheckedSpec("checked(", &inner));
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace fptree

@@ -21,6 +21,9 @@
 #include <tuple>
 #include <vector>
 
+#include "check/checked_index.h"
+#include "check/checker.h"
+#include "check/history.h"
 #include "core/recovery.h"
 #include "crash_test_util.h"
 #include "engine/sharded_index.h"
@@ -38,6 +41,21 @@ using scm::CrashSim;
 using scm::Pool;
 using testutil::FuzzSeeds;
 using testutil::TestPath;
+
+// Routes per-round initial/recovered state to the checker's key space for
+// the two key types the traits use.
+inline void SetCheckStates(const std::map<uint64_t, uint64_t>& initial,
+                           const std::map<uint64_t, uint64_t>& recovered,
+                           check::CheckOptions* opts) {
+  opts->initial_fixed = initial;
+  opts->recovered_fixed = recovered;
+}
+inline void SetCheckStates(const std::map<std::string, uint64_t>& initial,
+                           const std::map<std::string, uint64_t>& recovered,
+                           check::CheckOptions* opts) {
+  opts->initial_var = initial;
+  opts->recovered_var = recovered;
+}
 
 // Crash windows reachable from the concurrent fixed-key tree. "cfptree.retry"
 // sits at the top of every HTM retry loop, so it fires on every operation and
@@ -263,6 +281,13 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
   CrashSim::Enable();
   CrashSim::SetCrashBarrier(true);
 
+  // Every round's ops are also captured as a history (DESIGN.md §13) and
+  // checked for durable linearizability against the post-round state:
+  // acked effects must survive, the in-flight op may apply or vanish.
+  // Rounds chain — round N's surviving state seeds round N+1's registers.
+  check::HistoryRecorder recorder;
+  std::map<Key, uint64_t> round_initial;
+
   static const uint32_t kRecoverSweep[3] = {1, 2, 4};
   int total_crashes = 0;
   for (int round = 0; round < 3; ++round) {
@@ -281,6 +306,10 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
       inflight[t] = InFlight{};
       crashed[t] = 0;
     }
+    // Borrow-wrap the round's index: worker ops record invocation/response
+    // events; a crash unwinding mid-op leaves it pending in the history.
+    auto checked = check::CheckedBorrowed(holder.get(), &recorder);
+    auto* idx = checked.get();
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (int t = 0; t < threads; ++t) {
@@ -297,7 +326,7 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
               // A read of an owned key is linearizable against this
               // worker's own acknowledged history at every instant.
               uint64_t got = 0;
-              bool found = Traits::Find(holder.get(), key, &got);
+              bool found = Traits::Find(idx, key, &got);
               auto it = m.find(key);
               bool expect = it != m.end();
               if (found != expect || (found && got != it->second)) {
@@ -314,7 +343,7 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
             if (had_old) inf.old_val = it->second;
             inf.op = had_old ? (trng.Uniform(2) ? 1 : 2) : 0;
             inflight[t] = inf;
-            bool ok = Traits::Apply(holder.get(), inf.op, key, val);
+            bool ok = Traits::Apply(idx, inf.op, key, val);
             if (!ok) report("op on an owned key unexpectedly failed");
             // Acknowledged: from here the effect must survive any crash.
             if (inf.op == 2) {
@@ -332,6 +361,7 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
     }
     for (auto& w : workers) w.join();
     ASSERT_FALSE(violation.load()) << vmsg;
+    checked.reset();  // borrows holder's index; drop before any reopen
 
     bool any_crash = CrashSim::BarrierTripped();
     for (int t = 0; t < threads; ++t) any_crash |= (crashed[t] != 0);
@@ -396,7 +426,9 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
     size_t expected = 0;
     for (const auto& m : model) expected += m.size();
     ASSERT_EQ(holder.get()->Size(), expected);
+    std::map<Key, uint64_t> recovered;
     size_t scanned = Traits::ScanAll(holder.get(), [&](Key k, uint64_t v) {
+      recovered[k] = v;
       int owner = Traits::Owner(k, threads);
       auto it = model[owner].find(k);
       if (it == model[owner].end()) {
@@ -407,6 +439,21 @@ void RunConcurrentFuzz(uint64_t seed, int threads) {
     });
     ASSERT_FALSE(violation.load()) << "round " << round << ": " << vmsg;
     ASSERT_EQ(scanned, expected);
+
+    // Durable linearizability (DESIGN.md §13): everything captured through
+    // the checked wrapper this round — including ops cut down mid-flight by
+    // the simulated crash, drained as pending — must linearize against the
+    // state the recovery actually surfaced. The recovered map doubles as
+    // the next round's initial state so histories chain across crashes.
+    check::History hist = recorder.Drain();
+    check::CheckOptions copts;
+    copts.durable = true;
+    SetCheckStates(round_initial, recovered, &copts);
+    check::CheckResult cres = check::CheckHistory(hist, copts);
+    ASSERT_TRUE(cres.decided) << "round " << round
+                              << " (checker budget): " << cres.why;
+    ASSERT_TRUE(cres.ok) << "round " << round << ": " << cres.why;
+    round_initial = recovered;
   }
   EXPECT_GE(total_crashes, 1) << "fuzz run should actually crash";
 

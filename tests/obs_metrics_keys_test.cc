@@ -1,0 +1,137 @@
+// Copyright (c) FPTree reproduction authors.
+//
+// Metrics-key stability (DESIGN.md §13 satellite): METRICS_JSON is parsed
+// by the bench harness, the flavor matrix, and external dashboards, so the
+// set of counter/gauge/histogram keys the global registry exposes is API.
+// This test runs one deterministic workload that touches every subsystem
+// (pool, tree + checked wrapper, invariants, network server) and compares
+// the resulting key set against a checked-in golden list.
+//
+// Renaming or dropping a key fails here by design. To bless an intentional
+// change, rerun with FPTREE_UPDATE_METRICS_GOLDEN=1 — the test rewrites
+// tests/golden/metrics_keys.txt in the source tree — and commit the diff.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "check/checked_index.h"
+#include "check/history.h"
+#include "fault/fault.h"
+#include "index/kv_index.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "scm/latency.h"
+#include "scm/pool.h"
+
+#ifndef FPTREE_METRICS_GOLDEN
+#error "build must define FPTREE_METRICS_GOLDEN (path to golden key list)"
+#endif
+
+namespace fptree {
+namespace obs {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return "/tmp/fptree_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::set<std::string> ReadGolden(const std::string& path) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') keys.insert(line);
+  }
+  return keys;
+}
+
+TEST(MetricsKeysTest, GlobalRegistryKeysMatchGolden) {
+  scm::LatencyModel::Disable();
+  fault::FaultInjector::Instance().DisarmAll();
+  SetSampleInterval(1);
+
+  // One single-threaded pass through every metrics-producing subsystem;
+  // key REGISTRATION (not values) is what must be deterministic here.
+  std::string path = TestPath("metrics_keys");
+  scm::Pool::Destroy(path).ok();
+  std::unique_ptr<scm::Pool> pool;
+  scm::Pool::Options popts{.size = 64u << 20, .randomize_base = false};
+  ASSERT_TRUE(scm::Pool::Create(path, 1, popts, &pool).ok());
+
+  check::HistoryRecorder rec;
+  auto tree = check::Checked(
+      index::MakeFixedIndex("fptree-c", pool.get(), /*locked=*/true), &rec);
+  ASSERT_NE(tree, nullptr);
+  for (uint64_t k = 1; k <= 32; ++k) tree->Insert(k, k * 10);
+  uint64_t v = 0;
+  tree->Find(7, &v);
+  tree->Erase(3);
+  tree->RangeScan(1, 8, [](uint64_t, uint64_t) { return true; });
+  std::string why;
+  EXPECT_TRUE(tree->CheckInvariants(&why)) << why;
+  (void)rec.Drain();
+
+  // Var side feeds the server; Start() synchronously registers every
+  // net.* key plus the net.connections gauge, so no traffic is needed.
+  auto vindex = index::MakeVarIndex("fptree-c-var", pool.get(), true);
+  ASSERT_NE(vindex, nullptr);
+  net::Server::Options sopts;
+  sopts.drain_grace_ms = 100;
+  net::Server server(vindex.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Snapshot snap = MetricsRegistry::Global().TakeSnapshot();
+  std::set<std::string> keys;
+  for (const auto& [name, _] : snap.counters) keys.insert("counter " + name);
+  for (const auto& [name, _] : snap.gauges) keys.insert("gauge " + name);
+  for (const auto& [name, _] : snap.histograms) {
+    keys.insert("histogram " + name);
+  }
+
+  const std::string golden_path = FPTREE_METRICS_GOLDEN;
+  if (std::getenv("FPTREE_UPDATE_METRICS_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << "# Golden METRICS_JSON key set (see obs_metrics_keys_test.cc).\n"
+        << "# Regenerate: FPTREE_UPDATE_METRICS_GOLDEN=1 "
+           "./obs_metrics_keys_test\n";
+    for (const std::string& k : keys) out << k << "\n";
+    GTEST_SKIP() << "golden updated: " << golden_path;
+  }
+
+  std::set<std::string> golden = ReadGolden(golden_path);
+  ASSERT_FALSE(golden.empty())
+      << "missing/empty golden file " << golden_path
+      << " — generate with FPTREE_UPDATE_METRICS_GOLDEN=1";
+
+  std::ostringstream missing, unexpected;
+  for (const std::string& k : golden) {
+    if (keys.count(k) == 0) missing << "\n  - " << k;
+  }
+  for (const std::string& k : keys) {
+    if (golden.count(k) == 0) unexpected << "\n  + " << k;
+  }
+  EXPECT_TRUE(missing.str().empty() && unexpected.str().empty())
+      << "METRICS_JSON key set drifted from " << golden_path
+      << "\nmissing (removed/renamed keys break dashboards):"
+      << (missing.str().empty() ? " none" : missing.str())
+      << "\nunexpected (new keys must be blessed):"
+      << (unexpected.str().empty() ? " none" : unexpected.str())
+      << "\nIf intentional, rerun with FPTREE_UPDATE_METRICS_GOLDEN=1 and "
+         "commit the golden diff.";
+
+  pool.reset();
+  scm::Pool::Destroy(path).ok();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fptree

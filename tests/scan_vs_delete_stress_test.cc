@@ -29,9 +29,13 @@
 #include <string>
 #include <vector>
 
+#include "check/checked_index.h"
+#include "check/checker.h"
+#include "check/history.h"
 #include "core/fptree_concurrent.h"
 #include "core/fptree_concurrent_var.h"
 #include "crash_test_util.h"
+#include "index/kv_index.h"
 #include "scm/latency.h"
 #include "util/random.h"
 #include "util/threading.h"
@@ -228,6 +232,78 @@ TEST_P(ScanVsDeleteStressTest, VarKeysScanSurvivesLeafDeletion) {
   EXPECT_GT(scans_done.load(), 0u);
   std::string why;
   EXPECT_TRUE(tree.CheckConsistency(&why)) << why;
+}
+
+class CheckedScanVsDeleteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scm::LatencyModel::Disable();
+    path_ = testutil::TestPath("scan_stress_checked");
+    Pool::Destroy(path_).ok();
+    Pool::Options opts{.size = 256u << 20, .randomize_base = true};
+    ASSERT_TRUE(Pool::Create(path_, 1, opts, &pool_).ok());
+  }
+  void TearDown() override {
+    pool_.reset();
+    Pool::Destroy(path_).ok();
+  }
+  std::string path_;
+  std::unique_ptr<Pool> pool_;
+};
+
+// Same scan-races-delete shape, but run through the checked(...) capture
+// decorator and fed to the linearizability checker (DESIGN.md §13): every
+// scan row and every point read must be explainable by SOME interleaving of
+// the concurrent erase/insert cycles. This is strictly stronger than the
+// weak-floor assertion above — a scanner that resurrects a deleted row or
+// serves a torn block fails the check even when stable keys all survive.
+TEST_F(CheckedScanVsDeleteTest, ScanRowsLinearizeAgainstDeleteChurn) {
+  constexpr uint64_t kCKeys = 96;   // shared churn range
+  constexpr uint32_t kCWriters = 2;
+  constexpr uint32_t kCScanners = 2;
+  constexpr int kCRounds = 25;
+
+  check::HistoryRecorder rec;
+  auto checked = check::Checked(
+      index::MakeFixedIndex("fptree-c", pool_.get(), /*locked=*/true), &rec);
+  ASSERT_NE(checked, nullptr);
+  auto* idx = checked.get();
+  for (uint64_t k = 0; k < kCKeys; ++k) ASSERT_TRUE(idx->Insert(k, k));
+
+  std::atomic<bool> stop{false};
+  ThreadGroup writers;
+  writers.Spawn(kCWriters, [&](uint32_t id) {
+    // Each writer churns its own half so per-key histories stay
+    // single-writer (cheap to check) while scans cross both halves.
+    uint64_t lo = id * (kCKeys / kCWriters);
+    uint64_t hi = lo + kCKeys / kCWriters;
+    for (int round = 0; round < kCRounds; ++round) {
+      for (uint64_t k = lo; k < hi; ++k) idx->Erase(k);
+      for (uint64_t k = lo; k < hi; ++k) {
+        idx->Insert(k, (uint64_t{id} << 32) | static_cast<uint64_t>(round));
+      }
+    }
+  });
+  ThreadGroup scanners;
+  scanners.Spawn(kCScanners, [&](uint32_t id) {
+    Random64 rng(0xC0FFEE + id);
+    uint64_t v = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t start = rng.Next() % kCKeys;
+      idx->RangeScan(start, 12, [](uint64_t, uint64_t) { return true; });
+      idx->Find(rng.Next() % kCKeys, &v);
+    }
+  });
+  writers.Join();
+  stop.store(true, std::memory_order_release);
+  scanners.Join();
+
+  check::History h = rec.Drain();
+  ASSERT_GT(h.size(), 0u);
+  check::CheckOptions opts;
+  check::CheckResult res = check::CheckHistory(h, opts);
+  ASSERT_TRUE(res.decided) << "checker budget: " << res.why;
+  ASSERT_TRUE(res.ok) << res.why;
 }
 
 INSTANTIATE_TEST_SUITE_P(
